@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the Buffy front-end and encoder:
+// lexing, parsing, type checking, the §4 transformations, and the full
+// symbolic-encoding build. These quantify the compiler-side cost that the
+// paper's approach adds on top of raw solver time (negligible next to
+// Figure 6's solver growth).
+#include <benchmark/benchmark.h>
+
+#include "core/analysis.hpp"
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/typecheck.hpp"
+#include "models/library.hpp"
+#include "transform/transforms.hpp"
+
+using namespace buffy;
+
+namespace {
+
+lang::CompileOptions fqOptions() {
+  lang::CompileOptions opts;
+  opts.constants["N"] = 3;
+  opts.defaultListCapacity = 3;
+  return opts;
+}
+
+void BM_Lex(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::lex(models::kFairQueueBuggy));
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::parse(models::kFairQueueBuggy));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_TypecheckAndElaborate(benchmark::State& state) {
+  for (auto _ : state) {
+    lang::Program prog = lang::parse(models::kFairQueueBuggy);
+    lang::checkOrThrow(prog, fqOptions());
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_TypecheckAndElaborate);
+
+void BM_InlineAndFold(benchmark::State& state) {
+  lang::Program compiled = lang::parse(models::kFairQueueBuggy);
+  lang::checkOrThrow(compiled, fqOptions());
+  for (auto _ : state) {
+    lang::Program prog = compiled.clone();
+    transform::inlineFunctions(prog);
+    transform::foldConstants(prog);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_InlineAndFold);
+
+void BM_Unroll(benchmark::State& state) {
+  lang::Program compiled = lang::parse(models::kFairQueueBuggy);
+  lang::checkOrThrow(compiled, fqOptions());
+  transform::foldConstants(compiled);
+  for (auto _ : state) {
+    lang::Program prog = compiled.clone();
+    transform::unrollLoops(prog);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_Unroll);
+
+void BM_PrettyPrint(benchmark::State& state) {
+  lang::Program compiled = lang::parse(models::kFairQueueBuggy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::printProgram(compiled));
+  }
+}
+BENCHMARK(BM_PrettyPrint);
+
+core::Network fqNet(int n) {
+  core::ProgramSpec spec;
+  spec.instance = "fq";
+  spec.source = models::kFairQueueBuggy;
+  spec.compile.constants["N"] = n;
+  spec.compile.defaultListCapacity = n;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 4,
+       .maxArrivalsPerStep = 2},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 16},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+/// Full symbolic-encoding build (no solving): compile + per-step evaluate
+/// + series recording, parameterized by the time horizon.
+void BM_BuildEncoding(benchmark::State& state) {
+  const int horizon = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::AnalysisOptions opts;
+    opts.horizon = horizon;
+    core::Analysis analysis(fqNet(2), opts);
+    benchmark::DoNotOptimize(analysis.encoding().arena.size());
+  }
+  state.SetComplexityN(horizon);
+}
+BENCHMARK(BM_BuildEncoding)->Arg(2)->Arg(4)->Arg(8)->Complexity();
+
+/// Concrete simulation throughput (steps/second) through the interpreter
+/// backend's constant folding.
+void BM_Simulate(benchmark::State& state) {
+  const int horizon = static_cast<int>(state.range(0));
+  core::ConcreteArrivals arrivals;
+  for (int t = 0; t < horizon; ++t) {
+    arrivals["fq.ibs.0"].push_back({core::ConcretePacket{}});
+    arrivals["fq.ibs.1"].push_back({core::ConcretePacket{}});
+  }
+  for (auto _ : state) {
+    core::AnalysisOptions opts;
+    opts.horizon = horizon;
+    core::Analysis analysis(fqNet(2), opts);
+    benchmark::DoNotOptimize(analysis.simulate(arrivals));
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_Simulate)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Byte-level fairness with Deficit Round Robin — the quantum mechanism
+// FQ-CoDel builds on, exercising Buffy's byte-precision operations
+// (backlog-b, move-b) end to end.
+//
+// Two flows share a link: flow 0 sends small (2-byte) packets, flow 1
+// sends large (3-byte) packets. A packet-fair scheduler (plain RR) would
+// give flow 1 a 50% byte advantage; DRR's per-visit byte quantum keeps the
+// byte shares balanced. We show both the concrete schedule and solver
+// verdicts about the fairness bound.
+#include <cstdio>
+
+#include "backends/interp/interpreter.hpp"
+#include "core/analysis.hpp"
+#include "models/library.hpp"
+
+using namespace buffy;
+
+namespace {
+
+core::Network drrNet(int quantum) {
+  core::ProgramSpec spec;
+  spec.instance = "drr";
+  spec.source = models::kDeficitRoundRobin;
+  spec.compile.constants["N"] = 2;
+  spec.compile.constants["QUANTUM"] = quantum;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 8,
+       .schema = {{"bytes"}}, .maxArrivalsPerStep = 4, .maxPacketBytes = 4},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 32,
+       .schema = {{"bytes"}}},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kQuantum = 3;
+  constexpr int kHorizon = 8;
+
+  // 1. Concrete schedule: both queues loaded up front.
+  backends::Simulator sim(drrNet(kQuantum), kHorizon);
+  core::ConcreteArrivals arrivals;
+  std::vector<core::ConcretePacket> small(6, {{"bytes", 2}});
+  std::vector<core::ConcretePacket> large(4, {{"bytes", 3}});
+  arrivals["drr.ibs.0"].push_back(small);
+  arrivals["drr.ibs.1"].push_back(large);
+  const core::Trace trace = sim.run(arrivals);
+  std::printf("concrete DRR schedule (quantum = %d bytes):\n", kQuantum);
+  std::printf("%4s | %14s | %14s\n", "t", "flow0 bytes out",
+              "flow1 bytes out");
+  for (int t = 0; t < kHorizon; ++t) {
+    std::printf("%4d | %14lld | %14lld\n", t,
+                static_cast<long long>(trace.at("drr.bdeq.0", t)),
+                static_cast<long long>(trace.at("drr.bdeq.1", t)));
+  }
+
+  // 2. Solver: while both queues stay backlogged, the byte shares can
+  //    never diverge by more than one quantum + one max packet.
+  core::AnalysisOptions opts;
+  opts.horizon = 5;
+  core::Analysis analysis(drrNet(kQuantum), opts);
+  core::Workload loaded;
+  loaded.add(core::Workload::perStepCount("drr.ibs.0", 2, 2));
+  loaded.add(core::Workload::perStepCount("drr.ibs.1", 2, 2));
+  analysis.setWorkload(loaded);
+  const auto fair = analysis.verify(core::Query::expr(
+      "drr.bdeq.0[T-1] - drr.bdeq.1[T-1] <= 7 & "
+      "drr.bdeq.1[T-1] - drr.bdeq.0[T-1] <= 7"));
+  std::printf("\nbyte-fairness bound |share0 - share1| <= quantum+maxpkt: %s "
+              "(%.3f s)\n",
+              core::verdictName(fair.verdict), fair.solveSeconds);
+
+  // 3. And per-visit service is bounded by the accumulated deficit.
+  core::Analysis perVisit(drrNet(kQuantum), opts);
+  const auto bounded = perVisit.verify(
+      core::Query::expr("drr.bdeq.0[0] <= 3 & drr.bdeq.1[1] <= 6"));
+  std::printf("per-visit quantum bound: %s (%.3f s)\n",
+              core::verdictName(bounded.verdict), bounded.solveSeconds);
+  return 0;
+}

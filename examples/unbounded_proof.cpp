@@ -1,0 +1,68 @@
+// Unbounded-horizon verification via CHC/Spacer (the paper's §4 model
+// checker back-end and §7 "arbitrarily-bounded time horizon" direction).
+//
+// The bounded pipeline unrolls T steps, so every guarantee is "for T
+// steps" and its cost grows exponentially (Figure 6). Here the same Buffy
+// program is translated into a transition system instead; Z3's Spacer
+// engine synthesizes an inductive invariant, proving the property for
+// EVERY time step of EVERY execution — no horizon at all.
+#include <cstdio>
+
+#include "backends/chc/chc_backend.hpp"
+#include "core/analysis.hpp"
+#include "models/library.hpp"
+
+using namespace buffy;
+
+int main() {
+  core::ProgramSpec spec;
+  spec.instance = "rr";
+  spec.source = models::kRoundRobin;
+  spec.compile.constants["N"] = 2;
+  spec.compile.defaultListCapacity = 2;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 4,
+       .maxArrivalsPerStep = 2},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 16},
+  };
+  core::Network net;
+  net.add(spec);
+
+  backends::UnboundedAnalysis analysis(net);
+  std::printf("state vector (%zu variables):\n",
+              analysis.stateNames().size());
+  for (const auto& name : analysis.stateNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("\n");
+
+  struct Property {
+    const char* label;
+    const char* expr;
+  };
+  const Property properties[] = {
+      {"counters never go negative", "rr.cdeq.0[0] >= 0 & rr.cdeq.1[0] >= 0"},
+      {"backlogs respect capacity",
+       "rr.ibs.0.pkts[0] <= 4 & rr.ibs.1.pkts[0] <= 4"},
+      {"round-robin pointer stays in range",
+       "rr.next[0] >= 0 & rr.next[0] < 2"},
+      {"packet conservation (arrived == serviced + queued + dropped)",
+       "rr.ibs.0.arrivedTotal[0] + rr.ibs.1.arrivedTotal[0] == "
+       "rr.ob.outTotal[0] + rr.ibs.0.pkts[0] + rr.ibs.1.pkts[0] + "
+       "rr.ibs.0.dropped[0] + rr.ibs.1.dropped[0] + rr.ob.pkts[0] + "
+       "rr.ob.dropped[0]"},
+      {"(false) service is capped at 3", "rr.cdeq.0[0] < 3"},
+  };
+
+  for (const auto& property : properties) {
+    const auto result = analysis.prove(property.expr);
+    std::printf("%-60s  %s (%.3f s)\n", property.label,
+                backends::chcStatusName(result.status), result.seconds);
+  }
+
+  std::printf(
+      "\nEvery PROVED line holds for an unbounded time horizon — compare "
+      "bench/fig6_verification_time, where the bounded proof of the same "
+      "conservation property exceeds 30 s by T=4.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// CHC / Spacer backend (paper §4 "Back-end for model checkers" and §7:
+// "with loop invariants for the loop that executes the program over many
+// timesteps ... we could scale Buffy's analysis to an arbitrarily-bounded
+// time horizon, an improvement over tools like FPerf").
+//
+// The transition system extracted by core/transition is encoded as
+// Constrained Horn Clauses over an unknown inductive invariant Inv:
+//
+//     Inv(init)                                           (initiation)
+//     Inv(s) ∧ step(s, in, s')          ⇒ Inv(s')          (consecution)
+//     Inv(s) ∧ ¬property(s)             ⇒ Bad              (safety)
+//     Inv(s) ∧ step-constraints ∧ ¬assert ⇒ Bad            (in-program asserts)
+//
+// and handed to Z3's Spacer engine. `Proved` means the property holds at
+// EVERY time step of EVERY execution — no horizon bound, the direct answer
+// to Figure 6's exponential wall.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/query.hpp"
+#include "core/transition.hpp"
+
+namespace buffy::backends {
+
+enum class ChcStatus { Proved, Violated, Unknown };
+
+const char* chcStatusName(ChcStatus status);
+
+struct ChcResult {
+  ChcStatus status = ChcStatus::Unknown;
+  double seconds = 0.0;
+  std::string detail;  // reason when Unknown
+
+  [[nodiscard]] bool proved() const { return status == ChcStatus::Proved; }
+};
+
+/// Proves that `property` (a boolean term over the system's *pre-state*
+/// variables) holds in every reachable state, and that every in-program
+/// assert holds at every step.
+ChcResult proveSafety(const core::TransitionSystem& system,
+                      ir::TermRef property,
+                      std::optional<unsigned> timeoutMs = 60000);
+
+/// Convenience driver: network -> transition system -> Spacer.
+class UnboundedAnalysis {
+ public:
+  UnboundedAnalysis(core::Network network,
+                    core::TransitionOptions options = {});
+
+  /// Property text over state-variable names using the query syntax with
+  /// index [0] denoting "the current state", e.g.
+  ///   "rr.cdeq.0[0] >= 0 & rr.ibs.0.pkts[0] <= 6".
+  ChcResult prove(const std::string& propertyExpr,
+                  std::optional<unsigned> timeoutMs = 60000);
+  /// Programmatic property over the pre-state (1-step SeriesView).
+  ChcResult prove(const core::Query& property,
+                  std::optional<unsigned> timeoutMs = 60000);
+
+  [[nodiscard]] const core::TransitionSystem& system() const {
+    return *system_;
+  }
+  /// State-variable names (for property authoring).
+  [[nodiscard]] std::vector<std::string> stateNames() const;
+
+ private:
+  std::unique_ptr<core::TransitionSystem> system_;
+  std::map<std::string, std::vector<ir::TermRef>> stateSeries_;
+};
+
+}  // namespace buffy::backends

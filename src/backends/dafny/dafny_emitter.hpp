@@ -1,0 +1,46 @@
+// Dafny backend: renders a compiled (inlined, optionally unrolled) Buffy
+// program as a Dafny method, reproducing the manual translation of the
+// paper's §6.1:
+//   * the whole T-step execution is unrolled into straight-line code,
+//   * input traffic becomes "structured havocs" — per-step, per-slot
+//     integer havoc variables appended under a havoced arrival count,
+//   * buffers become seq<int> (buffer arrays become seq<seq<int>>),
+//   * lists become seq<int> with pop/push as slicing/concatenation,
+//   * monitors become ghost variables.
+//
+// Dafny itself is not executed in this repository (see DESIGN.md §1): the
+// identical unrolled/inlined encoding is discharged through Z3, which is
+// also what Dafny's own pipeline bottoms out in.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace buffy::backends {
+
+struct DafnyOptions {
+  /// Number of unrolled time steps.
+  int horizon = 4;
+  /// Arrival slots havoced per input buffer per step.
+  int maxArrivalsPerStep = 2;
+  /// Which program parameters receive havoc traffic (inputs).
+  std::vector<std::string> inputParams;
+  /// Field used as the packet payload in the seq<int> representation.
+  std::string payloadField = "val";
+  /// Extra assume lines (already in Dafny syntax) injected after arrivals
+  /// of each step; "%t" is replaced by the step index (workload
+  /// assumptions, FPerf-style).
+  std::vector<std::string> stepAssumes;
+  /// Final assert line (the query), in Dafny syntax.
+  std::string finalAssert;
+};
+
+/// Renders the program (must be inlined; loops may remain and are emitted
+/// as unrolled iterations) as a self-contained Dafny method.
+[[nodiscard]] std::string emitDafny(const lang::Program& prog,
+                                    const DafnyOptions& options);
+
+}  // namespace buffy::backends

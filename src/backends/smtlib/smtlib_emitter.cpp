@@ -1,0 +1,161 @@
+#include "backends/smtlib/smtlib_emitter.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace buffy::backends {
+
+namespace {
+
+const char* opName(ir::TermKind kind) {
+  switch (kind) {
+    case ir::TermKind::Add: return "+";
+    case ir::TermKind::Sub: return "-";
+    case ir::TermKind::Mul: return "*";
+    case ir::TermKind::Div: return "div";
+    case ir::TermKind::Mod: return "mod";
+    case ir::TermKind::Neg: return "-";
+    case ir::TermKind::Eq: return "=";
+    case ir::TermKind::Lt: return "<";
+    case ir::TermKind::Le: return "<=";
+    case ir::TermKind::And: return "and";
+    case ir::TermKind::Or: return "or";
+    case ir::TermKind::Not: return "not";
+    case ir::TermKind::Implies: return "=>";
+    case ir::TermKind::Ite: return "ite";
+    default: return nullptr;
+  }
+}
+
+/// SMT-LIB symbols with '#'/'.'/'[' need quoting; quote everything
+/// non-trivial for safety.
+std::string quoteSymbol(const std::string& name) {
+  bool simple = !name.empty();
+  for (const char c : name) {
+    if ((std::isalnum(static_cast<unsigned char>(c)) == 0) && c != '_' &&
+        c != '-') {
+      simple = false;
+      break;
+    }
+  }
+  if (simple && (std::isdigit(static_cast<unsigned char>(name[0])) == 0)) {
+    return name;
+  }
+  return "|" + name + "|";
+}
+
+class Emitter {
+ public:
+  explicit Emitter(const SmtLibOptions& options) : options_(options) {}
+
+  std::string run(std::span<const ir::TermRef> constraints) {
+    for (const ir::TermRef c : constraints) {
+      if (c->sort != ir::Sort::Bool) {
+        throw BackendError("smtlib: constraint is not boolean");
+      }
+      countRefs(c);
+    }
+
+    std::string out;
+    if (!options_.comment.empty()) {
+      for (const auto& line : split(options_.comment, '\n')) {
+        out += "; " + line + "\n";
+      }
+    }
+    if (!options_.logic.empty()) {
+      out += "(set-logic " + options_.logic + ")\n";
+    }
+
+    // Declarations for every variable reachable from the constraints.
+    for (const ir::TermRef v : varsInOrder_) {
+      out += "(declare-const " + quoteSymbol(v->name) +
+             (v->sort == ir::Sort::Int ? " Int)\n" : " Bool)\n");
+    }
+
+    // Shared definitions + assertions.
+    for (const ir::TermRef c : constraints) {
+      out += body_;  // definitions discovered while rendering previous
+      body_.clear();
+      const std::string rendered = render(c);
+      out += body_;
+      body_.clear();
+      out += "(assert " + rendered + ")\n";
+    }
+
+    if (options_.checkSat) out += "(check-sat)\n";
+    if (options_.getModel) out += "(get-model)\n";
+    return out;
+  }
+
+ private:
+  void countRefs(ir::TermRef root) {
+    std::vector<ir::TermRef> stack{root};
+    while (!stack.empty()) {
+      const ir::TermRef t = stack.back();
+      stack.pop_back();
+      const auto [it, inserted] = refs_.try_emplace(t, 0);
+      ++it->second;
+      if (!inserted) continue;
+      if (t->kind == ir::TermKind::Var) varsInOrder_.push_back(t);
+      for (const ir::TermRef arg : t->args) stack.push_back(arg);
+    }
+  }
+
+  /// Renders a term; nodes with fan-out > 1 become define-fun bindings
+  /// (appended to body_) and are referenced by name.
+  std::string render(ir::TermRef t) {
+    switch (t->kind) {
+      case ir::TermKind::ConstInt:
+        return t->value < 0 ? "(- " + std::to_string(-t->value) + ")"
+                            : std::to_string(t->value);
+      case ir::TermKind::ConstBool:
+        return t->value != 0 ? "true" : "false";
+      case ir::TermKind::Var:
+        return quoteSymbol(t->name);
+      default:
+        break;
+    }
+    const auto named = names_.find(t);
+    if (named != names_.end()) return named->second;
+
+    std::string inner = "(";
+    inner += opName(t->kind);
+    for (const ir::TermRef arg : t->args) {
+      inner += ' ';
+      inner += render(arg);
+    }
+    inner += ')';
+
+    if (refs_.at(t) > 1) {
+      // Definitional naming (declare + assert equality) rather than
+      // define-fun: SMT-LIB parsers expand define-fun macros eagerly, which
+      // blows nested shared terms up exponentially at parse time.
+      const std::string name = "$t" + std::to_string(t->id);
+      body_ += "(declare-const " + name +
+               (t->sort == ir::Sort::Int ? " Int)\n" : " Bool)\n");
+      body_ += "(assert (= " + name + " " + inner + "))\n";
+      names_.emplace(t, name);
+      return name;
+    }
+    return inner;
+  }
+
+  const SmtLibOptions& options_;
+  std::unordered_map<const ir::Term*, std::size_t> refs_;
+  std::unordered_map<const ir::Term*, std::string> names_;
+  std::vector<ir::TermRef> varsInOrder_;
+  std::string body_;
+};
+
+}  // namespace
+
+std::string emitSmtLib(std::span<const ir::TermRef> constraints,
+                       const SmtLibOptions& options) {
+  return Emitter(options).run(constraints);
+}
+
+}  // namespace buffy::backends

@@ -1,0 +1,30 @@
+// SMT-LIB2 backend: renders a constraint set in the standard SMT-LIB
+// format (paper §4, "the SMT problem can be written in the standard SMT-LIB
+// format supported by different SMT solvers"). Shared DAG nodes with
+// fan-out > 1 are emitted as define-fun bindings so the text stays linear
+// in the DAG size.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "ir/term.hpp"
+
+namespace buffy::backends {
+
+struct SmtLibOptions {
+  /// Emit (check-sat) at the end.
+  bool checkSat = true;
+  /// Emit (get-model) after (check-sat).
+  bool getModel = false;
+  /// Set-logic header; empty omits it.
+  std::string logic = "QF_LIA";
+  /// Optional banner comment lines (each emitted with "; " prefix).
+  std::string comment;
+};
+
+/// Renders the conjunction of `constraints` as a complete SMT-LIB2 script.
+[[nodiscard]] std::string emitSmtLib(std::span<const ir::TermRef> constraints,
+                                     const SmtLibOptions& options = {});
+
+}  // namespace buffy::backends

@@ -1,0 +1,99 @@
+#include "backends/z3/z3_backend.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include <z3++.h>
+
+#include "backends/z3/z3_lowering.hpp"
+#include "support/error.hpp"
+
+namespace buffy::backends {
+
+struct Z3Backend::Impl {
+  z3::context ctx;
+
+  /// Memoized lowering shared with the CHC backend.
+  z3::expr lower(ir::TermRef root,
+                 std::unordered_map<const ir::Term*, z3::expr>& memo) {
+    return lowerTerm(ctx, root, memo);
+  }
+
+  static SolveResult runSolver(z3::solver& solver,
+                               std::optional<unsigned> timeoutMs) {
+    if (timeoutMs) {
+      z3::params params(solver.ctx());
+      params.set("timeout", *timeoutMs);
+      solver.set(params);
+    }
+    SolveResult result;
+    const auto start = std::chrono::steady_clock::now();
+    const z3::check_result status = solver.check();
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    switch (status) {
+      case z3::sat: {
+        result.status = SolveStatus::Sat;
+        const z3::model model = solver.get_model();
+        for (unsigned i = 0; i < model.num_consts(); ++i) {
+          const z3::func_decl decl = model.get_const_decl(i);
+          const z3::expr value = model.get_const_interp(decl);
+          const std::string name = decl.name().str();
+          if (value.is_numeral()) {
+            std::int64_t v = 0;
+            if (value.is_numeral_i64(v)) result.model[name] = v;
+          } else if (value.is_bool()) {
+            result.model[name] = value.is_true() ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case z3::unsat:
+        result.status = SolveStatus::Unsat;
+        break;
+      case z3::unknown:
+        result.status = SolveStatus::Unknown;
+        result.reason = solver.reason_unknown();
+        break;
+    }
+    return result;
+  }
+};
+
+Z3Backend::Z3Backend() : impl_(std::make_unique<Impl>()) {}
+Z3Backend::~Z3Backend() = default;
+
+SolveResult Z3Backend::check(std::span<const ir::TermRef> constraints,
+                             std::optional<unsigned> timeoutMs) {
+  try {
+    z3::solver solver(impl_->ctx);
+    std::unordered_map<const ir::Term*, z3::expr> memo;
+    for (const ir::TermRef c : constraints) {
+      if (c->sort != ir::Sort::Bool) {
+        throw BackendError("constraint is not boolean");
+      }
+      solver.add(impl_->lower(c, memo));
+    }
+    return Impl::runSolver(solver, timeoutMs);
+  } catch (const z3::exception& e) {
+    throw BackendError(std::string("z3: ") + e.msg());
+  }
+}
+
+SolveResult Z3Backend::checkSmtLib(const std::string& smtlib,
+                                   std::optional<unsigned> timeoutMs) {
+  try {
+    z3::solver solver(impl_->ctx);
+    const z3::expr_vector assertions =
+        impl_->ctx.parse_string(smtlib.c_str());
+    for (unsigned i = 0; i < assertions.size(); ++i) {
+      solver.add(assertions[i]);
+    }
+    return Impl::runSolver(solver, timeoutMs);
+  } catch (const z3::exception& e) {
+    throw BackendError(std::string("z3 (smtlib parse): ") + e.msg());
+  }
+}
+
+}  // namespace buffy::backends

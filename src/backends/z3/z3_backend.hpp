@@ -1,0 +1,51 @@
+// Z3 backend: lowers the solver-agnostic term IR to Z3 expressions through
+// the native Z3 C++ API (the paper's primary backend, §4) and runs
+// satisfiability / verification queries.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "ir/term.hpp"
+#include "ir/term_eval.hpp"
+
+namespace buffy::backends {
+
+enum class SolveStatus { Sat, Unsat, Unknown };
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::Unknown;
+  /// Variable assignment extracted from the model (Sat only). Variables the
+  /// solver left unconstrained are omitted (treated as 0 downstream).
+  ir::Assignment model;
+  /// Wall-clock seconds spent inside the solver.
+  double seconds = 0.0;
+  /// Z3's reason when status == Unknown (e.g. "timeout").
+  std::string reason;
+};
+
+class Z3Backend {
+ public:
+  Z3Backend();
+  ~Z3Backend();
+  Z3Backend(const Z3Backend&) = delete;
+  Z3Backend& operator=(const Z3Backend&) = delete;
+
+  /// Checks satisfiability of the conjunction of `constraints`.
+  SolveResult check(std::span<const ir::TermRef> constraints,
+                    std::optional<unsigned> timeoutMs = std::nullopt);
+
+  /// Parses SMT-LIB2 text (e.g. from the smtlib backend) and checks it —
+  /// the emission/reparse path of the backend-comparison ablation.
+  SolveResult checkSmtLib(const std::string& smtlib,
+                          std::optional<unsigned> timeoutMs = std::nullopt);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace buffy::backends

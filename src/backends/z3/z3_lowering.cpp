@@ -1,0 +1,67 @@
+#include "backends/z3/z3_lowering.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace buffy::backends {
+
+z3::expr lowerTerm(z3::context& ctx, ir::TermRef root,
+                   std::unordered_map<const ir::Term*, z3::expr>& memo) {
+  std::vector<ir::TermRef> stack{root};
+  while (!stack.empty()) {
+    const ir::TermRef t = stack.back();
+    if (memo.find(t) != memo.end()) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const ir::TermRef arg : t->args) {
+      if (memo.find(arg) == memo.end()) {
+        stack.push_back(arg);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+
+    auto arg = [&](std::size_t i) -> z3::expr { return memo.at(t->args[i]); };
+    std::optional<z3::expr> e;
+    switch (t->kind) {
+      case ir::TermKind::ConstInt:
+        e = ctx.int_val(static_cast<std::int64_t>(t->value));
+        break;
+      case ir::TermKind::ConstBool:
+        e = ctx.bool_val(t->value != 0);
+        break;
+      case ir::TermKind::Var:
+        e = t->sort == ir::Sort::Int ? ctx.int_const(t->name.c_str())
+                                     : ctx.bool_const(t->name.c_str());
+        break;
+      case ir::TermKind::Add: e = arg(0) + arg(1); break;
+      case ir::TermKind::Sub: e = arg(0) - arg(1); break;
+      case ir::TermKind::Mul: e = arg(0) * arg(1); break;
+      case ir::TermKind::Div:
+        e = z3::ite(arg(1) == 0, ctx.int_val(0), arg(0) / arg(1));
+        break;
+      case ir::TermKind::Mod:
+        e = z3::ite(arg(1) == 0, ctx.int_val(0), z3::mod(arg(0), arg(1)));
+        break;
+      case ir::TermKind::Neg: e = -arg(0); break;
+      case ir::TermKind::Eq: e = arg(0) == arg(1); break;
+      case ir::TermKind::Lt: e = arg(0) < arg(1); break;
+      case ir::TermKind::Le: e = arg(0) <= arg(1); break;
+      case ir::TermKind::And: e = arg(0) && arg(1); break;
+      case ir::TermKind::Or: e = arg(0) || arg(1); break;
+      case ir::TermKind::Not: e = !arg(0); break;
+      case ir::TermKind::Implies: e = z3::implies(arg(0), arg(1)); break;
+      case ir::TermKind::Ite: e = z3::ite(arg(0), arg(1), arg(2)); break;
+    }
+    if (!e) throw BackendError("z3 lowering: unhandled term kind");
+    memo.emplace(t, *e);
+  }
+  return memo.at(root);
+}
+
+}  // namespace buffy::backends

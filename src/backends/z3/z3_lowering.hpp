@@ -1,0 +1,20 @@
+// Shared lowering of the solver-agnostic term IR to Z3 expressions, used
+// by both the satisfiability backend (z3_backend) and the CHC/Spacer
+// backend (backends/chc).
+#pragma once
+
+#include <unordered_map>
+
+#include <z3++.h>
+
+#include "ir/term.hpp"
+
+namespace buffy::backends {
+
+/// Iterative (stack-safe), memoized lowering of a term DAG. Variables
+/// become Z3 constants of the matching sort; division/modulo are guarded
+/// so x/0 == 0 (matching the IR's folding).
+z3::expr lowerTerm(z3::context& ctx, ir::TermRef root,
+                   std::unordered_map<const ir::Term*, z3::expr>& memo);
+
+}  // namespace buffy::backends

@@ -1,0 +1,624 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "buffers/counter_model.hpp"
+#include "buffers/list_model.hpp"
+#include "ir/term_eval.hpp"
+#include "ir/term_printer.hpp"
+#include "lang/parser.hpp"
+#include "sem/passes.hpp"
+#include "support/error.hpp"
+#include "transform/transforms.hpp"
+
+namespace buffy::core {
+
+const char* verdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::Satisfiable: return "SATISFIABLE";
+    case Verdict::Unsatisfiable: return "UNSATISFIABLE";
+    case Verdict::Verified: return "VERIFIED";
+    case Verdict::Violated: return "VIOLATED";
+    case Verdict::Unknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string qname(const std::string& inst, const std::string& param,
+                  int idx = -1) {
+  std::string out = inst + "." + param;
+  if (idx >= 0) out += "." + std::to_string(idx);
+  return out;
+}
+
+struct CompiledInstance {
+  std::string name;
+  lang::Program program;
+  lang::TypecheckResult symbols;
+  std::vector<BufferSpec> buffers;
+  bool isContract = false;
+};
+
+/// Expands a buffer parameter into its (qualifiedName, spec, index) units.
+struct BufferUnit {
+  std::string qualified;
+  const BufferSpec* spec = nullptr;
+  std::string instance;
+  int index = -1;  // -1 for scalar buffer params
+};
+
+}  // namespace
+
+struct Analysis::Impl {
+  Network network;
+  AnalysisOptions options;
+  std::vector<CompiledInstance> instances;
+  Workload workload;
+  bool workloadLocked = false;
+  backends::Z3Backend solver;
+  std::unique_ptr<Encoding> encoding;
+
+  // Qualified names of connection endpoints.
+  std::set<std::string> connectedInputs;
+  std::set<std::string> connectedOutputs;
+
+  Impl(Network net, AnalysisOptions opts)
+      : network(std::move(net)), options(opts) {
+    if (options.horizon <= 0) {
+      throw AnalysisError("analysis horizon must be positive");
+    }
+    compileAll();
+    validateConnections();
+  }
+
+  // -------------------------------------------------------------------
+  // Compilation
+  // -------------------------------------------------------------------
+
+  void compileAll() {
+    std::set<std::string> names;
+    for (const auto& spec : network.instances()) {
+      CompiledInstance ci;
+      ci.program = lang::parse(spec.source);
+      ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
+      if (!names.insert(ci.name).second) {
+        throw AnalysisError("duplicate instance name '" + ci.name + "'");
+      }
+      ci.symbols = lang::checkOrThrow(ci.program, spec.compile);
+      ci.buffers = spec.buffers;
+      ci.isContract = network.contracts().count(ci.name) != 0;
+
+      // Validate buffer specs against the program's buffer parameters.
+      std::set<std::string> specNames;
+      for (const auto& b : ci.buffers) {
+        if (!specNames.insert(b.param).second) {
+          throw AnalysisError("duplicate BufferSpec for '" + b.param + "'");
+        }
+        const auto it = ci.symbols.paramTypes.find(b.param);
+        if (it == ci.symbols.paramTypes.end() || !it->second.isBufferLike()) {
+          throw AnalysisError("BufferSpec '" + b.param +
+                              "' does not match a buffer parameter of '" +
+                              ci.name + "'");
+        }
+      }
+      for (const auto& [param, type] : ci.symbols.paramTypes) {
+        if (type.isBufferLike() && specNames.count(param) == 0) {
+          throw AnalysisError("buffer parameter '" + param + "' of '" +
+                              ci.name + "' has no BufferSpec");
+        }
+      }
+
+      // Semantic passes.
+      sem::BufferRoles roles;
+      for (const auto& b : ci.buffers) {
+        if (b.role == BufferSpec::Role::Input) roles.inputs.insert(b.param);
+        if (b.role == BufferSpec::Role::Output) roles.outputs.insert(b.param);
+      }
+      DiagnosticEngine diag;
+      sem::checkWellFormed(ci.program, roles, diag);
+      sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
+      if (diag.hasErrors()) {
+        throw SemanticError("semantic checks failed for '" + ci.name +
+                            "':\n" + diag.renderAll());
+      }
+
+      // Paper §4 transformations.
+      transform::inlineFunctions(ci.program);
+      transform::foldConstants(ci.program);
+      if (options.unrollLoops) transform::unrollLoops(ci.program);
+      // Re-typecheck after transformation (defensive; also re-annotates).
+      DiagnosticEngine diag2;
+      const auto recheck =
+          lang::typecheck(ci.program, spec.compile, diag2);
+      if (!recheck.ok) {
+        throw SemanticError("internal: post-inline typecheck failed for '" +
+                            ci.name + "':\n" + diag2.renderAll());
+      }
+
+      instances.push_back(std::move(ci));
+    }
+    if (instances.empty()) {
+      throw AnalysisError("network has no program instances");
+    }
+  }
+
+  CompiledInstance& instanceByName(const std::string& name) {
+    for (auto& ci : instances) {
+      if (ci.name == name) return ci;
+    }
+    throw AnalysisError("unknown instance '" + name + "'");
+  }
+
+  const BufferSpec& specFor(const CompiledInstance& ci,
+                            const std::string& param) {
+    for (const auto& b : ci.buffers) {
+      if (b.param == param) return b;
+    }
+    throw AnalysisError("no BufferSpec for '" + param + "' in '" + ci.name +
+                        "'");
+  }
+
+  void validateConnections() {
+    for (const auto& conn : network.connections()) {
+      const auto& from = instanceByName(conn.fromInstance);
+      const auto& to = instanceByName(conn.toInstance);
+      const auto& fromSpec = specFor(from, conn.fromParam);
+      const auto& toSpec = specFor(to, conn.toParam);
+      if (fromSpec.role != BufferSpec::Role::Output) {
+        throw AnalysisError("connection source " +
+                            qname(conn.fromInstance, conn.fromParam) +
+                            " is not an output buffer");
+      }
+      if (toSpec.role != BufferSpec::Role::Input) {
+        throw AnalysisError("connection target " +
+                            qname(conn.toInstance, conn.toParam) +
+                            " is not an input buffer");
+      }
+      const std::string fromName =
+          qname(conn.fromInstance, conn.fromParam, conn.fromIndex);
+      const std::string toName =
+          qname(conn.toInstance, conn.toParam, conn.toIndex);
+      if (!connectedOutputs.insert(fromName).second) {
+        throw AnalysisError("output " + fromName + " connected twice");
+      }
+      if (!connectedInputs.insert(toName).second) {
+        throw AnalysisError("input " + toName + " connected twice");
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Encoding
+  // -------------------------------------------------------------------
+
+  std::vector<BufferUnit> bufferUnits(const CompiledInstance& ci) {
+    std::vector<BufferUnit> out;
+    for (const auto& b : ci.buffers) {
+      const lang::Type type = ci.symbols.paramTypes.at(b.param);
+      if (type.kind == lang::TypeKind::BufferArray) {
+        for (int i = 0; i < type.size; ++i) {
+          out.push_back(BufferUnit{qname(ci.name, b.param, i), &b, ci.name, i});
+        }
+      } else {
+        out.push_back(BufferUnit{qname(ci.name, b.param), &b, ci.name, -1});
+      }
+    }
+    return out;
+  }
+
+  void appendSeries(Encoding& enc, const std::string& name, int t,
+                    ir::TermRef term) {
+    auto& vec = enc.series[name];
+    if (static_cast<int>(vec.size()) != t) {
+      throw AnalysisError("internal: series '" + name +
+                          "' recorded out of order");
+    }
+    vec.push_back(term);
+  }
+
+  std::unique_ptr<Encoding> buildEncoding(const ConcreteArrivals* concrete) {
+    auto enc = std::make_unique<Encoding>();
+    enc->horizon = options.horizon;
+    ir::TermArena& arena = enc->arena;
+
+    // Register buffers.
+    for (const auto& ci : instances) {
+      for (const auto& unit : bufferUnits(ci)) {
+        buffers::BufferConfig cfg;
+        cfg.name = unit.qualified;
+        cfg.capacity = unit.spec->capacity;
+        cfg.schema = unit.spec->schema;
+        cfg.classField = unit.spec->classField;
+        cfg.classDomain = unit.spec->classDomain;
+        cfg.bytesPerPacket = unit.spec->bytesPerPacket;
+        const buffers::ModelKind kind =
+            unit.spec->modelOverride.value_or(options.model);
+        std::unique_ptr<buffers::SymBuffer> buf;
+        if (kind == buffers::ModelKind::Counter) {
+          buf = std::make_unique<buffers::CounterBuffer>(std::move(cfg), arena,
+                                                         &enc->assumptions);
+        } else {
+          buf = std::make_unique<buffers::ListBuffer>(std::move(cfg), arena);
+        }
+        if (options.symbolicInitialState) {
+          if (concrete != nullptr) {
+            throw AnalysisError(
+                "cannot simulate with a symbolic initial state");
+          }
+          buf->havocState(enc->assumptions);
+        }
+        enc->store.addBuffer(unit.qualified, std::move(buf));
+      }
+    }
+
+    // One evaluator per executable instance.
+    eval::EvalSinks sinks{&enc->assumptions, &enc->obligations,
+                          &enc->soundness};
+    std::map<std::string, std::unique_ptr<eval::Evaluator>> evaluators;
+    for (const auto& ci : instances) {
+      if (ci.isContract) continue;
+      evaluators.emplace(ci.name,
+                         std::make_unique<eval::Evaluator>(
+                             arena, enc->store, sinks, ci.name + "."));
+    }
+
+    for (int t = 0; t < options.horizon; ++t) {
+      // 1. External arrivals.
+      for (const auto& ci : instances) {
+        for (const auto& unit : bufferUnits(ci)) {
+          if (unit.spec->role != BufferSpec::Role::Input) continue;
+          if (connectedInputs.count(unit.qualified) != 0) continue;
+          emitArrivals(*enc, unit, t, concrete);
+        }
+      }
+
+      // 2. Run programs / contracts.
+      for (const auto& ci : instances) {
+        if (ci.isContract) {
+          contractStep(*enc, ci, t, concrete != nullptr);
+        } else {
+          evaluators.at(ci.name)->execStep(ci.program, t);
+        }
+      }
+
+      // 3. Record monitors.
+      for (const auto& ci : instances) {
+        if (ci.isContract) continue;
+        for (const auto& m : ci.symbols.monitors) {
+          const std::string name = ci.name + "." + m;
+          const eval::Value* v = enc->store.find(name);
+          if (v == nullptr) continue;  // declared behind a false branch
+          if (v->kind == eval::Value::Kind::Scalar) {
+            appendSeries(*enc, name, t, v->scalar);
+          } else if (v->kind == eval::Value::Kind::Array) {
+            for (std::size_t i = 0; i < v->array.size(); ++i) {
+              appendSeries(*enc, name + "." + std::to_string(i), t,
+                           v->array[i]);
+            }
+          }
+        }
+      }
+
+      // 4. Record buffer statistics.
+      for (const auto& name : enc->store.bufferNames()) {
+        const buffers::SymBuffer* buf = enc->store.buffer(name);
+        appendSeries(*enc, name + ".backlog", t, buf->backlogP());
+        appendSeries(*enc, name + ".dropped", t, buf->droppedP());
+      }
+
+      // 5. Connection flushes (visible at t+1; paper §3 composition).
+      for (const auto& conn : network.connections()) {
+        buffers::SymBuffer* from = enc->store.buffer(
+            qname(conn.fromInstance, conn.fromParam, conn.fromIndex));
+        buffers::SymBuffer* to = enc->store.buffer(
+            qname(conn.toInstance, conn.toParam, conn.toIndex));
+        buffers::PacketBatch batch = from->popAll();
+        appendSeries(*enc,
+                     qname(conn.fromInstance, conn.fromParam, conn.fromIndex) +
+                         ".out",
+                     t, batch.count(arena));
+        to->accept(batch, arena.trueTerm());
+      }
+
+      // 6. Drain unconnected outputs (the network egress).
+      for (const auto& ci : instances) {
+        for (const auto& unit : bufferUnits(ci)) {
+          if (unit.spec->role != BufferSpec::Role::Output) continue;
+          if (connectedOutputs.count(unit.qualified) != 0) continue;
+          buffers::SymBuffer* buf = enc->store.buffer(unit.qualified);
+          buffers::PacketBatch batch = buf->popAll();
+          appendSeries(*enc, unit.qualified + ".out", t, batch.count(arena));
+        }
+      }
+    }
+
+    // Contract invariants.
+    for (const auto& [instName, contract] : network.contracts()) {
+      if (!contract.invariants) continue;
+      const ContractView view(&enc->series, instName, options.horizon);
+      contract.invariants(view, arena, enc->assumptions);
+    }
+
+    // Workload assumptions (symbolic runs only).
+    if (concrete == nullptr) {
+      workload.apply(enc->arrivals(), arena, enc->assumptions);
+    }
+    return enc;
+  }
+
+  void emitArrivals(Encoding& enc, const BufferUnit& unit, int t,
+                    const ConcreteArrivals* concrete) {
+    ir::TermArena& arena = enc.arena;
+    const BufferSpec& spec = *unit.spec;
+    buffers::SymBuffer* buf = enc.store.buffer(unit.qualified);
+
+    ArrivalVars av;
+    buffers::PacketBatch batch;
+    if (concrete != nullptr) {
+      const auto it = concrete->find(unit.qualified);
+      const std::vector<ConcretePacket>* pkts = nullptr;
+      if (it != concrete->end() &&
+          t < static_cast<int>(it->second.size())) {
+        pkts = &it->second[static_cast<std::size_t>(t)];
+      }
+      const int n = pkts != nullptr ? static_cast<int>(pkts->size()) : 0;
+      av.count = arena.intConst(n);
+      for (int i = 0; i < n; ++i) {
+        std::map<std::string, ir::TermRef> fields;
+        for (const auto& field : spec.schema.fields) {
+          const auto& packet = (*pkts)[static_cast<std::size_t>(i)];
+          const auto fit = packet.find(field);
+          std::int64_t value = fit != packet.end() ? fit->second : 0;
+          if (field == buffers::BufferSchema::kBytesField &&
+              fit == packet.end()) {
+            value = 1;
+          }
+          fields[field] = arena.intConst(value);
+        }
+        av.slots.push_back(fields);
+        batch.slots.push_back(
+            buffers::PacketSlot{arena.trueTerm(), std::move(fields)});
+      }
+    } else {
+      const std::string stem = unit.qualified + ".t" + std::to_string(t);
+      av.count = arena.var(stem + ".n", ir::Sort::Int);
+      enc.assumptions.push_back(arena.le(arena.intConst(0), av.count));
+      enc.assumptions.push_back(
+          arena.le(av.count, arena.intConst(spec.maxArrivalsPerStep)));
+      for (int i = 0; i < spec.maxArrivalsPerStep; ++i) {
+        std::map<std::string, ir::TermRef> fields;
+        for (const auto& field : spec.schema.fields) {
+          const ir::TermRef v = arena.var(
+              stem + ".p" + std::to_string(i) + "." + field, ir::Sort::Int);
+          fields[field] = v;
+          if (field == buffers::BufferSchema::kBytesField) {
+            enc.assumptions.push_back(arena.le(arena.intConst(1), v));
+            enc.assumptions.push_back(
+                arena.le(v, arena.intConst(spec.maxPacketBytes)));
+          } else if (field == spec.classField && spec.classDomain > 0) {
+            enc.assumptions.push_back(arena.le(arena.intConst(0), v));
+            enc.assumptions.push_back(
+                arena.lt(v, arena.intConst(spec.classDomain)));
+          }
+        }
+        av.slots.push_back(fields);
+        batch.slots.push_back(buffers::PacketSlot{
+            arena.lt(arena.intConst(i), av.count), std::move(fields)});
+      }
+    }
+
+    buf->accept(batch, arena.trueTerm());
+    appendSeries(enc, unit.qualified + ".arrived", t, av.count);
+    for (std::size_t i = 0; i < av.slots.size(); ++i) {
+      for (const auto& [field, term] : av.slots[i]) {
+        appendSeries(enc,
+                     unit.qualified + ".in" + std::to_string(i) + "." + field,
+                     t, term);
+      }
+    }
+    enc.arrivalVars[unit.qualified].push_back(std::move(av));
+  }
+
+  void contractStep(Encoding& enc, const CompiledInstance& ci, int t,
+                    bool concrete) {
+    if (concrete) {
+      throw AnalysisError("cannot simulate a network containing contracts");
+    }
+    ir::TermArena& arena = enc.arena;
+    const Contract& contract = network.contracts().at(ci.name);
+    for (const auto& unit : bufferUnits(ci)) {
+      buffers::SymBuffer* buf = enc.store.buffer(unit.qualified);
+      if (unit.spec->role == BufferSpec::Role::Input) {
+        buffers::PacketBatch batch = buf->popAll();
+        appendSeries(enc, unit.qualified + ".consumed", t,
+                     batch.count(arena));
+      } else if (unit.spec->role == BufferSpec::Role::Output) {
+        const std::string stem =
+            unit.qualified + ".t" + std::to_string(t) + ".emit";
+        const ir::TermRef count = arena.var(stem + ".n", ir::Sort::Int);
+        enc.assumptions.push_back(arena.le(arena.intConst(0), count));
+        enc.assumptions.push_back(
+            arena.le(count, arena.intConst(contract.maxOutPerStep)));
+        buffers::PacketBatch batch;
+        for (int i = 0; i < contract.maxOutPerStep; ++i) {
+          std::map<std::string, ir::TermRef> fields;
+          for (const auto& field : unit.spec->schema.fields) {
+            const ir::TermRef v = arena.var(
+                stem + ".p" + std::to_string(i) + "." + field, ir::Sort::Int);
+            fields[field] = v;
+            if (field == buffers::BufferSchema::kBytesField) {
+              enc.assumptions.push_back(arena.le(arena.intConst(1), v));
+              enc.assumptions.push_back(
+                  arena.le(v, arena.intConst(unit.spec->maxPacketBytes)));
+            }
+          }
+          batch.slots.push_back(buffers::PacketSlot{
+              arena.lt(arena.intConst(i), count), std::move(fields)});
+        }
+        buf->accept(batch, arena.trueTerm());
+        appendSeries(enc, unit.qualified + ".emitted", t, count);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Solving
+  // -------------------------------------------------------------------
+
+  Encoding& ensureEncoding() {
+    if (!encoding) {
+      encoding = buildEncoding(nullptr);
+      workloadLocked = true;
+    }
+    return *encoding;
+  }
+
+  std::vector<ir::TermRef> constraintsFor(const Query& query, bool forVerify,
+                                          Encoding& enc) {
+    std::vector<ir::TermRef> cs = enc.assumptions;
+    cs.insert(cs.end(), enc.soundness.begin(), enc.soundness.end());
+    const ir::TermRef q = query.build(enc.seriesView(), enc.arena);
+    if (forVerify) {
+      ir::TermRef all = q;
+      for (const auto& obl : enc.obligations) {
+        all = enc.arena.mkAnd(all, obl.cond);
+      }
+      cs.push_back(enc.arena.mkNot(all));
+    } else {
+      cs.push_back(q);
+    }
+    return cs;
+  }
+
+  Trace traceFromModel(Encoding& enc, const ir::Assignment& model) {
+    Trace trace;
+    trace.horizon = enc.horizon;
+    for (const auto& [name, terms] : enc.series) {
+      std::vector<std::int64_t> values;
+      values.reserve(terms.size());
+      for (const ir::TermRef term : terms) {
+        values.push_back(ir::evalTerm(term, model));
+      }
+      trace.series[name] = std::move(values);
+    }
+    return trace;
+  }
+
+  AnalysisResult finish(Encoding& enc, const backends::SolveResult& sr,
+                        bool forVerify) {
+    AnalysisResult result;
+    result.solveSeconds = sr.seconds;
+    switch (sr.status) {
+      case backends::SolveStatus::Sat:
+        result.verdict = forVerify ? Verdict::Violated : Verdict::Satisfiable;
+        result.trace = traceFromModel(enc, sr.model);
+        break;
+      case backends::SolveStatus::Unsat:
+        result.verdict =
+            forVerify ? Verdict::Verified : Verdict::Unsatisfiable;
+        break;
+      case backends::SolveStatus::Unknown:
+        result.verdict = Verdict::Unknown;
+        result.detail = sr.reason;
+        break;
+    }
+    return result;
+  }
+};
+
+Analysis::Analysis(Network network, AnalysisOptions options)
+    : impl_(std::make_unique<Impl>(std::move(network), options)) {}
+
+Analysis::~Analysis() = default;
+
+void Analysis::setWorkload(Workload workload) {
+  if (impl_->workloadLocked) {
+    throw AnalysisError(
+        "setWorkload must be called before the encoding is built");
+  }
+  impl_->workload = std::move(workload);
+}
+
+AnalysisResult Analysis::check(const Query& query) {
+  Encoding& enc = impl_->ensureEncoding();
+  const auto cs = impl_->constraintsFor(query, false, enc);
+  return impl_->finish(enc, impl_->solver.check(cs, impl_->options.timeoutMs),
+                       false);
+}
+
+AnalysisResult Analysis::verify(const Query& query) {
+  Encoding& enc = impl_->ensureEncoding();
+  const auto cs = impl_->constraintsFor(query, true, enc);
+  return impl_->finish(enc, impl_->solver.check(cs, impl_->options.timeoutMs),
+                       true);
+}
+
+std::string Analysis::toSmtLib(const Query& query, bool forVerify,
+                               backends::SmtLibOptions options) {
+  Encoding& enc = impl_->ensureEncoding();
+  const auto cs = impl_->constraintsFor(query, forVerify, enc);
+  return backends::emitSmtLib(cs, options);
+}
+
+AnalysisResult Analysis::checkViaSmtLib(const Query& query) {
+  Encoding& enc = impl_->ensureEncoding();
+  const auto cs = impl_->constraintsFor(query, false, enc);
+  backends::SmtLibOptions opts;
+  opts.checkSat = false;  // the reparsing solver issues its own check
+  const std::string text = backends::emitSmtLib(cs, opts);
+  return impl_->finish(
+      enc, impl_->solver.checkSmtLib(text, impl_->options.timeoutMs), false);
+}
+
+Trace Analysis::simulate(const ConcreteArrivals& arrivals) {
+  const auto enc = impl_->buildEncoding(&arrivals);
+  Trace trace;
+  trace.horizon = enc->horizon;
+  for (const auto& [name, terms] : enc->series) {
+    std::vector<std::int64_t> values;
+    values.reserve(terms.size());
+    for (const ir::TermRef term : terms) {
+      const auto c = ir::constValue(term);
+      if (!c) {
+        throw AnalysisError(
+            "simulation produced a symbolic value for series '" + name +
+            "'; concrete simulation requires a deterministic model "
+            "configuration (list model, or counter model without classified "
+            "buffers)");
+      }
+      values.push_back(*c);
+    }
+    trace.series[name] = std::move(values);
+  }
+  return trace;
+}
+
+const Encoding& Analysis::encoding() { return impl_->ensureEncoding(); }
+
+std::vector<std::string> Analysis::inputBufferNames() const {
+  std::vector<std::string> out;
+  for (const auto& ci : impl_->instances) {
+    for (const auto& unit : impl_->bufferUnits(ci)) {
+      if (unit.spec->role == BufferSpec::Role::Input &&
+          impl_->connectedInputs.count(unit.qualified) == 0) {
+        out.push_back(unit.qualified);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Analysis::monitorNames() const {
+  std::vector<std::string> out;
+  for (const auto& ci : impl_->instances) {
+    for (const auto& m : ci.symbols.monitors) {
+      out.push_back(ci.name + "." + m);
+    }
+  }
+  return out;
+}
+
+}  // namespace buffy::core

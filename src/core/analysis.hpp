@@ -1,0 +1,140 @@
+// The analysis engine: compiles a Network of Buffy programs, unrolls it
+// over a bounded time horizon into the solver-agnostic term IR, and
+// dispatches performance queries to the back-ends.
+//
+// Two query disciplines (paper §4):
+//  * check(q)  — FPerf-style bug finding: is there an input traffic trace
+//                satisfying the assumptions under which q holds? (∃)
+//  * verify(q) — Dafny-style verification: does q (and every in-program
+//                assert) hold on all traces satisfying the assumptions? (∀,
+//                decided by unsatisfiability of the negation)
+//
+// Both return a concrete witness/counterexample Trace when the solver
+// produces a model.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "backends/smtlib/smtlib_emitter.hpp"
+#include "backends/z3/z3_backend.hpp"
+#include "core/network.hpp"
+#include "core/query.hpp"
+#include "core/trace.hpp"
+#include "core/workload.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/store.hpp"
+
+namespace buffy::core {
+
+struct AnalysisOptions {
+  /// Number of modeled time steps (T).
+  int horizon = 4;
+  /// Buffer model precision (paper §3: pluggable buffer models).
+  buffers::ModelKind model = buffers::ModelKind::List;
+  /// Solver timeout; nullopt disables it.
+  std::optional<unsigned> timeoutMs = 120000;
+  /// Also run the explicit loop unroller (§4) during compilation. The
+  /// evaluator iterates constant-bounded loops directly either way, so
+  /// this is semantically a no-op — it exists to exercise/compare the
+  /// transformation pipeline (and is what the Dafny emitter consumes).
+  bool unrollLoops = false;
+  /// Quantify over the initial queue contents instead of starting empty
+  /// (FPerf-style): every buffer begins with a havoced valid state (any
+  /// backlog within capacity, arbitrary contents, zero drop accounting).
+  /// Not available for concrete simulation.
+  bool symbolicInitialState = false;
+};
+
+/// The unrolled symbolic encoding of a network over the horizon.
+/// Owns the term arena; everything else points into it.
+class Encoding {
+ public:
+  Encoding() : store(arena) {}
+  Encoding(const Encoding&) = delete;
+  Encoding& operator=(const Encoding&) = delete;
+
+  ir::TermArena arena;
+  eval::Store store;
+  std::vector<ir::TermRef> assumptions;
+  std::vector<eval::Obligation> obligations;
+  std::vector<ir::TermRef> soundness;
+  std::map<std::string, std::vector<ArrivalVars>> arrivalVars;
+  std::map<std::string, std::vector<ir::TermRef>> series;
+  int horizon = 0;
+
+  [[nodiscard]] ArrivalView arrivals() const {
+    return ArrivalView(&arrivalVars, horizon);
+  }
+  [[nodiscard]] SeriesView seriesView() const {
+    return SeriesView(&series, horizon);
+  }
+};
+
+enum class Verdict {
+  Satisfiable,    // check(): witness trace found
+  Unsatisfiable,  // check(): no trace satisfies the query
+  Verified,       // verify(): property holds on all traces
+  Violated,       // verify(): counterexample found
+  Unknown,        // solver gave up (timeout etc.)
+};
+
+const char* verdictName(Verdict verdict);
+
+struct AnalysisResult {
+  Verdict verdict = Verdict::Unknown;
+  std::optional<Trace> trace;
+  double solveSeconds = 0.0;
+  std::string detail;
+
+  [[nodiscard]] bool sat() const { return verdict == Verdict::Satisfiable; }
+  [[nodiscard]] bool holds() const { return verdict == Verdict::Verified; }
+};
+
+/// Concrete traffic for simulation: qualified buffer name ->
+/// per-step list of packets (each a field->value map).
+using ConcretePacket = std::map<std::string, std::int64_t>;
+using ConcreteArrivals =
+    std::map<std::string, std::vector<std::vector<ConcretePacket>>>;
+
+class Analysis {
+ public:
+  Analysis(Network network, AnalysisOptions options);
+  ~Analysis();
+  Analysis(const Analysis&) = delete;
+  Analysis& operator=(const Analysis&) = delete;
+
+  /// Sets the traffic assumptions. Must be called before the first
+  /// check/verify (the encoding is built lazily and caches them).
+  void setWorkload(Workload workload);
+
+  /// FPerf-style: find a trace satisfying assumptions ∧ query.
+  AnalysisResult check(const Query& query);
+  /// Verification: do assumptions imply query ∧ all in-program asserts?
+  AnalysisResult verify(const Query& query);
+
+  /// The §4 SMT-LIB path: renders the (check or verify) problem as an
+  /// SMT-LIB2 script.
+  std::string toSmtLib(const Query& query, bool forVerify,
+                       backends::SmtLibOptions options = {});
+  /// Solves through emission + reparse (backend-comparison ablation).
+  AnalysisResult checkViaSmtLib(const Query& query);
+
+  /// Concrete simulation of the same compiled network on given arrivals.
+  /// Requires a deterministic model configuration (list model, or counter
+  /// model without classified buffers).
+  Trace simulate(const ConcreteArrivals& arrivals);
+
+  /// The lazily-built symbolic encoding (builds it on first use).
+  const Encoding& encoding();
+  /// Qualified names of the external input buffers (arrival targets).
+  [[nodiscard]] std::vector<std::string> inputBufferNames() const;
+  /// Qualified monitor series names.
+  [[nodiscard]] std::vector<std::string> monitorNames() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace buffy::core

@@ -1,0 +1,52 @@
+#include "core/network.hpp"
+
+#include "support/error.hpp"
+
+namespace buffy::core {
+
+ir::TermRef ContractView::lookup(const std::string& param, int index,
+                                 const char* suffix, int t) const {
+  if (t < 0 || t >= horizon_) {
+    throw AnalysisError("contract view: step out of range");
+  }
+  std::string name = instance_ + "." + param;
+  if (index >= 0) name += "." + std::to_string(index);
+  name += suffix;
+  const auto it = series_->find(name);
+  if (it == series_->end()) {
+    throw AnalysisError("contract view: no series '" + name + "'");
+  }
+  return it->second.at(static_cast<std::size_t>(t));
+}
+
+ir::TermRef ContractView::consumed(const std::string& param, int index,
+                                   int t) const {
+  return lookup(param, index, ".consumed", t);
+}
+
+ir::TermRef ContractView::emitted(const std::string& param, int index,
+                                  int t) const {
+  return lookup(param, index, ".emitted", t);
+}
+
+Network& Network::add(ProgramSpec spec) {
+  instances_.push_back(std::move(spec));
+  return *this;
+}
+
+Network& Network::connect(std::string fromInstance, std::string fromParam,
+                          int fromIndex, std::string toInstance,
+                          std::string toParam, int toIndex) {
+  connections_.push_back(Connection{std::move(fromInstance),
+                                    std::move(fromParam), fromIndex,
+                                    std::move(toInstance), std::move(toParam),
+                                    toIndex});
+  return *this;
+}
+
+Network& Network::useContract(const std::string& instance, Contract contract) {
+  contracts_[instance] = std::move(contract);
+  return *this;
+}
+
+}  // namespace buffy::core

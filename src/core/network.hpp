@@ -1,0 +1,140 @@
+// Buffer-connected composition of Buffy programs (paper §3 "Composition",
+// Figure 7): programs are instantiated with named buffers, and an output
+// buffer of one instance can be connected to an input buffer of another.
+// Semantically, at the end of each time step the contents of a connected
+// output are flushed into the paired input, becoming visible at the next
+// step.
+//
+// For modular analysis (§5), an instance can be replaced by a *contract*:
+// its outputs are havoced, constrained only by user-provided interface
+// invariants over its per-step consumed/emitted counts (the CCAC path
+// server is the canonical example).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "buffers/model.hpp"
+#include "ir/term.hpp"
+#include "lang/typecheck.hpp"
+
+namespace buffy::core {
+
+/// Role + model configuration for one buffer parameter of a program.
+struct BufferSpec {
+  enum class Role { Input, Output, Internal };
+
+  std::string param;
+  Role role = Role::Input;
+  /// Max packets held; beyond this, tail drop (accounted in .dropped).
+  int capacity = 8;
+  /// Packet fields tracked at list precision ("bytes" is the packet size).
+  buffers::BufferSchema schema;
+  /// Input role: bound on symbolic arrivals per step. Contract outputs:
+  /// bound on havoced emissions per step.
+  int maxArrivalsPerStep = 2;
+  /// Overrides the analysis-wide buffer model for this buffer only,
+  /// enabling mixed-precision analyses (e.g. list-precision inputs feeding
+  /// a counter-precision aggregate). Packet batches are
+  /// precision-agnostic, so any combination composes.
+  std::optional<buffers::ModelKind> modelOverride;
+  /// Counter model: per-class counting (see buffers::BufferConfig).
+  std::string classField;
+  int classDomain = 0;
+  int bytesPerPacket = 1;
+  /// Havoced "bytes" fields are constrained to [1, maxPacketBytes].
+  int maxPacketBytes = 64;
+};
+
+/// One program instance: Buffy source + compile-time bindings + buffer
+/// configuration.
+struct ProgramSpec {
+  /// Instance name (prefixes every variable/buffer); defaults to the
+  /// program's own name when empty.
+  std::string instance;
+  std::string source;
+  lang::CompileOptions compile;
+  std::vector<BufferSpec> buffers;
+};
+
+/// out(fromInstance.fromParam[fromIndex]) -> in(toInstance.toParam[toIndex]);
+/// index -1 for non-array buffer parameters.
+struct Connection {
+  std::string fromInstance;
+  std::string fromParam;
+  int fromIndex = -1;
+  std::string toInstance;
+  std::string toParam;
+  int toIndex = -1;
+};
+
+/// Per-step interface counters of a contract instance.
+class ContractView {
+ public:
+  ContractView(const std::map<std::string, std::vector<ir::TermRef>>* series,
+               std::string instance, int horizon)
+      : series_(series), instance_(std::move(instance)), horizon_(horizon) {}
+
+  [[nodiscard]] int horizon() const { return horizon_; }
+  /// Packets flushed into input `param` (index -1 for scalar) at step t.
+  [[nodiscard]] ir::TermRef consumed(const std::string& param, int index,
+                                     int t) const;
+  /// Packets emitted from output `param` at step t.
+  [[nodiscard]] ir::TermRef emitted(const std::string& param, int index,
+                                    int t) const;
+
+ private:
+  [[nodiscard]] ir::TermRef lookup(const std::string& param, int index,
+                                   const char* suffix, int t) const;
+  const std::map<std::string, std::vector<ir::TermRef>>* series_;
+  std::string instance_;
+  int horizon_;
+};
+
+/// Replacement of an instance by its interface specification.
+struct Contract {
+  /// Per-step bound on each output buffer's havoced emission count.
+  int maxOutPerStep = 4;
+  /// Emits the interface invariants (appended to the assumptions).
+  std::function<void(const ContractView&, ir::TermArena&,
+                     std::vector<ir::TermRef>&)>
+      invariants;
+};
+
+class Network {
+ public:
+  Network& add(ProgramSpec spec);
+  /// Connects an output buffer to an input buffer (indices -1 for
+  /// non-array parameters).
+  Network& connect(std::string fromInstance, std::string fromParam,
+                   int fromIndex, std::string toInstance, std::string toParam,
+                   int toIndex = -1);
+  Network& connect(std::string fromInstance, std::string fromParam,
+                   std::string toInstance, std::string toParam) {
+    return connect(std::move(fromInstance), std::move(fromParam), -1,
+                   std::move(toInstance), std::move(toParam), -1);
+  }
+  /// Replaces `instance` with a contract for modular analysis (§5).
+  Network& useContract(const std::string& instance, Contract contract);
+
+  [[nodiscard]] const std::vector<ProgramSpec>& instances() const {
+    return instances_;
+  }
+  [[nodiscard]] const std::vector<Connection>& connections() const {
+    return connections_;
+  }
+  [[nodiscard]] const std::map<std::string, Contract>& contracts() const {
+    return contracts_;
+  }
+
+ private:
+  std::vector<ProgramSpec> instances_;
+  std::vector<Connection> connections_;
+  std::map<std::string, Contract> contracts_;
+};
+
+}  // namespace buffy::core

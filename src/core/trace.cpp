@@ -1,0 +1,99 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace buffy::core {
+
+std::int64_t Trace::at(const std::string& name, int step) const {
+  const auto it = series.find(name);
+  if (it == series.end()) {
+    throw Error("trace has no series '" + name + "'");
+  }
+  if (step < 0 || step >= static_cast<int>(it->second.size())) {
+    throw Error("trace step " + std::to_string(step) + " out of range for '" +
+                name + "'");
+  }
+  return it->second[static_cast<std::size_t>(step)];
+}
+
+namespace {
+bool isHeadline(const std::string& name) {
+  auto endsWith = [&](std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           std::string_view(name).substr(name.size() - suffix.size()) ==
+               suffix;
+  };
+  if (endsWith(".backlog") || endsWith(".dropped") || endsWith(".arrived") ||
+      endsWith(".out") || endsWith(".consumed")) {
+    return true;
+  }
+  // Monitors and contract outputs: anything without a structural suffix
+  // and without per-slot markers.
+  return name.find(".in") == std::string::npos &&
+         name.find(".slot") == std::string::npos;
+}
+}  // namespace
+
+std::string Trace::render(bool full) const {
+  // Column widths: name column + one column per step.
+  std::vector<std::string> names;
+  for (const auto& [name, values] : series) {
+    if (full || isHeadline(name)) names.push_back(name);
+  }
+  std::size_t nameWidth = 4;
+  for (const auto& n : names) nameWidth = std::max(nameWidth, n.size());
+
+  std::string out = std::string(nameWidth, ' ') + " |";
+  for (int t = 0; t < horizon; ++t) {
+    std::string h = "t" + std::to_string(t);
+    out += " " + std::string(h.size() < 5 ? 5 - h.size() : 0, ' ') + h;
+  }
+  out += '\n';
+  out += std::string(nameWidth, '-') + "-+" +
+         std::string(static_cast<std::size_t>(horizon) * 6, '-') + "\n";
+  for (const auto& name : names) {
+    const auto& values = series.at(name);
+    out += name + std::string(nameWidth - name.size(), ' ') + " |";
+    for (const auto v : values) {
+      std::string s = std::to_string(v);
+      out += " " + std::string(s.size() < 5 ? 5 - s.size() : 0, ' ') + s;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Trace::toCsv() const {
+  std::string out = "series";
+  for (int t = 0; t < horizon; ++t) out += ",t" + std::to_string(t);
+  out += '\n';
+  for (const auto& [name, values] : series) {
+    out += name;
+    for (const auto v : values) out += "," + std::to_string(v);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Trace::toJson() const {
+  std::string out = "{\"horizon\": " + std::to_string(horizon) +
+                    ", \"series\": {";
+  bool firstSeries = true;
+  for (const auto& [name, values] : series) {
+    if (!firstSeries) out += ", ";
+    firstSeries = false;
+    out += "\"" + name + "\": [";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(values[i]);
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace buffy::core

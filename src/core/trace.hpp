@@ -1,0 +1,37 @@
+// Concrete execution traces: the witness/counterexample artifact every
+// analysis produces. A trace is a table of named per-step series values —
+// monitors, buffer statistics (backlog/dropped/arrived/out) and arrival
+// packet contents — extracted from a solver model or from a concrete
+// simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace buffy::core {
+
+struct Trace {
+  /// series name -> value per step (all series have `horizon` entries).
+  std::map<std::string, std::vector<std::int64_t>> series;
+  int horizon = 0;
+
+  /// Value of `name` at `step`. Throws buffy::Error if absent.
+  [[nodiscard]] std::int64_t at(const std::string& name, int step) const;
+  [[nodiscard]] bool has(const std::string& name) const {
+    return series.count(name) != 0;
+  }
+
+  /// Renders a compact table. By default only the headline series
+  /// (monitors, .arrived, .backlog, .dropped, .out) are shown; pass
+  /// full=true for everything (including per-slot packet fields).
+  [[nodiscard]] std::string render(bool full = false) const;
+
+  /// CSV export: header "series,t0,t1,..." then one row per series.
+  [[nodiscard]] std::string toCsv() const;
+  /// JSON export: {"horizon": T, "series": {"name": [v0, v1, ...], ...}}.
+  [[nodiscard]] std::string toJson() const;
+};
+
+}  // namespace buffy::core

@@ -1,0 +1,80 @@
+// Transition-system extraction (paper §4, "Back-end for model checkers":
+// "Buffy can transform the program into a transition system as the IR ...
+// we plan to translate a program into a system of Constrained Horn Clauses
+// (CHC), to explore the use of the Spacer tool").
+//
+// Where the bounded Analysis unrolls T steps from the empty initial state,
+// the TransitionBuilder executes ONE step from a fully symbolic pre-state:
+// every global, list, monitor, and buffer state element becomes a pre-state
+// variable, and the step's result expresses the post-state as terms over
+// the pre-state plus the step's inputs (arrival counts/fields, havocs).
+// The CHC backend (backends/chc) then asks Spacer for an inductive
+// invariant — verification over an UNBOUNDED time horizon, the paper's §7
+// answer to the Figure 6 scalability wall.
+//
+// Restrictions in CHC mode (checked, with clear errors):
+//  * global initializers must be compile-time constants,
+//  * no contract instances,
+//  * the default (and recommended) buffer model is the counter model —
+//    the list model works but yields much larger state vectors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/workload.hpp"
+#include "eval/store.hpp"
+#include "ir/term.hpp"
+
+namespace buffy::core {
+
+struct TransitionOptions {
+  buffers::ModelKind model = buffers::ModelKind::Counter;
+  /// Adds ghost cumulative counters per external input buffer
+  /// ("<buf>.arrivedTotal") and per unconnected output ("<buf>.outTotal"),
+  /// enabling conservation-style properties over unbounded horizons.
+  bool trackTotals = true;
+  /// Per-step traffic assumptions (interpreted at every step; the arrival
+  /// view it sees has horizon 1).
+  Workload stepWorkload;
+};
+
+/// The extracted relation. Owns the arena; every term lives in it.
+class TransitionSystem {
+ public:
+  TransitionSystem() = default;
+  TransitionSystem(const TransitionSystem&) = delete;
+  TransitionSystem& operator=(const TransitionSystem&) = delete;
+  TransitionSystem(TransitionSystem&&) = delete;
+
+  struct StateVar {
+    std::string name;    // e.g. "rr.next", "rr.ibs.0.pkts"
+    ir::Sort sort;
+    ir::TermRef pre;     // the pre-state variable
+    ir::TermRef post;    // post-state term over pre vars + step inputs
+    ir::TermRef init;    // constant initial value
+  };
+
+  ir::TermArena arena;
+  std::vector<StateVar> state;
+  /// Constraints that hold during every step (arrival bounds, in-program
+  /// assumes, model-soundness side conditions, workload rules). May
+  /// mention pre-state variables and step inputs.
+  std::vector<ir::TermRef> constraints;
+  /// In-program assert conditions (over pre-state + step inputs); safety
+  /// requires them at every step.
+  std::vector<ir::TermRef> obligations;
+  /// Step-input variables (arrival counts/fields, havocs, model
+  /// nondeterminism) — everything quantified per step besides the state.
+  std::vector<ir::TermRef> inputs;
+
+  [[nodiscard]] const StateVar* find(const std::string& name) const;
+};
+
+/// Builds the transition system of a (contract-free) network.
+/// Throws AnalysisError/SemanticError on unsupported constructs.
+std::unique_ptr<TransitionSystem> buildTransitionSystem(
+    const Network& network, const TransitionOptions& options = {});
+
+}  // namespace buffy::core

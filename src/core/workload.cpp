@@ -1,0 +1,128 @@
+#include "core/workload.hpp"
+
+#include "support/error.hpp"
+
+namespace buffy::core {
+
+std::vector<std::string> ArrivalView::buffers() const {
+  std::vector<std::string> out;
+  out.reserve(vars_->size());
+  for (const auto& [name, vars] : *vars_) out.push_back(name);
+  return out;
+}
+
+ir::TermRef ArrivalView::count(const std::string& buffer, int t) const {
+  const auto it = vars_->find(buffer);
+  if (it == vars_->end()) {
+    throw AnalysisError("no arrival variables for buffer '" + buffer +
+                        "' (is it an external input?)");
+  }
+  if (t < 0 || t >= static_cast<int>(it->second.size())) {
+    throw AnalysisError("arrival step out of range for '" + buffer + "'");
+  }
+  return it->second[static_cast<std::size_t>(t)].count;
+}
+
+int ArrivalView::slotCount(const std::string& buffer, int t) const {
+  const auto it = vars_->find(buffer);
+  if (it == vars_->end() || t < 0 ||
+      t >= static_cast<int>(it->second.size())) {
+    throw AnalysisError("arrival slot query out of range for '" + buffer +
+                        "'");
+  }
+  return static_cast<int>(it->second[static_cast<std::size_t>(t)].slots.size());
+}
+
+ir::TermRef ArrivalView::field(const std::string& buffer, int t, int slot,
+                               const std::string& field) const {
+  const auto it = vars_->find(buffer);
+  if (it == vars_->end()) {
+    throw AnalysisError("no arrival variables for buffer '" + buffer + "'");
+  }
+  const auto& step = it->second.at(static_cast<std::size_t>(t));
+  const auto& fields = step.slots.at(static_cast<std::size_t>(slot));
+  const auto fit = fields.find(field);
+  if (fit == fields.end()) {
+    throw AnalysisError("arrival packets of '" + buffer +
+                        "' have no field '" + field + "'");
+  }
+  return fit->second;
+}
+
+Workload& Workload::add(WorkloadRule rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+void Workload::apply(const ArrivalView& view, ir::TermArena& arena,
+                     std::vector<ir::TermRef>& out) const {
+  for (const auto& rule : rules_) rule(view, arena, out);
+}
+
+WorkloadRule Workload::perStepCount(std::string buffer, std::int64_t lo,
+                                    std::int64_t hi) {
+  return [buffer = std::move(buffer), lo, hi](const ArrivalView& view,
+                                              ir::TermArena& arena,
+                                              std::vector<ir::TermRef>& out) {
+    for (int t = 0; t < view.horizon(); ++t) {
+      const ir::TermRef c = view.count(buffer, t);
+      out.push_back(arena.le(arena.intConst(lo), c));
+      out.push_back(arena.le(c, arena.intConst(hi)));
+    }
+  };
+}
+
+WorkloadRule Workload::countAtStep(std::string buffer, int t, std::int64_t lo,
+                                   std::int64_t hi) {
+  return [buffer = std::move(buffer), t, lo, hi](
+             const ArrivalView& view, ir::TermArena& arena,
+             std::vector<ir::TermRef>& out) {
+    const ir::TermRef c = view.count(buffer, t);
+    out.push_back(arena.le(arena.intConst(lo), c));
+    out.push_back(arena.le(c, arena.intConst(hi)));
+  };
+}
+
+WorkloadRule Workload::totalCount(std::string buffer, std::int64_t lo,
+                                  std::int64_t hi) {
+  return [buffer = std::move(buffer), lo, hi](const ArrivalView& view,
+                                              ir::TermArena& arena,
+                                              std::vector<ir::TermRef>& out) {
+    ir::TermRef total = arena.intConst(0);
+    for (int t = 0; t < view.horizon(); ++t) {
+      total = arena.add(total, view.count(buffer, t));
+    }
+    out.push_back(arena.le(arena.intConst(lo), total));
+    out.push_back(arena.le(total, arena.intConst(hi)));
+  };
+}
+
+WorkloadRule Workload::fieldRange(std::string buffer, std::string field,
+                                  std::int64_t lo, std::int64_t hi) {
+  return [buffer = std::move(buffer), field = std::move(field), lo, hi](
+             const ArrivalView& view, ir::TermArena& arena,
+             std::vector<ir::TermRef>& out) {
+    for (int t = 0; t < view.horizon(); ++t) {
+      for (int i = 0; i < view.slotCount(buffer, t); ++i) {
+        const ir::TermRef f = view.field(buffer, t, i, field);
+        out.push_back(arena.le(arena.intConst(lo), f));
+        out.push_back(arena.le(f, arena.intConst(hi)));
+      }
+    }
+  };
+}
+
+WorkloadRule Workload::aggregatePerStepAtMost(std::int64_t hi) {
+  return [hi](const ArrivalView& view, ir::TermArena& arena,
+              std::vector<ir::TermRef>& out) {
+    for (int t = 0; t < view.horizon(); ++t) {
+      ir::TermRef total = arena.intConst(0);
+      for (const auto& buffer : view.buffers()) {
+        total = arena.add(total, view.count(buffer, t));
+      }
+      out.push_back(arena.le(total, arena.intConst(hi)));
+    }
+  };
+}
+
+}  // namespace buffy::core

@@ -1,0 +1,84 @@
+// Workload specifications: assumptions on the symbolic input traffic (the
+// paper's "assumptions about input traffic patterns", §3). A Workload is a
+// set of rules; each rule sees the arrival variables the encoder created
+// (per input buffer, per step: a count and per-slot packet fields) and
+// emits constraint terms.
+//
+// FPerf-style synthesized workloads (src/synth) produce exactly these rules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/term.hpp"
+
+namespace buffy::core {
+
+/// Arrival variables of one input buffer at one step.
+struct ArrivalVars {
+  ir::TermRef count = nullptr;
+  /// slots[i][field] — contents of the i-th arriving packet (valid iff
+  /// i < count).
+  std::vector<std::map<std::string, ir::TermRef>> slots;
+};
+
+/// Read-only view over all arrival variables of an encoding.
+class ArrivalView {
+ public:
+  ArrivalView(const std::map<std::string, std::vector<ArrivalVars>>* vars,
+              int horizon)
+      : vars_(vars), horizon_(horizon) {}
+
+  [[nodiscard]] int horizon() const { return horizon_; }
+  [[nodiscard]] std::vector<std::string> buffers() const;
+  [[nodiscard]] bool hasBuffer(const std::string& name) const {
+    return vars_->count(name) != 0;
+  }
+  /// Arrival count of `buffer` at step `t`.
+  [[nodiscard]] ir::TermRef count(const std::string& buffer, int t) const;
+  /// Field of the i-th arrival slot of `buffer` at step `t`.
+  [[nodiscard]] ir::TermRef field(const std::string& buffer, int t, int slot,
+                                  const std::string& field) const;
+  [[nodiscard]] int slotCount(const std::string& buffer, int t) const;
+
+ private:
+  const std::map<std::string, std::vector<ArrivalVars>>* vars_;
+  int horizon_;
+};
+
+/// A rule appends constraints over the arrival variables.
+using WorkloadRule = std::function<void(const ArrivalView&, ir::TermArena&,
+                                        std::vector<ir::TermRef>&)>;
+
+class Workload {
+ public:
+  Workload& add(WorkloadRule rule);
+  void apply(const ArrivalView& view, ir::TermArena& arena,
+             std::vector<ir::TermRef>& out) const;
+  [[nodiscard]] std::size_t ruleCount() const { return rules_.size(); }
+
+  // ---- convenience rule builders ----
+  /// lo <= count(buffer, t) <= hi for every step t.
+  static WorkloadRule perStepCount(std::string buffer, std::int64_t lo,
+                                   std::int64_t hi);
+  /// lo <= count(buffer, t) <= hi for one specific step.
+  static WorkloadRule countAtStep(std::string buffer, int t, std::int64_t lo,
+                                  std::int64_t hi);
+  /// lo <= sum over all steps of count(buffer, t) <= hi.
+  static WorkloadRule totalCount(std::string buffer, std::int64_t lo,
+                                 std::int64_t hi);
+  /// lo <= field value <= hi for every slot of every step.
+  static WorkloadRule fieldRange(std::string buffer, std::string field,
+                                 std::int64_t lo, std::int64_t hi);
+  /// Sum of per-step counts across *all* input buffers <= hi per step
+  /// (aggregate link-rate style assumption).
+  static WorkloadRule aggregatePerStepAtMost(std::int64_t hi);
+
+ private:
+  std::vector<WorkloadRule> rules_;
+};
+
+}  // namespace buffy::core

@@ -1,0 +1,502 @@
+#include "eval/evaluator.hpp"
+
+#include "ir/term_printer.hpp"
+#include "support/error.hpp"
+
+namespace buffy::eval {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::StmtKind;
+using lang::Type;
+using lang::TypeKind;
+
+Evaluator::Evaluator(ir::TermArena& arena, Store& store, EvalSinks sinks,
+                     std::string prefix)
+    : arena_(arena), store_(&store), sinks_(sinks), prefix_(std::move(prefix)) {
+  if (sinks_.assumptions == nullptr || sinks_.obligations == nullptr ||
+      sinks_.soundness == nullptr) {
+    throw AnalysisError("evaluator sinks must be non-null");
+  }
+  path_ = arena_.trueTerm();
+}
+
+std::string Evaluator::bufferStoreName(const std::string& param,
+                                       int index) const {
+  if (index < 0) return prefix_ + param;
+  return prefix_ + param + "." + std::to_string(index);
+}
+
+void Evaluator::execStep(const lang::Program& prog, int step) {
+  step_ = step;
+  path_ = arena_.trueTerm();
+  bufferArraySizes_.clear();
+  paramTypes_.clear();
+  for (const auto& p : prog.params) {
+    paramTypes_[p.name] = p.type;
+    if (p.type.kind == TypeKind::BufferArray) {
+      bufferArraySizes_[p.name] = p.type.size;
+    }
+  }
+  store_->clearLocals();
+  store_->pushScope();
+  execBlock(*prog.body);
+  store_->popScope();
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Evaluator::execBlock(const lang::BlockStmt& block) {
+  store_->pushScope();
+  for (const auto& stmt : block.stmts) execStmt(*stmt);
+  store_->popScope();
+}
+
+void Evaluator::execStmt(const lang::Stmt& stmt) {
+  switch (stmt.stmtKind) {
+    case StmtKind::Block:
+      execBlock(static_cast<const lang::BlockStmt&>(stmt));
+      break;
+    case StmtKind::Decl:
+      execDecl(static_cast<const lang::DeclStmt&>(stmt));
+      break;
+    case StmtKind::Assign:
+      execAssign(static_cast<const lang::AssignStmt&>(stmt));
+      break;
+    case StmtKind::If:
+      execIf(static_cast<const lang::IfStmt&>(stmt));
+      break;
+    case StmtKind::For:
+      execFor(static_cast<const lang::ForStmt&>(stmt));
+      break;
+    case StmtKind::Move:
+      execMove(static_cast<const lang::MoveStmt&>(stmt));
+      break;
+    case StmtKind::ListPush: {
+      const auto& s = static_cast<const lang::ListPushStmt&>(stmt);
+      const ir::TermRef value = evalExpr(*s.value);
+      SymList& list = findList(s.list, s.loc);
+      list.pushBack(value, arena_.trueTerm());
+      sinks_.soundness->push_back(
+          arena_.implies(path_, arena_.mkNot(list.overflowedTerm())));
+      break;
+    }
+    case StmtKind::PopFront: {
+      const auto& s = static_cast<const lang::PopFrontStmt&>(stmt);
+      SymList& list = findList(s.list, s.loc);
+      const ir::TermRef popped = list.popFront(arena_.trueTerm());
+      Value* target = store_->find(qualify(s.target));
+      if (target == nullptr || target->kind != Value::Kind::Scalar) {
+        throw AnalysisError("pop_front target '" + s.target +
+                                "' is not a scalar variable",
+                            s.loc);
+      }
+      target->scalar = popped;
+      break;
+    }
+    case StmtKind::Assert: {
+      const auto& s = static_cast<const lang::AssertStmt&>(stmt);
+      sinks_.obligations->push_back(Obligation{
+          arena_.implies(path_, evalExpr(*s.cond)), s.loc,
+          "assert at " + s.loc.str()});
+      break;
+    }
+    case StmtKind::Assume: {
+      const auto& s = static_cast<const lang::AssumeStmt&>(stmt);
+      sinks_.assumptions->push_back(
+          arena_.implies(path_, evalExpr(*s.cond)));
+      break;
+    }
+    case StmtKind::Return:
+      throw AnalysisError(
+          "return in program body (only allowed in def functions; run the "
+          "inliner before evaluation)",
+          stmt.loc);
+    case StmtKind::ExprStmt: {
+      const auto& s = static_cast<const lang::ExprStmt&>(stmt);
+      if (s.expr->exprKind == ExprKind::Call) {
+        throw AnalysisError(
+            "call to user function survives to evaluation; run the inliner "
+            "first",
+            s.loc);
+      }
+      evalExpr(*s.expr);
+      break;
+    }
+  }
+}
+
+Value Evaluator::defaultValue(const Type& type, const std::string& name) const {
+  switch (type.kind) {
+    case TypeKind::Int:
+      return Value::makeScalar(arena_.intConst(0));
+    case TypeKind::Bool:
+      return Value::makeScalar(arena_.falseTerm());
+    case TypeKind::IntArray:
+      return Value::makeArray(std::vector<ir::TermRef>(
+          static_cast<std::size_t>(type.size), arena_.intConst(0)));
+    case TypeKind::BoolArray:
+      return Value::makeArray(std::vector<ir::TermRef>(
+          static_cast<std::size_t>(type.size), arena_.falseTerm()));
+    case TypeKind::List:
+      return Value::makeList(SymList(name, type.size, arena_));
+    default:
+      throw AnalysisError("cannot build a value of type " + type.str());
+  }
+}
+
+void Evaluator::execDecl(const lang::DeclStmt& decl) {
+  const std::string name = qualify(decl.name);
+  if (decl.storage == lang::Storage::Havoc) {
+    // A fresh nondeterministic value every execution (paper §6: havoc
+    // variables, constrained by subsequent assume statements).
+    const ir::Sort sort = decl.declType.kind == lang::TypeKind::Bool
+                              ? ir::Sort::Bool
+                              : ir::Sort::Int;
+    store_->declareLocal(name,
+                         Value::makeScalar(arena_.freshVar(name, sort)));
+    return;
+  }
+  const bool persistent = decl.storage != lang::Storage::Local;
+  if (persistent) {
+    if (step_ > 0 || store_->hasGlobal(name)) return;  // persists across steps
+    Value v = defaultValue(decl.declType, name);
+    if (decl.init) v.scalar = evalExpr(*decl.init);
+    store_->defineGlobal(name, std::move(v),
+                         decl.storage == lang::Storage::Monitor);
+    return;
+  }
+  Value v = defaultValue(decl.declType, name);
+  if (decl.init) v.scalar = evalExpr(*decl.init);
+  store_->declareLocal(name, std::move(v));
+}
+
+void Evaluator::execAssign(const lang::AssignStmt& stmt) {
+  const ir::TermRef value = evalExpr(*stmt.value);
+  Value* target = store_->find(qualify(stmt.target));
+  if (target == nullptr) {
+    throw AnalysisError("assignment to unknown variable '" + stmt.target + "'",
+                        stmt.loc);
+  }
+  if (stmt.index == nullptr) {
+    if (target->kind != Value::Kind::Scalar) {
+      throw AnalysisError("cannot assign whole aggregate '" + stmt.target +
+                              "'",
+                          stmt.loc);
+    }
+    target->scalar = value;
+    return;
+  }
+  if (target->kind != Value::Kind::Array) {
+    throw AnalysisError("indexed assignment to non-array '" + stmt.target +
+                            "'",
+                        stmt.loc);
+  }
+  const ir::TermRef index = evalExpr(*stmt.index);
+  const int n = static_cast<int>(target->array.size());
+  if (const auto c = ir::constValue(index)) {
+    if (*c < 0 || *c >= n) {
+      throw AnalysisError("index " + std::to_string(*c) +
+                              " out of bounds for '" + stmt.target + "' (size " +
+                              std::to_string(n) + ")",
+                          stmt.loc);
+    }
+    target->array[static_cast<std::size_t>(*c)] = value;
+    return;
+  }
+  // Symbolic index: conditional write to every slot; out-of-range indices
+  // are a no-op.
+  for (int i = 0; i < n; ++i) {
+    target->array[static_cast<std::size_t>(i)] =
+        arena_.ite(arena_.eq(index, arena_.intConst(i)), value,
+                   target->array[static_cast<std::size_t>(i)]);
+  }
+}
+
+void Evaluator::execIf(const lang::IfStmt& stmt) {
+  const ir::TermRef cond = evalExpr(*stmt.cond);
+  if (cond->isTrue()) {
+    execBlock(*stmt.thenBlock);
+    return;
+  }
+  if (cond->isFalse()) {
+    if (stmt.elseBlock) execBlock(*stmt.elseBlock);
+    return;
+  }
+
+  const ir::TermRef pathIn = path_;
+  Store snapshot = *store_;  // deep copy
+
+  path_ = arena_.mkAnd(pathIn, cond);
+  execBlock(*stmt.thenBlock);
+  Store thenStore = std::move(*store_);
+
+  *store_ = std::move(snapshot);
+  path_ = arena_.mkAnd(pathIn, arena_.mkNot(cond));
+  if (stmt.elseBlock) execBlock(*stmt.elseBlock);
+
+  thenStore.mergeElse(cond, *store_);
+  *store_ = std::move(thenStore);
+  path_ = pathIn;
+}
+
+std::int64_t Evaluator::requireConst(const Expr& expr, const char* what) {
+  const ir::TermRef term = evalExpr(expr);
+  const auto c = ir::constValue(term);
+  if (!c) {
+    throw AnalysisError(std::string(what) +
+                            " must be a compile-time constant (got symbolic "
+                            "term " +
+                            ir::toSExpr(term) + ")",
+                        expr.loc);
+  }
+  return *c;
+}
+
+void Evaluator::execFor(const lang::ForStmt& stmt) {
+  const std::int64_t lo = requireConst(*stmt.lo, "loop lower bound");
+  const std::int64_t hi = requireConst(*stmt.hi, "loop upper bound");
+  for (std::int64_t i = lo; i < hi; ++i) {
+    store_->pushScope();
+    store_->declareLocal(qualify(stmt.var),
+                         Value::makeScalar(arena_.intConst(i)));
+    execBlock(*stmt.body);
+    store_->popScope();
+  }
+}
+
+void Evaluator::execMove(const lang::MoveStmt& stmt) {
+  const ir::TermRef amount = evalExpr(*stmt.amount);
+  const auto srcChoices = evalBufferChoices(*stmt.src);
+  const auto dstChoices = evalBufferChoices(*stmt.dst);
+  for (const auto& src : srcChoices) {
+    if (src.filter) {
+      throw AnalysisError("move source cannot be a filtered view", stmt.loc);
+    }
+    for (const auto& dst : dstChoices) {
+      if (dst.filter) {
+        throw AnalysisError("move destination cannot be a filtered view",
+                            stmt.loc);
+      }
+      if (src.buf == dst.buf) {
+        // Symbolic selection may alias; a self-move is a no-op, so only
+        // reject it when it is unconditional.
+        if (src.cond->isTrue() && dst.cond->isTrue()) {
+          throw AnalysisError("move with identical source and destination",
+                              stmt.loc);
+        }
+        continue;
+      }
+      const ir::TermRef guard = arena_.mkAnd(src.cond, dst.cond);
+      if (stmt.packets) {
+        buffers::moveP(*src.buf, *dst.buf, amount, guard, arena_);
+      } else {
+        buffers::moveB(*src.buf, *dst.buf, amount, guard, arena_);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+SymList& Evaluator::findList(const std::string& name, SourceLoc loc) {
+  Value* v = store_->find(qualify(name));
+  if (v == nullptr || v->kind != Value::Kind::List) {
+    throw AnalysisError("'" + name + "' is not a list in the store", loc);
+  }
+  return v->asList();
+}
+
+std::vector<Evaluator::BufferChoice> Evaluator::evalBufferChoices(
+    const Expr& expr) {
+  switch (expr.exprKind) {
+    case ExprKind::VarRef: {
+      const auto& e = static_cast<const lang::VarRefExpr&>(expr);
+      buffers::SymBuffer* buf = store_->buffer(bufferStoreName(e.name));
+      if (buf == nullptr) {
+        throw AnalysisError("buffer '" + e.name + "' is not registered",
+                            e.loc);
+      }
+      return {BufferChoice{buf, arena_.trueTerm(), std::nullopt}};
+    }
+    case ExprKind::Index: {
+      const auto& e = static_cast<const lang::IndexExpr&>(expr);
+      const auto sizeIt = bufferArraySizes_.find(e.base);
+      if (sizeIt == bufferArraySizes_.end()) {
+        throw AnalysisError("'" + e.base + "' is not a buffer array", e.loc);
+      }
+      const int n = sizeIt->second;
+      const ir::TermRef index = evalExpr(*e.index);
+      std::vector<BufferChoice> choices;
+      if (const auto c = ir::constValue(index)) {
+        if (*c < 0 || *c >= n) {
+          throw AnalysisError("buffer index " + std::to_string(*c) +
+                                  " out of bounds for '" + e.base + "'",
+                              e.loc);
+        }
+        buffers::SymBuffer* buf = store_->buffer(
+            bufferStoreName(e.base, static_cast<int>(*c)));
+        if (buf == nullptr) {
+          throw AnalysisError("buffer '" + e.base + "[" + std::to_string(*c) +
+                                  "]' is not registered",
+                              e.loc);
+        }
+        choices.push_back({buf, arena_.trueTerm(), std::nullopt});
+        return choices;
+      }
+      // Symbolic buffer selection: one guarded choice per element.
+      for (int i = 0; i < n; ++i) {
+        buffers::SymBuffer* buf = store_->buffer(bufferStoreName(e.base, i));
+        if (buf == nullptr) {
+          throw AnalysisError("buffer '" + e.base + "[" + std::to_string(i) +
+                                  "]' is not registered",
+                              e.loc);
+        }
+        choices.push_back(
+            {buf, arena_.eq(index, arena_.intConst(i)), std::nullopt});
+      }
+      return choices;
+    }
+    case ExprKind::Filter: {
+      const auto& e = static_cast<const lang::FilterExpr&>(expr);
+      auto choices = evalBufferChoices(*e.base);
+      const ir::TermRef value = evalExpr(*e.value);
+      for (auto& choice : choices) {
+        if (choice.filter) {
+          throw AnalysisError("nested buffer filters are not supported",
+                              e.loc);
+        }
+        choice.filter = buffers::Filter{e.field, value};
+      }
+      return choices;
+    }
+    default:
+      throw AnalysisError("expression is not a buffer", expr.loc);
+  }
+}
+
+ir::TermRef Evaluator::evalBacklog(const lang::BacklogExpr& expr) {
+  const auto choices = evalBufferChoices(*expr.buffer);
+  // Out-of-range symbolic selection (e.g. head == -1) yields backlog 0.
+  ir::TermRef result = arena_.intConst(0);
+  for (const auto& choice : choices) {
+    ir::TermRef backlog = nullptr;
+    if (choice.filter) {
+      backlog = expr.packets ? choice.buf->backlogP(*choice.filter)
+                             : choice.buf->backlogB(*choice.filter);
+    } else {
+      backlog = expr.packets ? choice.buf->backlogP() : choice.buf->backlogB();
+    }
+    result = arena_.ite(choice.cond, backlog, result);
+  }
+  return result;
+}
+
+ir::TermRef Evaluator::evalExpr(const Expr& expr) {
+  switch (expr.exprKind) {
+    case ExprKind::IntLit:
+      return arena_.intConst(static_cast<const lang::IntLitExpr&>(expr).value);
+    case ExprKind::BoolLit:
+      return arena_.boolConst(static_cast<const lang::BoolLitExpr&>(expr).value);
+    case ExprKind::VarRef: {
+      const auto& e = static_cast<const lang::VarRefExpr&>(expr);
+      const Value* v = store_->find(qualify(e.name));
+      if (v == nullptr) {
+        throw AnalysisError("unknown variable '" + e.name + "'", e.loc);
+      }
+      if (v->kind != Value::Kind::Scalar) {
+        throw AnalysisError("'" + e.name + "' is not a scalar here", e.loc);
+      }
+      return v->scalar;
+    }
+    case ExprKind::Index: {
+      const auto& e = static_cast<const lang::IndexExpr&>(expr);
+      const Value* v = store_->find(qualify(e.base));
+      if (v == nullptr || v->kind != Value::Kind::Array) {
+        throw AnalysisError("'" + e.base + "' is not an array", e.loc);
+      }
+      const ir::TermRef index = evalExpr(*e.index);
+      const int n = static_cast<int>(v->array.size());
+      if (const auto c = ir::constValue(index)) {
+        if (*c < 0 || *c >= n) {
+          throw AnalysisError("index " + std::to_string(*c) +
+                                  " out of bounds for '" + e.base + "'",
+                              e.loc);
+        }
+        return v->array[static_cast<std::size_t>(*c)];
+      }
+      ir::TermRef result = arena_.intConst(0);
+      for (int i = 0; i < n; ++i) {
+        result = arena_.ite(arena_.eq(index, arena_.intConst(i)),
+                            v->array[static_cast<std::size_t>(i)], result);
+      }
+      return result;
+    }
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const lang::BinaryExpr&>(expr);
+      const ir::TermRef lhs = evalExpr(*e.lhs);
+      const ir::TermRef rhs = evalExpr(*e.rhs);
+      switch (e.op) {
+        case lang::BinaryOp::Add: return arena_.add(lhs, rhs);
+        case lang::BinaryOp::Sub: return arena_.sub(lhs, rhs);
+        case lang::BinaryOp::Mul: return arena_.mul(lhs, rhs);
+        case lang::BinaryOp::Div: return arena_.div(lhs, rhs);
+        case lang::BinaryOp::Mod: return arena_.mod(lhs, rhs);
+        case lang::BinaryOp::Eq: return arena_.eq(lhs, rhs);
+        case lang::BinaryOp::Ne: return arena_.ne(lhs, rhs);
+        case lang::BinaryOp::Lt: return arena_.lt(lhs, rhs);
+        case lang::BinaryOp::Le: return arena_.le(lhs, rhs);
+        case lang::BinaryOp::Gt: return arena_.gt(lhs, rhs);
+        case lang::BinaryOp::Ge: return arena_.ge(lhs, rhs);
+        case lang::BinaryOp::And: return arena_.mkAnd(lhs, rhs);
+        case lang::BinaryOp::Or: return arena_.mkOr(lhs, rhs);
+      }
+      throw AnalysisError("unknown binary operator", e.loc);
+    }
+    case ExprKind::Unary: {
+      const auto& e = static_cast<const lang::UnaryExpr&>(expr);
+      const ir::TermRef operand = evalExpr(*e.operand);
+      return e.op == lang::UnaryOp::Not ? arena_.mkNot(operand)
+                                        : arena_.neg(operand);
+    }
+    case ExprKind::Backlog:
+      return evalBacklog(static_cast<const lang::BacklogExpr&>(expr));
+    case ExprKind::Filter:
+      throw AnalysisError("filtered buffer used as a value", expr.loc);
+    case ExprKind::ListHas: {
+      const auto& e = static_cast<const lang::ListHasExpr&>(expr);
+      return findList(e.list, e.loc).hasTerm(evalExpr(*e.value));
+    }
+    case ExprKind::ListEmpty: {
+      const auto& e = static_cast<const lang::ListEmptyExpr&>(expr);
+      return findList(e.list, e.loc).emptyTerm();
+    }
+    case ExprKind::ListLen: {
+      const auto& e = static_cast<const lang::ListLenExpr&>(expr);
+      return findList(e.list, e.loc).lenTerm();
+    }
+    case ExprKind::Call: {
+      const auto& e = static_cast<const lang::CallExpr&>(expr);
+      if (e.callee == "min" || e.callee == "max") {
+        ir::TermRef acc = evalExpr(*e.args.at(0));
+        for (std::size_t i = 1; i < e.args.size(); ++i) {
+          const ir::TermRef next = evalExpr(*e.args[i]);
+          acc = e.callee == "min" ? arena_.min(acc, next)
+                                  : arena_.max(acc, next);
+        }
+        return acc;
+      }
+      throw AnalysisError("call to '" + e.callee +
+                              "' survives to evaluation; run the inliner "
+                              "first",
+                          e.loc);
+    }
+  }
+  throw AnalysisError("unknown expression kind", expr.loc);
+}
+
+}  // namespace buffy::eval

@@ -1,0 +1,105 @@
+// The symbolic evaluator: executes one time step of a (typechecked,
+// inlined) Buffy program over a symbolic Store, producing IR terms and
+// collecting assumptions, assertion obligations, and model-soundness side
+// conditions.
+//
+// Branching uses store snapshots merged with ite (the SSA/φ step of the
+// paper's §4 pipeline); bounded loops are iterated directly when their
+// bounds fold to constants (the explicit unroller in transform/ produces
+// the same result and is differentially tested against this).
+//
+// When every input term is constant, all state folds to constants — the
+// concrete interpreter backend reuses this evaluator unchanged.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/store.hpp"
+#include "ir/term.hpp"
+#include "lang/ast.hpp"
+
+namespace buffy::eval {
+
+/// A proof obligation produced by assert(E): `cond` must hold under the
+/// collected assumptions.
+struct Obligation {
+  ir::TermRef cond = nullptr;
+  SourceLoc loc{};
+  std::string label;
+};
+
+/// Output channels of an evaluation. All pointers must outlive the
+/// evaluator and be non-null.
+struct EvalSinks {
+  std::vector<ir::TermRef>* assumptions = nullptr;
+  std::vector<Obligation>* obligations = nullptr;
+  /// Conditions required for the model itself to be sound (e.g. no list
+  /// overflow). The analyzer asserts them as assumptions and can check
+  /// their reachability separately.
+  std::vector<ir::TermRef>* soundness = nullptr;
+};
+
+class Evaluator {
+ public:
+  /// `prefix` namespaces every global/local/buffer of this program instance
+  /// (e.g. "fq."); empty for single-program analyses.
+  Evaluator(ir::TermArena& arena, Store& store, EvalSinks sinks,
+            std::string prefix = "");
+
+  /// Executes one time step. Buffer parameters of `prog` must already be
+  /// registered in the store under bufferStoreName(). Global declarations
+  /// initialize at step 0 only; locals are fresh every step.
+  void execStep(const lang::Program& prog, int step);
+
+  /// The store name of a buffer parameter: prefix + param for scalars,
+  /// prefix + param + "." + i for array elements.
+  [[nodiscard]] std::string bufferStoreName(const std::string& param,
+                                            int index = -1) const;
+
+  /// Evaluates a standalone boolean/integer expression against the current
+  /// store (used by the query engine for in-store conditions).
+  [[nodiscard]] ir::TermRef evalExpr(const lang::Expr& expr);
+
+ private:
+  struct BufferChoice {
+    buffers::SymBuffer* buf = nullptr;
+    ir::TermRef cond = nullptr;
+    std::optional<buffers::Filter> filter;
+  };
+
+  void execBlock(const lang::BlockStmt& block);
+  void execStmt(const lang::Stmt& stmt);
+  void execDecl(const lang::DeclStmt& decl);
+  void execAssign(const lang::AssignStmt& stmt);
+  void execIf(const lang::IfStmt& stmt);
+  void execFor(const lang::ForStmt& stmt);
+  void execMove(const lang::MoveStmt& stmt);
+
+  [[nodiscard]] Value defaultValue(const lang::Type& type,
+                                   const std::string& name) const;
+  [[nodiscard]] std::vector<BufferChoice> evalBufferChoices(
+      const lang::Expr& expr);
+  [[nodiscard]] ir::TermRef evalBacklog(const lang::BacklogExpr& expr);
+  [[nodiscard]] SymList& findList(const std::string& name, SourceLoc loc);
+  [[nodiscard]] std::string qualify(const std::string& name) const {
+    return prefix_ + name;
+  }
+  [[nodiscard]] std::int64_t requireConst(const lang::Expr& expr,
+                                          const char* what);
+
+  ir::TermArena& arena_;
+  Store* store_;
+  EvalSinks sinks_;
+  std::string prefix_;
+  ir::TermRef path_;  // current path condition (for sinks only)
+  int step_ = 0;
+  /// Buffer-array parameter sizes, by parameter name.
+  std::map<std::string, int> bufferArraySizes_;
+  std::map<std::string, lang::Type> paramTypes_;
+};
+
+}  // namespace buffy::eval

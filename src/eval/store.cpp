@@ -1,0 +1,180 @@
+#include "eval/store.hpp"
+
+#include "support/error.hpp"
+
+namespace buffy::eval {
+
+Value Value::makeScalar(ir::TermRef t) {
+  Value v;
+  v.kind = Kind::Scalar;
+  v.scalar = t;
+  return v;
+}
+
+Value Value::makeArray(std::vector<ir::TermRef> elems) {
+  Value v;
+  v.kind = Kind::Array;
+  v.array = std::move(elems);
+  return v;
+}
+
+Value Value::makeList(SymList l) {
+  Value v;
+  v.kind = Kind::List;
+  v.list.push_back(std::move(l));
+  return v;
+}
+
+SymList& Value::asList() {
+  if (kind != Kind::List || list.empty()) {
+    throw AnalysisError("value is not a list");
+  }
+  return list.front();
+}
+
+const SymList& Value::asList() const {
+  if (kind != Kind::List || list.empty()) {
+    throw AnalysisError("value is not a list");
+  }
+  return list.front();
+}
+
+Store::Store(const Store& other)
+    : arena_(other.arena_),
+      globals_(other.globals_),
+      monitors_(other.monitors_),
+      bufferOrder_(other.bufferOrder_),
+      scopes_(other.scopes_) {
+  for (const auto& [name, buf] : other.buffers_) {
+    buffers_.emplace(name, buf->clone());
+  }
+}
+
+Store& Store::operator=(const Store& other) {
+  if (this == &other) return *this;
+  arena_ = other.arena_;
+  globals_ = other.globals_;
+  monitors_ = other.monitors_;
+  bufferOrder_ = other.bufferOrder_;
+  scopes_ = other.scopes_;
+  buffers_.clear();
+  for (const auto& [name, buf] : other.buffers_) {
+    buffers_.emplace(name, buf->clone());
+  }
+  return *this;
+}
+
+void Store::defineGlobal(const std::string& name, Value v, bool monitor) {
+  if (globals_.count(name) != 0) {
+    throw AnalysisError("global '" + name + "' already defined");
+  }
+  globals_.emplace(name, std::move(v));
+  if (monitor) monitors_.insert(name);
+}
+
+bool Store::hasGlobal(const std::string& name) const {
+  return globals_.count(name) != 0;
+}
+
+void Store::addBuffer(const std::string& name,
+                      std::unique_ptr<buffers::SymBuffer> buffer) {
+  if (buffers_.count(name) != 0) {
+    throw AnalysisError("buffer '" + name + "' already defined");
+  }
+  buffers_.emplace(name, std::move(buffer));
+  bufferOrder_.push_back(name);
+}
+
+buffers::SymBuffer* Store::buffer(const std::string& name) {
+  const auto it = buffers_.find(name);
+  return it != buffers_.end() ? it->second.get() : nullptr;
+}
+
+const buffers::SymBuffer* Store::buffer(const std::string& name) const {
+  const auto it = buffers_.find(name);
+  return it != buffers_.end() ? it->second.get() : nullptr;
+}
+
+void Store::pushScope() { scopes_.emplace_back(); }
+
+void Store::popScope() {
+  if (scopes_.empty()) throw AnalysisError("popScope on empty scope stack");
+  scopes_.pop_back();
+}
+
+void Store::declareLocal(const std::string& name, Value v) {
+  if (scopes_.empty()) throw AnalysisError("local declared outside any scope");
+  if (scopes_.back().count(name) != 0) {
+    throw AnalysisError("local '" + name + "' already declared in scope");
+  }
+  scopes_.back().emplace(name, std::move(v));
+}
+
+void Store::clearLocals() { scopes_.clear(); }
+
+Value* Store::find(const std::string& name) {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    const auto found = it->find(name);
+    if (found != it->end()) return &found->second;
+  }
+  const auto found = globals_.find(name);
+  return found != globals_.end() ? &found->second : nullptr;
+}
+
+const Value* Store::find(const std::string& name) const {
+  return const_cast<Store*>(this)->find(name);
+}
+
+void Store::mergeValue(ir::TermArena& arena, ir::TermRef cond, Value& mine,
+                       const Value& theirs, const std::string& name) {
+  if (mine.kind != theirs.kind) {
+    throw AnalysisError("merge shape mismatch for '" + name + "'");
+  }
+  switch (mine.kind) {
+    case Value::Kind::Scalar:
+      mine.scalar = arena.ite(cond, mine.scalar, theirs.scalar);
+      break;
+    case Value::Kind::Array:
+      if (mine.array.size() != theirs.array.size()) {
+        throw AnalysisError("merge arity mismatch for '" + name + "'");
+      }
+      for (std::size_t i = 0; i < mine.array.size(); ++i) {
+        mine.array[i] = arena.ite(cond, mine.array[i], theirs.array[i]);
+      }
+      break;
+    case Value::Kind::List:
+      mine.asList().mergeElse(cond, theirs.asList());
+      break;
+  }
+}
+
+void Store::mergeElse(ir::TermRef cond, const Store& other) {
+  if (scopes_.size() != other.scopes_.size()) {
+    throw AnalysisError("merge on stores with different scope depth");
+  }
+  for (auto& [name, value] : globals_) {
+    const auto it = other.globals_.find(name);
+    if (it == other.globals_.end()) {
+      throw AnalysisError("merge: global '" + name + "' missing in branch");
+    }
+    mergeValue(*arena_, cond, value, it->second, name);
+  }
+  for (std::size_t s = 0; s < scopes_.size(); ++s) {
+    for (auto& [name, value] : scopes_[s]) {
+      const auto it = other.scopes_[s].find(name);
+      if (it == other.scopes_[s].end()) {
+        throw AnalysisError("merge: local '" + name + "' missing in branch");
+      }
+      mergeValue(*arena_, cond, value, it->second, name);
+    }
+  }
+  for (auto& [name, buf] : buffers_) {
+    const auto it = other.buffers_.find(name);
+    if (it == other.buffers_.end()) {
+      throw AnalysisError("merge: buffer '" + name + "' missing in branch");
+    }
+    buf->mergeElse(cond, *it->second);
+  }
+}
+
+}  // namespace buffy::eval

@@ -1,0 +1,96 @@
+// The symbolic store: maps program variables to IR terms, lists, and
+// symbolic buffers. Supports deep cloning and ite-merging, which is how the
+// evaluator encodes conditionals (clone both branch stores, merge with the
+// branch condition) — the SSA/φ-node step of the paper's §4 pipeline.
+//
+// Two layers:
+//  * a persistent layer (globals, monitors, buffers) that survives across
+//    time steps and across program instances in a composition;
+//  * a scoped local layer reset at every time step.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "buffers/model.hpp"
+#include "eval/sym_list.hpp"
+#include "ir/term.hpp"
+
+namespace buffy::eval {
+
+/// A scalar, array, or list value in the store.
+struct Value {
+  enum class Kind { Scalar, Array, List };
+  Kind kind = Kind::Scalar;
+  ir::TermRef scalar = nullptr;
+  std::vector<ir::TermRef> array;
+  std::vector<SymList> list;  // 0 or 1 elements (SymList lacks default ctor)
+
+  static Value makeScalar(ir::TermRef t);
+  static Value makeArray(std::vector<ir::TermRef> elems);
+  static Value makeList(SymList l);
+
+  [[nodiscard]] SymList& asList();
+  [[nodiscard]] const SymList& asList() const;
+};
+
+class Store {
+ public:
+  explicit Store(ir::TermArena& arena) : arena_(&arena) {}
+
+  // Deep-copying (clones buffers); used for branch snapshots.
+  Store(const Store& other);
+  Store& operator=(const Store& other);
+  Store(Store&&) = default;
+  Store& operator=(Store&&) = default;
+
+  [[nodiscard]] ir::TermArena& arena() const { return *arena_; }
+
+  // --- persistent layer ---
+  void defineGlobal(const std::string& name, Value v, bool monitor = false);
+  [[nodiscard]] bool hasGlobal(const std::string& name) const;
+  [[nodiscard]] const std::set<std::string>& monitors() const {
+    return monitors_;
+  }
+  void addBuffer(const std::string& name,
+                 std::unique_ptr<buffers::SymBuffer> buffer);
+  [[nodiscard]] buffers::SymBuffer* buffer(const std::string& name);
+  [[nodiscard]] const buffers::SymBuffer* buffer(
+      const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& bufferNames() const {
+    return bufferOrder_;
+  }
+
+  // --- scoped local layer ---
+  void pushScope();
+  void popScope();
+  /// Declares in the innermost scope. Throws on redeclaration in that scope.
+  void declareLocal(const std::string& name, Value v);
+  /// Drops all local scopes (between time steps).
+  void clearLocals();
+  [[nodiscard]] std::size_t scopeDepth() const { return scopes_.size(); }
+
+  /// Innermost-scope-first lookup, falling back to globals. Null if absent.
+  [[nodiscard]] Value* find(const std::string& name);
+  [[nodiscard]] const Value* find(const std::string& name) const;
+
+  /// Makes this store ite(cond, *this, other). Both stores must have the
+  /// same shape (they come from clones of one snapshot).
+  void mergeElse(ir::TermRef cond, const Store& other);
+
+ private:
+  static void mergeValue(ir::TermArena& arena, ir::TermRef cond, Value& mine,
+                         const Value& theirs, const std::string& name);
+
+  ir::TermArena* arena_;
+  std::map<std::string, Value> globals_;
+  std::set<std::string> monitors_;
+  std::map<std::string, std::unique_ptr<buffers::SymBuffer>> buffers_;
+  std::vector<std::string> bufferOrder_;
+  std::vector<std::map<std::string, Value>> scopes_;
+};
+
+}  // namespace buffy::eval

@@ -1,0 +1,91 @@
+#include "eval/sym_list.hpp"
+
+#include "support/error.hpp"
+
+namespace buffy::eval {
+
+SymList::SymList(std::string name, int capacity, ir::TermArena& arena)
+    : name_(std::move(name)), arena_(&arena) {
+  if (capacity <= 0) {
+    throw AnalysisError("list '" + name_ + "' must have positive capacity");
+  }
+  len_ = arena_->intConst(0);
+  overflowed_ = arena_->falseTerm();
+  elems_.assign(static_cast<std::size_t>(capacity), arena_->intConst(0));
+}
+
+ir::TermRef SymList::emptyTerm() const {
+  return arena_->eq(len_, arena_->intConst(0));
+}
+
+ir::TermRef SymList::hasTerm(ir::TermRef v) const {
+  ir::TermRef found = arena_->falseTerm();
+  for (int j = 0; j < capacity(); ++j) {
+    found = arena_->mkOr(
+        found, arena_->mkAnd(arena_->lt(arena_->intConst(j), len_),
+                             arena_->eq(elems_[static_cast<std::size_t>(j)], v)));
+  }
+  return found;
+}
+
+void SymList::pushBack(ir::TermRef v, ir::TermRef guard) {
+  const ir::TermRef hasRoom =
+      arena_->lt(len_, arena_->intConst(capacity()));
+  const ir::TermRef doPush = arena_->mkAnd(guard, hasRoom);
+  for (int j = 0; j < capacity(); ++j) {
+    elems_[static_cast<std::size_t>(j)] = arena_->ite(
+        arena_->mkAnd(doPush, arena_->eq(len_, arena_->intConst(j))), v,
+        elems_[static_cast<std::size_t>(j)]);
+  }
+  len_ = arena_->ite(doPush, arena_->add(len_, arena_->intConst(1)), len_);
+  overflowed_ = arena_->mkOr(
+      overflowed_, arena_->mkAnd(guard, arena_->mkNot(hasRoom)));
+}
+
+ir::TermRef SymList::popFront(ir::TermRef guard) {
+  const ir::TermRef nonEmpty = arena_->lt(arena_->intConst(0), len_);
+  const ir::TermRef doPop = arena_->mkAnd(guard, nonEmpty);
+  const ir::TermRef value =
+      arena_->ite(doPop, elems_[0], arena_->intConst(-1));
+  for (int j = 0; j + 1 < capacity(); ++j) {
+    elems_[static_cast<std::size_t>(j)] =
+        arena_->ite(doPop, elems_[static_cast<std::size_t>(j) + 1],
+                    elems_[static_cast<std::size_t>(j)]);
+  }
+  len_ = arena_->ite(doPop, arena_->sub(len_, arena_->intConst(1)), len_);
+  return value;
+}
+
+void SymList::mergeElse(ir::TermRef cond, const SymList& other) {
+  if (other.capacity() != capacity()) {
+    throw AnalysisError("merging lists of different capacity ('" + name_ +
+                        "')");
+  }
+  len_ = arena_->ite(cond, len_, other.len_);
+  overflowed_ = arena_->ite(cond, overflowed_, other.overflowed_);
+  for (std::size_t j = 0; j < elems_.size(); ++j) {
+    elems_[j] = arena_->ite(cond, elems_[j], other.elems_[j]);
+  }
+}
+
+void SymList::setState(ir::TermRef len, const std::vector<ir::TermRef>& elems,
+                       ir::TermRef overflowed) {
+  if (static_cast<int>(elems.size()) != capacity()) {
+    throw AnalysisError("setState arity mismatch for list '" + name_ + "'");
+  }
+  len_ = len;
+  elems_ = elems;
+  overflowed_ = overflowed;
+}
+
+std::vector<std::pair<std::string, ir::TermRef>> SymList::stateTerms() const {
+  std::vector<std::pair<std::string, ir::TermRef>> out;
+  out.emplace_back("len", len_);
+  for (int j = 0; j < capacity(); ++j) {
+    out.emplace_back("elem" + std::to_string(j),
+                     elems_[static_cast<std::size_t>(j)]);
+  }
+  return out;
+}
+
+}  // namespace buffy::eval

@@ -1,0 +1,66 @@
+// Symbolic bounded list of integers — the Buffy `list` type (the paper's
+// new_queues / old_queues pointer lists). All mutating operations take a
+// guard (path condition) and are no-ops when it is false.
+//
+// Popping an empty list yields the sentinel -1 and leaves the list empty
+// (Figure 4's convention). Pushing onto a full list drops the element and
+// raises the sticky `overflowed` flag, which the analyzer turns into a
+// model-soundness side condition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/term.hpp"
+
+namespace buffy::eval {
+
+class SymList {
+ public:
+  /// An empty list with the given capacity. `name` prefixes any diagnostic.
+  SymList(std::string name, int capacity, ir::TermArena& arena);
+
+  // Copyable: value semantics make branch snapshots trivial.
+  SymList(const SymList&) = default;
+  SymList& operator=(const SymList&) = default;
+
+  [[nodiscard]] int capacity() const {
+    return static_cast<int>(elems_.size());
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ir::TermRef lenTerm() const { return len_; }
+  [[nodiscard]] ir::TermRef emptyTerm() const;
+  [[nodiscard]] ir::TermRef hasTerm(ir::TermRef v) const;
+  /// Sticky flag: a push was ever dropped because the list was full.
+  [[nodiscard]] ir::TermRef overflowedTerm() const { return overflowed_; }
+  /// Element term at constant position i (meaningful when i < len).
+  [[nodiscard]] ir::TermRef elemAt(int i) const { return elems_.at(static_cast<std::size_t>(i)); }
+
+  /// Appends `v` when `guard` holds and there is room.
+  void pushBack(ir::TermRef v, ir::TermRef guard);
+  /// Pops the head when `guard` holds; returns the popped value
+  /// (-1 when the list was empty or the guard is false).
+  ir::TermRef popFront(ir::TermRef guard);
+
+  /// Makes this list ite(cond, *this, other).
+  void mergeElse(ir::TermRef cond, const SymList& other);
+
+  /// Replaces the symbolic state wholesale (transition-system builder:
+  /// starting a step from a symbolic pre-state). `elems` must have exactly
+  /// capacity() entries; `len` and elems are Int terms, `overflowed` Bool.
+  void setState(ir::TermRef len, const std::vector<ir::TermRef>& elems,
+                ir::TermRef overflowed);
+
+  /// Named state terms for traces: len + elements.
+  [[nodiscard]] std::vector<std::pair<std::string, ir::TermRef>> stateTerms()
+      const;
+
+ private:
+  std::string name_;
+  ir::TermArena* arena_;
+  ir::TermRef len_;
+  ir::TermRef overflowed_;
+  std::vector<ir::TermRef> elems_;
+};
+
+}  // namespace buffy::eval

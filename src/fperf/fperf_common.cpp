@@ -1,0 +1,25 @@
+#include "fperf/fperf_common.hpp"
+
+#include <fstream>
+
+#include "support/strings.hpp"
+
+namespace buffy::fperf {
+
+std::size_t countFileSpan(const char* file, int begin, int end) {
+  std::ifstream in(file);
+  if (!in) return 0;
+  std::string line;
+  int lineNo = 0;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (lineNo < begin || lineNo >= end) continue;
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || startsWith(trimmed, "//")) continue;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace buffy::fperf

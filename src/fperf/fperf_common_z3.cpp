@@ -1,0 +1,64 @@
+#include <chrono>
+
+#include "fperf/fperf_internal.hpp"
+
+namespace buffy::fperf::detail {
+
+Queues makeQueues(z3::context& ctx, z3::solver& solver, const Params& p) {
+  Queues q;
+  q.enq.resize(static_cast<std::size_t>(p.N));
+  for (int i = 0; i < p.N; ++i) {
+    for (int t = 0; t < p.T; ++t) {
+      const std::string name =
+          "enq_" + std::to_string(i) + "_" + std::to_string(t);
+      z3::expr e = ctx.int_const(name.c_str());
+      solver.add(e >= 0 && e <= p.maxEnq);
+      q.enq[static_cast<std::size_t>(i)].push_back(e);
+    }
+    q.len.push_back(ctx.int_val(0));
+    q.cdeq.push_back(ctx.int_val(0));
+  }
+  return q;
+}
+
+void applyWorkload(z3::solver& solver, const Queues& queues,
+                   std::span<const ArrivalBound> workload, const Params& p) {
+  for (const auto& bound : workload) {
+    for (int t = 0; t < p.T; ++t) {
+      if (bound.t != -1 && bound.t != t) continue;
+      const z3::expr& e =
+          queues.enq[static_cast<std::size_t>(bound.q)][static_cast<std::size_t>(t)];
+      solver.add(e >= static_cast<int>(bound.lo) &&
+                 e <= static_cast<int>(bound.hi));
+    }
+  }
+}
+
+z3::expr arrive(z3::context& ctx, const z3::expr& len, const z3::expr& enq,
+                int capacity) {
+  const z3::expr sum = len + enq;
+  return z3::ite(sum > capacity, ctx.int_val(capacity), sum);
+}
+
+CheckResult solveQuery(z3::context& ctx, z3::solver& solver,
+                       const Queues& queues, std::int64_t threshold) {
+  solver.add(queues.cdeq[0] >= ctx.int_val(static_cast<std::int64_t>(threshold)));
+  CheckResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const z3::check_result status = solver.check();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.sat = status == z3::sat;
+  if (result.sat) {
+    const z3::model model = solver.get_model();
+    for (const auto& c : queues.cdeq) {
+      std::int64_t v = 0;
+      model.eval(c, true).is_numeral_i64(v);
+      result.cdeq.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace buffy::fperf::detail

@@ -1,0 +1,203 @@
+// FPerf-style direct Z3 encoding of the buggy two-list fair-queuing
+// scheduler (cf. fperf's buggy_2l_rr_qm and the paper's Figure 1). In the
+// FPerf idiom, every state element — each queue length, each slot of the
+// new_queues/old_queues pointer lists, every scan decision — is a named
+// solver variable at every time step, defined by explicit constraints
+// enumerating all distinct scenarios. This is the style the paper
+// contrasts with the 18-line Buffy model of Figure 4.
+#include "fperf/fperf_internal.hpp"
+
+namespace buffy::fperf {
+
+namespace {
+
+std::string nm(const char* stem, int a, int b = -1, int c = -1) {
+  std::string out = std::string(stem) + "_" + std::to_string(a);
+  if (b >= 0) out += "_" + std::to_string(b);
+  if (c >= 0) out += "_" + std::to_string(c);
+  return out;
+}
+
+constexpr int kFqBegin = __LINE__ + 1;
+// State of the two pointer lists at one point in the scan: slot values and
+// a length, all as solver terms.
+struct ListState {
+  std::vector<z3::expr> slots;
+  z3::expr len;
+};
+
+// Defines a fresh integer constant constrained to equal `def`.
+z3::expr defineInt(z3::context& ctx, z3::solver& s, const std::string& name,
+                   const z3::expr& def) {
+  z3::expr v = ctx.int_const(name.c_str());
+  s.add(v == def);
+  return v;
+}
+
+z3::expr defineBool(z3::context& ctx, z3::solver& s, const std::string& name,
+                    const z3::expr& def) {
+  z3::expr v = ctx.bool_const(name.c_str());
+  s.add(v == def);
+  return v;
+}
+
+// Phase 1 of the scheduler: scan queues in index order; an active queue in
+// neither list is appended to new_queues. One constraint set per queue per
+// step ("for each time step and for each possible value", Figure 1).
+void encodeActivationScan(z3::context& ctx, z3::solver& s, int N, int t,
+                          const std::vector<z3::expr>& lenA, ListState& nq,
+                          const ListState& oq) {
+  for (int i = 0; i < N; ++i) {
+    const z3::expr active =
+        defineBool(ctx, s, nm("fq_active", i, t), lenA[static_cast<std::size_t>(i)] > 0);
+    z3::expr in_nq = ctx.bool_val(false);
+    z3::expr in_oq = ctx.bool_val(false);
+    for (int slot = 0; slot < N; ++slot) {
+      in_nq = in_nq || (nq.len > slot &&
+                        nq.slots[static_cast<std::size_t>(slot)] == i);
+      in_oq = in_oq || (oq.len > slot &&
+                        oq.slots[static_cast<std::size_t>(slot)] == i);
+    }
+    const z3::expr push = defineBool(ctx, s, nm("fq_push", i, t),
+                                     active && !in_nq && !in_oq);
+    ListState next{{}, ctx.int_val(0)};
+    for (int slot = 0; slot < N; ++slot) {
+      next.slots.push_back(defineInt(
+          ctx, s, nm("fq_nqv", i, slot, t),
+          z3::ite(push && nq.len == slot, ctx.int_val(i),
+                  nq.slots[static_cast<std::size_t>(slot)])));
+    }
+    next.len = defineInt(ctx, s, nm("fq_nqlen", i, t),
+                         nq.len + z3::ite(push, ctx.int_val(1), ctx.int_val(0)));
+    nq = next;
+  }
+}
+
+// Phase 2: the head of new_queues transmits if any, else the head of
+// old_queues; pop it from its list (element-wise shifts).
+z3::expr encodeHeadSelection(z3::context& ctx, z3::solver& s, int N, int t,
+                             ListState& nq, ListState& oq) {
+  const z3::expr from_new =
+      defineBool(ctx, s, nm("fq_fromnew", t), nq.len > 0);
+  const z3::expr from_old =
+      defineBool(ctx, s, nm("fq_fromold", t), !from_new && oq.len > 0);
+  const z3::expr head = defineInt(
+      ctx, s, nm("fq_head", t),
+      z3::ite(from_new, nq.slots[0],
+              z3::ite(from_old, oq.slots[0], ctx.int_val(-1))));
+  ListState nq2{{}, ctx.int_val(0)};
+  ListState oq2{{}, ctx.int_val(0)};
+  for (int slot = 0; slot < N; ++slot) {
+    const z3::expr nqNext =
+        slot + 1 < N ? nq.slots[static_cast<std::size_t>(slot) + 1]
+                     : nq.slots[static_cast<std::size_t>(slot)];
+    const z3::expr oqNext =
+        slot + 1 < N ? oq.slots[static_cast<std::size_t>(slot) + 1]
+                     : oq.slots[static_cast<std::size_t>(slot)];
+    nq2.slots.push_back(
+        defineInt(ctx, s, nm("fq_nqp", slot, t),
+                  z3::ite(from_new, nqNext,
+                          nq.slots[static_cast<std::size_t>(slot)])));
+    oq2.slots.push_back(
+        defineInt(ctx, s, nm("fq_oqp", slot, t),
+                  z3::ite(from_old, oqNext,
+                          oq.slots[static_cast<std::size_t>(slot)])));
+  }
+  nq2.len = defineInt(ctx, s, nm("fq_nqplen", t),
+                      nq.len - z3::ite(from_new, ctx.int_val(1), ctx.int_val(0)));
+  oq2.len = defineInt(ctx, s, nm("fq_oqplen", t),
+                      oq.len - z3::ite(from_old, ctx.int_val(1), ctx.int_val(0)));
+  nq = nq2;
+  oq = oq2;
+  return head;
+}
+
+// Queue demotion (the Figure 1 excerpt): a transmitting queue with more
+// than one remaining packet is appended to old_queues. THE BUG: with
+// exactly one packet (about to drain) it is deactivated instead, so its
+// next packet re-enters the prioritized new_queues list.
+void encodeDemotion(z3::context& ctx, z3::solver& s, int N, int t,
+                    const z3::expr& head, const std::vector<z3::expr>& lenA,
+                    ListState& oq) {
+  z3::expr head_len = ctx.int_val(0);
+  for (int i = 0; i < N; ++i) {
+    head_len = z3::ite(head == i, lenA[static_cast<std::size_t>(i)], head_len);
+  }
+  const z3::expr demote =
+      defineBool(ctx, s, nm("fq_demote", t), head >= 0 && head_len > 1);
+  ListState next{{}, ctx.int_val(0)};
+  for (int slot = 0; slot < N; ++slot) {
+    next.slots.push_back(
+        defineInt(ctx, s, nm("fq_oqd", slot, t),
+                  z3::ite(demote && oq.len == slot, head,
+                          oq.slots[static_cast<std::size_t>(slot)])));
+  }
+  next.len = defineInt(ctx, s, nm("fq_oqdlen", t),
+                       oq.len + z3::ite(demote, ctx.int_val(1), ctx.int_val(0)));
+  oq = next;
+}
+
+// Transmission: one packet leaves the selected queue; the per-queue
+// dequeue counters (the monitors of the starvation query) advance.
+void encodeTransmit(z3::context& ctx, z3::solver& s, detail::Queues& q,
+                    int N, int t, const z3::expr& head,
+                    const std::vector<z3::expr>& lenA) {
+  for (int i = 0; i < N; ++i) {
+    const z3::expr served = defineBool(
+        ctx, s, nm("fq_served", i, t),
+        head == i && lenA[static_cast<std::size_t>(i)] > 0);
+    q.len[static_cast<std::size_t>(i)] = defineInt(
+        ctx, s, nm("fq_len", i, t + 1),
+        lenA[static_cast<std::size_t>(i)] -
+            z3::ite(served, ctx.int_val(1), ctx.int_val(0)));
+    q.cdeq[static_cast<std::size_t>(i)] = defineInt(
+        ctx, s, nm("fq_cdeq", i, t + 1),
+        q.cdeq[static_cast<std::size_t>(i)] +
+            z3::ite(served, ctx.int_val(1), ctx.int_val(0)));
+  }
+}
+
+void encodeFq(z3::context& ctx, z3::solver& s, detail::Queues& q,
+              const Params& p) {
+  // The two pointer lists, element-wise, with explicit initial state.
+  ListState nq{{}, ctx.int_val(0)};
+  ListState oq{{}, ctx.int_val(0)};
+  for (int slot = 0; slot < p.N; ++slot) {
+    nq.slots.push_back(ctx.int_val(-1));
+    oq.slots.push_back(ctx.int_val(-1));
+  }
+  for (int t = 0; t < p.T; ++t) {
+    // Queue lengths after this step's arrivals (tail drop at capacity).
+    std::vector<z3::expr> lenA;
+    for (int i = 0; i < p.N; ++i) {
+      lenA.push_back(defineInt(
+          ctx, s, nm("fq_lenA", i, t),
+          detail::arrive(ctx, q.len[static_cast<std::size_t>(i)],
+                         q.enq[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(t)],
+                         p.C)));
+    }
+    encodeActivationScan(ctx, s, p.N, t, lenA, nq, oq);
+    const z3::expr head = encodeHeadSelection(ctx, s, p.N, t, nq, oq);
+    encodeDemotion(ctx, s, p.N, t, head, lenA, oq);
+    encodeTransmit(ctx, s, q, p.N, t, head, lenA);
+  }
+}
+constexpr int kFqEnd = __LINE__ - 1;
+
+}  // namespace
+
+CheckResult checkFq(const Params& params,
+                    std::span<const ArrivalBound> workload,
+                    std::int64_t threshold) {
+  z3::context ctx;
+  z3::solver solver(ctx);
+  detail::Queues queues = detail::makeQueues(ctx, solver, params);
+  detail::applyWorkload(solver, queues, workload, params);
+  encodeFq(ctx, solver, queues, params);
+  return detail::solveQuery(ctx, solver, queues, threshold);
+}
+
+std::size_t fqLoc() { return countFileSpan(__FILE__, kFqBegin, kFqEnd); }
+
+}  // namespace buffy::fperf

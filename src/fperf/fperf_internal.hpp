@@ -1,0 +1,37 @@
+// Shared, scheduler-agnostic plumbing for the FPerf-style baselines:
+// arrival variables, queue-length bookkeeping, workload bounds, and solver
+// driving. These parts correspond to FPerf's generic queue/solver layers
+// ("100s of lines of code creating additional scheduler-agnostic
+// constraints", §2.2) and are therefore OUTSIDE the Table 1 LoC spans —
+// those cover only the scheduler logic, like the paper's comparison.
+#pragma once
+
+#include <z3++.h>
+
+#include "fperf/fperf_common.hpp"
+
+namespace buffy::fperf::detail {
+
+struct Queues {
+  std::vector<std::vector<z3::expr>> enq;  // enq[q][t] arrival counts
+  std::vector<z3::expr> len;               // current length per queue
+  std::vector<z3::expr> cdeq;              // dequeues so far per queue
+};
+
+/// Creates arrival variables with 0 <= enq <= maxEnq and zero-initialized
+/// length/cdeq state.
+Queues makeQueues(z3::context& ctx, z3::solver& solver, const Params& params);
+
+/// Applies the workload bounds over the arrival variables.
+void applyWorkload(z3::solver& solver, const Queues& queues,
+                   std::span<const ArrivalBound> workload, const Params& p);
+
+/// Length after accepting step-t arrivals with tail drop at capacity C.
+z3::expr arrive(z3::context& ctx, const z3::expr& len, const z3::expr& enq,
+                int capacity);
+
+/// Solves with the query cdeq[0] >= threshold and extracts final counters.
+CheckResult solveQuery(z3::context& ctx, z3::solver& solver,
+                       const Queues& queues, std::int64_t threshold);
+
+}  // namespace buffy::fperf::detail

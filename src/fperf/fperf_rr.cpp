@@ -1,0 +1,62 @@
+// FPerf-style direct Z3 encoding of a round-robin scheduler (Table 1,
+// row 2): the scan from the rotating `next` pointer is enumerated per
+// (offset, queue) pair at every time step.
+#include "fperf/fperf_internal.hpp"
+
+namespace buffy::fperf {
+
+namespace {
+constexpr int kRrBegin = __LINE__ + 1;
+void encodeRr(z3::context& ctx, detail::Queues& q, const Params& p) {
+  const int N = p.N;
+  z3::expr next = ctx.int_val(0);
+  for (int t = 0; t < p.T; ++t) {
+    std::vector<z3::expr> lenA;
+    for (int i = 0; i < N; ++i) {
+      lenA.push_back(detail::arrive(
+          ctx, q.len[static_cast<std::size_t>(i)],
+          q.enq[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)],
+          p.C));
+    }
+    // Pick the first backlogged queue scanning from `next`.
+    z3::expr picked = ctx.int_val(-1);
+    z3::expr done = ctx.bool_val(false);
+    for (int off = 0; off < N; ++off) {
+      for (int i = 0; i < N; ++i) {
+        // next + off == i (mod N)  <=>  next == (i - off) mod N.
+        const z3::expr at = next == ctx.int_val((i - off % N + N) % N);
+        const z3::expr take =
+            !done && at && lenA[static_cast<std::size_t>(i)] > 0;
+        picked = z3::ite(take, ctx.int_val(i), picked);
+        done = done || take;
+      }
+    }
+    for (int i = 0; i < N; ++i) {
+      const z3::expr served = picked == i;
+      q.len[static_cast<std::size_t>(i)] =
+          lenA[static_cast<std::size_t>(i)] -
+          z3::ite(served, ctx.int_val(1), ctx.int_val(0));
+      q.cdeq[static_cast<std::size_t>(i)] =
+          q.cdeq[static_cast<std::size_t>(i)] +
+          z3::ite(served, ctx.int_val(1), ctx.int_val(0));
+      next = z3::ite(served, ctx.int_val((i + 1) % N), next);
+    }
+  }
+}
+constexpr int kRrEnd = __LINE__ - 1;
+}  // namespace
+
+CheckResult checkRr(const Params& params,
+                    std::span<const ArrivalBound> workload,
+                    std::int64_t threshold) {
+  z3::context ctx;
+  z3::solver solver(ctx);
+  detail::Queues queues = detail::makeQueues(ctx, solver, params);
+  detail::applyWorkload(solver, queues, workload, params);
+  encodeRr(ctx, queues, params);
+  return detail::solveQuery(ctx, solver, queues, threshold);
+}
+
+std::size_t rrLoc() { return countFileSpan(__FILE__, kRrBegin, kRrEnd); }
+
+}  // namespace buffy::fperf

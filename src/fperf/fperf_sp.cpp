@@ -1,0 +1,50 @@
+// FPerf-style direct Z3 encoding of a strict-priority scheduler (Table 1,
+// row 3): the lowest-index backlogged queue transmits.
+#include "fperf/fperf_internal.hpp"
+
+namespace buffy::fperf {
+
+namespace {
+constexpr int kSpBegin = __LINE__ + 1;
+void encodeSp(z3::context& ctx, detail::Queues& q, const Params& p) {
+  for (int t = 0; t < p.T; ++t) {
+    std::vector<z3::expr> lenA;
+    for (int i = 0; i < p.N; ++i) {
+      lenA.push_back(detail::arrive(
+          ctx, q.len[static_cast<std::size_t>(i)],
+          q.enq[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)],
+          p.C));
+    }
+    z3::expr picked = ctx.int_val(-1);
+    for (int i = p.N - 1; i >= 0; --i) {
+      picked =
+          z3::ite(lenA[static_cast<std::size_t>(i)] > 0, ctx.int_val(i), picked);
+    }
+    for (int i = 0; i < p.N; ++i) {
+      const z3::expr served = picked == i;
+      q.len[static_cast<std::size_t>(i)] =
+          lenA[static_cast<std::size_t>(i)] -
+          z3::ite(served, ctx.int_val(1), ctx.int_val(0));
+      q.cdeq[static_cast<std::size_t>(i)] =
+          q.cdeq[static_cast<std::size_t>(i)] +
+          z3::ite(served, ctx.int_val(1), ctx.int_val(0));
+    }
+  }
+}
+constexpr int kSpEnd = __LINE__ - 1;
+}  // namespace
+
+CheckResult checkSp(const Params& params,
+                    std::span<const ArrivalBound> workload,
+                    std::int64_t threshold) {
+  z3::context ctx;
+  z3::solver solver(ctx);
+  detail::Queues queues = detail::makeQueues(ctx, solver, params);
+  detail::applyWorkload(solver, queues, workload, params);
+  encodeSp(ctx, queues, params);
+  return detail::solveQuery(ctx, solver, queues, threshold);
+}
+
+std::size_t spLoc() { return countFileSpan(__FILE__, kSpBegin, kSpEnd); }
+
+}  // namespace buffy::fperf

@@ -1,0 +1,255 @@
+#include "ir/term.hpp"
+
+#include "support/error.hpp"
+
+namespace buffy::ir {
+
+std::int64_t euclideanDiv(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;  // defined as 0; the Z3 lowering guards identically
+  std::int64_t q = a / b;
+  const std::int64_t r = a % b;
+  if (r < 0) q += (b > 0 ? -1 : 1);
+  return q;
+}
+
+std::int64_t euclideanMod(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  std::int64_t r = a % b;
+  if (r < 0) r += (b > 0 ? b : -b);
+  return r;
+}
+
+std::size_t TermArena::KeyHash::operator()(const Key& k) const {
+  std::size_t h = std::hash<int>()(static_cast<int>(k.kind)) * 31 +
+                  std::hash<int>()(static_cast<int>(k.sort));
+  h = h * 31 + std::hash<std::int64_t>()(k.value);
+  h = h * 31 + std::hash<std::string>()(k.name);
+  for (const TermRef arg : k.args) {
+    h = h * 31 + std::hash<std::uint32_t>()(arg->id);
+  }
+  return h;
+}
+
+TermArena::TermArena() {
+  true_ = intern(TermKind::ConstBool, Sort::Bool, 1, "", {});
+  false_ = intern(TermKind::ConstBool, Sort::Bool, 0, "", {});
+}
+
+TermRef TermArena::intern(TermKind kind, Sort sort, std::int64_t value,
+                          std::string name, std::vector<TermRef> args) {
+  Key key{kind, sort, value, name, args};
+  const auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second.get();
+
+  auto term = std::make_unique<Term>();
+  term->kind = kind;
+  term->sort = sort;
+  term->id = static_cast<std::uint32_t>(terms_.size());
+  term->value = value;
+  term->name = std::move(name);
+  term->args = std::move(args);
+  const TermRef ref = term.get();
+  terms_.push_back(ref);
+  interned_.emplace(std::move(key), std::move(term));
+  return ref;
+}
+
+TermRef TermArena::intConst(std::int64_t v) {
+  return intern(TermKind::ConstInt, Sort::Int, v, "", {});
+}
+
+TermRef TermArena::boolConst(bool v) { return v ? true_ : false_; }
+
+TermRef TermArena::var(const std::string& name, Sort sort) {
+  const auto it = varByName_.find(name);
+  if (it != varByName_.end()) {
+    if (it->second->sort != sort) {
+      throw Error("variable '" + name + "' requested with conflicting sort");
+    }
+    return it->second;
+  }
+  const TermRef v = intern(TermKind::Var, sort, 0, name, {});
+  varByName_.emplace(name, v);
+  vars_.push_back(v);
+  return v;
+}
+
+TermRef TermArena::freshVar(const std::string& stem, Sort sort) {
+  while (true) {
+    const std::string name = stem + "#" + std::to_string(freshCounter_++);
+    if (varByName_.count(name) == 0) return var(name, sort);
+  }
+}
+
+TermRef TermArena::mkBin(TermKind kind, Sort sort, TermRef a, TermRef b) {
+  return intern(kind, sort, 0, "", {a, b});
+}
+
+// ---------------------------------------------------------------------------
+// Integer operations
+// ---------------------------------------------------------------------------
+
+TermRef TermArena::add(TermRef a, TermRef b) {
+  if (a->isConst() && b->isConst()) return intConst(a->value + b->value);
+  if (a->isZero()) return b;
+  if (b->isZero()) return a;
+  return mkBin(TermKind::Add, Sort::Int, a, b);
+}
+
+TermRef TermArena::sub(TermRef a, TermRef b) {
+  if (a->isConst() && b->isConst()) return intConst(a->value - b->value);
+  if (b->isZero()) return a;
+  if (a == b) return intConst(0);
+  return mkBin(TermKind::Sub, Sort::Int, a, b);
+}
+
+TermRef TermArena::mul(TermRef a, TermRef b) {
+  if (a->isConst() && b->isConst()) return intConst(a->value * b->value);
+  if (a->isZero() || b->isZero()) return intConst(0);
+  if (a->kind == TermKind::ConstInt && a->value == 1) return b;
+  if (b->kind == TermKind::ConstInt && b->value == 1) return a;
+  return mkBin(TermKind::Mul, Sort::Int, a, b);
+}
+
+TermRef TermArena::div(TermRef a, TermRef b) {
+  if (a->isConst() && b->isConst()) {
+    return intConst(euclideanDiv(a->value, b->value));
+  }
+  if (b->kind == TermKind::ConstInt && b->value == 1) return a;
+  return mkBin(TermKind::Div, Sort::Int, a, b);
+}
+
+TermRef TermArena::mod(TermRef a, TermRef b) {
+  if (a->isConst() && b->isConst()) {
+    return intConst(euclideanMod(a->value, b->value));
+  }
+  if (b->kind == TermKind::ConstInt && b->value == 1) return intConst(0);
+  return mkBin(TermKind::Mod, Sort::Int, a, b);
+}
+
+TermRef TermArena::neg(TermRef a) {
+  if (a->isConst()) return intConst(-a->value);
+  return intern(TermKind::Neg, Sort::Int, 0, "", {a});
+}
+
+TermRef TermArena::min(TermRef a, TermRef b) {
+  if (a == b) return a;
+  return ite(le(a, b), a, b);
+}
+
+TermRef TermArena::max(TermRef a, TermRef b) {
+  if (a == b) return a;
+  return ite(le(a, b), b, a);
+}
+
+TermRef TermArena::sum(std::span<const TermRef> terms) {
+  TermRef acc = intConst(0);
+  for (const TermRef t : terms) acc = add(acc, t);
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons
+// ---------------------------------------------------------------------------
+
+TermRef TermArena::eq(TermRef a, TermRef b) {
+  if (a->sort != b->sort) throw Error("eq: sort mismatch");
+  if (a == b) return true_;
+  if (a->isConst() && b->isConst()) return boolConst(a->value == b->value);
+  if (a->sort == Sort::Bool) {
+    if (a->isTrue()) return b;
+    if (b->isTrue()) return a;
+    if (a->isFalse()) return mkNot(b);
+    if (b->isFalse()) return mkNot(a);
+  }
+  // Canonical argument order (better DAG sharing for a symmetric op).
+  if (a->id > b->id) std::swap(a, b);
+  return mkBin(TermKind::Eq, Sort::Bool, a, b);
+}
+
+TermRef TermArena::ne(TermRef a, TermRef b) { return mkNot(eq(a, b)); }
+
+TermRef TermArena::lt(TermRef a, TermRef b) {
+  if (a == b) return false_;
+  if (a->isConst() && b->isConst()) return boolConst(a->value < b->value);
+  return mkBin(TermKind::Lt, Sort::Bool, a, b);
+}
+
+TermRef TermArena::le(TermRef a, TermRef b) {
+  if (a == b) return true_;
+  if (a->isConst() && b->isConst()) return boolConst(a->value <= b->value);
+  return mkBin(TermKind::Le, Sort::Bool, a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Boolean operations
+// ---------------------------------------------------------------------------
+
+TermRef TermArena::mkAnd(TermRef a, TermRef b) {
+  if (a->isFalse() || b->isFalse()) return false_;
+  if (a->isTrue()) return b;
+  if (b->isTrue()) return a;
+  if (a == b) return a;
+  if (a->id > b->id) std::swap(a, b);
+  return mkBin(TermKind::And, Sort::Bool, a, b);
+}
+
+TermRef TermArena::mkOr(TermRef a, TermRef b) {
+  if (a->isTrue() || b->isTrue()) return true_;
+  if (a->isFalse()) return b;
+  if (b->isFalse()) return a;
+  if (a == b) return a;
+  if (a->id > b->id) std::swap(a, b);
+  return mkBin(TermKind::Or, Sort::Bool, a, b);
+}
+
+TermRef TermArena::mkNot(TermRef a) {
+  if (a->isTrue()) return false_;
+  if (a->isFalse()) return true_;
+  if (a->kind == TermKind::Not) return a->args[0];
+  return intern(TermKind::Not, Sort::Bool, 0, "", {a});
+}
+
+TermRef TermArena::implies(TermRef a, TermRef b) {
+  if (a->isFalse() || b->isTrue()) return true_;
+  if (a->isTrue()) return b;
+  if (b->isFalse()) return mkNot(a);
+  if (a == b) return true_;
+  return mkBin(TermKind::Implies, Sort::Bool, a, b);
+}
+
+TermRef TermArena::andAll(std::span<const TermRef> terms) {
+  TermRef acc = true_;
+  for (const TermRef t : terms) acc = mkAnd(acc, t);
+  return acc;
+}
+
+TermRef TermArena::orAll(std::span<const TermRef> terms) {
+  TermRef acc = false_;
+  for (const TermRef t : terms) acc = mkOr(acc, t);
+  return acc;
+}
+
+TermRef TermArena::ite(TermRef cond, TermRef thenT, TermRef elseT) {
+  if (thenT->sort != elseT->sort) throw Error("ite: branch sort mismatch");
+  if (cond->isTrue()) return thenT;
+  if (cond->isFalse()) return elseT;
+  if (thenT == elseT) return thenT;
+  if (thenT->sort == Sort::Bool) {
+    if (thenT->isTrue()) return mkOr(cond, elseT);
+    if (thenT->isFalse()) return mkAnd(mkNot(cond), elseT);
+    if (elseT->isTrue()) return mkOr(mkNot(cond), thenT);
+    if (elseT->isFalse()) return mkAnd(cond, thenT);
+  }
+  return intern(TermKind::Ite, thenT->sort, 0, "", {cond, thenT, elseT});
+}
+
+TermRef TermArena::countTrue(std::span<const TermRef> flags) {
+  TermRef acc = intConst(0);
+  for (const TermRef f : flags) {
+    acc = add(acc, ite(f, intConst(1), intConst(0)));
+  }
+  return acc;
+}
+
+}  // namespace buffy::ir

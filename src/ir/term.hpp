@@ -1,0 +1,165 @@
+// The solver-agnostic intermediate representation: a hash-consed DAG of
+// integer/boolean terms. Every backend (Z3, SMT-LIB2 text, concrete
+// interpretation) consumes this IR; the symbolic evaluator and the buffer
+// models produce it.
+//
+// Construction performs aggressive local simplification (constant folding,
+// identity/absorption rules, ite collapsing), so a program evaluated over
+// all-constant inputs folds to constants — that is how the concrete
+// interpreter backend reuses the symbolic evaluator.
+//
+// Division and modulo follow the SMT-LIB Euclidean convention (the result
+// of `mod` is always non-negative) so that folded constants agree with the
+// Z3 backend; division by zero is defined as 0 (the Z3 lowering guards it
+// the same way).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace buffy::ir {
+
+enum class Sort : std::uint8_t { Int, Bool };
+
+enum class TermKind : std::uint8_t {
+  ConstInt,
+  ConstBool,
+  Var,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Neg,
+  Eq,   // over Int or Bool operands
+  Lt,
+  Le,
+  And,
+  Or,
+  Not,
+  Implies,
+  Ite,  // args: cond, then, else (then/else share a sort)
+};
+
+struct Term;
+/// Non-owning reference to an interned term. Terms live as long as their
+/// TermArena.
+using TermRef = const Term*;
+
+struct Term {
+  TermKind kind;
+  Sort sort;
+  std::uint32_t id;          // dense, per-arena; stable iteration order
+  std::int64_t value = 0;    // ConstInt / ConstBool payload
+  std::string name;          // Var payload
+  std::vector<TermRef> args;
+
+  [[nodiscard]] bool isConst() const {
+    return kind == TermKind::ConstInt || kind == TermKind::ConstBool;
+  }
+  [[nodiscard]] bool isTrue() const {
+    return kind == TermKind::ConstBool && value != 0;
+  }
+  [[nodiscard]] bool isFalse() const {
+    return kind == TermKind::ConstBool && value == 0;
+  }
+  [[nodiscard]] bool isZero() const {
+    return kind == TermKind::ConstInt && value == 0;
+  }
+};
+
+/// Euclidean division/modulo used across folding and backends.
+std::int64_t euclideanDiv(std::int64_t a, std::int64_t b);
+std::int64_t euclideanMod(std::int64_t a, std::int64_t b);
+
+/// Owns and interns terms for one analysis run.
+class TermArena {
+ public:
+  TermArena();
+  TermArena(const TermArena&) = delete;
+  TermArena& operator=(const TermArena&) = delete;
+
+  // --- leaves ---
+  TermRef intConst(std::int64_t v);
+  TermRef boolConst(bool v);
+  TermRef trueTerm() { return true_; }
+  TermRef falseTerm() { return false_; }
+  /// Returns the variable named `name`, creating it on first use. Throws
+  /// buffy::Error if it exists with a different sort.
+  TermRef var(const std::string& name, Sort sort);
+  /// Creates a fresh variable with a unique suffix derived from `stem`.
+  TermRef freshVar(const std::string& stem, Sort sort);
+
+  // --- integer operations ---
+  TermRef add(TermRef a, TermRef b);
+  TermRef sub(TermRef a, TermRef b);
+  TermRef mul(TermRef a, TermRef b);
+  TermRef div(TermRef a, TermRef b);
+  TermRef mod(TermRef a, TermRef b);
+  TermRef neg(TermRef a);
+  TermRef min(TermRef a, TermRef b);
+  TermRef max(TermRef a, TermRef b);
+  TermRef sum(std::span<const TermRef> terms);
+
+  // --- comparisons ---
+  TermRef eq(TermRef a, TermRef b);
+  TermRef ne(TermRef a, TermRef b);
+  TermRef lt(TermRef a, TermRef b);
+  TermRef le(TermRef a, TermRef b);
+  TermRef gt(TermRef a, TermRef b) { return lt(b, a); }
+  TermRef ge(TermRef a, TermRef b) { return le(b, a); }
+
+  // --- boolean operations ---
+  TermRef mkAnd(TermRef a, TermRef b);
+  TermRef mkOr(TermRef a, TermRef b);
+  TermRef mkNot(TermRef a);
+  TermRef implies(TermRef a, TermRef b);
+  TermRef andAll(std::span<const TermRef> terms);
+  TermRef orAll(std::span<const TermRef> terms);
+
+  // --- conditional ---
+  TermRef ite(TermRef cond, TermRef thenT, TermRef elseT);
+  /// ite over booleans, expressed via and/or when profitable.
+  TermRef boolIte(TermRef cond, TermRef thenT, TermRef elseT) {
+    return ite(cond, thenT, elseT);
+  }
+  /// Counts how many of `flags` are true (sum of 0/1 terms).
+  TermRef countTrue(std::span<const TermRef> flags);
+
+  /// All variables created so far (in creation order).
+  [[nodiscard]] const std::vector<TermRef>& variables() const {
+    return vars_;
+  }
+  [[nodiscard]] std::size_t size() const { return terms_.size(); }
+
+ private:
+  struct Key {
+    TermKind kind;
+    Sort sort;
+    std::int64_t value;
+    std::string name;
+    std::vector<TermRef> args;
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  TermRef intern(TermKind kind, Sort sort, std::int64_t value,
+                 std::string name, std::vector<TermRef> args);
+  TermRef mkBin(TermKind kind, Sort sort, TermRef a, TermRef b);
+
+  std::unordered_map<Key, std::unique_ptr<Term>, KeyHash> interned_;
+  std::vector<TermRef> terms_;  // creation order
+  std::vector<TermRef> vars_;
+  std::unordered_map<std::string, TermRef> varByName_;
+  std::uint64_t freshCounter_ = 0;
+  TermRef true_ = nullptr;
+  TermRef false_ = nullptr;
+};
+
+}  // namespace buffy::ir

@@ -1,0 +1,61 @@
+#include "ir/term_eval.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace buffy::ir {
+
+std::int64_t evalTerm(TermRef term, const Assignment& assignment) {
+  std::unordered_map<const Term*, std::int64_t> memo;
+  std::vector<TermRef> stack{term};
+  while (!stack.empty()) {
+    const TermRef t = stack.back();
+    if (memo.count(t) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const TermRef arg : t->args) {
+      if (memo.count(arg) == 0) {
+        stack.push_back(arg);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+
+    auto arg = [&](std::size_t i) { return memo.at(t->args[i]); };
+    std::int64_t v = 0;
+    switch (t->kind) {
+      case TermKind::ConstInt:
+      case TermKind::ConstBool:
+        v = t->value;
+        break;
+      case TermKind::Var: {
+        const auto it = assignment.find(t->name);
+        v = it != assignment.end() ? it->second : 0;
+        break;
+      }
+      case TermKind::Add: v = arg(0) + arg(1); break;
+      case TermKind::Sub: v = arg(0) - arg(1); break;
+      case TermKind::Mul: v = arg(0) * arg(1); break;
+      case TermKind::Div: v = euclideanDiv(arg(0), arg(1)); break;
+      case TermKind::Mod: v = euclideanMod(arg(0), arg(1)); break;
+      case TermKind::Neg: v = -arg(0); break;
+      case TermKind::Eq: v = arg(0) == arg(1) ? 1 : 0; break;
+      case TermKind::Lt: v = arg(0) < arg(1) ? 1 : 0; break;
+      case TermKind::Le: v = arg(0) <= arg(1) ? 1 : 0; break;
+      case TermKind::And: v = (arg(0) != 0 && arg(1) != 0) ? 1 : 0; break;
+      case TermKind::Or: v = (arg(0) != 0 || arg(1) != 0) ? 1 : 0; break;
+      case TermKind::Not: v = arg(0) == 0 ? 1 : 0; break;
+      case TermKind::Implies: v = (arg(0) == 0 || arg(1) != 0) ? 1 : 0; break;
+      case TermKind::Ite: v = arg(0) != 0 ? arg(1) : arg(2); break;
+    }
+    memo.emplace(t, v);
+  }
+  return memo.at(term);
+}
+
+}  // namespace buffy::ir

@@ -1,0 +1,23 @@
+// Concrete evaluation of IR terms under a variable assignment. Used to
+// extract per-step traces from solver models and by the interpreter
+// backend's self-checks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/term.hpp"
+
+namespace buffy::ir {
+
+/// A total assignment of integer values to variables (bools as 0/1).
+/// Variables absent from the map default to 0 (solver models may omit
+/// don't-care variables).
+using Assignment = std::map<std::string, std::int64_t>;
+
+/// Evaluates `term` under `assignment`. Iterative (stack-safe) and
+/// memoized per call.
+[[nodiscard]] std::int64_t evalTerm(TermRef term, const Assignment& assignment);
+
+}  // namespace buffy::ir

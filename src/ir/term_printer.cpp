@@ -1,0 +1,70 @@
+#include "ir/term_printer.hpp"
+
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace buffy::ir {
+
+namespace {
+const char* opName(TermKind kind) {
+  switch (kind) {
+    case TermKind::Add: return "+";
+    case TermKind::Sub: return "-";
+    case TermKind::Mul: return "*";
+    case TermKind::Div: return "div";
+    case TermKind::Mod: return "mod";
+    case TermKind::Neg: return "-";
+    case TermKind::Eq: return "=";
+    case TermKind::Lt: return "<";
+    case TermKind::Le: return "<=";
+    case TermKind::And: return "and";
+    case TermKind::Or: return "or";
+    case TermKind::Not: return "not";
+    case TermKind::Implies: return "=>";
+    case TermKind::Ite: return "ite";
+    default: return "?";
+  }
+}
+}  // namespace
+
+std::string toSExpr(TermRef term) {
+  switch (term->kind) {
+    case TermKind::ConstInt:
+      return term->value < 0 ? "(- " + std::to_string(-term->value) + ")"
+                             : std::to_string(term->value);
+    case TermKind::ConstBool:
+      return term->value != 0 ? "true" : "false";
+    case TermKind::Var:
+      return term->name;
+    default: {
+      std::string out = "(";
+      out += opName(term->kind);
+      for (const TermRef arg : term->args) {
+        out += ' ';
+        out += toSExpr(arg);
+      }
+      out += ')';
+      return out;
+    }
+  }
+}
+
+std::optional<std::int64_t> constValue(TermRef term) {
+  if (term->isConst()) return term->value;
+  return std::nullopt;
+}
+
+std::size_t dagSize(TermRef term) {
+  std::unordered_set<const Term*> seen;
+  std::vector<TermRef> stack{term};
+  while (!stack.empty()) {
+    const TermRef t = stack.back();
+    stack.pop_back();
+    if (!seen.insert(t).second) continue;
+    for (const TermRef arg : t->args) stack.push_back(arg);
+  }
+  return seen.size();
+}
+
+}  // namespace buffy::ir

@@ -1,0 +1,21 @@
+// Rendering of IR terms as s-expressions (debugging / golden tests) and
+// constant-term extraction helpers used by the interpreter backend.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/term.hpp"
+
+namespace buffy::ir {
+
+/// Renders a term as an s-expression, e.g. "(+ x (ite c 1 0))".
+[[nodiscard]] std::string toSExpr(TermRef term);
+
+/// If the term folded to a constant, returns its value (bools as 0/1).
+[[nodiscard]] std::optional<std::int64_t> constValue(TermRef term);
+
+/// Counts DAG nodes reachable from `term` (each shared node counted once).
+[[nodiscard]] std::size_t dagSize(TermRef term);
+
+}  // namespace buffy::ir

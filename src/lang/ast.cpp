@@ -1,0 +1,229 @@
+#include "lang/ast.hpp"
+
+namespace buffy::lang {
+
+std::string Type::str() const {
+  switch (kind) {
+    case TypeKind::Int:
+      return "int";
+    case TypeKind::Bool:
+      return "bool";
+    case TypeKind::List:
+      return size >= 0 ? "list[" + std::to_string(size) + "]" : "list";
+    case TypeKind::IntArray:
+      return "int[" + std::to_string(size) + "]";
+    case TypeKind::BoolArray:
+      return "bool[" + std::to_string(size) + "]";
+    case TypeKind::Buffer:
+      return "buffer";
+    case TypeKind::BufferArray:
+      return "buffer[" + std::to_string(size) + "]";
+    case TypeKind::Void:
+      return "void";
+  }
+  return "<?>";
+}
+
+const char* binaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::And: return "&";
+    case BinaryOp::Or: return "|";
+  }
+  return "?";
+}
+
+const char* unaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Not: return "!";
+    case UnaryOp::Neg: return "-";
+  }
+  return "?";
+}
+
+namespace {
+// Clones a possibly-null expression.
+ExprPtr cloneOpt(const ExprPtr& e) { return e ? e->clone() : nullptr; }
+
+std::unique_ptr<BlockStmt> cloneBlock(const std::unique_ptr<BlockStmt>& b) {
+  if (!b) return nullptr;
+  auto out = std::make_unique<BlockStmt>();
+  out->loc = b->loc;
+  out->stmts.reserve(b->stmts.size());
+  for (const auto& s : b->stmts) out->stmts.push_back(s->clone());
+  return out;
+}
+
+// Copies the fields every Expr carries.
+template <typename T>
+ExprPtr withMeta(std::unique_ptr<T> node, const Expr& src) {
+  node->loc = src.loc;
+  node->type = src.type;
+  return node;
+}
+template <typename T>
+StmtPtr withMeta(std::unique_ptr<T> node, const Stmt& src) {
+  node->loc = src.loc;
+  return node;
+}
+}  // namespace
+
+ExprPtr IntLitExpr::clone() const {
+  return withMeta(std::make_unique<IntLitExpr>(value), *this);
+}
+ExprPtr BoolLitExpr::clone() const {
+  return withMeta(std::make_unique<BoolLitExpr>(value), *this);
+}
+ExprPtr VarRefExpr::clone() const {
+  return withMeta(std::make_unique<VarRefExpr>(name), *this);
+}
+ExprPtr IndexExpr::clone() const {
+  return withMeta(std::make_unique<IndexExpr>(base, index->clone()), *this);
+}
+ExprPtr BinaryExpr::clone() const {
+  return withMeta(std::make_unique<BinaryExpr>(op, lhs->clone(), rhs->clone()),
+                  *this);
+}
+ExprPtr UnaryExpr::clone() const {
+  return withMeta(std::make_unique<UnaryExpr>(op, operand->clone()), *this);
+}
+ExprPtr BacklogExpr::clone() const {
+  return withMeta(std::make_unique<BacklogExpr>(packets, buffer->clone()),
+                  *this);
+}
+ExprPtr FilterExpr::clone() const {
+  return withMeta(
+      std::make_unique<FilterExpr>(base->clone(), field, value->clone()),
+      *this);
+}
+ExprPtr ListHasExpr::clone() const {
+  return withMeta(std::make_unique<ListHasExpr>(list, value->clone()), *this);
+}
+ExprPtr ListEmptyExpr::clone() const {
+  return withMeta(std::make_unique<ListEmptyExpr>(list), *this);
+}
+ExprPtr ListLenExpr::clone() const {
+  return withMeta(std::make_unique<ListLenExpr>(list), *this);
+}
+ExprPtr CallExpr::clone() const {
+  std::vector<ExprPtr> clonedArgs;
+  clonedArgs.reserve(args.size());
+  for (const auto& a : args) clonedArgs.push_back(a->clone());
+  return withMeta(std::make_unique<CallExpr>(callee, std::move(clonedArgs)),
+                  *this);
+}
+
+StmtPtr BlockStmt::clone() const {
+  auto out = std::make_unique<BlockStmt>();
+  out->stmts.reserve(stmts.size());
+  for (const auto& s : stmts) out->stmts.push_back(s->clone());
+  return withMeta(std::move(out), *this);
+}
+StmtPtr DeclStmt::clone() const {
+  auto copy =
+      std::make_unique<DeclStmt>(storage, declType, name, cloneOpt(init));
+  copy->sizeParam = sizeParam;
+  return withMeta(std::move(copy), *this);
+}
+StmtPtr AssignStmt::clone() const {
+  return withMeta(
+      std::make_unique<AssignStmt>(target, cloneOpt(index), value->clone()),
+      *this);
+}
+StmtPtr IfStmt::clone() const {
+  return withMeta(std::make_unique<IfStmt>(cond->clone(),
+                                           cloneBlock(thenBlock),
+                                           cloneBlock(elseBlock)),
+                  *this);
+}
+StmtPtr ForStmt::clone() const {
+  return withMeta(std::make_unique<ForStmt>(var, lo->clone(), hi->clone(),
+                                            cloneBlock(body)),
+                  *this);
+}
+StmtPtr MoveStmt::clone() const {
+  return withMeta(std::make_unique<MoveStmt>(packets, src->clone(),
+                                             dst->clone(), amount->clone()),
+                  *this);
+}
+StmtPtr ListPushStmt::clone() const {
+  return withMeta(std::make_unique<ListPushStmt>(list, value->clone()), *this);
+}
+StmtPtr PopFrontStmt::clone() const {
+  return withMeta(std::make_unique<PopFrontStmt>(target, list), *this);
+}
+StmtPtr AssertStmt::clone() const {
+  return withMeta(std::make_unique<AssertStmt>(cond->clone()), *this);
+}
+StmtPtr AssumeStmt::clone() const {
+  return withMeta(std::make_unique<AssumeStmt>(cond->clone()), *this);
+}
+StmtPtr ReturnStmt::clone() const {
+  return withMeta(std::make_unique<ReturnStmt>(cloneOpt(value)), *this);
+}
+StmtPtr ExprStmt::clone() const {
+  return withMeta(std::make_unique<ExprStmt>(expr->clone()), *this);
+}
+
+Param Param::clone() const { return Param{type, name, sizeParam, loc}; }
+
+FuncDecl FuncDecl::clone() const {
+  FuncDecl out;
+  out.name = name;
+  out.params.reserve(params.size());
+  for (const auto& p : params) out.params.push_back(p.clone());
+  out.returnType = returnType;
+  out.body = cloneBlock(body);
+  out.loc = loc;
+  return out;
+}
+
+Program Program::clone() const {
+  Program out;
+  out.name = name;
+  out.params.reserve(params.size());
+  for (const auto& p : params) out.params.push_back(p.clone());
+  out.functions.reserve(functions.size());
+  for (const auto& f : functions) out.functions.push_back(f.clone());
+  out.body = cloneBlock(body);
+  out.loc = loc;
+  return out;
+}
+
+ExprPtr makeIntLit(std::int64_t v, SourceLoc loc) {
+  auto e = std::make_unique<IntLitExpr>(v);
+  e->loc = loc;
+  return e;
+}
+ExprPtr makeBoolLit(bool v, SourceLoc loc) {
+  auto e = std::make_unique<BoolLitExpr>(v);
+  e->loc = loc;
+  return e;
+}
+ExprPtr makeVarRef(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<VarRefExpr>(std::move(name));
+  e->loc = loc;
+  return e;
+}
+ExprPtr makeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+  auto e = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+  e->loc = loc;
+  return e;
+}
+ExprPtr makeUnary(UnaryOp op, ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<UnaryExpr>(op, std::move(operand));
+  e->loc = loc;
+  return e;
+}
+
+}  // namespace buffy::lang

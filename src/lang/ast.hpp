@@ -1,0 +1,428 @@
+// Abstract syntax tree for the Buffy language.
+//
+// The shape follows the paper's Figure 3 grammar: conventional imperative
+// expressions/commands plus buffer-centric constructs (backlog-p/-b,
+// move-p/-b, filters `B |> f == n`) and bounded lists with
+// has/empty/len/push_back (a.k.a. enq)/pop_front.
+//
+// Nodes are owned via std::unique_ptr and are cloneable so that AST->AST
+// transformations (inlining, unrolling, constant folding) can rewrite
+// programs without aliasing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace buffy::lang {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+enum class TypeKind {
+  Int,
+  Bool,
+  List,         // bounded list of int
+  IntArray,     // bounded array of int
+  BoolArray,    // bounded array of bool
+  Buffer,       // a single packet buffer
+  BufferArray,  // an array of packet buffers (parameter only)
+  Void,
+};
+
+/// A (possibly sized) Buffy type. `size` is the static bound for arrays and
+/// the capacity for lists; -1 means "not yet resolved" (resolved during type
+/// checking from compile-time parameter bindings or analysis options).
+struct Type {
+  TypeKind kind = TypeKind::Int;
+  int size = -1;
+
+  static Type intTy() { return {TypeKind::Int, -1}; }
+  static Type boolTy() { return {TypeKind::Bool, -1}; }
+  static Type listTy(int capacity = -1) { return {TypeKind::List, capacity}; }
+  static Type intArrayTy(int n) { return {TypeKind::IntArray, n}; }
+  static Type boolArrayTy(int n) { return {TypeKind::BoolArray, n}; }
+  static Type bufferTy() { return {TypeKind::Buffer, -1}; }
+  static Type bufferArrayTy(int n) { return {TypeKind::BufferArray, n}; }
+  static Type voidTy() { return {TypeKind::Void, -1}; }
+
+  [[nodiscard]] bool isScalar() const {
+    return kind == TypeKind::Int || kind == TypeKind::Bool;
+  }
+  [[nodiscard]] bool isArray() const {
+    return kind == TypeKind::IntArray || kind == TypeKind::BoolArray;
+  }
+  [[nodiscard]] bool isBufferLike() const {
+    return kind == TypeKind::Buffer || kind == TypeKind::BufferArray;
+  }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+enum class UnaryOp { Not, Neg };
+
+const char* binaryOpName(BinaryOp op);
+const char* unaryOpName(UnaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  IntLit,
+  BoolLit,
+  VarRef,
+  Index,      // name[e] : int array element or buffer-array element
+  Binary,
+  Unary,
+  Backlog,    // backlog-p(B) / backlog-b(B)
+  Filter,     // B |> field == n
+  ListHas,    // l.has(e)
+  ListEmpty,  // l.empty()
+  ListLen,    // l.len()
+  Call,       // f(e...) : user-defined function or builtin min/max
+};
+
+/// Base class for all expressions. `type` is filled in by the type checker.
+struct Expr {
+  ExprKind exprKind;
+  SourceLoc loc{};
+  Type type{};  // set by typecheck
+
+  explicit Expr(ExprKind k) : exprKind(k) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] virtual ExprPtr clone() const = 0;
+};
+
+struct IntLitExpr final : Expr {
+  std::int64_t value;
+  explicit IntLitExpr(std::int64_t v) : Expr(ExprKind::IntLit), value(v) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+struct BoolLitExpr final : Expr {
+  bool value;
+  explicit BoolLitExpr(bool v) : Expr(ExprKind::BoolLit), value(v) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+struct VarRefExpr final : Expr {
+  std::string name;
+  explicit VarRefExpr(std::string n)
+      : Expr(ExprKind::VarRef), name(std::move(n)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+struct IndexExpr final : Expr {
+  std::string base;  // arrays and buffer arrays are named, not first-class
+  ExprPtr index;
+  IndexExpr(std::string b, ExprPtr i)
+      : Expr(ExprKind::Index), base(std::move(b)), index(std::move(i)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+struct BinaryExpr final : Expr {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::Binary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+struct UnaryExpr final : Expr {
+  UnaryOp op;
+  ExprPtr operand;
+  UnaryExpr(UnaryOp o, ExprPtr e)
+      : Expr(ExprKind::Unary), op(o), operand(std::move(e)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+/// backlog-p(B) (packets=true) or backlog-b(B) (packets=false).
+struct BacklogExpr final : Expr {
+  bool packets;
+  ExprPtr buffer;  // buffer-typed expression (VarRef / Index / Filter)
+  BacklogExpr(bool p, ExprPtr b)
+      : Expr(ExprKind::Backlog), packets(p), buffer(std::move(b)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+/// B |> field == value. The paper's filter grammar is `f == n`; we allow
+/// the value to be any int expression (it is evaluated symbolically).
+struct FilterExpr final : Expr {
+  ExprPtr base;  // buffer-typed
+  std::string field;
+  ExprPtr value;
+  FilterExpr(ExprPtr b, std::string f, ExprPtr v)
+      : Expr(ExprKind::Filter),
+        base(std::move(b)),
+        field(std::move(f)),
+        value(std::move(v)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+struct ListHasExpr final : Expr {
+  std::string list;
+  ExprPtr value;
+  ListHasExpr(std::string l, ExprPtr v)
+      : Expr(ExprKind::ListHas), list(std::move(l)), value(std::move(v)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+struct ListEmptyExpr final : Expr {
+  std::string list;
+  explicit ListEmptyExpr(std::string l)
+      : Expr(ExprKind::ListEmpty), list(std::move(l)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+struct ListLenExpr final : Expr {
+  std::string list;
+  explicit ListLenExpr(std::string l)
+      : Expr(ExprKind::ListLen), list(std::move(l)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+/// Function call: user-defined `def` functions (inlined before analysis)
+/// or the builtins `min`/`max`.
+struct CallExpr final : Expr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+  CallExpr(std::string c, std::vector<ExprPtr> a)
+      : Expr(ExprKind::Call), callee(std::move(c)), args(std::move(a)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  Block,
+  Decl,
+  Assign,
+  If,
+  For,
+  Move,      // move-p / move-b
+  ListPush,  // l.push_back(e) / l.enq(e)
+  PopFront,  // x = l.pop_front()
+  Assert,
+  Assume,
+  Return,
+  ExprStmt,  // call of a void function
+};
+
+enum class Storage { Global, Local, Monitor, Havoc };
+
+struct Stmt {
+  StmtKind stmtKind;
+  SourceLoc loc{};
+
+  explicit Stmt(StmtKind k) : stmtKind(k) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] virtual StmtPtr clone() const = 0;
+};
+
+struct BlockStmt final : Stmt {
+  std::vector<StmtPtr> stmts;
+  BlockStmt() : Stmt(StmtKind::Block) {}
+  explicit BlockStmt(std::vector<StmtPtr> s)
+      : Stmt(StmtKind::Block), stmts(std::move(s)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+struct DeclStmt final : Stmt {
+  Storage storage;
+  Type declType;
+  std::string name;
+  ExprPtr init;  // may be null
+  /// Array/list size given as a named compile-time constant (e.g.
+  /// `int cdeq[N]`); resolved into declType.size by elaborate().
+  std::string sizeParam;
+  DeclStmt(Storage s, Type t, std::string n, ExprPtr i)
+      : Stmt(StmtKind::Decl),
+        storage(s),
+        declType(t),
+        name(std::move(n)),
+        init(std::move(i)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// Assignment target: `name = e` or `name[idx] = e`.
+struct AssignStmt final : Stmt {
+  std::string target;
+  ExprPtr index;  // null for scalar targets
+  ExprPtr value;
+  AssignStmt(std::string t, ExprPtr i, ExprPtr v)
+      : Stmt(StmtKind::Assign),
+        target(std::move(t)),
+        index(std::move(i)),
+        value(std::move(v)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+struct IfStmt final : Stmt {
+  ExprPtr cond;
+  std::unique_ptr<BlockStmt> thenBlock;
+  std::unique_ptr<BlockStmt> elseBlock;  // may be null
+  IfStmt(ExprPtr c, std::unique_ptr<BlockStmt> t, std::unique_ptr<BlockStmt> e)
+      : Stmt(StmtKind::If),
+        cond(std::move(c)),
+        thenBlock(std::move(t)),
+        elseBlock(std::move(e)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// `for (var in lo..hi) do { body }` — iterates var over [lo, hi).
+/// Bounds must be compile-time constants (paper §7: bounded loops only).
+struct ForStmt final : Stmt {
+  std::string var;
+  ExprPtr lo;
+  ExprPtr hi;
+  std::unique_ptr<BlockStmt> body;
+  ForStmt(std::string v, ExprPtr l, ExprPtr h, std::unique_ptr<BlockStmt> b)
+      : Stmt(StmtKind::For),
+        var(std::move(v)),
+        lo(std::move(l)),
+        hi(std::move(h)),
+        body(std::move(b)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// move-p(src, dst, e) (packets=true) or move-b(src, dst, e) (packets=false).
+struct MoveStmt final : Stmt {
+  bool packets;
+  ExprPtr src;  // buffer-typed (VarRef / Index)
+  ExprPtr dst;
+  ExprPtr amount;
+  MoveStmt(bool p, ExprPtr s, ExprPtr d, ExprPtr a)
+      : Stmt(StmtKind::Move),
+        packets(p),
+        src(std::move(s)),
+        dst(std::move(d)),
+        amount(std::move(a)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+struct ListPushStmt final : Stmt {
+  std::string list;
+  ExprPtr value;
+  ListPushStmt(std::string l, ExprPtr v)
+      : Stmt(StmtKind::ListPush), list(std::move(l)), value(std::move(v)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// `x = l.pop_front();` — pops the head of `l` into `x`. Popping an empty
+/// list yields -1 (and leaves the list empty), mirroring the sentinel
+/// convention of Figure 4.
+struct PopFrontStmt final : Stmt {
+  std::string target;
+  std::string list;
+  PopFrontStmt(std::string t, std::string l)
+      : Stmt(StmtKind::PopFront), target(std::move(t)), list(std::move(l)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+struct AssertStmt final : Stmt {
+  ExprPtr cond;
+  explicit AssertStmt(ExprPtr c) : Stmt(StmtKind::Assert), cond(std::move(c)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+struct AssumeStmt final : Stmt {
+  ExprPtr cond;
+  explicit AssumeStmt(ExprPtr c) : Stmt(StmtKind::Assume), cond(std::move(c)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+struct ReturnStmt final : Stmt {
+  ExprPtr value;  // null for void returns
+  explicit ReturnStmt(ExprPtr v) : Stmt(StmtKind::Return), value(std::move(v)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+struct ExprStmt final : Stmt {
+  ExprPtr expr;
+  explicit ExprStmt(ExprPtr e) : Stmt(StmtKind::ExprStmt), expr(std::move(e)) {}
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+// ---------------------------------------------------------------------------
+// Programs
+// ---------------------------------------------------------------------------
+
+/// A formal parameter of a program or function. For programs, parameters are
+/// buffers (`buffer ob`) or buffer arrays (`buffer[N] ibs`); for `def`
+/// functions they may also be int/bool scalars and lists.
+struct Param {
+  Type type{};
+  std::string name;
+  /// For `buffer[N]`: the compile-time size parameter name ("" when the size
+  /// was given as a literal and already stored in type.size).
+  std::string sizeParam;
+  SourceLoc loc{};
+
+  [[nodiscard]] Param clone() const;
+};
+
+/// A user-defined helper function. Restriction (enforced by the type
+/// checker): `return` may appear only as the final statement, which keeps
+/// the inliner a simple substitution.
+struct FuncDecl {
+  std::string name;
+  std::vector<Param> params;
+  Type returnType = Type::voidTy();
+  std::unique_ptr<BlockStmt> body;
+  SourceLoc loc{};
+
+  [[nodiscard]] FuncDecl clone() const;
+};
+
+/// A Buffy program: one time step of a network component. Input buffers are
+/// read via backlog/move-src; output buffers are write-only (enforced by a
+/// semantic pass).
+struct Program {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<FuncDecl> functions;
+  std::unique_ptr<BlockStmt> body;
+  SourceLoc loc{};
+
+  [[nodiscard]] Program clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Small helpers for building ASTs programmatically (used by transforms and
+// tests).
+// ---------------------------------------------------------------------------
+
+ExprPtr makeIntLit(std::int64_t v, SourceLoc loc = {});
+ExprPtr makeBoolLit(bool v, SourceLoc loc = {});
+ExprPtr makeVarRef(std::string name, SourceLoc loc = {});
+ExprPtr makeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {});
+ExprPtr makeUnary(UnaryOp op, ExprPtr e, SourceLoc loc = {});
+
+}  // namespace buffy::lang

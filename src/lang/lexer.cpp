@@ -1,0 +1,211 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace buffy::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"global", TokenKind::KwGlobal},   {"local", TokenKind::KwLocal},
+      {"monitor", TokenKind::KwMonitor}, {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},       {"list", TokenKind::KwList},
+      {"buffer", TokenKind::KwBuffer},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"for", TokenKind::KwFor},
+      {"in", TokenKind::KwIn},           {"do", TokenKind::KwDo},
+      {"true", TokenKind::KwTrue},       {"false", TokenKind::KwFalse},
+      {"assert", TokenKind::KwAssert},   {"assume", TokenKind::KwAssume},
+      {"havoc", TokenKind::KwHavoc},
+      {"def", TokenKind::KwDef},         {"return", TokenKind::KwReturn},
+  };
+  return table;
+}
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool isIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+char Lexer::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lexNumber() {
+  const SourceLoc loc = here();
+  std::string text;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+    text += advance();
+  }
+  Token tok;
+  tok.kind = TokenKind::IntLiteral;
+  tok.loc = loc;
+  tok.text = text;
+  try {
+    tok.value = std::stoll(text);
+  } catch (const std::out_of_range&) {
+    throw SyntaxError("integer literal out of range: " + text, loc);
+  }
+  return tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  const SourceLoc loc = here();
+  std::string text;
+  while (!atEnd() && isIdentCont(peek())) text += advance();
+
+  // Hyphenated builtins: backlog-p / backlog-b / move-p / move-b.
+  if ((text == "backlog" || text == "move") && peek() == '-' &&
+      (peek(1) == 'p' || peek(1) == 'b') && !isIdentCont(peek(2))) {
+    advance();  // '-'
+    const char suffix = advance();
+    Token tok;
+    tok.loc = loc;
+    tok.text = text + "-" + suffix;
+    if (text == "backlog") {
+      tok.kind = suffix == 'p' ? TokenKind::KwBacklogP : TokenKind::KwBacklogB;
+    } else {
+      tok.kind = suffix == 'p' ? TokenKind::KwMoveP : TokenKind::KwMoveB;
+    }
+    return tok;
+  }
+
+  Token tok;
+  tok.loc = loc;
+  tok.text = text;
+  const auto it = keywordTable().find(text);
+  tok.kind = it != keywordTable().end() ? it->second : TokenKind::Identifier;
+  return tok;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> out;
+  while (true) {
+    skipWhitespaceAndComments();
+    if (atEnd()) break;
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(lexNumber());
+      continue;
+    }
+    if (isIdentStart(c)) {
+      out.push_back(lexIdentifierOrKeyword());
+      continue;
+    }
+
+    const SourceLoc loc = here();
+    auto single = [&](TokenKind kind) {
+      Token tok;
+      tok.kind = kind;
+      tok.loc = loc;
+      tok.text = std::string(1, c);
+      advance();
+      return tok;
+    };
+    auto pair = [&](TokenKind kind, const char* text) {
+      Token tok;
+      tok.kind = kind;
+      tok.loc = loc;
+      tok.text = text;
+      advance();
+      advance();
+      return tok;
+    };
+
+    switch (c) {
+      case '(': out.push_back(single(TokenKind::LParen)); break;
+      case ')': out.push_back(single(TokenKind::RParen)); break;
+      case '{': out.push_back(single(TokenKind::LBrace)); break;
+      case '}': out.push_back(single(TokenKind::RBrace)); break;
+      case '[': out.push_back(single(TokenKind::LBracket)); break;
+      case ']': out.push_back(single(TokenKind::RBracket)); break;
+      case ',': out.push_back(single(TokenKind::Comma)); break;
+      case ';': out.push_back(single(TokenKind::Semicolon)); break;
+      case '+': out.push_back(single(TokenKind::Plus)); break;
+      case '-': out.push_back(single(TokenKind::Minus)); break;
+      case '*': out.push_back(single(TokenKind::Star)); break;
+      case '/': out.push_back(single(TokenKind::Slash)); break;
+      case '%': out.push_back(single(TokenKind::Percent)); break;
+      case '.':
+        out.push_back(peek(1) == '.' ? pair(TokenKind::DotDot, "..")
+                                     : single(TokenKind::Dot));
+        break;
+      case '=':
+        out.push_back(peek(1) == '=' ? pair(TokenKind::EqEq, "==")
+                                     : single(TokenKind::Assign));
+        break;
+      case '!':
+        out.push_back(peek(1) == '=' ? pair(TokenKind::NotEq, "!=")
+                                     : single(TokenKind::Bang));
+        break;
+      case '<':
+        out.push_back(peek(1) == '=' ? pair(TokenKind::Le, "<=")
+                                     : single(TokenKind::Lt));
+        break;
+      case '>':
+        out.push_back(peek(1) == '=' ? pair(TokenKind::Ge, ">=")
+                                     : single(TokenKind::Gt));
+        break;
+      case '&':
+        // `&&` is a synonym of `&` (Figure 4 uses single `&`).
+        out.push_back(peek(1) == '&' ? pair(TokenKind::Amp, "&&")
+                                     : single(TokenKind::Amp));
+        break;
+      case '|':
+        if (peek(1) == '>') {
+          out.push_back(pair(TokenKind::PipeGt, "|>"));
+        } else if (peek(1) == '|') {
+          out.push_back(pair(TokenKind::Pipe, "||"));
+        } else {
+          out.push_back(single(TokenKind::Pipe));
+        }
+        break;
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'",
+                          loc);
+    }
+  }
+  Token eof;
+  eof.kind = TokenKind::EndOfFile;
+  eof.loc = here();
+  out.push_back(eof);
+  return out;
+}
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).lexAll();
+}
+
+}  // namespace buffy::lang

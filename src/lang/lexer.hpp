@@ -1,0 +1,45 @@
+// Hand-written lexer for Buffy source text.
+//
+// Notable quirks handled here:
+//  - hyphenated keywords `backlog-p`, `backlog-b`, `move-p`, `move-b`
+//    (a hyphen after those stems binds tighter than subtraction);
+//  - `|>` (buffer filter) must be recognized before `|` (logical or);
+//  - `..` (range) before `.` (method selector);
+//  - `//` line comments.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace buffy::lang {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  /// Lexes the whole input. Throws buffy::SyntaxError on bad characters.
+  /// The returned vector always ends with an EndOfFile token.
+  [[nodiscard]] std::vector<Token> lexAll();
+
+ private:
+  [[nodiscard]] bool atEnd() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] SourceLoc here() const { return SourceLoc{line_, col_}; }
+
+  void skipWhitespaceAndComments();
+  Token lexNumber();
+  Token lexIdentifierOrKeyword();
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+/// Convenience: lex `source` in one call.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace buffy::lang

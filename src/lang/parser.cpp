@@ -1,0 +1,613 @@
+#include "lang/parser.hpp"
+
+#include <string>
+
+#include "lang/lexer.hpp"
+#include "support/error.hpp"
+
+namespace buffy::lang {
+
+namespace {
+[[noreturn]] void fail(const Token& tok, const std::string& msg) {
+  throw SyntaxError(msg + " (got " + tokenKindName(tok.kind) +
+                        (tok.text.empty() ? "" : " '" + tok.text + "'") + ")",
+                    tok.loc);
+}
+}  // namespace
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& tok = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (check(kind)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+const Token& Parser::expect(TokenKind kind, const char* context) {
+  if (!check(kind)) {
+    fail(peek(), std::string("expected ") + tokenKindName(kind) + " " +
+                     context);
+  }
+  return advance();
+}
+
+// ---------------------------------------------------------------------------
+// Programs, parameters, functions
+// ---------------------------------------------------------------------------
+
+Program Parser::parseProgram() {
+  Program prog;
+  const Token& name = expect(TokenKind::Identifier, "as program name");
+  prog.name = name.text;
+  prog.loc = name.loc;
+
+  expect(TokenKind::LParen, "after program name");
+  if (!check(TokenKind::RParen)) {
+    prog.params.push_back(parseParam());
+    while (match(TokenKind::Comma)) prog.params.push_back(parseParam());
+  }
+  expect(TokenKind::RParen, "after parameter list");
+
+  expect(TokenKind::LBrace, "to open program body");
+  prog.body = std::make_unique<BlockStmt>();
+  prog.body->loc = peek().loc;
+  while (!check(TokenKind::RBrace)) {
+    if (check(TokenKind::KwDef)) {
+      prog.functions.push_back(parseFuncDecl());
+    } else {
+      prog.body->stmts.push_back(parseStatement());
+    }
+  }
+  expect(TokenKind::RBrace, "to close program body");
+  if (!check(TokenKind::EndOfFile)) {
+    fail(peek(), "trailing tokens after program body");
+  }
+  return prog;
+}
+
+Param Parser::parseParam() {
+  Param param;
+  param.loc = peek().loc;
+  if (match(TokenKind::KwBuffer)) {
+    if (match(TokenKind::LBracket)) {
+      if (check(TokenKind::IntLiteral)) {
+        param.type = Type::bufferArrayTy(static_cast<int>(advance().value));
+      } else {
+        const Token& sz = expect(TokenKind::Identifier,
+                                 "as buffer array size parameter");
+        param.type = Type::bufferArrayTy(-1);
+        param.sizeParam = sz.text;
+      }
+      expect(TokenKind::RBracket, "after buffer array size");
+    } else {
+      param.type = Type::bufferTy();
+    }
+  } else if (match(TokenKind::KwInt)) {
+    param.type = Type::intTy();
+  } else if (match(TokenKind::KwBool)) {
+    param.type = Type::boolTy();
+  } else if (match(TokenKind::KwList)) {
+    param.type = Type::listTy();
+  } else {
+    fail(peek(), "expected parameter type ('buffer', 'int', 'bool', 'list')");
+  }
+  param.name = expect(TokenKind::Identifier, "as parameter name").text;
+  return param;
+}
+
+FuncDecl Parser::parseFuncDecl() {
+  FuncDecl fn;
+  fn.loc = expect(TokenKind::KwDef, "to start function").loc;
+  if (match(TokenKind::KwInt)) {
+    fn.returnType = Type::intTy();
+  } else if (match(TokenKind::KwBool)) {
+    fn.returnType = Type::boolTy();
+  } else {
+    fn.returnType = Type::voidTy();
+  }
+  fn.name = expect(TokenKind::Identifier, "as function name").text;
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    fn.params.push_back(parseParam());
+    while (match(TokenKind::Comma)) fn.params.push_back(parseParam());
+  }
+  expect(TokenKind::RParen, "after function parameters");
+  fn.body = parseBlock();
+  return fn;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  auto block = std::make_unique<BlockStmt>();
+  block->loc = expect(TokenKind::LBrace, "to open block").loc;
+  while (!check(TokenKind::RBrace)) block->stmts.push_back(parseStatement());
+  expect(TokenKind::RBrace, "to close block");
+  return block;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlockOrSingleStatement() {
+  if (check(TokenKind::LBrace)) return parseBlock();
+  auto block = std::make_unique<BlockStmt>();
+  block->loc = peek().loc;
+  block->stmts.push_back(parseStatement());
+  return block;
+}
+
+StmtPtr Parser::parseStatement() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::LBrace:
+      return parseBlock();
+    case TokenKind::KwGlobal:
+    case TokenKind::KwLocal: {
+      const Storage storage = tok.kind == TokenKind::KwGlobal
+                                  ? Storage::Global
+                                  : Storage::Local;
+      advance();
+      const bool monitor = match(TokenKind::KwMonitor);
+      // Figure 4 writes `local dequeued = false;` for a variable that is
+      // already declared: a storage word directly followed by `name =` is
+      // parsed as a plain assignment.
+      if (!monitor && check(TokenKind::Identifier) &&
+          peek(1).is(TokenKind::Assign)) {
+        return parseIdentStatement();
+      }
+      return parseDecl(tok.loc, monitor ? Storage::Monitor : storage, monitor);
+    }
+    case TokenKind::KwMonitor:
+      advance();
+      return parseDecl(tok.loc, Storage::Monitor, true);
+    case TokenKind::KwHavoc:
+      advance();
+      return parseDecl(tok.loc, Storage::Havoc, false);
+    case TokenKind::KwInt:
+    case TokenKind::KwBool:
+    case TokenKind::KwList:
+      // Bare declarations default to local storage.
+      return parseDecl(tok.loc, Storage::Local, false);
+    case TokenKind::KwIf: {
+      advance();
+      expect(TokenKind::LParen, "after 'if'");
+      ExprPtr cond = parseExpression();
+      expect(TokenKind::RParen, "after if condition");
+      auto thenBlock = parseBlockOrSingleStatement();
+      std::unique_ptr<BlockStmt> elseBlock;
+      if (match(TokenKind::KwElse)) elseBlock = parseBlockOrSingleStatement();
+      auto stmt = std::make_unique<IfStmt>(std::move(cond),
+                                           std::move(thenBlock),
+                                           std::move(elseBlock));
+      stmt->loc = tok.loc;
+      return stmt;
+    }
+    case TokenKind::KwFor: {
+      advance();
+      expect(TokenKind::LParen, "after 'for'");
+      const std::string var =
+          expect(TokenKind::Identifier, "as loop variable").text;
+      expect(TokenKind::KwIn, "after loop variable");
+      ExprPtr lo = parseExpression();
+      expect(TokenKind::DotDot, "in loop range");
+      ExprPtr hi = parseExpression();
+      expect(TokenKind::RParen, "after loop range");
+      match(TokenKind::KwDo);  // `do` is optional
+      auto body = parseBlockOrSingleStatement();
+      auto stmt = std::make_unique<ForStmt>(var, std::move(lo), std::move(hi),
+                                            std::move(body));
+      stmt->loc = tok.loc;
+      return stmt;
+    }
+    case TokenKind::KwMoveP:
+    case TokenKind::KwMoveB: {
+      const bool packets = tok.kind == TokenKind::KwMoveP;
+      advance();
+      expect(TokenKind::LParen, "after move");
+      ExprPtr src = parseExpression();
+      expect(TokenKind::Comma, "between move source and destination");
+      ExprPtr dst = parseExpression();
+      expect(TokenKind::Comma, "between move destination and amount");
+      ExprPtr amount = parseExpression();
+      expect(TokenKind::RParen, "after move arguments");
+      expect(TokenKind::Semicolon, "after move statement");
+      auto stmt = std::make_unique<MoveStmt>(packets, std::move(src),
+                                             std::move(dst), std::move(amount));
+      stmt->loc = tok.loc;
+      return stmt;
+    }
+    case TokenKind::KwAssert:
+    case TokenKind::KwAssume: {
+      const bool isAssert = tok.kind == TokenKind::KwAssert;
+      advance();
+      expect(TokenKind::LParen, "after assert/assume");
+      ExprPtr cond = parseExpression();
+      expect(TokenKind::RParen, "after condition");
+      expect(TokenKind::Semicolon, "after assert/assume");
+      StmtPtr stmt;
+      if (isAssert) {
+        stmt = std::make_unique<AssertStmt>(std::move(cond));
+      } else {
+        stmt = std::make_unique<AssumeStmt>(std::move(cond));
+      }
+      stmt->loc = tok.loc;
+      return stmt;
+    }
+    case TokenKind::KwReturn: {
+      advance();
+      ExprPtr value;
+      if (!check(TokenKind::Semicolon)) value = parseExpression();
+      expect(TokenKind::Semicolon, "after return");
+      auto stmt = std::make_unique<ReturnStmt>(std::move(value));
+      stmt->loc = tok.loc;
+      return stmt;
+    }
+    case TokenKind::Identifier:
+      return parseIdentStatement();
+    default:
+      fail(tok, "expected a statement");
+  }
+}
+
+StmtPtr Parser::parseDecl(SourceLoc loc, Storage storage, bool /*monitor*/) {
+  Type type;
+  if (match(TokenKind::KwInt)) {
+    type = Type::intTy();
+  } else if (match(TokenKind::KwBool)) {
+    type = Type::boolTy();
+  } else if (match(TokenKind::KwList)) {
+    type = Type::listTy();
+  } else {
+    fail(peek(), "expected type in declaration ('int', 'bool', 'list')");
+  }
+  const std::string name =
+      expect(TokenKind::Identifier, "as declared variable name").text;
+
+  std::string sizeParam;
+  if (match(TokenKind::LBracket)) {
+    int n = -1;
+    const Token& size = peek();
+    if (check(TokenKind::IntLiteral)) {
+      n = static_cast<int>(advance().value);
+    } else if (check(TokenKind::Identifier)) {
+      // Named compile-time constant (e.g. `int cdeq[N]`), resolved by
+      // elaborate() from the constant bindings.
+      sizeParam = advance().text;
+    } else {
+      fail(size, "expected integer literal or constant name as size");
+    }
+    expect(TokenKind::RBracket, "after size");
+    switch (type.kind) {
+      case TypeKind::Int:
+        type = Type::intArrayTy(n);
+        break;
+      case TypeKind::Bool:
+        type = Type::boolArrayTy(n);
+        break;
+      case TypeKind::List:
+        type = Type::listTy(n);
+        break;
+      default:
+        fail(size, "size not allowed for this type");
+    }
+  }
+
+  ExprPtr init;
+  if (match(TokenKind::Assign)) init = parseExpression();
+  expect(TokenKind::Semicolon, "after declaration");
+  auto stmt =
+      std::make_unique<DeclStmt>(storage, type, name, std::move(init));
+  stmt->sizeParam = std::move(sizeParam);
+  stmt->loc = loc;
+  return stmt;
+}
+
+StmtPtr Parser::parseIdentStatement() {
+  const Token& name = expect(TokenKind::Identifier, "to start statement");
+
+  // name[idx] = expr;
+  if (check(TokenKind::LBracket)) {
+    advance();
+    ExprPtr index = parseExpression();
+    expect(TokenKind::RBracket, "after index");
+    expect(TokenKind::Assign, "in array assignment");
+    ExprPtr value = parseExpression();
+    expect(TokenKind::Semicolon, "after assignment");
+    auto stmt = std::make_unique<AssignStmt>(name.text, std::move(index),
+                                             std::move(value));
+    stmt->loc = name.loc;
+    return stmt;
+  }
+
+  // name.method(args);  — list mutators (push_back / enq) as statements.
+  if (check(TokenKind::Dot)) {
+    advance();
+    const Token& method = expect(TokenKind::Identifier, "as method name");
+    expect(TokenKind::LParen, "after method name");
+    std::vector<ExprPtr> args;
+    if (!check(TokenKind::RParen)) {
+      args.push_back(parseExpression());
+      while (match(TokenKind::Comma)) args.push_back(parseExpression());
+    }
+    expect(TokenKind::RParen, "after method arguments");
+    expect(TokenKind::Semicolon, "after method call");
+    if (method.text == "push_back" || method.text == "enq") {
+      if (args.size() != 1) fail(method, "push_back/enq takes one argument");
+      auto stmt =
+          std::make_unique<ListPushStmt>(name.text, std::move(args[0]));
+      stmt->loc = name.loc;
+      return stmt;
+    }
+    fail(method, "unknown list statement method '" + method.text +
+                     "' (expected push_back/enq)");
+  }
+
+  // name = l.pop_front();  or  name = expr;
+  if (check(TokenKind::Assign)) {
+    advance();
+    if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Dot) &&
+        peek(2).is(TokenKind::Identifier) && peek(2).text == "pop_front") {
+      const std::string list = advance().text;  // list name
+      advance();                                // '.'
+      advance();                                // pop_front
+      expect(TokenKind::LParen, "after pop_front");
+      expect(TokenKind::RParen, "after pop_front(");
+      expect(TokenKind::Semicolon, "after pop_front call");
+      auto stmt = std::make_unique<PopFrontStmt>(name.text, list);
+      stmt->loc = name.loc;
+      return stmt;
+    }
+    ExprPtr value = parseExpression();
+    expect(TokenKind::Semicolon, "after assignment");
+    auto stmt =
+        std::make_unique<AssignStmt>(name.text, nullptr, std::move(value));
+    stmt->loc = name.loc;
+    return stmt;
+  }
+
+  // name(args);  — void function call.
+  if (check(TokenKind::LParen)) {
+    advance();
+    std::vector<ExprPtr> args;
+    if (!check(TokenKind::RParen)) {
+      args.push_back(parseExpression());
+      while (match(TokenKind::Comma)) args.push_back(parseExpression());
+    }
+    expect(TokenKind::RParen, "after call arguments");
+    expect(TokenKind::Semicolon, "after call");
+    auto call = std::make_unique<CallExpr>(name.text, std::move(args));
+    call->loc = name.loc;
+    auto stmt = std::make_unique<ExprStmt>(std::move(call));
+    stmt->loc = name.loc;
+    return stmt;
+  }
+
+  fail(peek(), "expected '=', '[', '.', or '(' after identifier");
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parseExpressionOnly() {
+  ExprPtr e = parseExpression();
+  if (!check(TokenKind::EndOfFile)) {
+    fail(peek(), "trailing tokens after expression");
+  }
+  return e;
+}
+
+ExprPtr Parser::parseExpression() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr lhs = parseAnd();
+  while (check(TokenKind::Pipe)) {
+    const SourceLoc loc = advance().loc;
+    lhs = makeBinary(BinaryOp::Or, std::move(lhs), parseAnd(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr lhs = parseEquality();
+  while (check(TokenKind::Amp)) {
+    const SourceLoc loc = advance().loc;
+    lhs = makeBinary(BinaryOp::And, std::move(lhs), parseEquality(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr lhs = parseRelational();
+  while (check(TokenKind::EqEq) || check(TokenKind::NotEq)) {
+    const Token& tok = advance();
+    const BinaryOp op =
+        tok.is(TokenKind::EqEq) ? BinaryOp::Eq : BinaryOp::Ne;
+    lhs = makeBinary(op, std::move(lhs), parseRelational(), tok.loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr lhs = parseAdditive();
+  while (check(TokenKind::Lt) || check(TokenKind::Le) ||
+         check(TokenKind::Gt) || check(TokenKind::Ge)) {
+    const Token& tok = advance();
+    BinaryOp op = BinaryOp::Lt;
+    if (tok.is(TokenKind::Le)) op = BinaryOp::Le;
+    if (tok.is(TokenKind::Gt)) op = BinaryOp::Gt;
+    if (tok.is(TokenKind::Ge)) op = BinaryOp::Ge;
+    lhs = makeBinary(op, std::move(lhs), parseAdditive(), tok.loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr lhs = parseMultiplicative();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    const Token& tok = advance();
+    const BinaryOp op =
+        tok.is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    lhs = makeBinary(op, std::move(lhs), parseMultiplicative(), tok.loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr lhs = parseUnary();
+  while (check(TokenKind::Star) || check(TokenKind::Slash) ||
+         check(TokenKind::Percent)) {
+    const Token& tok = advance();
+    BinaryOp op = BinaryOp::Mul;
+    if (tok.is(TokenKind::Slash)) op = BinaryOp::Div;
+    if (tok.is(TokenKind::Percent)) op = BinaryOp::Mod;
+    lhs = makeBinary(op, std::move(lhs), parseUnary(), tok.loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Bang)) {
+    const SourceLoc loc = advance().loc;
+    return makeUnary(UnaryOp::Not, parseUnary(), loc);
+  }
+  if (check(TokenKind::Minus)) {
+    const SourceLoc loc = advance().loc;
+    return makeUnary(UnaryOp::Neg, parseUnary(), loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr base = parsePrimary();
+  while (check(TokenKind::PipeGt)) {
+    const SourceLoc loc = advance().loc;
+    // Filter: `field == value`, optionally parenthesized.
+    const bool parens = match(TokenKind::LParen);
+    const std::string field =
+        expect(TokenKind::Identifier, "as filter field name").text;
+    expect(TokenKind::EqEq, "in filter (only 'field == value' filters)");
+    ExprPtr value = parseAdditive();
+    if (parens) expect(TokenKind::RParen, "after filter");
+    auto filter = std::make_unique<FilterExpr>(std::move(base), field,
+                                               std::move(value));
+    filter->loc = loc;
+    base = std::move(filter);
+  }
+  return base;
+}
+
+ExprPtr Parser::parseMethodExpr(std::string base, SourceLoc loc) {
+  const Token& method = expect(TokenKind::Identifier, "as method name");
+  expect(TokenKind::LParen, "after method name");
+  std::vector<ExprPtr> args;
+  if (!check(TokenKind::RParen)) {
+    args.push_back(parseExpression());
+    while (match(TokenKind::Comma)) args.push_back(parseExpression());
+  }
+  expect(TokenKind::RParen, "after method arguments");
+
+  if (method.text == "has") {
+    if (args.size() != 1) fail(method, "has() takes one argument");
+    auto e = std::make_unique<ListHasExpr>(std::move(base), std::move(args[0]));
+    e->loc = loc;
+    return e;
+  }
+  if (method.text == "empty") {
+    if (!args.empty()) fail(method, "empty() takes no arguments");
+    auto e = std::make_unique<ListEmptyExpr>(std::move(base));
+    e->loc = loc;
+    return e;
+  }
+  if (method.text == "len" || method.text == "size") {
+    if (!args.empty()) fail(method, "len() takes no arguments");
+    auto e = std::make_unique<ListLenExpr>(std::move(base));
+    e->loc = loc;
+    return e;
+  }
+  fail(method, "unknown method '" + method.text +
+                   "' in expression (expected has/empty/len)");
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::IntLiteral:
+      advance();
+      return makeIntLit(tok.value, tok.loc);
+    case TokenKind::KwTrue:
+      advance();
+      return makeBoolLit(true, tok.loc);
+    case TokenKind::KwFalse:
+      advance();
+      return makeBoolLit(false, tok.loc);
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr e = parseExpression();
+      expect(TokenKind::RParen, "after parenthesized expression");
+      return e;
+    }
+    case TokenKind::KwBacklogP:
+    case TokenKind::KwBacklogB: {
+      const bool packets = tok.kind == TokenKind::KwBacklogP;
+      advance();
+      expect(TokenKind::LParen, "after backlog");
+      ExprPtr buffer = parseExpression();
+      expect(TokenKind::RParen, "after backlog argument");
+      auto e = std::make_unique<BacklogExpr>(packets, std::move(buffer));
+      e->loc = tok.loc;
+      return e;
+    }
+    case TokenKind::Identifier: {
+      advance();
+      if (check(TokenKind::LBracket)) {
+        advance();
+        ExprPtr index = parseExpression();
+        expect(TokenKind::RBracket, "after index expression");
+        auto e = std::make_unique<IndexExpr>(tok.text, std::move(index));
+        e->loc = tok.loc;
+        return e;
+      }
+      if (check(TokenKind::Dot)) {
+        advance();
+        return parseMethodExpr(tok.text, tok.loc);
+      }
+      if (check(TokenKind::LParen)) {
+        advance();
+        std::vector<ExprPtr> args;
+        if (!check(TokenKind::RParen)) {
+          args.push_back(parseExpression());
+          while (match(TokenKind::Comma)) args.push_back(parseExpression());
+        }
+        expect(TokenKind::RParen, "after call arguments");
+        auto e = std::make_unique<CallExpr>(tok.text, std::move(args));
+        e->loc = tok.loc;
+        return e;
+      }
+      return makeVarRef(tok.text, tok.loc);
+    }
+    default:
+      fail(tok, "expected an expression");
+  }
+}
+
+Program parse(std::string_view source) {
+  return Parser(lex(source)).parseProgram();
+}
+
+ExprPtr parseExpr(std::string_view source) {
+  return Parser(lex(source)).parseExpressionOnly();
+}
+
+}  // namespace buffy::lang

@@ -1,0 +1,61 @@
+// Recursive-descent parser for the Buffy language (paper Figure 3 grammar
+// plus the surface syntax of Figure 4).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+
+namespace buffy::lang {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Parses a whole program: `name(params) { decls; stmts; }`.
+  /// Throws buffy::SyntaxError on malformed input.
+  [[nodiscard]] Program parseProgram();
+
+  /// Parses a single expression (used by the query front-end).
+  [[nodiscard]] ExprPtr parseExpressionOnly();
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().is(kind); }
+  bool match(TokenKind kind);
+  const Token& expect(TokenKind kind, const char* context);
+
+  Param parseParam();
+  FuncDecl parseFuncDecl();
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStatement();
+  std::unique_ptr<BlockStmt> parseBlockOrSingleStatement();
+  StmtPtr parseDecl(SourceLoc loc, Storage storage, bool monitor);
+  StmtPtr parseIdentStatement();
+
+  ExprPtr parseExpression();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseMethodExpr(std::string base, SourceLoc loc);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: lex + parse a program from source text.
+[[nodiscard]] Program parse(std::string_view source);
+
+/// Convenience: lex + parse a standalone expression.
+[[nodiscard]] ExprPtr parseExpr(std::string_view source);
+
+}  // namespace buffy::lang

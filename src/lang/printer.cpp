@@ -1,0 +1,202 @@
+#include "lang/printer.hpp"
+
+#include "support/error.hpp"
+
+namespace buffy::lang {
+
+namespace {
+
+std::string ind(int depth) { return std::string(2 * static_cast<std::size_t>(depth), ' '); }
+
+std::string paramStr(const Param& p) {
+  if (p.type.kind == TypeKind::BufferArray) {
+    const std::string size =
+        p.sizeParam.empty() ? std::to_string(p.type.size) : p.sizeParam;
+    return "buffer[" + size + "] " + p.name;
+  }
+  if (p.type.kind == TypeKind::Buffer) return "buffer " + p.name;
+  return p.type.str() + " " + p.name;
+}
+
+}  // namespace
+
+std::string printExpr(const Expr& expr) {
+  switch (expr.exprKind) {
+    case ExprKind::IntLit:
+      return std::to_string(static_cast<const IntLitExpr&>(expr).value);
+    case ExprKind::BoolLit:
+      return static_cast<const BoolLitExpr&>(expr).value ? "true" : "false";
+    case ExprKind::VarRef:
+      return static_cast<const VarRefExpr&>(expr).name;
+    case ExprKind::Index: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      return e.base + "[" + printExpr(*e.index) + "]";
+    }
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      return "(" + printExpr(*e.lhs) + " " + binaryOpName(e.op) + " " +
+             printExpr(*e.rhs) + ")";
+    }
+    case ExprKind::Unary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      return std::string(unaryOpName(e.op)) + printExpr(*e.operand);
+    }
+    case ExprKind::Backlog: {
+      const auto& e = static_cast<const BacklogExpr&>(expr);
+      return std::string(e.packets ? "backlog-p" : "backlog-b") + "(" +
+             printExpr(*e.buffer) + ")";
+    }
+    case ExprKind::Filter: {
+      const auto& e = static_cast<const FilterExpr&>(expr);
+      return printExpr(*e.base) + " |> (" + e.field + " == " +
+             printExpr(*e.value) + ")";
+    }
+    case ExprKind::ListHas: {
+      const auto& e = static_cast<const ListHasExpr&>(expr);
+      return e.list + ".has(" + printExpr(*e.value) + ")";
+    }
+    case ExprKind::ListEmpty:
+      return static_cast<const ListEmptyExpr&>(expr).list + ".empty()";
+    case ExprKind::ListLen:
+      return static_cast<const ListLenExpr&>(expr).list + ".len()";
+    case ExprKind::Call: {
+      const auto& e = static_cast<const CallExpr&>(expr);
+      std::string out = e.callee + "(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += printExpr(*e.args[i]);
+      }
+      return out + ")";
+    }
+  }
+  throw Error("printExpr: unknown expression kind");
+}
+
+std::string printStmt(const Stmt& stmt, int indent) {
+  switch (stmt.stmtKind) {
+    case StmtKind::Block: {
+      const auto& s = static_cast<const BlockStmt&>(stmt);
+      std::string out = ind(indent) + "{\n";
+      for (const auto& inner : s.stmts) out += printStmt(*inner, indent + 1);
+      out += ind(indent) + "}\n";
+      return out;
+    }
+    case StmtKind::Decl: {
+      const auto& s = static_cast<const DeclStmt&>(stmt);
+      std::string out = ind(indent);
+      switch (s.storage) {
+        case Storage::Global: out += "global "; break;
+        case Storage::Local: out += "local "; break;
+        case Storage::Monitor: out += "monitor "; break;
+        case Storage::Havoc: out += "havoc "; break;
+      }
+      // Unelaborated declarations carry the size as a named constant.
+      const std::string size = !s.sizeParam.empty()
+                                   ? s.sizeParam
+                                   : std::to_string(s.declType.size);
+      if (s.declType.isArray()) {
+        out += s.declType.kind == TypeKind::IntArray ? "int " : "bool ";
+        out += s.name + "[" + size + "]";
+      } else if (s.declType.kind == TypeKind::List &&
+                 (s.declType.size >= 0 || !s.sizeParam.empty())) {
+        out += "list " + s.name + "[" + size + "]";
+      } else {
+        out += s.declType.str() + " " + s.name;
+      }
+      if (s.init) out += " = " + printExpr(*s.init);
+      return out + ";\n";
+    }
+    case StmtKind::Assign: {
+      const auto& s = static_cast<const AssignStmt&>(stmt);
+      std::string lhs = s.target;
+      if (s.index) lhs += "[" + printExpr(*s.index) + "]";
+      return ind(indent) + lhs + " = " + printExpr(*s.value) + ";\n";
+    }
+    case StmtKind::If: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      std::string out =
+          ind(indent) + "if (" + printExpr(*s.cond) + ") {\n";
+      for (const auto& inner : s.thenBlock->stmts) {
+        out += printStmt(*inner, indent + 1);
+      }
+      out += ind(indent) + "}";
+      if (s.elseBlock) {
+        out += " else {\n";
+        for (const auto& inner : s.elseBlock->stmts) {
+          out += printStmt(*inner, indent + 1);
+        }
+        out += ind(indent) + "}";
+      }
+      return out + "\n";
+    }
+    case StmtKind::For: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      std::string out = ind(indent) + "for (" + s.var + " in " +
+                        printExpr(*s.lo) + ".." + printExpr(*s.hi) +
+                        ") do {\n";
+      for (const auto& inner : s.body->stmts) {
+        out += printStmt(*inner, indent + 1);
+      }
+      return out + ind(indent) + "}\n";
+    }
+    case StmtKind::Move: {
+      const auto& s = static_cast<const MoveStmt&>(stmt);
+      return ind(indent) + (s.packets ? "move-p(" : "move-b(") +
+             printExpr(*s.src) + ", " + printExpr(*s.dst) + ", " +
+             printExpr(*s.amount) + ");\n";
+    }
+    case StmtKind::ListPush: {
+      const auto& s = static_cast<const ListPushStmt&>(stmt);
+      return ind(indent) + s.list + ".push_back(" + printExpr(*s.value) +
+             ");\n";
+    }
+    case StmtKind::PopFront: {
+      const auto& s = static_cast<const PopFrontStmt&>(stmt);
+      return ind(indent) + s.target + " = " + s.list + ".pop_front();\n";
+    }
+    case StmtKind::Assert: {
+      const auto& s = static_cast<const AssertStmt&>(stmt);
+      return ind(indent) + "assert(" + printExpr(*s.cond) + ");\n";
+    }
+    case StmtKind::Assume: {
+      const auto& s = static_cast<const AssumeStmt&>(stmt);
+      return ind(indent) + "assume(" + printExpr(*s.cond) + ");\n";
+    }
+    case StmtKind::Return: {
+      const auto& s = static_cast<const ReturnStmt&>(stmt);
+      if (s.value) return ind(indent) + "return " + printExpr(*s.value) + ";\n";
+      return ind(indent) + "return;\n";
+    }
+    case StmtKind::ExprStmt: {
+      const auto& s = static_cast<const ExprStmt&>(stmt);
+      return ind(indent) + printExpr(*s.expr) + ";\n";
+    }
+  }
+  throw Error("printStmt: unknown statement kind");
+}
+
+std::string printProgram(const Program& prog) {
+  std::string out = prog.name + "(";
+  for (std::size_t i = 0; i < prog.params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += paramStr(prog.params[i]);
+  }
+  out += ") {\n";
+  for (const auto& fn : prog.functions) {
+    out += ind(1) + "def ";
+    if (fn.returnType.kind != TypeKind::Void) out += fn.returnType.str() + " ";
+    out += fn.name + "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += paramStr(fn.params[i]);
+    }
+    out += ") {\n";
+    for (const auto& s : fn.body->stmts) out += printStmt(*s, 2);
+    out += ind(1) + "}\n";
+  }
+  for (const auto& s : prog.body->stmts) out += printStmt(*s, 1);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace buffy::lang

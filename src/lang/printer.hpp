@@ -1,0 +1,21 @@
+// Pretty-printer: renders an AST back to Buffy source text. Used for
+// debugging, golden tests (parse/print round-trips), and Table 1 LoC
+// accounting of transformed programs.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace buffy::lang {
+
+/// Renders an expression as Buffy source (fully parenthesized where needed).
+[[nodiscard]] std::string printExpr(const Expr& expr);
+
+/// Renders a statement (with trailing newline) at the given indent depth.
+[[nodiscard]] std::string printStmt(const Stmt& stmt, int indent = 0);
+
+/// Renders a whole program.
+[[nodiscard]] std::string printProgram(const Program& prog);
+
+}  // namespace buffy::lang

@@ -1,0 +1,63 @@
+#include "lang/token.hpp"
+
+namespace buffy::lang {
+
+const char* tokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::KwGlobal: return "'global'";
+    case TokenKind::KwLocal: return "'local'";
+    case TokenKind::KwMonitor: return "'monitor'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwBool: return "'bool'";
+    case TokenKind::KwList: return "'list'";
+    case TokenKind::KwBuffer: return "'buffer'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwIn: return "'in'";
+    case TokenKind::KwDo: return "'do'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::KwAssert: return "'assert'";
+    case TokenKind::KwAssume: return "'assume'";
+    case TokenKind::KwHavoc: return "'havoc'";
+    case TokenKind::KwDef: return "'def'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwBacklogP: return "'backlog-p'";
+    case TokenKind::KwBacklogB: return "'backlog-b'";
+    case TokenKind::KwMoveP: return "'move-p'";
+    case TokenKind::KwMoveB: return "'move-b'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::DotDot: return "'..'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::PipeGt: return "'|>'";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::EndOfFile: return "end of input";
+  }
+  return "unknown";
+}
+
+}  // namespace buffy::lang

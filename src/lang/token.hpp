@@ -1,0 +1,85 @@
+// Token definitions for the Buffy language (paper Figure 3 plus the
+// conventional imperative constructs and the Figure 4 surface syntax).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace buffy::lang {
+
+enum class TokenKind {
+  // Literals / names
+  Identifier,
+  IntLiteral,
+
+  // Keywords
+  KwGlobal,
+  KwLocal,
+  KwMonitor,
+  KwInt,
+  KwBool,
+  KwList,
+  KwBuffer,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwIn,
+  KwDo,
+  KwTrue,
+  KwFalse,
+  KwAssert,
+  KwAssume,
+  KwHavoc,
+  KwDef,
+  KwReturn,
+  KwBacklogP,  // backlog-p
+  KwBacklogB,  // backlog-b
+  KwMoveP,     // move-p
+  KwMoveB,     // move-b
+
+  // Punctuation and operators
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Dot,
+  DotDot,   // ..
+  Assign,   // =
+  PipeGt,   // |>  (buffer filter)
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,     // !
+  Amp,      // &  (logical and; && is accepted as a synonym)
+  Pipe,     // |  (logical or; || is accepted as a synonym)
+
+  EndOfFile,
+};
+
+/// Human-readable token-kind name, for diagnostics.
+const char* tokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  SourceLoc loc{};
+  std::string text;      // identifier spelling (or raw text of the token)
+  std::int64_t value = 0;  // for IntLiteral
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace buffy::lang

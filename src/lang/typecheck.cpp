@@ -1,0 +1,719 @@
+#include "lang/typecheck.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace buffy::lang {
+
+// ---------------------------------------------------------------------------
+// Elaboration: substitute compile-time constants.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Walks expressions/statements substituting constant names, tracking
+/// shadowing by declarations and loop variables.
+class ConstSubst {
+ public:
+  explicit ConstSubst(const std::map<std::string, std::int64_t>& consts)
+      : consts_(consts) {}
+
+  void run(Program& prog) {
+    // Parameters shadow constants.
+    for (const auto& p : prog.params) shadowed_.insert(p.name);
+    for (auto& fn : prog.functions) {
+      std::set<std::string> saved = shadowed_;
+      for (const auto& p : fn.params) shadowed_.insert(p.name);
+      substBlock(*fn.body);
+      shadowed_ = std::move(saved);
+    }
+    substBlock(*prog.body);
+  }
+
+ private:
+  void substBlock(BlockStmt& block) {
+    const std::set<std::string> saved = shadowed_;
+    for (auto& stmt : block.stmts) substStmt(*stmt);
+    shadowed_ = saved;
+  }
+
+  void substStmt(Stmt& stmt) {
+    switch (stmt.stmtKind) {
+      case StmtKind::Block:
+        substBlock(static_cast<BlockStmt&>(stmt));
+        break;
+      case StmtKind::Decl: {
+        auto& s = static_cast<DeclStmt&>(stmt);
+        if (!s.sizeParam.empty()) {
+          const auto it = consts_.find(s.sizeParam);
+          if (it == consts_.end()) {
+            throw SemanticError("no binding for size constant '" +
+                                    s.sizeParam + "' in declaration of '" +
+                                    s.name + "'",
+                                s.loc);
+          }
+          s.declType.size = static_cast<int>(it->second);
+          s.sizeParam.clear();
+        }
+        if (s.init) substExpr(s.init);
+        shadowed_.insert(s.name);
+        break;
+      }
+      case StmtKind::Assign: {
+        auto& s = static_cast<AssignStmt&>(stmt);
+        if (s.index) substExpr(s.index);
+        substExpr(s.value);
+        break;
+      }
+      case StmtKind::If: {
+        auto& s = static_cast<IfStmt&>(stmt);
+        substExpr(s.cond);
+        substBlock(*s.thenBlock);
+        if (s.elseBlock) substBlock(*s.elseBlock);
+        break;
+      }
+      case StmtKind::For: {
+        auto& s = static_cast<ForStmt&>(stmt);
+        substExpr(s.lo);
+        substExpr(s.hi);
+        const std::set<std::string> saved = shadowed_;
+        shadowed_.insert(s.var);
+        substBlock(*s.body);
+        shadowed_ = saved;
+        break;
+      }
+      case StmtKind::Move: {
+        auto& s = static_cast<MoveStmt&>(stmt);
+        substExpr(s.src);
+        substExpr(s.dst);
+        substExpr(s.amount);
+        break;
+      }
+      case StmtKind::ListPush:
+        substExpr(static_cast<ListPushStmt&>(stmt).value);
+        break;
+      case StmtKind::PopFront:
+        break;
+      case StmtKind::Assert:
+        substExpr(static_cast<AssertStmt&>(stmt).cond);
+        break;
+      case StmtKind::Assume:
+        substExpr(static_cast<AssumeStmt&>(stmt).cond);
+        break;
+      case StmtKind::Return: {
+        auto& s = static_cast<ReturnStmt&>(stmt);
+        if (s.value) substExpr(s.value);
+        break;
+      }
+      case StmtKind::ExprStmt:
+        substExpr(static_cast<ExprStmt&>(stmt).expr);
+        break;
+    }
+  }
+
+  void substExpr(ExprPtr& expr) {
+    switch (expr->exprKind) {
+      case ExprKind::VarRef: {
+        const auto& name = static_cast<const VarRefExpr&>(*expr).name;
+        if (shadowed_.count(name) == 0) {
+          const auto it = consts_.find(name);
+          if (it != consts_.end()) {
+            expr = makeIntLit(it->second, expr->loc);
+          }
+        }
+        break;
+      }
+      case ExprKind::Index:
+        substExpr(static_cast<IndexExpr&>(*expr).index);
+        break;
+      case ExprKind::Binary: {
+        auto& e = static_cast<BinaryExpr&>(*expr);
+        substExpr(e.lhs);
+        substExpr(e.rhs);
+        break;
+      }
+      case ExprKind::Unary:
+        substExpr(static_cast<UnaryExpr&>(*expr).operand);
+        break;
+      case ExprKind::Backlog:
+        substExpr(static_cast<BacklogExpr&>(*expr).buffer);
+        break;
+      case ExprKind::Filter: {
+        auto& e = static_cast<FilterExpr&>(*expr);
+        substExpr(e.base);
+        substExpr(e.value);
+        break;
+      }
+      case ExprKind::ListHas:
+        substExpr(static_cast<ListHasExpr&>(*expr).value);
+        break;
+      case ExprKind::Call:
+        for (auto& arg : static_cast<CallExpr&>(*expr).args) substExpr(arg);
+        break;
+      case ExprKind::IntLit:
+      case ExprKind::BoolLit:
+      case ExprKind::ListEmpty:
+      case ExprKind::ListLen:
+        break;
+    }
+  }
+
+  const std::map<std::string, std::int64_t>& consts_;
+  std::set<std::string> shadowed_;
+};
+
+}  // namespace
+
+void elaborate(Program& prog, const CompileOptions& opts) {
+  for (auto& param : prog.params) {
+    if (param.type.kind == TypeKind::BufferArray && !param.sizeParam.empty()) {
+      const auto it = opts.constants.find(param.sizeParam);
+      if (it == opts.constants.end()) {
+        throw SemanticError("no binding for buffer array size parameter '" +
+                                param.sizeParam + "'",
+                            param.loc);
+      }
+      if (it->second <= 0) {
+        throw SemanticError("buffer array size parameter '" + param.sizeParam +
+                                "' must be positive",
+                            param.loc);
+      }
+      param.type.size = static_cast<int>(it->second);
+      param.sizeParam.clear();
+    }
+  }
+  ConstSubst(opts.constants).run(prog);
+}
+
+// ---------------------------------------------------------------------------
+// Type checking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct VarInfo {
+  Type type;
+  Storage storage = Storage::Local;
+};
+
+class TypeChecker {
+ public:
+  TypeChecker(const CompileOptions& opts, DiagnosticEngine& diag)
+      : opts_(opts), diag_(diag) {}
+
+  TypecheckResult run(Program& prog) {
+    const std::size_t errorsBefore = diag_.errorCount();
+
+    // Collect function signatures first (so calls can be checked anywhere).
+    for (const auto& fn : prog.functions) {
+      if (functions_.count(fn.name) != 0) {
+        diag_.error(fn.loc, "duplicate function '" + fn.name + "'");
+      }
+      functions_[fn.name] = &fn;
+    }
+
+    pushScope();
+    for (const auto& p : prog.params) declareParam(p);
+    for (auto& fn : prog.functions) checkFunction(fn);
+    checkBlock(*prog.body);
+    popScope();
+
+    result_.ok = diag_.errorCount() == errorsBefore;
+    return std::move(result_);
+  }
+
+ private:
+  // --- scope management ---
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+
+  VarInfo* lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  void declare(SourceLoc loc, const std::string& name, Type type,
+               Storage storage) {
+    if (scopes_.back().count(name) != 0) {
+      diag_.error(loc, "redeclaration of '" + name + "'");
+      return;
+    }
+    // Globals conflict with any outer declaration too.
+    if ((storage == Storage::Global || storage == Storage::Monitor) &&
+        lookup(name) != nullptr) {
+      diag_.error(loc, "global/monitor '" + name +
+                           "' conflicts with an existing declaration");
+      return;
+    }
+    scopes_.back()[name] = VarInfo{type, storage};
+    if (storage == Storage::Global || storage == Storage::Monitor) {
+      result_.globals[name] = type;
+      if (storage == Storage::Monitor) result_.monitors.insert(name);
+    }
+  }
+
+  void declareParam(const Param& p) {
+    Type type = p.type;
+    if (type.kind == TypeKind::List && type.size < 0) {
+      type.size = opts_.defaultListCapacity;
+    }
+    declare(p.loc, p.name, type, Storage::Local);
+    result_.paramTypes[p.name] = type;
+  }
+
+  // --- functions ---
+  void checkFunction(FuncDecl& fn) {
+    pushScope();
+    for (const auto& p : fn.params) declareParam(p);
+    currentReturnType_ = fn.returnType;
+    checkBlock(*fn.body);
+    currentReturnType_ = Type::voidTy();
+    popScope();
+
+    // Restriction: a value-returning function must end with its only
+    // `return` (keeps the inliner a plain substitution).
+    if (fn.returnType.kind != TypeKind::Void) {
+      const auto& stmts = fn.body->stmts;
+      if (stmts.empty() || stmts.back()->stmtKind != StmtKind::Return) {
+        diag_.error(fn.loc, "function '" + fn.name +
+                                "' must end with a return statement");
+      }
+      int returnCount = 0;
+      countReturns(*fn.body, returnCount);
+      if (returnCount > 1) {
+        diag_.error(fn.loc,
+                    "function '" + fn.name +
+                        "' may contain only one return (as its final "
+                        "statement); early returns are not supported");
+      }
+    }
+  }
+
+  static void countReturns(const BlockStmt& block, int& count) {
+    for (const auto& stmt : block.stmts) {
+      switch (stmt->stmtKind) {
+        case StmtKind::Return:
+          ++count;
+          break;
+        case StmtKind::Block:
+          countReturns(static_cast<const BlockStmt&>(*stmt), count);
+          break;
+        case StmtKind::If: {
+          const auto& s = static_cast<const IfStmt&>(*stmt);
+          countReturns(*s.thenBlock, count);
+          if (s.elseBlock) countReturns(*s.elseBlock, count);
+          break;
+        }
+        case StmtKind::For:
+          countReturns(*static_cast<const ForStmt&>(*stmt).body, count);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // --- statements ---
+  void checkBlock(BlockStmt& block) {
+    pushScope();
+    for (auto& stmt : block.stmts) checkStmt(*stmt);
+    popScope();
+  }
+
+  void checkStmt(Stmt& stmt) {
+    switch (stmt.stmtKind) {
+      case StmtKind::Block:
+        checkBlock(static_cast<BlockStmt&>(stmt));
+        break;
+      case StmtKind::Decl: {
+        auto& s = static_cast<DeclStmt&>(stmt);
+        Type type = s.declType;
+        if (type.kind == TypeKind::List && type.size < 0) {
+          type.size = opts_.defaultListCapacity;
+          s.declType.size = type.size;
+        }
+        if (type.isArray() && type.size <= 0) {
+          diag_.error(s.loc, "array '" + s.name + "' must have positive size");
+        }
+        if (s.storage == Storage::Monitor &&
+            !(type.isScalar() || type.isArray())) {
+          diag_.error(s.loc, "monitor '" + s.name +
+                                 "' must be int/bool (or an array of them)");
+        }
+        if (s.storage == Storage::Havoc) {
+          if (!type.isScalar()) {
+            diag_.error(s.loc, "havoc '" + s.name + "' must be int or bool");
+          }
+          if (s.init != nullptr) {
+            diag_.error(s.loc, "havoc '" + s.name +
+                                   "' cannot have an initializer (its value "
+                                   "is nondeterministic)");
+          }
+        }
+        if (s.init) {
+          const Type initType = checkExpr(*s.init);
+          if (type.isScalar() && initType != type &&
+              initType.kind != TypeKind::Void) {
+            diag_.error(s.loc, "initializer for '" + s.name + "' has type " +
+                                   initType.str() + ", expected " +
+                                   type.str());
+          }
+          if (!type.isScalar()) {
+            diag_.error(s.loc,
+                        "only int/bool declarations may have initializers");
+          }
+        }
+        declare(s.loc, s.name, type, s.storage);
+        break;
+      }
+      case StmtKind::Assign: {
+        auto& s = static_cast<AssignStmt&>(stmt);
+        const VarInfo* info = lookup(s.target);
+        if (info == nullptr) {
+          diag_.error(s.loc, "assignment to undeclared variable '" +
+                                 s.target + "'");
+          if (s.index) checkExpr(*s.index);
+          checkExpr(*s.value);
+          break;
+        }
+        Type expected;
+        if (s.index) {
+          const Type indexType = checkExpr(*s.index);
+          if (indexType.kind != TypeKind::Int) {
+            diag_.error(s.loc, "array index must be int");
+          }
+          if (info->type.kind == TypeKind::IntArray) {
+            expected = Type::intTy();
+          } else if (info->type.kind == TypeKind::BoolArray) {
+            expected = Type::boolTy();
+          } else {
+            diag_.error(s.loc, "'" + s.target + "' is not an array");
+            expected = Type::intTy();
+          }
+        } else {
+          if (!info->type.isScalar()) {
+            diag_.error(s.loc, "cannot assign whole " + info->type.str() +
+                                   " '" + s.target + "'");
+          }
+          expected = info->type;
+        }
+        const Type valueType = checkExpr(*s.value);
+        if (expected.isScalar() && valueType != expected) {
+          diag_.error(s.loc, "assigning " + valueType.str() + " to '" +
+                                 s.target + "' of type " + expected.str());
+        }
+        break;
+      }
+      case StmtKind::If: {
+        auto& s = static_cast<IfStmt&>(stmt);
+        expectType(checkExpr(*s.cond), Type::boolTy(), s.cond->loc,
+                   "if condition");
+        checkBlock(*s.thenBlock);
+        if (s.elseBlock) checkBlock(*s.elseBlock);
+        break;
+      }
+      case StmtKind::For: {
+        auto& s = static_cast<ForStmt&>(stmt);
+        expectType(checkExpr(*s.lo), Type::intTy(), s.lo->loc,
+                   "loop lower bound");
+        expectType(checkExpr(*s.hi), Type::intTy(), s.hi->loc,
+                   "loop upper bound");
+        pushScope();
+        declare(s.loc, s.var, Type::intTy(), Storage::Local);
+        checkBlock(*s.body);
+        popScope();
+        break;
+      }
+      case StmtKind::Move: {
+        auto& s = static_cast<MoveStmt&>(stmt);
+        const Type srcType = checkExpr(*s.src);
+        const Type dstType = checkExpr(*s.dst);
+        if (srcType.kind != TypeKind::Buffer) {
+          diag_.error(s.src->loc, "move source must be a buffer");
+        }
+        if (dstType.kind != TypeKind::Buffer) {
+          diag_.error(s.dst->loc, "move destination must be a buffer");
+        }
+        if (s.src->exprKind == ExprKind::Filter ||
+            s.dst->exprKind == ExprKind::Filter) {
+          diag_.error(s.loc,
+                      "move operates on plain buffers, not filtered views "
+                      "(paper grammar: move-p(b, b, E))");
+        }
+        expectType(checkExpr(*s.amount), Type::intTy(), s.amount->loc,
+                   "move amount");
+        break;
+      }
+      case StmtKind::ListPush: {
+        auto& s = static_cast<ListPushStmt&>(stmt);
+        requireList(s.list, s.loc);
+        expectType(checkExpr(*s.value), Type::intTy(), s.value->loc,
+                   "list element");
+        break;
+      }
+      case StmtKind::PopFront: {
+        auto& s = static_cast<PopFrontStmt&>(stmt);
+        requireList(s.list, s.loc);
+        const VarInfo* info = lookup(s.target);
+        if (info == nullptr) {
+          diag_.error(s.loc, "pop_front target '" + s.target +
+                                 "' is not declared");
+        } else if (info->type.kind != TypeKind::Int) {
+          diag_.error(s.loc, "pop_front target '" + s.target +
+                                 "' must be int");
+        }
+        break;
+      }
+      case StmtKind::Assert:
+        expectType(checkExpr(*static_cast<AssertStmt&>(stmt).cond),
+                   Type::boolTy(), stmt.loc, "assert condition");
+        break;
+      case StmtKind::Assume:
+        expectType(checkExpr(*static_cast<AssumeStmt&>(stmt).cond),
+                   Type::boolTy(), stmt.loc, "assume condition");
+        break;
+      case StmtKind::Return: {
+        auto& s = static_cast<ReturnStmt&>(stmt);
+        if (currentReturnType_.kind == TypeKind::Void) {
+          if (s.value != nullptr) {
+            diag_.error(s.loc, "return with a value in a void context");
+            checkExpr(*s.value);
+          }
+        } else {
+          if (s.value == nullptr) {
+            diag_.error(s.loc, "return must carry a value here");
+          } else {
+            expectType(checkExpr(*s.value), currentReturnType_, s.loc,
+                       "return value");
+          }
+        }
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        auto& s = static_cast<ExprStmt&>(stmt);
+        const Type t = checkExpr(*s.expr);
+        if (s.expr->exprKind != ExprKind::Call) {
+          diag_.error(s.loc, "expression statement must be a call");
+        } else if (t.kind != TypeKind::Void) {
+          diag_.warning(s.loc, "discarding call result");
+        }
+        break;
+      }
+    }
+  }
+
+  void requireList(const std::string& name, SourceLoc loc) {
+    const VarInfo* info = lookup(name);
+    if (info == nullptr) {
+      diag_.error(loc, "list '" + name + "' is not declared");
+    } else if (info->type.kind != TypeKind::List) {
+      diag_.error(loc, "'" + name + "' is not a list");
+    }
+  }
+
+  void expectType(Type got, Type want, SourceLoc loc, const char* what) {
+    if (got.kind != want.kind) {
+      diag_.error(loc, std::string(what) + " must be " + want.str() +
+                           ", got " + got.str());
+    }
+  }
+
+  // --- expressions ---
+  Type checkExpr(Expr& expr) {
+    const Type type = computeType(expr);
+    expr.type = type;
+    return type;
+  }
+
+  Type computeType(Expr& expr) {
+    switch (expr.exprKind) {
+      case ExprKind::IntLit:
+        return Type::intTy();
+      case ExprKind::BoolLit:
+        return Type::boolTy();
+      case ExprKind::VarRef: {
+        const auto& e = static_cast<const VarRefExpr&>(expr);
+        const VarInfo* info = lookup(e.name);
+        if (info == nullptr) {
+          diag_.error(e.loc, "use of undeclared variable '" + e.name +
+                                 "' (not a compile-time constant either)");
+          return Type::intTy();
+        }
+        return info->type;
+      }
+      case ExprKind::Index: {
+        auto& e = static_cast<IndexExpr&>(expr);
+        expectType(checkExpr(*e.index), Type::intTy(), e.loc, "index");
+        const VarInfo* info = lookup(e.base);
+        if (info == nullptr) {
+          diag_.error(e.loc, "use of undeclared array '" + e.base + "'");
+          return Type::intTy();
+        }
+        switch (info->type.kind) {
+          case TypeKind::IntArray:
+            return Type::intTy();
+          case TypeKind::BoolArray:
+            return Type::boolTy();
+          case TypeKind::BufferArray:
+            return Type::bufferTy();
+          default:
+            diag_.error(e.loc, "'" + e.base + "' is not indexable");
+            return Type::intTy();
+        }
+      }
+      case ExprKind::Binary: {
+        auto& e = static_cast<BinaryExpr&>(expr);
+        const Type lhs = checkExpr(*e.lhs);
+        const Type rhs = checkExpr(*e.rhs);
+        switch (e.op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+          case BinaryOp::Mul:
+          case BinaryOp::Div:
+          case BinaryOp::Mod:
+            expectType(lhs, Type::intTy(), e.loc, "arithmetic operand");
+            expectType(rhs, Type::intTy(), e.loc, "arithmetic operand");
+            return Type::intTy();
+          case BinaryOp::Eq:
+          case BinaryOp::Ne:
+            if (lhs.kind != rhs.kind || !lhs.isScalar()) {
+              diag_.error(e.loc, "==/!= operands must both be int or both "
+                                 "bool");
+            }
+            return Type::boolTy();
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge:
+            expectType(lhs, Type::intTy(), e.loc, "comparison operand");
+            expectType(rhs, Type::intTy(), e.loc, "comparison operand");
+            return Type::boolTy();
+          case BinaryOp::And:
+          case BinaryOp::Or:
+            expectType(lhs, Type::boolTy(), e.loc, "logical operand");
+            expectType(rhs, Type::boolTy(), e.loc, "logical operand");
+            return Type::boolTy();
+        }
+        return Type::intTy();
+      }
+      case ExprKind::Unary: {
+        auto& e = static_cast<UnaryExpr&>(expr);
+        const Type t = checkExpr(*e.operand);
+        if (e.op == UnaryOp::Not) {
+          expectType(t, Type::boolTy(), e.loc, "'!' operand");
+          return Type::boolTy();
+        }
+        expectType(t, Type::intTy(), e.loc, "'-' operand");
+        return Type::intTy();
+      }
+      case ExprKind::Backlog: {
+        auto& e = static_cast<BacklogExpr&>(expr);
+        const Type t = checkExpr(*e.buffer);
+        if (t.kind != TypeKind::Buffer) {
+          diag_.error(e.loc, "backlog argument must be a buffer");
+        }
+        return Type::intTy();
+      }
+      case ExprKind::Filter: {
+        auto& e = static_cast<FilterExpr&>(expr);
+        const Type base = checkExpr(*e.base);
+        if (base.kind != TypeKind::Buffer) {
+          diag_.error(e.loc, "filter base must be a buffer");
+        }
+        expectType(checkExpr(*e.value), Type::intTy(), e.loc, "filter value");
+        return Type::bufferTy();
+      }
+      case ExprKind::ListHas: {
+        auto& e = static_cast<ListHasExpr&>(expr);
+        requireList(e.list, e.loc);
+        expectType(checkExpr(*e.value), Type::intTy(), e.loc,
+                   "has() argument");
+        return Type::boolTy();
+      }
+      case ExprKind::ListEmpty:
+        requireList(static_cast<const ListEmptyExpr&>(expr).list, expr.loc);
+        return Type::boolTy();
+      case ExprKind::ListLen:
+        requireList(static_cast<const ListLenExpr&>(expr).list, expr.loc);
+        return Type::intTy();
+      case ExprKind::Call: {
+        auto& e = static_cast<CallExpr&>(expr);
+        if (e.callee == "min" || e.callee == "max") {
+          if (e.args.size() < 2) {
+            diag_.error(e.loc, e.callee + "() needs at least two arguments");
+          }
+          for (auto& arg : e.args) {
+            expectType(checkExpr(*arg), Type::intTy(), e.loc,
+                       (e.callee + "() argument").c_str());
+          }
+          return Type::intTy();
+        }
+        const auto it = functions_.find(e.callee);
+        if (it == functions_.end()) {
+          diag_.error(e.loc, "call to unknown function '" + e.callee + "'");
+          for (auto& arg : e.args) checkExpr(*arg);
+          return Type::intTy();
+        }
+        const FuncDecl& fn = *it->second;
+        if (fn.params.size() != e.args.size()) {
+          diag_.error(e.loc, "'" + e.callee + "' expects " +
+                                 std::to_string(fn.params.size()) +
+                                 " arguments, got " +
+                                 std::to_string(e.args.size()));
+        }
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          const Type argType = checkExpr(*e.args[i]);
+          if (i < fn.params.size()) {
+            const Type paramType = fn.params[i].type;
+            if (argType.kind != paramType.kind) {
+              diag_.error(e.args[i]->loc,
+                          "argument " + std::to_string(i + 1) + " of '" +
+                              e.callee + "' has type " + argType.str() +
+                              ", expected " + paramType.str());
+            }
+            // Buffer/list arguments must be names (aliases) for inlining.
+            if (!paramType.isScalar() &&
+                e.args[i]->exprKind != ExprKind::VarRef &&
+                e.args[i]->exprKind != ExprKind::Index) {
+              diag_.error(e.args[i]->loc,
+                          "buffer/list arguments must be simple names");
+            }
+          }
+        }
+        return fn.returnType;
+      }
+    }
+    return Type::intTy();
+  }
+
+  const CompileOptions& opts_;
+  DiagnosticEngine& diag_;
+  std::vector<std::map<std::string, VarInfo>> scopes_;
+  std::map<std::string, const FuncDecl*> functions_;
+  Type currentReturnType_ = Type::voidTy();
+  TypecheckResult result_;
+};
+
+}  // namespace
+
+TypecheckResult typecheck(Program& prog, const CompileOptions& opts,
+                          DiagnosticEngine& diag) {
+  return TypeChecker(opts, diag).run(prog);
+}
+
+TypecheckResult checkOrThrow(Program& prog, const CompileOptions& opts) {
+  elaborate(prog, opts);
+  DiagnosticEngine diag;
+  TypecheckResult result = typecheck(prog, opts, diag);
+  if (!result.ok) {
+    throw SemanticError("type checking failed:\n" + diag.renderAll());
+  }
+  return result;
+}
+
+}  // namespace buffy::lang

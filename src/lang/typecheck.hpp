@@ -1,0 +1,57 @@
+// Type checker and compile-time elaboration for Buffy programs.
+//
+// Elaboration substitutes compile-time constants (e.g. the `N` in
+// `buffer[N] ibs` and `for (i in 0..N)`) into the AST, resolving every
+// array/list size to a concrete bound — the paper's §7 "bounded arrays"
+// restriction. Type checking then annotates every expression with its type
+// and reports errors through a DiagnosticEngine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace buffy::lang {
+
+/// Compile-time configuration for one program elaboration.
+struct CompileOptions {
+  /// Values for compile-time constant parameters referenced by name
+  /// (e.g. {"N", 4}).
+  std::map<std::string, std::int64_t> constants;
+  /// Capacity assigned to `list` declarations that do not carry an explicit
+  /// bound. Must be > 0.
+  int defaultListCapacity = 8;
+};
+
+/// Replaces references to CompileOptions::constants with integer literals
+/// (respecting shadowing by locals/loop variables) and resolves
+/// buffer-array parameter sizes. Throws SemanticError if a size parameter
+/// has no binding.
+void elaborate(Program& prog, const CompileOptions& opts);
+
+/// Result of type checking: symbol information needed by later passes.
+struct TypecheckResult {
+  bool ok = false;
+  /// All program-level globals (including monitors), with resolved types.
+  std::map<std::string, Type> globals;
+  /// Names of globals declared as monitors (ghost state).
+  std::set<std::string> monitors;
+  /// Parameter types after size resolution, keyed by name.
+  std::map<std::string, Type> paramTypes;
+};
+
+/// Type checks `prog` in place (filling Expr::type). `prog` must already be
+/// elaborated. Reports problems via `diag`; returns result with ok =
+/// !diag.hasErrors() for this run.
+TypecheckResult typecheck(Program& prog, const CompileOptions& opts,
+                          DiagnosticEngine& diag);
+
+/// Convenience: elaborate + typecheck, throwing SemanticError listing the
+/// diagnostics if checking fails.
+TypecheckResult checkOrThrow(Program& prog, const CompileOptions& opts);
+
+}  // namespace buffy::lang

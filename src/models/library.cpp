@@ -1,0 +1,244 @@
+#include "models/library.hpp"
+
+#include "support/strings.hpp"
+
+namespace buffy::models {
+
+// Figure 4 of the paper, verbatim in structure (18 LoC), extended only by
+// the ghost monitor updates §6.1 adds for the starvation query.
+const char* const kFairQueueBuggy = R"(
+fq(buffer[N] ibs, buffer ob) {
+  global list nq;
+  global list oq;
+  global monitor int cdeq[N];
+  // update new queues
+  for (i in 0..N) do {
+    if (backlog-p(ibs[i]) > 0 & !oq.has(i) & !nq.has(i))
+      nq.enq(i);
+  }
+  // decide which input queue should transmit
+  local bool dequeued;
+  local int head;
+  dequeued = false;
+  for (i in 0..N) do {
+    if (!dequeued) {
+      head = -1;
+      if (!nq.empty()) { head = nq.pop_front(); }
+      else {
+        if (!oq.empty()) { head = oq.pop_front(); }
+      }
+      if (head != -1) {
+        if (backlog-p(ibs[head]) > 1) {
+          oq.push_back(head);
+        }
+        if (backlog-p(ibs[head]) > 0) {
+          move-p(ibs[head], ob, 1);
+          dequeued = true;
+          cdeq[head] = cdeq[head] + 1;
+        }
+      }
+    }
+  }
+}
+)";
+
+// RFC 8290's fix for the §2.1 bug: a queue popped from new_queues is
+// always demoted to old_queues (never silently deactivated), so it cannot
+// re-enter the prioritized list ahead of waiting old queues.
+const char* const kFairQueueFixed = R"(
+fq(buffer[N] ibs, buffer ob) {
+  global list nq;
+  global list oq;
+  global monitor int cdeq[N];
+  for (i in 0..N) do {
+    if (backlog-p(ibs[i]) > 0 & !oq.has(i) & !nq.has(i))
+      nq.enq(i);
+  }
+  local bool dequeued;
+  local int head;
+  local bool fromnew;
+  dequeued = false;
+  for (i in 0..N) do {
+    if (!dequeued) {
+      head = -1;
+      fromnew = false;
+      if (!nq.empty()) { head = nq.pop_front(); fromnew = true; }
+      else {
+        if (!oq.empty()) { head = oq.pop_front(); }
+      }
+      if (head != -1) {
+        if (fromnew) {
+          oq.push_back(head);
+        } else {
+          if (backlog-p(ibs[head]) > 1) {
+            oq.push_back(head);
+          }
+        }
+        if (backlog-p(ibs[head]) > 0) {
+          move-p(ibs[head], ob, 1);
+          dequeued = true;
+          cdeq[head] = cdeq[head] + 1;
+        }
+      }
+    }
+  }
+}
+)";
+
+// Table 1 row 2 (10 LoC in Buffy).
+const char* const kRoundRobin = R"(
+rr(buffer[N] ibs, buffer ob) {
+  global int next;
+  global monitor int cdeq[N];
+  local bool dequeued;
+  local int q;
+  dequeued = false;
+  for (i in 0..N) do {
+    q = (next + i) % N;
+    if (!dequeued & backlog-p(ibs[q]) > 0) {
+      move-p(ibs[q], ob, 1);
+      cdeq[q] = cdeq[q] + 1;
+      next = (q + 1) % N;
+      dequeued = true;
+    }
+  }
+}
+)";
+
+// Table 1 row 3 (7 LoC in Buffy).
+const char* const kStrictPriority = R"(
+sp(buffer[N] ibs, buffer ob) {
+  global monitor int cdeq[N];
+  local bool dequeued;
+  dequeued = false;
+  for (i in 0..N) do {
+    if (!dequeued & backlog-p(ibs[i]) > 0) {
+      move-p(ibs[i], ob, 1);
+      cdeq[i] = cdeq[i] + 1;
+      dequeued = true;
+    }
+  }
+}
+)";
+
+// CCAC decomposition, program 1 of 3: an AIMD congestion-control
+// algorithm; one time step models one RTT. `inflight` tracks unacked
+// packets; loss is inferred from RTO consecutive ack-less RTTs with
+// outstanding data (a retransmission-timeout abstraction — reacting to a
+// single silent RTT would halve the window before the first ack can even
+// return over a multi-step path).
+const char* const kAimdCca = R"(
+aimd(buffer ind, buffer inack, buffer out, buffer ackdrain) {
+  global int cwnd;
+  global int inflight;
+  global int noack;
+  global monitor int mcwnd;
+  global monitor int msent;
+  local int acks;
+  local int tosend;
+  local int moved;
+  if (cwnd == 0) { cwnd = 2; }
+  acks = backlog-p(inack);
+  move-p(inack, ackdrain, acks);
+  inflight = inflight - acks;
+  if (inflight < 0) { inflight = 0; }
+  if (acks > 0) {
+    noack = 0;
+    cwnd = cwnd + 1;
+  } else {
+    if (inflight > 0) { noack = noack + 1; }
+    if (noack >= RTO) {
+      cwnd = cwnd / 2;
+      if (cwnd < 1) { cwnd = 1; }
+      noack = 0;
+    }
+  }
+  tosend = cwnd - inflight;
+  if (tosend < 0) { tosend = 0; }
+  moved = min(tosend, backlog-p(ind));
+  move-p(ind, out, tosend);
+  inflight = inflight + moved;
+  mcwnd = cwnd;
+  msent = msent + moved;
+}
+)";
+
+// CCAC decomposition, program 2 of 3: the path server — a generalized,
+// non-deterministic token-bucket filter (rate RATE, depth BUCKET). The
+// havoced `waste` lets the server serve less than it could (CCAC's
+// non-deterministic service), accumulating tokens for a later burst.
+const char* const kPathServer = R"(
+path(buffer pin, buffer pout) {
+  global int tokens;
+  global monitor int mserved;
+  havoc int waste;
+  local int serve;
+  assume(waste >= 0);
+  tokens = tokens + RATE;
+  if (tokens > BUCKET) { tokens = BUCKET; }
+  serve = min(tokens, backlog-p(pin));
+  serve = serve - waste;
+  if (serve < 0) { serve = 0; }
+  move-p(pin, pout, serve);
+  tokens = tokens - serve;
+  mserved = mserved + serve;
+}
+)";
+
+// CCAC decomposition, program 3 of 3: a non-deterministic delay server —
+// it may hold acks and release them later in a burst (the §6.2 ack-burst
+// condition). The havoced release is bounded by what is queued.
+const char* const kDelayServer = R"(
+delay(buffer din, buffer dout) {
+  global monitor int mreleased;
+  havoc int rel;
+  local int releasing;
+  assume(rel >= 0);
+  releasing = min(rel, backlog-p(din));
+  move-p(din, dout, rel);
+  mreleased = mreleased + releasing;
+}
+)";
+
+// Byte-precision deficit round robin (RFC 3449-era DRR, the quantum
+// mechanism FQ-CoDel §2.1 builds on): each visited backlogged queue earns
+// QUANTUM bytes of deficit and sends whole packets while they fit.
+// Exercises backlog-b / move-b end to end.
+const char* const kDeficitRoundRobin = R"(
+drr(buffer[N] ibs, buffer ob) {
+  global int deficit[N];
+  global int next;
+  global monitor int bdeq[N];
+  local bool served;
+  local int q;
+  local int before;
+  served = false;
+  for (i in 0..N) do {
+    q = (next + i) % N;
+    if (!served & backlog-p(ibs[q]) > 0) {
+      deficit[q] = deficit[q] + QUANTUM;
+      before = backlog-b(ibs[q]);
+      move-b(ibs[q], ob, deficit[q]);
+      bdeq[q] = bdeq[q] + (before - backlog-b(ibs[q]));
+      deficit[q] = deficit[q] - (before - backlog-b(ibs[q]));
+      if (backlog-p(ibs[q]) == 0) { deficit[q] = 0; }
+      next = (q + 1) % N;
+      served = true;
+    }
+  }
+}
+)";
+
+std::size_t modelLoc(const char* source) { return countCodeLines(source); }
+
+const std::vector<ModelEntry>& allModels() {
+  static const std::vector<ModelEntry> entries = {
+      {"fq_buggy", kFairQueueBuggy}, {"fq_fixed", kFairQueueFixed},
+      {"round_robin", kRoundRobin},  {"strict_priority", kStrictPriority},
+      {"drr", kDeficitRoundRobin},   {"aimd", kAimdCca},
+      {"path_server", kPathServer},  {"delay_server", kDelayServer},
+  };
+  return entries;
+}
+
+}  // namespace buffy::models

@@ -1,0 +1,64 @@
+// The model library: Buffy source for the programs the paper builds or
+// evaluates on —
+//   * the buggy fair-queuing scheduler of Figure 4 (FQ-CoDel-inspired; the
+//     "queue reappears in new_queues" starvation bug of §2.1),
+//   * the RFC 8290-fixed variant of the same scheduler,
+//   * Round-Robin and Strict-Priority schedulers (Table 1 rows),
+//   * the CCAC decomposition of §6.2: AIMD congestion control, a
+//     non-deterministic token-bucket path server, and a non-deterministic
+//     delay server, composed via buffers (Figure 7).
+//
+// Each entry carries the source text (whose non-comment line count is the
+// Buffy column of Table 1) plus helpers to build ready-to-analyze
+// ProgramSpecs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace buffy::models {
+
+/// Figure 4: the buggy FQ scheduler, parameterized by N input buffers.
+/// Monitors: cdeq[N] — packets dequeued from each input buffer so far.
+extern const char* const kFairQueueBuggy;
+
+/// RFC 8290 fix: a queue emptied from new_queues is demoted to old_queues
+/// instead of being deactivated, so it cannot re-enter the prioritized
+/// list while other queues wait.
+extern const char* const kFairQueueFixed;
+
+/// Round-robin scheduler (Table 1, row 2). Monitors: cdeq[N].
+extern const char* const kRoundRobin;
+
+/// Strict-priority scheduler (Table 1, row 3; buffer 0 wins). Monitors:
+/// cdeq[N].
+extern const char* const kStrictPriority;
+
+/// Byte-precision deficit round robin (quantum QUANTUM bytes per visit);
+/// the quantum mechanism underlying FQ-CoDel. Monitors: bdeq[N] (bytes
+/// dequeued per input so far). Packets need a "bytes" field.
+extern const char* const kDeficitRoundRobin;
+
+/// CCAC §6.2 — AIMD congestion-control algorithm; one step = one RTT.
+/// Buffers: ind (app data in), inack (acks in), out (to path), ackdrain.
+extern const char* const kAimdCca;
+
+/// CCAC §6.2 — non-deterministic token-bucket path server with compile
+/// constants RATE and BUCKET; may serve less than available (havoc waste).
+extern const char* const kPathServer;
+
+/// CCAC §6.2 — non-deterministic delay server: holds packets and releases
+/// a havoced amount per step (this is what produces ack bursts).
+extern const char* const kDelayServer;
+
+/// Lines of code of a model (non-blank, non-comment) — the Table 1 metric.
+std::size_t modelLoc(const char* source);
+
+/// Named registry (for tools/benches iterating over all models).
+struct ModelEntry {
+  const char* name;
+  const char* source;
+};
+const std::vector<ModelEntry>& allModels();
+
+}  // namespace buffy::models

@@ -1,0 +1,178 @@
+// Definite-assignment lint: warns when a local scalar may be read before
+// any assignment on some path. Buffy defines uninitialized locals as
+// 0/false, so this is a warning (a likely modeling mistake), not an error.
+#include "sem/passes.hpp"
+
+namespace buffy::sem {
+
+using namespace lang;
+
+namespace {
+
+class DefiniteAssignment {
+ public:
+  explicit DefiniteAssignment(DiagnosticEngine& diag) : diag_(diag) {}
+
+  void run(const Program& prog) {
+    std::set<std::string> assigned;
+    checkBlock(*prog.body, assigned);
+    for (const auto& fn : prog.functions) {
+      std::set<std::string> fnAssigned;
+      for (const auto& p : fn.params) fnAssigned.insert(p.name);
+      checkBlock(*fn.body, fnAssigned);
+    }
+  }
+
+ private:
+  void declare(const DeclStmt& s, std::set<std::string>& assigned) {
+    // Only uninitialized local scalars are tracked; everything else
+    // (globals persist, havocs are defined, arrays/lists start empty by
+    // design) counts as assigned.
+    if (s.storage == Storage::Local && s.declType.isScalar() &&
+        s.init == nullptr) {
+      tracked_.insert(s.name);
+    } else {
+      assigned.insert(s.name);
+      tracked_.erase(s.name);
+    }
+  }
+
+  void use(const std::string& name, SourceLoc loc,
+           const std::set<std::string>& assigned) {
+    if (tracked_.count(name) != 0 && assigned.count(name) == 0 &&
+        warned_.insert(name).second) {
+      diag_.warning(loc, "local '" + name +
+                             "' may be read before assignment (defaults "
+                             "to 0/false)");
+    }
+  }
+
+  void checkExpr(const Expr& expr, const std::set<std::string>& assigned) {
+    switch (expr.exprKind) {
+      case ExprKind::VarRef:
+        use(static_cast<const VarRefExpr&>(expr).name, expr.loc, assigned);
+        break;
+      case ExprKind::Index:
+        checkExpr(*static_cast<const IndexExpr&>(expr).index, assigned);
+        break;
+      case ExprKind::Binary: {
+        const auto& e = static_cast<const BinaryExpr&>(expr);
+        checkExpr(*e.lhs, assigned);
+        checkExpr(*e.rhs, assigned);
+        break;
+      }
+      case ExprKind::Unary:
+        checkExpr(*static_cast<const UnaryExpr&>(expr).operand, assigned);
+        break;
+      case ExprKind::Backlog:
+        checkExpr(*static_cast<const BacklogExpr&>(expr).buffer, assigned);
+        break;
+      case ExprKind::Filter: {
+        const auto& e = static_cast<const FilterExpr&>(expr);
+        checkExpr(*e.base, assigned);
+        checkExpr(*e.value, assigned);
+        break;
+      }
+      case ExprKind::ListHas:
+        checkExpr(*static_cast<const ListHasExpr&>(expr).value, assigned);
+        break;
+      case ExprKind::Call:
+        for (const auto& arg : static_cast<const CallExpr&>(expr).args) {
+          checkExpr(*arg, assigned);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void checkBlock(const BlockStmt& block, std::set<std::string>& assigned) {
+    for (const auto& stmt : block.stmts) checkStmt(*stmt, assigned);
+  }
+
+  void checkStmt(const Stmt& stmt, std::set<std::string>& assigned) {
+    switch (stmt.stmtKind) {
+      case StmtKind::Block:
+        checkBlock(static_cast<const BlockStmt&>(stmt), assigned);
+        break;
+      case StmtKind::Decl: {
+        const auto& s = static_cast<const DeclStmt&>(stmt);
+        if (s.init) checkExpr(*s.init, assigned);
+        declare(s, assigned);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& s = static_cast<const AssignStmt&>(stmt);
+        if (s.index) checkExpr(*s.index, assigned);
+        checkExpr(*s.value, assigned);
+        if (s.index == nullptr) assigned.insert(s.target);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        checkExpr(*s.cond, assigned);
+        std::set<std::string> thenAssigned = assigned;
+        checkBlock(*s.thenBlock, thenAssigned);
+        std::set<std::string> elseAssigned = assigned;
+        if (s.elseBlock) checkBlock(*s.elseBlock, elseAssigned);
+        // Definitely assigned only if assigned on both paths.
+        for (const auto& name : thenAssigned) {
+          if (elseAssigned.count(name) != 0) assigned.insert(name);
+        }
+        break;
+      }
+      case StmtKind::For: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        checkExpr(*s.lo, assigned);
+        checkExpr(*s.hi, assigned);
+        // The loop may run zero times: body assignments don't escape.
+        std::set<std::string> bodyAssigned = assigned;
+        bodyAssigned.insert(s.var);
+        checkBlock(*s.body, bodyAssigned);
+        break;
+      }
+      case StmtKind::Move: {
+        const auto& s = static_cast<const MoveStmt&>(stmt);
+        checkExpr(*s.src, assigned);
+        checkExpr(*s.dst, assigned);
+        checkExpr(*s.amount, assigned);
+        break;
+      }
+      case StmtKind::ListPush:
+        checkExpr(*static_cast<const ListPushStmt&>(stmt).value, assigned);
+        break;
+      case StmtKind::PopFront:
+        assigned.insert(static_cast<const PopFrontStmt&>(stmt).target);
+        break;
+      case StmtKind::Assert:
+        checkExpr(*static_cast<const AssertStmt&>(stmt).cond, assigned);
+        break;
+      case StmtKind::Assume:
+        checkExpr(*static_cast<const AssumeStmt&>(stmt).cond, assigned);
+        break;
+      case StmtKind::Return: {
+        const auto& s = static_cast<const ReturnStmt&>(stmt);
+        if (s.value) checkExpr(*s.value, assigned);
+        break;
+      }
+      case StmtKind::ExprStmt:
+        checkExpr(*static_cast<const ExprStmt&>(stmt).expr, assigned);
+        break;
+    }
+  }
+
+  DiagnosticEngine& diag_;
+  std::set<std::string> tracked_;
+  std::set<std::string> warned_;
+};
+
+}  // namespace
+
+std::size_t checkDefiniteAssignment(const Program& prog,
+                                    DiagnosticEngine& diag) {
+  const std::size_t before = diag.all().size();
+  DefiniteAssignment(diag).run(prog);
+  return diag.all().size() - before;
+}
+
+}  // namespace buffy::sem

@@ -1,0 +1,188 @@
+#include "sem/passes.hpp"
+
+namespace buffy::sem {
+
+using namespace lang;
+
+namespace {
+
+/// Does an expression read any monitor variable?
+bool readsMonitor(const Expr& expr, const std::set<std::string>& monitors) {
+  switch (expr.exprKind) {
+    case ExprKind::VarRef:
+      return monitors.count(static_cast<const VarRefExpr&>(expr).name) != 0;
+    case ExprKind::Index: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      return monitors.count(e.base) != 0 || readsMonitor(*e.index, monitors);
+    }
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      return readsMonitor(*e.lhs, monitors) || readsMonitor(*e.rhs, monitors);
+    }
+    case ExprKind::Unary:
+      return readsMonitor(*static_cast<const UnaryExpr&>(expr).operand,
+                          monitors);
+    case ExprKind::Backlog:
+      return readsMonitor(*static_cast<const BacklogExpr&>(expr).buffer,
+                          monitors);
+    case ExprKind::Filter: {
+      const auto& e = static_cast<const FilterExpr&>(expr);
+      return readsMonitor(*e.base, monitors) ||
+             readsMonitor(*e.value, monitors);
+    }
+    case ExprKind::ListHas:
+      return readsMonitor(*static_cast<const ListHasExpr&>(expr).value,
+                          monitors);
+    case ExprKind::Call: {
+      for (const auto& arg : static_cast<const CallExpr&>(expr).args) {
+        if (readsMonitor(*arg, monitors)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Is a statement ghost-only (writes only to monitors, no buffer/list
+/// effects, no assumptions)? Asserts are ghost by definition.
+bool isGhostOnly(const Stmt& stmt, const std::set<std::string>& monitors) {
+  switch (stmt.stmtKind) {
+    case StmtKind::Assign:
+      return monitors.count(static_cast<const AssignStmt&>(stmt).target) != 0;
+    case StmtKind::Assert:
+      return true;
+    case StmtKind::Block: {
+      const auto& block = static_cast<const BlockStmt&>(stmt);
+      for (const auto& inner : block.stmts) {
+        if (!isGhostOnly(*inner, monitors)) return false;
+      }
+      return true;
+    }
+    case StmtKind::If: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      if (!isGhostOnly(*s.thenBlock, monitors)) return false;
+      return s.elseBlock == nullptr || isGhostOnly(*s.elseBlock, monitors);
+    }
+    case StmtKind::For:
+      return isGhostOnly(*static_cast<const ForStmt&>(stmt).body, monitors);
+    default:
+      return false;
+  }
+}
+
+class GhostChecker {
+ public:
+  GhostChecker(const std::set<std::string>& monitors, DiagnosticEngine& diag)
+      : monitors_(monitors), diag_(diag) {}
+
+  void checkBlock(const BlockStmt& block) {
+    for (const auto& stmt : block.stmts) checkStmt(*stmt);
+  }
+
+ private:
+  void requireNoMonitor(const Expr& expr, const char* context) {
+    if (readsMonitor(expr, monitors_)) {
+      diag_.error(expr.loc, std::string("monitor (ghost) variable used in ") +
+                                context +
+                                "; monitors may only feed other monitors "
+                                "and assert conditions");
+    }
+  }
+
+  void checkStmt(const Stmt& stmt) {
+    switch (stmt.stmtKind) {
+      case StmtKind::Block:
+        checkBlock(static_cast<const BlockStmt&>(stmt));
+        break;
+      case StmtKind::Decl: {
+        const auto& s = static_cast<const DeclStmt&>(stmt);
+        if (s.init && monitors_.count(s.name) == 0) {
+          requireNoMonitor(*s.init, "a non-monitor initializer");
+        }
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& s = static_cast<const AssignStmt&>(stmt);
+        if (monitors_.count(s.target) == 0) {
+          if (s.index) requireNoMonitor(*s.index, "a non-monitor assignment");
+          requireNoMonitor(*s.value, "a non-monitor assignment");
+        }
+        break;
+      }
+      case StmtKind::If: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        // A condition may read monitors only if everything it guards is
+        // itself ghost.
+        if (readsMonitor(*s.cond, monitors_)) {
+          const bool ghostThen = isGhostOnly(*s.thenBlock, monitors_);
+          const bool ghostElse =
+              s.elseBlock == nullptr || isGhostOnly(*s.elseBlock, monitors_);
+          if (!ghostThen || !ghostElse) {
+            diag_.error(s.loc,
+                        "if-condition reads a monitor but guards non-ghost "
+                        "statements");
+          }
+        }
+        checkBlock(*s.thenBlock);
+        if (s.elseBlock) checkBlock(*s.elseBlock);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        requireNoMonitor(*s.lo, "a loop bound");
+        requireNoMonitor(*s.hi, "a loop bound");
+        checkBlock(*s.body);
+        break;
+      }
+      case StmtKind::Move: {
+        const auto& s = static_cast<const MoveStmt&>(stmt);
+        requireNoMonitor(*s.src, "a move");
+        requireNoMonitor(*s.dst, "a move");
+        requireNoMonitor(*s.amount, "a move amount");
+        break;
+      }
+      case StmtKind::ListPush: {
+        const auto& s = static_cast<const ListPushStmt&>(stmt);
+        requireNoMonitor(*s.value, "a list push");
+        break;
+      }
+      case StmtKind::PopFront: {
+        const auto& s = static_cast<const PopFrontStmt&>(stmt);
+        if (monitors_.count(s.target) != 0) {
+          diag_.error(s.loc,
+                      "pop_front into a monitor would make the list "
+                      "operation ghost-dependent");
+        }
+        break;
+      }
+      case StmtKind::Assume:
+        requireNoMonitor(*static_cast<const AssumeStmt&>(stmt).cond,
+                         "an assume (assumptions must not depend on ghost "
+                         "state)");
+        break;
+      case StmtKind::Assert:
+        break;  // asserts are queries; monitors welcome
+      case StmtKind::Return:
+      case StmtKind::ExprStmt:
+        break;
+    }
+  }
+
+  const std::set<std::string>& monitors_;
+  DiagnosticEngine& diag_;
+};
+
+}  // namespace
+
+bool checkGhostNonInterference(const Program& prog,
+                               const std::set<std::string>& monitors,
+                               DiagnosticEngine& diag) {
+  const std::size_t before = diag.errorCount();
+  GhostChecker checker(monitors, diag);
+  checker.checkBlock(*prog.body);
+  for (const auto& fn : prog.functions) checker.checkBlock(*fn.body);
+  return diag.errorCount() == before;
+}
+
+}  // namespace buffy::sem

@@ -1,0 +1,47 @@
+// Semantic well-formedness passes beyond type checking:
+//
+//  * wellformed: the paper's §7 language restrictions — bounded loops,
+//    bounded data structures, no return in program bodies, and the §3
+//    buffer discipline (output buffers are write-only: they appear only as
+//    move destinations; input buffers are never move destinations).
+//
+//  * ghost check: monitors (§3 "Assumptions and queries") are ghost state —
+//    they observe the program but must not influence it. Monitors may be
+//    read in monitor assignments and assert conditions only.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace buffy::sem {
+
+/// Which parameters of a program are inputs vs outputs. Parameters not
+/// named in either set are internal buffers (readable and writable).
+struct BufferRoles {
+  std::set<std::string> inputs;
+  std::set<std::string> outputs;
+};
+
+/// Runs the §7 well-formedness checks. The program must already be
+/// elaborated (so loop bounds are literals after constant folding is
+/// applied internally to copies — the pass does not mutate `prog`).
+/// Reports via `diag`; returns true when no errors were added.
+bool checkWellFormed(const lang::Program& prog, const BufferRoles& roles,
+                     DiagnosticEngine& diag);
+
+/// Verifies that monitor (ghost) variables never influence non-ghost
+/// state. Requires the set of monitor names (from typecheck).
+bool checkGhostNonInterference(const lang::Program& prog,
+                               const std::set<std::string>& monitors,
+                               DiagnosticEngine& diag);
+
+/// Lint: warns (never errors) when an uninitialized local scalar may be
+/// read before assignment on some path (it would silently default to
+/// 0/false). Returns the number of warnings added.
+std::size_t checkDefiniteAssignment(const lang::Program& prog,
+                                    DiagnosticEngine& diag);
+
+}  // namespace buffy::sem

@@ -1,0 +1,213 @@
+#include "lang/printer.hpp"
+#include "sem/passes.hpp"
+
+namespace buffy::sem {
+
+using namespace lang;
+
+namespace {
+
+class WellFormedChecker {
+ public:
+  WellFormedChecker(const BufferRoles& roles, DiagnosticEngine& diag)
+      : roles_(roles), diag_(diag) {}
+
+  void run(const Program& prog) {
+    for (const auto& fn : prog.functions) {
+      inFunction_ = true;
+      checkBlock(*fn.body);
+      inFunction_ = false;
+    }
+    checkBlock(*prog.body);
+  }
+
+ private:
+  void checkBlock(const BlockStmt& block) {
+    for (const auto& stmt : block.stmts) checkStmt(*stmt);
+  }
+
+  /// Name of the buffer (parameter) an expression ultimately refers to,
+  /// or "" when it is not a direct buffer reference.
+  static std::string bufferRootName(const Expr& expr) {
+    switch (expr.exprKind) {
+      case ExprKind::VarRef:
+        return static_cast<const VarRefExpr&>(expr).name;
+      case ExprKind::Index:
+        return static_cast<const IndexExpr&>(expr).base;
+      case ExprKind::Filter:
+        return bufferRootName(*static_cast<const FilterExpr&>(expr).base);
+      default:
+        return "";
+    }
+  }
+
+  void checkStmt(const Stmt& stmt) {
+    switch (stmt.stmtKind) {
+      case StmtKind::Block:
+        checkBlock(static_cast<const BlockStmt&>(stmt));
+        break;
+      case StmtKind::Decl: {
+        const auto& s = static_cast<const DeclStmt&>(stmt);
+        if (inFunction_ && s.storage != Storage::Local) {
+          diag_.error(s.loc, "global/monitor declarations are not allowed "
+                             "inside def functions");
+        }
+        if (s.declType.isArray() && s.declType.size <= 0) {
+          diag_.error(s.loc, "array '" + s.name +
+                                 "' must have a positive constant bound "
+                                 "(paper §7: bounded arrays)");
+        }
+        if (s.init) checkExpr(*s.init);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& s = static_cast<const AssignStmt&>(stmt);
+        if (s.index) checkExpr(*s.index);
+        checkExpr(*s.value);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        checkExpr(*s.cond);
+        checkBlock(*s.thenBlock);
+        if (s.elseBlock) checkBlock(*s.elseBlock);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        // Bounds must be constant expressions: after elaboration every
+        // constant parameter is a literal, so a loop bound made only of
+        // literals/arithmetic is fine; anything referring to runtime state
+        // is not. A conservative syntactic check suffices here — the
+        // evaluator enforces constancy exactly.
+        checkConstExpr(*s.lo, "loop lower bound");
+        checkConstExpr(*s.hi, "loop upper bound");
+        checkBlock(*s.body);
+        break;
+      }
+      case StmtKind::Move: {
+        const auto& s = static_cast<const MoveStmt&>(stmt);
+        const std::string src = bufferRootName(*s.src);
+        const std::string dst = bufferRootName(*s.dst);
+        if (roles_.outputs.count(src) != 0) {
+          diag_.error(s.loc, "output buffer '" + src +
+                                 "' is write-only and cannot be a move "
+                                 "source");
+        }
+        if (roles_.inputs.count(dst) != 0) {
+          diag_.error(s.loc, "input buffer '" + dst +
+                                 "' cannot be a move destination");
+        }
+        checkExpr(*s.src);
+        checkExpr(*s.dst);
+        checkExpr(*s.amount);
+        break;
+      }
+      case StmtKind::ListPush:
+        checkExpr(*static_cast<const ListPushStmt&>(stmt).value);
+        break;
+      case StmtKind::PopFront:
+        break;
+      case StmtKind::Assert:
+        checkExpr(*static_cast<const AssertStmt&>(stmt).cond);
+        break;
+      case StmtKind::Assume:
+        checkExpr(*static_cast<const AssumeStmt&>(stmt).cond);
+        break;
+      case StmtKind::Return:
+        if (!inFunction_) {
+          diag_.error(stmt.loc,
+                      "return is only allowed inside def functions");
+        }
+        break;
+      case StmtKind::ExprStmt:
+        checkExpr(*static_cast<const ExprStmt&>(stmt).expr);
+        break;
+    }
+  }
+
+  void checkConstExpr(const Expr& expr, const char* what) {
+    switch (expr.exprKind) {
+      case ExprKind::IntLit:
+        return;
+      case ExprKind::Binary: {
+        const auto& e = static_cast<const BinaryExpr&>(expr);
+        checkConstExpr(*e.lhs, what);
+        checkConstExpr(*e.rhs, what);
+        return;
+      }
+      case ExprKind::Unary:
+        checkConstExpr(*static_cast<const UnaryExpr&>(expr).operand, what);
+        return;
+      case ExprKind::VarRef:
+        // Might be an enclosing loop variable (constant at evaluation
+        // time); accepted here, enforced exactly by the evaluator.
+        return;
+      default:
+        diag_.error(expr.loc,
+                    std::string(what) +
+                        " must be a compile-time constant expression "
+                        "(paper §7: bounded loops): " +
+                        printExpr(expr));
+    }
+  }
+
+  void checkExpr(const Expr& expr) {
+    switch (expr.exprKind) {
+      case ExprKind::Backlog: {
+        const auto& e = static_cast<const BacklogExpr&>(expr);
+        const std::string name = bufferRootName(*e.buffer);
+        if (roles_.outputs.count(name) != 0) {
+          diag_.error(e.loc, "output buffer '" + name +
+                                 "' is write-only and cannot be observed "
+                                 "with backlog");
+        }
+        checkExpr(*e.buffer);
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& e = static_cast<const BinaryExpr&>(expr);
+        checkExpr(*e.lhs);
+        checkExpr(*e.rhs);
+        break;
+      }
+      case ExprKind::Unary:
+        checkExpr(*static_cast<const UnaryExpr&>(expr).operand);
+        break;
+      case ExprKind::Index:
+        checkExpr(*static_cast<const IndexExpr&>(expr).index);
+        break;
+      case ExprKind::Filter: {
+        const auto& e = static_cast<const FilterExpr&>(expr);
+        checkExpr(*e.base);
+        checkExpr(*e.value);
+        break;
+      }
+      case ExprKind::ListHas:
+        checkExpr(*static_cast<const ListHasExpr&>(expr).value);
+        break;
+      case ExprKind::Call:
+        for (const auto& arg : static_cast<const CallExpr&>(expr).args) {
+          checkExpr(*arg);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  const BufferRoles& roles_;
+  DiagnosticEngine& diag_;
+  bool inFunction_ = false;
+};
+
+}  // namespace
+
+bool checkWellFormed(const Program& prog, const BufferRoles& roles,
+                     DiagnosticEngine& diag) {
+  const std::size_t before = diag.errorCount();
+  WellFormedChecker(roles, diag).run(prog);
+  return diag.errorCount() == before;
+}
+
+}  // namespace buffy::sem

@@ -1,0 +1,50 @@
+#include "support/diagnostics.hpp"
+
+namespace buffy {
+
+namespace {
+const char* severityName(Severity sev) {
+  switch (sev) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+}  // namespace
+
+std::string Diagnostic::render() const {
+  std::string out;
+  if (loc.known()) {
+    out += loc.str();
+    out += ": ";
+  }
+  out += severityName(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string msg) {
+  if (sev == Severity::Error) ++errorCount_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(msg)});
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errorCount_ = 0;
+}
+
+}  // namespace buffy

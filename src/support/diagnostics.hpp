@@ -1,0 +1,51 @@
+// A small diagnostics engine: passes report errors/warnings/notes against
+// source locations; callers render or inspect them after a pass runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace buffy {
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc{};
+  std::string message;
+
+  [[nodiscard]] std::string render() const;
+};
+
+/// Collects diagnostics for one front-end run.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string msg);
+  void error(SourceLoc loc, std::string msg) {
+    report(Severity::Error, loc, std::move(msg));
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    report(Severity::Warning, loc, std::move(msg));
+  }
+  void note(SourceLoc loc, std::string msg) {
+    report(Severity::Note, loc, std::move(msg));
+  }
+
+  [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+  [[nodiscard]] std::size_t errorCount() const { return errorCount_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// Renders every diagnostic, one per line.
+  [[nodiscard]] std::string renderAll() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errorCount_ = 0;
+};
+
+}  // namespace buffy

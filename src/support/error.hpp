@@ -1,0 +1,51 @@
+// Exception types used across Buffy. Per the C++ Core Guidelines we report
+// unrecoverable analysis errors via exceptions rather than error codes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace buffy {
+
+/// Base class for all Buffy errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+  Error(const std::string& msg, SourceLoc loc)
+      : std::runtime_error(loc.known() ? loc.str() + ": " + msg : msg),
+        loc_(loc) {}
+
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_{};
+};
+
+/// Lexing / parsing failure.
+class SyntaxError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Type checking or semantic-pass failure.
+class SemanticError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Evaluation / analysis failure (e.g. unsupported operation for the chosen
+/// buffer model).
+class AnalysisError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Backend (solver) failure.
+class BackendError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace buffy

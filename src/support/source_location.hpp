@@ -1,0 +1,23 @@
+// Source locations for diagnostics across the Buffy front-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace buffy {
+
+/// A position in a Buffy source text (1-based line and column).
+/// Line 0 means "unknown / synthesized" (e.g. nodes created by transforms).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool known() const { return line != 0; }
+  [[nodiscard]] std::string str() const {
+    if (!known()) return "<synth>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace buffy

@@ -1,0 +1,54 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+
+namespace buffy {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::size_t countCodeLines(std::string_view source) {
+  std::size_t count = 0;
+  for (const auto& raw : split(source, '\n')) {
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (startsWith(line, "//")) continue;
+    ++count;
+  }
+  return count;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace buffy

@@ -1,0 +1,26 @@
+// Small string helpers shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace buffy {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Counts non-blank, non-comment ("//"-prefixed) lines — the LoC metric
+/// used by the paper's Table 1.
+std::size_t countCodeLines(std::string_view source);
+
+/// True if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Joins pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+}  // namespace buffy

@@ -1,0 +1,137 @@
+#include "synth/synthesizer.hpp"
+
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace buffy::synth {
+
+const char* patternName(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::None: return "none";
+    case Pattern::ExactlyOnePerStep: return "1/step";
+    case Pattern::AtLeastOnePerStep: return ">=1/step";
+    case Pattern::BurstAtStart2: return "burst2@0";
+    case Pattern::BurstAtStart3: return "burst3@0";
+    case Pattern::AtMostOnePerStep: return "<=1/step";
+    case Pattern::PacedSkipOne: return "1,0,1,1,...";
+    case Pattern::Unconstrained: return "any";
+  }
+  return "?";
+}
+
+core::WorkloadRule patternRule(Pattern pattern, const std::string& buffer) {
+  using core::Workload;
+  switch (pattern) {
+    case Pattern::None:
+      return Workload::perStepCount(buffer, 0, 0);
+    case Pattern::ExactlyOnePerStep:
+      return Workload::perStepCount(buffer, 1, 1);
+    case Pattern::AtLeastOnePerStep:
+      return Workload::perStepCount(buffer, 1,
+                                    std::numeric_limits<int>::max());
+    case Pattern::BurstAtStart2:
+    case Pattern::BurstAtStart3: {
+      const std::int64_t k = pattern == Pattern::BurstAtStart2 ? 2 : 3;
+      return [buffer, k](const core::ArrivalView& view, ir::TermArena& arena,
+                         std::vector<ir::TermRef>& out) {
+        out.push_back(arena.eq(view.count(buffer, 0), arena.intConst(k)));
+        for (int t = 1; t < view.horizon(); ++t) {
+          out.push_back(arena.eq(view.count(buffer, t), arena.intConst(0)));
+        }
+      };
+    }
+    case Pattern::AtMostOnePerStep:
+      return Workload::perStepCount(buffer, 0, 1);
+    case Pattern::PacedSkipOne:
+      return [buffer](const core::ArrivalView& view, ir::TermArena& arena,
+                      std::vector<ir::TermRef>& out) {
+        for (int t = 0; t < view.horizon(); ++t) {
+          const std::int64_t n = t == 1 ? 0 : 1;
+          out.push_back(arena.eq(view.count(buffer, t), arena.intConst(n)));
+        }
+      };
+    case Pattern::Unconstrained:
+      return [](const core::ArrivalView&, ir::TermArena&,
+                std::vector<ir::TermRef>&) {};
+  }
+  throw AnalysisError("unknown pattern");
+}
+
+std::string Candidate::describe() const {
+  std::string out;
+  for (const auto& [buffer, pattern] : assignment) {
+    if (!out.empty()) out += ", ";
+    out += buffer + ":" + patternName(pattern);
+  }
+  return out;
+}
+
+SynthesisResult Synthesizer::run(const core::Query& query,
+                                 const SynthesisOptions& opts) {
+  if (opts.grammar.empty()) {
+    throw AnalysisError("synthesis grammar is empty");
+  }
+  // Discover the external inputs once.
+  std::vector<std::string> inputs;
+  {
+    core::Analysis probe(network_, options_);
+    inputs = probe.inputBufferNames();
+  }
+  if (inputs.empty()) {
+    throw AnalysisError("network has no external inputs to synthesize over");
+  }
+
+  SynthesisResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  // Enumerate grammar^inputs in mixed-radix order.
+  const std::size_t base = opts.grammar.size();
+  std::vector<std::size_t> digits(inputs.size(), 0);
+  bool done = false;
+  while (!done) {
+    Candidate candidate;
+    core::Workload workload;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const Pattern pattern = opts.grammar[digits[i]];
+      candidate.assignment[inputs[i]] = pattern;
+      workload.add(patternRule(pattern, inputs[i]));
+    }
+
+    const auto candidateStart = std::chrono::steady_clock::now();
+    core::Analysis analysis(network_, options_);
+    analysis.setWorkload(workload);
+    const auto existsResult = analysis.check(query);
+    candidate.existsSat = existsResult.sat();
+    if (candidate.existsSat && opts.requireUniversal) {
+      candidate.forallHolds = analysis.verify(query).holds();
+    } else if (candidate.existsSat) {
+      candidate.forallHolds = true;
+    }
+    candidate.seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - candidateStart)
+                            .count();
+    ++result.candidatesChecked;
+
+    if (candidate.existsSat && candidate.forallHolds) {
+      result.solutions.push_back(candidate);
+      if (opts.firstOnly) break;
+    }
+
+    // Next mixed-radix candidate.
+    std::size_t pos = 0;
+    while (pos < digits.size()) {
+      if (++digits[pos] < base) break;
+      digits[pos] = 0;
+      ++pos;
+    }
+    done = pos == digits.size();
+  }
+
+  result.totalSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace buffy::synth

@@ -1,0 +1,81 @@
+// FPerf-style workload synthesis (paper §4: "use FPerf to synthesize the
+// assumptions on the input traffic that would cause the query to be
+// satisfied", and §5's SyGuS-with-domain-specific-grammar direction).
+//
+// Guess-and-check over a grammar of per-input arrival patterns: each
+// candidate assigns one pattern to every external input buffer; a
+// candidate is a *solution* when
+//   (∃) some trace satisfying it satisfies the query, and
+//   (∀) every trace satisfying it satisfies the query (checked via UNSAT
+//       of the negation) — i.e. the synthesized workload *guarantees* the
+//       queried behavior, which is what FPerf reports to the user.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+
+namespace buffy::synth {
+
+enum class Pattern {
+  None,               // no arrivals, ever
+  ExactlyOnePerStep,  // count == 1 at every step
+  AtLeastOnePerStep,  // count >= 1 at every step
+  BurstAtStart2,      // count == 2 at step 0, none afterwards
+  BurstAtStart3,      // count == 3 at step 0, none afterwards
+  AtMostOnePerStep,   // count <= 1 at every step (free pacing)
+  PacedSkipOne,       // 1, 0, 1, 1, ... — the RFC 8290 "just the right
+                      // rate" pacing that triggers the §2.1 bug
+  Unconstrained,      // anything within the per-step bound
+};
+
+const char* patternName(Pattern pattern);
+
+/// The workload rule a pattern denotes for one buffer.
+core::WorkloadRule patternRule(Pattern pattern, const std::string& buffer);
+
+struct SynthesisOptions {
+  /// Patterns the search may assign (the grammar).
+  std::vector<Pattern> grammar = {
+      Pattern::None, Pattern::ExactlyOnePerStep, Pattern::PacedSkipOne,
+      Pattern::BurstAtStart2, Pattern::BurstAtStart3};
+  /// Require the ∀ direction too (FPerf semantics). When false, any
+  /// satisfiable candidate is a solution.
+  bool requireUniversal = true;
+  /// Stop after the first solution.
+  bool firstOnly = false;
+};
+
+struct Candidate {
+  std::map<std::string, Pattern> assignment;  // input buffer -> pattern
+  bool existsSat = false;
+  bool forallHolds = false;
+  double seconds = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct SynthesisResult {
+  std::vector<Candidate> solutions;
+  int candidatesChecked = 0;
+  double totalSeconds = 0.0;
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(core::Network network, core::AnalysisOptions options)
+      : network_(std::move(network)), options_(options) {}
+
+  /// Enumerates the grammar over all external inputs, checking each
+  /// candidate with the Z3 backend.
+  SynthesisResult run(const core::Query& query, const SynthesisOptions& opts);
+
+ private:
+  core::Network network_;
+  core::AnalysisOptions options_;
+};
+
+}  // namespace buffy::synth

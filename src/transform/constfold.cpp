@@ -1,0 +1,232 @@
+#include "ir/term.hpp"  // euclideanDiv / euclideanMod
+#include "transform/transforms.hpp"
+
+namespace buffy::transform {
+
+using namespace lang;
+
+namespace {
+
+bool isIntLit(const Expr& e, std::int64_t& out) {
+  if (e.exprKind == ExprKind::IntLit) {
+    out = static_cast<const IntLitExpr&>(e).value;
+    return true;
+  }
+  return false;
+}
+
+bool isBoolLit(const Expr& e, bool& out) {
+  if (e.exprKind == ExprKind::BoolLit) {
+    out = static_cast<const BoolLitExpr&>(e).value;
+    return true;
+  }
+  return false;
+}
+
+void foldExpr(ExprPtr& expr);
+
+void foldBinary(ExprPtr& expr) {
+  auto& e = static_cast<BinaryExpr&>(*expr);
+  foldExpr(e.lhs);
+  foldExpr(e.rhs);
+  std::int64_t li = 0;
+  std::int64_t ri = 0;
+  bool lb = false;
+  bool rb = false;
+  const SourceLoc loc = e.loc;
+  if (isIntLit(*e.lhs, li) && isIntLit(*e.rhs, ri)) {
+    switch (e.op) {
+      case BinaryOp::Add: expr = makeIntLit(li + ri, loc); return;
+      case BinaryOp::Sub: expr = makeIntLit(li - ri, loc); return;
+      case BinaryOp::Mul: expr = makeIntLit(li * ri, loc); return;
+      case BinaryOp::Div:
+        expr = makeIntLit(ir::euclideanDiv(li, ri), loc);
+        return;
+      case BinaryOp::Mod:
+        expr = makeIntLit(ir::euclideanMod(li, ri), loc);
+        return;
+      case BinaryOp::Eq: expr = makeBoolLit(li == ri, loc); return;
+      case BinaryOp::Ne: expr = makeBoolLit(li != ri, loc); return;
+      case BinaryOp::Lt: expr = makeBoolLit(li < ri, loc); return;
+      case BinaryOp::Le: expr = makeBoolLit(li <= ri, loc); return;
+      case BinaryOp::Gt: expr = makeBoolLit(li > ri, loc); return;
+      case BinaryOp::Ge: expr = makeBoolLit(li >= ri, loc); return;
+      default: return;
+    }
+  }
+  if (isBoolLit(*e.lhs, lb) && isBoolLit(*e.rhs, rb)) {
+    switch (e.op) {
+      case BinaryOp::And: expr = makeBoolLit(lb && rb, loc); return;
+      case BinaryOp::Or: expr = makeBoolLit(lb || rb, loc); return;
+      case BinaryOp::Eq: expr = makeBoolLit(lb == rb, loc); return;
+      case BinaryOp::Ne: expr = makeBoolLit(lb != rb, loc); return;
+      default: return;
+    }
+  }
+  // Short-circuit identities with one literal side.
+  if (e.op == BinaryOp::And) {
+    if (isBoolLit(*e.lhs, lb)) {
+      expr = lb ? std::move(e.rhs) : makeBoolLit(false, loc);
+      return;
+    }
+    if (isBoolLit(*e.rhs, rb)) {
+      if (rb) expr = std::move(e.lhs);
+      // false on the right is kept: dropping the left side could drop its
+      // evaluation order only, which is side-effect free anyway, but keep
+      // the conservative form for readability of emitted code.
+      return;
+    }
+  }
+  if (e.op == BinaryOp::Or) {
+    if (isBoolLit(*e.lhs, lb)) {
+      expr = lb ? makeBoolLit(true, loc) : std::move(e.rhs);
+      return;
+    }
+  }
+}
+
+void foldExpr(ExprPtr& expr) {
+  switch (expr->exprKind) {
+    case ExprKind::Binary:
+      foldBinary(expr);
+      break;
+    case ExprKind::Unary: {
+      auto& e = static_cast<UnaryExpr&>(*expr);
+      foldExpr(e.operand);
+      std::int64_t i = 0;
+      bool b = false;
+      if (e.op == UnaryOp::Neg && isIntLit(*e.operand, i)) {
+        expr = makeIntLit(-i, e.loc);
+      } else if (e.op == UnaryOp::Not && isBoolLit(*e.operand, b)) {
+        expr = makeBoolLit(!b, e.loc);
+      }
+      break;
+    }
+    case ExprKind::Index:
+      foldExpr(static_cast<IndexExpr&>(*expr).index);
+      break;
+    case ExprKind::Backlog:
+      foldExpr(static_cast<BacklogExpr&>(*expr).buffer);
+      break;
+    case ExprKind::Filter: {
+      auto& e = static_cast<FilterExpr&>(*expr);
+      foldExpr(e.base);
+      foldExpr(e.value);
+      break;
+    }
+    case ExprKind::ListHas:
+      foldExpr(static_cast<ListHasExpr&>(*expr).value);
+      break;
+    case ExprKind::Call: {
+      auto& e = static_cast<CallExpr&>(*expr);
+      for (auto& arg : e.args) foldExpr(arg);
+      // Fold fully-literal min/max.
+      if ((e.callee == "min" || e.callee == "max") && !e.args.empty()) {
+        std::int64_t acc = 0;
+        if (!isIntLit(*e.args[0], acc)) break;
+        bool allLit = true;
+        for (std::size_t i = 1; i < e.args.size(); ++i) {
+          std::int64_t v = 0;
+          if (!isIntLit(*e.args[i], v)) {
+            allLit = false;
+            break;
+          }
+          acc = e.callee == "min" ? std::min(acc, v) : std::max(acc, v);
+        }
+        if (allLit) expr = makeIntLit(acc, e.loc);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void foldBlock(BlockStmt& block);
+
+void foldStmt(StmtPtr& stmt, std::vector<StmtPtr>& out) {
+  switch (stmt->stmtKind) {
+    case StmtKind::Block:
+      foldBlock(static_cast<BlockStmt&>(*stmt));
+      break;
+    case StmtKind::Decl: {
+      auto& s = static_cast<DeclStmt&>(*stmt);
+      if (s.init) foldExpr(s.init);
+      break;
+    }
+    case StmtKind::Assign: {
+      auto& s = static_cast<AssignStmt&>(*stmt);
+      if (s.index) foldExpr(s.index);
+      foldExpr(s.value);
+      break;
+    }
+    case StmtKind::If: {
+      auto& s = static_cast<IfStmt&>(*stmt);
+      foldExpr(s.cond);
+      foldBlock(*s.thenBlock);
+      if (s.elseBlock) foldBlock(*s.elseBlock);
+      bool c = false;
+      if (isBoolLit(*s.cond, c)) {
+        // Replace the if with the (block of the) taken branch.
+        if (c) {
+          stmt = std::move(s.thenBlock);
+        } else if (s.elseBlock) {
+          stmt = std::move(s.elseBlock);
+        } else {
+          return;  // drop the statement entirely
+        }
+      }
+      break;
+    }
+    case StmtKind::For: {
+      auto& s = static_cast<ForStmt&>(*stmt);
+      foldExpr(s.lo);
+      foldExpr(s.hi);
+      foldBlock(*s.body);
+      break;
+    }
+    case StmtKind::Move: {
+      auto& s = static_cast<MoveStmt&>(*stmt);
+      foldExpr(s.src);
+      foldExpr(s.dst);
+      foldExpr(s.amount);
+      break;
+    }
+    case StmtKind::ListPush:
+      foldExpr(static_cast<ListPushStmt&>(*stmt).value);
+      break;
+    case StmtKind::Assert:
+      foldExpr(static_cast<AssertStmt&>(*stmt).cond);
+      break;
+    case StmtKind::Assume:
+      foldExpr(static_cast<AssumeStmt&>(*stmt).cond);
+      break;
+    case StmtKind::Return: {
+      auto& s = static_cast<ReturnStmt&>(*stmt);
+      if (s.value) foldExpr(s.value);
+      break;
+    }
+    case StmtKind::ExprStmt:
+      foldExpr(static_cast<ExprStmt&>(*stmt).expr);
+      break;
+    case StmtKind::PopFront:
+      break;
+  }
+  out.push_back(std::move(stmt));
+}
+
+void foldBlock(BlockStmt& block) {
+  std::vector<StmtPtr> out;
+  out.reserve(block.stmts.size());
+  for (auto& stmt : block.stmts) foldStmt(stmt, out);
+  block.stmts = std::move(out);
+}
+
+}  // namespace
+
+void foldConstants(Program& prog) {
+  for (auto& fn : prog.functions) foldBlock(*fn.body);
+  foldBlock(*prog.body);
+}
+
+}  // namespace buffy::transform

@@ -1,0 +1,429 @@
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+#include "transform/transforms.hpp"
+
+namespace buffy::transform {
+
+using namespace lang;
+
+namespace {
+
+/// Applies a name substitution over a statement tree: plain renames
+/// (locals, list/buffer-array aliases) and expression substitutions
+/// (scalar-buffer parameters bound to indexed buffers).
+class Substituter {
+ public:
+  std::map<std::string, std::string> renames;
+  std::map<std::string, const Expr*> exprSubst;  // VarRef name -> replacement
+
+  void applyBlock(BlockStmt& block) {
+    for (auto& stmt : block.stmts) applyStmt(*stmt);
+  }
+
+ private:
+  std::string mapName(const std::string& name) const {
+    const auto it = renames.find(name);
+    return it != renames.end() ? it->second : name;
+  }
+
+  void applyStmt(Stmt& stmt) {
+    switch (stmt.stmtKind) {
+      case StmtKind::Block:
+        applyBlock(static_cast<BlockStmt&>(stmt));
+        break;
+      case StmtKind::Decl: {
+        auto& s = static_cast<DeclStmt&>(stmt);
+        s.name = mapName(s.name);
+        if (s.init) applyExpr(s.init);
+        break;
+      }
+      case StmtKind::Assign: {
+        auto& s = static_cast<AssignStmt&>(stmt);
+        s.target = mapName(s.target);
+        if (s.index) applyExpr(s.index);
+        applyExpr(s.value);
+        break;
+      }
+      case StmtKind::If: {
+        auto& s = static_cast<IfStmt&>(stmt);
+        applyExpr(s.cond);
+        applyBlock(*s.thenBlock);
+        if (s.elseBlock) applyBlock(*s.elseBlock);
+        break;
+      }
+      case StmtKind::For: {
+        auto& s = static_cast<ForStmt&>(stmt);
+        applyExpr(s.lo);
+        applyExpr(s.hi);
+        s.var = mapName(s.var);
+        applyBlock(*s.body);
+        break;
+      }
+      case StmtKind::Move: {
+        auto& s = static_cast<MoveStmt&>(stmt);
+        applyExpr(s.src);
+        applyExpr(s.dst);
+        applyExpr(s.amount);
+        break;
+      }
+      case StmtKind::ListPush: {
+        auto& s = static_cast<ListPushStmt&>(stmt);
+        s.list = mapName(s.list);
+        applyExpr(s.value);
+        break;
+      }
+      case StmtKind::PopFront: {
+        auto& s = static_cast<PopFrontStmt&>(stmt);
+        s.target = mapName(s.target);
+        s.list = mapName(s.list);
+        break;
+      }
+      case StmtKind::Assert:
+        applyExpr(static_cast<AssertStmt&>(stmt).cond);
+        break;
+      case StmtKind::Assume:
+        applyExpr(static_cast<AssumeStmt&>(stmt).cond);
+        break;
+      case StmtKind::Return: {
+        auto& s = static_cast<ReturnStmt&>(stmt);
+        if (s.value) applyExpr(s.value);
+        break;
+      }
+      case StmtKind::ExprStmt:
+        applyExpr(static_cast<ExprStmt&>(stmt).expr);
+        break;
+    }
+  }
+
+  void applyExpr(ExprPtr& expr) {
+    switch (expr->exprKind) {
+      case ExprKind::VarRef: {
+        auto& e = static_cast<VarRefExpr&>(*expr);
+        const auto substIt = exprSubst.find(e.name);
+        if (substIt != exprSubst.end()) {
+          expr = substIt->second->clone();
+          return;
+        }
+        e.name = mapName(e.name);
+        break;
+      }
+      case ExprKind::Index: {
+        auto& e = static_cast<IndexExpr&>(*expr);
+        e.base = mapName(e.base);
+        applyExpr(e.index);
+        break;
+      }
+      case ExprKind::Binary: {
+        auto& e = static_cast<BinaryExpr&>(*expr);
+        applyExpr(e.lhs);
+        applyExpr(e.rhs);
+        break;
+      }
+      case ExprKind::Unary:
+        applyExpr(static_cast<UnaryExpr&>(*expr).operand);
+        break;
+      case ExprKind::Backlog:
+        applyExpr(static_cast<BacklogExpr&>(*expr).buffer);
+        break;
+      case ExprKind::Filter: {
+        auto& e = static_cast<FilterExpr&>(*expr);
+        applyExpr(e.base);
+        applyExpr(e.value);
+        break;
+      }
+      case ExprKind::ListHas: {
+        auto& e = static_cast<ListHasExpr&>(*expr);
+        e.list = mapName(e.list);
+        applyExpr(e.value);
+        break;
+      }
+      case ExprKind::ListEmpty: {
+        auto& e = static_cast<ListEmptyExpr&>(*expr);
+        e.list = mapName(e.list);
+        break;
+      }
+      case ExprKind::ListLen: {
+        auto& e = static_cast<ListLenExpr&>(*expr);
+        e.list = mapName(e.list);
+        break;
+      }
+      case ExprKind::Call:
+        for (auto& arg : static_cast<CallExpr&>(*expr).args) applyExpr(arg);
+        break;
+      case ExprKind::IntLit:
+      case ExprKind::BoolLit:
+        break;
+    }
+  }
+};
+
+/// Collects every local name declared in a block tree (for renaming).
+void collectDecls(const BlockStmt& block, std::set<std::string>& names) {
+  for (const auto& stmt : block.stmts) {
+    switch (stmt->stmtKind) {
+      case StmtKind::Decl:
+        names.insert(static_cast<const DeclStmt&>(*stmt).name);
+        break;
+      case StmtKind::Block:
+        collectDecls(static_cast<const BlockStmt&>(*stmt), names);
+        break;
+      case StmtKind::If: {
+        const auto& s = static_cast<const IfStmt&>(*stmt);
+        collectDecls(*s.thenBlock, names);
+        if (s.elseBlock) collectDecls(*s.elseBlock, names);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& s = static_cast<const ForStmt&>(*stmt);
+        names.insert(s.var);
+        collectDecls(*s.body, names);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+class Inliner {
+ public:
+  explicit Inliner(const Program& prog) {
+    for (const auto& fn : prog.functions) functions_[fn.name] = &fn;
+  }
+
+  void rewriteBlock(BlockStmt& block) {
+    std::vector<StmtPtr> out;
+    out.reserve(block.stmts.size());
+    for (auto& stmt : block.stmts) {
+      std::vector<StmtPtr> prelude;
+      const bool keep = rewriteStmt(*stmt, prelude);
+      for (auto& p : prelude) out.push_back(std::move(p));
+      if (keep) out.push_back(std::move(stmt));
+    }
+    block.stmts = std::move(out);
+  }
+
+ private:
+  /// Rewrites expressions inside `stmt`, hoisting call expansions into
+  /// `prelude`. Returns false when the statement itself should be dropped
+  /// (a void-call ExprStmt fully expanded into the prelude).
+  bool rewriteStmt(Stmt& stmt, std::vector<StmtPtr>& prelude) {
+    switch (stmt.stmtKind) {
+      case StmtKind::Block:
+        rewriteBlock(static_cast<BlockStmt&>(stmt));
+        return true;
+      case StmtKind::Decl: {
+        auto& s = static_cast<DeclStmt&>(stmt);
+        if (s.init) rewriteExpr(s.init, prelude);
+        return true;
+      }
+      case StmtKind::Assign: {
+        auto& s = static_cast<AssignStmt&>(stmt);
+        if (s.index) rewriteExpr(s.index, prelude);
+        rewriteExpr(s.value, prelude);
+        return true;
+      }
+      case StmtKind::If: {
+        auto& s = static_cast<IfStmt&>(stmt);
+        rewriteExpr(s.cond, prelude);
+        rewriteBlock(*s.thenBlock);
+        if (s.elseBlock) rewriteBlock(*s.elseBlock);
+        return true;
+      }
+      case StmtKind::For: {
+        auto& s = static_cast<ForStmt&>(stmt);
+        rewriteExpr(s.lo, prelude);
+        rewriteExpr(s.hi, prelude);
+        rewriteBlock(*s.body);
+        return true;
+      }
+      case StmtKind::Move: {
+        auto& s = static_cast<MoveStmt&>(stmt);
+        rewriteExpr(s.src, prelude);
+        rewriteExpr(s.dst, prelude);
+        rewriteExpr(s.amount, prelude);
+        return true;
+      }
+      case StmtKind::ListPush:
+        rewriteExpr(static_cast<ListPushStmt&>(stmt).value, prelude);
+        return true;
+      case StmtKind::Assert:
+        rewriteExpr(static_cast<AssertStmt&>(stmt).cond, prelude);
+        return true;
+      case StmtKind::Assume:
+        rewriteExpr(static_cast<AssumeStmt&>(stmt).cond, prelude);
+        return true;
+      case StmtKind::Return: {
+        auto& s = static_cast<ReturnStmt&>(stmt);
+        if (s.value) rewriteExpr(s.value, prelude);
+        return true;
+      }
+      case StmtKind::ExprStmt: {
+        auto& s = static_cast<ExprStmt&>(stmt);
+        if (s.expr->exprKind == ExprKind::Call) {
+          auto& call = static_cast<CallExpr&>(*s.expr);
+          if (functions_.count(call.callee) != 0) {
+            expandCall(call, prelude, /*wantResult=*/false);
+            return false;  // the whole statement became the prelude
+          }
+        }
+        rewriteExpr(s.expr, prelude);
+        return true;
+      }
+      case StmtKind::PopFront:
+        return true;
+    }
+    return true;
+  }
+
+  void rewriteExpr(ExprPtr& expr, std::vector<StmtPtr>& prelude) {
+    switch (expr->exprKind) {
+      case ExprKind::Call: {
+        auto& call = static_cast<CallExpr&>(*expr);
+        for (auto& arg : call.args) rewriteExpr(arg, prelude);
+        if (functions_.count(call.callee) != 0) {
+          expr = expandCall(call, prelude, /*wantResult=*/true);
+        }
+        break;
+      }
+      case ExprKind::Index:
+        rewriteExpr(static_cast<IndexExpr&>(*expr).index, prelude);
+        break;
+      case ExprKind::Binary: {
+        auto& e = static_cast<BinaryExpr&>(*expr);
+        rewriteExpr(e.lhs, prelude);
+        rewriteExpr(e.rhs, prelude);
+        break;
+      }
+      case ExprKind::Unary:
+        rewriteExpr(static_cast<UnaryExpr&>(*expr).operand, prelude);
+        break;
+      case ExprKind::Backlog:
+        rewriteExpr(static_cast<BacklogExpr&>(*expr).buffer, prelude);
+        break;
+      case ExprKind::Filter: {
+        auto& e = static_cast<FilterExpr&>(*expr);
+        rewriteExpr(e.base, prelude);
+        rewriteExpr(e.value, prelude);
+        break;
+      }
+      case ExprKind::ListHas:
+        rewriteExpr(static_cast<ListHasExpr&>(*expr).value, prelude);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Expands one call. Emits parameter bindings and the substituted body
+  /// into `prelude`; returns the expression standing for the result (null
+  /// when wantResult is false).
+  ExprPtr expandCall(CallExpr& call, std::vector<StmtPtr>& prelude,
+                     bool wantResult) {
+    const FuncDecl& fn = *functions_.at(call.callee);
+    if (active_.count(fn.name) != 0) {
+      throw SemanticError("recursive call to '" + fn.name +
+                              "' cannot be inlined",
+                          call.loc);
+    }
+    if (call.args.size() != fn.params.size()) {
+      throw SemanticError("arity mismatch calling '" + fn.name + "'",
+                          call.loc);
+    }
+
+    const std::string tag = "__" + fn.name + std::to_string(counter_++);
+    Substituter subst;
+
+    // Bind parameters.
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      const Param& param = fn.params[i];
+      ExprPtr& arg = call.args[i];
+      if (param.type.isScalar()) {
+        const std::string fresh = tag + "_" + param.name;
+        auto decl = std::make_unique<DeclStmt>(Storage::Local, param.type,
+                                               fresh, std::move(arg));
+        decl->loc = call.loc;
+        prelude.push_back(std::move(decl));
+        subst.renames[param.name] = fresh;
+      } else if (param.type.kind == TypeKind::Buffer) {
+        // Alias: substitute uses of the parameter by the argument
+        // expression (a VarRef or an Index into a buffer array).
+        subst.exprSubst[param.name] = arg.get();
+      } else {
+        // list / buffer array: must be a plain name.
+        if (arg->exprKind != ExprKind::VarRef) {
+          throw SemanticError("argument for '" + param.name +
+                                  "' must be a simple name",
+                              call.loc);
+        }
+        subst.renames[param.name] =
+            static_cast<const VarRefExpr&>(*arg).name;
+      }
+    }
+
+    // Rename all body-declared locals to fresh names.
+    std::set<std::string> bodyNames;
+    collectDecls(*fn.body, bodyNames);
+    for (const auto& name : bodyNames) {
+      subst.renames[name] = tag + "_" + name;
+    }
+
+    // Result variable.
+    std::string retName;
+    if (fn.returnType.kind != TypeKind::Void) {
+      retName = tag + "_ret";
+      auto decl = std::make_unique<DeclStmt>(Storage::Local, fn.returnType,
+                                             retName, nullptr);
+      decl->loc = call.loc;
+      prelude.push_back(std::move(decl));
+    }
+
+    // Clone + substitute the body; turn the trailing return into an
+    // assignment (or drop it for void functions).
+    auto body = std::unique_ptr<BlockStmt>(
+        static_cast<BlockStmt*>(fn.body->clone().release()));
+    subst.applyBlock(*body);
+    if (!body->stmts.empty() &&
+        body->stmts.back()->stmtKind == StmtKind::Return) {
+      auto ret = std::unique_ptr<ReturnStmt>(
+          static_cast<ReturnStmt*>(body->stmts.back().release()));
+      body->stmts.pop_back();
+      if (fn.returnType.kind != TypeKind::Void) {
+        auto assign = std::make_unique<AssignStmt>(retName, nullptr,
+                                                   std::move(ret->value));
+        assign->loc = ret->loc;
+        body->stmts.push_back(std::move(assign));
+      }
+    } else if (fn.returnType.kind != TypeKind::Void) {
+      throw SemanticError("function '" + fn.name +
+                              "' must end with a return statement",
+                          fn.loc);
+    }
+
+    // Recursively expand nested calls inside the inlined body.
+    active_.insert(fn.name);
+    rewriteBlock(*body);
+    active_.erase(fn.name);
+
+    prelude.push_back(std::move(body));
+    if (!wantResult) return nullptr;
+    return makeVarRef(retName, call.loc);
+  }
+
+  std::map<std::string, const FuncDecl*> functions_;
+  std::set<std::string> active_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace
+
+void inlineFunctions(Program& prog) {
+  if (prog.functions.empty()) return;
+  Inliner inliner(prog);
+  inliner.rewriteBlock(*prog.body);
+  prog.functions.clear();
+}
+
+}  // namespace buffy::transform

@@ -1,0 +1,34 @@
+// AST -> AST program transformations: function inlining, bounded-loop
+// unrolling, and constant folding — the "standard program transformations
+// such as loop unrolling, function inlining, and SSA" the paper's §4 relies
+// on. (The SSA step itself is performed by the symbolic evaluator's
+// store-merging; see eval/evaluator.hpp.)
+//
+// All passes mutate the program in place and may be composed in any order;
+// the canonical pipeline is elaborate -> typecheck -> inlineFunctions ->
+// foldConstants [-> unrollLoops].
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace buffy::transform {
+
+/// Replaces every call to a `def` function with its body (parameters bound
+/// to fresh locals, body locals renamed, the trailing `return` turned into
+/// an assignment to a fresh result variable). Afterwards the program
+/// contains no user-function calls and `Program::functions` is cleared.
+/// Throws SemanticError on (mutual) recursion.
+void inlineFunctions(lang::Program& prog);
+
+/// Replaces every `for (v in lo..hi)` whose bounds are integer literals
+/// (guaranteed after elaborate + foldConstants) with hi-lo copies of the
+/// body, each wrapped in a block that binds `v`. Throws SemanticError if a
+/// loop bound is not a literal (paper §7: bounded loops only).
+void unrollLoops(lang::Program& prog);
+
+/// Bottom-up constant folding over all expressions, plus pruning of
+/// if-statements with literal conditions. Division/modulo fold with the
+/// SMT-LIB Euclidean convention (matching the IR and backends).
+void foldConstants(lang::Program& prog);
+
+}  // namespace buffy::transform

@@ -1,0 +1,75 @@
+#include "support/error.hpp"
+#include "transform/transforms.hpp"
+
+namespace buffy::transform {
+
+using namespace lang;
+
+namespace {
+
+std::int64_t literalOrThrow(const Expr& expr, const char* what) {
+  if (expr.exprKind != ExprKind::IntLit) {
+    throw SemanticError(
+        std::string(what) +
+            " is not a compile-time constant; Buffy only allows bounded "
+            "loops (run elaborate/foldConstants first)",
+        expr.loc);
+  }
+  return static_cast<const IntLitExpr&>(expr).value;
+}
+
+void unrollBlock(BlockStmt& block) {
+  std::vector<StmtPtr> out;
+  out.reserve(block.stmts.size());
+  for (auto& stmt : block.stmts) {
+    switch (stmt->stmtKind) {
+      case StmtKind::For: {
+        auto& s = static_cast<ForStmt&>(*stmt);
+        const std::int64_t lo = literalOrThrow(*s.lo, "loop lower bound");
+        const std::int64_t hi = literalOrThrow(*s.hi, "loop upper bound");
+        unrollBlock(*s.body);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          // Each iteration becomes a block binding the loop variable, so
+          // iteration-local declarations stay properly scoped.
+          auto iter = std::make_unique<BlockStmt>();
+          iter->loc = s.loc;
+          auto bind = std::make_unique<DeclStmt>(
+              Storage::Local, Type::intTy(), s.var, makeIntLit(i, s.loc));
+          bind->loc = s.loc;
+          iter->stmts.push_back(std::move(bind));
+          auto bodyCopy = std::unique_ptr<BlockStmt>(
+              static_cast<BlockStmt*>(s.body->clone().release()));
+          for (auto& inner : bodyCopy->stmts) {
+            iter->stmts.push_back(std::move(inner));
+          }
+          out.push_back(std::move(iter));
+        }
+        break;
+      }
+      case StmtKind::Block:
+        unrollBlock(static_cast<BlockStmt&>(*stmt));
+        out.push_back(std::move(stmt));
+        break;
+      case StmtKind::If: {
+        auto& s = static_cast<IfStmt&>(*stmt);
+        unrollBlock(*s.thenBlock);
+        if (s.elseBlock) unrollBlock(*s.elseBlock);
+        out.push_back(std::move(stmt));
+        break;
+      }
+      default:
+        out.push_back(std::move(stmt));
+        break;
+    }
+  }
+  block.stmts = std::move(out);
+}
+
+}  // namespace
+
+void unrollLoops(Program& prog) {
+  for (auto& fn : prog.functions) unrollBlock(*fn.body);
+  unrollBlock(*prog.body);
+}
+
+}  // namespace buffy::transform

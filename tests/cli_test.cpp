@@ -1,0 +1,159 @@
+// End-to-end tests of the `buffy` command-line driver (tools/buffy_cli).
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef BUFFY_CLI_PATH
+#error "BUFFY_CLI_PATH must be defined by the build"
+#endif
+#ifndef BUFFY_MODELS_DIR
+#error "BUFFY_MODELS_DIR must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exitCode = -1;
+  std::string output;
+};
+
+CommandResult runCli(const std::string& args) {
+  const std::string command =
+      std::string(BUFFY_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CommandResult result;
+  std::array<char, 4096> buffer{};
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exitCode = WEXITSTATUS(status);
+  return result;
+}
+
+std::string model(const char* name) {
+  return std::string(BUFFY_MODELS_DIR) + "/" + name;
+}
+
+TEST(Cli, PrintRoundTrips) {
+  const auto result =
+      runCli("print -D N=2 " + model("strict_priority.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("sp(buffer[2] ibs, buffer ob)"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("move-p(ibs[i], ob, 1);"), std::string::npos);
+}
+
+TEST(Cli, CheckFindsStarvation) {
+  const auto result = runCli(
+      "check -T 5 -D N=2 --instance fq --input ibs:6:3 --output ob:32 "
+      "--workload fq.ibs.0:0:1 --workload fq.ibs.1@0:3:3 "
+      "--workload fq.ibs.1@1:0:0 --workload fq.ibs.1@2:0:0 "
+      "--workload fq.ibs.1@3:0:0 --workload fq.ibs.1@4:0:0 "
+      "--query \"fq.cdeq.0[T-1] >= T-1 & fq.cdeq.1[T-1] <= 1\" " +
+      model("fq_buggy.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("SATISFIABLE"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("fq.cdeq.0"), std::string::npos);
+}
+
+TEST(Cli, VerifyRoundRobinFairness) {
+  const auto result = runCli(
+      "verify -T 4 -D N=2 --instance rr --input ibs:6:2 --output ob:32 "
+      "--workload rr.ibs.0:1:2 --workload rr.ibs.1:1:2 "
+      "--query \"rr.cdeq.0[T-1] <= T/2 + 1\" " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("VERIFIED"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, SimulateProducesTrace) {
+  const auto result = runCli(
+      "simulate -T 3 -D N=2 --instance rr --input ibs:4:2 --output ob:16 "
+      "--arrive rr.ibs.0=1,1,1 " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("rr.cdeq.0"), std::string::npos);
+  EXPECT_NE(result.output.find("t2"), std::string::npos);
+}
+
+TEST(Cli, EmitSmt2) {
+  const auto result = runCli(
+      "emit-smt2 -T 3 -D N=2 --instance sp --input ibs:4:2 --output ob:16 "
+      "--query \"sp.cdeq.0[T-1] >= 1\" " +
+      model("strict_priority.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("(set-logic QF_LIA)"), std::string::npos);
+  EXPECT_NE(result.output.find("(check-sat)"), std::string::npos);
+}
+
+TEST(Cli, EmitDafny) {
+  const auto result = runCli("emit-dafny -T 2 -D N=2 --input ibs:4:2 " +
+                             model("fq_buggy.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("method CheckFq()"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, UnrollFlagPrintsUnrolledProgram) {
+  const auto result =
+      runCli("print --unroll -D N=2 " + model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_EQ(result.output.find("for ("), std::string::npos) << result.output;
+}
+
+TEST(Cli, ProveUnbounded) {
+  // Listing state variables...
+  const auto listing = runCli(
+      "prove -D N=2 --instance rr --input ibs:4:2 --output ob:16 " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(listing.exitCode, 0) << listing.output;
+  EXPECT_NE(listing.output.find("rr.cdeq.0"), std::string::npos);
+  // ...and proving an invariant for an unbounded horizon.
+  const auto proof = runCli(
+      "prove -D N=2 --instance rr --input ibs:4:2 --output ob:16 "
+      "--model counter --query \"rr.cdeq.0[0] >= 0\" " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(proof.exitCode, 0) << proof.output;
+  EXPECT_NE(proof.output.find("PROVED"), std::string::npos) << proof.output;
+}
+
+TEST(Cli, LintCommand) {
+  const auto clean = runCli("lint -D N=2 --input ibs --output ob " +
+                            model("round_robin.bfy"));
+  EXPECT_EQ(clean.exitCode, 0) << clean.output;
+  EXPECT_NE(clean.output.find("clean"), std::string::npos);
+}
+
+TEST(Cli, CsvFormat) {
+  const auto result = runCli(
+      "simulate -T 2 -D N=2 --instance rr --input ibs:4:2 --output ob:16 "
+      "--arrive rr.ibs.0=1,1 --format csv " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("series,t0,t1"), std::string::npos);
+  EXPECT_NE(result.output.find("rr.cdeq.0,1,2"), std::string::npos);
+}
+
+TEST(Cli, BadUsageErrors) {
+  EXPECT_EQ(runCli("").exitCode, 64);
+  EXPECT_EQ(runCli("check").exitCode, 64);
+  EXPECT_EQ(runCli("frobnicate " + model("round_robin.bfy")).exitCode, 64);
+  EXPECT_EQ(runCli("check --query \"x[0] > 0\" /nonexistent.bfy").exitCode,
+            64);
+  // Semantic failure (missing constant binding) is a normal error (1).
+  const auto result =
+      runCli("check --instance rr --input ibs --output ob --query "
+             "\"rr.cdeq.0[0] >= 0\" " +
+             model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 1) << result.output;
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include "backends/dafny/dafny_emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "models/library.hpp"
+#include "support/error.hpp"
+#include "transform/transforms.hpp"
+
+namespace buffy::backends {
+namespace {
+
+lang::Program compileFq(int n) {
+  lang::Program prog = lang::parse(models::kFairQueueBuggy);
+  lang::CompileOptions opts;
+  opts.constants["N"] = n;
+  opts.defaultListCapacity = n;
+  lang::checkOrThrow(prog, opts);
+  transform::inlineFunctions(prog);
+  transform::foldConstants(prog);
+  return prog;
+}
+
+DafnyOptions fqOptions(int horizon) {
+  DafnyOptions opts;
+  opts.horizon = horizon;
+  opts.maxArrivalsPerStep = 2;
+  opts.inputParams = {"ibs"};
+  return opts;
+}
+
+TEST(Dafny, EmitsMethodHeader) {
+  const std::string text = emitDafny(compileFq(2), fqOptions(3));
+  EXPECT_NE(text.find("method CheckFq()"), std::string::npos) << text;
+}
+
+TEST(Dafny, UnrollsTimeSteps) {
+  const std::string text = emitDafny(compileFq(2), fqOptions(3));
+  EXPECT_NE(text.find("// ---- time step 0 ----"), std::string::npos);
+  EXPECT_NE(text.find("// ---- time step 2 ----"), std::string::npos);
+  EXPECT_EQ(text.find("// ---- time step 3 ----"), std::string::npos);
+}
+
+TEST(Dafny, StructuredHavocArrivals) {
+  // §6.1: sequences of fixed shape with integer havoc variables inside.
+  const std::string text = emitDafny(compileFq(2), fqOptions(2));
+  EXPECT_NE(text.find(":| 0 <= n_0_0 <= 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("var p_0_0_0: int :| true;"), std::string::npos);
+}
+
+TEST(Dafny, BuffersAreSequences) {
+  const std::string text = emitDafny(compileFq(2), fqOptions(2));
+  EXPECT_NE(text.find("var ibs: seq<seq<int>>"), std::string::npos) << text;
+  EXPECT_NE(text.find("var ob: seq<int> := [];"), std::string::npos);
+}
+
+TEST(Dafny, MonitorsAreGhost) {
+  const std::string text = emitDafny(compileFq(2), fqOptions(2));
+  EXPECT_NE(text.find("ghost var cdeq"), std::string::npos) << text;
+}
+
+TEST(Dafny, ListsLowerToSeqOps) {
+  const std::string text = emitDafny(compileFq(2), fqOptions(2));
+  EXPECT_NE(text.find("nq := nq + ["), std::string::npos) << text;
+  EXPECT_NE(text.find("if |nq| > 0 then nq[0] else -1"), std::string::npos);
+}
+
+TEST(Dafny, MoveLowersToSliceAndConcat) {
+  const std::string text = emitDafny(compileFq(2), fqOptions(2));
+  EXPECT_NE(text.find("[.."), std::string::npos) << text;
+}
+
+TEST(Dafny, WorkloadAssumesAndQueryAssert) {
+  DafnyOptions opts = fqOptions(2);
+  opts.stepAssumes = {"n_%t_0 == 1"};
+  opts.finalAssert = "cdeq[0] >= 1";
+  const std::string text = emitDafny(compileFq(2), opts);
+  EXPECT_NE(text.find("assume n_0_0 == 1;"), std::string::npos) << text;
+  EXPECT_NE(text.find("assume n_1_0 == 1;"), std::string::npos);
+  EXPECT_NE(text.find("assert cdeq[0] >= 1;"), std::string::npos);
+}
+
+TEST(Dafny, LoopsAreUnrolled) {
+  const std::string text = emitDafny(compileFq(2), fqOptions(2));
+  EXPECT_EQ(text.find("while"), std::string::npos);
+  EXPECT_NE(text.find("// i = 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("// i = 1"), std::string::npos);
+}
+
+TEST(Dafny, HavocLocalsSupported) {
+  lang::Program prog = lang::parse(R"(
+p(buffer a, buffer b) {
+  havoc int w;
+  assume(w >= 0);
+  move-p(a, b, w);
+})");
+  lang::checkOrThrow(prog, {});
+  DafnyOptions opts;
+  opts.horizon = 1;
+  opts.inputParams = {"a"};
+  const std::string text = emitDafny(prog, opts);
+  EXPECT_NE(text.find("var w: int :| true;"), std::string::npos) << text;
+  EXPECT_NE(text.find("assume (w >= 0);"), std::string::npos);
+}
+
+TEST(Dafny, RejectsNonInlinedProgram) {
+  lang::Program prog = lang::parse(R"(
+p(buffer a, buffer b) {
+  def int f() { return 1; }
+  move-p(a, b, f());
+})");
+  lang::checkOrThrow(prog, {});
+  DafnyOptions opts;
+  opts.horizon = 1;
+  EXPECT_THROW(emitDafny(prog, opts), BackendError);
+}
+
+TEST(Dafny, RejectsUnknownInputParam) {
+  DafnyOptions opts = fqOptions(1);
+  opts.inputParams = {"nosuch"};
+  EXPECT_THROW(emitDafny(compileFq(2), opts), BackendError);
+}
+
+TEST(Dafny, AllSchedulerModelsEmit) {
+  lang::CompileOptions copts;
+  copts.constants = {{"N", 2}, {"QUANTUM", 3}};
+  copts.defaultListCapacity = 2;
+  for (const char* source :
+       {models::kFairQueueBuggy, models::kFairQueueFixed, models::kRoundRobin,
+        models::kStrictPriority, models::kDeficitRoundRobin}) {
+    lang::Program prog = lang::parse(source);
+    lang::checkOrThrow(prog, copts);
+    transform::inlineFunctions(prog);
+    transform::foldConstants(prog);
+    DafnyOptions opts;
+    opts.horizon = 2;
+    opts.inputParams = {"ibs"};
+    EXPECT_NO_THROW(emitDafny(prog, opts));
+  }
+}
+
+}  // namespace
+}  // namespace buffy::backends

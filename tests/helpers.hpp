@@ -1,0 +1,58 @@
+// Shared helpers for the Buffy test suite.
+#pragma once
+
+#include <string>
+
+#include "core/analysis.hpp"
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "models/library.hpp"
+
+namespace buffy::testing {
+
+/// Parses + elaborates + typechecks a program, throwing on any failure.
+inline lang::Program compile(const std::string& source,
+                             lang::CompileOptions opts = {}) {
+  lang::Program prog = lang::parse(source);
+  lang::checkOrThrow(prog, opts);
+  return prog;
+}
+
+/// A single-instance network around one of the scheduler models
+/// (fq/rr/sp), with `n` input queues.
+inline core::Network schedulerNet(const char* source, const char* instance,
+                                  int n, int capacity = 6,
+                                  int maxArrivals = 3) {
+  core::ProgramSpec spec;
+  spec.instance = instance;
+  spec.source = source;
+  spec.compile.constants["N"] = n;
+  spec.compile.defaultListCapacity = n;
+  spec.buffers = {
+      {.param = "ibs",
+       .role = core::BufferSpec::Role::Input,
+       .capacity = capacity,
+       .maxArrivalsPerStep = maxArrivals},
+      {.param = "ob",
+       .role = core::BufferSpec::Role::Output,
+       .capacity = 32},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+/// The §6.1 starvation workload: queue 0 free to pace itself (0..1 per
+/// step), queue 1 bursts `burst` packets at t0 then goes quiet.
+inline core::Workload starvationWorkload(const std::string& inst, int horizon,
+                                         int burst = 3) {
+  core::Workload w;
+  w.add(core::Workload::perStepCount(inst + ".ibs.0", 0, 1));
+  w.add(core::Workload::countAtStep(inst + ".ibs.1", 0, burst, burst));
+  for (int t = 1; t < horizon; ++t) {
+    w.add(core::Workload::countAtStep(inst + ".ibs.1", t, 0, 0));
+  }
+  return w;
+}
+
+}  // namespace buffy::testing

@@ -1,0 +1,207 @@
+#include "backends/interp/interpreter.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "support/error.hpp"
+
+namespace buffy::backends {
+namespace {
+
+using buffy::testing::schedulerNet;
+
+TEST(Simulator, RoundRobinAlternates) {
+  Simulator sim(schedulerNet(models::kRoundRobin, "rr", 2), 6);
+  core::ConcreteArrivals arrivals;
+  // Both queues continuously backlogged.
+  for (int t = 0; t < 6; ++t) {
+    arrivals["rr.ibs.0"].push_back({core::ConcretePacket{}});
+    arrivals["rr.ibs.1"].push_back({core::ConcretePacket{}});
+  }
+  const core::Trace trace = sim.run(arrivals);
+  // One dequeue per step, alternating.
+  EXPECT_EQ(trace.at("rr.cdeq.0", 5), 3);
+  EXPECT_EQ(trace.at("rr.cdeq.1", 5), 3);
+  EXPECT_EQ(trace.at("rr.ob.out", 0), 1);
+}
+
+TEST(Simulator, StrictPriorityStarvesLowPriority) {
+  Simulator sim(schedulerNet(models::kStrictPriority, "sp", 2), 5);
+  core::ConcreteArrivals arrivals;
+  for (int t = 0; t < 5; ++t) {
+    arrivals["sp.ibs.0"].push_back({core::ConcretePacket{}});
+    arrivals["sp.ibs.1"].push_back({core::ConcretePacket{}});
+  }
+  const core::Trace trace = sim.run(arrivals);
+  EXPECT_EQ(trace.at("sp.cdeq.0", 4), 5);
+  EXPECT_EQ(trace.at("sp.cdeq.1", 4), 0);
+  EXPECT_EQ(trace.at("sp.ibs.1.backlog", 4), 5);
+}
+
+TEST(Simulator, BuggyFqStarvation) {
+  // The §2.1 bug, concretely: queue 0 paced 1,0,1,1,... while queue 1 has
+  // a burst of 3 at t0 — queue 1 is served exactly once.
+  Simulator sim(schedulerNet(models::kFairQueueBuggy, "fq", 2), 6);
+  core::ConcreteArrivals arrivals;
+  arrivals["fq.ibs.0"] = {{core::ConcretePacket{}},
+                          {},
+                          {core::ConcretePacket{}},
+                          {core::ConcretePacket{}},
+                          {core::ConcretePacket{}},
+                          {core::ConcretePacket{}}};
+  arrivals["fq.ibs.1"].push_back(
+      {core::ConcretePacket{}, core::ConcretePacket{}, core::ConcretePacket{}});
+  const core::Trace trace = sim.run(arrivals);
+  EXPECT_EQ(trace.at("fq.cdeq.0", 5), 5);
+  EXPECT_EQ(trace.at("fq.cdeq.1", 5), 1);
+  EXPECT_GT(trace.at("fq.ibs.1.backlog", 5), 0);
+}
+
+TEST(Simulator, FixedFqDoesNotStarve) {
+  Simulator sim(schedulerNet(models::kFairQueueFixed, "fq", 2), 6);
+  core::ConcreteArrivals arrivals;
+  arrivals["fq.ibs.0"] = {{core::ConcretePacket{}},
+                          {},
+                          {core::ConcretePacket{}},
+                          {core::ConcretePacket{}},
+                          {core::ConcretePacket{}},
+                          {core::ConcretePacket{}}};
+  arrivals["fq.ibs.1"].push_back(
+      {core::ConcretePacket{}, core::ConcretePacket{}, core::ConcretePacket{}});
+  const core::Trace trace = sim.run(arrivals);
+  // With the RFC fix, queue 1 keeps its round-robin share.
+  EXPECT_GE(trace.at("fq.cdeq.1", 5), 2);
+}
+
+TEST(Simulator, DeficitRoundRobinByteFairness) {
+  // DRR with QUANTUM=3: q0 sends 2-byte packets, q1 sends 3-byte packets.
+  core::ProgramSpec spec;
+  spec.instance = "drr";
+  spec.source = models::kDeficitRoundRobin;
+  spec.compile.constants["N"] = 2;
+  spec.compile.constants["QUANTUM"] = 3;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 8,
+       .schema = {{"bytes"}}, .maxArrivalsPerStep = 4},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 32,
+       .schema = {{"bytes"}}},
+  };
+  core::Network net;
+  net.add(spec);
+  Simulator sim(net, 6);
+  core::ConcreteArrivals arrivals;
+  // Fill both queues up front.
+  arrivals["drr.ibs.0"].push_back(
+      {{{"bytes", 2}}, {{"bytes", 2}}, {{"bytes", 2}}, {{"bytes", 2}}});
+  arrivals["drr.ibs.1"].push_back(
+      {{{"bytes", 3}}, {{"bytes", 3}}, {{"bytes", 3}}});
+  const core::Trace trace = sim.run(arrivals);
+  // Visit 1 (t0, q0): deficit 3 -> one 2-byte packet leaves, deficit 1.
+  EXPECT_EQ(trace.at("drr.bdeq.0", 0), 2);
+  // Visit 2 (t1, q1): deficit 3 -> one 3-byte packet, deficit reset logic.
+  EXPECT_EQ(trace.at("drr.bdeq.1", 1), 3);
+  // Visit 3 (t2, q0): deficit 1+3=4 -> two 2-byte packets.
+  EXPECT_EQ(trace.at("drr.bdeq.0", 2), 6);
+  // Long-run byte shares stay within one quantum of each other while both
+  // queues are backlogged.
+  EXPECT_LE(std::abs(trace.at("drr.bdeq.0", 3) - trace.at("drr.bdeq.1", 3)),
+            3);
+}
+
+TEST(Simulator, CapacityDropsAccounted) {
+  Simulator sim(schedulerNet(models::kRoundRobin, "rr", 2, /*capacity=*/2), 2);
+  core::ConcreteArrivals arrivals;
+  arrivals["rr.ibs.0"].push_back({core::ConcretePacket{}, core::ConcretePacket{},
+                                  core::ConcretePacket{}});
+  const core::Trace trace = sim.run(arrivals);
+  EXPECT_EQ(trace.at("rr.ibs.0.dropped", 0), 1);
+}
+
+TEST(Simulator, UnknownBufferRejected) {
+  Simulator sim(schedulerNet(models::kRoundRobin, "rr", 2), 3);
+  core::ConcreteArrivals arrivals;
+  arrivals["rr.nosuch"].push_back({});
+  EXPECT_THROW(sim.run(arrivals), AnalysisError);
+}
+
+TEST(Simulator, TooManyStepsRejected) {
+  Simulator sim(schedulerNet(models::kRoundRobin, "rr", 2), 2);
+  core::ConcreteArrivals arrivals;
+  arrivals["rr.ibs.0"] = {{}, {}, {}};
+  EXPECT_THROW(sim.run(arrivals), AnalysisError);
+}
+
+TEST(Simulator, InputsListed) {
+  Simulator sim(schedulerNet(models::kRoundRobin, "rr", 3), 2);
+  const auto inputs = sim.inputs();
+  ASSERT_EQ(inputs.size(), 3u);
+  EXPECT_EQ(inputs[0], "rr.ibs.0");
+}
+
+TEST(Simulator, ReplayReproducesSolverTrace) {
+  // Solve for a witness, replay its arrivals concretely, and require the
+  // monitor series to match exactly — the interpreter as a differential
+  // oracle for the Z3 backend.
+  core::Network net = schedulerNet(models::kRoundRobin, "rr", 2);
+  core::AnalysisOptions opts;
+  opts.horizon = 5;
+  core::Analysis analysis(net, opts);
+  const auto result =
+      analysis.check(core::Query::expr("rr.cdeq.0[T-1] >= 3"));
+  ASSERT_TRUE(result.sat());
+  ASSERT_TRUE(result.trace.has_value());
+
+  Simulator sim(net, 5);
+  const core::Trace replayed = sim.replay(*result.trace);
+  for (const char* series :
+       {"rr.cdeq.0", "rr.cdeq.1", "rr.ibs.0.backlog", "rr.ibs.1.backlog",
+        "rr.ob.out"}) {
+    for (int t = 0; t < 5; ++t) {
+      EXPECT_EQ(replayed.at(series, t), result.trace->at(series, t))
+          << series << " @t" << t;
+    }
+  }
+}
+
+TEST(Simulator, ValPacketHelper) {
+  const auto pkt = valPacket(7);
+  EXPECT_EQ(pkt.at("val"), 7);
+}
+
+TEST(Trace, RenderAndAccessors) {
+  Simulator sim(schedulerNet(models::kRoundRobin, "rr", 2), 2);
+  const core::Trace trace = sim.run({});
+  EXPECT_THROW(trace.at("nosuch", 0), Error);
+  EXPECT_THROW(trace.at("rr.cdeq.0", 9), Error);
+  const std::string rendered = trace.render();
+  EXPECT_NE(rendered.find("rr.cdeq.0"), std::string::npos);
+  EXPECT_NE(rendered.find("t1"), std::string::npos);
+  // Full render includes at least everything the headline render shows.
+  EXPECT_GE(trace.render(true).size(), rendered.size());
+}
+
+TEST(Trace, CsvAndJsonExport) {
+  Simulator sim(schedulerNet(models::kRoundRobin, "rr", 2), 2);
+  core::ConcreteArrivals arrivals;
+  arrivals["rr.ibs.0"].push_back({core::ConcretePacket{}});
+  const core::Trace trace = sim.run(arrivals);
+
+  const std::string csv = trace.toCsv();
+  EXPECT_NE(csv.find("series,t0,t1\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("rr.cdeq.0,1,1\n"), std::string::npos) << csv;
+  // One header + one row per series.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            trace.series.size() + 1);
+
+  const std::string json = trace.toJson();
+  EXPECT_NE(json.find("\"horizon\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rr.cdeq.0\": [1, 1]"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace buffy::backends

@@ -1,0 +1,129 @@
+#include "lang/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace buffy::lang {
+namespace {
+
+std::vector<TokenKind> kinds(const std::string& source) {
+  std::vector<TokenKind> out;
+  for (const auto& tok : lex(source)) out.push_back(tok.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, HyphenatedBuiltins) {
+  const auto toks = lex("backlog-p backlog-b move-p move-b");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::KwBacklogP);
+  EXPECT_EQ(toks[1].kind, TokenKind::KwBacklogB);
+  EXPECT_EQ(toks[2].kind, TokenKind::KwMoveP);
+  EXPECT_EQ(toks[3].kind, TokenKind::KwMoveB);
+}
+
+TEST(Lexer, BacklogMinusVariableIsSubtraction) {
+  // `backlog - x` and `backlog-px` must NOT lex as the builtin.
+  const auto toks = lex("backlog - x");
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[1].kind, TokenKind::Minus);
+
+  const auto toks2 = lex("backlog-px");
+  EXPECT_EQ(toks2[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks2[0].text, "backlog");
+  EXPECT_EQ(toks2[1].kind, TokenKind::Minus);
+  EXPECT_EQ(toks2[2].text, "px");
+}
+
+TEST(Lexer, PipeVariants) {
+  const auto toks = lex("| |> ||");
+  EXPECT_EQ(toks[0].kind, TokenKind::Pipe);
+  EXPECT_EQ(toks[1].kind, TokenKind::PipeGt);
+  EXPECT_EQ(toks[2].kind, TokenKind::Pipe);  // || is a synonym of |
+}
+
+TEST(Lexer, AmpVariants) {
+  const auto toks = lex("& &&");
+  EXPECT_EQ(toks[0].kind, TokenKind::Amp);
+  EXPECT_EQ(toks[1].kind, TokenKind::Amp);
+}
+
+TEST(Lexer, DotsAndRanges) {
+  const auto toks = lex("0..N l.has");
+  EXPECT_EQ(toks[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(toks[1].kind, TokenKind::DotDot);
+  EXPECT_EQ(toks[2].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[3].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[4].kind, TokenKind::Dot);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  EXPECT_EQ(kinds("== != < <= > >= = !"),
+            (std::vector<TokenKind>{
+                TokenKind::EqEq, TokenKind::NotEq, TokenKind::Lt,
+                TokenKind::Le, TokenKind::Gt, TokenKind::Ge,
+                TokenKind::Assign, TokenKind::Bang, TokenKind::EndOfFile}));
+}
+
+TEST(Lexer, Keywords) {
+  const auto toks =
+      lex("global local monitor havoc int bool list buffer if else for in do "
+          "true false assert assume def return");
+  const std::vector<TokenKind> expected = {
+      TokenKind::KwGlobal, TokenKind::KwLocal,  TokenKind::KwMonitor,
+      TokenKind::KwHavoc,  TokenKind::KwInt,    TokenKind::KwBool,
+      TokenKind::KwList,   TokenKind::KwBuffer, TokenKind::KwIf,
+      TokenKind::KwElse,   TokenKind::KwFor,    TokenKind::KwIn,
+      TokenKind::KwDo,     TokenKind::KwTrue,   TokenKind::KwFalse,
+      TokenKind::KwAssert, TokenKind::KwAssume, TokenKind::KwDef,
+      TokenKind::KwReturn, TokenKind::EndOfFile};
+  EXPECT_EQ(kinds("global local monitor havoc int bool list buffer if else "
+                  "for in do true false assert assume def return"),
+            expected);
+  (void)toks;
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto toks = lex("x // comment to end of line\ny");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(Lexer, IntegerLiteralValue) {
+  const auto toks = lex("12345");
+  EXPECT_EQ(toks[0].value, 12345);
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  EXPECT_THROW(lex("a $ b"), SyntaxError);
+  EXPECT_THROW(lex("@"), SyntaxError);
+}
+
+TEST(Lexer, RejectsOutOfRangeLiteral) {
+  EXPECT_THROW(lex("99999999999999999999999999"), SyntaxError);
+}
+
+TEST(Lexer, UnderscoreIdentifiers) {
+  const auto toks = lex("_x x_y __z");
+  EXPECT_EQ(toks[0].text, "_x");
+  EXPECT_EQ(toks[1].text, "x_y");
+  EXPECT_EQ(toks[2].text, "__z");
+}
+
+}  // namespace
+}  // namespace buffy::lang

@@ -1,0 +1,96 @@
+#include "models/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+
+namespace buffy::models {
+namespace {
+
+TEST(Models, RegistryComplete) {
+  const auto& all = allModels();
+  ASSERT_EQ(all.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& entry : all) names.insert(entry.name);
+  EXPECT_TRUE(names.count("fq_buggy"));
+  EXPECT_TRUE(names.count("fq_fixed"));
+  EXPECT_TRUE(names.count("round_robin"));
+  EXPECT_TRUE(names.count("strict_priority"));
+  EXPECT_TRUE(names.count("drr"));
+  EXPECT_TRUE(names.count("aimd"));
+  EXPECT_TRUE(names.count("path_server"));
+  EXPECT_TRUE(names.count("delay_server"));
+}
+
+TEST(Models, Table1LineCounts) {
+  // The Buffy column of Table 1: FQ ~18, RR ~10, SP ~7. Our sources carry
+  // the ghost-monitor updates §6.1 adds, so allow a small margin — but the
+  // ordering and rough magnitudes must match the paper.
+  const std::size_t fq = modelLoc(kFairQueueBuggy);
+  const std::size_t rr = modelLoc(kRoundRobin);
+  const std::size_t sp = modelLoc(kStrictPriority);
+  EXPECT_GE(fq, 18u);
+  EXPECT_LE(fq, 40u);
+  EXPECT_GE(rr, 10u);
+  EXPECT_LE(rr, 20u);
+  EXPECT_GE(sp, 7u);
+  EXPECT_LE(sp, 15u);
+  EXPECT_GT(fq, rr);
+  EXPECT_GT(rr, sp);
+}
+
+TEST(Models, ProgramNamesMatch) {
+  EXPECT_EQ(lang::parse(kFairQueueBuggy).name, "fq");
+  EXPECT_EQ(lang::parse(kFairQueueFixed).name, "fq");
+  EXPECT_EQ(lang::parse(kRoundRobin).name, "rr");
+  EXPECT_EQ(lang::parse(kStrictPriority).name, "sp");
+  EXPECT_EQ(lang::parse(kDeficitRoundRobin).name, "drr");
+  EXPECT_EQ(lang::parse(kAimdCca).name, "aimd");
+  EXPECT_EQ(lang::parse(kPathServer).name, "path");
+  EXPECT_EQ(lang::parse(kDelayServer).name, "delay");
+}
+
+TEST(Models, SchedulersAreParametricInN) {
+  for (const char* source :
+       {kFairQueueBuggy, kFairQueueFixed, kRoundRobin, kStrictPriority}) {
+    for (const int n : {2, 3, 5}) {
+      lang::Program prog = lang::parse(source);
+      lang::CompileOptions opts;
+      opts.constants["N"] = n;
+      opts.defaultListCapacity = n;
+      EXPECT_NO_THROW(lang::checkOrThrow(prog, opts)) << "N=" << n;
+    }
+  }
+}
+
+TEST(Models, FqUsesTheTwoListAbstraction) {
+  lang::Program prog = lang::parse(kFairQueueBuggy);
+  lang::CompileOptions opts;
+  opts.constants["N"] = 2;
+  opts.defaultListCapacity = 2;
+  const auto symbols = lang::checkOrThrow(prog, opts);
+  EXPECT_TRUE(symbols.globals.count("nq"));
+  EXPECT_TRUE(symbols.globals.count("oq"));
+  EXPECT_EQ(symbols.globals.at("nq").kind, lang::TypeKind::List);
+  EXPECT_TRUE(symbols.monitors.count("cdeq"));
+}
+
+TEST(Models, CcacProgramsDeclareMonitors) {
+  lang::CompileOptions opts;
+  opts.constants = {{"RATE", 1}, {"BUCKET", 2}, {"RTO", 3}};
+  {
+    lang::Program prog = lang::parse(kAimdCca);
+    const auto symbols = lang::checkOrThrow(prog, opts);
+    EXPECT_TRUE(symbols.monitors.count("mcwnd"));
+    EXPECT_TRUE(symbols.monitors.count("msent"));
+  }
+  {
+    lang::Program prog = lang::parse(kPathServer);
+    const auto symbols = lang::checkOrThrow(prog, opts);
+    EXPECT_TRUE(symbols.monitors.count("mserved"));
+  }
+}
+
+}  // namespace
+}  // namespace buffy::models

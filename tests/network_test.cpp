@@ -1,0 +1,180 @@
+#include "core/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backends/interp/interpreter.hpp"
+#include "core/analysis.hpp"
+#include "helpers.hpp"
+#include "support/error.hpp"
+
+namespace buffy::core {
+namespace {
+
+// A trivial forwarder: everything in `in` moves to `out` each step.
+constexpr const char* kForward = R"(
+fwd(buffer src, buffer snk) {
+  move-p(src, snk, backlog-p(src));
+})";
+
+ProgramSpec forwarder(const std::string& instance) {
+  ProgramSpec spec;
+  spec.instance = instance;
+  spec.source = kForward;
+  spec.buffers = {
+      {.param = "src", .role = BufferSpec::Role::Input, .capacity = 8,
+       .maxArrivalsPerStep = 2},
+      {.param = "snk", .role = BufferSpec::Role::Output, .capacity = 8},
+  };
+  return spec;
+}
+
+TEST(Network, FlushAddsOneStepOfLatencyPerHop) {
+  // a -> b: a packet arriving at a at t0 leaves b at t1.
+  Network net;
+  net.add(forwarder("a")).add(forwarder("b"));
+  net.connect("a", "snk", "b", "src");
+
+  backends::Simulator sim(net, 4);
+  ConcreteArrivals arrivals;
+  arrivals["a.src"].push_back({ConcretePacket{}});
+  const Trace trace = sim.run(arrivals);
+  EXPECT_EQ(trace.at("a.snk.out", 0), 1);  // leaves a at t0
+  EXPECT_EQ(trace.at("b.snk.out", 0), 0);
+  EXPECT_EQ(trace.at("b.snk.out", 1), 1);  // leaves b at t1
+  EXPECT_EQ(trace.at("b.snk.out", 2), 0);
+}
+
+TEST(Network, ThreeHopChain) {
+  Network net;
+  net.add(forwarder("a")).add(forwarder("b")).add(forwarder("c"));
+  net.connect("a", "snk", "b", "src");
+  net.connect("b", "snk", "c", "src");
+
+  backends::Simulator sim(net, 5);
+  ConcreteArrivals arrivals;
+  arrivals["a.src"].push_back({ConcretePacket{}, ConcretePacket{}});
+  const Trace trace = sim.run(arrivals);
+  EXPECT_EQ(trace.at("c.snk.out", 2), 2);
+  // Only a's input is external.
+  EXPECT_EQ(sim.inputs().size(), 1u);
+  EXPECT_EQ(sim.inputs()[0], "a.src");
+}
+
+TEST(Network, ConnectionValidation) {
+  {
+    Network net;
+    net.add(forwarder("a")).add(forwarder("b"));
+    net.connect("a", "src", "b", "src");  // source is not an output
+    AnalysisOptions opts;
+    EXPECT_THROW(Analysis(net, opts), AnalysisError);
+  }
+  {
+    Network net;
+    net.add(forwarder("a")).add(forwarder("b"));
+    net.connect("a", "snk", "b", "snk");  // target is not an input
+    AnalysisOptions opts;
+    EXPECT_THROW(Analysis(net, opts), AnalysisError);
+  }
+  {
+    Network net;
+    net.add(forwarder("a")).add(forwarder("b")).add(forwarder("c"));
+    net.connect("a", "snk", "b", "src");
+    net.connect("a", "snk", "c", "src");  // output connected twice
+    AnalysisOptions opts;
+    EXPECT_THROW(Analysis(net, opts), AnalysisError);
+  }
+  {
+    Network net;
+    net.add(forwarder("a"));
+    net.connect("a", "snk", "zz", "src");  // unknown instance
+    AnalysisOptions opts;
+    EXPECT_THROW(Analysis(net, opts), AnalysisError);
+  }
+}
+
+TEST(Network, DuplicateInstanceNamesRejected) {
+  Network net;
+  net.add(forwarder("a")).add(forwarder("a"));
+  AnalysisOptions opts;
+  EXPECT_THROW(Analysis(net, opts), AnalysisError);
+}
+
+TEST(Network, MissingBufferSpecRejected) {
+  ProgramSpec spec = forwarder("a");
+  spec.buffers.pop_back();  // drop the 'out' spec
+  Network net;
+  net.add(spec);
+  AnalysisOptions opts;
+  EXPECT_THROW(Analysis(net, opts), AnalysisError);
+}
+
+TEST(Network, ContractReplacesComponent) {
+  // a -> lossy "middle" contract -> query over emissions.
+  Network net;
+  net.add(forwarder("a")).add(forwarder("mid"));
+  net.connect("a", "snk", "mid", "src");
+  Contract contract;
+  contract.maxOutPerStep = 2;
+  // Interface invariant: cumulative emissions never exceed cumulative
+  // consumption (no packet creation).
+  contract.invariants = [](const ContractView& view, ir::TermArena& arena,
+                           std::vector<ir::TermRef>& out) {
+    ir::TermRef consumed = arena.intConst(0);
+    ir::TermRef emitted = arena.intConst(0);
+    for (int t = 0; t < view.horizon(); ++t) {
+      consumed = arena.add(consumed, view.consumed("src", -1, t));
+      emitted = arena.add(emitted, view.emitted("snk", -1, t));
+      out.push_back(arena.le(emitted, consumed));
+    }
+  };
+  net.useContract("mid", contract);
+
+  AnalysisOptions opts;
+  opts.horizon = 4;
+  Analysis analysis(net, opts);
+  // With at most 2 external arrivals per step into a, the contract can
+  // never emit more than the total that arrived.
+  const auto impossible = analysis.check(Query::custom(
+      "emitted beyond consumed", [](const SeriesView& view, ir::TermArena& a) {
+        ir::TermRef emitted = a.intConst(0);
+        ir::TermRef arrived = a.intConst(0);
+        for (int t = 0; t < view.horizon(); ++t) {
+          emitted = a.add(emitted, view.find("mid.snk.emitted")->at(
+                                       static_cast<std::size_t>(t)));
+          arrived = a.add(arrived, view.find("a.src.arrived")->at(
+                                       static_cast<std::size_t>(t)));
+        }
+        return a.gt(emitted, arrived);
+      }));
+  EXPECT_EQ(impossible.verdict, Verdict::Unsatisfiable);
+
+  // But emitting *some* packets is possible.
+  const auto possible = analysis.check(Query::custom(
+      "any emission", [](const SeriesView& view, ir::TermArena& a) {
+        return a.gt(view.find("mid.snk.emitted")->back(), a.intConst(0));
+      }));
+  EXPECT_EQ(possible.verdict, Verdict::Satisfiable);
+}
+
+TEST(Network, ContractsCannotBeSimulated) {
+  Network net;
+  net.add(forwarder("a"));
+  net.useContract("a", Contract{});
+  AnalysisOptions opts;
+  opts.horizon = 2;
+  Analysis analysis(net, opts);
+  EXPECT_THROW(analysis.simulate({}), AnalysisError);
+}
+
+TEST(Network, ContractViewValidation) {
+  std::map<std::string, std::vector<ir::TermRef>> series;
+  ir::TermArena arena;
+  series["m.src.consumed"] = {arena.intConst(1)};
+  const ContractView view(&series, "m", 1);
+  EXPECT_EQ(view.consumed("src", -1, 0)->value, 1);
+  EXPECT_THROW(view.consumed("src", -1, 5), AnalysisError);
+  EXPECT_THROW(view.emitted("snk", -1, 0), AnalysisError);
+}
+
+}  // namespace
+}  // namespace buffy::core

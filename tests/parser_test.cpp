@@ -1,0 +1,200 @@
+#include "lang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/printer.hpp"
+#include "models/library.hpp"
+#include "support/error.hpp"
+
+namespace buffy::lang {
+namespace {
+
+TEST(Parser, MinimalProgram) {
+  const Program prog = parse("p(buffer a, buffer b) { move-p(a, b, 1); }");
+  EXPECT_EQ(prog.name, "p");
+  ASSERT_EQ(prog.params.size(), 2u);
+  EXPECT_EQ(prog.params[0].type.kind, TypeKind::Buffer);
+  ASSERT_EQ(prog.body->stmts.size(), 1u);
+  EXPECT_EQ(prog.body->stmts[0]->stmtKind, StmtKind::Move);
+}
+
+TEST(Parser, BufferArrayParamWithNamedSize) {
+  const Program prog = parse("p(buffer[N] ibs, buffer ob) {}");
+  EXPECT_EQ(prog.params[0].type.kind, TypeKind::BufferArray);
+  EXPECT_EQ(prog.params[0].sizeParam, "N");
+  EXPECT_EQ(prog.params[0].type.size, -1);
+}
+
+TEST(Parser, BufferArrayParamWithLiteralSize) {
+  const Program prog = parse("p(buffer[4] ibs, buffer ob) {}");
+  EXPECT_EQ(prog.params[0].type.size, 4);
+  EXPECT_TRUE(prog.params[0].sizeParam.empty());
+}
+
+TEST(Parser, Figure4ParsesCompletely) {
+  const Program prog = parse(models::kFairQueueBuggy);
+  EXPECT_EQ(prog.name, "fq");
+  EXPECT_GE(prog.body->stmts.size(), 5u);
+}
+
+TEST(Parser, AllLibraryModelsParse) {
+  for (const auto& entry : models::allModels()) {
+    EXPECT_NO_THROW(parse(entry.source)) << entry.name;
+  }
+}
+
+TEST(Parser, PrintReparseRoundTrip) {
+  for (const auto& entry : models::allModels()) {
+    const Program prog = parse(entry.source);
+    const std::string printed = printProgram(prog);
+    const Program reparsed = parse(printed);
+    EXPECT_EQ(printProgram(reparsed), printed) << entry.name;
+  }
+}
+
+TEST(Parser, IfWithoutBracesTakesSingleStatement) {
+  const Program prog = parse(R"(
+p(buffer a, buffer b) {
+  global list nq;
+  for (i in 0..3) do
+    if (backlog-p(a) > 0 & !nq.has(i))
+      nq.enq(i);
+})");
+  ASSERT_EQ(prog.body->stmts.size(), 2u);
+  EXPECT_EQ(prog.body->stmts[1]->stmtKind, StmtKind::For);
+}
+
+TEST(Parser, LocalAssignmentSugar) {
+  // Figure 4 line 9: `local dequeued = false;` assigns an already-declared
+  // variable.
+  const Program prog = parse(R"(
+p(buffer a, buffer b) {
+  local bool dequeued;
+  local dequeued = false;
+})");
+  ASSERT_EQ(prog.body->stmts.size(), 2u);
+  EXPECT_EQ(prog.body->stmts[0]->stmtKind, StmtKind::Decl);
+  EXPECT_EQ(prog.body->stmts[1]->stmtKind, StmtKind::Assign);
+}
+
+TEST(Parser, PopFrontStatement) {
+  const Program prog = parse(R"(
+p(buffer a, buffer b) {
+  global list nq;
+  local int head;
+  head = nq.pop_front();
+})");
+  EXPECT_EQ(prog.body->stmts[2]->stmtKind, StmtKind::PopFront);
+  const auto& pop = static_cast<const PopFrontStmt&>(*prog.body->stmts[2]);
+  EXPECT_EQ(pop.target, "head");
+  EXPECT_EQ(pop.list, "nq");
+}
+
+TEST(Parser, EnqAndPushBackAreSynonyms) {
+  const Program prog = parse(R"(
+p(buffer a, buffer b) {
+  global list nq;
+  nq.enq(1);
+  nq.push_back(2);
+})");
+  EXPECT_EQ(prog.body->stmts[1]->stmtKind, StmtKind::ListPush);
+  EXPECT_EQ(prog.body->stmts[2]->stmtKind, StmtKind::ListPush);
+}
+
+TEST(Parser, FilterExpression) {
+  const ExprPtr e = parseExpr("backlog-p(b |> (val == 3))");
+  ASSERT_EQ(e->exprKind, ExprKind::Backlog);
+  const auto& backlog = static_cast<const BacklogExpr&>(*e);
+  ASSERT_EQ(backlog.buffer->exprKind, ExprKind::Filter);
+  const auto& filter = static_cast<const FilterExpr&>(*backlog.buffer);
+  EXPECT_EQ(filter.field, "val");
+}
+
+TEST(Parser, FilterWithoutParens) {
+  const ExprPtr e = parseExpr("backlog-b(b |> val == 3)");
+  ASSERT_EQ(e->exprKind, ExprKind::Backlog);
+  EXPECT_FALSE(static_cast<const BacklogExpr&>(*e).packets);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // a + b * c == d & e | f  =>  ((((a + (b*c)) == d) & e) | f)
+  const ExprPtr e = parseExpr("a + b * c == d & e | f");
+  ASSERT_EQ(e->exprKind, ExprKind::Binary);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*e).op, BinaryOp::Or);
+  const auto& lhs =
+      static_cast<const BinaryExpr&>(*static_cast<const BinaryExpr&>(*e).lhs);
+  EXPECT_EQ(lhs.op, BinaryOp::And);
+}
+
+TEST(Parser, UnaryChain) {
+  const ExprPtr e = parseExpr("!!a");
+  ASSERT_EQ(e->exprKind, ExprKind::Unary);
+  EXPECT_EQ(static_cast<const UnaryExpr&>(*e).op, UnaryOp::Not);
+}
+
+TEST(Parser, FunctionDeclaration) {
+  const Program prog = parse(R"(
+p(buffer a, buffer b) {
+  def int min2(int x, int y) {
+    local int r;
+    r = x;
+    if (y < x) { r = y; }
+    return r;
+  }
+  local int m;
+  m = min2(1, 2);
+})");
+  ASSERT_EQ(prog.functions.size(), 1u);
+  EXPECT_EQ(prog.functions[0].name, "min2");
+  EXPECT_EQ(prog.functions[0].returnType.kind, TypeKind::Int);
+  ASSERT_EQ(prog.functions[0].params.size(), 2u);
+}
+
+TEST(Parser, ArrayDeclarationsWithNamedSize) {
+  const Program prog = parse(R"(
+p(buffer a, buffer b) {
+  global monitor int cdeq[N];
+  local int tmp[3];
+})");
+  const auto& decl = static_cast<const DeclStmt&>(*prog.body->stmts[0]);
+  EXPECT_EQ(decl.sizeParam, "N");
+  EXPECT_EQ(decl.storage, Storage::Monitor);
+}
+
+TEST(Parser, HavocDeclaration) {
+  const Program prog = parse(R"(
+p(buffer a, buffer b) {
+  havoc int waste;
+  assume(waste >= 0);
+})");
+  const auto& decl = static_cast<const DeclStmt&>(*prog.body->stmts[0]);
+  EXPECT_EQ(decl.storage, Storage::Havoc);
+}
+
+TEST(Parser, RejectsTrailingTokens) {
+  EXPECT_THROW(parse("p(buffer a, buffer b) {} garbage"), SyntaxError);
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  EXPECT_THROW(parse("p(buffer a, buffer b) { x = 1 }"), SyntaxError);
+}
+
+TEST(Parser, RejectsBadMoveArity) {
+  EXPECT_THROW(parse("p(buffer a, buffer b) { move-p(a, b); }"), SyntaxError);
+}
+
+TEST(Parser, RejectsUnknownMethod) {
+  EXPECT_THROW(parse("p(buffer a, buffer b) { global list l; l.frob(1); }"),
+               SyntaxError);
+}
+
+TEST(Parser, RejectsFilterWithNonEquality) {
+  EXPECT_THROW(parseExpr("backlog-p(b |> val >= 3)"), SyntaxError);
+}
+
+TEST(Parser, ExpressionOnlyRejectsTrailing) {
+  EXPECT_THROW(parseExpr("1 + 2 3"), SyntaxError);
+}
+
+}  // namespace
+}  // namespace buffy::lang

@@ -1,0 +1,153 @@
+#include "core/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/term_eval.hpp"
+#include "support/error.hpp"
+
+namespace buffy::core {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() {
+    // Two series over a 4-step horizon: cdeq = [1,2,3,4], fq.drop = [0,0,1,1].
+    for (int t = 0; t < 4; ++t) {
+      cdeq_.push_back(arena_.intConst(t + 1));
+      drop_.push_back(arena_.intConst(t >= 2 ? 1 : 0));
+    }
+    series_["cdeq"] = cdeq_;
+    series_["fq.ob.dropped"] = drop_;
+    series_["fq.cdeq.0"] = cdeq_;
+  }
+
+  std::int64_t eval(const std::string& text) {
+    const SeriesView view(&series_, 4);
+    return ir::evalTerm(Query::expr(text).build(view, arena_), {});
+  }
+
+  ir::TermArena arena_;
+  std::map<std::string, std::vector<ir::TermRef>> series_;
+  std::vector<ir::TermRef> cdeq_;
+  std::vector<ir::TermRef> drop_;
+};
+
+TEST_F(QueryTest, SimpleComparison) {
+  EXPECT_EQ(eval("cdeq[0] == 1"), 1);
+  EXPECT_EQ(eval("cdeq[3] == 4"), 1);
+  EXPECT_EQ(eval("cdeq[3] < 4"), 0);
+}
+
+TEST_F(QueryTest, HorizonConstant) {
+  EXPECT_EQ(eval("cdeq[T-1] >= T/2"), 1);  // 4 >= 2
+  EXPECT_EQ(eval("T == 4"), 1);
+}
+
+TEST_F(QueryTest, DottedSeriesNames) {
+  EXPECT_EQ(eval("fq.ob.dropped[2] == 1"), 1);
+  EXPECT_EQ(eval("fq.cdeq.0[1] == 2"), 1);
+}
+
+TEST_F(QueryTest, BooleanConnectives) {
+  EXPECT_EQ(eval("cdeq[0] == 1 & cdeq[1] == 2"), 1);
+  EXPECT_EQ(eval("cdeq[0] == 9 | cdeq[1] == 2"), 1);
+  EXPECT_EQ(eval("!(cdeq[0] == 9)"), 1);
+}
+
+TEST_F(QueryTest, Arithmetic) {
+  EXPECT_EQ(eval("cdeq[3] - cdeq[0] == 3"), 1);
+  EXPECT_EQ(eval("cdeq[1] * 2 == 4"), 1);
+  EXPECT_EQ(eval("cdeq[3] % 3 == 1"), 1);
+}
+
+TEST_F(QueryTest, SumBuiltin) {
+  EXPECT_EQ(eval("sum(cdeq, 0, T) == 10"), 1);
+  EXPECT_EQ(eval("sum(cdeq, 1, 3) == 5"), 1);
+  EXPECT_EQ(eval("sum(fq.ob.dropped, 0, T) == 2"), 1);
+}
+
+TEST_F(QueryTest, WindowAggregates) {
+  // cdeq = [1,2,3,4]; drop = [0,0,1,1].
+  EXPECT_EQ(eval("max_over(cdeq, 0, T) == 4"), 1);
+  EXPECT_EQ(eval("min_over(cdeq, 0, T) == 1"), 1);
+  EXPECT_EQ(eval("max_over(cdeq, 1, 3) == 3"), 1);
+  EXPECT_EQ(eval("min_over(fq.ob.dropped, 2, T) == 1"), 1);
+  EXPECT_EQ(eval("max_over(cdeq, 0, T) <= 3"), 0);
+}
+
+TEST_F(QueryTest, WindowAggregateErrors) {
+  const SeriesView view(&series_, 4);
+  EXPECT_THROW(Query::expr("max_over(cdeq, 2, 2) > 0").build(view, arena_),
+               AnalysisError);
+  EXPECT_THROW(Query::expr("min_over(cdeq, 0, 9) > 0").build(view, arena_),
+               AnalysisError);
+  EXPECT_THROW(Query::expr("max_over(nosuch, 0, T) > 0").build(view, arena_),
+               AnalysisError);
+}
+
+TEST_F(QueryTest, MinMaxBuiltins) {
+  EXPECT_EQ(eval("min(cdeq[0], cdeq[3]) == 1"), 1);
+  EXPECT_EQ(eval("max(cdeq[0], cdeq[3], 9) == 9"), 1);
+}
+
+TEST_F(QueryTest, UnknownSeriesListsKnown) {
+  const SeriesView view(&series_, 4);
+  try {
+    Query::expr("nosuch[0] > 0").build(view, arena_);
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown series"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cdeq"), std::string::npos);
+  }
+}
+
+TEST_F(QueryTest, StepOutOfRangeRejected) {
+  const SeriesView view(&series_, 4);
+  EXPECT_THROW(Query::expr("cdeq[4] > 0").build(view, arena_), AnalysisError);
+  EXPECT_THROW(Query::expr("cdeq[0-1] > 0").build(view, arena_),
+               AnalysisError);
+}
+
+TEST_F(QueryTest, NonBooleanQueryRejected) {
+  const SeriesView view(&series_, 4);
+  EXPECT_THROW(Query::expr("cdeq[0] + 1").build(view, arena_), AnalysisError);
+}
+
+TEST_F(QueryTest, TrailingTokensRejected) {
+  const SeriesView view(&series_, 4);
+  EXPECT_THROW(Query::expr("cdeq[0] > 0 cdeq").build(view, arena_),
+               AnalysisError);
+}
+
+TEST_F(QueryTest, SymbolicStepIndexRejected) {
+  // A series whose values are symbolic cannot serve as a step index.
+  series_["sym"] = {arena_.var("s0", ir::Sort::Int), arena_.intConst(0),
+                    arena_.intConst(0), arena_.intConst(0)};
+  const SeriesView view(&series_, 4);
+  EXPECT_THROW(Query::expr("cdeq[sym[0]] > 0").build(view, arena_),
+               AnalysisError);
+}
+
+TEST_F(QueryTest, CustomQuery) {
+  const SeriesView view(&series_, 4);
+  const Query q = Query::custom("last step drop", [](const SeriesView& v,
+                                                     ir::TermArena& a) {
+    return a.gt(v.find("fq.ob.dropped")->back(), a.intConst(0));
+  });
+  EXPECT_EQ(ir::evalTerm(q.build(view, arena_), {}), 1);
+  EXPECT_EQ(q.description(), "last step drop");
+}
+
+TEST_F(QueryTest, AlwaysQuery) {
+  const SeriesView view(&series_, 4);
+  EXPECT_TRUE(Query::always().build(view, arena_)->isTrue());
+}
+
+TEST_F(QueryTest, ParenthesesAndPrecedence) {
+  EXPECT_EQ(eval("(cdeq[0] + cdeq[1]) * 2 == 6"), 1);
+  EXPECT_EQ(eval("cdeq[0] == 1 | cdeq[0] == 2 & cdeq[1] == 99"), 1);
+}
+
+}  // namespace
+}  // namespace buffy::core

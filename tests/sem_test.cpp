@@ -1,0 +1,317 @@
+#include "sem/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "models/library.hpp"
+
+namespace buffy::sem {
+namespace {
+
+struct CheckOutcome {
+  bool wellFormed = false;
+  bool ghostClean = false;
+  std::string rendered;
+};
+
+CheckOutcome runPasses(const std::string& source, BufferRoles roles,
+                       lang::CompileOptions opts = {}) {
+  lang::Program prog = lang::parse(source);
+  const auto symbols = lang::checkOrThrow(prog, opts);
+  CheckOutcome out;
+  DiagnosticEngine diag;
+  out.wellFormed = checkWellFormed(prog, roles, diag);
+  out.ghostClean = checkGhostNonInterference(prog, symbols.monitors, diag);
+  out.rendered = diag.renderAll();
+  return out;
+}
+
+BufferRoles ioRoles() {
+  BufferRoles roles;
+  roles.inputs = {"a"};
+  roles.outputs = {"b"};
+  return roles;
+}
+
+TEST(WellFormed, CleanProgramPasses) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  move-p(a, b, 1);
+})",
+                             ioRoles());
+  EXPECT_TRUE(out.wellFormed) << out.rendered;
+}
+
+TEST(WellFormed, AllModelsPass) {
+  lang::CompileOptions opts;
+  opts.constants = {{"N", 3}, {"RATE", 2}, {"BUCKET", 4}, {"RTO", 3}, {"QUANTUM", 2}};
+  opts.defaultListCapacity = 3;
+  for (const auto& entry : models::allModels()) {
+    BufferRoles roles;  // no role restrictions — structural checks only
+    const auto out = runPasses(entry.source, roles, opts);
+    EXPECT_TRUE(out.wellFormed) << entry.name << "\n" << out.rendered;
+    EXPECT_TRUE(out.ghostClean) << entry.name << "\n" << out.rendered;
+  }
+}
+
+TEST(WellFormed, OutputBufferIsWriteOnly) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  move-p(b, a, 1);
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.wellFormed);
+  EXPECT_NE(out.rendered.find("write-only"), std::string::npos);
+}
+
+TEST(WellFormed, OutputBacklogRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = backlog-p(b);
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.wellFormed);
+}
+
+TEST(WellFormed, InputNotMoveDestination) {
+  BufferRoles roles;
+  roles.inputs = {"a", "c"};
+  const auto out = runPasses(R"(
+p(buffer a, buffer c) {
+  move-p(a, c, 1);
+})",
+                             roles);
+  EXPECT_FALSE(out.wellFormed);
+}
+
+TEST(WellFormed, ReturnInProgramBodyRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  return;
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.wellFormed);
+}
+
+TEST(WellFormed, GlobalInsideFunctionRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  def int f() {
+    global int g;
+    return g;
+  }
+  local int x;
+  x = f();
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.wellFormed);
+}
+
+TEST(WellFormed, RuntimeLoopBoundRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  for (i in 0..backlog-p(a)) do { }
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.wellFormed);
+  EXPECT_NE(out.rendered.find("bounded loops"), std::string::npos);
+}
+
+TEST(Ghost, MonitorUpdatesAllowed) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  global monitor int m;
+  m = m + backlog-p(a);
+  assert(m >= 0);
+})",
+                             ioRoles());
+  EXPECT_TRUE(out.ghostClean) << out.rendered;
+}
+
+TEST(Ghost, MonitorFeedingRealStateRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  global monitor int m;
+  global int real;
+  real = m;
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.ghostClean);
+}
+
+TEST(Ghost, MonitorInMoveAmountRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  global monitor int m;
+  move-p(a, b, m);
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.ghostClean);
+}
+
+TEST(Ghost, MonitorGuardingGhostOnlyAllowed) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  global monitor int m;
+  global monitor int peak;
+  if (m > peak) { peak = m; }
+})",
+                             ioRoles());
+  EXPECT_TRUE(out.ghostClean) << out.rendered;
+}
+
+TEST(Ghost, MonitorGuardingRealStateRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  global monitor int m;
+  global int real;
+  if (m > 0) { real = 1; }
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.ghostClean);
+}
+
+TEST(Ghost, MonitorInAssumeRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  global monitor int m;
+  assume(m > 0);
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.ghostClean);
+}
+
+TEST(Ghost, PopIntoMonitorRejected) {
+  const auto out = runPasses(R"(
+p(buffer a, buffer b) {
+  global monitor int m;
+  global list l;
+  m = l.pop_front();
+})",
+                             ioRoles());
+  EXPECT_FALSE(out.ghostClean);
+}
+
+// ---------------------------------------------------------------------------
+// Definite-assignment lint
+// ---------------------------------------------------------------------------
+
+std::size_t lintWarnings(const std::string& source) {
+  lang::Program prog = lang::parse(source);
+  lang::checkOrThrow(prog, {});
+  DiagnosticEngine diag;
+  return checkDefiniteAssignment(prog, diag);
+}
+
+TEST(DefiniteAssignment, CleanWhenAssignedFirst) {
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = 1;
+  move-p(a, b, x);
+})"),
+            0u);
+}
+
+TEST(DefiniteAssignment, WarnsOnPlainUseBeforeAssign) {
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  local int x;
+  move-p(a, b, x);
+})"),
+            1u);
+}
+
+TEST(DefiniteAssignment, BranchAssignmentIsNotDefinite) {
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  local int x;
+  if (backlog-p(a) > 0) { x = 1; }
+  move-p(a, b, x);
+})"),
+            1u);
+}
+
+TEST(DefiniteAssignment, BothBranchesAssignIsDefinite) {
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  local int x;
+  if (backlog-p(a) > 0) { x = 1; } else { x = 2; }
+  move-p(a, b, x);
+})"),
+            0u);
+}
+
+TEST(DefiniteAssignment, LoopBodyAssignmentDoesNotEscape) {
+  // The loop may run zero times (unresolved constant bounds), so the
+  // assignment inside does not make x definite afterwards.
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  local int x;
+  for (i in 0..2) do { x = i; }
+  move-p(a, b, x);
+})"),
+            1u);
+}
+
+TEST(DefiniteAssignment, InitializerCounts) {
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  local int x = 3;
+  move-p(a, b, x);
+})"),
+            0u);
+}
+
+TEST(DefiniteAssignment, HavocAndPopCount) {
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  havoc int w;
+  assume(w >= 0);
+  global list l;
+  local int h;
+  h = l.pop_front();
+  move-p(a, b, h + w);
+})"),
+            0u);
+}
+
+TEST(DefiniteAssignment, GlobalsNotTracked) {
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  global int g;
+  move-p(a, b, g);
+})"),
+            0u);
+}
+
+TEST(DefiniteAssignment, WarnsOncePerVariable) {
+  EXPECT_EQ(lintWarnings(R"(
+p(buffer a, buffer b) {
+  local int x;
+  local int y;
+  y = x + x + x;
+  move-p(a, b, x);
+})"),
+            1u);
+}
+
+TEST(DefiniteAssignment, LibraryModelsAreClean) {
+  lang::CompileOptions opts;
+  opts.constants = {{"N", 2}, {"RATE", 2}, {"BUCKET", 4}, {"RTO", 3},
+                    {"QUANTUM", 2}};
+  opts.defaultListCapacity = 2;
+  for (const auto& entry : models::allModels()) {
+    lang::Program prog = lang::parse(entry.source);
+    lang::checkOrThrow(prog, opts);
+    DiagnosticEngine diag;
+    EXPECT_EQ(checkDefiniteAssignment(prog, diag), 0u)
+        << entry.name << "\n"
+        << diag.renderAll();
+  }
+}
+
+}  // namespace
+}  // namespace buffy::sem

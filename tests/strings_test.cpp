@@ -1,0 +1,102 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/error.hpp"
+
+namespace buffy {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  const auto pieces = split("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(Strings, SplitSinglePiece) {
+  const auto pieces = split("hello", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "hello");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("// comment", "//"));
+  EXPECT_FALSE(startsWith("/", "//"));
+  EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Strings, CountCodeLinesSkipsBlanksAndComments) {
+  const char* source = R"(
+// a comment
+x = 1;
+
+  // indented comment
+y = 2;
+)";
+  EXPECT_EQ(countCodeLines(source), 2u);
+}
+
+TEST(Strings, CountCodeLinesEmpty) {
+  EXPECT_EQ(countCodeLines(""), 0u);
+  EXPECT_EQ(countCodeLines("\n\n// only\n"), 0u);
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine diag;
+  EXPECT_FALSE(diag.hasErrors());
+  diag.warning({1, 1}, "careful");
+  EXPECT_FALSE(diag.hasErrors());
+  diag.error({2, 3}, "broken");
+  EXPECT_TRUE(diag.hasErrors());
+  EXPECT_EQ(diag.errorCount(), 1u);
+  EXPECT_EQ(diag.all().size(), 2u);
+}
+
+TEST(Diagnostics, RenderIncludesLocationAndSeverity) {
+  DiagnosticEngine diag;
+  diag.error({12, 5}, "bad thing");
+  const std::string rendered = diag.renderAll();
+  EXPECT_NE(rendered.find("12:5"), std::string::npos);
+  EXPECT_NE(rendered.find("error"), std::string::npos);
+  EXPECT_NE(rendered.find("bad thing"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diag;
+  diag.error({}, "x");
+  diag.clear();
+  EXPECT_FALSE(diag.hasErrors());
+  EXPECT_TRUE(diag.all().empty());
+}
+
+TEST(Errors, ErrorCarriesLocation) {
+  const Error e("message", SourceLoc{3, 4});
+  EXPECT_EQ(e.loc().line, 3u);
+  EXPECT_NE(std::string(e.what()).find("3:4"), std::string::npos);
+}
+
+TEST(Errors, SynthLocationOmitted) {
+  const Error e("message");
+  EXPECT_FALSE(e.loc().known());
+  EXPECT_STREQ(e.what(), "message");
+}
+
+}  // namespace
+}  // namespace buffy

@@ -1,0 +1,162 @@
+#include "eval/sym_list.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "ir/term_eval.hpp"
+#include "ir/term_printer.hpp"
+#include "support/error.hpp"
+
+namespace buffy::eval {
+namespace {
+
+// With all-constant inputs, every list operation must fold to constants —
+// so we can test the symbolic list against std::deque directly.
+class SymListTest : public ::testing::Test {
+ protected:
+  ir::TermArena arena;
+
+  std::int64_t value(ir::TermRef t) {
+    const auto v = ir::constValue(t);
+    EXPECT_TRUE(v.has_value()) << ir::toSExpr(t);
+    return v.value_or(-999);
+  }
+};
+
+TEST_F(SymListTest, StartsEmpty) {
+  SymList list("l", 4, arena);
+  EXPECT_EQ(value(list.lenTerm()), 0);
+  EXPECT_EQ(value(list.emptyTerm()), 1);
+  EXPECT_EQ(value(list.overflowedTerm()), 0);
+}
+
+TEST_F(SymListTest, PushPopFifo) {
+  SymList list("l", 4, arena);
+  list.pushBack(arena.intConst(10), arena.trueTerm());
+  list.pushBack(arena.intConst(20), arena.trueTerm());
+  EXPECT_EQ(value(list.lenTerm()), 2);
+  EXPECT_EQ(value(list.popFront(arena.trueTerm())), 10);
+  EXPECT_EQ(value(list.popFront(arena.trueTerm())), 20);
+  EXPECT_EQ(value(list.emptyTerm()), 1);
+}
+
+TEST_F(SymListTest, PopEmptyYieldsSentinel) {
+  SymList list("l", 2, arena);
+  EXPECT_EQ(value(list.popFront(arena.trueTerm())), -1);
+  EXPECT_EQ(value(list.lenTerm()), 0);
+}
+
+TEST_F(SymListTest, GuardedOpsAreNoOps) {
+  SymList list("l", 2, arena);
+  list.pushBack(arena.intConst(1), arena.falseTerm());
+  EXPECT_EQ(value(list.lenTerm()), 0);
+  list.pushBack(arena.intConst(1), arena.trueTerm());
+  EXPECT_EQ(value(list.popFront(arena.falseTerm())), -1);
+  EXPECT_EQ(value(list.lenTerm()), 1);
+}
+
+TEST_F(SymListTest, Has) {
+  SymList list("l", 4, arena);
+  list.pushBack(arena.intConst(7), arena.trueTerm());
+  EXPECT_EQ(value(list.hasTerm(arena.intConst(7))), 1);
+  EXPECT_EQ(value(list.hasTerm(arena.intConst(8))), 0);
+  // Stale slots beyond len must not match.
+  list.popFront(arena.trueTerm());
+  EXPECT_EQ(value(list.hasTerm(arena.intConst(7))), 0);
+}
+
+TEST_F(SymListTest, OverflowSticky) {
+  SymList list("l", 2, arena);
+  list.pushBack(arena.intConst(1), arena.trueTerm());
+  list.pushBack(arena.intConst(2), arena.trueTerm());
+  EXPECT_EQ(value(list.overflowedTerm()), 0);
+  list.pushBack(arena.intConst(3), arena.trueTerm());  // dropped
+  EXPECT_EQ(value(list.overflowedTerm()), 1);
+  EXPECT_EQ(value(list.lenTerm()), 2);
+  list.popFront(arena.trueTerm());
+  EXPECT_EQ(value(list.overflowedTerm()), 1);  // sticky
+}
+
+TEST_F(SymListTest, MergeSelectsBranch) {
+  SymList thenList("l", 3, arena);
+  SymList elseList = thenList;
+  thenList.pushBack(arena.intConst(1), arena.trueTerm());
+  elseList.pushBack(arena.intConst(2), arena.trueTerm());
+  elseList.pushBack(arena.intConst(3), arena.trueTerm());
+
+  const ir::TermRef c = arena.var("c", ir::Sort::Bool);
+  SymList merged = thenList;
+  merged.mergeElse(c, elseList);
+  // Under c=true the merged list is [1]; under c=false it is [2,3].
+  EXPECT_EQ(ir::evalTerm(merged.lenTerm(), {{"c", 1}}), 1);
+  EXPECT_EQ(ir::evalTerm(merged.elemAt(0), {{"c", 1}}), 1);
+  EXPECT_EQ(ir::evalTerm(merged.lenTerm(), {{"c", 0}}), 2);
+  EXPECT_EQ(ir::evalTerm(merged.elemAt(0), {{"c", 0}}), 2);
+  EXPECT_EQ(ir::evalTerm(merged.elemAt(1), {{"c", 0}}), 3);
+}
+
+TEST_F(SymListTest, MergeCapacityMismatchThrows) {
+  SymList a("a", 2, arena);
+  SymList b("b", 3, arena);
+  EXPECT_THROW(a.mergeElse(arena.trueTerm(), b), AnalysisError);
+}
+
+TEST_F(SymListTest, ZeroCapacityRejected) {
+  EXPECT_THROW(SymList("l", 0, arena), AnalysisError);
+}
+
+TEST_F(SymListTest, StateTerms) {
+  SymList list("l", 2, arena);
+  const auto terms = list.stateTerms();
+  ASSERT_EQ(terms.size(), 3u);  // len + 2 elements
+  EXPECT_EQ(terms[0].first, "len");
+}
+
+// Property test: random push/pop sequences agree with std::deque.
+class SymListProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SymListProperty, MatchesDequeReference) {
+  ir::TermArena arena;
+  const int capacity = 5;
+  SymList list("l", capacity, arena);
+  std::deque<std::int64_t> ref;
+  unsigned state = GetParam();
+  auto nextRand = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int step = 0; step < 200; ++step) {
+    const auto v = ir::constValue(list.lenTerm());
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, static_cast<std::int64_t>(ref.size()));
+    if (nextRand() % 2 == 0) {
+      const std::int64_t x = static_cast<std::int64_t>(nextRand() % 100);
+      list.pushBack(arena.intConst(x), arena.trueTerm());
+      if (ref.size() < static_cast<std::size_t>(capacity)) ref.push_back(x);
+    } else {
+      const auto popped = ir::constValue(list.popFront(arena.trueTerm()));
+      ASSERT_TRUE(popped.has_value());
+      if (ref.empty()) {
+        EXPECT_EQ(*popped, -1);
+      } else {
+        EXPECT_EQ(*popped, ref.front());
+        ref.pop_front();
+      }
+    }
+    // has() agrees for a probe value.
+    const std::int64_t probe = static_cast<std::int64_t>(nextRand() % 100);
+    const auto has = ir::constValue(list.hasTerm(arena.intConst(probe)));
+    ASSERT_TRUE(has.has_value());
+    const bool refHas =
+        std::find(ref.begin(), ref.end(), probe) != ref.end();
+    EXPECT_EQ(*has != 0, refHas);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymListProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace buffy::eval

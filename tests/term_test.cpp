@@ -1,0 +1,202 @@
+#include "ir/term.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/term_eval.hpp"
+#include "ir/term_printer.hpp"
+#include "support/error.hpp"
+
+namespace buffy::ir {
+namespace {
+
+class TermTest : public ::testing::Test {
+ protected:
+  TermArena arena;
+};
+
+TEST_F(TermTest, HashConsingSharesIdenticalNodes) {
+  const TermRef x = arena.var("x", Sort::Int);
+  const TermRef a = arena.add(x, arena.intConst(1));
+  const TermRef b = arena.add(x, arena.intConst(1));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TermTest, ConstantFoldingArithmetic) {
+  EXPECT_EQ(arena.add(arena.intConst(2), arena.intConst(3))->value, 5);
+  EXPECT_EQ(arena.sub(arena.intConst(2), arena.intConst(3))->value, -1);
+  EXPECT_EQ(arena.mul(arena.intConst(4), arena.intConst(3))->value, 12);
+  EXPECT_EQ(arena.neg(arena.intConst(7))->value, -7);
+}
+
+TEST_F(TermTest, IdentityRules) {
+  const TermRef x = arena.var("x", Sort::Int);
+  EXPECT_EQ(arena.add(x, arena.intConst(0)), x);
+  EXPECT_EQ(arena.add(arena.intConst(0), x), x);
+  EXPECT_EQ(arena.sub(x, arena.intConst(0)), x);
+  EXPECT_EQ(arena.sub(x, x)->value, 0);
+  EXPECT_EQ(arena.mul(x, arena.intConst(1)), x);
+  EXPECT_TRUE(arena.mul(x, arena.intConst(0))->isZero());
+  EXPECT_EQ(arena.div(x, arena.intConst(1)), x);
+  EXPECT_TRUE(arena.mod(x, arena.intConst(1))->isZero());
+}
+
+TEST_F(TermTest, EuclideanDivMod) {
+  // SMT-LIB semantics: mod result is non-negative.
+  EXPECT_EQ(euclideanDiv(7, 2), 3);
+  EXPECT_EQ(euclideanMod(7, 2), 1);
+  EXPECT_EQ(euclideanDiv(-7, 2), -4);
+  EXPECT_EQ(euclideanMod(-7, 2), 1);
+  EXPECT_EQ(euclideanDiv(7, -2), -3);
+  EXPECT_EQ(euclideanMod(7, -2), 1);
+  EXPECT_EQ(euclideanDiv(-7, -2), 4);
+  EXPECT_EQ(euclideanMod(-7, -2), 1);
+  // Invariant: a == b * div(a,b) + mod(a,b).
+  for (const auto [a, b] : {std::pair{13, 5}, {-13, 5}, {13, -5}, {-13, -5}}) {
+    EXPECT_EQ(a, b * euclideanDiv(a, b) + euclideanMod(a, b));
+  }
+  // Division by zero is defined as 0.
+  EXPECT_EQ(euclideanDiv(5, 0), 0);
+  EXPECT_EQ(euclideanMod(5, 0), 0);
+}
+
+TEST_F(TermTest, BooleanSimplification) {
+  const TermRef p = arena.var("p", Sort::Bool);
+  EXPECT_EQ(arena.mkAnd(p, arena.trueTerm()), p);
+  EXPECT_TRUE(arena.mkAnd(p, arena.falseTerm())->isFalse());
+  EXPECT_EQ(arena.mkOr(p, arena.falseTerm()), p);
+  EXPECT_TRUE(arena.mkOr(p, arena.trueTerm())->isTrue());
+  EXPECT_EQ(arena.mkNot(arena.mkNot(p)), p);
+  EXPECT_TRUE(arena.implies(p, p)->isTrue());
+  EXPECT_EQ(arena.implies(arena.trueTerm(), p), p);
+}
+
+TEST_F(TermTest, ComparisonFolding) {
+  EXPECT_TRUE(arena.lt(arena.intConst(1), arena.intConst(2))->isTrue());
+  EXPECT_TRUE(arena.le(arena.intConst(2), arena.intConst(2))->isTrue());
+  EXPECT_TRUE(arena.eq(arena.intConst(2), arena.intConst(3))->isFalse());
+  const TermRef x = arena.var("x", Sort::Int);
+  EXPECT_TRUE(arena.eq(x, x)->isTrue());
+  EXPECT_TRUE(arena.le(x, x)->isTrue());
+  EXPECT_TRUE(arena.lt(x, x)->isFalse());
+}
+
+TEST_F(TermTest, IteSimplification) {
+  const TermRef c = arena.var("c", Sort::Bool);
+  const TermRef x = arena.var("x", Sort::Int);
+  const TermRef y = arena.var("y", Sort::Int);
+  EXPECT_EQ(arena.ite(arena.trueTerm(), x, y), x);
+  EXPECT_EQ(arena.ite(arena.falseTerm(), x, y), y);
+  EXPECT_EQ(arena.ite(c, x, x), x);
+  // Boolean-branch ite collapses to connectives.
+  const TermRef p = arena.var("p", Sort::Bool);
+  EXPECT_EQ(arena.ite(c, arena.trueTerm(), p), arena.mkOr(c, p));
+  EXPECT_EQ(arena.ite(c, p, arena.falseTerm()), arena.mkAnd(c, p));
+}
+
+TEST_F(TermTest, MinMax) {
+  EXPECT_EQ(arena.min(arena.intConst(3), arena.intConst(5))->value, 3);
+  EXPECT_EQ(arena.max(arena.intConst(3), arena.intConst(5))->value, 5);
+  const TermRef x = arena.var("x", Sort::Int);
+  EXPECT_EQ(arena.min(x, x), x);
+}
+
+TEST_F(TermTest, VarSortConflictRejected) {
+  arena.var("v", Sort::Int);
+  EXPECT_THROW(arena.var("v", Sort::Bool), Error);
+}
+
+TEST_F(TermTest, FreshVarsDistinct) {
+  const TermRef a = arena.freshVar("h", Sort::Int);
+  const TermRef b = arena.freshVar("h", Sort::Int);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a->name, b->name);
+}
+
+TEST_F(TermTest, VariablesTracked) {
+  arena.var("a", Sort::Int);
+  arena.var("b", Sort::Bool);
+  arena.var("a", Sort::Int);  // duplicate
+  EXPECT_EQ(arena.variables().size(), 2u);
+}
+
+TEST_F(TermTest, CountTrue) {
+  const TermRef p = arena.var("p", Sort::Bool);
+  const std::vector<TermRef> flags = {arena.trueTerm(), arena.falseTerm(), p};
+  const TermRef count = arena.countTrue(flags);
+  EXPECT_EQ(evalTerm(count, {{"p", 1}}), 2);
+  EXPECT_EQ(evalTerm(count, {{"p", 0}}), 1);
+}
+
+TEST_F(TermTest, EqSortMismatchThrows) {
+  EXPECT_THROW(arena.eq(arena.intConst(1), arena.trueTerm()), Error);
+  EXPECT_THROW(
+      arena.ite(arena.trueTerm(), arena.intConst(1), arena.trueTerm()), Error);
+}
+
+TEST_F(TermTest, SExprPrinting) {
+  const TermRef x = arena.var("x", Sort::Int);
+  const TermRef e = arena.add(x, arena.intConst(-2));
+  EXPECT_EQ(toSExpr(e), "(+ x (- 2))");
+}
+
+TEST_F(TermTest, DagSizeCountsSharedOnce) {
+  const TermRef x = arena.var("x", Sort::Int);
+  const TermRef sum = arena.add(x, x);  // folds? no: add(x,x) is a node
+  const TermRef expr = arena.mul(sum, sum);
+  // nodes: x, (+ x x), (* s s) = 3
+  EXPECT_EQ(dagSize(expr), 3u);
+}
+
+TEST_F(TermTest, EvalTermFullCoverage) {
+  const TermRef x = arena.var("x", Sort::Int);
+  const TermRef p = arena.var("p", Sort::Bool);
+  const Assignment env = {{"x", 10}, {"p", 1}};
+  EXPECT_EQ(evalTerm(arena.add(x, arena.intConst(5)), env), 15);
+  EXPECT_EQ(evalTerm(arena.div(x, arena.intConst(3)), env), 3);
+  EXPECT_EQ(evalTerm(arena.mod(x, arena.intConst(3)), env), 1);
+  EXPECT_EQ(evalTerm(arena.ite(p, x, arena.intConst(0)), env), 10);
+  EXPECT_EQ(evalTerm(arena.implies(p, arena.lt(x, arena.intConst(5))), env),
+            0);
+  // Missing variables default to 0.
+  EXPECT_EQ(evalTerm(arena.add(arena.var("zz", Sort::Int), arena.intConst(1)),
+                     env),
+            1);
+}
+
+TEST_F(TermTest, DeepChainIsStackSafe) {
+  // 100k-deep addition chain: iterative eval must not overflow the stack.
+  TermRef acc = arena.var("x", Sort::Int);
+  for (int i = 0; i < 100000; ++i) acc = arena.add(acc, arena.var("y", Sort::Int));
+  EXPECT_EQ(evalTerm(acc, {{"x", 1}, {"y", 1}}), 100001);
+}
+
+// Property-style sweep: folding agrees with direct evaluation for a grid
+// of operand values.
+class FoldProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FoldProperty, FoldMatchesEval) {
+  TermArena arena;
+  const auto [a, b] = GetParam();
+  const TermRef ta = arena.intConst(a);
+  const TermRef tb = arena.intConst(b);
+  EXPECT_EQ(arena.add(ta, tb)->value, a + b);
+  EXPECT_EQ(arena.sub(ta, tb)->value, a - b);
+  EXPECT_EQ(arena.mul(ta, tb)->value, a * b);
+  EXPECT_EQ(arena.div(ta, tb)->value, euclideanDiv(a, b));
+  EXPECT_EQ(arena.mod(ta, tb)->value, euclideanMod(a, b));
+  EXPECT_EQ(arena.lt(ta, tb)->isTrue(), a < b);
+  EXPECT_EQ(arena.le(ta, tb)->isTrue(), a <= b);
+  EXPECT_EQ(arena.eq(ta, tb)->isTrue(), a == b);
+  EXPECT_EQ(arena.min(ta, tb)->value, std::min(a, b));
+  EXPECT_EQ(arena.max(ta, tb)->value, std::max(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FoldProperty,
+    ::testing::Values(std::pair{0, 0}, std::pair{1, 0}, std::pair{0, 1},
+                      std::pair{-3, 2}, std::pair{3, -2}, std::pair{-3, -2},
+                      std::pair{7, 7}, std::pair{-100, 13},
+                      std::pair{42, -1}, std::pair{5, 3}));
+
+}  // namespace
+}  // namespace buffy::ir

@@ -1,0 +1,280 @@
+#include "transform/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/typecheck.hpp"
+#include "models/library.hpp"
+#include "support/error.hpp"
+
+namespace buffy::transform {
+namespace {
+
+using lang::parse;
+using lang::printProgram;
+using lang::Program;
+
+Program compiled(const std::string& source, lang::CompileOptions opts = {}) {
+  Program prog = parse(source);
+  lang::checkOrThrow(prog, opts);
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+TEST(ConstFold, FoldsArithmetic) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = 2 + 3 * 4;
+})");
+  foldConstants(prog);
+  const std::string printed = printProgram(prog);
+  EXPECT_NE(printed.find("x = 14;"), std::string::npos) << printed;
+}
+
+TEST(ConstFold, FoldsComparisonsAndBooleans) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  local bool x;
+  x = (1 < 2) & (3 == 3);
+})");
+  foldConstants(prog);
+  EXPECT_NE(printProgram(prog).find("x = true;"), std::string::npos);
+}
+
+TEST(ConstFold, PrunesLiteralIf) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  local int x;
+  if (1 < 2) { x = 1; } else { x = 2; }
+  if (false) { x = 3; }
+})");
+  foldConstants(prog);
+  const std::string printed = printProgram(prog);
+  EXPECT_EQ(printed.find("if"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("x = 1;"), std::string::npos);
+  EXPECT_EQ(printed.find("x = 3;"), std::string::npos);
+}
+
+TEST(ConstFold, EuclideanDivisionSemantics) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = (0 - 7) / 2;
+})");
+  foldConstants(prog);
+  EXPECT_NE(printProgram(prog).find("x = -4;"), std::string::npos)
+      << printProgram(prog);
+}
+
+TEST(ConstFold, FoldsMinMaxCalls) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = min(4, 2, 9);
+})");
+  foldConstants(prog);
+  EXPECT_NE(printProgram(prog).find("x = 2;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Loop unrolling
+// ---------------------------------------------------------------------------
+
+TEST(Unroll, ReplacesLoopWithIterationBlocks) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  global int sum;
+  for (i in 0..3) do { sum = sum + i; }
+})");
+  unrollLoops(prog);
+  const std::string printed = printProgram(prog);
+  EXPECT_EQ(printed.find("for"), std::string::npos) << printed;
+  // Three iteration blocks binding i = 0,1,2.
+  EXPECT_NE(printed.find("local int i = 0;"), std::string::npos);
+  EXPECT_NE(printed.find("local int i = 2;"), std::string::npos);
+}
+
+TEST(Unroll, EmptyRangeVanishes) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  global int sum;
+  for (i in 2..2) do { sum = sum + 1; }
+})");
+  unrollLoops(prog);
+  EXPECT_EQ(printProgram(prog).find("sum = (sum + 1)"), std::string::npos);
+}
+
+TEST(Unroll, NestedLoops) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  global int sum;
+  for (i in 0..2) do {
+    for (j in 0..2) do { sum = sum + 1; }
+  }
+})");
+  unrollLoops(prog);
+  const std::string printed = printProgram(prog);
+  EXPECT_EQ(printed.find("for"), std::string::npos);
+  // 4 copies of the increment.
+  std::size_t count = 0;
+  for (std::size_t pos = printed.find("sum = (sum + 1)");
+       pos != std::string::npos; pos = printed.find("sum = (sum + 1)", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(Unroll, RejectsNonLiteralBound) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  local int n;
+  n = backlog-p(a);
+  for (i in 0..n) do { }
+})");
+  EXPECT_THROW(unrollLoops(prog), SemanticError);
+}
+
+TEST(Unroll, ConstantBoundViaElaboration) {
+  lang::CompileOptions opts;
+  opts.constants["N"] = 2;
+  Program prog = compiled(R"(
+p(buffer[N] ibs, buffer ob) {
+  global int s;
+  for (i in 0..N) do { s = s + 1; }
+})",
+                          opts);
+  foldConstants(prog);
+  EXPECT_NO_THROW(unrollLoops(prog));
+}
+
+// ---------------------------------------------------------------------------
+// Inlining
+// ---------------------------------------------------------------------------
+
+TEST(Inline, SimpleValueFunction) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  def int twice(int x) { return x + x; }
+  global int y;
+  y = twice(3);
+})");
+  inlineFunctions(prog);
+  EXPECT_TRUE(prog.functions.empty());
+  const std::string printed = printProgram(prog);
+  EXPECT_EQ(printed.find("twice("), std::string::npos) << printed;
+  EXPECT_NE(printed.find("_ret"), std::string::npos);
+}
+
+TEST(Inline, BufferParameterAliasing) {
+  Program prog = compiled(R"(
+p(buffer[2] ibs, buffer ob) {
+  def int load(buffer q) { return backlog-p(q); }
+  global int y;
+  y = load(ibs[1]);
+})");
+  inlineFunctions(prog);
+  const std::string printed = printProgram(prog);
+  EXPECT_NE(printed.find("backlog-p(ibs[1])"), std::string::npos) << printed;
+}
+
+TEST(Inline, NestedCalls) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  def int inc(int x) { return x + 1; }
+  def int inc2(int x) { return inc(inc(x)); }
+  global int y;
+  y = inc2(5);
+})");
+  inlineFunctions(prog);
+  // No call expressions remain (renamed locals may still contain "inc").
+  EXPECT_EQ(printProgram(prog).find("inc("), std::string::npos)
+      << printProgram(prog);
+  EXPECT_EQ(printProgram(prog).find("inc2("), std::string::npos);
+}
+
+TEST(Inline, VoidFunctionStatement) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  def bump(buffer q, buffer r) {
+    move-p(q, r, 1);
+  }
+  bump(a, b);
+})");
+  inlineFunctions(prog);
+  const std::string printed = printProgram(prog);
+  EXPECT_NE(printed.find("move-p(a, b, 1)"), std::string::npos) << printed;
+}
+
+TEST(Inline, CallInCondition) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  def int load(buffer q) { return backlog-p(q); }
+  global int y;
+  if (load(a) > 0) { y = 1; }
+})");
+  inlineFunctions(prog);
+  EXPECT_EQ(printProgram(prog).find("load("), std::string::npos);
+}
+
+TEST(Inline, BodyLocalsRenamed) {
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  def int f(int x) {
+    local int tmp;
+    tmp = x * 2;
+    return tmp;
+  }
+  local int tmp;
+  tmp = f(1) + f(2);
+})");
+  EXPECT_NO_THROW(inlineFunctions(prog));
+  // Re-typecheck: renamed locals must not collide with the caller's `tmp`.
+  DiagnosticEngine diag;
+  EXPECT_TRUE(lang::typecheck(prog, {}, diag).ok) << diag.renderAll();
+}
+
+TEST(Inline, RecursionRejected) {
+  Program prog = parse(R"(
+p(buffer a, buffer b) {
+  def int f(int x) { return f(x); }
+  global int y;
+  y = f(1);
+})");
+  EXPECT_THROW(inlineFunctions(prog), SemanticError);
+}
+
+TEST(Inline, MutualRecursionRejected) {
+  Program prog = parse(R"(
+p(buffer a, buffer b) {
+  def int f(int x) { return g(x); }
+  def int g(int x) { return f(x); }
+  global int y;
+  y = f(1);
+})");
+  EXPECT_THROW(inlineFunctions(prog), SemanticError);
+}
+
+TEST(Inline, AllModelsSurviveFullPipeline) {
+  lang::CompileOptions opts;
+  opts.constants = {{"N", 3}, {"RATE", 2}, {"BUCKET", 4}, {"RTO", 3}, {"QUANTUM", 2}};
+  opts.defaultListCapacity = 3;
+  for (const auto& entry : models::allModels()) {
+    Program prog = parse(entry.source);
+    lang::checkOrThrow(prog, opts);
+    inlineFunctions(prog);
+    foldConstants(prog);
+    EXPECT_NO_THROW(unrollLoops(prog)) << entry.name;
+    DiagnosticEngine diag;
+    EXPECT_TRUE(lang::typecheck(prog, opts, diag).ok)
+        << entry.name << "\n"
+        << diag.renderAll();
+  }
+}
+
+}  // namespace
+}  // namespace buffy::transform

@@ -1,0 +1,190 @@
+#include "core/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "ir/term_eval.hpp"
+#include "support/error.hpp"
+
+namespace buffy::core {
+namespace {
+
+using buffy::testing::schedulerNet;
+
+std::unique_ptr<TransitionSystem> rrSystem() {
+  return buildTransitionSystem(schedulerNet(models::kRoundRobin, "rr", 2,
+                                            /*capacity=*/4,
+                                            /*maxArrivals=*/2));
+}
+
+TEST(Transition, StateVectorShape) {
+  const auto ts = rrSystem();
+  // 3 buffers x (pkts, dropped) + next + cdeq[2] + 2 arrivedTotal +
+  // 1 outTotal = 12.
+  EXPECT_EQ(ts->state.size(), 12u);
+  EXPECT_NE(ts->find("rr.next"), nullptr);
+  EXPECT_NE(ts->find("rr.cdeq.0"), nullptr);
+  EXPECT_NE(ts->find("rr.ibs.0.pkts"), nullptr);
+  EXPECT_NE(ts->find("rr.ibs.0.arrivedTotal"), nullptr);
+  EXPECT_NE(ts->find("rr.ob.outTotal"), nullptr);
+  EXPECT_EQ(ts->find("nosuch"), nullptr);
+}
+
+TEST(Transition, InitialStateIsEmpty) {
+  const auto ts = rrSystem();
+  for (const auto& sv : ts->state) {
+    ASSERT_TRUE(sv.init->isConst()) << sv.name;
+    EXPECT_EQ(sv.init->value, 0) << sv.name;
+  }
+}
+
+TEST(Transition, PostTermsPresent) {
+  const auto ts = rrSystem();
+  for (const auto& sv : ts->state) {
+    ASSERT_NE(sv.post, nullptr) << sv.name;
+    EXPECT_EQ(sv.post->sort, sv.sort) << sv.name;
+  }
+}
+
+TEST(Transition, InputsAreDisjointFromState) {
+  const auto ts = rrSystem();
+  std::set<const ir::Term*> state;
+  for (const auto& sv : ts->state) state.insert(sv.pre);
+  EXPECT_FALSE(ts->inputs.empty());
+  for (const ir::TermRef input : ts->inputs) {
+    EXPECT_EQ(state.count(input), 0u) << input->name;
+  }
+}
+
+// Concretely execute the relation: from the empty state with one arrival
+// into queue 0, the post-state must show the packet being serviced.
+TEST(Transition, RelationMatchesOneConcreteStep) {
+  const auto ts = rrSystem();
+  ir::Assignment env;
+  for (const auto& sv : ts->state) env[sv.pre->name] = 0;  // initial state
+  for (const ir::TermRef input : ts->inputs) env[input->name] = 0;
+  env["in.rr.ibs.0.n"] = 1;
+
+  // All step constraints hold under this assignment.
+  for (const ir::TermRef c : ts->constraints) {
+    ASSERT_EQ(ir::evalTerm(c, env), 1);
+  }
+  auto post = [&](const char* name) {
+    return ir::evalTerm(ts->find(name)->post, env);
+  };
+  EXPECT_EQ(post("rr.cdeq.0"), 1);        // the packet was serviced
+  EXPECT_EQ(post("rr.cdeq.1"), 0);
+  EXPECT_EQ(post("rr.ibs.0.pkts"), 0);    // and left the input queue
+  EXPECT_EQ(post("rr.next"), 1);          // round-robin pointer advanced
+  EXPECT_EQ(post("rr.ibs.0.arrivedTotal"), 1);
+  EXPECT_EQ(post("rr.ob.outTotal"), 1);   // drained from the output
+  EXPECT_EQ(post("rr.ob.pkts"), 0);
+}
+
+// The relation iterated from init must agree with the bounded simulator.
+TEST(Transition, IteratedRelationMatchesSimulator) {
+  const auto ts = rrSystem();
+  // Concrete arrivals: q0 gets 1/step, q1 gets 2 at t0.
+  const int horizon = 4;
+  ir::Assignment state;
+  for (const auto& sv : ts->state) state[sv.pre->name] = sv.init->value;
+  for (int t = 0; t < horizon; ++t) {
+    ir::Assignment env = state;
+    for (const ir::TermRef input : ts->inputs) env[input->name] = 0;
+    env["in.rr.ibs.0.n"] = 1;
+    env["in.rr.ibs.1.n"] = t == 0 ? 2 : 0;
+    ir::Assignment next;
+    for (const auto& sv : ts->state) {
+      next[sv.pre->name] = ir::evalTerm(sv.post, env);
+    }
+    state = std::move(next);
+  }
+
+  AnalysisOptions opts;
+  opts.horizon = horizon;
+  Analysis analysis(schedulerNet(models::kRoundRobin, "rr", 2, 4, 2), opts);
+  ConcreteArrivals arrivals;
+  for (int t = 0; t < horizon; ++t) {
+    arrivals["rr.ibs.0"].push_back({ConcretePacket{}});
+  }
+  arrivals["rr.ibs.1"].push_back({ConcretePacket{}, ConcretePacket{}});
+  const Trace trace = analysis.simulate(arrivals);
+
+  EXPECT_EQ(state["pre.rr.cdeq.0"], trace.at("rr.cdeq.0", horizon - 1));
+  EXPECT_EQ(state["pre.rr.cdeq.1"], trace.at("rr.cdeq.1", horizon - 1));
+  EXPECT_EQ(state["pre.rr.ibs.0.pkts"],
+            trace.at("rr.ibs.0.backlog", horizon - 1));
+  EXPECT_EQ(state["pre.rr.ibs.1.pkts"],
+            trace.at("rr.ibs.1.backlog", horizon - 1));
+}
+
+TEST(Transition, GlobalConstInitRespected) {
+  ProgramSpec spec;
+  spec.instance = "p";
+  spec.source = R"(
+p(buffer a, buffer b) {
+  global int g = 7;
+  g = g + 1;
+})";
+  spec.buffers = {
+      {.param = "a", .role = BufferSpec::Role::Input, .capacity = 2},
+      {.param = "b", .role = BufferSpec::Role::Output, .capacity = 2},
+  };
+  Network net;
+  net.add(spec);
+  const auto ts = buildTransitionSystem(net);
+  const auto* g = ts->find("p.g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->init->value, 7);
+}
+
+TEST(Transition, NonConstantGlobalInitRejected) {
+  ProgramSpec spec;
+  spec.instance = "p";
+  spec.source = R"(
+p(buffer a, buffer b) {
+  global int g = backlog-p(a);
+})";
+  spec.buffers = {
+      {.param = "a", .role = BufferSpec::Role::Input, .capacity = 2},
+      {.param = "b", .role = BufferSpec::Role::Output, .capacity = 2},
+  };
+  Network net;
+  net.add(spec);
+  EXPECT_THROW(buildTransitionSystem(net), AnalysisError);
+}
+
+TEST(Transition, ContractsRejected) {
+  Network net = schedulerNet(models::kRoundRobin, "rr", 2);
+  net.useContract("rr", Contract{});
+  EXPECT_THROW(buildTransitionSystem(net), AnalysisError);
+}
+
+TEST(Transition, ListStateCaptured) {
+  // The FQ scheduler's nq/oq pointer lists become state variables.
+  const auto ts = buildTransitionSystem(
+      schedulerNet(models::kFairQueueBuggy, "fq", 2));
+  EXPECT_NE(ts->find("fq.nq.len"), nullptr);
+  EXPECT_NE(ts->find("fq.nq.elem0"), nullptr);
+  EXPECT_NE(ts->find("fq.nq.overflowed"), nullptr);
+  EXPECT_NE(ts->find("fq.oq.len"), nullptr);
+  EXPECT_EQ(ts->find("fq.nq.overflowed")->sort, ir::Sort::Bool);
+}
+
+TEST(Transition, WorkloadRulesBecomeConstraints) {
+  TransitionOptions opts;
+  opts.stepWorkload.add(Workload::perStepCount("rr.ibs.0", 1, 1));
+  const auto ts = buildTransitionSystem(
+      schedulerNet(models::kRoundRobin, "rr", 2), opts);
+  // With the rule, an assignment with 0 arrivals violates some constraint.
+  ir::Assignment env;
+  env["in.rr.ibs.0.n"] = 0;
+  bool violated = false;
+  for (const ir::TermRef c : ts->constraints) {
+    if (ir::evalTerm(c, env) == 0) violated = true;
+  }
+  EXPECT_TRUE(violated);
+}
+
+}  // namespace
+}  // namespace buffy::core

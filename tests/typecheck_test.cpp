@@ -1,0 +1,287 @@
+#include "lang/typecheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "models/library.hpp"
+#include "support/error.hpp"
+
+namespace buffy::lang {
+namespace {
+
+TypecheckResult checkSource(const std::string& source,
+                            CompileOptions opts = {}) {
+  Program prog = parse(source);
+  elaborate(prog, opts);
+  DiagnosticEngine diag;
+  TypecheckResult result = typecheck(prog, opts, diag);
+  if (!result.ok) {
+    // surface the diagnostics through gtest on failure paths
+    ADD_FAILURE() << diag.renderAll();
+  }
+  return result;
+}
+
+std::string firstError(const std::string& source, CompileOptions opts = {}) {
+  Program prog = parse(source);
+  elaborate(prog, opts);
+  DiagnosticEngine diag;
+  typecheck(prog, opts, diag);
+  for (const auto& d : diag.all()) {
+    if (d.severity == Severity::Error) return d.message;
+  }
+  return "";
+}
+
+TEST(Typecheck, AllLibraryModelsCheck) {
+  for (const auto& entry : models::allModels()) {
+    Program prog = parse(entry.source);
+    CompileOptions opts;
+    opts.constants["N"] = 3;
+    opts.constants["RATE"] = 2;
+    opts.constants["BUCKET"] = 4;
+    opts.constants["RTO"] = 3;
+    opts.constants["QUANTUM"] = 2;
+    opts.defaultListCapacity = 3;
+    EXPECT_NO_THROW(checkOrThrow(prog, opts)) << entry.name;
+  }
+}
+
+TEST(Typecheck, MonitorsCollected) {
+  const auto result = checkSource(R"(
+p(buffer a, buffer b) {
+  global monitor int m;
+  global int g;
+  m = 1;
+})");
+  EXPECT_EQ(result.monitors.size(), 1u);
+  EXPECT_TRUE(result.monitors.count("m"));
+  EXPECT_EQ(result.globals.size(), 2u);
+}
+
+TEST(Typecheck, ElaborateSubstitutesConstants) {
+  Program prog = parse("p(buffer[N] ibs, buffer ob) { local int x; x = N; }");
+  CompileOptions opts;
+  opts.constants["N"] = 5;
+  elaborate(prog, opts);
+  EXPECT_EQ(prog.params[0].type.size, 5);
+  DiagnosticEngine diag;
+  EXPECT_TRUE(typecheck(prog, opts, diag).ok) << diag.renderAll();
+}
+
+TEST(Typecheck, ElaborateRespectsShadowing) {
+  // The loop variable N shadows the constant N inside the loop.
+  Program prog = parse(R"(
+p(buffer a, buffer b) {
+  local int x;
+  for (N in 0..2) do { x = N; }
+  x = N;
+})");
+  CompileOptions opts;
+  opts.constants["N"] = 7;
+  elaborate(prog, opts);
+  DiagnosticEngine diag;
+  EXPECT_TRUE(typecheck(prog, opts, diag).ok) << diag.renderAll();
+}
+
+TEST(Typecheck, ElaborateRejectsMissingBinding) {
+  Program prog = parse("p(buffer[N] ibs, buffer ob) {}");
+  EXPECT_THROW(elaborate(prog, CompileOptions{}), SemanticError);
+}
+
+TEST(Typecheck, ElaborateRejectsNonPositiveSize) {
+  Program prog = parse("p(buffer[N] ibs, buffer ob) {}");
+  CompileOptions opts;
+  opts.constants["N"] = 0;
+  EXPECT_THROW(elaborate(prog, opts), SemanticError);
+}
+
+TEST(Typecheck, UndeclaredVariable) {
+  EXPECT_NE(firstError("p(buffer a, buffer b) { x = 1; }").find("undeclared"),
+            std::string::npos);
+}
+
+TEST(Typecheck, TypeMismatchInAssignment) {
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = true;
+})").find("assigning bool"),
+            std::string::npos);
+}
+
+TEST(Typecheck, ConditionMustBeBool) {
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  if (1) { }
+})").find("must be bool"),
+            std::string::npos);
+}
+
+TEST(Typecheck, ArithmeticOnBoolRejected) {
+  EXPECT_FALSE(firstError(R"(
+p(buffer a, buffer b) {
+  local bool x;
+  local int y;
+  y = x + 1;
+})").empty());
+}
+
+TEST(Typecheck, Redeclaration) {
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  local int x;
+  local int x;
+})").find("redeclaration"),
+            std::string::npos);
+}
+
+TEST(Typecheck, ShadowingInInnerScopeAllowed) {
+  checkSource(R"(
+p(buffer a, buffer b) {
+  local int x;
+  if (x > 0) {
+    local int x;
+    x = 2;
+  }
+})");
+}
+
+TEST(Typecheck, MoveOnFilteredBufferRejected) {
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  move-p(a |> val == 1, b, 1);
+})").find("filtered"),
+            std::string::npos);
+}
+
+TEST(Typecheck, BacklogOfNonBufferRejected) {
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = backlog-p(x);
+})").find("buffer"),
+            std::string::npos);
+}
+
+TEST(Typecheck, ListOperationsTyped) {
+  const auto result = checkSource(R"(
+p(buffer a, buffer b) {
+  global list l;
+  local int x;
+  local bool e;
+  l.push_back(3);
+  x = l.pop_front();
+  e = l.empty();
+  e = l.has(x);
+  x = l.len();
+})");
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(Typecheck, PopIntoBoolRejected) {
+  EXPECT_FALSE(firstError(R"(
+p(buffer a, buffer b) {
+  global list l;
+  local bool x;
+  x = l.pop_front();
+})").empty());
+}
+
+TEST(Typecheck, HavocRules) {
+  checkSource(R"(
+p(buffer a, buffer b) {
+  havoc int w;
+  assume(w >= 0);
+})");
+  EXPECT_FALSE(firstError(R"(
+p(buffer a, buffer b) {
+  havoc int w = 3;
+})").empty());
+  EXPECT_FALSE(firstError(R"(
+p(buffer a, buffer b) {
+  havoc list w;
+})").empty());
+}
+
+TEST(Typecheck, FunctionReturnDiscipline) {
+  // Missing trailing return.
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  def int f() { local int x; x = 1; }
+})").find("return"),
+            std::string::npos);
+  // Early (second) return.
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  def int f(int x) {
+    if (x > 0) { return 1; }
+    return 0;
+  }
+})").find("one return"),
+            std::string::npos);
+}
+
+TEST(Typecheck, FunctionCallArity) {
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  def int f(int x) { return x; }
+  local int y;
+  y = f(1, 2);
+})").find("expects 1"),
+            std::string::npos);
+}
+
+TEST(Typecheck, UnknownFunction) {
+  EXPECT_NE(firstError(R"(
+p(buffer a, buffer b) {
+  local int y;
+  y = nosuch(1);
+})").find("unknown function"),
+            std::string::npos);
+}
+
+TEST(Typecheck, MinMaxBuiltins) {
+  checkSource(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = min(1, 2, 3);
+  x = max(x, 0);
+})");
+  EXPECT_FALSE(firstError(R"(
+p(buffer a, buffer b) {
+  local int x;
+  x = min(1);
+})").empty());
+}
+
+TEST(Typecheck, MonitorMustBeScalarOrArray) {
+  EXPECT_FALSE(firstError(R"(
+p(buffer a, buffer b) {
+  global monitor list m;
+})").empty());
+}
+
+TEST(Typecheck, DefaultListCapacityApplied) {
+  Program prog = parse("p(buffer a, buffer b) { global list l; }");
+  CompileOptions opts;
+  opts.defaultListCapacity = 5;
+  elaborate(prog, opts);
+  DiagnosticEngine diag;
+  const auto result = typecheck(prog, opts, diag);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.globals.at("l").size, 5);
+}
+
+TEST(Typecheck, CheckOrThrowThrowsWithDiagnostics) {
+  Program prog = parse("p(buffer a, buffer b) { x = 1; }");
+  try {
+    checkOrThrow(prog, CompileOptions{});
+    FAIL() << "expected SemanticError";
+  } catch (const SemanticError& e) {
+    EXPECT_NE(std::string(e.what()).find("undeclared"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace buffy::lang

@@ -1,0 +1,124 @@
+#include "core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/term_eval.hpp"
+#include "support/error.hpp"
+
+namespace buffy::core {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    // Two input buffers over 3 steps with named count variables.
+    for (const char* buf : {"q0", "q1"}) {
+      auto& steps = vars_[buf];
+      for (int t = 0; t < 3; ++t) {
+        ArrivalVars av;
+        av.count =
+            arena_.var(std::string(buf) + ".n" + std::to_string(t),
+                       ir::Sort::Int);
+        av.slots.resize(2);
+        for (int i = 0; i < 2; ++i) {
+          av.slots[static_cast<std::size_t>(i)]["val"] = arena_.var(
+              std::string(buf) + ".p" + std::to_string(t) + "_" +
+                  std::to_string(i),
+              ir::Sort::Int);
+        }
+        steps.push_back(std::move(av));
+      }
+    }
+  }
+
+  /// Applies the workload and evaluates the conjunction under `env`.
+  bool satisfied(const Workload& w, const ir::Assignment& env) {
+    const ArrivalView view(&vars_, 3);
+    std::vector<ir::TermRef> cs;
+    w.apply(view, arena_, cs);
+    for (const ir::TermRef c : cs) {
+      if (ir::evalTerm(c, env) == 0) return false;
+    }
+    return true;
+  }
+
+  ir::TermArena arena_;
+  std::map<std::string, std::vector<ArrivalVars>> vars_;
+};
+
+TEST_F(WorkloadTest, PerStepCount) {
+  Workload w;
+  w.add(Workload::perStepCount("q0", 1, 2));
+  EXPECT_TRUE(satisfied(
+      w, {{"q0.n0", 1}, {"q0.n1", 2}, {"q0.n2", 1}}));
+  EXPECT_FALSE(satisfied(w, {{"q0.n0", 0}, {"q0.n1", 1}, {"q0.n2", 1}}));
+  EXPECT_FALSE(satisfied(w, {{"q0.n0", 3}, {"q0.n1", 1}, {"q0.n2", 1}}));
+}
+
+TEST_F(WorkloadTest, CountAtStep) {
+  Workload w;
+  w.add(Workload::countAtStep("q1", 1, 2, 2));
+  EXPECT_TRUE(satisfied(w, {{"q1.n1", 2}}));
+  EXPECT_FALSE(satisfied(w, {{"q1.n1", 1}}));
+}
+
+TEST_F(WorkloadTest, TotalCount) {
+  Workload w;
+  w.add(Workload::totalCount("q0", 2, 4));
+  EXPECT_TRUE(satisfied(w, {{"q0.n0", 1}, {"q0.n1", 1}, {"q0.n2", 1}}));
+  EXPECT_FALSE(satisfied(w, {{"q0.n0", 0}, {"q0.n1", 0}, {"q0.n2", 1}}));
+  EXPECT_FALSE(satisfied(w, {{"q0.n0", 2}, {"q0.n1", 2}, {"q0.n2", 2}}));
+}
+
+TEST_F(WorkloadTest, FieldRange) {
+  Workload w;
+  w.add(Workload::fieldRange("q0", "val", 0, 5));
+  ir::Assignment env;
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < 2; ++i) {
+      env["q0.p" + std::to_string(t) + "_" + std::to_string(i)] = 3;
+    }
+  }
+  EXPECT_TRUE(satisfied(w, env));
+  env["q0.p1_0"] = 9;
+  EXPECT_FALSE(satisfied(w, env));
+}
+
+TEST_F(WorkloadTest, AggregatePerStep) {
+  Workload w;
+  w.add(Workload::aggregatePerStepAtMost(2));
+  EXPECT_TRUE(satisfied(w, {{"q0.n0", 1},
+                            {"q1.n0", 1},
+                            {"q0.n1", 0},
+                            {"q1.n1", 2}}));
+  EXPECT_FALSE(satisfied(w, {{"q0.n0", 2}, {"q1.n0", 1}}));
+}
+
+TEST_F(WorkloadTest, RulesCompose) {
+  Workload w;
+  w.add(Workload::perStepCount("q0", 0, 1))
+      .add(Workload::totalCount("q0", 2, 3));
+  EXPECT_EQ(w.ruleCount(), 2u);
+  EXPECT_TRUE(satisfied(w, {{"q0.n0", 1}, {"q0.n1", 1}, {"q0.n2", 0}}));
+  EXPECT_FALSE(satisfied(w, {{"q0.n0", 1}, {"q0.n1", 0}, {"q0.n2", 0}}));
+}
+
+TEST_F(WorkloadTest, UnknownBufferRejected) {
+  const ArrivalView view(&vars_, 3);
+  EXPECT_THROW(view.count("nope", 0), AnalysisError);
+  EXPECT_THROW(view.count("q0", 5), AnalysisError);
+  EXPECT_THROW(view.field("q0", 0, 0, "nofield"), AnalysisError);
+}
+
+TEST_F(WorkloadTest, ViewAccessors) {
+  const ArrivalView view(&vars_, 3);
+  EXPECT_EQ(view.horizon(), 3);
+  EXPECT_EQ(view.buffers().size(), 2u);
+  EXPECT_TRUE(view.hasBuffer("q0"));
+  EXPECT_FALSE(view.hasBuffer("zz"));
+  EXPECT_EQ(view.slotCount("q0", 0), 2);
+  EXPECT_NE(view.field("q0", 1, 1, "val"), nullptr);
+}
+
+}  // namespace
+}  // namespace buffy::core

@@ -1,0 +1,122 @@
+#include "backends/z3/z3_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace buffy::backends {
+namespace {
+
+class Z3Test : public ::testing::Test {
+ protected:
+  ir::TermArena arena;
+  Z3Backend backend;
+};
+
+TEST_F(Z3Test, TrivialSat) {
+  const std::vector<ir::TermRef> cs = {arena.trueTerm()};
+  EXPECT_EQ(backend.check(cs).status, SolveStatus::Sat);
+}
+
+TEST_F(Z3Test, TrivialUnsat) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const std::vector<ir::TermRef> cs = {
+      arena.lt(x, arena.intConst(0)), arena.gt(x, arena.intConst(0))};
+  EXPECT_EQ(backend.check(cs).status, SolveStatus::Unsat);
+}
+
+TEST_F(Z3Test, ModelExtraction) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const ir::TermRef p = arena.var("p", ir::Sort::Bool);
+  const std::vector<ir::TermRef> cs = {
+      arena.eq(x, arena.intConst(42)), p};
+  const auto result = backend.check(cs);
+  ASSERT_EQ(result.status, SolveStatus::Sat);
+  EXPECT_EQ(result.model.at("x"), 42);
+  EXPECT_EQ(result.model.at("p"), 1);
+  EXPECT_GE(result.seconds, 0.0);
+}
+
+TEST_F(Z3Test, ModelSatisfiesConstraintsViaTermEval) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const ir::TermRef y = arena.var("y", ir::Sort::Int);
+  const std::vector<ir::TermRef> cs = {
+      arena.eq(arena.add(x, y), arena.intConst(10)),
+      arena.lt(x, y),
+      arena.ge(x, arena.intConst(0))};
+  const auto result = backend.check(cs);
+  ASSERT_EQ(result.status, SolveStatus::Sat);
+  for (const ir::TermRef c : cs) {
+    EXPECT_EQ(ir::evalTerm(c, result.model), 1);
+  }
+}
+
+TEST_F(Z3Test, DivisionSemanticsMatchIr) {
+  // Z3's div/mod on the lowered terms must agree with our Euclidean fold.
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  for (const std::int64_t a : {7, -7}) {
+    for (const std::int64_t b : {2, -2}) {
+      const ir::TermRef q =
+          arena.div(arena.var("a" + std::to_string(a) + std::to_string(b),
+                              ir::Sort::Int),
+                    arena.intConst(b));
+      (void)q;
+      const std::vector<ir::TermRef> cs = {
+          arena.eq(x, arena.div(arena.intConst(a), arena.intConst(b)))};
+      const auto result = backend.check(cs);
+      ASSERT_EQ(result.status, SolveStatus::Sat);
+      EXPECT_EQ(result.model.at("x"), ir::euclideanDiv(a, b))
+          << a << " div " << b;
+    }
+  }
+}
+
+TEST_F(Z3Test, DivisionByZeroGuardedToZero) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const ir::TermRef z = arena.var("z", ir::Sort::Int);
+  const std::vector<ir::TermRef> cs = {
+      arena.eq(z, arena.intConst(0)),
+      arena.eq(x, arena.div(arena.intConst(5), z))};
+  const auto result = backend.check(cs);
+  ASSERT_EQ(result.status, SolveStatus::Sat);
+  EXPECT_EQ(result.model.at("x"), 0);
+}
+
+TEST_F(Z3Test, IteLowering) {
+  const ir::TermRef p = arena.var("p", ir::Sort::Bool);
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const std::vector<ir::TermRef> cs = {
+      arena.mkNot(p),
+      arena.eq(x, arena.ite(p, arena.intConst(1), arena.intConst(2)))};
+  const auto result = backend.check(cs);
+  ASSERT_EQ(result.status, SolveStatus::Sat);
+  EXPECT_EQ(result.model.at("x"), 2);
+}
+
+TEST_F(Z3Test, NonBooleanConstraintRejected) {
+  const std::vector<ir::TermRef> cs = {arena.intConst(1)};
+  EXPECT_THROW(backend.check(cs), BackendError);
+}
+
+TEST_F(Z3Test, SmtLibParseAndSolve) {
+  const auto result = backend.checkSmtLib(
+      "(declare-const a Int)(assert (> a 5))(assert (< a 7))");
+  EXPECT_EQ(result.status, SolveStatus::Sat);
+  EXPECT_EQ(result.model.at("a"), 6);
+}
+
+TEST_F(Z3Test, SmtLibParseErrorThrows) {
+  EXPECT_THROW(backend.checkSmtLib("(assert (nonsense"), BackendError);
+}
+
+TEST_F(Z3Test, LargeDagLowersStackSafely) {
+  ir::TermRef acc = arena.var("v", ir::Sort::Int);
+  for (int i = 0; i < 50000; ++i) acc = arena.add(acc, arena.intConst(1));
+  const std::vector<ir::TermRef> cs = {arena.eq(acc, arena.intConst(50000))};
+  const auto result = backend.check(cs);
+  ASSERT_EQ(result.status, SolveStatus::Sat);
+  EXPECT_EQ(result.model.at("v"), 0);
+}
+
+}  // namespace
+}  // namespace buffy::backends

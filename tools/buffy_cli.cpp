@@ -1,0 +1,364 @@
+// buffy — command-line driver for the Buffy framework.
+//
+//   buffy check    -T 6 --input ibs:6:3 --output ob \
+//                  -D N=2 --workload fq.ibs.0:0:1 \
+//                  --query "fq.cdeq.0[T-1] >= T-1" examples/models/fq_buggy.bfy
+//   buffy verify   ... --query "..." model.bfy
+//   buffy simulate -T 4 --arrive fq.ibs.0=1,0,1,1 model.bfy
+//   buffy emit-smt2  ... --query "..." model.bfy
+//   buffy emit-dafny -T 4 --input ibs model.bfy
+//   buffy prove    --query "rr.cdeq.0[0] >= 0" model.bfy   (unbounded, CHC)
+//   buffy print    model.bfy            (parse + pretty-print)
+//   buffy lint     model.bfy            (well-formedness + lint warnings)
+//
+// Options:
+//   -T N                  time horizon (default 4)
+//   -D name=value         compile-time constant (repeatable)
+//   --instance NAME       instance prefix (default: program name)
+//   --input P[:cap[:max]] input buffer parameter (repeatable)
+//   --output P[:cap]      output buffer parameter (repeatable)
+//   --internal P[:cap]    internal buffer parameter (repeatable)
+//   --model list|counter  buffer model precision (default list)
+//   --workload B:lo:hi    per-step arrival-count bound for buffer B
+//   --workload B@t:lo:hi  arrival-count bound at one step
+//   --query EXPR          query over monitor series
+//   --unroll              run the explicit loop unroller as well
+//   --havoc-init          quantify over the initial queue contents
+//   --timeout MS          solver timeout (default 120000)
+//   --full-trace          render every series (incl. packet fields)
+//   --format table|csv|json  trace output format
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <fstream>
+#include <sstream>
+
+#include "backends/chc/chc_backend.hpp"
+#include "backends/dafny/dafny_emitter.hpp"
+#include "core/analysis.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/typecheck.hpp"
+#include "sem/passes.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "transform/transforms.hpp"
+
+using namespace buffy;
+
+namespace {
+
+struct CliError : Error {
+  using Error::Error;
+};
+
+struct Options {
+  std::string command;
+  std::string file;
+  int horizon = 4;
+  std::map<std::string, std::int64_t> constants;
+  std::string instance;
+  std::vector<core::BufferSpec> buffers;
+  buffers::ModelKind model = buffers::ModelKind::List;
+  std::vector<std::string> workloads;
+  std::map<std::string, std::vector<int>> arrivals;  // buffer -> counts
+  std::string query;
+  bool unroll = false;
+  bool fullTrace = false;
+  bool havocInit = false;
+  std::string format = "table";  // table|csv|json
+  unsigned timeoutMs = 120000;
+};
+
+void usage() {
+  std::puts(
+      "usage: buffy "
+      "<check|verify|prove|simulate|emit-smt2|emit-dafny|print|lint> "
+      "[options] model.bfy\nsee tools/buffy_cli.cpp header for the option "
+      "list");
+}
+
+core::BufferSpec parseBufferArg(const std::string& arg,
+                                core::BufferSpec::Role role) {
+  const auto pieces = split(arg, ':');
+  core::BufferSpec spec;
+  spec.param = pieces.at(0);
+  spec.role = role;
+  if (pieces.size() > 1) spec.capacity = std::stoi(pieces[1]);
+  if (pieces.size() > 2) spec.maxArrivalsPerStep = std::stoi(pieces[2]);
+  if (pieces.size() > 3) throw CliError("bad buffer spec: " + arg);
+  return spec;
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options opts;
+  if (argc < 2) throw CliError("missing command");
+  opts.command = argv[1];
+  const std::set<std::string> known = {"check",      "verify", "simulate",
+                                       "emit-smt2",  "prove",  "emit-dafny",
+                                       "print",      "lint"};
+  if (known.count(opts.command) == 0) {
+    throw CliError("unknown command '" + opts.command + "'");
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw CliError("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "-T") {
+      opts.horizon = std::stoi(next());
+    } else if (arg == "-D") {
+      const auto kv = split(next(), '=');
+      if (kv.size() != 2) throw CliError("-D expects name=value");
+      opts.constants[kv[0]] = std::stoll(kv[1]);
+    } else if (arg == "--instance") {
+      opts.instance = next();
+    } else if (arg == "--input") {
+      opts.buffers.push_back(
+          parseBufferArg(next(), core::BufferSpec::Role::Input));
+    } else if (arg == "--output") {
+      opts.buffers.push_back(
+          parseBufferArg(next(), core::BufferSpec::Role::Output));
+    } else if (arg == "--internal") {
+      opts.buffers.push_back(
+          parseBufferArg(next(), core::BufferSpec::Role::Internal));
+    } else if (arg == "--model") {
+      const std::string value = next();
+      if (value == "list") {
+        opts.model = buffers::ModelKind::List;
+      } else if (value == "counter") {
+        opts.model = buffers::ModelKind::Counter;
+      } else {
+        throw CliError("--model expects list|counter");
+      }
+    } else if (arg == "--workload") {
+      opts.workloads.push_back(next());
+    } else if (arg == "--arrive") {
+      const auto kv = split(next(), '=');
+      if (kv.size() != 2) throw CliError("--arrive expects buf=n0,n1,...");
+      std::vector<int> counts;
+      for (const auto& n : split(kv[1], ',')) counts.push_back(std::stoi(n));
+      opts.arrivals[kv[0]] = std::move(counts);
+    } else if (arg == "--query") {
+      opts.query = next();
+    } else if (arg == "--unroll") {
+      opts.unroll = true;
+    } else if (arg == "--havoc-init") {
+      opts.havocInit = true;
+    } else if (arg == "--format") {
+      opts.format = next();
+      if (opts.format != "table" && opts.format != "csv" &&
+          opts.format != "json") {
+        throw CliError("--format expects table|csv|json");
+      }
+    } else if (arg == "--full-trace") {
+      opts.fullTrace = true;
+    } else if (arg == "--timeout") {
+      opts.timeoutMs = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw CliError("unknown option " + arg);
+    } else {
+      if (!opts.file.empty()) throw CliError("multiple model files given");
+      opts.file = arg;
+    }
+  }
+  if (opts.file.empty()) throw CliError("missing model file");
+  return opts;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CliError("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+core::Workload buildWorkload(const Options& opts) {
+  core::Workload workload;
+  for (const auto& spec : opts.workloads) {
+    // B:lo:hi  or  B@t:lo:hi
+    const auto pieces = split(spec, ':');
+    if (pieces.size() != 3) throw CliError("bad workload spec: " + spec);
+    const std::int64_t lo = std::stoll(pieces[1]);
+    const std::int64_t hi = std::stoll(pieces[2]);
+    const auto at = split(pieces[0], '@');
+    if (at.size() == 2) {
+      workload.add(core::Workload::countAtStep(at[0], std::stoi(at[1]), lo,
+                                               hi));
+    } else {
+      workload.add(core::Workload::perStepCount(pieces[0], lo, hi));
+    }
+  }
+  return workload;
+}
+
+void printTrace(const Options& opts, const core::Trace& trace) {
+  if (opts.format == "csv") {
+    std::fputs(trace.toCsv().c_str(), stdout);
+  } else if (opts.format == "json") {
+    std::fputs(trace.toJson().c_str(), stdout);
+    std::fputs("\n", stdout);
+  } else {
+    std::fputs(trace.render(opts.fullTrace).c_str(), stdout);
+  }
+}
+
+int run(const Options& opts) {
+  const std::string source = readFile(opts.file);
+
+  if (opts.command == "lint") {
+    lang::Program prog = lang::parse(source);
+    lang::CompileOptions copts;
+    copts.constants = opts.constants;
+    const auto symbols = lang::checkOrThrow(prog, copts);
+    DiagnosticEngine diag;
+    sem::BufferRoles roles;
+    for (const auto& b : opts.buffers) {
+      if (b.role == core::BufferSpec::Role::Input) roles.inputs.insert(b.param);
+      if (b.role == core::BufferSpec::Role::Output) {
+        roles.outputs.insert(b.param);
+      }
+    }
+    sem::checkWellFormed(prog, roles, diag);
+    sem::checkGhostNonInterference(prog, symbols.monitors, diag);
+    sem::checkDefiniteAssignment(prog, diag);
+    if (diag.all().empty()) {
+      std::puts("clean: no findings");
+      return 0;
+    }
+    std::fputs(diag.renderAll().c_str(), stdout);
+    return diag.hasErrors() ? 1 : 0;
+  }
+
+  if (opts.command == "print") {
+    lang::Program prog = lang::parse(source);
+    lang::CompileOptions copts;
+    copts.constants = opts.constants;
+    lang::checkOrThrow(prog, copts);
+    if (opts.unroll) {
+      transform::inlineFunctions(prog);
+      transform::foldConstants(prog);
+      transform::unrollLoops(prog);
+    }
+    std::fputs(lang::printProgram(prog).c_str(), stdout);
+    return 0;
+  }
+
+  if (opts.command == "emit-dafny") {
+    lang::Program prog = lang::parse(source);
+    lang::CompileOptions copts;
+    copts.constants = opts.constants;
+    lang::checkOrThrow(prog, copts);
+    transform::inlineFunctions(prog);
+    transform::foldConstants(prog);
+    backends::DafnyOptions dopts;
+    dopts.horizon = opts.horizon;
+    for (const auto& b : opts.buffers) {
+      if (b.role == core::BufferSpec::Role::Input) {
+        dopts.inputParams.push_back(b.param);
+        dopts.maxArrivalsPerStep = b.maxArrivalsPerStep;
+      }
+    }
+    std::fputs(emitDafny(prog, dopts).c_str(), stdout);
+    return 0;
+  }
+
+  // The remaining commands need buffer/analysis configuration.
+  core::ProgramSpec spec;
+  spec.instance = opts.instance;
+  spec.source = source;
+  spec.compile.constants = opts.constants;
+  if (opts.constants.count("N") != 0) {
+    spec.compile.defaultListCapacity =
+        std::max<int>(2, static_cast<int>(opts.constants.at("N")));
+  }
+  spec.buffers = opts.buffers;
+  core::Network net;
+  net.add(spec);
+
+  if (opts.command == "prove") {
+    // Unbounded-horizon proof via CHC/Spacer. The property uses state
+    // names with [0], e.g. "rr.cdeq.0[0] >= 0"; run with an empty --query
+    // to list the state variables.
+    core::TransitionOptions topts;
+    topts.model = opts.model;
+    topts.stepWorkload = buildWorkload(opts);
+    backends::UnboundedAnalysis unbounded(net, topts);
+    if (opts.query.empty()) {
+      std::puts("state variables (use 'name[0]' in --query):");
+      for (const auto& name : unbounded.stateNames()) {
+        std::printf("  %s\n", name.c_str());
+      }
+      return 0;
+    }
+    const auto result =
+        unbounded.prove(opts.query, opts.timeoutMs);
+    std::printf("%s (%.3f s)\n", backends::chcStatusName(result.status),
+                result.seconds);
+    return result.status == backends::ChcStatus::Unknown ? 2 : 0;
+  }
+
+  core::AnalysisOptions aopts;
+  aopts.horizon = opts.horizon;
+  aopts.model = opts.model;
+  aopts.timeoutMs = opts.timeoutMs;
+  aopts.unrollLoops = opts.unroll;
+  aopts.symbolicInitialState = opts.havocInit;
+  core::Analysis analysis(net, aopts);
+
+  if (opts.command == "simulate") {
+    core::ConcreteArrivals arrivals;
+    for (const auto& [buffer, counts] : opts.arrivals) {
+      auto& steps = arrivals[buffer];
+      for (const int n : counts) {
+        steps.emplace_back(static_cast<std::size_t>(n));
+      }
+    }
+    const core::Trace trace = analysis.simulate(arrivals);
+    printTrace(opts, trace);
+    return 0;
+  }
+
+  if (opts.query.empty() && opts.command != "verify") {
+    throw CliError(opts.command + " needs --query");
+  }
+  const core::Query query =
+      opts.query.empty() ? core::Query::always() : core::Query::expr(opts.query);
+  analysis.setWorkload(buildWorkload(opts));
+
+  if (opts.command == "emit-smt2") {
+    backends::SmtLibOptions sopts;
+    sopts.comment = "buffy emit-smt2: " + opts.file + " query: " + opts.query;
+    std::fputs(analysis.toSmtLib(query, false, sopts).c_str(), stdout);
+    return 0;
+  }
+  if (opts.command == "check" || opts.command == "verify") {
+    const auto result = opts.command == "check" ? analysis.check(query)
+                                                : analysis.verify(query);
+    std::printf("%s (%.3f s)\n", core::verdictName(result.verdict),
+                result.solveSeconds);
+    if (result.trace) printTrace(opts, *result.trace);
+    return result.verdict == core::Verdict::Unknown ? 2 : 0;
+  }
+  throw CliError("unknown command " + opts.command);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parseArgs(argc, argv));
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "buffy: %s\n", e.what());
+    usage();
+    return 64;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "buffy: %s\n", e.what());
+    return 1;
+  }
+}
