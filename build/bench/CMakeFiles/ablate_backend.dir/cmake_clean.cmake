@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_backend.dir/ablate_backend.cpp.o"
+  "CMakeFiles/ablate_backend.dir/ablate_backend.cpp.o.d"
+  "ablate_backend"
+  "ablate_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

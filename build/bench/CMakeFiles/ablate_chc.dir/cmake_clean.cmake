@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_chc.dir/ablate_chc.cpp.o"
+  "CMakeFiles/ablate_chc.dir/ablate_chc.cpp.o.d"
+  "ablate_chc"
+  "ablate_chc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_chc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_modular.dir/ablate_modular.cpp.o"
+  "CMakeFiles/ablate_modular.dir/ablate_modular.cpp.o.d"
+  "ablate_modular"
+  "ablate_modular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_modular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_ccac.dir/case_ccac.cpp.o"
+  "CMakeFiles/case_ccac.dir/case_ccac.cpp.o.d"
+  "case_ccac"
+  "case_ccac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_ccac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_fq.dir/case_fq.cpp.o"
+  "CMakeFiles/case_fq.dir/case_fq.cpp.o.d"
+  "case_fq"
+  "case_fq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_fq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

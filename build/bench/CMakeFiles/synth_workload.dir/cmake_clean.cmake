@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_workload.dir/synth_workload.cpp.o"
+  "CMakeFiles/synth_workload.dir/synth_workload.cpp.o.d"
+  "synth_workload"
+  "synth_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccac_aimd.dir/ccac_aimd.cpp.o"
+  "CMakeFiles/ccac_aimd.dir/ccac_aimd.cpp.o.d"
+  "ccac_aimd"
+  "ccac_aimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccac_aimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dafny_export.dir/dafny_export.cpp.o"
+  "CMakeFiles/dafny_export.dir/dafny_export.cpp.o.d"
+  "dafny_export"
+  "dafny_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dafny_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

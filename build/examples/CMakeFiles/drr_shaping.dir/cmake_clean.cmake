@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drr_shaping.dir/drr_shaping.cpp.o"
+  "CMakeFiles/drr_shaping.dir/drr_shaping.cpp.o.d"
+  "drr_shaping"
+  "drr_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drr_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

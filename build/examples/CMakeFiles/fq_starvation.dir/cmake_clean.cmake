@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fq_starvation.dir/fq_starvation.cpp.o"
+  "CMakeFiles/fq_starvation.dir/fq_starvation.cpp.o.d"
+  "fq_starvation"
+  "fq_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fq_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

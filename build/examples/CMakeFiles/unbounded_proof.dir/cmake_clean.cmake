@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbounded_proof.dir/unbounded_proof.cpp.o"
+  "CMakeFiles/unbounded_proof.dir/unbounded_proof.cpp.o.d"
+  "unbounded_proof"
+  "unbounded_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbounded_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

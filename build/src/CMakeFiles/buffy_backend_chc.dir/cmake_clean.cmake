@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_backend_chc.dir/backends/chc/chc_backend.cpp.o"
+  "CMakeFiles/buffy_backend_chc.dir/backends/chc/chc_backend.cpp.o.d"
+  "libbuffy_backend_chc.a"
+  "libbuffy_backend_chc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_backend_chc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_backend_dafny.dir/backends/dafny/dafny_emitter.cpp.o"
+  "CMakeFiles/buffy_backend_dafny.dir/backends/dafny/dafny_emitter.cpp.o.d"
+  "libbuffy_backend_dafny.a"
+  "libbuffy_backend_dafny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_backend_dafny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

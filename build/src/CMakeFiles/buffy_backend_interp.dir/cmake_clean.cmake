@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_backend_interp.dir/backends/interp/interpreter.cpp.o"
+  "CMakeFiles/buffy_backend_interp.dir/backends/interp/interpreter.cpp.o.d"
+  "libbuffy_backend_interp.a"
+  "libbuffy_backend_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_backend_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

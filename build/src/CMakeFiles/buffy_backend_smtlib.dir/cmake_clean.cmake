@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_backend_smtlib.dir/backends/smtlib/smtlib_emitter.cpp.o"
+  "CMakeFiles/buffy_backend_smtlib.dir/backends/smtlib/smtlib_emitter.cpp.o.d"
+  "libbuffy_backend_smtlib.a"
+  "libbuffy_backend_smtlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_backend_smtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

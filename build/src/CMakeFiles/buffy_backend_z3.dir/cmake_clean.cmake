@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_backend_z3.dir/backends/z3/z3_backend.cpp.o"
+  "CMakeFiles/buffy_backend_z3.dir/backends/z3/z3_backend.cpp.o.d"
+  "CMakeFiles/buffy_backend_z3.dir/backends/z3/z3_lowering.cpp.o"
+  "CMakeFiles/buffy_backend_z3.dir/backends/z3/z3_lowering.cpp.o.d"
+  "libbuffy_backend_z3.a"
+  "libbuffy_backend_z3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_backend_z3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

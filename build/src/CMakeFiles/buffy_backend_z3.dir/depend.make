@@ -1,0 +1,2 @@
+# Empty dependencies file for buffy_backend_z3.
+# This may be replaced when dependencies are built.

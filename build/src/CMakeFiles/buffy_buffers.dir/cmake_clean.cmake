@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_buffers.dir/buffers/counter_model.cpp.o"
+  "CMakeFiles/buffy_buffers.dir/buffers/counter_model.cpp.o.d"
+  "CMakeFiles/buffy_buffers.dir/buffers/list_model.cpp.o"
+  "CMakeFiles/buffy_buffers.dir/buffers/list_model.cpp.o.d"
+  "CMakeFiles/buffy_buffers.dir/buffers/model.cpp.o"
+  "CMakeFiles/buffy_buffers.dir/buffers/model.cpp.o.d"
+  "libbuffy_buffers.a"
+  "libbuffy_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbuffy_buffers.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/buffy_core.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/buffy_core.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/buffy_core.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/buffy_core.dir/core/network.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/CMakeFiles/buffy_core.dir/core/query.cpp.o" "gcc" "src/CMakeFiles/buffy_core.dir/core/query.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/buffy_core.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/buffy_core.dir/core/trace.cpp.o.d"
+  "/root/repo/src/core/transition.cpp" "src/CMakeFiles/buffy_core.dir/core/transition.cpp.o" "gcc" "src/CMakeFiles/buffy_core.dir/core/transition.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/CMakeFiles/buffy_core.dir/core/workload.cpp.o" "gcc" "src/CMakeFiles/buffy_core.dir/core/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/buffy_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_backend_z3.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_backend_smtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_backend_dafny.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

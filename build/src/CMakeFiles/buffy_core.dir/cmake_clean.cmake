@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_core.dir/core/analysis.cpp.o"
+  "CMakeFiles/buffy_core.dir/core/analysis.cpp.o.d"
+  "CMakeFiles/buffy_core.dir/core/network.cpp.o"
+  "CMakeFiles/buffy_core.dir/core/network.cpp.o.d"
+  "CMakeFiles/buffy_core.dir/core/query.cpp.o"
+  "CMakeFiles/buffy_core.dir/core/query.cpp.o.d"
+  "CMakeFiles/buffy_core.dir/core/trace.cpp.o"
+  "CMakeFiles/buffy_core.dir/core/trace.cpp.o.d"
+  "CMakeFiles/buffy_core.dir/core/transition.cpp.o"
+  "CMakeFiles/buffy_core.dir/core/transition.cpp.o.d"
+  "CMakeFiles/buffy_core.dir/core/workload.cpp.o"
+  "CMakeFiles/buffy_core.dir/core/workload.cpp.o.d"
+  "libbuffy_core.a"
+  "libbuffy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/evaluator.cpp" "src/CMakeFiles/buffy_eval.dir/eval/evaluator.cpp.o" "gcc" "src/CMakeFiles/buffy_eval.dir/eval/evaluator.cpp.o.d"
+  "/root/repo/src/eval/store.cpp" "src/CMakeFiles/buffy_eval.dir/eval/store.cpp.o" "gcc" "src/CMakeFiles/buffy_eval.dir/eval/store.cpp.o.d"
+  "/root/repo/src/eval/sym_list.cpp" "src/CMakeFiles/buffy_eval.dir/eval/sym_list.cpp.o" "gcc" "src/CMakeFiles/buffy_eval.dir/eval/sym_list.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/buffy_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

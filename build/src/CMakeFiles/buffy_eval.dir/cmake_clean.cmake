@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_eval.dir/eval/evaluator.cpp.o"
+  "CMakeFiles/buffy_eval.dir/eval/evaluator.cpp.o.d"
+  "CMakeFiles/buffy_eval.dir/eval/store.cpp.o"
+  "CMakeFiles/buffy_eval.dir/eval/store.cpp.o.d"
+  "CMakeFiles/buffy_eval.dir/eval/sym_list.cpp.o"
+  "CMakeFiles/buffy_eval.dir/eval/sym_list.cpp.o.d"
+  "libbuffy_eval.a"
+  "libbuffy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

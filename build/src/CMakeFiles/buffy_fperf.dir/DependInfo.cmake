@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fperf/fperf_common.cpp" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_common.cpp.o" "gcc" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_common.cpp.o.d"
+  "/root/repo/src/fperf/fperf_common_z3.cpp" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_common_z3.cpp.o" "gcc" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_common_z3.cpp.o.d"
+  "/root/repo/src/fperf/fperf_fq.cpp" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_fq.cpp.o" "gcc" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_fq.cpp.o.d"
+  "/root/repo/src/fperf/fperf_rr.cpp" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_rr.cpp.o" "gcc" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_rr.cpp.o.d"
+  "/root/repo/src/fperf/fperf_sp.cpp" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_sp.cpp.o" "gcc" "src/CMakeFiles/buffy_fperf.dir/fperf/fperf_sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/buffy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_common.cpp.o"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_common.cpp.o.d"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_common_z3.cpp.o"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_common_z3.cpp.o.d"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_fq.cpp.o"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_fq.cpp.o.d"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_rr.cpp.o"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_rr.cpp.o.d"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_sp.cpp.o"
+  "CMakeFiles/buffy_fperf.dir/fperf/fperf_sp.cpp.o.d"
+  "libbuffy_fperf.a"
+  "libbuffy_fperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_fperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for buffy_fperf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for buffy_fperf.
+# This may be replaced when dependencies are built.

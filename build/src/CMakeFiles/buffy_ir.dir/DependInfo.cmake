@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/term.cpp" "src/CMakeFiles/buffy_ir.dir/ir/term.cpp.o" "gcc" "src/CMakeFiles/buffy_ir.dir/ir/term.cpp.o.d"
+  "/root/repo/src/ir/term_eval.cpp" "src/CMakeFiles/buffy_ir.dir/ir/term_eval.cpp.o" "gcc" "src/CMakeFiles/buffy_ir.dir/ir/term_eval.cpp.o.d"
+  "/root/repo/src/ir/term_printer.cpp" "src/CMakeFiles/buffy_ir.dir/ir/term_printer.cpp.o" "gcc" "src/CMakeFiles/buffy_ir.dir/ir/term_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/buffy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_ir.dir/ir/term.cpp.o"
+  "CMakeFiles/buffy_ir.dir/ir/term.cpp.o.d"
+  "CMakeFiles/buffy_ir.dir/ir/term_eval.cpp.o"
+  "CMakeFiles/buffy_ir.dir/ir/term_eval.cpp.o.d"
+  "CMakeFiles/buffy_ir.dir/ir/term_printer.cpp.o"
+  "CMakeFiles/buffy_ir.dir/ir/term_printer.cpp.o.d"
+  "libbuffy_ir.a"
+  "libbuffy_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

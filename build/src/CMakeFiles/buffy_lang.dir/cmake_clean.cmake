@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_lang.dir/lang/ast.cpp.o"
+  "CMakeFiles/buffy_lang.dir/lang/ast.cpp.o.d"
+  "CMakeFiles/buffy_lang.dir/lang/lexer.cpp.o"
+  "CMakeFiles/buffy_lang.dir/lang/lexer.cpp.o.d"
+  "CMakeFiles/buffy_lang.dir/lang/parser.cpp.o"
+  "CMakeFiles/buffy_lang.dir/lang/parser.cpp.o.d"
+  "CMakeFiles/buffy_lang.dir/lang/printer.cpp.o"
+  "CMakeFiles/buffy_lang.dir/lang/printer.cpp.o.d"
+  "CMakeFiles/buffy_lang.dir/lang/token.cpp.o"
+  "CMakeFiles/buffy_lang.dir/lang/token.cpp.o.d"
+  "CMakeFiles/buffy_lang.dir/lang/typecheck.cpp.o"
+  "CMakeFiles/buffy_lang.dir/lang/typecheck.cpp.o.d"
+  "libbuffy_lang.a"
+  "libbuffy_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_models.dir/models/library.cpp.o"
+  "CMakeFiles/buffy_models.dir/models/library.cpp.o.d"
+  "libbuffy_models.a"
+  "libbuffy_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/definite_assignment.cpp" "src/CMakeFiles/buffy_sem.dir/sem/definite_assignment.cpp.o" "gcc" "src/CMakeFiles/buffy_sem.dir/sem/definite_assignment.cpp.o.d"
+  "/root/repo/src/sem/ghost_check.cpp" "src/CMakeFiles/buffy_sem.dir/sem/ghost_check.cpp.o" "gcc" "src/CMakeFiles/buffy_sem.dir/sem/ghost_check.cpp.o.d"
+  "/root/repo/src/sem/wellformed.cpp" "src/CMakeFiles/buffy_sem.dir/sem/wellformed.cpp.o" "gcc" "src/CMakeFiles/buffy_sem.dir/sem/wellformed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/buffy_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_sem.dir/sem/definite_assignment.cpp.o"
+  "CMakeFiles/buffy_sem.dir/sem/definite_assignment.cpp.o.d"
+  "CMakeFiles/buffy_sem.dir/sem/ghost_check.cpp.o"
+  "CMakeFiles/buffy_sem.dir/sem/ghost_check.cpp.o.d"
+  "CMakeFiles/buffy_sem.dir/sem/wellformed.cpp.o"
+  "CMakeFiles/buffy_sem.dir/sem/wellformed.cpp.o.d"
+  "libbuffy_sem.a"
+  "libbuffy_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

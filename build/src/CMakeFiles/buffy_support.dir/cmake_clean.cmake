@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/buffy_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/buffy_support.dir/support/strings.cpp.o"
+  "CMakeFiles/buffy_support.dir/support/strings.cpp.o.d"
+  "libbuffy_support.a"
+  "libbuffy_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_synth.dir/synth/synthesizer.cpp.o"
+  "CMakeFiles/buffy_synth.dir/synth/synthesizer.cpp.o.d"
+  "libbuffy_synth.a"
+  "libbuffy_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

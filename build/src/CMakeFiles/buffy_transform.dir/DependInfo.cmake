@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/constfold.cpp" "src/CMakeFiles/buffy_transform.dir/transform/constfold.cpp.o" "gcc" "src/CMakeFiles/buffy_transform.dir/transform/constfold.cpp.o.d"
+  "/root/repo/src/transform/inline.cpp" "src/CMakeFiles/buffy_transform.dir/transform/inline.cpp.o" "gcc" "src/CMakeFiles/buffy_transform.dir/transform/inline.cpp.o.d"
+  "/root/repo/src/transform/unroll.cpp" "src/CMakeFiles/buffy_transform.dir/transform/unroll.cpp.o" "gcc" "src/CMakeFiles/buffy_transform.dir/transform/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/buffy_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

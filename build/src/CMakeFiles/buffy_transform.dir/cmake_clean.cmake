@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_transform.dir/transform/constfold.cpp.o"
+  "CMakeFiles/buffy_transform.dir/transform/constfold.cpp.o.d"
+  "CMakeFiles/buffy_transform.dir/transform/inline.cpp.o"
+  "CMakeFiles/buffy_transform.dir/transform/inline.cpp.o.d"
+  "CMakeFiles/buffy_transform.dir/transform/unroll.cpp.o"
+  "CMakeFiles/buffy_transform.dir/transform/unroll.cpp.o.d"
+  "libbuffy_transform.a"
+  "libbuffy_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

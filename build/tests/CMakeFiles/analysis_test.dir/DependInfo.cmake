@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/buffy_backend_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_backend_chc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_fperf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_backend_z3.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_backend_smtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_backend_dafny.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/buffy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

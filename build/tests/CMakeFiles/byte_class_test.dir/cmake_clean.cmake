@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_class_test.dir/byte_class_test.cpp.o"
+  "CMakeFiles/byte_class_test.dir/byte_class_test.cpp.o.d"
+  "byte_class_test"
+  "byte_class_test.pdb"
+  "byte_class_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dafny_test.dir/dafny_test.cpp.o"
+  "CMakeFiles/dafny_test.dir/dafny_test.cpp.o.d"
+  "dafny_test"
+  "dafny_test.pdb"
+  "dafny_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dafny_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

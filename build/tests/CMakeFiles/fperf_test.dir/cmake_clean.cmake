@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fperf_test.dir/fperf_test.cpp.o"
+  "CMakeFiles/fperf_test.dir/fperf_test.cpp.o.d"
+  "fperf_test"
+  "fperf_test.pdb"
+  "fperf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fperf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

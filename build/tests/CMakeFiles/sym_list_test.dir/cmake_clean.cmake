@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym_list_test.dir/sym_list_test.cpp.o"
+  "CMakeFiles/sym_list_test.dir/sym_list_test.cpp.o.d"
+  "sym_list_test"
+  "sym_list_test.pdb"
+  "sym_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

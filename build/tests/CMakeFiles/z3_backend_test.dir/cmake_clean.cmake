@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/z3_backend_test.dir/z3_backend_test.cpp.o"
+  "CMakeFiles/z3_backend_test.dir/z3_backend_test.cpp.o.d"
+  "z3_backend_test"
+  "z3_backend_test.pdb"
+  "z3_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/z3_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

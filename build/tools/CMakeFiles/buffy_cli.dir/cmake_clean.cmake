@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffy_cli.dir/buffy_cli.cpp.o"
+  "CMakeFiles/buffy_cli.dir/buffy_cli.cpp.o.d"
+  "buffy"
+  "buffy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffy_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
