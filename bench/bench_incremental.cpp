@@ -1,0 +1,227 @@
+// Incremental-vs-fresh benchmark (the perf story of the incremental query
+// engine): one compiled encoding + one persistent solver session answering
+// a sequence of queries, against the old regime of rebuilding the entire
+// pipeline (parse → typecheck → inline → unroll → encode → lower) per
+// query; and 1-vs-N-thread workload synthesis over the synth_workload
+// grammar. Results are printed and written to BENCH_incremental.json as
+// [{"name", "mode", "seconds", "candidates"}, ...].
+//
+// The parallel rows measure wall clock, so their speedup is bounded by the
+// machine: on a single-core container threads=4 can only show (bounded)
+// scheduling overhead — the pass criterion adapts to hardware_concurrency
+// and EXPERIMENTS.md records which regime produced the committed JSON.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/library.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace buffy;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::Network fqNet() {
+  core::ProgramSpec spec;
+  spec.instance = "fq";
+  spec.source = models::kFairQueueBuggy;
+  spec.compile.constants["N"] = 2;
+  spec.compile.defaultListCapacity = 2;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 6,
+       .maxArrivalsPerStep = 3},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 32},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+core::Workload starvationWorkload(int horizon) {
+  core::Workload w;
+  w.add(core::Workload::perStepCount("fq.ibs.0", 0, 1));
+  w.add(core::Workload::countAtStep("fq.ibs.1", 0, 3, 3));
+  for (int t = 1; t < horizon; ++t) {
+    w.add(core::Workload::countAtStep("fq.ibs.1", t, 0, 0));
+  }
+  return w;
+}
+
+struct Probe {
+  std::string text;
+  bool forVerify = false;
+};
+
+/// FPerf-style threshold sweep: tighten one bound until it flips to unsat
+/// — the canonical many-queries-one-encoding workload (§6), and the one
+/// where the session's learned lemmas carry across queries.
+std::vector<Probe> sweepProbes() {
+  std::vector<Probe> out;
+  for (int k = 0; k <= 9; ++k) {
+    out.push_back({"fq.cdeq.0[T-1] + fq.cdeq.1[T-1] >= " + std::to_string(k),
+                   false});
+  }
+  return out;
+}
+
+/// Mixed interactive exploration: check and verify queries interleaved.
+std::vector<Probe> mixedProbes() {
+  return {
+      {"fq.cdeq.1[T-1] <= 1", false},
+      {"fq.cdeq.0[T-1] >= T-1", false},
+      {"fq.cdeq.1[T-1] <= 1 & fq.cdeq.0[T-1] >= T-1", false},
+      {"fq.cdeq.0[T-1] + fq.cdeq.1[T-1] <= T", true},
+      {"fq.cdeq.1[T-1] >= 0", true},
+      {"fq.ibs.1.dropped[T-1] > 0", false},
+      {"fq.cdeq.0[T-1] == T", false},
+      {"sum(fq.cdeq.0, 0, T) >= 0", true},
+      {"fq.cdeq.1[T-1] >= 2", false},
+      {"fq.cdeq.0[T-1] >= 1", true},
+  };
+}
+
+double runQueries(const std::vector<Probe>& probes, bool incremental,
+                  int horizon) {
+  core::AnalysisOptions opts;
+  opts.horizon = horizon;
+  const auto start = Clock::now();
+  if (incremental) {
+    core::Analysis analysis(fqNet(), opts);
+    analysis.setWorkload(starvationWorkload(horizon));
+    for (const Probe& p : probes) {
+      const core::Query q = core::Query::expr(p.text);
+      p.forVerify ? analysis.verify(q) : analysis.check(q);
+    }
+  } else {
+    for (const Probe& p : probes) {
+      core::Analysis analysis(fqNet(), opts);
+      analysis.setWorkload(starvationWorkload(horizon));
+      const core::Query q = core::Query::expr(p.text);
+      p.forVerify ? analysis.verify(q) : analysis.check(q);
+    }
+  }
+  return since(start);
+}
+
+struct Row {
+  std::string name;
+  std::string mode;
+  double seconds = 0.0;
+  int candidates = 0;
+};
+
+Row runSynth(int threads, bool incremental, int horizon) {
+  core::AnalysisOptions opts;
+  opts.horizon = horizon;
+  synth::Synthesizer synthesizer(fqNet(), opts);
+  synth::SynthesisOptions sopts;
+  sopts.grammar = {synth::Pattern::None, synth::Pattern::ExactlyOnePerStep,
+                   synth::Pattern::PacedSkipOne,
+                   synth::Pattern::BurstAtStart2,
+                   synth::Pattern::BurstAtStart3};
+  sopts.threads = threads;
+  sopts.incremental = incremental;
+  const core::Query query = core::Query::expr(
+      "fq.cdeq.1[T-1] <= 1 & fq.cdeq.0[T-1] >= T-1");
+  const auto result = synthesizer.run(query, sopts);
+  Row row;
+  row.seconds = result.totalSeconds;
+  row.candidates = result.candidatesChecked;
+  return row;
+}
+
+void appendJson(std::string& out, const Row& row, bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"name\": \"%s\", \"mode\": \"%s\", \"seconds\": %.4f, "
+                "\"candidates\": %d}%s\n",
+                row.name.c_str(), row.mode.c_str(), row.seconds,
+                row.candidates, last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kHorizon = 5;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<Row> rows;
+  std::printf("hardware threads: %u\n\n", hw);
+
+  const auto sweep = sweepProbes();
+  std::printf("== threshold sweep (%zu queries, T=%d) ==\n", sweep.size(),
+              kHorizon);
+  const double sweepFresh = runQueries(sweep, false, kHorizon);
+  std::printf("  fresh pipeline per query : %.3f s\n", sweepFresh);
+  const double sweepInc = runQueries(sweep, true, kHorizon);
+  std::printf("  one session, incremental : %.3f s  (%.2fx)\n", sweepInc,
+              sweepFresh / sweepInc);
+  rows.push_back({"threshold_sweep", "fresh", sweepFresh,
+                  static_cast<int>(sweep.size())});
+  rows.push_back({"threshold_sweep", "incremental", sweepInc,
+                  static_cast<int>(sweep.size())});
+
+  const auto mixed = mixedProbes();
+  std::printf("\n== mixed probes (%zu check/verify queries, T=%d) ==\n",
+              mixed.size(), kHorizon);
+  const double mixedFresh = runQueries(mixed, false, kHorizon);
+  std::printf("  fresh pipeline per query : %.3f s\n", mixedFresh);
+  const double mixedInc = runQueries(mixed, true, kHorizon);
+  std::printf("  one session, incremental : %.3f s  (%.2fx)\n", mixedInc,
+              mixedFresh / mixedInc);
+  rows.push_back({"mixed_probes", "fresh", mixedFresh,
+                  static_cast<int>(mixed.size())});
+  rows.push_back({"mixed_probes", "incremental", mixedInc,
+                  static_cast<int>(mixed.size())});
+
+  std::printf("\n== workload synthesis (synth_workload grammar, 25 "
+              "candidates, T=%d) ==\n", kHorizon);
+  const Row synthFresh = runSynth(1, false, kHorizon);
+  std::printf("  fresh engine per candidate: %.3f s (%d candidates)\n",
+              synthFresh.seconds, synthFresh.candidates);
+  const Row synth1 = runSynth(1, true, kHorizon);
+  std::printf("  incremental, 1 thread     : %.3f s  (%.2fx vs fresh)\n",
+              synth1.seconds, synthFresh.seconds / synth1.seconds);
+  const Row synth4 = runSynth(4, true, kHorizon);
+  std::printf("  incremental, 4 threads    : %.3f s  (%.2fx vs 1 thread)\n",
+              synth4.seconds, synth1.seconds / synth4.seconds);
+  rows.push_back({"synth_workload", "fresh_1thread", synthFresh.seconds,
+                  synthFresh.candidates});
+  rows.push_back({"synth_workload", "incremental_1thread", synth1.seconds,
+                  synth1.candidates});
+  rows.push_back({"synth_workload", "incremental_4threads", synth4.seconds,
+                  synth4.candidates});
+
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    appendJson(json, rows[i], i + 1 == rows.size());
+  }
+  json += "]\n";
+  std::FILE* f = std::fopen("BENCH_incremental.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_incremental.json\n");
+  }
+
+  const bool incrementalWins =
+      sweepInc < sweepFresh && synth1.seconds < synthFresh.seconds;
+  // Wall-clock parallel speedup needs parallel hardware; on a single
+  // hardware thread the criterion degrades to "bounded overhead".
+  const bool parallelOk = hw > 1
+                              ? synth4.seconds < synth1.seconds
+                              : synth4.seconds < 1.5 * synth1.seconds;
+  std::printf("incremental beats fresh: %s; threads=4 %s: %s\n",
+              incrementalWins ? "PASS" : "FAIL",
+              hw > 1 ? "beats 1" : "bounded overhead (single-core host)",
+              parallelOk ? "PASS" : "FAIL");
+  return incrementalWins && parallelOk ? 0 : 1;
+}

@@ -10,6 +10,56 @@
 
 namespace buffy::backends {
 
+namespace {
+
+SolveResult runSolver(z3::solver& solver) {
+  SolveResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const z3::check_result status = solver.check();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  switch (status) {
+    case z3::sat: {
+      result.status = SolveStatus::Sat;
+      const z3::model model = solver.get_model();
+      for (unsigned i = 0; i < model.num_consts(); ++i) {
+        const z3::func_decl decl = model.get_const_decl(i);
+        const z3::expr value = model.get_const_interp(decl);
+        const std::string name = decl.name().str();
+        if (value.is_numeral()) {
+          std::int64_t v = 0;
+          if (value.is_numeral_i64(v)) {
+            result.model[name] = v;
+          } else {
+            result.overflowVars.push_back(name);
+          }
+        } else if (value.is_bool()) {
+          result.model[name] = value.is_true() ? 1 : 0;
+        }
+      }
+      break;
+    }
+    case z3::unsat:
+      result.status = SolveStatus::Unsat;
+      break;
+    case z3::unknown:
+      result.status = SolveStatus::Unknown;
+      result.reason = solver.reason_unknown();
+      break;
+  }
+  return result;
+}
+
+void setTimeout(z3::solver& solver, std::optional<unsigned> timeoutMs) {
+  if (!timeoutMs) return;
+  z3::params params(solver.ctx());
+  params.set("timeout", *timeoutMs);
+  solver.set(params);
+}
+
+}  // namespace
+
 struct Z3Backend::Impl {
   z3::context ctx;
 
@@ -18,56 +68,95 @@ struct Z3Backend::Impl {
                  std::unordered_map<const ir::Term*, z3::expr>& memo) {
     return lowerTerm(ctx, root, memo);
   }
+};
 
-  static SolveResult runSolver(z3::solver& solver,
-                               std::optional<unsigned> timeoutMs) {
-    if (timeoutMs) {
-      z3::params params(solver.ctx());
-      params.set("timeout", *timeoutMs);
-      solver.set(params);
-    }
-    SolveResult result;
-    const auto start = std::chrono::steady_clock::now();
-    const z3::check_result status = solver.check();
-    result.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    switch (status) {
-      case z3::sat: {
-        result.status = SolveStatus::Sat;
-        const z3::model model = solver.get_model();
-        for (unsigned i = 0; i < model.num_consts(); ++i) {
-          const z3::func_decl decl = model.get_const_decl(i);
-          const z3::expr value = model.get_const_interp(decl);
-          const std::string name = decl.name().str();
-          if (value.is_numeral()) {
-            std::int64_t v = 0;
-            if (value.is_numeral_i64(v)) result.model[name] = v;
-          } else if (value.is_bool()) {
-            result.model[name] = value.is_true() ? 1 : 0;
-          }
-        }
-        break;
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+struct Z3Backend::Session::Impl {
+  Z3Backend::Impl* backend;
+  z3::solver solver;
+  /// Persists across queries: terms lowered for one query are reused by
+  /// every later query on the same arena.
+  std::unordered_map<const ir::Term*, z3::expr> memo;
+  std::size_t queries = 0;
+
+  explicit Impl(Z3Backend::Impl* b) : backend(b), solver(b->ctx) {}
+
+  void assertAll(std::span<const ir::TermRef> constraints) {
+    for (const ir::TermRef c : constraints) {
+      if (c->sort != ir::Sort::Bool) {
+        throw BackendError("constraint is not boolean");
       }
-      case z3::unsat:
-        result.status = SolveStatus::Unsat;
-        break;
-      case z3::unknown:
-        result.status = SolveStatus::Unknown;
-        result.reason = solver.reason_unknown();
-        break;
+      solver.add(backend->lower(c, memo));
     }
-    return result;
   }
 };
 
+Z3Backend::Session::Session(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+Z3Backend::Session::~Session() = default;
+
+void Z3Backend::Session::assertBase(
+    std::span<const ir::TermRef> constraints) {
+  try {
+    impl_->assertAll(constraints);
+  } catch (const z3::exception& e) {
+    throw BackendError(std::string("z3: ") + e.msg());
+  }
+}
+
+SolveResult Z3Backend::Session::check(std::span<const ir::TermRef> extra) {
+  try {
+    impl_->solver.push();
+    SolveResult result;
+    try {
+      impl_->assertAll(extra);
+      result = runSolver(impl_->solver);
+    } catch (...) {
+      impl_->solver.pop();
+      throw;
+    }
+    impl_->solver.pop();
+    ++impl_->queries;
+    return result;
+  } catch (const z3::exception& e) {
+    throw BackendError(std::string("z3: ") + e.msg());
+  }
+}
+
+std::size_t Z3Backend::Session::queryCount() const { return impl_->queries; }
+
+std::size_t Z3Backend::Session::loweredTermCount() const {
+  return impl_->memo.size();
+}
+
+// ---------------------------------------------------------------------------
+// Backend
+// ---------------------------------------------------------------------------
+
 Z3Backend::Z3Backend() : impl_(std::make_unique<Impl>()) {}
 Z3Backend::~Z3Backend() = default;
+
+std::unique_ptr<Z3Backend::Session> Z3Backend::openSession(
+    std::span<const ir::TermRef> base, std::optional<unsigned> timeoutMs) {
+  try {
+    auto impl = std::make_unique<Session::Impl>(impl_.get());
+    setTimeout(impl->solver, timeoutMs);
+    impl->assertAll(base);
+    return std::unique_ptr<Session>(new Session(std::move(impl)));
+  } catch (const z3::exception& e) {
+    throw BackendError(std::string("z3: ") + e.msg());
+  }
+}
 
 SolveResult Z3Backend::check(std::span<const ir::TermRef> constraints,
                              std::optional<unsigned> timeoutMs) {
   try {
     z3::solver solver(impl_->ctx);
+    setTimeout(solver, timeoutMs);
     std::unordered_map<const ir::Term*, z3::expr> memo;
     for (const ir::TermRef c : constraints) {
       if (c->sort != ir::Sort::Bool) {
@@ -75,7 +164,7 @@ SolveResult Z3Backend::check(std::span<const ir::TermRef> constraints,
       }
       solver.add(impl_->lower(c, memo));
     }
-    return Impl::runSolver(solver, timeoutMs);
+    return runSolver(solver);
   } catch (const z3::exception& e) {
     throw BackendError(std::string("z3: ") + e.msg());
   }
@@ -85,12 +174,13 @@ SolveResult Z3Backend::checkSmtLib(const std::string& smtlib,
                                    std::optional<unsigned> timeoutMs) {
   try {
     z3::solver solver(impl_->ctx);
+    setTimeout(solver, timeoutMs);
     const z3::expr_vector assertions =
         impl_->ctx.parse_string(smtlib.c_str());
     for (unsigned i = 0; i < assertions.size(); ++i) {
       solver.add(assertions[i]);
     }
-    return Impl::runSolver(solver, timeoutMs);
+    return runSolver(solver);
   } catch (const z3::exception& e) {
     throw BackendError(std::string("z3 (smtlib parse): ") + e.msg());
   }

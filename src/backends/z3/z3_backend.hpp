@@ -1,13 +1,23 @@
 // Z3 backend: lowers the solver-agnostic term IR to Z3 expressions through
 // the native Z3 C++ API (the paper's primary backend, §4) and runs
 // satisfiability / verification queries.
+//
+// Two usage modes:
+//  * one-shot check() — lower + solve from scratch (ablations, simple uses);
+//  * a persistent Session — one z3::solver plus a lowering memo that live
+//    across queries. Base constraints (the encoding's assumptions and
+//    soundness conditions) are asserted once; each query is answered inside
+//    a push()/pop() frame, so the solver reuses both the lowered AST and
+//    the lemmas it learned from earlier queries on the same encoding.
 #pragma once
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "ir/term.hpp"
 #include "ir/term_eval.hpp"
@@ -21,6 +31,11 @@ struct SolveResult {
   /// Variable assignment extracted from the model (Sat only). Variables the
   /// solver left unconstrained are omitted (treated as 0 downstream).
   ir::Assignment model;
+  /// Variables whose model value is a numeral that does not fit int64 —
+  /// they are *absent* from `model`, and downstream trace evaluation would
+  /// silently misreport them, so the extraction records them here instead
+  /// of dropping them on the floor.
+  std::vector<std::string> overflowVars;
   /// Wall-clock seconds spent inside the solver.
   double seconds = 0.0;
   /// Z3's reason when status == Unknown (e.g. "timeout").
@@ -29,12 +44,50 @@ struct SolveResult {
 
 class Z3Backend {
  public:
+  /// A persistent incremental solving session. Must not outlive the
+  /// Z3Backend that created it (it borrows the backend's z3::context), and
+  /// must not be used from a different thread than other sessions of the
+  /// same backend — Z3 contexts are not thread-safe. Use one Z3Backend per
+  /// thread for parallel solving.
+  class Session {
+   public:
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Asserts constraints permanently (for the lifetime of the session).
+    void assertBase(std::span<const ir::TermRef> constraints);
+
+    /// Checks base ∧ extra. The extra constraints are asserted inside a
+    /// push()/pop() frame and retracted before returning, so the next
+    /// query starts again from the base.
+    SolveResult check(std::span<const ir::TermRef> extra);
+
+    /// Number of check() calls answered so far.
+    [[nodiscard]] std::size_t queryCount() const;
+    /// Number of terms lowered into this session's memo so far.
+    [[nodiscard]] std::size_t loweredTermCount() const;
+
+   private:
+    friend class Z3Backend;
+    struct Impl;
+    explicit Session(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+  };
+
   Z3Backend();
   ~Z3Backend();
   Z3Backend(const Z3Backend&) = delete;
   Z3Backend& operator=(const Z3Backend&) = delete;
 
-  /// Checks satisfiability of the conjunction of `constraints`.
+  /// Opens a persistent session with `base` asserted once. The timeout (if
+  /// any) applies to every query answered by the session.
+  std::unique_ptr<Session> openSession(
+      std::span<const ir::TermRef> base = {},
+      std::optional<unsigned> timeoutMs = std::nullopt);
+
+  /// Checks satisfiability of the conjunction of `constraints` (one-shot:
+  /// fresh solver, fresh lowering).
   SolveResult check(std::span<const ir::TermRef> constraints,
                     std::optional<unsigned> timeoutMs = std::nullopt);
 

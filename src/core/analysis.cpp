@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "buffers/counter_model.hpp"
 #include "buffers/list_model.hpp"
@@ -39,6 +40,9 @@ struct CompiledInstance {
   lang::Program program;
   lang::TypecheckResult symbols;
   std::vector<BufferSpec> buffers;
+  /// param -> index into `buffers`, built once in compileAll; the per-step
+  /// encoding loops look specs up by name on their hot path.
+  std::unordered_map<std::string, std::size_t> specIndex;
   bool isContract = false;
 };
 
@@ -56,10 +60,17 @@ struct Analysis::Impl {
   Network network;
   AnalysisOptions options;
   std::vector<CompiledInstance> instances;
+  /// name -> index into `instances`, built once in compileAll.
+  std::unordered_map<std::string, std::size_t> instanceIndex;
   Workload workload;
   bool workloadLocked = false;
   backends::Z3Backend solver;
   std::unique_ptr<Encoding> encoding;
+  /// Persistent incremental solver session over the encoding's structural
+  /// constraints (assumptions + soundness). Each check/verify is answered
+  /// inside a push/pop frame carrying only the workload delta + query, so
+  /// the lowered AST and learned lemmas are shared across queries.
+  std::unique_ptr<backends::Z3Backend::Session> session;
 
   // Qualified names of connection endpoints.
   std::set<std::string> connectedInputs;
@@ -79,22 +90,22 @@ struct Analysis::Impl {
   // -------------------------------------------------------------------
 
   void compileAll() {
-    std::set<std::string> names;
     for (const auto& spec : network.instances()) {
       CompiledInstance ci;
       ci.program = lang::parse(spec.source);
       ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
-      if (!names.insert(ci.name).second) {
+      if (instanceIndex.count(ci.name) != 0) {
         throw AnalysisError("duplicate instance name '" + ci.name + "'");
       }
       ci.symbols = lang::checkOrThrow(ci.program, spec.compile);
       ci.buffers = spec.buffers;
       ci.isContract = network.contracts().count(ci.name) != 0;
 
-      // Validate buffer specs against the program's buffer parameters.
-      std::set<std::string> specNames;
-      for (const auto& b : ci.buffers) {
-        if (!specNames.insert(b.param).second) {
+      // Validate buffer specs against the program's buffer parameters,
+      // building the by-name spec index as we go.
+      for (std::size_t bi = 0; bi < ci.buffers.size(); ++bi) {
+        const auto& b = ci.buffers[bi];
+        if (!ci.specIndex.emplace(b.param, bi).second) {
           throw AnalysisError("duplicate BufferSpec for '" + b.param + "'");
         }
         const auto it = ci.symbols.paramTypes.find(b.param);
@@ -105,7 +116,7 @@ struct Analysis::Impl {
         }
       }
       for (const auto& [param, type] : ci.symbols.paramTypes) {
-        if (type.isBufferLike() && specNames.count(param) == 0) {
+        if (type.isBufferLike() && ci.specIndex.count(param) == 0) {
           throw AnalysisError("buffer parameter '" + param + "' of '" +
                               ci.name + "' has no BufferSpec");
         }
@@ -138,6 +149,7 @@ struct Analysis::Impl {
                             ci.name + "':\n" + diag2.renderAll());
       }
 
+      instanceIndex.emplace(ci.name, instances.size());
       instances.push_back(std::move(ci));
     }
     if (instances.empty()) {
@@ -146,19 +158,21 @@ struct Analysis::Impl {
   }
 
   CompiledInstance& instanceByName(const std::string& name) {
-    for (auto& ci : instances) {
-      if (ci.name == name) return ci;
+    const auto it = instanceIndex.find(name);
+    if (it == instanceIndex.end()) {
+      throw AnalysisError("unknown instance '" + name + "'");
     }
-    throw AnalysisError("unknown instance '" + name + "'");
+    return instances[it->second];
   }
 
   const BufferSpec& specFor(const CompiledInstance& ci,
                             const std::string& param) {
-    for (const auto& b : ci.buffers) {
-      if (b.param == param) return b;
+    const auto it = ci.specIndex.find(param);
+    if (it == ci.specIndex.end()) {
+      throw AnalysisError("no BufferSpec for '" + param + "' in '" + ci.name +
+                          "'");
     }
-    throw AnalysisError("no BufferSpec for '" + param + "' in '" + ci.name +
-                        "'");
+    return ci.buffers[it->second];
   }
 
   void validateConnections() {
@@ -342,9 +356,10 @@ struct Analysis::Impl {
       contract.invariants(view, arena, enc->assumptions);
     }
 
-    // Workload assumptions (symbolic runs only).
+    // Workload assumptions (symbolic runs only) — kept apart from the
+    // structural assumptions so rebindWorkload can swap them later.
     if (concrete == nullptr) {
-      workload.apply(enc->arrivals(), arena, enc->assumptions);
+      workload.apply(enc->arrivals(), arena, enc->workloadTerms);
     }
     return enc;
   }
@@ -476,10 +491,24 @@ struct Analysis::Impl {
     return *encoding;
   }
 
-  std::vector<ir::TermRef> constraintsFor(const Query& query, bool forVerify,
-                                          Encoding& enc) {
-    std::vector<ir::TermRef> cs = enc.assumptions;
-    cs.insert(cs.end(), enc.soundness.begin(), enc.soundness.end());
+  /// The persistent session carries the structural constraints; everything
+  /// per-query (workload delta + query term) travels through queryDelta.
+  backends::Z3Backend::Session& ensureSession(Encoding& enc) {
+    if (!session) {
+      session = solver.openSession({}, options.timeoutMs);
+      session->assertBase(enc.assumptions);
+      session->assertBase(enc.soundness);
+    }
+    return *session;
+  }
+
+  /// The query-specific constraints: the current workload delta plus the
+  /// query itself (negated together with the in-program obligations for
+  /// verify). Small — O(workload rules + 1), never a copy of the full
+  /// assumption set.
+  std::vector<ir::TermRef> queryDelta(const Query& query, bool forVerify,
+                                      Encoding& enc) {
+    std::vector<ir::TermRef> cs = enc.workloadTerms;
     const ir::TermRef q = query.build(enc.seriesView(), enc.arena);
     if (forVerify) {
       ir::TermRef all = q;
@@ -489,6 +518,19 @@ struct Analysis::Impl {
       cs.push_back(enc.arena.mkNot(all));
     } else {
       cs.push_back(q);
+    }
+    return cs;
+  }
+
+  /// The full constraint set as one vector — only for the text-emission
+  /// paths (SMT-LIB export / reparse ablation), which need a standalone
+  /// problem. The solving hot path uses ensureSession + queryDelta.
+  std::vector<ir::TermRef> constraintsFor(const Query& query, bool forVerify,
+                                          Encoding& enc) {
+    std::vector<ir::TermRef> cs = enc.assumptions;
+    cs.insert(cs.end(), enc.soundness.begin(), enc.soundness.end());
+    for (const ir::TermRef t : queryDelta(query, forVerify, enc)) {
+      cs.push_back(t);
     }
     return cs;
   }
@@ -515,6 +557,14 @@ struct Analysis::Impl {
       case backends::SolveStatus::Sat:
         result.verdict = forVerify ? Verdict::Violated : Verdict::Satisfiable;
         result.trace = traceFromModel(enc, sr.model);
+        if (!sr.overflowVars.empty()) {
+          result.detail = "model values exceed int64 for: ";
+          for (std::size_t i = 0; i < sr.overflowVars.size(); ++i) {
+            if (i > 0) result.detail += ", ";
+            result.detail += sr.overflowVars[i];
+          }
+          result.detail += " (trace entries for these variables default to 0)";
+        }
         break;
       case backends::SolveStatus::Unsat:
         result.verdict =
@@ -542,18 +592,29 @@ void Analysis::setWorkload(Workload workload) {
   impl_->workload = std::move(workload);
 }
 
+void Analysis::rebindWorkload(Workload workload) {
+  Encoding& enc = impl_->ensureEncoding();
+  impl_->workload = std::move(workload);
+  enc.workloadTerms.clear();
+  impl_->workload.apply(enc.arrivals(), enc.arena, enc.workloadTerms);
+}
+
 AnalysisResult Analysis::check(const Query& query) {
   Encoding& enc = impl_->ensureEncoding();
-  const auto cs = impl_->constraintsFor(query, false, enc);
-  return impl_->finish(enc, impl_->solver.check(cs, impl_->options.timeoutMs),
+  auto& session = impl_->ensureSession(enc);
+  return impl_->finish(enc, session.check(impl_->queryDelta(query, false, enc)),
                        false);
 }
 
 AnalysisResult Analysis::verify(const Query& query) {
   Encoding& enc = impl_->ensureEncoding();
-  const auto cs = impl_->constraintsFor(query, true, enc);
-  return impl_->finish(enc, impl_->solver.check(cs, impl_->options.timeoutMs),
+  auto& session = impl_->ensureSession(enc);
+  return impl_->finish(enc, session.check(impl_->queryDelta(query, true, enc)),
                        true);
+}
+
+std::size_t Analysis::incrementalQueries() const {
+  return impl_->session ? impl_->session->queryCount() : 0;
 }
 
 std::string Analysis::toSmtLib(const Query& query, bool forVerify,

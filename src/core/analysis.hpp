@@ -59,6 +59,10 @@ class Encoding {
   std::vector<ir::TermRef> assumptions;
   std::vector<eval::Obligation> obligations;
   std::vector<ir::TermRef> soundness;
+  /// Workload constraints, kept apart from the structural `assumptions` so
+  /// a new workload can be re-bound onto this encoding as a delta (the
+  /// compiled instances, term arena, and solver session all survive).
+  std::vector<ir::TermRef> workloadTerms;
   std::map<std::string, std::vector<ArrivalVars>> arrivalVars;
   std::map<std::string, std::vector<ir::TermRef>> series;
   int horizon = 0;
@@ -105,13 +109,27 @@ class Analysis {
   Analysis& operator=(const Analysis&) = delete;
 
   /// Sets the traffic assumptions. Must be called before the first
-  /// check/verify (the encoding is built lazily and caches them).
+  /// check/verify (the encoding is built lazily and caches them). Use
+  /// rebindWorkload to swap assumptions after the encoding exists.
   void setWorkload(Workload workload);
+
+  /// Re-binds the traffic assumptions on an already-built encoding as a
+  /// *delta*: the compiled instances, the unrolled term arena, and the
+  /// incremental solver session are all kept; only the workload constraint
+  /// set is recomputed against the existing arrival variables. This is
+  /// what makes candidate enumeration (synth) O(candidates × solve)
+  /// instead of O(candidates × full pipeline). Builds the encoding if it
+  /// does not exist yet.
+  void rebindWorkload(Workload workload);
 
   /// FPerf-style: find a trace satisfying assumptions ∧ query.
   AnalysisResult check(const Query& query);
   /// Verification: do assumptions imply query ∧ all in-program asserts?
   AnalysisResult verify(const Query& query);
+
+  /// Number of queries answered by the persistent incremental solver
+  /// session (0 until the first check/verify).
+  [[nodiscard]] std::size_t incrementalQueries() const;
 
   /// The §4 SMT-LIB path: renders the (check or verify) problem as an
   /// SMT-LIB2 script.

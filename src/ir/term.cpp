@@ -19,38 +19,85 @@ std::int64_t euclideanMod(std::int64_t a, std::int64_t b) {
   return r;
 }
 
-std::size_t TermArena::KeyHash::operator()(const Key& k) const {
-  std::size_t h = std::hash<int>()(static_cast<int>(k.kind)) * 31 +
-                  std::hash<int>()(static_cast<int>(k.sort));
-  h = h * 31 + std::hash<std::int64_t>()(k.value);
-  h = h * 31 + std::hash<std::string>()(k.name);
-  for (const TermRef arg : k.args) {
-    h = h * 31 + std::hash<std::uint32_t>()(arg->id);
+std::size_t TermArena::hashFields(TermKind kind, Sort sort,
+                                  std::int64_t value, std::string_view name,
+                                  std::span<const TermRef> args) {
+  // FNV-1a over the identifying fields; no allocation, no Key object.
+  constexpr std::size_t kPrime = 1099511628211ULL;
+  std::size_t h = 14695981039346656037ULL;
+  h = (h ^ static_cast<std::size_t>(kind)) * kPrime;
+  h = (h ^ static_cast<std::size_t>(sort)) * kPrime;
+  h = (h ^ static_cast<std::size_t>(value)) * kPrime;
+  for (const char c : name) {
+    h = (h ^ static_cast<unsigned char>(c)) * kPrime;
+  }
+  for (const TermRef arg : args) {
+    h = (h ^ (static_cast<std::size_t>(arg->id) + 1)) * kPrime;
   }
   return h;
 }
 
+bool TermArena::matches(const Term& term, TermKind kind, Sort sort,
+                        std::int64_t value, std::string_view name,
+                        std::span<const TermRef> args) {
+  if (term.kind != kind || term.sort != sort || term.value != value) {
+    return false;
+  }
+  if (term.name != name) return false;
+  if (term.args.size() != args.size()) return false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (term.args[i] != args[i]) return false;
+  }
+  return true;
+}
+
+void TermArena::growTable() {
+  const std::size_t capacity = table_.empty() ? 1024 : table_.size() * 2;
+  std::vector<Slot> grown(capacity);
+  const std::size_t mask = capacity - 1;
+  for (const Slot& slot : table_) {
+    if (slot.term == nullptr) continue;
+    std::size_t i = slot.hash & mask;
+    while (grown[i].term != nullptr) i = (i + 1) & mask;
+    grown[i] = slot;
+  }
+  table_ = std::move(grown);
+}
+
 TermArena::TermArena() {
+  growTable();
   true_ = intern(TermKind::ConstBool, Sort::Bool, 1, "", {});
   false_ = intern(TermKind::ConstBool, Sort::Bool, 0, "", {});
 }
 
 TermRef TermArena::intern(TermKind kind, Sort sort, std::int64_t value,
-                          std::string name, std::vector<TermRef> args) {
-  Key key{kind, sort, value, name, args};
-  const auto it = interned_.find(key);
-  if (it != interned_.end()) return it->second.get();
+                          std::string_view name,
+                          std::span<const TermRef> args) {
+  // Keep the load factor below 3/4 so probe chains stay short.
+  if (tableUsed_ * 4 >= table_.size() * 3) growTable();
+  const std::size_t hash = hashFields(kind, sort, value, name, args);
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = hash & mask;
+  while (table_[i].term != nullptr) {
+    if (table_[i].hash == hash &&
+        matches(*table_[i].term, kind, sort, value, name, args)) {
+      return table_[i].term;  // hit: zero allocations
+    }
+    i = (i + 1) & mask;
+  }
 
   auto term = std::make_unique<Term>();
   term->kind = kind;
   term->sort = sort;
   term->id = static_cast<std::uint32_t>(terms_.size());
   term->value = value;
-  term->name = std::move(name);
-  term->args = std::move(args);
-  const TermRef ref = term.get();
+  term->name.assign(name);
+  term->args.assign(args.begin(), args.end());
+  Term* const ref = term.get();
+  owned_.push_back(std::move(term));
   terms_.push_back(ref);
-  interned_.emplace(std::move(key), std::move(term));
+  table_[i] = Slot{hash, ref};
+  ++tableUsed_;
   return ref;
 }
 
@@ -82,7 +129,8 @@ TermRef TermArena::freshVar(const std::string& stem, Sort sort) {
 }
 
 TermRef TermArena::mkBin(TermKind kind, Sort sort, TermRef a, TermRef b) {
-  return intern(kind, sort, 0, "", {a, b});
+  const TermRef args[] = {a, b};
+  return intern(kind, sort, 0, "", args);
 }
 
 // ---------------------------------------------------------------------------
@@ -129,7 +177,8 @@ TermRef TermArena::mod(TermRef a, TermRef b) {
 
 TermRef TermArena::neg(TermRef a) {
   if (a->isConst()) return intConst(-a->value);
-  return intern(TermKind::Neg, Sort::Int, 0, "", {a});
+  const TermRef args[] = {a};
+  return intern(TermKind::Neg, Sort::Int, 0, "", args);
 }
 
 TermRef TermArena::min(TermRef a, TermRef b) {
@@ -207,7 +256,8 @@ TermRef TermArena::mkNot(TermRef a) {
   if (a->isTrue()) return false_;
   if (a->isFalse()) return true_;
   if (a->kind == TermKind::Not) return a->args[0];
-  return intern(TermKind::Not, Sort::Bool, 0, "", {a});
+  const TermRef args[] = {a};
+  return intern(TermKind::Not, Sort::Bool, 0, "", args);
 }
 
 TermRef TermArena::implies(TermRef a, TermRef b) {
@@ -241,7 +291,8 @@ TermRef TermArena::ite(TermRef cond, TermRef thenT, TermRef elseT) {
     if (elseT->isTrue()) return mkOr(mkNot(cond), thenT);
     if (elseT->isFalse()) return mkAnd(cond, thenT);
   }
-  return intern(TermKind::Ite, thenT->sort, 0, "", {cond, thenT, elseT});
+  const TermRef args[] = {cond, thenT, elseT};
+  return intern(TermKind::Ite, thenT->sort, 0, "", args);
 }
 
 TermRef TermArena::countTrue(std::span<const TermRef> flags) {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -137,23 +138,29 @@ class TermArena {
   [[nodiscard]] std::size_t size() const { return terms_.size(); }
 
  private:
-  struct Key {
-    TermKind kind;
-    Sort sort;
-    std::int64_t value;
-    std::string name;
-    std::vector<TermRef> args;
-    bool operator==(const Key& other) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
+  /// Interning is the hottest path of encoding construction, so the table
+  /// is open-addressed and keyed by a hash precomputed over the candidate
+  /// fields: a hit probes with a string_view/span and allocates nothing.
+  struct Slot {
+    std::size_t hash = 0;
+    Term* term = nullptr;  // nullptr marks an empty slot
   };
 
   TermRef intern(TermKind kind, Sort sort, std::int64_t value,
-                 std::string name, std::vector<TermRef> args);
+                 std::string_view name, std::span<const TermRef> args);
   TermRef mkBin(TermKind kind, Sort sort, TermRef a, TermRef b);
 
-  std::unordered_map<Key, std::unique_ptr<Term>, KeyHash> interned_;
+  static std::size_t hashFields(TermKind kind, Sort sort, std::int64_t value,
+                                std::string_view name,
+                                std::span<const TermRef> args);
+  static bool matches(const Term& term, TermKind kind, Sort sort,
+                      std::int64_t value, std::string_view name,
+                      std::span<const TermRef> args);
+  void growTable();
+
+  std::vector<Slot> table_;  // power-of-two capacity, linear probing
+  std::size_t tableUsed_ = 0;
+  std::vector<std::unique_ptr<Term>> owned_;
   std::vector<TermRef> terms_;  // creation order
   std::vector<TermRef> vars_;
   std::unordered_map<std::string, TermRef> varByName_;

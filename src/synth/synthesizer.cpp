@@ -1,6 +1,12 @@
 #include "synth/synthesizer.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "support/error.hpp"
 
@@ -67,58 +73,24 @@ std::string Candidate::describe() const {
   return out;
 }
 
-SynthesisResult Synthesizer::run(const core::Query& query,
-                                 const SynthesisOptions& opts) {
-  if (opts.grammar.empty()) {
-    throw AnalysisError("synthesis grammar is empty");
-  }
-  // Discover the external inputs once.
-  std::vector<std::string> inputs;
-  {
-    core::Analysis probe(network_, options_);
-    inputs = probe.inputBufferNames();
-  }
-  if (inputs.empty()) {
-    throw AnalysisError("network has no external inputs to synthesize over");
-  }
+namespace {
 
-  SynthesisResult result;
-  const auto start = std::chrono::steady_clock::now();
-
-  // Enumerate grammar^inputs in mixed-radix order.
-  const std::size_t base = opts.grammar.size();
+/// All grammar^inputs assignments in mixed-radix order (inputs[0]'s pattern
+/// varies fastest) — the canonical enumeration order; "first solution" and
+/// the solution list are defined by it regardless of thread count.
+std::vector<std::map<std::string, Pattern>> enumerateAssignments(
+    const std::vector<std::string>& inputs,
+    const std::vector<Pattern>& grammar) {
+  std::vector<std::map<std::string, Pattern>> out;
+  const std::size_t base = grammar.size();
   std::vector<std::size_t> digits(inputs.size(), 0);
   bool done = false;
   while (!done) {
-    Candidate candidate;
-    core::Workload workload;
+    std::map<std::string, Pattern> assignment;
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      const Pattern pattern = opts.grammar[digits[i]];
-      candidate.assignment[inputs[i]] = pattern;
-      workload.add(patternRule(pattern, inputs[i]));
+      assignment[inputs[i]] = grammar[digits[i]];
     }
-
-    const auto candidateStart = std::chrono::steady_clock::now();
-    core::Analysis analysis(network_, options_);
-    analysis.setWorkload(workload);
-    const auto existsResult = analysis.check(query);
-    candidate.existsSat = existsResult.sat();
-    if (candidate.existsSat && opts.requireUniversal) {
-      candidate.forallHolds = analysis.verify(query).holds();
-    } else if (candidate.existsSat) {
-      candidate.forallHolds = true;
-    }
-    candidate.seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - candidateStart)
-                            .count();
-    ++result.candidatesChecked;
-
-    if (candidate.existsSat && candidate.forallHolds) {
-      result.solutions.push_back(candidate);
-      if (opts.firstOnly) break;
-    }
-
-    // Next mixed-radix candidate.
+    out.push_back(std::move(assignment));
     std::size_t pos = 0;
     while (pos < digits.size()) {
       if (++digits[pos] < base) break;
@@ -126,6 +98,142 @@ SynthesisResult Synthesizer::run(const core::Query& query,
       ++pos;
     }
     done = pos == digits.size();
+  }
+  return out;
+}
+
+core::Workload workloadFor(const std::map<std::string, Pattern>& assignment) {
+  core::Workload workload;
+  for (const auto& [buffer, pattern] : assignment) {
+    workload.add(patternRule(pattern, buffer));
+  }
+  return workload;
+}
+
+}  // namespace
+
+SynthesisResult Synthesizer::run(const core::Query& query,
+                                 const SynthesisOptions& opts) {
+  if (opts.grammar.empty()) {
+    throw AnalysisError("synthesis grammar is empty");
+  }
+
+  // Compile + encode once; this engine both discovers the external inputs
+  // and serves as the first worker's solving engine.
+  auto engine0 = std::make_unique<core::Analysis>(network_, options_);
+  const std::vector<std::string> inputs = engine0->inputBufferNames();
+  if (inputs.empty()) {
+    throw AnalysisError("network has no external inputs to synthesize over");
+  }
+
+  const auto assignments = enumerateAssignments(inputs, opts.grammar);
+  const std::size_t total = assignments.size();
+
+  SynthesisResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  // One result slot per candidate: deterministic ordering falls out of the
+  // index space, however the workers interleave.
+  std::vector<std::optional<Candidate>> slots(total);
+  std::atomic<std::size_t> next{0};
+  constexpr std::size_t kNoSolution = std::numeric_limits<std::size_t>::max();
+  /// Lowest candidate index known to be a solution (firstOnly
+  /// cancellation: candidates above it can never be "first").
+  std::atomic<std::size_t> firstSolution{kNoSolution};
+  std::atomic<int> checked{0};
+
+  auto evaluate = [&](core::Analysis* engine, std::size_t idx) {
+    Candidate candidate;
+    candidate.assignment = assignments[idx];
+    const auto candidateStart = std::chrono::steady_clock::now();
+
+    // The fresh path rebuilds the entire pipeline per candidate; the
+    // incremental path re-binds the workload delta onto the worker's
+    // already-built encoding and queries its persistent session.
+    std::unique_ptr<core::Analysis> fresh;
+    if (!opts.incremental) {
+      fresh = std::make_unique<core::Analysis>(network_, options_);
+      fresh->setWorkload(workloadFor(candidate.assignment));
+      engine = fresh.get();
+    } else {
+      engine->rebindWorkload(workloadFor(candidate.assignment));
+    }
+
+    candidate.existsSat = engine->check(query).sat();
+    if (candidate.existsSat && opts.requireUniversal) {
+      candidate.forallHolds = engine->verify(query).holds();
+    } else if (candidate.existsSat) {
+      candidate.forallHolds = true;
+    }
+    candidate.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      candidateStart)
+            .count();
+    return candidate;
+  };
+
+  auto workerLoop = [&](core::Analysis* engine) {
+    while (true) {
+      const std::size_t idx = next.fetch_add(1);
+      if (idx >= total) break;
+      // A candidate past an already-found solution cannot be the first.
+      if (opts.firstOnly && idx > firstSolution.load()) continue;
+      Candidate candidate = evaluate(engine, idx);
+      checked.fetch_add(1);
+      const bool solution = candidate.existsSat && candidate.forallHolds;
+      slots[idx] = std::move(candidate);
+      if (solution && opts.firstOnly) {
+        std::size_t cur = firstSolution.load();
+        while (idx < cur &&
+               !firstSolution.compare_exchange_weak(cur, idx)) {
+        }
+      }
+    }
+  };
+
+  const std::size_t workers = std::min(
+      static_cast<std::size_t>(std::max(1, opts.threads)), total);
+  if (workers <= 1) {
+    workerLoop(engine0.get());
+  } else {
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          // Worker 0 inherits the probe engine; the rest compile their
+          // own (each Analysis owns its own Z3 context — contexts must
+          // not be shared across threads).
+          std::unique_ptr<core::Analysis> own;
+          core::Analysis* engine = engine0.get();
+          if (w != 0) {
+            own = std::make_unique<core::Analysis>(network_, options_);
+            engine = own.get();
+          }
+          workerLoop(engine);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+          // Drain the queue so the other workers stop promptly.
+          next.store(total);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (firstError) std::rethrow_exception(firstError);
+  }
+
+  result.candidatesChecked = checked.load();
+  const std::size_t cutoff =
+      opts.firstOnly ? firstSolution.load() : kNoSolution;
+  for (std::size_t i = 0; i < total && i <= cutoff; ++i) {
+    if (!slots[i]) continue;
+    if (slots[i]->existsSat && slots[i]->forallHolds) {
+      result.solutions.push_back(std::move(*slots[i]));
+      if (opts.firstOnly) break;
+    }
   }
 
   result.totalSeconds =

@@ -45,8 +45,20 @@ struct SynthesisOptions {
   /// Require the ∀ direction too (FPerf semantics). When false, any
   /// satisfiable candidate is a solution.
   bool requireUniversal = true;
-  /// Stop after the first solution.
+  /// Stop after the first solution (by enumeration order — deterministic
+  /// regardless of `threads`).
   bool firstOnly = false;
+  /// Worker threads. Each worker compiles + encodes the network once into
+  /// its own engine with its own Z3 context (Z3 contexts are not
+  /// thread-safe), then pulls candidates from a shared queue. The solution
+  /// set and its order are identical for any thread count.
+  int threads = 1;
+  /// Reuse one compiled encoding + incremental solver session per worker,
+  /// re-binding each candidate as a workload delta (the fast path). When
+  /// false, every candidate rebuilds the full pipeline in a fresh engine —
+  /// the pre-incremental behavior, kept for differential testing and the
+  /// fresh-vs-incremental benchmark.
+  bool incremental = true;
 };
 
 struct Candidate {

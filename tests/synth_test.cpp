@@ -117,6 +117,82 @@ TEST(Synthesizer, EmptyGrammarRejected) {
   EXPECT_THROW(synth.run(core::Query::always(), sopts), AnalysisError);
 }
 
+TEST(Synthesizer, FreshAndIncrementalModesAgree) {
+  // The incremental engine (one encoding + session per worker, workload
+  // re-bound as a delta per candidate) must produce the identical solution
+  // set as the fresh-pipeline-per-candidate path.
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  SynthesisOptions sopts;
+  sopts.grammar = {Pattern::None, Pattern::ExactlyOnePerStep,
+                   Pattern::BurstAtStart2};
+  const core::Query query = core::Query::expr("sp.cdeq.0[T-1] == T");
+
+  Synthesizer synth(schedulerNet(models::kStrictPriority, "sp", 2), opts);
+  sopts.incremental = false;
+  const auto fresh = synth.run(query, sopts);
+  sopts.incremental = true;
+  const auto incremental = synth.run(query, sopts);
+
+  EXPECT_EQ(fresh.candidatesChecked, incremental.candidatesChecked);
+  ASSERT_EQ(fresh.solutions.size(), incremental.solutions.size());
+  for (std::size_t i = 0; i < fresh.solutions.size(); ++i) {
+    EXPECT_EQ(fresh.solutions[i].assignment,
+              incremental.solutions[i].assignment);
+    EXPECT_EQ(fresh.solutions[i].existsSat, incremental.solutions[i].existsSat);
+    EXPECT_EQ(fresh.solutions[i].forallHolds,
+              incremental.solutions[i].forallHolds);
+  }
+}
+
+TEST(Synthesizer, ParallelFindsIdenticalSolutionSet) {
+  // threads=4 must find the same solutions in the same (enumeration)
+  // order as threads=1.
+  core::AnalysisOptions opts;
+  opts.horizon = 5;
+  SynthesisOptions sopts;
+  sopts.grammar = {Pattern::ExactlyOnePerStep, Pattern::PacedSkipOne,
+                   Pattern::BurstAtStart3};
+  const core::Query query = core::Query::expr(
+      "fq.cdeq.1[T-1] <= 1 & fq.cdeq.0[T-1] >= T-1");
+
+  Synthesizer synth(schedulerNet(models::kFairQueueBuggy, "fq", 2), opts);
+  sopts.threads = 1;
+  const auto sequential = synth.run(query, sopts);
+  sopts.threads = 4;
+  const auto parallel = synth.run(query, sopts);
+
+  EXPECT_EQ(parallel.candidatesChecked, sequential.candidatesChecked);
+  ASSERT_EQ(parallel.solutions.size(), sequential.solutions.size());
+  for (std::size_t i = 0; i < sequential.solutions.size(); ++i) {
+    EXPECT_EQ(parallel.solutions[i].assignment,
+              sequential.solutions[i].assignment);
+  }
+}
+
+TEST(Synthesizer, ParallelFirstOnlyIsDeterministic) {
+  // firstOnly with threads=4 must return exactly the first solution of the
+  // sequential enumeration order, regardless of which worker finds a
+  // solution first.
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  SynthesisOptions sopts;
+  sopts.grammar = {Pattern::None, Pattern::ExactlyOnePerStep,
+                   Pattern::BurstAtStart2};
+  sopts.firstOnly = true;
+  const core::Query query = core::Query::expr("sp.cdeq.0[T-1] == T");
+
+  Synthesizer synth(schedulerNet(models::kStrictPriority, "sp", 2), opts);
+  sopts.threads = 1;
+  const auto sequential = synth.run(query, sopts);
+  ASSERT_EQ(sequential.solutions.size(), 1u);
+  sopts.threads = 4;
+  const auto parallel = synth.run(query, sopts);
+  ASSERT_EQ(parallel.solutions.size(), 1u);
+  EXPECT_EQ(parallel.solutions[0].assignment,
+            sequential.solutions[0].assignment);
+}
+
 TEST(Synthesizer, CandidateDescribe) {
   Candidate c;
   c.assignment = {{"a", Pattern::None}, {"b", Pattern::BurstAtStart2}};

@@ -109,6 +109,73 @@ TEST_F(Z3Test, SmtLibParseErrorThrows) {
   EXPECT_THROW(backend.checkSmtLib("(assert (nonsense"), BackendError);
 }
 
+TEST_F(Z3Test, SessionBasePersistsAndExtrasRetract) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const std::vector<ir::TermRef> base = {arena.ge(x, arena.intConst(0))};
+  const auto session = backend.openSession(base);
+
+  // base ∧ x<0 is unsat...
+  const std::vector<ir::TermRef> neg = {arena.lt(x, arena.intConst(0))};
+  EXPECT_EQ(session->check(neg).status, SolveStatus::Unsat);
+  // ...and retracted: base ∧ x==7 is sat again on the same session.
+  const std::vector<ir::TermRef> eq7 = {arena.eq(x, arena.intConst(7))};
+  const auto sat = session->check(eq7);
+  ASSERT_EQ(sat.status, SolveStatus::Sat);
+  EXPECT_EQ(sat.model.at("x"), 7);
+  EXPECT_EQ(session->queryCount(), 2u);
+  // The lowering memo persisted across the queries.
+  EXPECT_GT(session->loweredTermCount(), 0u);
+}
+
+TEST_F(Z3Test, SessionAssertBaseAccumulates) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const auto session = backend.openSession();
+  const std::vector<ir::TermRef> ge0 = {arena.ge(x, arena.intConst(0))};
+  session->assertBase(ge0);
+  EXPECT_EQ(session->check({}).status, SolveStatus::Sat);
+  const std::vector<ir::TermRef> lt0 = {arena.lt(x, arena.intConst(0))};
+  session->assertBase(lt0);
+  EXPECT_EQ(session->check({}).status, SolveStatus::Unsat);
+}
+
+TEST_F(Z3Test, SessionMatchesOneShotOnQuerySequence) {
+  // Differential: 8 queries through one session == 8 one-shot solves.
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const ir::TermRef y = arena.var("y", ir::Sort::Int);
+  const std::vector<ir::TermRef> base = {
+      arena.ge(x, arena.intConst(0)), arena.le(x, arena.intConst(10)),
+      arena.eq(y, arena.add(x, arena.intConst(1)))};
+  const auto session = backend.openSession(base);
+  for (int k = 0; k < 8; ++k) {
+    const std::vector<ir::TermRef> extra = {
+        arena.eq(arena.mod(x, arena.intConst(3)), arena.intConst(k % 3)),
+        arena.ge(y, arena.intConst(k))};
+    std::vector<ir::TermRef> oneShot = base;
+    oneShot.insert(oneShot.end(), extra.begin(), extra.end());
+    const auto viaSession = session->check(extra);
+    const auto viaFresh = backend.check(oneShot);
+    EXPECT_EQ(viaSession.status, viaFresh.status) << "query " << k;
+    if (viaSession.status == SolveStatus::Sat) {
+      // Models may differ; both must satisfy the constraints.
+      for (const ir::TermRef c : oneShot) {
+        EXPECT_EQ(ir::evalTerm(c, viaSession.model), 1) << "query " << k;
+        EXPECT_EQ(ir::evalTerm(c, viaFresh.model), 1) << "query " << k;
+      }
+    }
+  }
+}
+
+TEST_F(Z3Test, ModelOverflowRecordedNotDropped) {
+  // A model value that does not fit int64 must be reported, not silently
+  // skipped (it would otherwise surface as a stale/absent trace entry).
+  const auto result = backend.checkSmtLib(
+      "(declare-const a Int)(assert (= a 36893488147419103232))");  // 2^65
+  ASSERT_EQ(result.status, SolveStatus::Sat);
+  EXPECT_EQ(result.model.count("a"), 0u);
+  ASSERT_EQ(result.overflowVars.size(), 1u);
+  EXPECT_EQ(result.overflowVars[0], "a");
+}
+
 TEST_F(Z3Test, LargeDagLowersStackSafely) {
   ir::TermRef acc = arena.var("v", ir::Sort::Int);
   for (int i = 0; i < 50000; ++i) acc = arena.add(acc, arena.intConst(1));
