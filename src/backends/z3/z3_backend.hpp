@@ -9,9 +9,15 @@
 //    soundness conditions) are asserted once; each query is answered inside
 //    a push()/pop() frame, so the solver reuses both the lowered AST and
 //    the lemmas it learned from earlier queries on the same encoding.
+//
+// Resilience (DESIGN.md §8): every query runs under a SolveBudget
+// (wall-clock timeout, Z3 rlimit, memory cap, random seed), queries can be
+// cooperatively cancelled from another thread via interrupt(), and a
+// test-only FaultPlan can inject deterministic failures.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -19,12 +25,33 @@
 #include <string>
 #include <vector>
 
+#include "backends/fault_plan.hpp"
 #include "ir/term.hpp"
 #include "ir/term_eval.hpp"
 
 namespace buffy::backends {
 
 enum class SolveStatus { Sat, Unsat, Unknown };
+
+/// Resource limits applied to a single solver query. Unset fields mean
+/// "unlimited" (and seed 0, Z3's default). Implicitly convertible from a
+/// bare timeout for the common case.
+struct SolveBudget {
+  /// Wall-clock limit per query, milliseconds.
+  std::optional<unsigned> timeoutMs;
+  /// Z3 resource limit ("rlimit") — a deterministic work counter, unlike
+  /// the wall clock, so budget-exhaustion tests reproduce exactly.
+  std::optional<unsigned> rlimit;
+  /// Z3 memory cap, megabytes.
+  std::optional<unsigned> maxMemoryMb;
+  /// Z3 random seed (retry/escalation re-rolls this on Unknown).
+  std::optional<unsigned> randomSeed;
+
+  SolveBudget() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate sugar — every
+  // pre-budget call site passed a bare optional timeout.
+  SolveBudget(std::optional<unsigned> timeout) : timeoutMs(timeout) {}
+};
 
 struct SolveResult {
   SolveStatus status = SolveStatus::Unknown;
@@ -40,6 +67,17 @@ struct SolveResult {
   double seconds = 0.0;
   /// Z3's reason when status == Unknown (e.g. "timeout").
   std::string reason;
+  /// Z3 resource units consumed by this query (delta of the solver's
+  /// "rlimit count" statistic; best-effort, 0 when unavailable).
+  std::uint64_t rlimitUsed = 0;
+  /// True when status == Unknown because the query was cancelled via
+  /// interrupt() rather than because the solver gave up — retry ladders
+  /// must not re-run cancelled queries.
+  bool canceled = false;
+  /// Test-only fault-injection tag (FaultAction::Kind::CorruptWitness):
+  /// instructs the analysis layer to perturb the extracted witness trace
+  /// so the replay cross-check can be exercised deterministically.
+  bool corruptWitness = false;
 };
 
 class Z3Backend {
@@ -48,7 +86,8 @@ class Z3Backend {
   /// Z3Backend that created it (it borrows the backend's z3::context), and
   /// must not be used from a different thread than other sessions of the
   /// same backend — Z3 contexts are not thread-safe. Use one Z3Backend per
-  /// thread for parallel solving.
+  /// thread for parallel solving. (interrupt() on the owning backend is the
+  /// one deliberate exception: it may be called from any thread.)
   class Session {
    public:
     ~Session();
@@ -60,8 +99,12 @@ class Z3Backend {
 
     /// Checks base ∧ extra. The extra constraints are asserted inside a
     /// push()/pop() frame and retracted before returning, so the next
-    /// query starts again from the base.
-    SolveResult check(std::span<const ir::TermRef> extra);
+    /// query starts again from the base. `budget` overrides the session
+    /// default for this query only (the effective budget is re-applied on
+    /// every check, so an escalated timeout does not leak into the next
+    /// query).
+    SolveResult check(std::span<const ir::TermRef> extra,
+                      const std::optional<SolveBudget>& budget = std::nullopt);
 
     /// Number of check() calls answered so far.
     [[nodiscard]] std::size_t queryCount() const;
@@ -80,21 +123,38 @@ class Z3Backend {
   Z3Backend(const Z3Backend&) = delete;
   Z3Backend& operator=(const Z3Backend&) = delete;
 
-  /// Opens a persistent session with `base` asserted once. The timeout (if
-  /// any) applies to every query answered by the session.
-  std::unique_ptr<Session> openSession(
-      std::span<const ir::TermRef> base = {},
-      std::optional<unsigned> timeoutMs = std::nullopt);
+  /// Opens a persistent session. The budget (if any) is the default for
+  /// every query answered by the session.
+  std::unique_ptr<Session> openSession(std::span<const ir::TermRef> base = {},
+                                       SolveBudget budget = {});
 
   /// Checks satisfiability of the conjunction of `constraints` (one-shot:
   /// fresh solver, fresh lowering).
   SolveResult check(std::span<const ir::TermRef> constraints,
-                    std::optional<unsigned> timeoutMs = std::nullopt);
+                    SolveBudget budget = {});
 
   /// Parses SMT-LIB2 text (e.g. from the smtlib backend) and checks it —
-  /// the emission/reparse path of the backend-comparison ablation.
-  SolveResult checkSmtLib(const std::string& smtlib,
-                          std::optional<unsigned> timeoutMs = std::nullopt);
+  /// the emission/reparse path of the backend-comparison ablation and the
+  /// last rung of the Unknown-escalation ladder.
+  SolveResult checkSmtLib(const std::string& smtlib, SolveBudget budget = {});
+
+  /// Cooperative cancellation, callable from ANY thread (the only
+  /// thread-safe entry point of the backend). Cancels the in-flight query,
+  /// if one is running, via Z3_interrupt, and permanently cancels the
+  /// backend: every later query returns immediately with an Unknown result
+  /// whose `canceled` flag is set. One-way by design — an interrupted Z3
+  /// context is not reliably reusable, and the only caller (firstOnly
+  /// synthesis) discards the engine's remaining work anyway.
+  void interrupt();
+  /// True once interrupt() has been called.
+  [[nodiscard]] bool interrupted() const;
+
+  /// Installs the test-only fault-injection plan (see fault_plan.hpp).
+  /// Pass nullptr to clear. Faults are consumed by check / Session::check /
+  /// checkSmtLib in order, counted per scope.
+  void setFaultPlan(FaultPlanPtr plan);
+  /// Names the scope for subsequent checks' fault lookups (default "").
+  void setFaultScope(std::string scope);
 
  private:
   struct Impl;

@@ -21,6 +21,7 @@ const char* verdictName(Verdict verdict) {
     case Verdict::Unsatisfiable: return "UNSATISFIABLE";
     case Verdict::Verified: return "VERIFIED";
     case Verdict::Violated: return "VIOLATED";
+    case Verdict::WitnessMismatch: return "WITNESS-MISMATCH";
     case Verdict::Unknown: return "UNKNOWN";
   }
   return "?";
@@ -77,10 +78,11 @@ struct Analysis::Impl {
   std::set<std::string> connectedOutputs;
 
   Impl(Network net, AnalysisOptions opts)
-      : network(std::move(net)), options(opts) {
+      : network(std::move(net)), options(std::move(opts)) {
     if (options.horizon <= 0) {
       throw AnalysisError("analysis horizon must be positive");
     }
+    if (options.faultPlan) solver.setFaultPlan(options.faultPlan);
     compileAll();
     validateConnections();
   }
@@ -491,11 +493,20 @@ struct Analysis::Impl {
     return *encoding;
   }
 
+  /// The budget every query starts from (the retry ladder escalates it).
+  [[nodiscard]] backends::SolveBudget baseBudget() const {
+    backends::SolveBudget budget;
+    budget.timeoutMs = options.timeoutMs;
+    budget.rlimit = options.rlimit;
+    budget.maxMemoryMb = options.maxMemoryMb;
+    return budget;
+  }
+
   /// The persistent session carries the structural constraints; everything
   /// per-query (workload delta + query term) travels through queryDelta.
   backends::Z3Backend::Session& ensureSession(Encoding& enc) {
     if (!session) {
-      session = solver.openSession({}, options.timeoutMs);
+      session = solver.openSession({}, baseBudget());
       session->assertBase(enc.assumptions);
       session->assertBase(enc.soundness);
     }
@@ -553,10 +564,12 @@ struct Analysis::Impl {
                         bool forVerify) {
     AnalysisResult result;
     result.solveSeconds = sr.seconds;
+    result.canceled = sr.canceled;
     switch (sr.status) {
       case backends::SolveStatus::Sat:
         result.verdict = forVerify ? Verdict::Violated : Verdict::Satisfiable;
         result.trace = traceFromModel(enc, sr.model);
+        if (sr.corruptWitness) corruptTrace(*result.trace);
         if (!sr.overflowVars.empty()) {
           result.detail = "model values exceed int64 for: ";
           for (std::size_t i = 0; i < sr.overflowVars.size(); ++i) {
@@ -576,6 +589,187 @@ struct Analysis::Impl {
         break;
     }
     return result;
+  }
+
+  /// Fault-injection support (FaultAction::Kind::CorruptWitness): perturbs
+  /// one derived series value so the replay cross-check has a deterministic
+  /// divergence to find. Prefers a ".backlog" series (always present and
+  /// always replayed).
+  static void corruptTrace(Trace& trace) {
+    auto* target = static_cast<std::vector<std::int64_t>*>(nullptr);
+    for (auto& [name, values] : trace.series) {
+      if (values.empty()) continue;
+      if (target == nullptr) target = &values;
+      if (name.size() > 8 &&
+          name.compare(name.size() - 8, 8, ".backlog") == 0) {
+        target = &values;
+        break;
+      }
+    }
+    if (target != nullptr) target->back() += 1;
+  }
+
+  static void recordAttempt(std::vector<SolveAttempt>& attempts,
+                            const std::string& stage,
+                            const backends::SolveBudget& budget,
+                            const backends::SolveResult& sr) {
+    SolveAttempt attempt;
+    attempt.stage = stage;
+    switch (sr.status) {
+      case backends::SolveStatus::Sat: attempt.outcome = "sat"; break;
+      case backends::SolveStatus::Unsat: attempt.outcome = "unsat"; break;
+      case backends::SolveStatus::Unknown: attempt.outcome = "unknown"; break;
+    }
+    attempt.reason = sr.reason;
+    attempt.seconds = sr.seconds;
+    attempt.rlimitUsed = sr.rlimitUsed;
+    attempt.seed = budget.randomSeed;
+    attempt.timeoutMs = budget.timeoutMs;
+    attempts.push_back(attempt);
+  }
+
+  /// True when the ladder should try the next rung.
+  [[nodiscard]] bool retryable(const backends::SolveResult& sr) const {
+    return sr.status == backends::SolveStatus::Unknown && !sr.canceled &&
+           options.retry.enabled;
+  }
+
+  /// The solving entry point shared by check() and verify(): runs the
+  /// Unknown-retry ladder (initial -> reseed -> escalate -> smtlib), logs
+  /// every attempt, and cross-checks any witness trace against the
+  /// concrete interpreter.
+  AnalysisResult solveQuery(const Query& query, bool forVerify) {
+    Encoding& enc = ensureEncoding();
+    auto& session = ensureSession(enc);
+    const std::vector<ir::TermRef> delta = queryDelta(query, forVerify, enc);
+
+    std::vector<SolveAttempt> attempts;
+    backends::SolveBudget budget = baseBudget();
+    backends::SolveResult sr = session.check(delta, budget);
+    recordAttempt(attempts, "initial", budget, sr);
+
+    if (retryable(sr)) {
+      budget.randomSeed = options.retry.reseedSeed;
+      sr = session.check(delta, budget);
+      recordAttempt(attempts, "reseed", budget, sr);
+    }
+    if (retryable(sr) && (budget.timeoutMs || budget.rlimit)) {
+      const unsigned factor = std::max(1u, options.retry.escalateFactor);
+      if (budget.timeoutMs) budget.timeoutMs = *budget.timeoutMs * factor;
+      if (budget.rlimit) budget.rlimit = *budget.rlimit * factor;
+      sr = session.check(delta, budget);
+      recordAttempt(attempts, "escalate", budget, sr);
+    }
+    if (retryable(sr) && options.retry.smtlibFallback) {
+      // Last rung: a structurally different solve — render the standalone
+      // problem as SMT-LIB2 text and reparse it into a fresh one-shot
+      // solver, sidestepping the incremental session's accumulated state.
+      backends::SmtLibOptions sopts;
+      sopts.checkSat = false;  // the reparsing solver issues its own check
+      const std::string text =
+          backends::emitSmtLib(constraintsFor(query, forVerify, enc), sopts);
+      sr = solver.checkSmtLib(text, budget);
+      recordAttempt(attempts, "smtlib", budget, sr);
+    }
+
+    AnalysisResult result = finish(enc, sr, forVerify);
+    result.attempts = std::move(attempts);
+    result.solveSeconds = 0.0;
+    for (const auto& attempt : result.attempts) {
+      result.solveSeconds += attempt.seconds;
+    }
+    crossCheckWitness(result);
+    return result;
+  }
+
+  // -------------------------------------------------------------------
+  // Witness replay (DESIGN.md §8)
+  // -------------------------------------------------------------------
+
+  /// Reconstructs the external arrivals a solver trace describes, from the
+  /// `<buf>.arrived` counts and `<buf>.in<i>.<field>` packet series.
+  ConcreteArrivals arrivalsFromTrace(const Trace& trace) {
+    ConcreteArrivals arrivals;
+    for (const auto& ci : instances) {
+      for (const auto& unit : bufferUnits(ci)) {
+        if (unit.spec->role != BufferSpec::Role::Input) continue;
+        if (connectedInputs.count(unit.qualified) != 0) continue;
+        const auto arrived = trace.series.find(unit.qualified + ".arrived");
+        if (arrived == trace.series.end()) continue;
+        auto& steps = arrivals[unit.qualified];
+        for (int t = 0; t < trace.horizon; ++t) {
+          std::vector<ConcretePacket> packets;
+          const std::int64_t n =
+              arrived->second.at(static_cast<std::size_t>(t));
+          for (std::int64_t i = 0; i < n; ++i) {
+            ConcretePacket packet;
+            for (const auto& field : unit.spec->schema.fields) {
+              const std::string series = unit.qualified + ".in" +
+                                         std::to_string(i) + "." + field;
+              if (trace.has(series)) packet[field] = trace.at(series, t);
+            }
+            packets.push_back(std::move(packet));
+          }
+          steps.push_back(std::move(packets));
+        }
+      }
+    }
+    return arrivals;
+  }
+
+  /// Replays the witness trace's arrivals through the concrete evaluator
+  /// (the same one the symbolic pipeline uses — see backends/interp) and
+  /// compares every shared series. A divergence means the solver model and
+  /// the executable semantics disagree — the witness must not be trusted,
+  /// so the verdict becomes WitnessMismatch. Networks the interpreter
+  /// cannot replay deterministically (contracts, havoced initial state,
+  /// nondeterministic buffer models) are skipped, leaving
+  /// `witnessChecked == false`.
+  void crossCheckWitness(AnalysisResult& result) {
+    if (!options.replayWitness || !result.trace) return;
+    if (result.verdict != Verdict::Satisfiable &&
+        result.verdict != Verdict::Violated) {
+      return;
+    }
+    if (options.symbolicInitialState) return;
+    if (!network.contracts().empty()) return;
+
+    const Trace& witness = *result.trace;
+    std::unique_ptr<Encoding> replayed;
+    try {
+      const ConcreteArrivals arrivals = arrivalsFromTrace(witness);
+      replayed = buildEncoding(&arrivals);
+    } catch (const Error&) {
+      return;  // not concretely replayable — cannot cross-check
+    }
+
+    std::vector<std::string> mismatches;
+    for (const auto& [name, terms] : replayed->series) {
+      const auto it = witness.series.find(name);
+      if (it == witness.series.end()) continue;
+      for (std::size_t t = 0; t < terms.size(); ++t) {
+        const auto concrete = ir::constValue(terms[t]);
+        if (!concrete) return;  // nondeterministic model — cannot cross-check
+        if (t < it->second.size() && *concrete != it->second[t]) {
+          mismatches.push_back(name + "[" + std::to_string(t) +
+                               "]: model=" + std::to_string(it->second[t]) +
+                               " replay=" + std::to_string(*concrete));
+        }
+      }
+    }
+    result.witnessChecked = true;
+    if (!mismatches.empty()) {
+      result.verdict = Verdict::WitnessMismatch;
+      std::string detail = "witness replay diverged on " +
+                           std::to_string(mismatches.size()) + " value(s): ";
+      const std::size_t shown = std::min<std::size_t>(mismatches.size(), 3);
+      for (std::size_t i = 0; i < shown; ++i) {
+        if (i > 0) detail += "; ";
+        detail += mismatches[i];
+      }
+      if (mismatches.size() > shown) detail += "; ...";
+      result.detail = detail;
+    }
   }
 };
 
@@ -600,21 +794,23 @@ void Analysis::rebindWorkload(Workload workload) {
 }
 
 AnalysisResult Analysis::check(const Query& query) {
-  Encoding& enc = impl_->ensureEncoding();
-  auto& session = impl_->ensureSession(enc);
-  return impl_->finish(enc, session.check(impl_->queryDelta(query, false, enc)),
-                       false);
+  return impl_->solveQuery(query, false);
 }
 
 AnalysisResult Analysis::verify(const Query& query) {
-  Encoding& enc = impl_->ensureEncoding();
-  auto& session = impl_->ensureSession(enc);
-  return impl_->finish(enc, session.check(impl_->queryDelta(query, true, enc)),
-                       true);
+  return impl_->solveQuery(query, true);
 }
 
 std::size_t Analysis::incrementalQueries() const {
   return impl_->session ? impl_->session->queryCount() : 0;
+}
+
+void Analysis::interrupt() { impl_->solver.interrupt(); }
+
+bool Analysis::interrupted() const { return impl_->solver.interrupted(); }
+
+void Analysis::setFaultScope(const std::string& scope) {
+  impl_->solver.setFaultScope(scope);
 }
 
 std::string Analysis::toSmtLib(const Query& query, bool forVerify,
@@ -630,8 +826,8 @@ AnalysisResult Analysis::checkViaSmtLib(const Query& query) {
   backends::SmtLibOptions opts;
   opts.checkSat = false;  // the reparsing solver issues its own check
   const std::string text = backends::emitSmtLib(cs, opts);
-  return impl_->finish(
-      enc, impl_->solver.checkSmtLib(text, impl_->options.timeoutMs), false);
+  return impl_->finish(enc, impl_->solver.checkSmtLib(text, impl_->baseBudget()),
+                       false);
 }
 
 Trace Analysis::simulate(const ConcreteArrivals& arrivals) {

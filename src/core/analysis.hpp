@@ -27,6 +27,25 @@
 
 namespace buffy::core {
 
+/// What the engine does when the solver returns Unknown (DESIGN.md §8).
+/// The ladder runs at most four attempts per query:
+///   initial -> reseed (fresh random seed) -> escalate (scaled budget)
+///           -> smtlib (emit + reparse through a fresh one-shot solver).
+/// Cancelled queries (Analysis::interrupt) are never retried.
+struct RetryPolicy {
+  bool enabled = true;
+  /// Random seed for the reseed attempt (Z3's default seed is 0).
+  unsigned reseedSeed = 17;
+  /// Timeout/rlimit multiplier for the escalate attempt. The escalate rung
+  /// is skipped when the budget has neither a timeout nor an rlimit (there
+  /// is nothing to escalate).
+  unsigned escalateFactor = 4;
+  /// Final rung: re-render the whole problem as SMT-LIB2 and solve the
+  /// reparse through a fresh solver — a different preprocessing pipeline
+  /// that sidesteps incremental-session state entirely.
+  bool smtlibFallback = true;
+};
+
 struct AnalysisOptions {
   /// Number of modeled time steps (T).
   int horizon = 4;
@@ -34,6 +53,22 @@ struct AnalysisOptions {
   buffers::ModelKind model = buffers::ModelKind::List;
   /// Solver timeout; nullopt disables it.
   std::optional<unsigned> timeoutMs = 120000;
+  /// Z3 resource limit per query (deterministic work counter); nullopt
+  /// disables it.
+  std::optional<unsigned> rlimit;
+  /// Solver memory cap in megabytes; nullopt disables it.
+  std::optional<unsigned> maxMemoryMb;
+  /// Unknown-verdict retry/escalation ladder (DESIGN.md §8).
+  RetryPolicy retry;
+  /// Cross-check every witness/counterexample trace by replaying its
+  /// arrivals through the concrete interpreter; a divergence yields
+  /// Verdict::WitnessMismatch instead of a bogus Satisfiable/Violated.
+  /// Skipped silently for networks the interpreter cannot replay
+  /// (contracts, havoced state, nondeterministic models).
+  bool replayWitness = true;
+  /// Test-only deterministic fault injection (DESIGN.md §8); shared by all
+  /// engines compiled from the same options. Production leaves it null.
+  backends::FaultPlanPtr faultPlan;
   /// Also run the explicit loop unroller (§4) during compilation. The
   /// evaluator iterates constant-bounded loops directly either way, so
   /// this is semantically a no-op — it exists to exercise/compare the
@@ -76,23 +111,58 @@ class Encoding {
 };
 
 enum class Verdict {
-  Satisfiable,    // check(): witness trace found
-  Unsatisfiable,  // check(): no trace satisfies the query
-  Verified,       // verify(): property holds on all traces
-  Violated,       // verify(): counterexample found
-  Unknown,        // solver gave up (timeout etc.)
+  Satisfiable,      // check(): witness trace found
+  Unsatisfiable,    // check(): no trace satisfies the query
+  Verified,         // verify(): property holds on all traces
+  Violated,         // verify(): counterexample found
+  WitnessMismatch,  // solver produced a model, but its trace diverged from
+                    // the concrete-interpreter replay — the result is NOT
+                    // trustworthy (solver or encoding bug)
+  Unknown,          // solver gave up (timeout etc.)
 };
 
 const char* verdictName(Verdict verdict);
 
+/// One rung of the Unknown-retry ladder, recorded for diagnosis: what was
+/// tried, with which budget, and how it ended.
+struct SolveAttempt {
+  /// "initial", "reseed", "escalate", or "smtlib".
+  std::string stage;
+  /// "sat", "unsat", or "unknown".
+  std::string outcome;
+  /// Solver's reason when the outcome was "unknown".
+  std::string reason;
+  double seconds = 0.0;
+  /// Z3 resource units consumed by this attempt (best-effort).
+  std::uint64_t rlimitUsed = 0;
+  /// Random seed the attempt ran with, if pinned.
+  std::optional<unsigned> seed;
+  /// Wall-clock budget the attempt ran with, if any.
+  std::optional<unsigned> timeoutMs;
+};
+
 struct AnalysisResult {
   Verdict verdict = Verdict::Unknown;
   std::optional<Trace> trace;
+  /// Total solver seconds across all attempts.
   double solveSeconds = 0.0;
   std::string detail;
+  /// The retry/escalation log: one entry per solver attempt, in order.
+  /// Single-attempt queries have exactly one entry.
+  std::vector<SolveAttempt> attempts;
+  /// True when the query was cancelled (Analysis::interrupt) rather than
+  /// answered; verdict is Unknown in that case.
+  bool canceled = false;
+  /// True when the trace was successfully cross-checked against the
+  /// concrete interpreter (witness replay). False when replay does not
+  /// apply (no trace, or the network is not concretely replayable).
+  bool witnessChecked = false;
 
   [[nodiscard]] bool sat() const { return verdict == Verdict::Satisfiable; }
   [[nodiscard]] bool holds() const { return verdict == Verdict::Verified; }
+  [[nodiscard]] bool inconclusive() const {
+    return verdict == Verdict::Unknown;
+  }
 };
 
 /// Concrete traffic for simulation: qualified buffer name ->
@@ -130,6 +200,21 @@ class Analysis {
   /// Number of queries answered by the persistent incremental solver
   /// session (0 until the first check/verify).
   [[nodiscard]] std::size_t incrementalQueries() const;
+
+  /// Cooperative cancellation, callable from ANY thread (the engine's only
+  /// thread-safe entry point). Cancels the in-flight solver query and
+  /// permanently cancels the engine: every later check/verify returns an
+  /// Unknown result with `canceled` set, without touching the solver.
+  /// Used by firstOnly synthesis to stop workers holding doomed candidates.
+  void interrupt();
+  /// True once interrupt() has been called.
+  [[nodiscard]] bool interrupted() const;
+
+  /// Names the fault-injection scope for subsequent queries (test-only;
+  /// no-op unless AnalysisOptions::faultPlan is set). The synthesizer
+  /// scopes each candidate by its enumeration index so injected faults hit
+  /// deterministically under any thread count.
+  void setFaultScope(const std::string& scope);
 
   /// The §4 SMT-LIB path: renders the (check or verify) problem as an
   /// SMT-LIB2 script.

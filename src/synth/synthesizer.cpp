@@ -4,7 +4,6 @@
 #include <chrono>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -64,13 +63,47 @@ core::WorkloadRule patternRule(Pattern pattern, const std::string& buffer) {
   throw AnalysisError("unknown pattern");
 }
 
-std::string Candidate::describe() const {
+namespace {
+
+std::string describeAssignment(const std::map<std::string, Pattern>& a) {
   std::string out;
-  for (const auto& [buffer, pattern] : assignment) {
+  for (const auto& [buffer, pattern] : a) {
     if (!out.empty()) out += ", ";
     out += buffer + ":" + patternName(pattern);
   }
   return out;
+}
+
+}  // namespace
+
+std::string Candidate::describe() const {
+  return describeAssignment(assignment);
+}
+
+const char* failureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::Unknown: return "unknown";
+    case FailureKind::Exception: return "exception";
+    case FailureKind::WitnessMismatch: return "witness-mismatch";
+    case FailureKind::Canceled: return "canceled";
+  }
+  return "?";
+}
+
+std::string CandidateFailure::describe() const {
+  std::string out = "#" + std::to_string(index) + " [" +
+                    describeAssignment(assignment) + "] " +
+                    failureKindName(kind) + " in " + stage;
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+std::string SynthesisResult::summary() const {
+  return std::to_string(solutions.size()) + " solution(s); " +
+         std::to_string(solvedCount) + " solved, " +
+         std::to_string(unknownCount) + " unknown, " +
+         std::to_string(failedCount) + " failed of " +
+         std::to_string(candidatesChecked) + " checked";
 }
 
 namespace {
@@ -133,8 +166,11 @@ SynthesisResult Synthesizer::run(const core::Query& query,
   const auto start = std::chrono::steady_clock::now();
 
   // One result slot per candidate: deterministic ordering falls out of the
-  // index space, however the workers interleave.
+  // index space, however the workers interleave. Each candidate lands in
+  // exactly one of `slots` (conclusive verdict) or `failSlots`
+  // (inconclusive / broken — per-candidate fault isolation).
   std::vector<std::optional<Candidate>> slots(total);
+  std::vector<std::optional<CandidateFailure>> failSlots(total);
   std::atomic<std::size_t> next{0};
   constexpr std::size_t kNoSolution = std::numeric_limits<std::size_t>::max();
   /// Lowest candidate index known to be a solution (firstOnly
@@ -142,97 +178,170 @@ SynthesisResult Synthesizer::run(const core::Query& query,
   std::atomic<std::size_t> firstSolution{kNoSolution};
   std::atomic<int> checked{0};
 
-  auto evaluate = [&](core::Analysis* engine, std::size_t idx) {
-    Candidate candidate;
-    candidate.assignment = assignments[idx];
-    const auto candidateStart = std::chrono::steady_clock::now();
+  const std::size_t workers = std::min(
+      static_cast<std::size_t>(std::max(1, opts.threads)), total);
+  /// Published engine pointer + in-flight candidate index per worker, for
+  /// firstOnly cancellation: when a solution lands at index s, every engine
+  /// currently solving a candidate > s is interrupted (per-worker indices
+  /// are monotonic, so anything it touches from then on is > s too — all
+  /// past the report cutoff, keeping the run deterministic).
+  std::vector<std::atomic<core::Analysis*>> engines(workers);
+  std::vector<std::atomic<std::size_t>> current(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    engines[w].store(nullptr);
+    current[w].store(kNoSolution);
+  }
 
-    // The fresh path rebuilds the entire pipeline per candidate; the
-    // incremental path re-binds the workload delta onto the worker's
-    // already-built encoding and queries its persistent session.
-    std::unique_ptr<core::Analysis> fresh;
-    if (!opts.incremental) {
-      fresh = std::make_unique<core::Analysis>(network_, options_);
-      fresh->setWorkload(workloadFor(candidate.assignment));
-      engine = fresh.get();
-    } else {
-      engine->rebindWorkload(workloadFor(candidate.assignment));
+  auto noteSolution = [&](std::size_t idx) {
+    std::size_t cur = firstSolution.load();
+    while (idx < cur && !firstSolution.compare_exchange_weak(cur, idx)) {
     }
-
-    candidate.existsSat = engine->check(query).sat();
-    if (candidate.existsSat && opts.requireUniversal) {
-      candidate.forallHolds = engine->verify(query).holds();
-    } else if (candidate.existsSat) {
-      candidate.forallHolds = true;
+    // Stop workers burning time on candidates that can no longer win.
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (current[w].load() <= idx) continue;
+      if (core::Analysis* engine = engines[w].load()) engine->interrupt();
     }
-    candidate.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      candidateStart)
-            .count();
-    return candidate;
   };
 
-  auto workerLoop = [&](core::Analysis* engine) {
+  auto evaluate = [&](core::Analysis* engine, std::size_t idx) {
+    const auto candidateStart = std::chrono::steady_clock::now();
+    const char* stage = "setup";
+    auto fail = [&](FailureKind kind, std::string detail) {
+      CandidateFailure failure;
+      failure.index = idx;
+      failure.assignment = assignments[idx];
+      failure.kind = kind;
+      failure.stage = stage;
+      failure.detail = std::move(detail);
+      failSlots[idx] = std::move(failure);
+    };
+    auto failFrom = [&](const core::AnalysisResult& r) {
+      if (r.verdict == core::Verdict::WitnessMismatch) {
+        fail(FailureKind::WitnessMismatch, r.detail);
+      } else if (r.canceled) {
+        fail(FailureKind::Canceled, "interrupted");
+      } else {
+        fail(FailureKind::Unknown,
+             r.detail.empty() ? "solver returned unknown" : r.detail);
+      }
+    };
+
+    try {
+      Candidate candidate;
+      candidate.assignment = assignments[idx];
+
+      // The fresh path rebuilds the entire pipeline per candidate; the
+      // incremental path re-binds the workload delta onto the worker's
+      // already-built encoding and queries its persistent session.
+      std::unique_ptr<core::Analysis> fresh;
+      if (!opts.incremental) {
+        fresh = std::make_unique<core::Analysis>(network_, options_);
+        fresh->setWorkload(workloadFor(candidate.assignment));
+        engine = fresh.get();
+      } else {
+        engine->rebindWorkload(workloadFor(candidate.assignment));
+      }
+      // Injected faults are keyed by candidate index, not by worker or
+      // global check order — determinism under any thread count.
+      engine->setFaultScope("cand" + std::to_string(idx));
+
+      stage = "exists";
+      const core::AnalysisResult exists = engine->check(query);
+      if (exists.verdict == core::Verdict::WitnessMismatch ||
+          exists.inconclusive()) {
+        failFrom(exists);
+        return;
+      }
+      candidate.existsSat = exists.sat();
+
+      if (candidate.existsSat && opts.requireUniversal) {
+        stage = "forall";
+        const core::AnalysisResult forall = engine->verify(query);
+        if (forall.verdict == core::Verdict::WitnessMismatch ||
+            forall.inconclusive()) {
+          failFrom(forall);
+          return;
+        }
+        candidate.forallHolds = forall.holds();
+      } else if (candidate.existsSat) {
+        candidate.forallHolds = true;
+      }
+
+      candidate.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        candidateStart)
+              .count();
+      const bool solution = candidate.existsSat && candidate.forallHolds;
+      slots[idx] = std::move(candidate);
+      if (solution && opts.firstOnly) noteSolution(idx);
+    } catch (const std::exception& e) {
+      fail(FailureKind::Exception, e.what());
+    }
+  };
+
+  auto workerLoop = [&](std::size_t w, core::Analysis* engine) {
+    engines[w].store(engine);
     while (true) {
       const std::size_t idx = next.fetch_add(1);
       if (idx >= total) break;
       // A candidate past an already-found solution cannot be the first.
       if (opts.firstOnly && idx > firstSolution.load()) continue;
-      Candidate candidate = evaluate(engine, idx);
+      current[w].store(idx);
+      evaluate(engine, idx);
       checked.fetch_add(1);
-      const bool solution = candidate.existsSat && candidate.forallHolds;
-      slots[idx] = std::move(candidate);
-      if (solution && opts.firstOnly) {
-        std::size_t cur = firstSolution.load();
-        while (idx < cur &&
-               !firstSolution.compare_exchange_weak(cur, idx)) {
-        }
-      }
     }
+    current[w].store(kNoSolution);
+    engines[w].store(nullptr);
   };
 
-  const std::size_t workers = std::min(
-      static_cast<std::size_t>(std::max(1, opts.threads)), total);
   if (workers <= 1) {
-    workerLoop(engine0.get());
+    workerLoop(0, engine0.get());
   } else {
-    std::mutex errorMutex;
-    std::exception_ptr firstError;
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
-        try {
-          // Worker 0 inherits the probe engine; the rest compile their
-          // own (each Analysis owns its own Z3 context — contexts must
-          // not be shared across threads).
-          std::unique_ptr<core::Analysis> own;
-          core::Analysis* engine = engine0.get();
-          if (w != 0) {
+        // Worker 0 inherits the probe engine; the rest compile their own
+        // (each Analysis owns its own Z3 context — contexts must not be
+        // shared across threads). A failure to build the engine is
+        // isolated too: this worker records nothing and retires, the
+        // others keep draining the queue.
+        std::unique_ptr<core::Analysis> own;
+        core::Analysis* engine = engine0.get();
+        if (w != 0) {
+          try {
             own = std::make_unique<core::Analysis>(network_, options_);
-            engine = own.get();
+          } catch (const std::exception&) {
+            return;
           }
-          workerLoop(engine);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(errorMutex);
-          if (!firstError) firstError = std::current_exception();
-          // Drain the queue so the other workers stop promptly.
-          next.store(total);
+          engine = own.get();
         }
+        workerLoop(w, engine);
       });
     }
     for (auto& t : pool) t.join();
-    if (firstError) std::rethrow_exception(firstError);
   }
 
   result.candidatesChecked = checked.load();
   const std::size_t cutoff =
       opts.firstOnly ? firstSolution.load() : kNoSolution;
   for (std::size_t i = 0; i < total && i <= cutoff; ++i) {
-    if (!slots[i]) continue;
-    if (slots[i]->existsSat && slots[i]->forallHolds) {
-      result.solutions.push_back(std::move(*slots[i]));
-      if (opts.firstOnly) break;
+    if (slots[i]) {
+      ++result.solvedCount;
+      if (slots[i]->existsSat && slots[i]->forallHolds) {
+        result.solutions.push_back(std::move(*slots[i]));
+        if (opts.firstOnly) break;
+      }
+    } else if (failSlots[i] &&
+               failSlots[i]->kind != FailureKind::Canceled) {
+      // Canceled candidates are an artifact of firstOnly cancellation (they
+      // lie past the cutoff by construction) — never part of the report.
+      if (failSlots[i]->kind == FailureKind::Unknown) {
+        ++result.unknownCount;
+      } else {
+        ++result.failedCount;
+      }
+      result.failures.push_back(std::move(*failSlots[i]));
     }
   }
 

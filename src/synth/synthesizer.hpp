@@ -70,10 +70,50 @@ struct Candidate {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Why a candidate could not be conclusively evaluated (DESIGN.md §8).
+enum class FailureKind {
+  Unknown,          // solver returned Unknown after the full retry ladder —
+                    // the candidate is INCONCLUSIVE, not rejected
+  Exception,        // the worker threw while evaluating (solver crash, ...)
+  WitnessMismatch,  // a solver model diverged from the concrete replay
+  Canceled,         // query interrupted by firstOnly cancellation (never
+                    // reported: canceled candidates lie past the cutoff)
+};
+
+const char* failureKindName(FailureKind kind);
+
+/// Per-candidate fault-isolation record: a worker hitting a solver crash or
+/// an Unknown verdict no longer aborts the whole run — the candidate is
+/// recorded here and the search continues. Records are keyed by the
+/// candidate's enumeration index, so the failure report is identical under
+/// any thread count.
+struct CandidateFailure {
+  std::size_t index = 0;
+  std::map<std::string, Pattern> assignment;
+  FailureKind kind = FailureKind::Unknown;
+  /// Which evaluation phase failed: "exists", "forall", or "setup".
+  std::string stage;
+  std::string detail;
+
+  [[nodiscard]] std::string describe() const;
+};
+
 struct SynthesisResult {
   std::vector<Candidate> solutions;
+  /// Candidates that could not be conclusively evaluated, in enumeration
+  /// order. Unknown entries are inconclusive — NOT "not a solution".
+  std::vector<CandidateFailure> failures;
   int candidatesChecked = 0;
+  /// Conclusively evaluated candidates (solutions included).
+  int solvedCount = 0;
+  /// Inconclusive candidates (FailureKind::Unknown).
+  int unknownCount = 0;
+  /// Broken candidates (FailureKind::Exception / WitnessMismatch).
+  int failedCount = 0;
   double totalSeconds = 0.0;
+
+  /// One-line run report: solutions / solved / unknown / failed counts.
+  [[nodiscard]] std::string summary() const;
 };
 
 class Synthesizer {

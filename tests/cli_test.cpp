@@ -143,17 +143,105 @@ TEST(Cli, CsvFormat) {
 }
 
 TEST(Cli, BadUsageErrors) {
-  EXPECT_EQ(runCli("").exitCode, 64);
-  EXPECT_EQ(runCli("check").exitCode, 64);
-  EXPECT_EQ(runCli("frobnicate " + model("round_robin.bfy")).exitCode, 64);
+  EXPECT_EQ(runCli("").exitCode, 2);
+  EXPECT_EQ(runCli("check").exitCode, 2);
+  EXPECT_EQ(runCli("frobnicate " + model("round_robin.bfy")).exitCode, 2);
   EXPECT_EQ(runCli("check --query \"x[0] > 0\" /nonexistent.bfy").exitCode,
-            64);
-  // Semantic failure (missing constant binding) is a normal error (1).
+            2);
+  // Semantic failure (missing constant binding) is an input error too.
   const auto result =
       runCli("check --instance rr --input ibs --output ob --query "
              "\"rr.cdeq.0[0] >= 0\" " +
              model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+}
+
+// --- Resilience exit paths (DESIGN.md §8), driven via the hidden
+// --- --inject-fault test seam.
+
+namespace resilience {
+
+const char* kCheckArgs =
+    "check -T 4 -D N=2 --instance rr --input ibs:4:2 --output ob:16 "
+    "--workload rr.ibs.0:1:1 --workload rr.ibs.1:0:1 "
+    "--query \"rr.cdeq.0[T-1] >= 1\" ";
+
+}  // namespace resilience
+
+TEST(Cli, ExitCodeUnknownAfterLadderExhaustion) {
+  // Force every rung of the retry ladder (initial, reseed, escalate is
+  // skipped without an rlimit/timeout... so pin an rlimit to enable it,
+  // then kill all four attempts).
+  const auto result = runCli(
+      std::string(resilience::kCheckArgs) + "--rlimit 100000000 " +
+      "--inject-fault 0:unknown --inject-fault 1:unknown "
+      "--inject-fault 2:unknown --inject-fault 3:unknown " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 3) << result.output;
+  EXPECT_NE(result.output.find("UNKNOWN"), std::string::npos) << result.output;
+  // The attempt log names every rung.
+  EXPECT_NE(result.output.find("initial"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("reseed"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("escalate"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("smtlib"), std::string::npos) << result.output;
+}
+
+TEST(Cli, RetryLadderRecoversFromTransientUnknown) {
+  // Only the initial attempt fails; the reseed rung answers.
+  const auto result =
+      runCli(std::string(resilience::kCheckArgs) + "--inject-fault 0:unknown " +
+             model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("SATISFIABLE"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("reseed"), std::string::npos) << result.output;
+}
+
+TEST(Cli, ExitCodeInternalOnSolverCrash) {
+  const auto result =
+      runCli(std::string(resilience::kCheckArgs) +
+             "--inject-fault 0:throw:solver-crash " + model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 4) << result.output;
+  EXPECT_NE(result.output.find("solver-crash"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, ExitCodeViolationOnWitnessMismatch) {
+  const auto result = runCli(std::string(resilience::kCheckArgs) +
+                             "--inject-fault 0:corrupt-witness " +
+                             model("round_robin.bfy"));
   EXPECT_EQ(result.exitCode, 1) << result.output;
+  EXPECT_NE(result.output.find("WITNESS-MISMATCH"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, JsonFormatCarriesVerdictAndAttempts) {
+  const auto result =
+      runCli(std::string(resilience::kCheckArgs) +
+             "--format json --inject-fault 0:unknown:flaky " +
+             model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("\"verdict\":\"SATISFIABLE\""),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"exitCode\":0"), std::string::npos);
+  EXPECT_NE(result.output.find("\"stage\":\"reseed\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"reason\":\"flaky\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"witnessChecked\":true"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"trace\":{"), std::string::npos);
+}
+
+TEST(Cli, JsonFormatOnUnknown) {
+  const auto result = runCli(
+      std::string(resilience::kCheckArgs) + "--format json --no-retry " +
+      "--inject-fault 0:unknown:gave-up " + model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 3) << result.output;
+  EXPECT_NE(result.output.find("\"verdict\":\"UNKNOWN\""), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"exitCode\":3"), std::string::npos);
+  EXPECT_NE(result.output.find("\"detail\":\"gave-up\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// Witness-replay cross-check on the example models (DESIGN.md §8): every
+// SAT/Violated trace the solver produces must replay identically through
+// the concrete interpreter. These mirror the quickstart, fq_starvation and
+// drr_shaping example setups. Runs under ctest label `resilience`.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "helpers.hpp"
+
+namespace buffy {
+namespace {
+
+using buffy::testing::schedulerNet;
+using buffy::testing::starvationWorkload;
+
+core::Network drrNet() {
+  core::ProgramSpec spec;
+  spec.instance = "drr";
+  spec.source = models::kDeficitRoundRobin;
+  spec.compile.constants["N"] = 2;
+  spec.compile.constants["QUANTUM"] = 3;
+  spec.buffers = {
+      {.param = "ibs",
+       .role = core::BufferSpec::Role::Input,
+       .capacity = 8,
+       .schema = {{"bytes"}},
+       .maxArrivalsPerStep = 4,
+       .maxPacketBytes = 4},
+      {.param = "ob",
+       .role = core::BufferSpec::Role::Output,
+       .capacity = 32,
+       .schema = {{"bytes"}}},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+TEST(WitnessReplayExamples, QuickstartRoundRobinHog) {
+  // The quickstart's check: can queue 0 win more than its share?
+  core::AnalysisOptions opts;
+  opts.horizon = 6;
+  core::Analysis analysis(schedulerNet(models::kRoundRobin, "rr", 2, 4, 2),
+                          opts);
+  const auto hog = analysis.check(core::Query::expr("rr.cdeq.0[T-1] >= T-1"));
+  ASSERT_EQ(hog.verdict, core::Verdict::Satisfiable);
+  ASSERT_TRUE(hog.trace.has_value());
+  EXPECT_TRUE(hog.witnessChecked) << "SAT witness was not replayed";
+}
+
+TEST(WitnessReplayExamples, QuickstartRoundRobinFairnessCounterexample) {
+  // The verify direction: weaken the quickstart's fairness bound until it
+  // breaks, so verify() produces a counterexample trace — which must
+  // replay too.
+  core::AnalysisOptions opts;
+  opts.horizon = 6;
+  core::Analysis analysis(schedulerNet(models::kRoundRobin, "rr", 2, 4, 2),
+                          opts);
+  core::Workload both;
+  both.add(core::Workload::perStepCount("rr.ibs.0", 1, 2))
+      .add(core::Workload::perStepCount("rr.ibs.1", 1, 2));
+  analysis.setWorkload(both);
+  const auto broken =
+      analysis.verify(core::Query::expr("rr.cdeq.0[T-1] <= 1"));
+  ASSERT_EQ(broken.verdict, core::Verdict::Violated);
+  ASSERT_TRUE(broken.trace.has_value());
+  EXPECT_TRUE(broken.witnessChecked) << "counterexample was not replayed";
+}
+
+TEST(WitnessReplayExamples, FqStarvation) {
+  // The §2.1/§6.1 flagship: the buggy FQ scheduler starves queue 1 under
+  // the RFC 8290 pacing workload.
+  const int horizon = 6;
+  core::AnalysisOptions opts;
+  opts.horizon = horizon;
+  core::Analysis analysis(schedulerNet(models::kFairQueueBuggy, "fq", 2),
+                          opts);
+  analysis.setWorkload(starvationWorkload("fq", horizon));
+  const auto starved = analysis.check(
+      core::Query::expr("fq.cdeq.0[T-1] >= T-1 & fq.cdeq.1[T-1] <= 1"));
+  ASSERT_EQ(starved.verdict, core::Verdict::Satisfiable);
+  ASSERT_TRUE(starved.trace.has_value());
+  EXPECT_TRUE(starved.witnessChecked) << "starvation witness was not replayed";
+}
+
+TEST(WitnessReplayExamples, DrrByteShares) {
+  // The drr_shaping setup: packet schemas in play, so the replay must
+  // reconstruct per-packet field values (bytes) from the trace.
+  core::AnalysisOptions opts;
+  opts.horizon = 5;
+  core::Analysis analysis(drrNet(), opts);
+  core::Workload loaded;
+  loaded.add(core::Workload::perStepCount("drr.ibs.0", 2, 2));
+  loaded.add(core::Workload::perStepCount("drr.ibs.1", 2, 2));
+  analysis.setWorkload(loaded);
+  const auto served =
+      analysis.check(core::Query::expr("drr.bdeq.0[T-1] >= 1"));
+  ASSERT_EQ(served.verdict, core::Verdict::Satisfiable);
+  ASSERT_TRUE(served.trace.has_value());
+  EXPECT_TRUE(served.witnessChecked) << "DRR witness was not replayed";
+}
+
+TEST(WitnessReplayExamples, UnsatisfiableResultsAreNotReplayed) {
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  core::Analysis analysis(schedulerNet(models::kRoundRobin, "rr", 2, 4, 2),
+                          opts);
+  core::Workload none;
+  none.add(core::Workload::perStepCount("rr.ibs.0", 0, 0));
+  none.add(core::Workload::perStepCount("rr.ibs.1", 0, 0));
+  analysis.setWorkload(none);
+  const auto result =
+      analysis.check(core::Query::expr("rr.cdeq.0[T-1] >= 1"));
+  EXPECT_EQ(result.verdict, core::Verdict::Unsatisfiable);
+  EXPECT_FALSE(result.witnessChecked);
+}
+
+TEST(WitnessReplayExamples, HavocedInitialStateSkipsReplay) {
+  // Havoced initial queue contents are not concretely replayable — the
+  // cross-check must bail silently, not reject the witness.
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  opts.symbolicInitialState = true;
+  core::Analysis analysis(schedulerNet(models::kRoundRobin, "rr", 2, 4, 2),
+                          opts);
+  const auto result =
+      analysis.check(core::Query::expr("rr.cdeq.0[T-1] >= 1"));
+  ASSERT_EQ(result.verdict, core::Verdict::Satisfiable);
+  EXPECT_FALSE(result.witnessChecked);
+}
+
+}  // namespace
+}  // namespace buffy

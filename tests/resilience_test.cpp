@@ -1,0 +1,337 @@
+// The solver-resilience layer (DESIGN.md §8): Unknown retry/escalation
+// ladder, cooperative cancellation, per-candidate fault isolation in the
+// synthesizer, and the deterministic fault-injection seam that drives all
+// of it. Everything here runs under ctest label `resilience`.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backends/fault_plan.hpp"
+#include "core/analysis.hpp"
+#include "helpers.hpp"
+#include "support/error.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace buffy {
+namespace {
+
+using buffy::testing::schedulerNet;
+
+core::Query satQuery() { return core::Query::expr("rr.cdeq.0[T-1] >= 1"); }
+
+core::AnalysisOptions baseOptions() {
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  return opts;
+}
+
+core::Workload steadyWorkload() {
+  core::Workload w;
+  w.add(core::Workload::perStepCount("rr.ibs.0", 1, 1));
+  w.add(core::Workload::perStepCount("rr.ibs.1", 0, 1));
+  return w;
+}
+
+std::unique_ptr<core::Analysis> makeEngine(core::AnalysisOptions opts) {
+  auto engine = std::make_unique<core::Analysis>(
+      schedulerNet(models::kRoundRobin, "rr", 2, 4, 2), opts);
+  engine->setWorkload(steadyWorkload());
+  return engine;
+}
+
+// ---------------------------------------------------------------------
+// Retry / escalation ladder
+// ---------------------------------------------------------------------
+
+TEST(RetryLadder, SingleAttemptWhenSolverAnswers) {
+  const auto result = makeEngine(baseOptions())->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Satisfiable);
+  ASSERT_EQ(result.attempts.size(), 1u);
+  EXPECT_EQ(result.attempts[0].stage, "initial");
+  EXPECT_EQ(result.attempts[0].outcome, "sat");
+  EXPECT_FALSE(result.canceled);
+}
+
+TEST(RetryLadder, ReseedRungRecoversFromTransientUnknown) {
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->forceUnknown("", 0, "transient");
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  const auto result = makeEngine(opts)->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Satisfiable);
+  ASSERT_EQ(result.attempts.size(), 2u);
+  EXPECT_EQ(result.attempts[0].stage, "initial");
+  EXPECT_EQ(result.attempts[0].outcome, "unknown");
+  EXPECT_EQ(result.attempts[0].reason, "transient");
+  EXPECT_EQ(result.attempts[1].stage, "reseed");
+  EXPECT_EQ(result.attempts[1].outcome, "sat");
+  ASSERT_TRUE(result.attempts[1].seed.has_value());
+  EXPECT_EQ(*result.attempts[1].seed, 17u);
+}
+
+TEST(RetryLadder, SmtlibRungIsTheLastResort) {
+  // Kill initial, reseed, and escalate; the emit+reparse rung answers.
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->forceUnknown("", 0).forceUnknown("", 1).forceUnknown("", 2);
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  opts.rlimit = 100000000;  // enables the escalate rung
+  const auto result = makeEngine(opts)->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Satisfiable);
+  ASSERT_EQ(result.attempts.size(), 4u);
+  EXPECT_EQ(result.attempts[0].stage, "initial");
+  EXPECT_EQ(result.attempts[1].stage, "reseed");
+  EXPECT_EQ(result.attempts[2].stage, "escalate");
+  EXPECT_EQ(result.attempts[3].stage, "smtlib");
+  EXPECT_EQ(result.attempts[3].outcome, "sat");
+  // The escalate rung scaled the budget (default factor 4).
+  ASSERT_TRUE(result.attempts[2].timeoutMs.has_value());
+  EXPECT_EQ(*result.attempts[2].timeoutMs, *result.attempts[0].timeoutMs * 4);
+}
+
+TEST(RetryLadder, ExhaustionYieldsUnknown) {
+  auto plan = std::make_shared<backends::FaultPlan>();
+  for (std::size_t i = 0; i < 4; ++i) plan->forceUnknown("", i, "hopeless");
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  opts.rlimit = 100000000;
+  const auto result = makeEngine(opts)->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Unknown);
+  EXPECT_TRUE(result.inconclusive());
+  EXPECT_EQ(result.attempts.size(), 4u);
+  EXPECT_EQ(result.detail, "hopeless");
+}
+
+TEST(RetryLadder, EscalateRungSkippedWithoutBudget) {
+  // No timeout and no rlimit: there is nothing to escalate, so the ladder
+  // is initial -> reseed -> smtlib.
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->forceUnknown("", 0).forceUnknown("", 1);
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  opts.timeoutMs = std::nullopt;
+  const auto result = makeEngine(opts)->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Satisfiable);
+  ASSERT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.attempts[2].stage, "smtlib");
+}
+
+TEST(RetryLadder, DisabledPolicyStopsAtFirstUnknown) {
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->forceUnknown("", 0, "gave up");
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  opts.retry.enabled = false;
+  const auto result = makeEngine(opts)->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Unknown);
+  EXPECT_EQ(result.attempts.size(), 1u);
+}
+
+TEST(RetryLadder, VerifyRunsTheSameLadder) {
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->forceUnknown("", 0);
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  // A property that holds: counters never go negative.
+  const auto result =
+      makeEngine(opts)->verify(core::Query::expr("rr.cdeq.0[T-1] >= 0"));
+  EXPECT_EQ(result.verdict, core::Verdict::Verified);
+  ASSERT_EQ(result.attempts.size(), 2u);
+  EXPECT_EQ(result.attempts[1].stage, "reseed");
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: crashes and cancellation
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, ThrowSurfacesAsBackendError) {
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->at("", 0,
+           {backends::FaultAction::Kind::Throw, "simulated crash", 0});
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  EXPECT_THROW(makeEngine(opts)->check(satQuery()), BackendError);
+}
+
+TEST(FaultInjection, FaultsAreScoped) {
+  // A fault planned for scope "other" never fires in the default scope.
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->forceUnknown("other", 0);
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  auto engine = makeEngine(opts);
+  EXPECT_EQ(engine->check(satQuery()).verdict, core::Verdict::Satisfiable);
+  EXPECT_EQ(engine->check(satQuery()).attempts.size(), 1u);
+  // Entering the scope makes it fire.
+  engine->setFaultScope("other");
+  const auto faulted = engine->check(satQuery());
+  EXPECT_EQ(faulted.attempts[0].outcome, "unknown");
+}
+
+TEST(Cancellation, InterruptBeforeQueryShortCircuits) {
+  auto engine = makeEngine(baseOptions());
+  engine->interrupt();
+  EXPECT_TRUE(engine->interrupted());
+  const auto result = engine->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Unknown);
+  EXPECT_TRUE(result.canceled);
+  // Cancelled queries are never retried.
+  EXPECT_EQ(result.attempts.size(), 1u);
+}
+
+TEST(Cancellation, InterruptedEngineStaysCancelled) {
+  auto engine = makeEngine(baseOptions());
+  EXPECT_EQ(engine->check(satQuery()).verdict, core::Verdict::Satisfiable);
+  engine->interrupt();
+  EXPECT_TRUE(engine->check(satQuery()).canceled);
+  EXPECT_TRUE(engine->check(satQuery()).canceled);
+}
+
+// ---------------------------------------------------------------------
+// Witness replay
+// ---------------------------------------------------------------------
+
+TEST(WitnessReplay, HonestWitnessPassesTheCrossCheck) {
+  const auto result = makeEngine(baseOptions())->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Satisfiable);
+  EXPECT_TRUE(result.witnessChecked);
+}
+
+TEST(WitnessReplay, CorruptedWitnessIsCaught) {
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->at("", 0,
+           {backends::FaultAction::Kind::CorruptWitness, "", 0});
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  const auto result = makeEngine(opts)->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::WitnessMismatch);
+  EXPECT_NE(result.detail.find("diverged"), std::string::npos)
+      << result.detail;
+}
+
+TEST(WitnessReplay, DisabledReplayTrustsTheSolver) {
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->at("", 0,
+           {backends::FaultAction::Kind::CorruptWitness, "", 0});
+  core::AnalysisOptions opts = baseOptions();
+  opts.faultPlan = plan;
+  opts.replayWitness = false;
+  const auto result = makeEngine(opts)->check(satQuery());
+  EXPECT_EQ(result.verdict, core::Verdict::Satisfiable);
+  EXPECT_FALSE(result.witnessChecked);
+}
+
+// ---------------------------------------------------------------------
+// Synthesizer fault isolation (the acceptance-criterion scenario)
+// ---------------------------------------------------------------------
+
+synth::SynthesisResult runFaultySynthesis(int threads) {
+  // Candidate 1 hits a per-candidate solver timeout on every rung of the
+  // retry ladder (a single injected Unknown would be *recovered* by the
+  // reseed rung) and candidate 2 hits a worker exception (Throw). Faults
+  // are scoped by enumeration index, so the same candidates fail under any
+  // thread count.
+  auto plan = std::make_shared<backends::FaultPlan>();
+  for (std::size_t rung = 0; rung < 4; ++rung) {
+    plan->forceUnknown("cand1", rung, "injected timeout");
+  }
+  plan->at("cand2", 0,
+           {backends::FaultAction::Kind::Throw, "injected crash", 0});
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  opts.faultPlan = plan;
+  synth::Synthesizer synthesizer(
+      schedulerNet(models::kStrictPriority, "sp", 2), opts);
+  synth::SynthesisOptions sopts;
+  sopts.grammar = {synth::Pattern::None, synth::Pattern::ExactlyOnePerStep};
+  sopts.threads = threads;
+  return synthesizer.run(core::Query::expr("sp.cdeq.0[T-1] == T"), sopts);
+}
+
+TEST(SynthFaultIsolation, RunCompletesAndReportsFailures) {
+  const auto result = runFaultySynthesis(1);
+  // 4 candidates: #0 conclusive, #1 unknown, #2 crashed, #3 conclusive.
+  EXPECT_EQ(result.candidatesChecked, 4);
+  EXPECT_EQ(result.solvedCount, 2);
+  EXPECT_EQ(result.unknownCount, 1);
+  EXPECT_EQ(result.failedCount, 1);
+  ASSERT_EQ(result.failures.size(), 2u);
+  EXPECT_EQ(result.failures[0].index, 1u);
+  EXPECT_EQ(result.failures[0].kind, synth::FailureKind::Unknown);
+  EXPECT_EQ(result.failures[0].stage, "exists");
+  EXPECT_EQ(result.failures[1].index, 2u);
+  EXPECT_EQ(result.failures[1].kind, synth::FailureKind::Exception);
+  EXPECT_NE(result.failures[1].detail.find("injected crash"),
+            std::string::npos);
+  // The surviving solution is still found.
+  ASSERT_EQ(result.solutions.size(), 1u);
+  EXPECT_EQ(result.solutions[0].assignment.at("sp.ibs.0"),
+            synth::Pattern::ExactlyOnePerStep);
+  // And the one-line report reflects the split.
+  EXPECT_NE(result.summary().find("1 solution(s)"), std::string::npos)
+      << result.summary();
+}
+
+TEST(SynthFaultIsolation, FailureReportIsThreadCountInvariant) {
+  const auto sequential = runFaultySynthesis(1);
+  const auto parallel = runFaultySynthesis(4);
+  ASSERT_EQ(parallel.solutions.size(), sequential.solutions.size());
+  for (std::size_t i = 0; i < sequential.solutions.size(); ++i) {
+    EXPECT_EQ(parallel.solutions[i].assignment,
+              sequential.solutions[i].assignment);
+  }
+  ASSERT_EQ(parallel.failures.size(), sequential.failures.size());
+  for (std::size_t i = 0; i < sequential.failures.size(); ++i) {
+    EXPECT_EQ(parallel.failures[i].index, sequential.failures[i].index);
+    EXPECT_EQ(parallel.failures[i].kind, sequential.failures[i].kind);
+    EXPECT_EQ(parallel.failures[i].stage, sequential.failures[i].stage);
+    EXPECT_EQ(parallel.failures[i].assignment,
+              sequential.failures[i].assignment);
+  }
+  EXPECT_EQ(parallel.solvedCount, sequential.solvedCount);
+  EXPECT_EQ(parallel.unknownCount, sequential.unknownCount);
+  EXPECT_EQ(parallel.failedCount, sequential.failedCount);
+}
+
+TEST(SynthFaultIsolation, WitnessMismatchIsARecordedFailure) {
+  auto plan = std::make_shared<backends::FaultPlan>();
+  plan->at("cand1", 0,
+           {backends::FaultAction::Kind::CorruptWitness, "", 0});
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  opts.faultPlan = plan;
+  synth::Synthesizer synthesizer(
+      schedulerNet(models::kStrictPriority, "sp", 2), opts);
+  synth::SynthesisOptions sopts;
+  sopts.grammar = {synth::Pattern::None, synth::Pattern::ExactlyOnePerStep};
+  const auto result =
+      synthesizer.run(core::Query::expr("sp.cdeq.0[T-1] == T"), sopts);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].index, 1u);
+  EXPECT_EQ(result.failures[0].kind, synth::FailureKind::WitnessMismatch);
+  EXPECT_EQ(result.failedCount, 1);
+}
+
+TEST(SynthFailure, DescribeAndKindNames) {
+  EXPECT_STREQ(synth::failureKindName(synth::FailureKind::Unknown), "unknown");
+  EXPECT_STREQ(synth::failureKindName(synth::FailureKind::Exception),
+               "exception");
+  EXPECT_STREQ(synth::failureKindName(synth::FailureKind::WitnessMismatch),
+               "witness-mismatch");
+  synth::CandidateFailure f;
+  f.index = 3;
+  f.assignment = {{"sp.ibs.0", synth::Pattern::None}};
+  f.kind = synth::FailureKind::Exception;
+  f.stage = "exists";
+  f.detail = "boom";
+  const std::string text = f.describe();
+  EXPECT_NE(text.find("#3"), std::string::npos) << text;
+  EXPECT_NE(text.find("exception"), std::string::npos);
+  EXPECT_NE(text.find("exists"), std::string::npos);
+  EXPECT_NE(text.find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace buffy

@@ -185,5 +185,105 @@ TEST_F(Z3Test, LargeDagLowersStackSafely) {
   EXPECT_EQ(result.model.at("v"), 0);
 }
 
+// --- Resilience layer (DESIGN.md §8) --------------------------------
+
+TEST_F(Z3Test, BudgetReportsRlimitConsumption) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const std::vector<ir::TermRef> cs = {arena.eq(x, arena.intConst(7))};
+  SolveBudget budget;
+  budget.rlimit = 100000000;
+  const auto result = backend.check(cs, budget);
+  ASSERT_EQ(result.status, SolveStatus::Sat);
+  EXPECT_GT(result.rlimitUsed, 0u);
+}
+
+TEST_F(Z3Test, TinyRlimitYieldsUnknownNotCrash) {
+  // A deliberately hard problem under a starvation-level rlimit: the
+  // solver must give up cleanly (Unknown), never abort. Deterministic,
+  // unlike a wall-clock timeout.
+  std::string smt = "(declare-const a Int)(declare-const b Int)"
+                    "(declare-const c Int)"
+                    "(assert (and (> a 1) (> b 1) (> c 1)"
+                    " (= (* a a a) (+ (* b b b) (* c c c)))))";
+  SolveBudget budget;
+  budget.rlimit = 1000;
+  const auto result = backend.checkSmtLib(smt, budget);
+  EXPECT_EQ(result.status, SolveStatus::Unknown);
+  EXPECT_FALSE(result.canceled);
+  EXPECT_FALSE(result.reason.empty());
+}
+
+TEST_F(Z3Test, RandomSeedIsAccepted) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const std::vector<ir::TermRef> cs = {arena.gt(x, arena.intConst(0))};
+  SolveBudget budget;
+  budget.randomSeed = 17;
+  EXPECT_EQ(backend.check(cs, budget).status, SolveStatus::Sat);
+}
+
+TEST_F(Z3Test, InterruptIsPermanentAndCanceledResultsSayWhy) {
+  const std::vector<ir::TermRef> cs = {arena.trueTerm()};
+  EXPECT_EQ(backend.check(cs).status, SolveStatus::Sat);
+  backend.interrupt();
+  EXPECT_TRUE(backend.interrupted());
+  const auto result = backend.check(cs);
+  EXPECT_EQ(result.status, SolveStatus::Unknown);
+  EXPECT_TRUE(result.canceled);
+  // Still cancelled on the next query, and on sessions.
+  EXPECT_TRUE(backend.check(cs).canceled);
+  auto session = backend.openSession();
+  EXPECT_TRUE(session->check(cs).canceled);
+}
+
+TEST_F(Z3Test, SessionBudgetOverridePerQuery) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const std::vector<ir::TermRef> cs = {arena.gt(x, arena.intConst(3))};
+  SolveBudget tight;
+  tight.rlimit = 100000000;
+  auto session = backend.openSession({}, tight);
+  const auto r1 = session->check(cs);
+  ASSERT_EQ(r1.status, SolveStatus::Sat);
+  SolveBudget seeded = tight;
+  seeded.randomSeed = 99;
+  EXPECT_EQ(session->check(cs, seeded).status, SolveStatus::Sat);
+}
+
+TEST_F(Z3Test, FaultPlanForcesUnknownAtScopedOrdinal) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->forceUnknown("", 1, "injected");
+  backend.setFaultPlan(plan);
+  const std::vector<ir::TermRef> cs = {arena.trueTerm()};
+  EXPECT_EQ(backend.check(cs).status, SolveStatus::Sat);  // ordinal 0
+  const auto faulted = backend.check(cs);                 // ordinal 1
+  EXPECT_EQ(faulted.status, SolveStatus::Unknown);
+  EXPECT_EQ(faulted.reason, "injected");
+  EXPECT_FALSE(faulted.canceled);
+  EXPECT_EQ(backend.check(cs).status, SolveStatus::Sat);  // ordinal 2
+}
+
+TEST_F(Z3Test, FaultPlanThrowAndScopes) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->at("s1", 0, {FaultAction::Kind::Throw, "boom", 0});
+  backend.setFaultPlan(plan);
+  const std::vector<ir::TermRef> cs = {arena.trueTerm()};
+  EXPECT_EQ(backend.check(cs).status, SolveStatus::Sat);  // default scope
+  backend.setFaultScope("s1");
+  EXPECT_THROW(backend.check(cs), BackendError);
+  backend.setFaultScope("");
+  EXPECT_EQ(backend.check(cs).status, SolveStatus::Sat);
+}
+
+TEST_F(Z3Test, CorruptWitnessTagPropagates) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->at("", 0, {FaultAction::Kind::CorruptWitness, "", 0});
+  backend.setFaultPlan(plan);
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const std::vector<ir::TermRef> cs = {arena.eq(x, arena.intConst(5))};
+  const auto result = backend.check(cs);
+  ASSERT_EQ(result.status, SolveStatus::Sat);
+  EXPECT_TRUE(result.corruptWitness);
+  EXPECT_EQ(result.model.at("x"), 5);  // the model itself is untouched
+}
+
 }  // namespace
 }  // namespace buffy::backends

@@ -25,10 +25,25 @@
 //   --unroll              run the explicit loop unroller as well
 //   --havoc-init          quantify over the initial queue contents
 //   --timeout MS          solver timeout (default 120000)
+//   --rlimit N            Z3 resource limit per query (deterministic)
+//   --max-memory MB       solver memory cap
+//   --no-retry            disable the Unknown retry/escalation ladder
+//   --no-replay           disable the witness-replay cross-check
 //   --full-trace          render every series (incl. packet fields)
-//   --format table|csv|json  trace output format
+//   --format table|csv|json  trace/result output format
+//
+// Exit codes (DESIGN.md §8):
+//   0  conclusive, nothing wrong (SATISFIABLE / UNSATISFIABLE / VERIFIED /
+//      PROVED, or the command simply succeeded)
+//   1  conclusive, property problem found (VIOLATED / WITNESS-MISMATCH)
+//   2  usage or input error (bad flags, parse/type/analysis errors)
+//   3  inconclusive: solver returned UNKNOWN after the retry ladder
+//      (timeout / rlimit / memory budget exhausted)
+//   4  internal error (solver crash, unexpected exception)
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <set>
 #include <fstream>
 #include <sstream>
@@ -52,6 +67,28 @@ struct CliError : Error {
   using Error::Error;
 };
 
+// Exit codes, see file header.
+constexpr int kExitOk = 0;
+constexpr int kExitViolation = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknown = 3;
+constexpr int kExitInternal = 4;
+
+int exitCodeFor(core::Verdict verdict) {
+  switch (verdict) {
+    case core::Verdict::Satisfiable:
+    case core::Verdict::Unsatisfiable:
+    case core::Verdict::Verified:
+      return kExitOk;
+    case core::Verdict::Violated:
+    case core::Verdict::WitnessMismatch:
+      return kExitViolation;
+    case core::Verdict::Unknown:
+      return kExitUnknown;
+  }
+  return kExitInternal;
+}
+
 struct Options {
   std::string command;
   std::string file;
@@ -68,6 +105,13 @@ struct Options {
   bool havocInit = false;
   std::string format = "table";  // table|csv|json
   unsigned timeoutMs = 120000;
+  std::optional<unsigned> rlimit;
+  std::optional<unsigned> maxMemoryMb;
+  bool noRetry = false;
+  bool noReplay = false;
+  /// Hidden test seam (--inject-fault nth:kind[:param]): deterministic
+  /// fault injection so the resilience exit paths are testable end-to-end.
+  std::vector<std::string> injectFaults;
 };
 
 void usage() {
@@ -156,6 +200,16 @@ Options parseArgs(int argc, char** argv) {
       opts.fullTrace = true;
     } else if (arg == "--timeout") {
       opts.timeoutMs = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--rlimit") {
+      opts.rlimit = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--max-memory") {
+      opts.maxMemoryMb = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--no-retry") {
+      opts.noRetry = true;
+    } else if (arg == "--no-replay") {
+      opts.noReplay = true;
+    } else if (arg == "--inject-fault") {
+      opts.injectFaults.push_back(next());
     } else if (arg == "-h" || arg == "--help") {
       usage();
       std::exit(0);
@@ -208,6 +262,127 @@ void printTrace(const Options& opts, const core::Trace& trace) {
   }
 }
 
+/// --inject-fault nth:kind[:param], kind one of unknown|throw|delay|
+/// corrupt-witness (param: reason text, or delay in ms). Faults land in the
+/// empty scope — the one plain Analysis queries run in.
+backends::FaultPlanPtr buildFaultPlan(const Options& opts) {
+  if (opts.injectFaults.empty()) return nullptr;
+  auto plan = std::make_shared<backends::FaultPlan>();
+  for (const auto& spec : opts.injectFaults) {
+    const auto pieces = split(spec, ':');
+    if (pieces.size() < 2 || pieces.size() > 3) {
+      throw CliError("bad --inject-fault spec: " + spec);
+    }
+    const auto nth = static_cast<std::size_t>(std::stoul(pieces[0]));
+    backends::FaultAction action;
+    if (pieces[1] == "unknown") {
+      action.kind = backends::FaultAction::Kind::ForceUnknown;
+      action.reason = pieces.size() > 2 ? pieces[2] : "injected timeout";
+    } else if (pieces[1] == "throw") {
+      action.kind = backends::FaultAction::Kind::Throw;
+      if (pieces.size() > 2) action.reason = pieces[2];
+    } else if (pieces[1] == "delay") {
+      action.kind = backends::FaultAction::Kind::Delay;
+      action.delayMs = pieces.size() > 2
+                           ? static_cast<unsigned>(std::stoul(pieces[2]))
+                           : 10;
+    } else if (pieces[1] == "corrupt-witness") {
+      action.kind = backends::FaultAction::Kind::CorruptWitness;
+    } else {
+      throw CliError("bad --inject-fault kind: " + pieces[1]);
+    }
+    plan->at("", nth, action);
+  }
+  return plan;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a check/verify result and returns the process exit code. The
+/// json format carries the full resilience story (verdict, exit code,
+/// attempt log, trace) in one machine-readable object.
+int reportResult(const Options& opts, const core::AnalysisResult& result) {
+  const int code = exitCodeFor(result.verdict);
+  if (opts.format == "json") {
+    std::string json = "{\"verdict\":\"";
+    json += core::verdictName(result.verdict);
+    json += "\",\"exitCode\":" + std::to_string(code);
+    char secs[32];
+    std::snprintf(secs, sizeof secs, "%.6f", result.solveSeconds);
+    json += ",\"solveSeconds\":";
+    json += secs;
+    json += ",\"canceled\":";
+    json += result.canceled ? "true" : "false";
+    json += ",\"witnessChecked\":";
+    json += result.witnessChecked ? "true" : "false";
+    if (!result.detail.empty()) {
+      json += ",\"detail\":\"" + jsonEscape(result.detail) + "\"";
+    }
+    json += ",\"attempts\":[";
+    for (std::size_t i = 0; i < result.attempts.size(); ++i) {
+      const auto& a = result.attempts[i];
+      if (i > 0) json += ",";
+      json += "{\"stage\":\"" + jsonEscape(a.stage) + "\",\"outcome\":\"" +
+              jsonEscape(a.outcome) + "\"";
+      if (!a.reason.empty()) {
+        json += ",\"reason\":\"" + jsonEscape(a.reason) + "\"";
+      }
+      std::snprintf(secs, sizeof secs, "%.6f", a.seconds);
+      json += ",\"seconds\":";
+      json += secs;
+      json += ",\"rlimitUsed\":" + std::to_string(a.rlimitUsed);
+      if (a.seed) json += ",\"seed\":" + std::to_string(*a.seed);
+      if (a.timeoutMs) {
+        json += ",\"timeoutMs\":" + std::to_string(*a.timeoutMs);
+      }
+      json += "}";
+    }
+    json += "]";
+    if (result.trace) {
+      std::string trace = result.trace->toJson();
+      while (!trace.empty() && (trace.back() == '\n' || trace.back() == ' ')) {
+        trace.pop_back();
+      }
+      json += ",\"trace\":" + trace;
+    }
+    json += "}\n";
+    std::fputs(json.c_str(), stdout);
+    return code;
+  }
+
+  std::printf("%s (%.3f s)\n", core::verdictName(result.verdict),
+              result.solveSeconds);
+  if (!result.detail.empty()) std::printf("  %s\n", result.detail.c_str());
+  if (result.attempts.size() > 1) {
+    for (const auto& a : result.attempts) {
+      std::printf("  attempt %-8s %s%s%s%s (%.3f s)\n", a.stage.c_str(),
+                  a.outcome.c_str(), a.reason.empty() ? "" : " [",
+                  a.reason.c_str(), a.reason.empty() ? "" : "]", a.seconds);
+    }
+  }
+  if (result.trace) printTrace(opts, *result.trace);
+  return code;
+}
+
 int run(const Options& opts) {
   const std::string source = readFile(opts.file);
 
@@ -232,7 +407,7 @@ int run(const Options& opts) {
       return 0;
     }
     std::fputs(diag.renderAll().c_str(), stdout);
-    return diag.hasErrors() ? 1 : 0;
+    return diag.hasErrors() ? kExitUsage : kExitOk;
   }
 
   if (opts.command == "print") {
@@ -300,13 +475,23 @@ int run(const Options& opts) {
         unbounded.prove(opts.query, opts.timeoutMs);
     std::printf("%s (%.3f s)\n", backends::chcStatusName(result.status),
                 result.seconds);
-    return result.status == backends::ChcStatus::Unknown ? 2 : 0;
+    switch (result.status) {
+      case backends::ChcStatus::Proved: return kExitOk;
+      case backends::ChcStatus::Violated: return kExitViolation;
+      case backends::ChcStatus::Unknown: return kExitUnknown;
+    }
+    return kExitInternal;
   }
 
   core::AnalysisOptions aopts;
   aopts.horizon = opts.horizon;
   aopts.model = opts.model;
   aopts.timeoutMs = opts.timeoutMs;
+  aopts.rlimit = opts.rlimit;
+  aopts.maxMemoryMb = opts.maxMemoryMb;
+  aopts.retry.enabled = !opts.noRetry;
+  aopts.replayWitness = !opts.noReplay;
+  aopts.faultPlan = buildFaultPlan(opts);
   aopts.unrollLoops = opts.unroll;
   aopts.symbolicInitialState = opts.havocInit;
   core::Analysis analysis(net, aopts);
@@ -340,10 +525,7 @@ int run(const Options& opts) {
   if (opts.command == "check" || opts.command == "verify") {
     const auto result = opts.command == "check" ? analysis.check(query)
                                                 : analysis.verify(query);
-    std::printf("%s (%.3f s)\n", core::verdictName(result.verdict),
-                result.solveSeconds);
-    if (result.trace) printTrace(opts, *result.trace);
-    return result.verdict == core::Verdict::Unknown ? 2 : 0;
+    return reportResult(opts, result);
   }
   throw CliError("unknown command " + opts.command);
 }
@@ -356,9 +538,16 @@ int main(int argc, char** argv) {
   } catch (const CliError& e) {
     std::fprintf(stderr, "buffy: %s\n", e.what());
     usage();
-    return 64;
+    return kExitUsage;
+  } catch (const BackendError& e) {
+    std::fprintf(stderr, "buffy: solver failure: %s\n", e.what());
+    return kExitInternal;
   } catch (const Error& e) {
+    // Parse, type, and analysis errors: the input was at fault.
     std::fprintf(stderr, "buffy: %s\n", e.what());
-    return 1;
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "buffy: internal error: %s\n", e.what());
+    return kExitInternal;
   }
 }
