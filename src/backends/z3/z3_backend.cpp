@@ -138,7 +138,10 @@ struct Z3Backend::Impl {
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
-    result.rlimitUsed = readRlimit(solver) - rlimitBefore;
+    // readRlimit returns 0 when the statistic is unavailable; clamp so the
+    // delta never wraps when rlimitBefore reflects earlier session queries.
+    const std::uint64_t rlimitNow = readRlimit(solver);
+    result.rlimitUsed = rlimitNow > rlimitBefore ? rlimitNow - rlimitBefore : 0;
 
     switch (status) {
       case z3::sat: {

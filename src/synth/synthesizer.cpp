@@ -4,6 +4,8 @@
 #include <chrono>
 #include <exception>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -185,25 +187,40 @@ SynthesisResult Synthesizer::run(const core::Query& query,
   /// currently solving a candidate > s is interrupted (per-worker indices
   /// are monotonic, so anything it touches from then on is > s too — all
   /// past the report cutoff, keeping the run deterministic).
-  std::vector<std::atomic<core::Analysis*>> engines(workers);
-  std::vector<std::atomic<std::size_t>> current(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    engines[w].store(nullptr);
-    current[w].store(kNoSolution);
-  }
+  ///
+  /// `mu` guards `engine` against the publish/interrupt/unpublish race: a
+  /// canceller must never call interrupt() on an engine whose owner has
+  /// already retired (and destroyed it), and a worker must not destroy a
+  /// per-candidate engine while an interrupt on it is in flight. `current`
+  /// is an atomic, not mutex-guarded: workers store their claim *before*
+  /// re-checking the cutoff, pairing with noteSolution's firstSolution
+  /// store + current load (seq_cst) so every racing claim either becomes
+  /// visible to the canceller or observes the new cutoff itself. Idle
+  /// workers (current == kNoSolution) are never interrupted — a worker
+  /// between candidates may still claim an index below the cutoff.
+  struct WorkerState {
+    std::mutex mu;
+    core::Analysis* engine = nullptr;  // guarded by mu
+    std::atomic<std::size_t> current{
+        std::numeric_limits<std::size_t>::max()};
+  };
+  std::vector<WorkerState> states(workers);
 
   auto noteSolution = [&](std::size_t idx) {
     std::size_t cur = firstSolution.load();
     while (idx < cur && !firstSolution.compare_exchange_weak(cur, idx)) {
     }
     // Stop workers burning time on candidates that can no longer win.
-    for (std::size_t w = 0; w < workers; ++w) {
-      if (current[w].load() <= idx) continue;
-      if (core::Analysis* engine = engines[w].load()) engine->interrupt();
+    for (WorkerState& state : states) {
+      const std::size_t inFlight = state.current.load();
+      if (inFlight == kNoSolution || inFlight <= idx) continue;
+      const std::lock_guard<std::mutex> lock(state.mu);
+      if (state.engine) state.engine->interrupt();
     }
   };
 
-  auto evaluate = [&](core::Analysis* engine, std::size_t idx) {
+  auto evaluate = [&](std::size_t w, core::Analysis* engine,
+                      std::size_t idx) {
     const auto candidateStart = std::chrono::steady_clock::now();
     const char* stage = "setup";
     auto fail = [&](FailureKind kind, std::string detail) {
@@ -226,18 +243,24 @@ SynthesisResult Synthesizer::run(const core::Query& query,
       }
     };
 
+    // The fresh path rebuilds the entire pipeline per candidate; the
+    // incremental path re-binds the workload delta onto the worker's
+    // already-built encoding and queries its persistent session.
+    core::Analysis* const persistent = engine;
+    std::unique_ptr<core::Analysis> fresh;
     try {
       Candidate candidate;
       candidate.assignment = assignments[idx];
 
-      // The fresh path rebuilds the entire pipeline per candidate; the
-      // incremental path re-binds the workload delta onto the worker's
-      // already-built encoding and queries its persistent session.
-      std::unique_ptr<core::Analysis> fresh;
       if (!opts.incremental) {
         fresh = std::make_unique<core::Analysis>(network_, options_);
         fresh->setWorkload(workloadFor(candidate.assignment));
         engine = fresh.get();
+        // Publish the per-candidate engine so firstOnly cancellation
+        // interrupts the query actually in flight, not the worker's idle
+        // persistent engine.
+        const std::lock_guard<std::mutex> lock(states[w].mu);
+        states[w].engine = engine;
       } else {
         engine->rebindWorkload(workloadFor(candidate.assignment));
       }
@@ -277,21 +300,38 @@ SynthesisResult Synthesizer::run(const core::Query& query,
     } catch (const std::exception& e) {
       fail(FailureKind::Exception, e.what());
     }
+    if (fresh) {
+      // Unpublish before `fresh` dies so no interrupt can land on a
+      // destroyed engine; the mutex orders this against an in-flight one.
+      const std::lock_guard<std::mutex> lock(states[w].mu);
+      states[w].engine = persistent;
+    }
   };
 
   auto workerLoop = [&](std::size_t w, core::Analysis* engine) {
-    engines[w].store(engine);
+    WorkerState& state = states[w];
+    {
+      const std::lock_guard<std::mutex> lock(state.mu);
+      state.engine = engine;
+    }
     while (true) {
       const std::size_t idx = next.fetch_add(1);
       if (idx >= total) break;
+      // Publish the claim before checking the cutoff: either noteSolution
+      // observes the claim (and interrupts only if it is past the cutoff),
+      // or this load observes the new cutoff and skips — so a candidate at
+      // or below the cutoff can never be wrongly canceled.
+      state.current.store(idx);
       // A candidate past an already-found solution cannot be the first.
       if (opts.firstOnly && idx > firstSolution.load()) continue;
-      current[w].store(idx);
-      evaluate(engine, idx);
+      evaluate(w, engine, idx);
       checked.fetch_add(1);
     }
-    current[w].store(kNoSolution);
-    engines[w].store(nullptr);
+    state.current.store(kNoSolution);
+    {
+      const std::lock_guard<std::mutex> lock(state.mu);
+      state.engine = nullptr;
+    }
   };
 
   if (workers <= 1) {

@@ -193,6 +193,47 @@ TEST(Synthesizer, ParallelFirstOnlyIsDeterministic) {
             sequential.solutions[0].assignment);
 }
 
+TEST(Synthesizer, ParallelFirstOnlyCancellationStress) {
+  // Regression for the firstOnly cancellation races: an interrupt must
+  // never land on a retired worker's destroyed engine, a worker whose
+  // claim is below the eventual cutoff must never be canceled (its claim
+  // is published before the cutoff re-check), and in fresh mode the
+  // interrupt must reach the per-candidate engine. Delaying the earliest
+  // candidates makes later workers finish (and fire noteSolution) first,
+  // so the cancellation path runs on ~every rep; the first solution of
+  // the enumeration order must win regardless.
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  const core::Query query = core::Query::expr("sp.cdeq.0[T-1] == T");
+  SynthesisOptions sopts;
+  sopts.grammar = {Pattern::None, Pattern::ExactlyOnePerStep,
+                   Pattern::BurstAtStart2};
+  sopts.firstOnly = true;
+
+  Synthesizer sequential(schedulerNet(models::kStrictPriority, "sp", 2),
+                         opts);
+  const auto expected = sequential.run(query, sopts);
+  ASSERT_EQ(expected.solutions.size(), 1u);
+
+  auto plan = std::make_shared<backends::FaultPlan>();
+  for (std::size_t cand = 0; cand < 3; ++cand) {
+    plan->at("cand" + std::to_string(cand), 0,
+             {backends::FaultAction::Kind::Delay, "", 20});
+  }
+  opts.faultPlan = plan;
+  sopts.threads = 4;
+  for (int rep = 0; rep < 8; ++rep) {
+    sopts.incremental = rep % 2 == 0;
+    Synthesizer synth(schedulerNet(models::kStrictPriority, "sp", 2), opts);
+    const auto result = synth.run(query, sopts);
+    ASSERT_EQ(result.solutions.size(), 1u)
+        << "rep " << rep << ": " << result.summary();
+    EXPECT_EQ(result.solutions[0].assignment,
+              expected.solutions[0].assignment)
+        << "rep " << rep;
+  }
+}
+
 TEST(Synthesizer, CandidateDescribe) {
   Candidate c;
   c.assignment = {{"a", Pattern::None}, {"b", Pattern::BurstAtStart2}};
