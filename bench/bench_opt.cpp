@@ -1,0 +1,243 @@
+// Encoding-optimizer benchmark (DESIGN.md §9): the fig6-style horizon
+// sweep — a conservation verify on the buggy fair-queue model and a
+// no-starvation check on the fixed one — and a workload-synthesis run,
+// each solved with the optimizer on and off (--no-opt regime). Verdicts
+// must be identical in both modes; the pass criterion is a median
+// end-to-end speedup >= 1.3x OR a >= 30% assertion/node reduction.
+// Results are printed and written to BENCH_opt.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/library.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace buffy;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::Network fqNet(const char* source) {
+  core::ProgramSpec spec;
+  spec.instance = "fq";
+  spec.source = source;
+  spec.compile.constants["N"] = 2;
+  spec.compile.defaultListCapacity = 2;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 6,
+       .maxArrivalsPerStep = 3},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 32},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+core::Workload starvationWorkload(int horizon) {
+  core::Workload w;
+  w.add(core::Workload::perStepCount("fq.ibs.0", 0, 1));
+  w.add(core::Workload::countAtStep("fq.ibs.1", 0, 3, 3));
+  for (int t = 1; t < horizon; ++t) {
+    w.add(core::Workload::countAtStep("fq.ibs.1", t, 0, 0));
+  }
+  return w;
+}
+
+struct Case {
+  std::string name;
+  const char* source;
+  std::string query;
+  bool forVerify = false;
+};
+
+std::vector<Case> fig6Cases() {
+  return {
+      // Work conservation on the buggy model (∀).
+      {"conservation", models::kFairQueueBuggy,
+       "fq.cdeq.0[T-1] + fq.cdeq.1[T-1] <= T", true},
+      // No starvation on the fixed model (∃ a starving trace — none).
+      {"no_starvation", models::kFairQueueFixed,
+       "fq.cdeq.0[T-1] >= T-1 & fq.cdeq.1[T-1] <= 1", false},
+  };
+}
+
+struct Run {
+  double seconds = 0.0;
+  core::Verdict verdict = core::Verdict::Unknown;
+  std::optional<opt::OptStats> stats;
+};
+
+Run runCase(const Case& c, int horizon, bool optimize) {
+  core::AnalysisOptions opts;
+  opts.horizon = horizon;
+  opts.opt.enabled = optimize;
+  core::Analysis analysis(fqNet(c.source), opts);
+  analysis.setWorkload(starvationWorkload(horizon));
+  const core::Query q = core::Query::expr(c.query);
+  const auto start = Clock::now();
+  const core::AnalysisResult result =
+      c.forVerify ? analysis.verify(q) : analysis.check(q);
+  Run run;
+  run.seconds = since(start);
+  run.verdict = result.verdict;
+  run.stats = result.opt;
+  return run;
+}
+
+struct Row {
+  std::string name;
+  std::string mode;
+  int horizon = 0;
+  double seconds = 0.0;
+  std::string verdict;
+  std::size_t nodesBefore = 0;
+  std::size_t nodesAfter = 0;
+  std::size_t assertionsBefore = 0;
+  std::size_t assertionsAfter = 0;
+};
+
+void appendJson(std::string& out, const Row& row, bool last) {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  {\"name\": \"%s\", \"mode\": \"%s\", \"horizon\": %d, "
+      "\"seconds\": %.4f, \"verdict\": \"%s\", \"nodesBefore\": %zu, "
+      "\"nodesAfter\": %zu, \"assertionsBefore\": %zu, "
+      "\"assertionsAfter\": %zu}%s\n",
+      row.name.c_str(), row.mode.c_str(), row.horizon, row.seconds,
+      row.verdict.c_str(), row.nodesBefore, row.nodesAfter,
+      row.assertionsBefore, row.assertionsAfter, last ? "" : ",");
+  out += buf;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+}
+
+double runSynth(bool optimize, std::optional<opt::OptStats>& stats) {
+  core::AnalysisOptions opts;
+  opts.horizon = 5;
+  opts.opt.enabled = optimize;
+  synth::Synthesizer synthesizer(fqNet(models::kFairQueueBuggy), opts);
+  synth::SynthesisOptions sopts;
+  sopts.threads = 2;
+  const core::Query query =
+      core::Query::expr("fq.cdeq.1[T-1] <= 1 & fq.cdeq.0[T-1] >= T-1");
+  const auto result = synthesizer.run(query, sopts);
+  if (result.opt) stats = result.opt;
+  return result.totalSeconds;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kStopAfterSeconds = 30.0;
+  constexpr int kMaxHorizon = 9;
+
+  std::vector<Row> rows;
+  std::vector<double> speedups;
+  std::vector<double> nodeReductions;
+  std::vector<double> assertReductions;
+  bool verdictsMatch = true;
+
+  for (const Case& c : fig6Cases()) {
+    std::printf("== %s (%s, T=1..%d) ==\n", c.name.c_str(),
+                c.forVerify ? "verify" : "check", kMaxHorizon);
+    for (int horizon = 1; horizon <= kMaxHorizon; ++horizon) {
+      const Run off = runCase(c, horizon, false);
+      const Run on = runCase(c, horizon, true);
+      Row offRow{c.name, "no_opt", horizon, off.seconds,
+                 core::verdictName(off.verdict)};
+      Row onRow{c.name, "opt", horizon, on.seconds,
+                core::verdictName(on.verdict)};
+      if (on.stats) {
+        onRow.nodesBefore = on.stats->nodesBefore;
+        onRow.nodesAfter = on.stats->nodesAfter;
+        onRow.assertionsBefore = on.stats->assertionsBefore;
+        onRow.assertionsAfter = on.stats->assertionsAfter;
+        nodeReductions.push_back(
+            1.0 - static_cast<double>(on.stats->nodesAfter) /
+                      static_cast<double>(std::max<std::size_t>(
+                          1, on.stats->nodesBefore)));
+        assertReductions.push_back(
+            1.0 - static_cast<double>(on.stats->assertionsAfter) /
+                      static_cast<double>(std::max<std::size_t>(
+                          1, on.stats->assertionsBefore)));
+      }
+      rows.push_back(offRow);
+      rows.push_back(onRow);
+      speedups.push_back(off.seconds / std::max(1e-9, on.seconds));
+      const bool same = off.verdict == on.verdict;
+      verdictsMatch = verdictsMatch && same;
+      std::printf(
+          "  T=%d  no-opt %.3fs [%s]  opt %.3fs [%s]  %.2fx  "
+          "nodes %zu->%zu%s\n",
+          horizon, off.seconds, core::verdictName(off.verdict), on.seconds,
+          core::verdictName(on.verdict), off.seconds / std::max(1e-9,
+          on.seconds), onRow.nodesBefore, onRow.nodesAfter,
+          same ? "" : "  VERDICT MISMATCH");
+      if (off.seconds > kStopAfterSeconds || on.seconds > kStopAfterSeconds) {
+        std::printf("  (stopping sweep: run exceeded %.0fs)\n",
+                    kStopAfterSeconds);
+        break;
+      }
+    }
+  }
+
+  std::printf("\n== workload synthesis (25 candidates, 2 threads, T=5) ==\n");
+  std::optional<opt::OptStats> synthStats;
+  std::optional<opt::OptStats> ignored;
+  const double synthOff = runSynth(false, ignored);
+  std::printf("  no-opt : %.3f s\n", synthOff);
+  const double synthOn = runSynth(true, synthStats);
+  std::printf("  opt    : %.3f s  (%.2fx)\n", synthOn,
+              synthOff / std::max(1e-9, synthOn));
+  Row synthOffRow{"synth_workload", "no_opt", 5, synthOff, "-"};
+  Row synthOnRow{"synth_workload", "opt", 5, synthOn, "-"};
+  if (synthStats) {
+    synthOnRow.nodesBefore = synthStats->nodesBefore;
+    synthOnRow.nodesAfter = synthStats->nodesAfter;
+    synthOnRow.assertionsBefore = synthStats->assertionsBefore;
+    synthOnRow.assertionsAfter = synthStats->assertionsAfter;
+  }
+  rows.push_back(synthOffRow);
+  rows.push_back(synthOnRow);
+
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    appendJson(json, rows[i], i + 1 == rows.size());
+  }
+  json += "]\n";
+  std::FILE* f = std::fopen("BENCH_opt.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_opt.json\n");
+  }
+
+  const double medSpeedup = median(speedups);
+  const double medNodeRed = median(nodeReductions);
+  const double medAssertRed = median(assertReductions);
+  std::printf(
+      "median speedup %.2fx; median node reduction %.1f%%; median "
+      "assertion reduction %.1f%%\n",
+      medSpeedup, 100.0 * medNodeRed, 100.0 * medAssertRed);
+
+  const bool perfOk =
+      medSpeedup >= 1.3 || medNodeRed >= 0.30 || medAssertRed >= 0.30;
+  std::printf("verdict identity: %s; perf criterion (>=1.3x median or "
+              ">=30%% reduction): %s\n",
+              verdictsMatch ? "PASS" : "FAIL", perfOk ? "PASS" : "FAIL");
+  return verdictsMatch && perfOk ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "backends/smtlib/smtlib_emitter.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -78,6 +79,10 @@ class Emitter {
 
     // Shared definitions + assertions.
     for (const ir::TermRef c : constraints) {
+      if (options_.sharing == SmtLibSharing::Let) {
+        out += "(assert " + renderWithLets(c) + ")\n";
+        continue;
+      }
       out += body_;  // definitions discovered while rendering previous
       body_.clear();
       const std::string rendered = render(c);
@@ -105,8 +110,65 @@ class Emitter {
     }
   }
 
-  /// Renders a term; nodes with fan-out > 1 become define-fun bindings
-  /// (appended to body_) and are referenced by name.
+  [[nodiscard]] bool isLeaf(ir::TermRef t) const {
+    return t->kind == ir::TermKind::ConstInt ||
+           t->kind == ir::TermKind::ConstBool || t->kind == ir::TermKind::Var;
+  }
+
+  /// Shared non-leaf nodes get a `$t<id>` name (Let and Define modes).
+  [[nodiscard]] bool shared(ir::TermRef t) const {
+    return !isLeaf(t) && options_.sharing != SmtLibSharing::Expand &&
+           refs_.at(t) > 1;
+  }
+
+  /// Let mode: one assertion becomes a nested-let chain. Shared nodes
+  /// reachable from `root` are bound innermost-out in ascending id order —
+  /// hash-consing guarantees argument ids are smaller than the parent's,
+  /// so every binding's definition only references earlier bindings.
+  /// `let` is purely syntactic, so unlike Define mode no auxiliary
+  /// constants leak into models, and unlike define-fun macros the binding
+  /// is not expanded at parse time (the text AND the parsed term stay
+  /// linear in the DAG size).
+  std::string renderWithLets(ir::TermRef root) {
+    std::vector<ir::TermRef> bound;
+    std::vector<ir::TermRef> stack{root};
+    std::unordered_set<const ir::Term*> seen;
+    while (!stack.empty()) {
+      const ir::TermRef t = stack.back();
+      stack.pop_back();
+      if (!seen.insert(t).second) continue;
+      if (shared(t)) bound.push_back(t);
+      for (const ir::TermRef arg : t->args) stack.push_back(arg);
+    }
+    std::sort(bound.begin(), bound.end(),
+              [](ir::TermRef a, ir::TermRef b) { return a->id < b->id; });
+
+    names_.clear();  // let bindings are scoped to this assertion
+    std::string lets;
+    for (const ir::TermRef t : bound) {
+      const std::string name = "$t" + std::to_string(t->id);
+      lets += "(let ((" + name + " ";
+      // Render the definition *before* naming t, then register the name so
+      // later definitions (and the body) reference it.
+      std::string def = "(";
+      def += opName(t->kind);
+      for (const ir::TermRef arg : t->args) {
+        def += ' ';
+        def += render(arg);
+      }
+      def += ')';
+      lets += def + ")) ";
+      names_.emplace(t, name);
+    }
+    std::string out = lets + render(root);
+    out.append(bound.size(), ')');
+    return out;
+  }
+
+  /// Renders a term; in Define mode, nodes with fan-out > 1 become
+  /// declare-const + defining-equality bindings (appended to body_) and
+  /// are referenced by name. In Let mode the caller (renderWithLets) has
+  /// pre-registered every shared node in names_.
   std::string render(ir::TermRef t) {
     switch (t->kind) {
       case ir::TermKind::ConstInt:
@@ -130,7 +192,7 @@ class Emitter {
     }
     inner += ')';
 
-    if (refs_.at(t) > 1) {
+    if (options_.sharing == SmtLibSharing::Define && refs_.at(t) > 1) {
       // Definitional naming (declare + assert equality) rather than
       // define-fun: SMT-LIB parsers expand define-fun macros eagerly, which
       // blows nested shared terms up exponentially at parse time.

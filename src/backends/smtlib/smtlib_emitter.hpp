@@ -1,8 +1,8 @@
 // SMT-LIB2 backend: renders a constraint set in the standard SMT-LIB
 // format (paper §4, "the SMT problem can be written in the standard SMT-LIB
 // format supported by different SMT solvers"). Shared DAG nodes with
-// fan-out > 1 are emitted as define-fun bindings so the text stays linear
-// in the DAG size.
+// fan-out > 1 are emitted as `let` bindings (or definitional equalities —
+// see SmtLibSharing) so the text stays linear in the DAG size.
 #pragma once
 
 #include <span>
@@ -11,6 +11,22 @@
 #include "ir/term.hpp"
 
 namespace buffy::backends {
+
+/// How shared DAG nodes (fan-out > 1) are rendered.
+enum class SmtLibSharing {
+  /// Nested `(let (($tN expr)) ...)` chains inside each assertion, bound
+  /// in ascending id order so definitions precede uses. Purely syntactic
+  /// sharing: no auxiliary constants appear in models, and the text stays
+  /// linear in the DAG size.
+  Let,
+  /// `(declare-const $tN ...)` + `(assert (= $tN expr))` per shared node.
+  /// Auxiliary constants show up in models, but bindings are global
+  /// (emitted once even when several assertions share a node).
+  Define,
+  /// No sharing: every assertion is rendered as a pure tree. Exponential
+  /// for deeply shared DAGs — exists for size comparisons and debugging.
+  Expand,
+};
 
 struct SmtLibOptions {
   /// Emit (check-sat) at the end.
@@ -21,6 +37,8 @@ struct SmtLibOptions {
   std::string logic = "QF_LIA";
   /// Optional banner comment lines (each emitted with "; " prefix).
   std::string comment;
+  /// Shared-subterm emission strategy.
+  SmtLibSharing sharing = SmtLibSharing::Let;
 };
 
 /// Renders the conjunction of `constraints` as a complete SMT-LIB2 script.

@@ -42,11 +42,24 @@ z3::expr lowerTerm(z3::context& ctx, ir::TermRef root,
       case ir::TermKind::Add: e = arg(0) + arg(1); break;
       case ir::TermKind::Sub: e = arg(0) - arg(1); break;
       case ir::TermKind::Mul: e = arg(0) * arg(1); break;
+      // Buffy defines x/0 = x%0 = 0, so a symbolic divisor needs a guard;
+      // a nonzero constant divisor lowers directly (Z3's Int div/mod are
+      // Euclidean, matching ir::evalTerm for every nonzero divisor).
       case ir::TermKind::Div:
-        e = z3::ite(arg(1) == 0, ctx.int_val(0), arg(0) / arg(1));
+        if (t->args[1]->kind == ir::TermKind::ConstInt &&
+            t->args[1]->value != 0) {
+          e = arg(0) / arg(1);
+        } else {
+          e = z3::ite(arg(1) == 0, ctx.int_val(0), arg(0) / arg(1));
+        }
         break;
       case ir::TermKind::Mod:
-        e = z3::ite(arg(1) == 0, ctx.int_val(0), z3::mod(arg(0), arg(1)));
+        if (t->args[1]->kind == ir::TermKind::ConstInt &&
+            t->args[1]->value != 0) {
+          e = z3::mod(arg(0), arg(1));
+        } else {
+          e = z3::ite(arg(1) == 0, ctx.int_val(0), z3::mod(arg(0), arg(1)));
+        }
         break;
       case ir::TermKind::Neg: e = -arg(0); break;
       case ir::TermKind::Eq: e = arg(0) == arg(1); break;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "buffers/counter_model.hpp"
 #include "buffers/list_model.hpp"
@@ -72,6 +73,15 @@ struct Analysis::Impl {
   /// inside a push/pop frame carrying only the workload delta + query, so
   /// the lowered AST and learned lemmas are shared across queries.
   std::unique_ptr<backends::Z3Backend::Session> session;
+  /// Encoding optimizer (DESIGN.md §9), built lazily from the encoding's
+  /// structural constraints. With the optimizer on, the session starts
+  /// empty and accumulates the union of the per-query slices — asserting a
+  /// superset of a slice is always sound (every piece is part of the
+  /// original problem), and the union grows monotonically as sessions
+  /// require.
+  std::unique_ptr<opt::Optimizer> optimizer;
+  /// Structural assertions already asserted into the session.
+  std::unordered_set<ir::TermRef> assertedStructural;
 
   // Qualified names of connection endpoints.
   std::set<std::string> connectedInputs;
@@ -504,13 +514,28 @@ struct Analysis::Impl {
 
   /// The persistent session carries the structural constraints; everything
   /// per-query (workload delta + query term) travels through queryDelta.
+  /// With the optimizer enabled the base is asserted per query (only the
+  /// slice each query needs, newly-required pieces only).
   backends::Z3Backend::Session& ensureSession(Encoding& enc) {
     if (!session) {
       session = solver.openSession({}, baseBudget());
-      session->assertBase(enc.assumptions);
-      session->assertBase(enc.soundness);
+      if (!options.opt.enabled) {
+        session->assertBase(enc.assumptions);
+        session->assertBase(enc.soundness);
+      }
     }
     return *session;
+  }
+
+  opt::Optimizer& ensureOptimizer(Encoding& enc) {
+    if (!optimizer) {
+      std::vector<ir::TermRef> structural = enc.assumptions;
+      structural.insert(structural.end(), enc.soundness.begin(),
+                        enc.soundness.end());
+      optimizer = std::make_unique<opt::Optimizer>(
+          enc.arena, std::move(structural), options.opt);
+    }
+    return *optimizer;
   }
 
   /// The query-specific constraints: the current workload delta plus the
@@ -533,17 +558,46 @@ struct Analysis::Impl {
     return cs;
   }
 
-  /// The full constraint set as one vector — only for the text-emission
-  /// paths (SMT-LIB export / reparse ablation), which need a standalone
-  /// problem. The solving hot path uses ensureSession + queryDelta.
-  std::vector<ir::TermRef> constraintsFor(const Query& query, bool forVerify,
-                                          Encoding& enc) {
-    std::vector<ir::TermRef> cs = enc.assumptions;
-    cs.insert(cs.end(), enc.soundness.begin(), enc.soundness.end());
-    for (const ir::TermRef t : queryDelta(query, forVerify, enc)) {
-      cs.push_back(t);
+  /// A standalone query problem: the (optimized, when enabled) structural
+  /// set plus the per-query delta, and the plan that produced it (for
+  /// model completion). Used by the text-emission paths (SMT-LIB export /
+  /// reparse ablation and the smtlib retry rung); the solving hot path
+  /// uses ensureSession + queryDelta.
+  struct PlannedProblem {
+    std::vector<ir::TermRef> constraints;
+    std::optional<opt::Optimizer::Plan> plan;
+  };
+
+  PlannedProblem planProblem(const Query& query, bool forVerify,
+                             Encoding& enc) {
+    PlannedProblem out;
+    const std::vector<ir::TermRef> delta = queryDelta(query, forVerify, enc);
+    if (options.opt.enabled) {
+      out.plan = ensureOptimizer(enc).plan(delta);
+      out.constraints = out.plan->structural;
+      out.constraints.insert(out.constraints.end(), out.plan->delta.begin(),
+                             out.plan->delta.end());
+    } else {
+      out.constraints = enc.assumptions;
+      out.constraints.insert(out.constraints.end(), enc.soundness.begin(),
+                             enc.soundness.end());
+      out.constraints.insert(out.constraints.end(), delta.begin(),
+                             delta.end());
     }
-    return cs;
+    return out;
+  }
+
+  /// Completes a Sat model with the plan's certified values for variables
+  /// the optimizer removed from the problem (sliced components, pinned
+  /// constants), so traces and witness replay see a total assignment
+  /// satisfying the *original* constraint set. Solver-provided values
+  /// always win.
+  static void completeModel(backends::SolveResult& sr,
+                            const opt::Optimizer::Plan& plan) {
+    if (sr.status != backends::SolveStatus::Sat) return;
+    for (const auto& [name, value] : plan.droppedWitness) {
+      sr.model.emplace(name, value);
+    }
   }
 
   Trace traceFromModel(Encoding& enc, const ir::Assignment& model) {
@@ -641,7 +695,23 @@ struct Analysis::Impl {
   AnalysisResult solveQuery(const Query& query, bool forVerify) {
     Encoding& enc = ensureEncoding();
     auto& session = ensureSession(enc);
-    const std::vector<ir::TermRef> delta = queryDelta(query, forVerify, enc);
+    std::vector<ir::TermRef> delta = queryDelta(query, forVerify, enc);
+
+    std::optional<opt::Optimizer::Plan> planned;
+    if (options.opt.enabled) {
+      planned = ensureOptimizer(enc).plan(delta);
+      // Assert the structural constraints this query's slice needs and the
+      // session does not hold yet (the session's base is the monotone
+      // union of the query slices). The session-safe set is used — never
+      // the query-specialized one, which is only valid under this query's
+      // delta bounds.
+      std::vector<ir::TermRef> fresh;
+      for (const ir::TermRef t : planned->sessionStructural) {
+        if (assertedStructural.insert(t).second) fresh.push_back(t);
+      }
+      if (!fresh.empty()) session.assertBase(fresh);
+      delta = planned->delta;
+    }
 
     std::vector<SolveAttempt> attempts;
     backends::SolveBudget budget = baseBudget();
@@ -667,12 +737,15 @@ struct Analysis::Impl {
       backends::SmtLibOptions sopts;
       sopts.checkSat = false;  // the reparsing solver issues its own check
       const std::string text =
-          backends::emitSmtLib(constraintsFor(query, forVerify, enc), sopts);
+          backends::emitSmtLib(planProblem(query, forVerify, enc).constraints,
+                               sopts);
       sr = solver.checkSmtLib(text, budget);
       recordAttempt(attempts, "smtlib", budget, sr);
     }
 
+    if (planned) completeModel(sr, *planned);
     AnalysisResult result = finish(enc, sr, forVerify);
+    if (planned) result.opt = std::move(planned->stats);
     result.attempts = std::move(attempts);
     result.solveSeconds = 0.0;
     for (const auto& attempt : result.attempts) {
@@ -816,18 +889,22 @@ void Analysis::setFaultScope(const std::string& scope) {
 std::string Analysis::toSmtLib(const Query& query, bool forVerify,
                                backends::SmtLibOptions options) {
   Encoding& enc = impl_->ensureEncoding();
-  const auto cs = impl_->constraintsFor(query, forVerify, enc);
-  return backends::emitSmtLib(cs, options);
+  const auto problem = impl_->planProblem(query, forVerify, enc);
+  return backends::emitSmtLib(problem.constraints, options);
 }
 
 AnalysisResult Analysis::checkViaSmtLib(const Query& query) {
   Encoding& enc = impl_->ensureEncoding();
-  const auto cs = impl_->constraintsFor(query, false, enc);
+  const auto problem = impl_->planProblem(query, false, enc);
   backends::SmtLibOptions opts;
   opts.checkSat = false;  // the reparsing solver issues its own check
-  const std::string text = backends::emitSmtLib(cs, opts);
-  return impl_->finish(enc, impl_->solver.checkSmtLib(text, impl_->baseBudget()),
-                       false);
+  const std::string text = backends::emitSmtLib(problem.constraints, opts);
+  backends::SolveResult sr =
+      impl_->solver.checkSmtLib(text, impl_->baseBudget());
+  if (problem.plan) Impl::completeModel(sr, *problem.plan);
+  AnalysisResult result = impl_->finish(enc, sr, false);
+  if (problem.plan) result.opt = problem.plan->stats;
+  return result;
 }
 
 Trace Analysis::simulate(const ConcreteArrivals& arrivals) {

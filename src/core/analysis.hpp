@@ -19,6 +19,7 @@
 #include "backends/smtlib/smtlib_emitter.hpp"
 #include "backends/z3/z3_backend.hpp"
 #include "core/network.hpp"
+#include "opt/optimizer.hpp"
 #include "core/query.hpp"
 #include "core/trace.hpp"
 #include "core/workload.hpp"
@@ -79,6 +80,10 @@ struct AnalysisOptions {
   /// backlog within capacity, arbitrary contents, zero drop accounting).
   /// Not available for concrete simulation.
   bool symbolicInitialState = false;
+  /// Encoding optimizer (DESIGN.md §9): cone-of-influence slicing and
+  /// interval-driven rewriting between symbolic evaluation and every
+  /// backend. The CLI's --no-opt clears `opt.enabled`.
+  opt::OptOptions opt;
 };
 
 /// The unrolled symbolic encoding of a network over the horizon.
@@ -157,6 +162,10 @@ struct AnalysisResult {
   /// concrete interpreter (witness replay). False when replay does not
   /// apply (no trace, or the network is not concretely replayable).
   bool witnessChecked = false;
+  /// Encoding-optimizer accounting for this query (node/assertion counts
+  /// before and after, per-pass timings). Absent when the optimizer was
+  /// disabled.
+  std::optional<opt::OptStats> opt;
 
   [[nodiscard]] bool sat() const { return verdict == Verdict::Satisfiable; }
   [[nodiscard]] bool holds() const { return verdict == Verdict::Verified; }

@@ -6,6 +6,7 @@ namespace buffy::ir {
 
 std::int64_t euclideanDiv(std::int64_t a, std::int64_t b) {
   if (b == 0) return 0;  // defined as 0; the Z3 lowering guards identically
+  if (b == -1) return foldNeg(a).value_or(a);  // INT64_MIN / -1 is UB in C++
   std::int64_t q = a / b;
   const std::int64_t r = a % b;
   if (r < 0) q += (b > 0 ? -1 : 1);
@@ -14,9 +15,32 @@ std::int64_t euclideanDiv(std::int64_t a, std::int64_t b) {
 
 std::int64_t euclideanMod(std::int64_t a, std::int64_t b) {
   if (b == 0) return 0;
+  if (b == -1) return 0;  // INT64_MIN % -1 is UB in C++; result is always 0
   std::int64_t r = a % b;
   if (r < 0) r += (b > 0 ? b : -b);
   return r;
+}
+
+std::optional<std::int64_t> foldAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::int64_t> foldSub(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::int64_t> foldMul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::int64_t> foldNeg(std::int64_t a) {
+  return foldSub(0, a);
 }
 
 std::size_t TermArena::hashFields(TermKind kind, Sort sort,
@@ -138,21 +162,27 @@ TermRef TermArena::mkBin(TermKind kind, Sort sort, TermRef a, TermRef b) {
 // ---------------------------------------------------------------------------
 
 TermRef TermArena::add(TermRef a, TermRef b) {
-  if (a->isConst() && b->isConst()) return intConst(a->value + b->value);
+  if (a->isConst() && b->isConst()) {
+    if (const auto v = foldAdd(a->value, b->value)) return intConst(*v);
+  }
   if (a->isZero()) return b;
   if (b->isZero()) return a;
   return mkBin(TermKind::Add, Sort::Int, a, b);
 }
 
 TermRef TermArena::sub(TermRef a, TermRef b) {
-  if (a->isConst() && b->isConst()) return intConst(a->value - b->value);
+  if (a->isConst() && b->isConst()) {
+    if (const auto v = foldSub(a->value, b->value)) return intConst(*v);
+  }
   if (b->isZero()) return a;
   if (a == b) return intConst(0);
   return mkBin(TermKind::Sub, Sort::Int, a, b);
 }
 
 TermRef TermArena::mul(TermRef a, TermRef b) {
-  if (a->isConst() && b->isConst()) return intConst(a->value * b->value);
+  if (a->isConst() && b->isConst()) {
+    if (const auto v = foldMul(a->value, b->value)) return intConst(*v);
+  }
   if (a->isZero() || b->isZero()) return intConst(0);
   if (a->kind == TermKind::ConstInt && a->value == 1) return b;
   if (b->kind == TermKind::ConstInt && b->value == 1) return a;
@@ -161,7 +191,11 @@ TermRef TermArena::mul(TermRef a, TermRef b) {
 
 TermRef TermArena::div(TermRef a, TermRef b) {
   if (a->isConst() && b->isConst()) {
-    return intConst(euclideanDiv(a->value, b->value));
+    // INT64_MIN / -1 is the one quotient that does not fit in 64 bits;
+    // keep it symbolic so the fold never disagrees with the backends.
+    if (a->value != INT64_MIN || b->value != -1) {
+      return intConst(euclideanDiv(a->value, b->value));
+    }
   }
   if (b->kind == TermKind::ConstInt && b->value == 1) return a;
   return mkBin(TermKind::Div, Sort::Int, a, b);
@@ -176,7 +210,9 @@ TermRef TermArena::mod(TermRef a, TermRef b) {
 }
 
 TermRef TermArena::neg(TermRef a) {
-  if (a->isConst()) return intConst(-a->value);
+  if (a->isConst()) {
+    if (const auto v = foldNeg(a->value)) return intConst(*v);
+  }
   const TermRef args[] = {a};
   return intern(TermKind::Neg, Sort::Int, 0, "", args);
 }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -76,6 +77,15 @@ struct Term {
 /// Euclidean division/modulo used across folding and backends.
 std::int64_t euclideanDiv(std::int64_t a, std::int64_t b);
 std::int64_t euclideanMod(std::int64_t a, std::int64_t b);
+
+/// Checked 64-bit arithmetic: nullopt when the exact result is not
+/// representable. Solver integers are mathematical integers, so folding a
+/// wrapped value would disagree with the backends — callers keep the
+/// symbolic node instead.
+std::optional<std::int64_t> foldAdd(std::int64_t a, std::int64_t b);
+std::optional<std::int64_t> foldSub(std::int64_t a, std::int64_t b);
+std::optional<std::int64_t> foldMul(std::int64_t a, std::int64_t b);
+std::optional<std::int64_t> foldNeg(std::int64_t a);
 
 /// Owns and interns terms for one analysis run.
 class TermArena {

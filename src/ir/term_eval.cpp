@@ -7,6 +7,13 @@
 
 namespace buffy::ir {
 
+namespace {
+
+std::uint64_t toU(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+std::int64_t wrap(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
+}  // namespace
+
 std::int64_t evalTerm(TermRef term, const Assignment& assignment) {
   std::unordered_map<const Term*, std::int64_t> memo;
   std::vector<TermRef> stack{term};
@@ -38,12 +45,14 @@ std::int64_t evalTerm(TermRef term, const Assignment& assignment) {
         v = it != assignment.end() ? it->second : 0;
         break;
       }
-      case TermKind::Add: v = arg(0) + arg(1); break;
-      case TermKind::Sub: v = arg(0) - arg(1); break;
-      case TermKind::Mul: v = arg(0) * arg(1); break;
+      // Arithmetic wraps (two's complement) instead of invoking signed
+      // overflow UB; trace extraction can see arbitrary model values.
+      case TermKind::Add: v = wrap(toU(arg(0)) + toU(arg(1))); break;
+      case TermKind::Sub: v = wrap(toU(arg(0)) - toU(arg(1))); break;
+      case TermKind::Mul: v = wrap(toU(arg(0)) * toU(arg(1))); break;
       case TermKind::Div: v = euclideanDiv(arg(0), arg(1)); break;
       case TermKind::Mod: v = euclideanMod(arg(0), arg(1)); break;
-      case TermKind::Neg: v = -arg(0); break;
+      case TermKind::Neg: v = wrap(0ULL - toU(arg(0))); break;
       case TermKind::Eq: v = arg(0) == arg(1) ? 1 : 0; break;
       case TermKind::Lt: v = arg(0) < arg(1) ? 1 : 0; break;
       case TermKind::Le: v = arg(0) <= arg(1) ? 1 : 0; break;

@@ -1,0 +1,912 @@
+#include "opt/optimizer.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace buffy::opt {
+
+namespace {
+
+using ir::Sort;
+using ir::TermKind;
+using ir::TermRef;
+
+/// Flatten/linearize gathers stop descending past this many leaves so a
+/// pathological chain cannot make one rewrite quadratic.
+constexpr std::size_t kMaxLeaves = 256;
+
+using Bound = std::optional<std::int64_t>;
+
+Bound bAdd(Bound a, Bound b) {
+  if (!a || !b) return std::nullopt;
+  return ir::foldAdd(*a, *b);
+}
+
+Bound bSub(Bound a, Bound b) {
+  if (!a || !b) return std::nullopt;
+  return ir::foldSub(*a, *b);
+}
+
+Bound bNeg(Bound a) {
+  if (!a) return std::nullopt;
+  return ir::foldNeg(*a);
+}
+
+/// min/max requiring both bounds (hulls: an absent side wins).
+Bound hullMin(Bound a, Bound b) {
+  if (!a || !b) return std::nullopt;
+  return std::min(*a, *b);
+}
+
+Bound hullMax(Bound a, Bound b) {
+  if (!a || !b) return std::nullopt;
+  return std::max(*a, *b);
+}
+
+/// min/max where an absent side loses (for the min/max ite pattern: the
+/// result is <= both arguments, so any present upper bound applies).
+Bound presentMin(Bound a, Bound b) {
+  if (!a) return b;
+  if (!b) return a;
+  return std::min(*a, *b);
+}
+
+Bound presentMax(Bound a, Bound b) {
+  if (!a) return b;
+  if (!b) return a;
+  return std::max(*a, *b);
+}
+
+Interval topInterval() { return {}; }
+Interval exactInterval(std::int64_t v) { return Interval{v, v}; }
+Interval anyBool() { return Interval{0, 1}; }
+Interval boolInterval(bool v) { return exactInterval(v ? 1 : 0); }
+
+bool definitelyTrue(const Interval& iv) { return iv.lo && *iv.lo >= 1; }
+bool definitelyFalse(const Interval& iv) { return iv.hi && *iv.hi <= 0; }
+
+Interval decidedOr(std::optional<bool> d) {
+  return d ? boolInterval(*d) : anyBool();
+}
+
+/// a < b under intervals, when decidable.
+std::optional<bool> ltDecided(const Interval& a, const Interval& b) {
+  if (a.hi && b.lo && *a.hi < *b.lo) return true;
+  if (a.lo && b.hi && *a.lo >= *b.hi) return false;
+  return std::nullopt;
+}
+
+std::optional<bool> leDecided(const Interval& a, const Interval& b) {
+  if (a.hi && b.lo && *a.hi <= *b.lo) return true;
+  if (a.lo && b.hi && *a.lo > *b.hi) return false;
+  return std::nullopt;
+}
+
+std::optional<bool> eqDecided(const Interval& a, const Interval& b) {
+  if ((a.hi && b.lo && *a.hi < *b.lo) || (b.hi && a.lo && *b.hi < *a.lo)) {
+    return false;
+  }
+  if (a.singleton() && b.singleton() && *a.lo == *b.lo) return true;
+  return std::nullopt;
+}
+
+Interval ivAdd(const Interval& a, const Interval& b) {
+  return Interval{bAdd(a.lo, b.lo), bAdd(a.hi, b.hi)};
+}
+
+Interval ivSub(const Interval& a, const Interval& b) {
+  return Interval{bSub(a.lo, b.hi), bSub(a.hi, b.lo)};
+}
+
+Interval ivNeg(const Interval& a) {
+  return Interval{bNeg(a.hi), bNeg(a.lo)};
+}
+
+Interval ivMul(const Interval& a, const Interval& b) {
+  if (!a.lo || !a.hi || !b.lo || !b.hi) return topInterval();
+  const Bound c1 = ir::foldMul(*a.lo, *b.lo);
+  const Bound c2 = ir::foldMul(*a.lo, *b.hi);
+  const Bound c3 = ir::foldMul(*a.hi, *b.lo);
+  const Bound c4 = ir::foldMul(*a.hi, *b.hi);
+  if (!c1 || !c2 || !c3 || !c4) return topInterval();
+  return Interval{std::min({*c1, *c2, *c3, *c4}),
+                  std::max({*c1, *c2, *c3, *c4})};
+}
+
+/// Euclidean mod is always >= 0 (and 0 when the divisor is 0).
+Interval ivMod(const Interval& a, const Interval& b) {
+  Interval out{std::int64_t{0}, std::nullopt};
+  if (b.lo && b.hi) {
+    const std::int64_t maxAbs =
+        std::max(*b.lo == INT64_MIN ? INT64_MAX : std::abs(*b.lo),
+                 *b.hi == INT64_MIN ? INT64_MAX : std::abs(*b.hi));
+    out.hi = maxAbs > 0 ? maxAbs - 1 : 0;
+  }
+  if (a.lo && *a.lo >= 0 && a.hi) out.hi = presentMin(out.hi, a.hi);
+  return out;
+}
+
+Interval ivDiv(const Interval& a, const Interval& b) {
+  // Only the common shape matters: non-negative numerator, positive
+  // divisor — the quotient shrinks toward zero.
+  if (a.lo && *a.lo >= 0 && b.lo && *b.lo >= 1) {
+    return Interval{std::int64_t{0}, a.hi};
+  }
+  return topInterval();
+}
+
+/// A unit-bound assertion shape: one Int variable against one constant
+/// (Le/Lt/Eq in either orientation), a bare Bool variable, or its
+/// negation. These are the interval seed facts.
+struct SeedShape {
+  TermRef var = nullptr;
+  Bound lo;
+  Bound hi;
+};
+
+std::optional<SeedShape> seedShape(TermRef s) {
+  if (s->kind == TermKind::Var && s->sort == Sort::Bool) {
+    return SeedShape{s, 1, 1};
+  }
+  if (s->kind == TermKind::Not && s->args[0]->kind == TermKind::Var) {
+    return SeedShape{s->args[0], 0, 0};
+  }
+  if (s->kind != TermKind::Le && s->kind != TermKind::Lt &&
+      s->kind != TermKind::Eq) {
+    return std::nullopt;
+  }
+  const TermRef a = s->args[0];
+  const TermRef b = s->args[1];
+  if (a->kind == TermKind::Var && a->sort == Sort::Int &&
+      b->kind == TermKind::ConstInt) {
+    if (s->kind == TermKind::Le) return SeedShape{a, std::nullopt, b->value};
+    if (s->kind == TermKind::Eq) return SeedShape{a, b->value, b->value};
+    if (const auto hi = ir::foldSub(b->value, 1)) {  // a < c  ⇒  a <= c-1
+      return SeedShape{a, std::nullopt, *hi};
+    }
+    return std::nullopt;
+  }
+  if (b->kind == TermKind::Var && b->sort == Sort::Int &&
+      a->kind == TermKind::ConstInt) {
+    if (s->kind == TermKind::Le) return SeedShape{b, a->value, std::nullopt};
+    if (s->kind == TermKind::Eq) return SeedShape{b, a->value, a->value};
+    if (const auto lo = ir::foldAdd(a->value, 1)) {  // c < b  ⇒  c+1 <= b
+      return SeedShape{b, *lo, std::nullopt};
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Tightens `iv` with a seed shape's bounds.
+void tighten(Interval& iv, const SeedShape& shape) {
+  if (shape.lo) iv.lo = presentMax(iv.lo, shape.lo);
+  if (shape.hi) iv.hi = presentMin(iv.hi, shape.hi);
+}
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Distinct DAG nodes reachable from both root sets.
+std::size_t countNodes(std::span<const TermRef> a,
+                       std::span<const TermRef> b) {
+  std::unordered_set<TermRef> seen;
+  std::vector<TermRef> stack;
+  for (const TermRef r : a) stack.push_back(r);
+  for (const TermRef r : b) stack.push_back(r);
+  while (!stack.empty()) {
+    const TermRef t = stack.back();
+    stack.pop_back();
+    if (!seen.insert(t).second) continue;
+    for (const TermRef arg : t->args) stack.push_back(arg);
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+Optimizer::Optimizer(ir::TermArena& arena, std::vector<ir::TermRef> structural,
+                     OptOptions options)
+    : arena_(arena), structural_(std::move(structural)), options_(options) {
+  if (options_.enabled && options_.rewrite) seedIntervals();
+}
+
+// ---------------------------------------------------------------------------
+// Interval seeding (structural unit bounds only)
+// ---------------------------------------------------------------------------
+
+void Optimizer::seedIntervals() {
+  for (const TermRef s : structural_) {
+    const auto shape = seedShape(s);
+    if (!shape) continue;
+    auto [it, inserted] = seed_.try_emplace(
+        shape->var,
+        shape->var->sort == Sort::Bool ? anyBool() : topInterval());
+    tighten(it->second, *shape);
+    seedVar_.emplace(s, shape->var);
+  }
+
+  for (const auto& [v, iv] : seed_) {
+    if (iv.empty()) {
+      structuralUnsat_ = true;
+    } else if (iv.singleton()) {
+      pinnedWitness_[v->name] = *iv.lo;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interval analysis
+// ---------------------------------------------------------------------------
+
+Interval Optimizer::computeInterval(ir::TermRef t) const {
+  const auto& cache = queryMode_ ? qival_ : ival_;
+  auto iv = [&](TermRef n) -> const Interval& { return cache.at(n); };
+  switch (t->kind) {
+    case TermKind::ConstInt:
+    case TermKind::ConstBool:
+      return exactInterval(t->value);
+    case TermKind::Var: {
+      // Query-local bounds already include the structural seed baseline.
+      if (queryMode_) {
+        const auto qit = qseed_.find(t);
+        if (qit != qseed_.end()) return qit->second;
+      }
+      const auto it = seed_.find(t);
+      if (it != seed_.end()) return it->second;
+      return t->sort == Sort::Bool ? anyBool() : topInterval();
+    }
+    case TermKind::Add: return ivAdd(iv(t->args[0]), iv(t->args[1]));
+    case TermKind::Sub: return ivSub(iv(t->args[0]), iv(t->args[1]));
+    case TermKind::Mul: return ivMul(iv(t->args[0]), iv(t->args[1]));
+    case TermKind::Div: return ivDiv(iv(t->args[0]), iv(t->args[1]));
+    case TermKind::Mod: return ivMod(iv(t->args[0]), iv(t->args[1]));
+    case TermKind::Neg: return ivNeg(iv(t->args[0]));
+    case TermKind::Eq:
+      return decidedOr(eqDecided(iv(t->args[0]), iv(t->args[1])));
+    case TermKind::Lt:
+      return decidedOr(ltDecided(iv(t->args[0]), iv(t->args[1])));
+    case TermKind::Le:
+      return decidedOr(leDecided(iv(t->args[0]), iv(t->args[1])));
+    case TermKind::And: {
+      const Interval& a = iv(t->args[0]);
+      const Interval& b = iv(t->args[1]);
+      if (definitelyFalse(a) || definitelyFalse(b)) return boolInterval(false);
+      if (definitelyTrue(a) && definitelyTrue(b)) return boolInterval(true);
+      return anyBool();
+    }
+    case TermKind::Or: {
+      const Interval& a = iv(t->args[0]);
+      const Interval& b = iv(t->args[1]);
+      if (definitelyTrue(a) || definitelyTrue(b)) return boolInterval(true);
+      if (definitelyFalse(a) && definitelyFalse(b)) return boolInterval(false);
+      return anyBool();
+    }
+    case TermKind::Not: {
+      const Interval& a = iv(t->args[0]);
+      if (definitelyTrue(a)) return boolInterval(false);
+      if (definitelyFalse(a)) return boolInterval(true);
+      return anyBool();
+    }
+    case TermKind::Implies: {
+      const Interval& a = iv(t->args[0]);
+      const Interval& b = iv(t->args[1]);
+      if (definitelyFalse(a) || definitelyTrue(b)) return boolInterval(true);
+      if (definitelyTrue(a) && definitelyFalse(b)) return boolInterval(false);
+      return anyBool();
+    }
+    case TermKind::Ite: {
+      const TermRef c = t->args[0];
+      const TermRef x = t->args[1];
+      const TermRef y = t->args[2];
+      const Interval& ci = iv(c);
+      if (definitelyTrue(ci)) return iv(x);
+      if (definitelyFalse(ci)) return iv(y);
+      // min/max patterns: ite(x <= y, x, y) == min(x, y) etc. — their
+      // bounds are much tighter than the branch hull (capacity clamps and
+      // `min(incoming, room)` admission live on this shape).
+      if (c->kind == TermKind::Le || c->kind == TermKind::Lt) {
+        if (c->args[0] == x && c->args[1] == y) {  // min
+          return Interval{hullMin(iv(x).lo, iv(y).lo),
+                          presentMin(iv(x).hi, iv(y).hi)};
+        }
+        if (c->args[0] == y && c->args[1] == x) {  // max
+          return Interval{presentMax(iv(x).lo, iv(y).lo),
+                          hullMax(iv(x).hi, iv(y).hi)};
+        }
+      }
+      Interval out{hullMin(iv(x).lo, iv(y).lo), hullMax(iv(x).hi, iv(y).hi)};
+      return out;
+    }
+  }
+  return topInterval();
+}
+
+Interval Optimizer::intervalOf(ir::TermRef root) {
+  auto& cache = queryMode_ ? qival_ : ival_;
+  const auto hit = cache.find(root);
+  if (hit != cache.end()) return hit->second;
+  std::vector<TermRef> stack{root};
+  while (!stack.empty()) {
+    const TermRef t = stack.back();
+    if (cache.count(t) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const TermRef arg : t->args) {
+      if (cache.count(arg) == 0) {
+        stack.push_back(arg);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    Interval iv = computeInterval(t);
+    // A (non-seed) empty interval means the analysis proved the node's
+    // value range empty under inconsistent inputs; weaken to unknown
+    // rather than letting later decisions read nonsense bounds.
+    if (iv.empty()) iv = t->sort == Sort::Bool ? anyBool() : topInterval();
+    cache.emplace(t, iv);
+  }
+  return cache.at(root);
+}
+
+// ---------------------------------------------------------------------------
+// Rewriting
+// ---------------------------------------------------------------------------
+
+ir::TermRef Optimizer::rebuild(ir::TermRef t) {
+  auto& cache = queryMode_ ? qrw_ : rw_;
+  auto ra = [&](std::size_t i) { return cache.at(t->args[i]); };
+  switch (t->kind) {
+    case TermKind::Add: return arena_.add(ra(0), ra(1));
+    case TermKind::Sub: return arena_.sub(ra(0), ra(1));
+    case TermKind::Mul: return arena_.mul(ra(0), ra(1));
+    case TermKind::Div: return arena_.div(ra(0), ra(1));
+    case TermKind::Mod: return arena_.mod(ra(0), ra(1));
+    case TermKind::Neg: return arena_.neg(ra(0));
+    case TermKind::Eq: return arena_.eq(ra(0), ra(1));
+    case TermKind::Lt: return arena_.lt(ra(0), ra(1));
+    case TermKind::Le: return arena_.le(ra(0), ra(1));
+    case TermKind::And: return arena_.mkAnd(ra(0), ra(1));
+    case TermKind::Or: return arena_.mkOr(ra(0), ra(1));
+    case TermKind::Not: return arena_.mkNot(ra(0));
+    case TermKind::Implies: return arena_.implies(ra(0), ra(1));
+    case TermKind::Ite: return arena_.ite(ra(0), ra(1), ra(2));
+    default: return t;  // leaves
+  }
+}
+
+ir::TermRef Optimizer::flattenBool(ir::TermRef t) {
+  auto& cache = queryMode_ ? qrw_ : rw_;
+  const TermKind k = t->kind;
+  std::vector<TermRef> leaves;
+  std::vector<TermRef> work{cache.at(t->args[0]), cache.at(t->args[1])};
+  while (!work.empty()) {
+    const TermRef n = work.back();
+    work.pop_back();
+    if (n->kind == k && leaves.size() + work.size() < kMaxLeaves) {
+      work.push_back(n->args[0]);
+      work.push_back(n->args[1]);
+    } else {
+      leaves.push_back(n);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](TermRef a, TermRef b) { return a->id < b->id; });
+  leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+  const std::unordered_set<TermRef> present(leaves.begin(), leaves.end());
+  for (const TermRef n : leaves) {
+    if (n->kind == TermKind::Not && present.count(n->args[0]) != 0) {
+      return arena_.boolConst(k == TermKind::Or);  // x ∧ ¬x / x ∨ ¬x
+    }
+  }
+  return k == TermKind::And ? arena_.andAll(leaves) : arena_.orAll(leaves);
+}
+
+ir::TermRef Optimizer::linearize(ir::TermRef t) {
+  struct Item {
+    TermRef n;
+    std::int64_t c;
+  };
+  auto& cache = queryMode_ ? qrw_ : rw_;
+  std::unordered_map<TermRef, std::int64_t> coeff;
+  std::int64_t constant = 0;
+  bool ok = true;
+  std::vector<Item> work;
+  if (t->kind == TermKind::Neg) {
+    work.push_back({cache.at(t->args[0]), -1});
+  } else {
+    work.push_back({cache.at(t->args[0]), 1});
+    work.push_back({cache.at(t->args[1]), t->kind == TermKind::Sub ? -1 : 1});
+  }
+  std::size_t steps = 0;
+  while (ok && !work.empty()) {
+    const Item item = work.back();
+    work.pop_back();
+    if (++steps > 4 * kMaxLeaves || coeff.size() > kMaxLeaves) {
+      ok = false;
+      break;
+    }
+    const TermRef n = item.n;
+    const std::int64_t c = item.c;
+    if (c == 0) continue;
+    switch (n->kind) {
+      case TermKind::ConstInt: {
+        const auto scaled = ir::foldMul(c, n->value);
+        const auto acc = scaled ? ir::foldAdd(constant, *scaled)
+                                : std::nullopt;
+        if (!acc) { ok = false; break; }
+        constant = *acc;
+        break;
+      }
+      case TermKind::Add:
+        work.push_back({n->args[0], c});
+        work.push_back({n->args[1], c});
+        break;
+      case TermKind::Sub: {
+        const auto nc = ir::foldNeg(c);
+        if (!nc) { ok = false; break; }
+        work.push_back({n->args[0], c});
+        work.push_back({n->args[1], *nc});
+        break;
+      }
+      case TermKind::Neg: {
+        const auto nc = ir::foldNeg(c);
+        if (!nc) { ok = false; break; }
+        work.push_back({n->args[0], *nc});
+        break;
+      }
+      case TermKind::Mul: {
+        const TermRef lhs = n->args[0];
+        const TermRef rhs = n->args[1];
+        if (lhs->kind == TermKind::ConstInt) {
+          const auto m = ir::foldMul(c, lhs->value);
+          if (!m) { ok = false; break; }
+          work.push_back({rhs, *m});
+        } else if (rhs->kind == TermKind::ConstInt) {
+          const auto m = ir::foldMul(c, rhs->value);
+          if (!m) { ok = false; break; }
+          work.push_back({lhs, *m});
+        } else {
+          const auto acc = ir::foldAdd(coeff[n], c);
+          if (!acc) { ok = false; break; }
+          coeff[n] = *acc;
+        }
+        break;
+      }
+      default: {
+        const auto acc = ir::foldAdd(coeff[n], c);
+        if (!acc) { ok = false; break; }
+        coeff[n] = *acc;
+        break;
+      }
+    }
+  }
+  if (ok) {
+    for (const auto& [n, c] : coeff) {
+      if (c == INT64_MIN) ok = false;  // |c| below is not representable
+    }
+  }
+  if (!ok) return rebuild(t);
+
+  std::vector<Item> items;
+  items.reserve(coeff.size());
+  for (const auto& [n, c] : coeff) {
+    if (c != 0) items.push_back({n, c});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.n->id < b.n->id; });
+  TermRef pos = nullptr;
+  TermRef neg = nullptr;
+  for (const Item& item : items) {
+    const std::int64_t mag = item.c > 0 ? item.c : -item.c;
+    const TermRef piece =
+        mag == 1 ? item.n : arena_.mul(arena_.intConst(mag), item.n);
+    TermRef& acc = item.c > 0 ? pos : neg;
+    acc = acc != nullptr ? arena_.add(acc, piece) : piece;
+  }
+  if (pos == nullptr && neg == nullptr) return arena_.intConst(constant);
+  TermRef out;
+  if (neg == nullptr) {
+    out = pos;
+  } else if (pos == nullptr) {
+    out = arena_.sub(arena_.intConst(constant), neg);
+    constant = 0;
+  } else {
+    out = arena_.sub(pos, neg);
+  }
+  if (constant != 0) out = arena_.add(out, arena_.intConst(constant));
+  return out;
+}
+
+ir::TermRef Optimizer::rewriteNode(ir::TermRef t) {
+  // Decide the whole node from its interval first (computed over the
+  // *original* children, so the facts are the seeds' — not artifacts of
+  // this rewrite).
+  const Interval iv = intervalOf(t);
+  if (!t->isConst()) {
+    if (t->sort == Sort::Bool) {
+      if (definitelyTrue(iv) || definitelyFalse(iv)) {
+        if (t->kind == TermKind::Eq || t->kind == TermKind::Lt ||
+            t->kind == TermKind::Le) {
+          ++comparisonsDecided_;
+        }
+        return arena_.boolConst(definitelyTrue(iv));
+      }
+    } else if (iv.singleton()) {
+      return arena_.intConst(*iv.lo);
+    }
+  }
+  auto& cache = queryMode_ ? qrw_ : rw_;
+  auto ra = [&](std::size_t i) { return cache.at(t->args[i]); };
+  switch (t->kind) {
+    case TermKind::Ite: {
+      const Interval ci = intervalOf(t->args[0]);
+      if (definitelyTrue(ci)) {
+        ++itesCollapsed_;
+        return ra(1);
+      }
+      if (definitelyFalse(ci)) {
+        ++itesCollapsed_;
+        return ra(2);
+      }
+      return arena_.ite(ra(0), ra(1), ra(2));
+    }
+    case TermKind::Div:
+    case TermKind::Mod: {
+      const TermRef rb = ra(1);
+      if (rb->kind == TermKind::ConstInt && rb->value > 0) {
+        const Interval ai = intervalOf(t->args[0]);
+        if (ai.lo && ai.hi && *ai.lo >= 0 && *ai.hi < rb->value) {
+          // a ∈ [0, c-1]: a div c == 0, a mod c == a.
+          return t->kind == TermKind::Div ? arena_.intConst(0) : ra(0);
+        }
+      }
+      return rebuild(t);
+    }
+    case TermKind::And:
+    case TermKind::Or:
+      return flattenBool(t);
+    case TermKind::Add:
+    case TermKind::Sub:
+    case TermKind::Neg:
+      return linearize(t);
+    default:
+      return rebuild(t);
+  }
+}
+
+ir::TermRef Optimizer::rewritten(ir::TermRef root) {
+  if (!options_.enabled || !options_.rewrite) return root;
+  auto& cache = queryMode_ ? qrw_ : rw_;
+  std::vector<TermRef> stack{root};
+  while (!stack.empty()) {
+    const TermRef t = stack.back();
+    if (cache.count(t) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const TermRef arg : t->args) {
+      if (cache.count(arg) == 0) {
+        stack.push_back(arg);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    cache.emplace(t, rewriteNode(t));
+  }
+  return cache.at(root);
+}
+
+// ---------------------------------------------------------------------------
+// Cone-of-influence slicing
+// ---------------------------------------------------------------------------
+
+void Optimizer::collectVars(ir::TermRef root,
+                            std::unordered_set<ir::TermRef>& out) const {
+  std::unordered_set<TermRef> seen;
+  std::vector<TermRef> stack{root};
+  while (!stack.empty()) {
+    const TermRef t = stack.back();
+    stack.pop_back();
+    if (!seen.insert(t).second) continue;
+    if (t->kind == TermKind::Var) out.insert(t);
+    for (const TermRef arg : t->args) stack.push_back(arg);
+  }
+}
+
+void Optimizer::ensureComponents() {
+  if (componentsBuilt_) return;
+  componentsBuilt_ = true;
+
+  assertVars_.resize(structural_.size());
+  assertComponent_.assign(structural_.size(), -1);
+
+  // Union-find over variables; assertions connect every variable they
+  // mention.
+  std::unordered_map<TermRef, TermRef> parent;
+  auto find = [&](TermRef v) {
+    TermRef root = v;
+    while (true) {
+      const auto it = parent.find(root);
+      if (it == parent.end() || it->second == root) break;
+      root = it->second;
+    }
+    // Path compression.
+    TermRef walk = v;
+    while (walk != root) {
+      TermRef& next = parent[walk];
+      const TermRef tmp = next;
+      next = root;
+      walk = tmp;
+    }
+    return root;
+  };
+
+  for (std::size_t i = 0; i < structural_.size(); ++i) {
+    std::unordered_set<TermRef> vars;
+    collectVars(structural_[i], vars);
+    assertVars_[i].assign(vars.begin(), vars.end());
+    std::sort(assertVars_[i].begin(), assertVars_[i].end(),
+              [](TermRef a, TermRef b) { return a->id < b->id; });
+    TermRef first = nullptr;
+    for (const TermRef v : assertVars_[i]) {
+      parent.try_emplace(v, v);
+      if (first == nullptr) {
+        first = v;
+      } else {
+        parent[find(v)] = find(first);
+      }
+    }
+  }
+
+  std::unordered_map<TermRef, int> byRoot;
+  for (std::size_t i = 0; i < structural_.size(); ++i) {
+    if (assertVars_[i].empty()) continue;  // constant assertion: always kept
+    const TermRef root = find(assertVars_[i][0]);
+    const auto [it, inserted] =
+        byRoot.try_emplace(root, static_cast<int>(components_.size()));
+    if (inserted) components_.emplace_back();
+    Component& comp = components_[static_cast<std::size_t>(it->second)];
+    comp.assertIdx.push_back(i);
+    assertComponent_[i] = it->second;
+    for (const TermRef v : assertVars_[i]) {
+      if (varComponent_.try_emplace(v, it->second).second) {
+        comp.vars.push_back(v);
+      }
+    }
+  }
+}
+
+void Optimizer::certify(Component& comp) {
+  if (comp.state != 0) return;
+  // Candidate 1: each variable at the tightest seeded endpoint (the lower
+  // bound where present — arrival counts at 0, bytes at 1, havoced state
+  // at its floor). Candidate 2: everything at 0.
+  ir::Assignment candidate;
+  for (const TermRef v : comp.vars) {
+    std::int64_t value = 0;
+    const auto it = seed_.find(v);
+    if (it != seed_.end()) {
+      if (it->second.lo) {
+        value = *it->second.lo;
+      } else if (it->second.hi) {
+        value = std::min<std::int64_t>(0, *it->second.hi);
+      }
+    }
+    candidate[v->name] = value;
+  }
+  const ir::Assignment zeros;  // evalTerm defaults absent variables to 0
+  const ir::Assignment* const attempts[] = {&candidate, &zeros};
+  for (const ir::Assignment* attempt : attempts) {
+    bool sat = true;
+    for (const std::size_t idx : comp.assertIdx) {
+      if (ir::evalTerm(structural_[idx], *attempt) == 0) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) {
+      comp.state = 1;
+      if (attempt == &zeros) {
+        comp.witness.clear();
+        for (const TermRef v : comp.vars) comp.witness[v->name] = 0;
+      } else {
+        comp.witness = candidate;
+      }
+      return;
+    }
+  }
+  comp.state = 2;
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+Optimizer::Plan Optimizer::plan(std::span<const ir::TermRef> delta) {
+  Plan p;
+  OptStats& st = p.stats;
+  st.assertionsBefore = structural_.size() + delta.size();
+  st.nodesBefore = countNodes(structural_, delta);
+
+  if (!options_.enabled) {
+    p.structural = structural_;
+    p.sessionStructural = structural_;
+    p.delta.assign(delta.begin(), delta.end());
+    st.assertionsAfter = st.assertionsBefore;
+    st.nodesAfter = st.nodesBefore;
+    return p;
+  }
+
+  if (structuralUnsat_) {
+    // The unit bounds contradict on their own: every query is UNSAT.
+    p.structural = {arena_.falseTerm()};
+    p.sessionStructural = p.structural;
+    st.assertionsAfter = 1;
+    st.nodesAfter = 1;
+    return p;
+  }
+
+  // Pass 1: cone-of-influence slicing at variable-component granularity.
+  const auto sliceStart = std::chrono::steady_clock::now();
+  std::vector<char> keepAssert(structural_.size(), 1);
+  if (options_.slice) {
+    ensureComponents();
+    std::unordered_set<TermRef> rootVars;
+    for (const TermRef d : delta) collectVars(d, rootVars);
+    std::vector<char> hit(components_.size(), 0);
+    for (const TermRef v : rootVars) {
+      const auto it = varComponent_.find(v);
+      if (it != varComponent_.end()) hit[static_cast<std::size_t>(it->second)] = 1;
+    }
+    for (std::size_t ci = 0; ci < components_.size(); ++ci) {
+      if (hit[ci] != 0) continue;
+      Component& comp = components_[ci];
+      certify(comp);
+      if (comp.state != 1) continue;  // not certified: keep (sound default)
+      for (const std::size_t idx : comp.assertIdx) keepAssert[idx] = 0;
+      st.assertionsSliced += comp.assertIdx.size();
+      for (const auto& [name, value] : comp.witness) {
+        p.droppedWitness.emplace(name, value);
+      }
+    }
+  }
+  st.passes.push_back({"slice", secondsSince(sliceStart)});
+
+  // Pass 2: interval-driven rewriting.
+  const auto rewriteStart = std::chrono::steady_clock::now();
+  const std::size_t cmpBefore = comparisonsDecided_;
+  const std::size_t iteBefore = itesCollapsed_;
+  // One kept structural assertion, rewritten under the current mode's
+  // seed facts. Returns nullptr when the assertion simplified to `true`
+  // (safe to drop). Seed assertions are the facts the rewriter assumes;
+  // they must not simplify under themselves and are kept verbatim. A
+  // constant-pinned variable is the one exception: it is inlined
+  // everywhere and restored by the witness, so its bounds carry no
+  // further information.
+  auto structuralRewritten = [&](TermRef s) -> TermRef {
+    const auto seeded = seedVar_.find(s);
+    if (seeded != seedVar_.end()) {
+      if (pinnedWitness_.count(seeded->second->name) != 0) return nullptr;
+      return s;
+    }
+    if (!options_.rewrite) return s;
+    const TermRef r = rewritten(s);
+    return r->isTrue() ? nullptr : r;
+  };
+
+  bool rewroteFalse = false;
+  for (std::size_t i = 0; i < structural_.size(); ++i) {
+    if (keepAssert[i] == 0) continue;
+    const TermRef r = structuralRewritten(structural_[i]);
+    if (r == nullptr) continue;
+    if (r->isFalse()) {
+      rewroteFalse = true;
+      break;
+    }
+    p.sessionStructural.push_back(r);
+  }
+  // Query-local seeding: unit bounds in this delta (workload pins such as
+  // "no arrivals after step 0", query side conditions) tighten the seed
+  // intervals for this plan only. The delta seed assertions are kept
+  // verbatim below — they still constrain the solver — so rewriting the
+  // rest of the delta under them is an equivalence, and the scratch
+  // memos keep one query's facts away from the shared caches whose
+  // results incremental sessions assert persistently.
+  qseed_.clear();
+  qival_.clear();
+  qrw_.clear();
+  std::unordered_set<TermRef> deltaSeeds;
+  bool deltaUnsat = false;
+  if (options_.rewrite && !rewroteFalse) {
+    for (const TermRef d : delta) {
+      const auto shape = seedShape(d);
+      if (!shape) continue;
+      auto [it, inserted] = qseed_.try_emplace(shape->var, topInterval());
+      if (inserted) {
+        const auto base = seed_.find(shape->var);
+        it->second = base != seed_.end() ? base->second
+                     : shape->var->sort == Sort::Bool ? anyBool()
+                                                      : topInterval();
+      }
+      tighten(it->second, *shape);
+      deltaSeeds.insert(d);
+    }
+    for (const auto& [v, iv] : qseed_) {
+      if (iv.empty()) deltaUnsat = true;
+    }
+  }
+
+  if (rewroteFalse) {
+    p.structural = {arena_.falseTerm()};
+    p.sessionStructural = p.structural;
+    p.delta.clear();
+  } else if (deltaUnsat) {
+    // The delta's unit bounds contradict the structural seeds (or each
+    // other): this query is UNSAT on its own. The structural set stays
+    // usable for session reuse; the delta collapses to `false`.
+    p.structural = p.sessionStructural;
+    p.delta = {arena_.falseTerm()};
+  } else {
+    queryMode_ = !qseed_.empty();
+    // The standalone structural set: the same slice, further specialized
+    // under the delta bounds (the soundness side conditions share the
+    // per-step state terms with the query, so this is where most of the
+    // node reduction happens). When an assertion specializes to `false`,
+    // the combined problem is UNSAT: the session path must learn that
+    // through its delta, so `false` goes there too.
+    bool specializedFalse = false;
+    if (queryMode_) {
+      for (std::size_t i = 0; i < structural_.size(); ++i) {
+        if (keepAssert[i] == 0) continue;
+        const TermRef r = structuralRewritten(structural_[i]);
+        if (r == nullptr) continue;
+        if (r->isFalse()) {
+          specializedFalse = true;
+          break;
+        }
+        p.structural.push_back(r);
+      }
+    } else {
+      p.structural = p.sessionStructural;
+    }
+    if (specializedFalse) {
+      p.structural = {arena_.falseTerm()};
+      p.delta = {arena_.falseTerm()};
+    } else {
+      for (const TermRef d : delta) {
+        const TermRef r = options_.rewrite && deltaSeeds.count(d) == 0
+                              ? rewritten(d)
+                              : d;
+        if (r->isTrue()) continue;
+        p.delta.push_back(r);
+      }
+    }
+    queryMode_ = false;
+  }
+  st.comparisonsDecided = comparisonsDecided_ - cmpBefore;
+  st.itesCollapsed = itesCollapsed_ - iteBefore;
+  st.passes.push_back({"rewrite", secondsSince(rewriteStart)});
+
+  // Constant-pinned variables vanish from the encoding entirely; restore
+  // them for trace extraction.
+  if (options_.rewrite) {
+    for (const auto& [name, value] : pinnedWitness_) {
+      p.droppedWitness.emplace(name, value);
+    }
+  }
+
+  st.assertionsAfter = p.structural.size() + p.delta.size();
+  st.nodesAfter = countNodes(p.structural, p.delta);
+  return p;
+}
+
+}  // namespace buffy::opt

@@ -173,6 +173,9 @@ SynthesisResult Synthesizer::run(const core::Query& query,
   // (inconclusive / broken — per-candidate fault isolation).
   std::vector<std::optional<Candidate>> slots(total);
   std::vector<std::optional<CandidateFailure>> failSlots(total);
+  /// Optimizer accounting per candidate's ∃ query (earliest one that
+  /// produced stats is surfaced on the result).
+  std::vector<std::optional<opt::OptStats>> optSlots(total);
   std::atomic<std::size_t> next{0};
   constexpr std::size_t kNoSolution = std::numeric_limits<std::size_t>::max();
   /// Lowest candidate index known to be a solution (firstOnly
@@ -270,6 +273,7 @@ SynthesisResult Synthesizer::run(const core::Query& query,
 
       stage = "exists";
       const core::AnalysisResult exists = engine->check(query);
+      if (exists.opt) optSlots[idx] = exists.opt;
       if (exists.verdict == core::Verdict::WitnessMismatch ||
           exists.inconclusive()) {
         failFrom(exists);
@@ -383,6 +387,7 @@ SynthesisResult Synthesizer::run(const core::Query& query,
       }
       result.failures.push_back(std::move(*failSlots[i]));
     }
+    if (!result.opt && optSlots[i]) result.opt = std::move(optSlots[i]);
   }
 
   result.totalSeconds =

@@ -111,6 +111,12 @@ struct SynthesisResult {
   /// Broken candidates (FailureKind::Exception / WitnessMismatch).
   int failedCount = 0;
   double totalSeconds = 0.0;
+  /// Encoding-optimizer accounting from the earliest (by enumeration
+  /// order) conclusively evaluated candidate's ∃ query — representative of
+  /// the per-candidate encoding size, since candidates share the same
+  /// structural constraints and differ only in the workload delta. Absent
+  /// when the optimizer is disabled.
+  std::optional<opt::OptStats> opt;
 
   /// One-line run report: solutions / solved / unknown / failed counts.
   [[nodiscard]] std::string summary() const;

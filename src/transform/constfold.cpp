@@ -36,11 +36,23 @@ void foldBinary(ExprPtr& expr) {
   const SourceLoc loc = e.loc;
   if (isIntLit(*e.lhs, li) && isIntLit(*e.rhs, ri)) {
     switch (e.op) {
-      case BinaryOp::Add: expr = makeIntLit(li + ri, loc); return;
-      case BinaryOp::Sub: expr = makeIntLit(li - ri, loc); return;
-      case BinaryOp::Mul: expr = makeIntLit(li * ri, loc); return;
+      // Fold arithmetic only when the exact result fits in int64 (program
+      // integers are mathematical; a wrapped fold would change semantics —
+      // and raw `li + ri` overflow is UB besides). Unfoldable operands stay
+      // symbolic and the solver computes them exactly.
+      case BinaryOp::Add:
+        if (const auto v = ir::foldAdd(li, ri)) expr = makeIntLit(*v, loc);
+        return;
+      case BinaryOp::Sub:
+        if (const auto v = ir::foldSub(li, ri)) expr = makeIntLit(*v, loc);
+        return;
+      case BinaryOp::Mul:
+        if (const auto v = ir::foldMul(li, ri)) expr = makeIntLit(*v, loc);
+        return;
       case BinaryOp::Div:
-        expr = makeIntLit(ir::euclideanDiv(li, ri), loc);
+        if (li != INT64_MIN || ri != -1) {
+          expr = makeIntLit(ir::euclideanDiv(li, ri), loc);
+        }
         return;
       case BinaryOp::Mod:
         expr = makeIntLit(ir::euclideanMod(li, ri), loc);
@@ -96,7 +108,7 @@ void foldExpr(ExprPtr& expr) {
       std::int64_t i = 0;
       bool b = false;
       if (e.op == UnaryOp::Neg && isIntLit(*e.operand, i)) {
-        expr = makeIntLit(-i, e.loc);
+        if (const auto v = ir::foldNeg(i)) expr = makeIntLit(*v, e.loc);
       } else if (e.op == UnaryOp::Not && isBoolLit(*e.operand, b)) {
         expr = makeBoolLit(!b, e.loc);
       }

@@ -233,6 +233,35 @@ TEST(Cli, JsonFormatCarriesVerdictAndAttempts) {
   EXPECT_NE(result.output.find("\"trace\":{"), std::string::npos);
 }
 
+TEST(Cli, JsonFormatCarriesOptBlock) {
+  const auto result =
+      runCli(std::string(resilience::kCheckArgs) + "--format json " +
+             model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("\"opt\":{"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"nodesBefore\":"), std::string::npos);
+  EXPECT_NE(result.output.find("\"assertionsSliced\":"), std::string::npos);
+  EXPECT_NE(result.output.find("\"pass\":\"rewrite\""), std::string::npos);
+}
+
+TEST(Cli, NoOptDisablesOptimizer) {
+  // --no-opt: same verdict, no opt accounting in the json.
+  const auto on =
+      runCli(std::string(resilience::kCheckArgs) + "--format json " +
+             model("round_robin.bfy"));
+  const auto off =
+      runCli(std::string(resilience::kCheckArgs) + "--format json --no-opt " +
+             model("round_robin.bfy"));
+  EXPECT_EQ(on.exitCode, 0) << on.output;
+  EXPECT_EQ(off.exitCode, 0) << off.output;
+  EXPECT_NE(on.output.find("\"verdict\":\"SATISFIABLE\""), std::string::npos);
+  EXPECT_NE(off.output.find("\"verdict\":\"SATISFIABLE\""),
+            std::string::npos)
+      << off.output;
+  EXPECT_EQ(off.output.find("\"opt\":{"), std::string::npos) << off.output;
+}
+
 TEST(Cli, JsonFormatOnUnknown) {
   const auto result = runCli(
       std::string(resilience::kCheckArgs) + "--format json --no-retry " +

@@ -63,7 +63,32 @@ TEST(Dafny, MonitorsAreGhost) {
 TEST(Dafny, ListsLowerToSeqOps) {
   const std::string text = emitDafny(compileFq(2), fqOptions(2));
   EXPECT_NE(text.find("nq := nq + ["), std::string::npos) << text;
-  EXPECT_NE(text.find("if |nq| > 0 then nq[0] else -1"), std::string::npos);
+  // pop-front binds the emptiness test once and selects through it.
+  EXPECT_NE(text.find(": bool := |nq| > 0;"), std::string::npos) << text;
+  EXPECT_NE(text.find(" then nq[0] else -1;"), std::string::npos) << text;
+}
+
+TEST(Dafny, MinMaxBindsOperandsOnce) {
+  // Nested min calls: without let bindings the rendered expression doubles
+  // at every level; with them each operand's text appears exactly once.
+  lang::Program prog = lang::parse(R"(
+p(buffer a) {
+  int x = 0;
+  x = min(min(x + 1, x + 2), min(x + 3, x + 4));
+})");
+  lang::checkOrThrow(prog, {});
+  DafnyOptions opts;
+  opts.horizon = 1;
+  opts.inputParams = {"a"};
+  const std::string text = emitDafny(prog, opts);
+  EXPECT_NE(text.find("var e"), std::string::npos) << text;
+  // Each operand of the outer min is rendered once, not twice.
+  std::size_t count = 0;
+  for (std::size_t pos = text.find("(x + 1)"); pos != std::string::npos;
+       pos = text.find("(x + 1)", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << text;
 }
 
 TEST(Dafny, MoveLowersToSliceAndConcat) {

@@ -1,0 +1,189 @@
+// Randomized differential soundness tests for the encoding optimizer:
+// on seeded random term DAGs, the optimized problem must (a) evaluate
+// identically to the original under every seed-satisfying concrete
+// assignment, and (b) get the same Z3 verdict, with witness-completed
+// models satisfying the ORIGINAL constraints.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "backends/z3/z3_backend.hpp"
+#include "ir/term_eval.hpp"
+#include "opt/optimizer.hpp"
+
+namespace buffy::opt {
+namespace {
+
+using ir::Sort;
+using ir::TermRef;
+
+struct RandomProblem {
+  std::vector<TermRef> intVars;
+  std::vector<TermRef> boolVars;
+  std::vector<std::int64_t> hiBound;  // per int var: x in [0, hiBound]
+  std::vector<TermRef> structural;
+  std::vector<TermRef> delta;
+};
+
+class Builder {
+ public:
+  Builder(ir::TermArena& arena, unsigned seed) : arena_(arena), rng_(seed) {}
+
+  RandomProblem build() {
+    RandomProblem p;
+    const int nInt = 3 + pick(3);   // 3..5 int vars
+    const int nBool = 1 + pick(2);  // 1..2 bool vars
+    for (int i = 0; i < nInt; ++i) {
+      p.intVars.push_back(arena_.var("x" + std::to_string(i), Sort::Int));
+      p.hiBound.push_back(2 + pick(9));  // [0, 2..10]
+    }
+    for (int i = 0; i < nBool; ++i) {
+      p.boolVars.push_back(arena_.var("p" + std::to_string(i), Sort::Bool));
+    }
+    vars_ = &p;
+
+    // Structural constraints: unit bounds (the optimizer's seeds) plus a
+    // few random non-seed facts it must treat conservatively.
+    for (std::size_t i = 0; i < p.intVars.size(); ++i) {
+      p.structural.push_back(
+          arena_.ge(p.intVars[i], arena_.intConst(0)));
+      p.structural.push_back(
+          arena_.le(p.intVars[i], arena_.intConst(p.hiBound[i])));
+    }
+    const int extra = pick(3);
+    for (int i = 0; i < extra; ++i) {
+      p.structural.push_back(randBool(2));
+    }
+    const int deltas = 1 + pick(3);
+    for (int i = 0; i < deltas; ++i) {
+      p.delta.push_back(randBool(4));
+    }
+    return p;
+  }
+
+  /// A random assignment satisfying every unit bound.
+  ir::Assignment randomSeedAssignment(const RandomProblem& p) {
+    ir::Assignment asg;
+    for (std::size_t i = 0; i < p.intVars.size(); ++i) {
+      asg[p.intVars[i]->name] = static_cast<std::int64_t>(
+          pick(static_cast<int>(p.hiBound[i] + 1)));
+    }
+    for (const TermRef b : p.boolVars) asg[b->name] = pick(2);
+    return asg;
+  }
+
+ private:
+  int pick(int n) { return static_cast<int>(rng_() %static_cast<unsigned>(n)); }
+
+  TermRef randInt(int depth) {
+    if (depth <= 0 || pick(3) == 0) {
+      if (pick(2) == 0) return arena_.intConst(pick(7) - 2);
+      return vars_->intVars[static_cast<std::size_t>(
+          pick(static_cast<int>(vars_->intVars.size())))];
+    }
+    switch (pick(7)) {
+      case 0: return arena_.add(randInt(depth - 1), randInt(depth - 1));
+      case 1: return arena_.sub(randInt(depth - 1), randInt(depth - 1));
+      case 2:
+        return arena_.mul(randInt(depth - 1), arena_.intConst(pick(4)));
+      case 3:
+        return arena_.mod(randInt(depth - 1), arena_.intConst(pick(5) + 1));
+      case 4:
+        return arena_.div(randInt(depth - 1), arena_.intConst(pick(5) + 1));
+      case 5: return arena_.neg(randInt(depth - 1));
+      default:
+        return arena_.ite(randBool(depth - 1), randInt(depth - 1),
+                          randInt(depth - 1));
+    }
+  }
+
+  TermRef randBool(int depth) {
+    if (depth <= 0 || pick(4) == 0) {
+      if (!vars_->boolVars.empty() && pick(2) == 0) {
+        return vars_->boolVars[static_cast<std::size_t>(
+            pick(static_cast<int>(vars_->boolVars.size())))];
+      }
+      return arena_.le(randInt(0), randInt(0));
+    }
+    switch (pick(7)) {
+      case 0: return arena_.mkAnd(randBool(depth - 1), randBool(depth - 1));
+      case 1: return arena_.mkOr(randBool(depth - 1), randBool(depth - 1));
+      case 2: return arena_.mkNot(randBool(depth - 1));
+      case 3:
+        return arena_.implies(randBool(depth - 1), randBool(depth - 1));
+      case 4: return arena_.le(randInt(depth - 1), randInt(depth - 1));
+      case 5: return arena_.lt(randInt(depth - 1), randInt(depth - 1));
+      default: return arena_.eq(randInt(depth - 1), randInt(depth - 1));
+    }
+  }
+
+  ir::TermArena& arena_;
+  std::mt19937 rng_;
+  const RandomProblem* vars_ = nullptr;
+};
+
+class OptDiff : public ::testing::TestWithParam<unsigned> {};
+
+// (a) Pointwise: rewriting preserves evaluation under every assignment
+// that satisfies the structural seeds.
+TEST_P(OptDiff, RewriteAgreesWithConcreteEvaluator) {
+  ir::TermArena arena;
+  Builder builder(arena, GetParam());
+  const RandomProblem p = builder.build();
+  Optimizer opt(arena, p.structural, {});
+  if (opt.structuralUnsat()) return;  // no satisfying assignments exist
+
+  for (int round = 0; round < 48; ++round) {
+    const ir::Assignment asg = builder.randomSeedAssignment(p);
+    // Rewrites are equivalences under the structural facts; random extra
+    // structural constraints can also be seed-shaped, so only assignments
+    // satisfying the whole structural set are in scope.
+    bool inScope = true;
+    for (const TermRef s : p.structural) {
+      inScope = inScope && ir::evalTerm(s, asg) == 1;
+    }
+    if (!inScope) continue;
+    for (const TermRef t : p.delta) {
+      EXPECT_EQ(ir::evalTerm(t, asg), ir::evalTerm(opt.rewritten(t), asg))
+          << "seed=" << GetParam() << " round=" << round;
+    }
+  }
+}
+
+// (b) End-to-end: the planned problem is equisatisfiable with the
+// original, and witness-completed models satisfy the original.
+TEST_P(OptDiff, PlannedProblemMatchesZ3Verdict) {
+  ir::TermArena arena;
+  Builder builder(arena, GetParam() + 1000);
+  const RandomProblem p = builder.build();
+  Optimizer opt(arena, p.structural, {});
+  const auto plan = opt.plan(p.delta);
+
+  std::vector<TermRef> original = p.structural;
+  original.insert(original.end(), p.delta.begin(), p.delta.end());
+  std::vector<TermRef> planned = plan.structural;
+  planned.insert(planned.end(), plan.delta.begin(), plan.delta.end());
+
+  backends::Z3Backend backend;
+  const auto nativeOrig = backend.check(original);
+  const auto nativePlan = backend.check(planned);
+  ASSERT_EQ(nativeOrig.status, nativePlan.status)
+      << "seed=" << GetParam();
+
+  if (nativePlan.status == backends::SolveStatus::Sat) {
+    ir::Assignment model = nativePlan.model;
+    for (const auto& [name, value] : plan.droppedWitness) {
+      model.emplace(name, value);
+    }
+    for (const TermRef t : original) {
+      EXPECT_EQ(ir::evalTerm(t, model), 1) << "seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptDiff,
+                         ::testing::Range(0u, 24u));
+
+}  // namespace
+}  // namespace buffy::opt

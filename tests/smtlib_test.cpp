@@ -32,14 +32,59 @@ TEST_F(SmtLibTest, QuotesExoticSymbols) {
   EXPECT_NE(text.find("|fq.ibs.0.t0.n|"), std::string::npos) << text;
 }
 
-TEST_F(SmtLibTest, SharedSubtermsBecomeDefinitions) {
+TEST_F(SmtLibTest, SharedSubtermsBecomeLetBindings) {
   const ir::TermRef x = arena.var("x", ir::Sort::Int);
   const ir::TermRef shared = arena.mul(x, x);
   const std::vector<ir::TermRef> cs = {
       arena.gt(arena.add(shared, shared), arena.intConst(0))};
   const std::string text = emitSmtLib(cs);
+  EXPECT_NE(text.find("(let (($t"), std::string::npos) << text;
+  // Purely syntactic sharing: no auxiliary constants are declared.
+  EXPECT_EQ(text.find("(declare-const $t"), std::string::npos) << text;
+}
+
+TEST_F(SmtLibTest, DefineModeUsesDeclaredConstants) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  const ir::TermRef shared = arena.mul(x, x);
+  const std::vector<ir::TermRef> cs = {
+      arena.gt(arena.add(shared, shared), arena.intConst(0))};
+  SmtLibOptions opts;
+  opts.sharing = SmtLibSharing::Define;
+  const std::string text = emitSmtLib(cs, opts);
   EXPECT_NE(text.find("(declare-const $t"), std::string::npos) << text;
   EXPECT_NE(text.find("(assert (= $t"), std::string::npos);
+}
+
+// Acceptance check for the shared-subterm emitter: on a deeply shared ite
+// chain (each level references the previous one twice), the let-sharing
+// script stays linear in the DAG while the tree expansion is exponential.
+TEST_F(SmtLibTest, LetSharingStaysLinearOnSharedIteChains) {
+  const ir::TermRef x = arena.var("x", ir::Sort::Int);
+  ir::TermRef level = x;
+  for (int i = 0; i < 18; ++i) {
+    // Each step references the previous level twice: the DAG grows by one
+    // node per step while the expanded tree doubles.
+    level = arena.ite(arena.le(x, arena.intConst(i)),
+                      arena.add(level, arena.intConst(1)),
+                      arena.sub(level, arena.intConst(1)));
+  }
+  const std::vector<ir::TermRef> cs = {arena.ge(level, arena.intConst(0))};
+
+  SmtLibOptions let;
+  const std::string shared = emitSmtLib(cs, let);
+  SmtLibOptions expand;
+  expand.sharing = SmtLibSharing::Expand;
+  const std::string tree = emitSmtLib(cs, expand);
+
+  // 18 doublings: the tree text is thousands of times larger.
+  EXPECT_GT(tree.size(), shared.size() * 1000) << shared.size();
+  // And both scripts still agree with the native lowering's verdict.
+  Z3Backend backend;
+  const auto native = backend.check(cs);
+  SmtLibOptions noCheck = let;
+  noCheck.checkSat = false;
+  EXPECT_EQ(backend.checkSmtLib(emitSmtLib(cs, noCheck)).status,
+            native.status);
 }
 
 TEST_F(SmtLibTest, OptionsControlOutput) {

@@ -28,6 +28,28 @@ TEST_F(TermTest, ConstantFoldingArithmetic) {
   EXPECT_EQ(arena.neg(arena.intConst(7))->value, -7);
 }
 
+TEST_F(TermTest, OverflowingFoldsStaySymbolic) {
+  // Solver integers are mathematical: a fold whose exact value does not
+  // fit in 64 bits must keep the node symbolic instead of wrapping.
+  const TermRef maxT = arena.intConst(INT64_MAX);
+  const TermRef minT = arena.intConst(INT64_MIN);
+  EXPECT_EQ(arena.add(maxT, arena.intConst(1))->kind, TermKind::Add);
+  EXPECT_EQ(arena.sub(minT, arena.intConst(1))->kind, TermKind::Sub);
+  EXPECT_EQ(arena.mul(maxT, arena.intConst(2))->kind, TermKind::Mul);
+  EXPECT_EQ(arena.neg(minT)->kind, TermKind::Neg);
+  EXPECT_EQ(arena.div(minT, arena.intConst(-1))->kind, TermKind::Div);
+  // Representable results at the boundary still fold.
+  EXPECT_EQ(arena.add(maxT, arena.intConst(0)), maxT);
+  EXPECT_EQ(arena.sub(maxT, arena.intConst(1))->value, INT64_MAX - 1);
+  EXPECT_EQ(arena.neg(maxT)->value, -INT64_MAX);
+
+  EXPECT_EQ(foldAdd(INT64_MAX, 1), std::nullopt);
+  EXPECT_EQ(foldSub(INT64_MIN, 1), std::nullopt);
+  EXPECT_EQ(foldMul(INT64_MAX, 2), std::nullopt);
+  EXPECT_EQ(foldNeg(INT64_MIN), std::nullopt);
+  EXPECT_EQ(foldAdd(INT64_MAX, -1), INT64_MAX - 1);
+}
+
 TEST_F(TermTest, IdentityRules) {
   const TermRef x = arena.var("x", Sort::Int);
   EXPECT_EQ(arena.add(x, arena.intConst(0)), x);

@@ -71,6 +71,25 @@ p(buffer a, buffer b) {
       << printProgram(prog);
 }
 
+TEST(ConstFold, OverflowingLiteralsStayUnfolded) {
+  // 64-bit boundary: folding 9223372036854775807 + 1 would wrap (signed
+  // overflow UB before the checked-arithmetic fix); the expression must
+  // survive unfolded. The in-range sibling still folds.
+  Program prog = compiled(R"(
+p(buffer a, buffer b) {
+  local int x;
+  local int y;
+  x = 9223372036854775807 + 1;
+  y = 9223372036854775807 - 1;
+})");
+  foldConstants(prog);
+  const std::string printed = printProgram(prog);
+  EXPECT_NE(printed.find("9223372036854775807 + 1"), std::string::npos)
+      << printed;
+  EXPECT_NE(printed.find("y = 9223372036854775806;"), std::string::npos)
+      << printed;
+}
+
 TEST(ConstFold, FoldsMinMaxCalls) {
   Program prog = compiled(R"(
 p(buffer a, buffer b) {

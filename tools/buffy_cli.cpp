@@ -29,6 +29,7 @@
 //   --max-memory MB       solver memory cap
 //   --no-retry            disable the Unknown retry/escalation ladder
 //   --no-replay           disable the witness-replay cross-check
+//   --no-opt              disable the encoding optimizer (DESIGN.md §9)
 //   --full-trace          render every series (incl. packet fields)
 //   --format table|csv|json  trace/result output format
 //
@@ -109,6 +110,7 @@ struct Options {
   std::optional<unsigned> maxMemoryMb;
   bool noRetry = false;
   bool noReplay = false;
+  bool noOpt = false;
   /// Hidden test seam (--inject-fault nth:kind[:param]): deterministic
   /// fault injection so the resilience exit paths are testable end-to-end.
   std::vector<std::string> injectFaults;
@@ -208,6 +210,8 @@ Options parseArgs(int argc, char** argv) {
       opts.noRetry = true;
     } else if (arg == "--no-replay") {
       opts.noReplay = true;
+    } else if (arg == "--no-opt") {
+      opts.noOpt = true;
     } else if (arg == "--inject-fault") {
       opts.injectFaults.push_back(next());
     } else if (arg == "-h" || arg == "--help") {
@@ -357,6 +361,28 @@ int reportResult(const Options& opts, const core::AnalysisResult& result) {
       json += "}";
     }
     json += "]";
+    if (result.opt) {
+      const auto& o = *result.opt;
+      json += ",\"opt\":{";
+      json += "\"nodesBefore\":" + std::to_string(o.nodesBefore);
+      json += ",\"nodesAfter\":" + std::to_string(o.nodesAfter);
+      json += ",\"assertionsBefore\":" + std::to_string(o.assertionsBefore);
+      json += ",\"assertionsAfter\":" + std::to_string(o.assertionsAfter);
+      json += ",\"assertionsSliced\":" + std::to_string(o.assertionsSliced);
+      json +=
+          ",\"comparisonsDecided\":" + std::to_string(o.comparisonsDecided);
+      json += ",\"itesCollapsed\":" + std::to_string(o.itesCollapsed);
+      json += ",\"passes\":[";
+      for (std::size_t i = 0; i < o.passes.size(); ++i) {
+        if (i > 0) json += ",";
+        std::snprintf(secs, sizeof secs, "%.6f", o.passes[i].seconds);
+        json += "{\"pass\":\"" + jsonEscape(o.passes[i].pass) +
+                "\",\"seconds\":";
+        json += secs;
+        json += "}";
+      }
+      json += "]}";
+    }
     if (result.trace) {
       std::string trace = result.trace->toJson();
       while (!trace.empty() && (trace.back() == '\n' || trace.back() == ' ')) {
@@ -372,6 +398,13 @@ int reportResult(const Options& opts, const core::AnalysisResult& result) {
   std::printf("%s (%.3f s)\n", core::verdictName(result.verdict),
               result.solveSeconds);
   if (!result.detail.empty()) std::printf("  %s\n", result.detail.c_str());
+  if (result.opt) {
+    std::printf("  opt: %zu -> %zu nodes, %zu -> %zu assertions"
+                " (%zu sliced)\n",
+                result.opt->nodesBefore, result.opt->nodesAfter,
+                result.opt->assertionsBefore, result.opt->assertionsAfter,
+                result.opt->assertionsSliced);
+  }
   if (result.attempts.size() > 1) {
     for (const auto& a : result.attempts) {
       std::printf("  attempt %-8s %s%s%s%s (%.3f s)\n", a.stage.c_str(),
@@ -494,6 +527,7 @@ int run(const Options& opts) {
   aopts.faultPlan = buildFaultPlan(opts);
   aopts.unrollLoops = opts.unroll;
   aopts.symbolicInitialState = opts.havocInit;
+  aopts.opt.enabled = !opts.noOpt;
   core::Analysis analysis(net, aopts);
 
   if (opts.command == "simulate") {

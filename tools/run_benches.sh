@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Rebuilds the Release benchmark tree (opt-bench preset) and refreshes the
+# committed benchmark JSONs in one run on one host, so the numbers in
+# BENCH_incremental.json and BENCH_opt.json are always comparable:
+#
+#   tools/run_benches.sh
+#
+# Both benchmark binaries exit nonzero when their pass criterion fails
+# (incremental beats fresh; optimizer verdict identity + speedup/reduction
+# threshold), which this script propagates.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset opt-bench
+cmake --build --preset opt-bench -j "$(nproc)" \
+  --target bench_incremental bench_opt
+
+cd build-bench
+./bench/bench_incremental
+./bench/bench_opt
+
+cp BENCH_incremental.json BENCH_opt.json ..
+echo "refreshed BENCH_incremental.json and BENCH_opt.json"
