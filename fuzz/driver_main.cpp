@@ -1,0 +1,342 @@
+// Standalone fuzzing driver for toolchains without libFuzzer (the GCC
+// default in this repo's container). Links against any target exposing
+// the libFuzzer entry point:
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t*, size_t);
+//
+// and accepts a libFuzzer-compatible subset of the command line:
+//
+//   fuzz_parser [flags] [corpus_dir ...] [file ...]
+//     -runs=N             stop after N mutated executions (default 100000)
+//     -max_total_time=S   stop after S seconds (default: unlimited)
+//     -max_len=N          cap generated input size (default 4096)
+//     -seed=N             PRNG seed (default 1)
+//     -dict=FILE          token dictionary ("name" or name="value" lines)
+//     -artifact_prefix=P  where crash inputs are written (default ./)
+//
+// Directory arguments are seed corpora (every regular file is loaded);
+// plain file arguments are replayed once each and then used as seeds —
+// so `fuzz_parser crash-123.bin` reproduces a crash exactly like
+// libFuzzer. When the harness aborts or a signal arrives, the input
+// being executed is dumped to <artifact_prefix>crash-<runs> before the
+// process dies, so campaigns always leave a reproducer behind.
+//
+// Mutations are deliberately simple (bit flips, byte edits, block
+// erase/insert/duplicate, corpus splice, dictionary insert): the goal is
+// a dependency-free smoke fuzzer for CI, not coverage-guided search.
+// With Clang available, build with BUFFY_FUZZ and -fsanitize=fuzzer
+// instead and this file drops out of the link.
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+// The input currently inside LLVMFuzzerTestOneInput, for crash dumps.
+const Input* g_current = nullptr;
+std::string g_artifactPrefix = "./";
+std::uint64_t g_runs = 0;
+
+void dumpCurrentInput() {
+  if (g_current == nullptr) return;
+  const std::string path =
+      g_artifactPrefix + "crash-" + std::to_string(g_runs);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f != nullptr) {
+    if (!g_current->empty()) {
+      std::fwrite(g_current->data(), 1, g_current->size(), f);
+    }
+    std::fclose(f);
+    std::fprintf(stderr, "driver: crash input written to %s (%zu bytes)\n",
+                 path.c_str(), g_current->size());
+  }
+}
+
+[[noreturn]] void onSignal(int sig) {
+  std::fprintf(stderr, "driver: caught signal %d on run %llu\n", sig,
+               static_cast<unsigned long long>(g_runs));
+  dumpCurrentInput();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+  std::_Exit(128 + sig);
+}
+
+[[noreturn]] void onTerminate() {
+  std::fprintf(stderr, "driver: uncaught exception on run %llu\n",
+               static_cast<unsigned long long>(g_runs));
+  dumpCurrentInput();
+  std::abort();
+}
+
+// xorshift64* — deterministic across platforms, no <random> state size
+// surprises.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed != 0 ? seed : 0x9e3779b9) {}
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  /// Uniform in [0, n). n must be > 0.
+  std::size_t below(std::size_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct Options {
+  std::uint64_t runs = 100000;
+  std::uint64_t maxTotalTimeSec = 0;  // 0 = unlimited
+  std::size_t maxLen = 4096;
+  std::uint64_t seed = 1;
+  std::string dictPath;
+  std::vector<std::string> corpusDirs;
+  std::vector<std::string> replayFiles;
+};
+
+bool parseFlag(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string("-") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (parseFlag(arg, "runs", value)) {
+      opts.runs = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parseFlag(arg, "max_total_time", value)) {
+      opts.maxTotalTimeSec = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parseFlag(arg, "max_len", value)) {
+      opts.maxLen = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parseFlag(arg, "seed", value)) {
+      opts.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parseFlag(arg, "dict", value)) {
+      opts.dictPath = value;
+    } else if (parseFlag(arg, "artifact_prefix", value)) {
+      g_artifactPrefix = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Unknown libFuzzer flag: ignore, for drop-in compatibility.
+      std::fprintf(stderr, "driver: ignoring flag %s\n", arg.c_str());
+    } else if (std::filesystem::is_directory(arg)) {
+      opts.corpusDirs.push_back(arg);
+    } else {
+      opts.replayFiles.push_back(arg);
+    }
+  }
+  return opts;
+}
+
+Input readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Input(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+// Dictionary file: one entry per line, libFuzzer/AFL format — optional
+// name= prefix, value in double quotes, \xNN and \" escapes. Lines
+// starting with '#' are comments.
+std::vector<Input> loadDictionary(const std::string& path) {
+  std::vector<Input> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto open = line.find('"');
+    const auto close = line.rfind('"');
+    if (open == std::string::npos || close <= open) continue;
+    Input entry;
+    for (std::size_t i = open + 1; i < close; ++i) {
+      char c = line[i];
+      if (c == '\\' && i + 1 < close) {
+        const char next = line[i + 1];
+        if (next == 'x' && i + 3 < close) {
+          const std::string hex = line.substr(i + 2, 2);
+          entry.push_back(
+              static_cast<std::uint8_t>(std::strtoul(hex.c_str(), nullptr, 16)));
+          i += 3;
+          continue;
+        }
+        entry.push_back(static_cast<std::uint8_t>(next));
+        ++i;
+        continue;
+      }
+      entry.push_back(static_cast<std::uint8_t>(c));
+    }
+    if (!entry.empty()) entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void runOne(const Input& input) {
+  g_current = &input;
+  ++g_runs;
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+  g_current = nullptr;
+}
+
+Input mutate(const Input& base, const std::vector<Input>& corpus,
+             const std::vector<Input>& dict, std::size_t maxLen, Rng& rng) {
+  Input out = base;
+  // 1–4 stacked mutations per input.
+  const std::size_t rounds = 1 + rng.below(4);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    switch (rng.below(7)) {
+      case 0:  // flip one bit
+        if (!out.empty()) {
+          out[rng.below(out.size())] ^=
+              static_cast<std::uint8_t>(1U << rng.below(8));
+        }
+        break;
+      case 1:  // randomize one byte
+        if (!out.empty()) {
+          out[rng.below(out.size())] = static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      case 2: {  // erase a block
+        if (out.size() > 1) {
+          const std::size_t at = rng.below(out.size());
+          const std::size_t len = 1 + rng.below(out.size() - at);
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(at),
+                    out.begin() + static_cast<std::ptrdiff_t>(at + len));
+        }
+        break;
+      }
+      case 3: {  // insert random bytes
+        const std::size_t at = out.empty() ? 0 : rng.below(out.size() + 1);
+        const std::size_t len = 1 + rng.below(8);
+        Input bytes(len);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   bytes.begin(), bytes.end());
+        break;
+      }
+      case 4: {  // duplicate a block in place
+        if (!out.empty()) {
+          const std::size_t at = rng.below(out.size());
+          const std::size_t len =
+              1 + rng.below(std::min<std::size_t>(out.size() - at, 32));
+          const Input block(out.begin() + static_cast<std::ptrdiff_t>(at),
+                            out.begin() + static_cast<std::ptrdiff_t>(at + len));
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                     block.begin(), block.end());
+        }
+        break;
+      }
+      case 5: {  // splice with another corpus element
+        if (!corpus.empty()) {
+          const Input& other = corpus[rng.below(corpus.size())];
+          if (!other.empty()) {
+            const std::size_t cut =
+                out.empty() ? 0 : rng.below(out.size() + 1);
+            const std::size_t from = rng.below(other.size());
+            out.resize(cut);
+            out.insert(out.end(),
+                       other.begin() + static_cast<std::ptrdiff_t>(from),
+                       other.end());
+          }
+        }
+        break;
+      }
+      case 6: {  // insert a dictionary token
+        if (!dict.empty()) {
+          const Input& tok = dict[rng.below(dict.size())];
+          const std::size_t at = out.empty() ? 0 : rng.below(out.size() + 1);
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                     tok.begin(), tok.end());
+        }
+        break;
+      }
+    }
+  }
+  if (out.size() > maxLen) out.resize(maxLen);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parseArgs(argc, argv);
+
+  std::set_terminate(onTerminate);
+  std::signal(SIGSEGV, onSignal);
+  std::signal(SIGABRT, onSignal);
+  std::signal(SIGBUS, onSignal);
+  std::signal(SIGFPE, onSignal);
+  std::signal(SIGILL, onSignal);
+
+  std::vector<Input> corpus;
+  for (const auto& dir : opts.corpusDirs) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file()) corpus.push_back(readFile(entry.path()));
+    }
+  }
+  const std::vector<Input> dict =
+      opts.dictPath.empty() ? std::vector<Input>{}
+                            : loadDictionary(opts.dictPath);
+
+  // Replay explicit files first (crash reproduction), then fold them into
+  // the corpus as mutation seeds.
+  for (const auto& path : opts.replayFiles) {
+    Input input = readFile(path);
+    std::fprintf(stderr, "driver: replaying %s (%zu bytes)\n", path.c_str(),
+                 input.size());
+    runOne(input);
+    corpus.push_back(std::move(input));
+  }
+
+  // Execute every corpus element once, like libFuzzer's init pass.
+  for (const auto& input : corpus) runOne(input);
+  std::fprintf(stderr,
+               "driver: %zu corpus inputs, %zu dictionary entries, seed %llu\n",
+               corpus.size(), dict.size(),
+               static_cast<unsigned long long>(opts.seed));
+
+  Rng rng(opts.seed);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t executed = 0;
+  while (executed < opts.runs) {
+    if (opts.maxTotalTimeSec != 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      if (static_cast<std::uint64_t>(elapsed) >= opts.maxTotalTimeSec) break;
+    }
+    const Input base = corpus.empty()
+                           ? Input{}
+                           : corpus[rng.below(corpus.size())];
+    runOne(mutate(base, corpus, dict, opts.maxLen, rng));
+    ++executed;
+    if (executed % 10000 == 0) {
+      std::fprintf(stderr, "driver: %llu runs\n",
+                   static_cast<unsigned long long>(g_runs));
+    }
+  }
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::fprintf(stderr, "driver: done, %llu total runs in %lld ms, no crashes\n",
+               static_cast<unsigned long long>(g_runs),
+               static_cast<long long>(elapsed));
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fuzz target: the lexer, in both error modes.
+//
+// Invariants checked:
+//  - throw mode raises SyntaxError (and nothing else) on bad input;
+//  - recovery mode never throws, reports at least one diagnostic whenever
+//    throw mode rejected the same input, and always ends with EndOfFile.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "lang/lexer.hpp"
+#include "support/diagnostics.hpp"
+#include "support/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view src(reinterpret_cast<const char*>(data), size);
+
+  bool throwModeRejected = false;
+  try {
+    const auto tokens = buffy::lang::lex(src);
+    if (tokens.empty() ||
+        tokens.back().kind != buffy::lang::TokenKind::EndOfFile) {
+      std::abort();
+    }
+  } catch (const buffy::SyntaxError&) {
+    throwModeRejected = true;
+  }
+
+  buffy::DiagnosticEngine diag;
+  const auto tokens = buffy::lang::lex(src, diag);
+  if (tokens.empty() ||
+      tokens.back().kind != buffy::lang::TokenKind::EndOfFile) {
+    std::abort();
+  }
+  if (throwModeRejected && !diag.hasErrors()) std::abort();
+  return 0;
+}

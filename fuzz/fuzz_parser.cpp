@@ -1,0 +1,60 @@
+// Fuzz target: the parser, in both error modes, with a tight CompileBudget.
+//
+// Invariants checked:
+//  - throw mode raises SyntaxError or BudgetExceeded, nothing else;
+//  - recovery mode raises at most BudgetExceeded; parse problems land in
+//    the DiagnosticEngine instead (and a program that parsed cleanly in
+//    throw mode must not produce recovery-mode errors);
+//  - a program accepted by throw mode survives the pretty-printer.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "support/budget.hpp"
+#include "support/diagnostics.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+buffy::CompileBudget fuzzBudget() {
+  buffy::CompileBudget b;
+  b.maxNestingDepth = 64;
+  b.maxExprTerms = 1024;
+  b.maxAstNodes = 1 << 16;
+  return b;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 65536) return 0;  // keep single runs fast
+  const std::string src(reinterpret_cast<const char*>(data), size);
+  const buffy::CompileBudget budget = fuzzBudget();
+
+  bool parsedClean = false;
+  try {
+    const buffy::lang::Program prog = buffy::lang::parse(src, budget);
+    parsedClean = true;
+    // The printer must handle anything the parser accepted.
+    (void)buffy::lang::printProgram(prog);
+  } catch (const buffy::SyntaxError&) {
+  } catch (const buffy::BudgetExceeded&) {
+    return 0;  // recovery mode would hit the same limit
+  }
+
+  buffy::DiagnosticEngine diag;
+  try {
+    const buffy::lang::Program prog =
+        buffy::lang::parseRecover(src, diag, budget);
+    (void)buffy::lang::printProgram(prog);
+  } catch (const buffy::BudgetExceeded&) {
+    return 0;
+  }
+  if (parsedClean && diag.hasErrors()) std::abort();
+  return 0;
+}

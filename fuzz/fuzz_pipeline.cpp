@@ -1,0 +1,90 @@
+// Fuzz target: the whole front half of the pipeline — recovery parse,
+// elaboration, typecheck, semantic passes, transforms, and one symbolic
+// step of relation extraction (buildTransitionSystem), all under a tiny
+// CompileBudget. No solver is invoked.
+//
+// Invariant: the only exceptions that may escape any stage are
+// buffy::Error subclasses (structured input/analysis failures) — anything
+// else (std::bad_alloc, std::out_of_range, segfault, stack overflow,
+// sanitizer report) is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/network.hpp"
+#include "core/transition.hpp"
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "sem/passes.hpp"
+#include "support/budget.hpp"
+#include "support/diagnostics.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+buffy::CompileBudget fuzzBudget() {
+  buffy::CompileBudget b;
+  b.maxNestingDepth = 64;
+  b.maxExprTerms = 512;
+  b.maxAstNodes = 1 << 15;
+  b.maxUnrolledStmts = 1 << 12;
+  b.maxInlinedStmts = 1 << 12;
+  b.maxExecStmts = 1 << 14;
+  b.maxTermNodes = 1 << 16;
+  return b;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 16384) return 0;  // keep single runs fast
+  const std::string src(reinterpret_cast<const char*>(data), size);
+  const buffy::CompileBudget budget = fuzzBudget();
+
+  try {
+    // Batched front half, exactly as the CLI drives it.
+    buffy::DiagnosticEngine diag;
+    buffy::lang::Program prog = buffy::lang::parseRecover(src, diag, budget);
+    buffy::lang::CompileOptions copts;
+    copts.constants["N"] = 2;
+    copts.constants["K"] = 3;
+    (void)buffy::lang::elaborate(prog, copts, diag);
+    const auto symbols = buffy::lang::typecheck(prog, copts, diag);
+    if (diag.hasErrors()) return 0;
+
+    buffy::DiagnosticEngine semDiag;
+    buffy::sem::BufferRoles roles;
+    buffy::sem::checkWellFormed(prog, roles, semDiag);
+    buffy::sem::checkGhostNonInterference(prog, symbols.monitors, semDiag);
+    buffy::sem::checkDefiniteAssignment(prog, semDiag);
+
+    // Synthesize a BufferSpec per buffer parameter so the network accepts
+    // the program, then extract one symbolic step (parse -> transforms ->
+    // evaluator -> term arena, no Z3).
+    buffy::core::ProgramSpec spec;
+    spec.source = src;
+    spec.compile = copts;
+    bool first = true;
+    for (const auto& [param, type] : symbols.paramTypes) {
+      if (!type.isBufferLike()) continue;
+      buffy::core::BufferSpec b;
+      b.param = param;
+      b.capacity = 3;
+      b.maxArrivalsPerStep = 2;
+      b.role = first ? buffy::core::BufferSpec::Role::Input
+                     : buffy::core::BufferSpec::Role::Output;
+      first = false;
+      spec.buffers.push_back(b);
+    }
+    buffy::core::Network net;
+    net.add(spec);
+    buffy::core::TransitionOptions topts;
+    topts.budget = budget;
+    (void)buffy::core::buildTransitionSystem(net, topts);
+  } catch (const buffy::Error&) {
+    // Structured failure on malformed/bomb input: expected.
+  }
+  return 0;
+}

@@ -104,7 +104,7 @@ struct Analysis::Impl {
   void compileAll() {
     for (const auto& spec : network.instances()) {
       CompiledInstance ci;
-      ci.program = lang::parse(spec.source);
+      ci.program = lang::parse(spec.source, options.budget);
       ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
       if (instanceIndex.count(ci.name) != 0) {
         throw AnalysisError("duplicate instance name '" + ci.name + "'");
@@ -149,9 +149,9 @@ struct Analysis::Impl {
       }
 
       // Paper §4 transformations.
-      transform::inlineFunctions(ci.program);
+      transform::inlineFunctions(ci.program, options.budget);
       transform::foldConstants(ci.program);
-      if (options.unrollLoops) transform::unrollLoops(ci.program);
+      if (options.unrollLoops) transform::unrollLoops(ci.program, options.budget);
       // Re-typecheck after transformation (defensive; also re-annotates).
       DiagnosticEngine diag2;
       const auto recheck =
@@ -249,6 +249,9 @@ struct Analysis::Impl {
     auto enc = std::make_unique<Encoding>();
     enc->horizon = options.horizon;
     ir::TermArena& arena = enc->arena;
+    // One cap on the shared arena governs every term producer downstream
+    // (evaluator, buffer models, optimizer, encoders).
+    arena.setNodeLimit(options.budget.maxTermNodes);
 
     // Register buffers.
     for (const auto& ci : instances) {
@@ -286,9 +289,10 @@ struct Analysis::Impl {
     std::map<std::string, std::unique_ptr<eval::Evaluator>> evaluators;
     for (const auto& ci : instances) {
       if (ci.isContract) continue;
-      evaluators.emplace(ci.name,
-                         std::make_unique<eval::Evaluator>(
-                             arena, enc->store, sinks, ci.name + "."));
+      auto ev = std::make_unique<eval::Evaluator>(arena, enc->store, sinks,
+                                                  ci.name + ".");
+      ev->setBudget(options.budget);
+      evaluators.emplace(ci.name, std::move(ev));
     }
 
     for (int t = 0; t < options.horizon; ++t) {

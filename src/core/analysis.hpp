@@ -25,6 +25,7 @@
 #include "core/workload.hpp"
 #include "eval/evaluator.hpp"
 #include "eval/store.hpp"
+#include "support/budget.hpp"
 
 namespace buffy::core {
 
@@ -84,6 +85,12 @@ struct AnalysisOptions {
   /// interval-driven rewriting between symbolic evaluation and every
   /// backend. The CLI's --no-opt clears `opt.enabled`.
   opt::OptOptions opt;
+  /// Resource governor for the whole compile (DESIGN.md §10): parser
+  /// depth/nodes, inline/unroll expansion, per-step symbolic execution,
+  /// and term-arena size. Violations raise BudgetExceeded rather than
+  /// exhausting memory or hanging. Zeroed fields disable individual caps;
+  /// CompileBudget::unlimited() restores pre-governor behavior.
+  CompileBudget budget;
 };
 
 /// The unrolled symbolic encoding of a network over the horizon.

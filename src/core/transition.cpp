@@ -95,9 +95,10 @@ struct CompiledInstance {
   std::vector<GlobalDecl> globals;
 };
 
-CompiledInstance compileSpec(const ProgramSpec& spec) {
+CompiledInstance compileSpec(const ProgramSpec& spec,
+                             const CompileBudget& budget) {
   CompiledInstance ci;
-  ci.program = lang::parse(spec.source);
+  ci.program = lang::parse(spec.source, budget);
   ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
   ci.symbols = lang::checkOrThrow(ci.program, spec.compile);
   ci.buffers = spec.buffers;
@@ -114,7 +115,7 @@ CompiledInstance compileSpec(const ProgramSpec& spec) {
     throw SemanticError("semantic checks failed for '" + ci.name + "':\n" +
                         diag.renderAll());
   }
-  transform::inlineFunctions(ci.program);
+  transform::inlineFunctions(ci.program, budget);
   transform::foldConstants(ci.program);
   collectGlobals(*ci.program.body, ci.globals);
   return ci;
@@ -131,11 +132,12 @@ class TransitionBuilder {
     }
     auto ts = std::make_unique<TransitionSystem>();
     ir::TermArena& arena = ts->arena;
+    arena.setNodeLimit(options_.budget.maxTermNodes);
     eval::Store store(arena);
 
     std::set<std::string> names;
     for (const auto& spec : network_.instances()) {
-      instances_.push_back(compileSpec(spec));
+      instances_.push_back(compileSpec(spec, options_.budget));
       if (!names.insert(instances_.back().name).second) {
         throw AnalysisError("duplicate instance name '" +
                             instances_.back().name + "'");
@@ -232,6 +234,7 @@ class TransitionBuilder {
     // 2. Programs (step index 1: persistent declarations already exist).
     for (const auto& ci : instances_) {
       eval::Evaluator evaluator(arena, store, sinks, ci.name + ".");
+      evaluator.setBudget(options_.budget);
       evaluator.execStep(ci.program, 1);
     }
     // 3. Connection flushes.

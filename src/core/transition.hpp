@@ -26,6 +26,7 @@
 #include "core/workload.hpp"
 #include "eval/store.hpp"
 #include "ir/term.hpp"
+#include "support/budget.hpp"
 
 namespace buffy::core {
 
@@ -38,6 +39,10 @@ struct TransitionOptions {
   /// Per-step traffic assumptions (interpreted at every step; the arrival
   /// view it sees has horizon 1).
   Workload stepWorkload;
+  /// Resource governor (see AnalysisOptions::budget): caps parsing,
+  /// transformation, symbolic execution, and term-arena growth during
+  /// relation extraction. Violations raise BudgetExceeded.
+  CompileBudget budget;
 };
 
 /// The extracted relation. Owns the arena; every term lives in it.

@@ -29,6 +29,7 @@ std::string Evaluator::bufferStoreName(const std::string& param,
 
 void Evaluator::execStep(const lang::Program& prog, int step) {
   step_ = step;
+  execCount_ = 0;  // maxExecStmts is a per-step allowance
   path_ = arena_.trueTerm();
   bufferArraySizes_.clear();
   paramTypes_.clear();
@@ -55,6 +56,8 @@ void Evaluator::execBlock(const lang::BlockStmt& block) {
 }
 
 void Evaluator::execStmt(const lang::Stmt& stmt) {
+  ++execCount_;
+  checkBudget(execCount_, budget_.maxExecStmts, "exec-stmts", stmt.loc);
   switch (stmt.stmtKind) {
     case StmtKind::Block:
       execBlock(static_cast<const lang::BlockStmt&>(stmt));

@@ -21,6 +21,7 @@
 #include "eval/store.hpp"
 #include "ir/term.hpp"
 #include "lang/ast.hpp"
+#include "support/budget.hpp"
 
 namespace buffy::eval {
 
@@ -64,6 +65,12 @@ class Evaluator {
   /// store (used by the query engine for in-store conditions).
   [[nodiscard]] ir::TermRef evalExpr(const lang::Expr& expr);
 
+  /// Replaces the resource budget (defaults to CompileBudget::defaults()).
+  /// maxExecStmts bounds statements executed per time step, so a
+  /// constant-bounded loop bomb (`for (i in 0..1000000000)`) raises
+  /// BudgetExceeded instead of grinding for hours.
+  void setBudget(const CompileBudget& budget) { budget_ = budget; }
+
  private:
   struct BufferChoice {
     buffers::SymBuffer* buf = nullptr;
@@ -97,6 +104,8 @@ class Evaluator {
   std::string prefix_;
   ir::TermRef path_;  // current path condition (for sinks only)
   int step_ = 0;
+  CompileBudget budget_ = CompileBudget::defaults();
+  std::size_t execCount_ = 0;  // statements executed in the current step
   /// Buffer-array parameter sizes, by parameter name.
   std::map<std::string, int> bufferArraySizes_;
   std::map<std::string, lang::Type> paramTypes_;

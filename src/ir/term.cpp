@@ -110,6 +110,11 @@ TermRef TermArena::intern(TermKind kind, Sort sort, std::int64_t value,
     i = (i + 1) & mask;
   }
 
+  // Only genuinely new nodes count against the limit; cache hits are free.
+  if (nodeLimit_ != 0 && terms_.size() >= nodeLimit_) {
+    throw BudgetExceeded("term-nodes", nodeLimit_, SourceLoc{});
+  }
+
   auto term = std::make_unique<Term>();
   term->kind = kind;
   term->sort = sort;

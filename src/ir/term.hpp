@@ -147,6 +147,13 @@ class TermArena {
   }
   [[nodiscard]] std::size_t size() const { return terms_.size(); }
 
+  /// Caps the number of distinct interned nodes; creating a node past the
+  /// limit throws buffy::BudgetExceeded. 0 (the default) disables the cap.
+  /// Because every producer (evaluator, buffer models, optimizer, encoders)
+  /// goes through intern(), this one check bounds term growth everywhere.
+  void setNodeLimit(std::size_t limit) { nodeLimit_ = limit; }
+  [[nodiscard]] std::size_t nodeLimit() const { return nodeLimit_; }
+
  private:
   /// Interning is the hottest path of encoding construction, so the table
   /// is open-addressed and keyed by a hash precomputed over the candidate
@@ -175,6 +182,7 @@ class TermArena {
   std::vector<TermRef> vars_;
   std::unordered_map<std::string, TermRef> varByName_;
   std::uint64_t freshCounter_ = 0;
+  std::size_t nodeLimit_ = 0;  // 0 = unlimited
   TermRef true_ = nullptr;
   TermRef false_ = nullptr;
 };

@@ -1,6 +1,7 @@
 #include "lang/lexer.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <unordered_map>
 
 #include "support/error.hpp"
@@ -63,6 +64,14 @@ void Lexer::skipWhitespaceAndComments() {
   }
 }
 
+void Lexer::error(SourceLoc loc, const std::string& msg) {
+  if (diag_ != nullptr) {
+    diag_->error(loc, msg);
+    return;
+  }
+  throw SyntaxError(msg, loc);
+}
+
 Token Lexer::lexNumber() {
   const SourceLoc loc = here();
   std::string text;
@@ -76,7 +85,8 @@ Token Lexer::lexNumber() {
   try {
     tok.value = std::stoll(text);
   } catch (const std::out_of_range&) {
-    throw SyntaxError("integer literal out of range: " + text, loc);
+    error(loc, "integer literal out of range: " + text);
+    tok.value = 0;  // recovery mode: keep a valid token
   }
   return tok;
 }
@@ -193,8 +203,16 @@ std::vector<Token> Lexer::lexAll() {
         }
         break;
       default:
-        throw SyntaxError(std::string("unexpected character '") + c + "'",
-                          loc);
+        if (std::isprint(static_cast<unsigned char>(c)) != 0) {
+          error(loc, std::string("unexpected character '") + c + "'");
+        } else {
+          char buf[16];
+          std::snprintf(buf, sizeof buf, "\\x%02x",
+                        static_cast<unsigned char>(c));
+          error(loc, std::string("unexpected character '") + buf + "'");
+        }
+        advance();  // recovery mode: skip the offending byte
+        break;
     }
   }
   Token eof;
@@ -206,6 +224,10 @@ std::vector<Token> Lexer::lexAll() {
 
 std::vector<Token> lex(std::string_view source) {
   return Lexer(source).lexAll();
+}
+
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diag) {
+  return Lexer(source, diag).lexAll();
 }
 
 }  // namespace buffy::lang

@@ -12,14 +12,21 @@
 #include <vector>
 
 #include "lang/token.hpp"
+#include "support/diagnostics.hpp"
 
 namespace buffy::lang {
 
 class Lexer {
  public:
   explicit Lexer(std::string_view source) : src_(source) {}
+  /// Recovery mode: lexical errors (bad characters, out-of-range literals)
+  /// are reported to `diag` and skipped instead of thrown, so one run
+  /// surfaces every problem in the input.
+  Lexer(std::string_view source, DiagnosticEngine& diag)
+      : src_(source), diag_(&diag) {}
 
-  /// Lexes the whole input. Throws buffy::SyntaxError on bad characters.
+  /// Lexes the whole input. Throws buffy::SyntaxError on bad characters
+  /// (unless constructed with a DiagnosticEngine — then it recovers).
   /// The returned vector always ends with an EndOfFile token.
   [[nodiscard]] std::vector<Token> lexAll();
 
@@ -32,8 +39,11 @@ class Lexer {
   void skipWhitespaceAndComments();
   Token lexNumber();
   Token lexIdentifierOrKeyword();
+  /// Reports via diag_ when present, else throws SyntaxError.
+  void error(SourceLoc loc, const std::string& msg);
 
   std::string_view src_;
+  DiagnosticEngine* diag_ = nullptr;
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
   std::uint32_t col_ = 1;
@@ -41,5 +51,9 @@ class Lexer {
 
 /// Convenience: lex `source` in one call.
 [[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+/// Convenience: recovery-mode lexing (see the Lexer two-arg constructor).
+[[nodiscard]] std::vector<Token> lex(std::string_view source,
+                                     DiagnosticEngine& diag);
 
 }  // namespace buffy::lang

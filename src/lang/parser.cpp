@@ -7,13 +7,84 @@
 
 namespace buffy::lang {
 
-namespace {
-[[noreturn]] void fail(const Token& tok, const std::string& msg) {
-  throw SyntaxError(msg + " (got " + tokenKindName(tok.kind) +
-                        (tok.text.empty() ? "" : " '" + tok.text + "'") + ")",
-                    tok.loc);
+// ---------------------------------------------------------------------------
+// Error reporting, recovery, and budget accounting
+// ---------------------------------------------------------------------------
+
+/// Counts one nesting level for the lifetime of a statement/expression
+/// parse. Bounds recursion in the parser itself and the depth of the AST it
+/// can produce, which in turn bounds every later recursive walk.
+class Parser::DepthGuard {
+ public:
+  DepthGuard(Parser& parser, SourceLoc loc) : parser_(parser) {
+    ++parser_.depth_;
+    if (parser_.budget_.maxNestingDepth != 0 &&
+        parser_.depth_ > parser_.budget_.maxNestingDepth) {
+      throw BudgetExceeded("nesting-depth", parser_.budget_.maxNestingDepth,
+                           loc);
+    }
+  }
+  ~DepthGuard() { --parser_.depth_; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+
+ private:
+  Parser& parser_;
+};
+
+void Parser::fail(const Token& tok, const std::string& msg) {
+  const std::string full = msg + " (got " + tokenKindName(tok.kind) +
+                           (tok.text.empty() ? "" : " '" + tok.text + "'") +
+                           ")";
+  if (diag_ != nullptr) {
+    diag_->error(tok.loc, full);
+    throw Panic{};
+  }
+  throw SyntaxError(full, tok.loc);
 }
-}  // namespace
+
+void Parser::synchronize() {
+  while (!check(TokenKind::EndOfFile)) {
+    if (match(TokenKind::Semicolon)) return;
+    switch (peek().kind) {
+      case TokenKind::RBrace:
+      case TokenKind::LBrace:
+      case TokenKind::KwGlobal:
+      case TokenKind::KwLocal:
+      case TokenKind::KwMonitor:
+      case TokenKind::KwHavoc:
+      case TokenKind::KwInt:
+      case TokenKind::KwBool:
+      case TokenKind::KwList:
+      case TokenKind::KwIf:
+      case TokenKind::KwFor:
+      case TokenKind::KwMoveP:
+      case TokenKind::KwMoveB:
+      case TokenKind::KwAssert:
+      case TokenKind::KwAssume:
+      case TokenKind::KwReturn:
+      case TokenKind::KwDef:
+        return;
+      default:
+        advance();
+    }
+  }
+}
+
+void Parser::countNode(SourceLoc loc) {
+  ++nodes_;
+  if (budget_.maxAstNodes != 0 && nodes_ > budget_.maxAstNodes) {
+    throw BudgetExceeded("ast-nodes", budget_.maxAstNodes, loc);
+  }
+}
+
+void Parser::countExprOp(SourceLoc loc) {
+  countNode(loc);
+  ++exprOps_;
+  if (budget_.maxExprTerms != 0 && exprOps_ > budget_.maxExprTerms) {
+    throw BudgetExceeded("expr-terms", budget_.maxExprTerms, loc);
+  }
+}
 
 const Token& Parser::peek(std::size_t ahead) const {
   const std::size_t i = pos_ + ahead;
@@ -48,30 +119,54 @@ const Token& Parser::expect(TokenKind kind, const char* context) {
 
 Program Parser::parseProgram() {
   Program prog;
-  const Token& name = expect(TokenKind::Identifier, "as program name");
-  prog.name = name.text;
-  prog.loc = name.loc;
+  try {
+    const Token& name = expect(TokenKind::Identifier, "as program name");
+    prog.name = name.text;
+    prog.loc = name.loc;
 
-  expect(TokenKind::LParen, "after program name");
-  if (!check(TokenKind::RParen)) {
-    prog.params.push_back(parseParam());
-    while (match(TokenKind::Comma)) prog.params.push_back(parseParam());
-  }
-  expect(TokenKind::RParen, "after parameter list");
-
-  expect(TokenKind::LBrace, "to open program body");
-  prog.body = std::make_unique<BlockStmt>();
-  prog.body->loc = peek().loc;
-  while (!check(TokenKind::RBrace)) {
-    if (check(TokenKind::KwDef)) {
-      prog.functions.push_back(parseFuncDecl());
-    } else {
-      prog.body->stmts.push_back(parseStatement());
+    expect(TokenKind::LParen, "after program name");
+    if (!check(TokenKind::RParen)) {
+      prog.params.push_back(parseParam());
+      while (match(TokenKind::Comma)) prog.params.push_back(parseParam());
+    }
+    expect(TokenKind::RParen, "after parameter list");
+  } catch (const Panic&) {
+    // Recovery: skip to the body so statement errors are still reported.
+    while (!check(TokenKind::LBrace) && !check(TokenKind::EndOfFile)) {
+      advance();
     }
   }
-  expect(TokenKind::RBrace, "to close program body");
-  if (!check(TokenKind::EndOfFile)) {
-    fail(peek(), "trailing tokens after program body");
+
+  prog.body = std::make_unique<BlockStmt>();
+  prog.body->loc = peek().loc;
+  if (!match(TokenKind::LBrace)) {
+    try {
+      fail(peek(), "expected { to open program body");
+    } catch (const Panic&) {
+      return prog;
+    }
+  }
+  prog.body->loc = peek().loc;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    const std::size_t before = pos_;
+    try {
+      if (check(TokenKind::KwDef)) {
+        prog.functions.push_back(parseFuncDecl());
+      } else {
+        prog.body->stmts.push_back(parseStatement());
+      }
+    } catch (const Panic&) {
+      synchronize();
+      if (pos_ == before) advance();  // always make progress
+    }
+  }
+  try {
+    expect(TokenKind::RBrace, "to close program body");
+    if (!check(TokenKind::EndOfFile)) {
+      fail(peek(), "trailing tokens after program body");
+    }
+  } catch (const Panic&) {
+    // Nothing to synchronize to: end of input.
   }
   return prog;
 }
@@ -79,6 +174,7 @@ Program Parser::parseProgram() {
 Param Parser::parseParam() {
   Param param;
   param.loc = peek().loc;
+  countNode(param.loc);
   if (match(TokenKind::KwBuffer)) {
     if (match(TokenKind::LBracket)) {
       if (check(TokenKind::IntLiteral)) {
@@ -109,6 +205,7 @@ Param Parser::parseParam() {
 FuncDecl Parser::parseFuncDecl() {
   FuncDecl fn;
   fn.loc = expect(TokenKind::KwDef, "to start function").loc;
+  countNode(fn.loc);
   if (match(TokenKind::KwInt)) {
     fn.returnType = Type::intTy();
   } else if (match(TokenKind::KwBool)) {
@@ -134,7 +231,20 @@ FuncDecl Parser::parseFuncDecl() {
 std::unique_ptr<BlockStmt> Parser::parseBlock() {
   auto block = std::make_unique<BlockStmt>();
   block->loc = expect(TokenKind::LBrace, "to open block").loc;
-  while (!check(TokenKind::RBrace)) block->stmts.push_back(parseStatement());
+  countNode(block->loc);
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (diag_ == nullptr) {
+      block->stmts.push_back(parseStatement());
+      continue;
+    }
+    const std::size_t before = pos_;
+    try {
+      block->stmts.push_back(parseStatement());
+    } catch (const Panic&) {
+      synchronize();
+      if (pos_ == before) advance();  // always make progress
+    }
+  }
   expect(TokenKind::RBrace, "to close block");
   return block;
 }
@@ -149,6 +259,10 @@ std::unique_ptr<BlockStmt> Parser::parseBlockOrSingleStatement() {
 
 StmtPtr Parser::parseStatement() {
   const Token& tok = peek();
+  const DepthGuard guard(*this, tok.loc);
+  countNode(tok.loc);
+  // A fresh statement gets a fresh expression-size allowance.
+  if (depth_ == 1) exprOps_ = 0;
   switch (tok.kind) {
     case TokenKind::LBrace:
       return parseBlock();
@@ -408,12 +522,16 @@ ExprPtr Parser::parseExpressionOnly() {
   return e;
 }
 
-ExprPtr Parser::parseExpression() { return parseOr(); }
+ExprPtr Parser::parseExpression() {
+  const DepthGuard guard(*this, peek().loc);
+  return parseOr();
+}
 
 ExprPtr Parser::parseOr() {
   ExprPtr lhs = parseAnd();
   while (check(TokenKind::Pipe)) {
     const SourceLoc loc = advance().loc;
+    countExprOp(loc);
     lhs = makeBinary(BinaryOp::Or, std::move(lhs), parseAnd(), loc);
   }
   return lhs;
@@ -423,6 +541,7 @@ ExprPtr Parser::parseAnd() {
   ExprPtr lhs = parseEquality();
   while (check(TokenKind::Amp)) {
     const SourceLoc loc = advance().loc;
+    countExprOp(loc);
     lhs = makeBinary(BinaryOp::And, std::move(lhs), parseEquality(), loc);
   }
   return lhs;
@@ -432,6 +551,7 @@ ExprPtr Parser::parseEquality() {
   ExprPtr lhs = parseRelational();
   while (check(TokenKind::EqEq) || check(TokenKind::NotEq)) {
     const Token& tok = advance();
+    countExprOp(tok.loc);
     const BinaryOp op =
         tok.is(TokenKind::EqEq) ? BinaryOp::Eq : BinaryOp::Ne;
     lhs = makeBinary(op, std::move(lhs), parseRelational(), tok.loc);
@@ -444,6 +564,7 @@ ExprPtr Parser::parseRelational() {
   while (check(TokenKind::Lt) || check(TokenKind::Le) ||
          check(TokenKind::Gt) || check(TokenKind::Ge)) {
     const Token& tok = advance();
+    countExprOp(tok.loc);
     BinaryOp op = BinaryOp::Lt;
     if (tok.is(TokenKind::Le)) op = BinaryOp::Le;
     if (tok.is(TokenKind::Gt)) op = BinaryOp::Gt;
@@ -457,6 +578,7 @@ ExprPtr Parser::parseAdditive() {
   ExprPtr lhs = parseMultiplicative();
   while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
     const Token& tok = advance();
+    countExprOp(tok.loc);
     const BinaryOp op =
         tok.is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
     lhs = makeBinary(op, std::move(lhs), parseMultiplicative(), tok.loc);
@@ -469,6 +591,7 @@ ExprPtr Parser::parseMultiplicative() {
   while (check(TokenKind::Star) || check(TokenKind::Slash) ||
          check(TokenKind::Percent)) {
     const Token& tok = advance();
+    countExprOp(tok.loc);
     BinaryOp op = BinaryOp::Mul;
     if (tok.is(TokenKind::Slash)) op = BinaryOp::Div;
     if (tok.is(TokenKind::Percent)) op = BinaryOp::Mod;
@@ -478,12 +601,15 @@ ExprPtr Parser::parseMultiplicative() {
 }
 
 ExprPtr Parser::parseUnary() {
+  const DepthGuard guard(*this, peek().loc);
   if (check(TokenKind::Bang)) {
     const SourceLoc loc = advance().loc;
+    countExprOp(loc);
     return makeUnary(UnaryOp::Not, parseUnary(), loc);
   }
   if (check(TokenKind::Minus)) {
     const SourceLoc loc = advance().loc;
+    countExprOp(loc);
     return makeUnary(UnaryOp::Neg, parseUnary(), loc);
   }
   return parsePostfix();
@@ -493,6 +619,7 @@ ExprPtr Parser::parsePostfix() {
   ExprPtr base = parsePrimary();
   while (check(TokenKind::PipeGt)) {
     const SourceLoc loc = advance().loc;
+    countExprOp(loc);
     // Filter: `field == value`, optionally parenthesized.
     const bool parens = match(TokenKind::LParen);
     const std::string field =
@@ -542,6 +669,7 @@ ExprPtr Parser::parseMethodExpr(std::string base, SourceLoc loc) {
 
 ExprPtr Parser::parsePrimary() {
   const Token& tok = peek();
+  countNode(tok.loc);
   switch (tok.kind) {
     case TokenKind::IntLiteral:
       advance();
@@ -602,12 +730,17 @@ ExprPtr Parser::parsePrimary() {
   }
 }
 
-Program parse(std::string_view source) {
-  return Parser(lex(source)).parseProgram();
+Program parse(std::string_view source, const CompileBudget& budget) {
+  return Parser(lex(source), budget).parseProgram();
 }
 
-ExprPtr parseExpr(std::string_view source) {
-  return Parser(lex(source)).parseExpressionOnly();
+Program parseRecover(std::string_view source, DiagnosticEngine& diag,
+                     const CompileBudget& budget) {
+  return Parser(lex(source, diag), diag, budget).parseProgram();
+}
+
+ExprPtr parseExpr(std::string_view source, const CompileBudget& budget) {
+  return Parser(lex(source), budget).parseExpressionOnly();
 }
 
 }  // namespace buffy::lang

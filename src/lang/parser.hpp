@@ -1,5 +1,17 @@
 // Recursive-descent parser for the Buffy language (paper Figure 3 grammar
 // plus the surface syntax of Figure 4).
+//
+// Two error modes:
+//  - throw mode (default): the first syntax error raises SyntaxError, the
+//    historical library behavior (lang::parse).
+//  - recovery mode (constructed with a DiagnosticEngine): errors are
+//    reported and the parser performs panic-mode synchronization to the
+//    next statement/declaration boundary, so one run surfaces every
+//    problem; the returned Program contains every statement that parsed.
+//
+// Independently of the mode, a CompileBudget bounds nesting depth,
+// per-statement expression size, and total AST nodes; violations raise
+// BudgetExceeded (never recovered — the governor aborts the parse).
 #pragma once
 
 #include <string_view>
@@ -7,21 +19,46 @@
 
 #include "lang/ast.hpp"
 #include "lang/token.hpp"
+#include "support/budget.hpp"
+#include "support/diagnostics.hpp"
 
 namespace buffy::lang {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(std::vector<Token> tokens,
+                  const CompileBudget& budget = CompileBudget::defaults())
+      : tokens_(std::move(tokens)), budget_(budget) {}
+  /// Recovery mode (see file header).
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diag,
+         const CompileBudget& budget = CompileBudget::defaults())
+      : tokens_(std::move(tokens)), diag_(&diag), budget_(budget) {}
 
   /// Parses a whole program: `name(params) { decls; stmts; }`.
-  /// Throws buffy::SyntaxError on malformed input.
+  /// Throw mode: throws buffy::SyntaxError on malformed input. Recovery
+  /// mode: reports and synchronizes; check the engine for errors.
+  /// Both modes throw BudgetExceeded on resource-limit violations.
   [[nodiscard]] Program parseProgram();
 
   /// Parses a single expression (used by the query front-end).
   [[nodiscard]] ExprPtr parseExpressionOnly();
 
  private:
+  /// Thrown (recovery mode only) to unwind to the nearest synchronization
+  /// point after a diagnostic has been reported.
+  struct Panic {};
+  /// RAII nesting counter enforcing CompileBudget::maxNestingDepth.
+  class DepthGuard;
+
+  [[noreturn]] void fail(const Token& tok, const std::string& msg);
+  /// Skips tokens until a plausible statement boundary (just past a ';',
+  /// or in front of '}' / a statement-starting keyword / end of input).
+  void synchronize();
+  /// Counts one AST node against maxAstNodes / one operator application
+  /// against maxExprTerms (budget bombs are fatal in both modes).
+  void countNode(SourceLoc loc);
+  void countExprOp(SourceLoc loc);
+
   [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
   const Token& advance();
   [[nodiscard]] bool check(TokenKind kind) const { return peek().is(kind); }
@@ -50,12 +87,28 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  DiagnosticEngine* diag_ = nullptr;
+  CompileBudget budget_;
+  std::size_t depth_ = 0;      // current nesting depth
+  std::size_t nodes_ = 0;      // AST nodes so far
+  std::size_t exprOps_ = 0;    // operator applications in current statement
 };
 
-/// Convenience: lex + parse a program from source text.
-[[nodiscard]] Program parse(std::string_view source);
+/// Convenience: lex + parse a program from source text (throw mode).
+[[nodiscard]] Program parse(std::string_view source,
+                            const CompileBudget& budget =
+                                CompileBudget::defaults());
 
-/// Convenience: lex + parse a standalone expression.
-[[nodiscard]] ExprPtr parseExpr(std::string_view source);
+/// Convenience: lex + parse with error recovery. Lexical and syntax errors
+/// land in `diag`; the returned Program holds everything that parsed.
+[[nodiscard]] Program parseRecover(std::string_view source,
+                                   DiagnosticEngine& diag,
+                                   const CompileBudget& budget =
+                                       CompileBudget::defaults());
+
+/// Convenience: lex + parse a standalone expression (throw mode).
+[[nodiscard]] ExprPtr parseExpr(std::string_view source,
+                                const CompileBudget& budget =
+                                    CompileBudget::defaults());
 
 }  // namespace buffy::lang

@@ -17,8 +17,9 @@ namespace {
 /// shadowing by declarations and loop variables.
 class ConstSubst {
  public:
-  explicit ConstSubst(const std::map<std::string, std::int64_t>& consts)
-      : consts_(consts) {}
+  ConstSubst(const std::map<std::string, std::int64_t>& consts,
+             DiagnosticEngine* diag)
+      : consts_(consts), diag_(diag) {}
 
   void run(Program& prog) {
     // Parameters shadow constants.
@@ -49,12 +50,15 @@ class ConstSubst {
         if (!s.sizeParam.empty()) {
           const auto it = consts_.find(s.sizeParam);
           if (it == consts_.end()) {
-            throw SemanticError("no binding for size constant '" +
+            const std::string msg = "no binding for size constant '" +
                                     s.sizeParam + "' in declaration of '" +
-                                    s.name + "'",
-                                s.loc);
+                                    s.name + "'";
+            if (diag_ == nullptr) throw SemanticError(msg, s.loc);
+            diag_->error(s.loc, msg);
+            s.declType.size = 1;  // placeholder so later passes can continue
+          } else {
+            s.declType.size = static_cast<int>(it->second);
           }
-          s.declType.size = static_cast<int>(it->second);
           s.sizeParam.clear();
         }
         if (s.init) substExpr(s.init);
@@ -161,30 +165,49 @@ class ConstSubst {
   }
 
   const std::map<std::string, std::int64_t>& consts_;
+  DiagnosticEngine* diag_;  // nullptr = throw mode
   std::set<std::string> shadowed_;
 };
 
-}  // namespace
-
-void elaborate(Program& prog, const CompileOptions& opts) {
+void elaborateImpl(Program& prog, const CompileOptions& opts,
+                   DiagnosticEngine* diag) {
+  const auto report = [&](const std::string& msg, SourceLoc loc) {
+    if (diag == nullptr) throw SemanticError(msg, loc);
+    diag->error(loc, msg);
+  };
   for (auto& param : prog.params) {
     if (param.type.kind == TypeKind::BufferArray && !param.sizeParam.empty()) {
       const auto it = opts.constants.find(param.sizeParam);
       if (it == opts.constants.end()) {
-        throw SemanticError("no binding for buffer array size parameter '" +
-                                param.sizeParam + "'",
-                            param.loc);
+        report("no binding for buffer array size parameter '" +
+                   param.sizeParam + "'",
+               param.loc);
+        param.type.size = 1;  // placeholder so later passes can continue
+      } else if (it->second <= 0) {
+        report("buffer array size parameter '" + param.sizeParam +
+                   "' must be positive",
+               param.loc);
+        param.type.size = 1;
+      } else {
+        param.type.size = static_cast<int>(it->second);
       }
-      if (it->second <= 0) {
-        throw SemanticError("buffer array size parameter '" + param.sizeParam +
-                                "' must be positive",
-                            param.loc);
-      }
-      param.type.size = static_cast<int>(it->second);
       param.sizeParam.clear();
     }
   }
-  ConstSubst(opts.constants).run(prog);
+  ConstSubst(opts.constants, diag).run(prog);
+}
+
+}  // namespace
+
+void elaborate(Program& prog, const CompileOptions& opts) {
+  elaborateImpl(prog, opts, nullptr);
+}
+
+bool elaborate(Program& prog, const CompileOptions& opts,
+               DiagnosticEngine& diag) {
+  const std::size_t before = diag.errorCount();
+  elaborateImpl(prog, opts, &diag);
+  return diag.errorCount() == before;
 }
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,12 @@ struct CompileOptions {
 /// has no binding.
 void elaborate(Program& prog, const CompileOptions& opts);
 
+/// Recovery-mode elaboration: missing/invalid size bindings are reported
+/// to `diag` (with a placeholder size substituted so later passes can
+/// still run) instead of thrown. Returns true when no error was reported.
+bool elaborate(Program& prog, const CompileOptions& opts,
+               DiagnosticEngine& diag);
+
 /// Result of type checking: symbol information needed by later passes.
 struct TypecheckResult {
   bool ok = false;

@@ -1,0 +1,12 @@
+#include "support/budget.hpp"
+
+namespace buffy {
+
+void checkBudget(std::size_t used, std::size_t limit, const char* resource,
+                 SourceLoc loc) {
+  if (limit != 0 && used > limit) {
+    throw BudgetExceeded(resource, limit, loc);
+  }
+}
+
+}  // namespace buffy

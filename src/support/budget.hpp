@@ -1,0 +1,71 @@
+// CompileBudget: the front-end resource governor (DESIGN.md §10).
+//
+// Every stage of the compilation half of the pipeline — lexer, parser,
+// transforms, symbolic evaluation, and the encoding optimizer — consumes
+// resources proportional to its *output*, not its input: a 40-byte program
+// can unroll into billions of statements or fold into a term graph that
+// exhausts memory. The budget turns each of those blowups into a structured
+// BudgetExceeded error (CLI exit code 5) instead of an OOM kill or a stack
+// overflow.
+//
+// All limits are per compilation (one Analysis / one CLI run). A limit of 0
+// disables that check (used by a few growth benchmarks); the defaults are
+// deliberately generous for real models and deliberately fatal for bombs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace buffy {
+
+struct CompileBudget {
+  /// Parser: maximum statement/expression nesting depth. Bounds every
+  /// recursive walk over the AST (parser, printer, typecheck, constfold,
+  /// evaluator) so deep inputs fail cleanly instead of smashing the stack.
+  std::size_t maxNestingDepth = 256;
+  /// Parser: maximum operator applications in one statement's expressions.
+  /// Iteratively-parsed chains (a+a+...+a) build left-deep trees whose
+  /// *depth* equals the chain length, so this also bounds walk depth — the
+  /// default is sized so a maximal chain stays well clear of stack
+  /// exhaustion in the recursive walks even under ASan's larger frames
+  /// (a 4k chain overflowed typecheck there; see tests/budget_test.cpp).
+  std::size_t maxExprTerms = 1024;
+  /// Parser: maximum AST nodes for one program.
+  std::size_t maxAstNodes = 1'000'000;
+  /// transform::unrollLoops: maximum statements materialized by unrolling.
+  std::size_t maxUnrolledStmts = 500'000;
+  /// transform::inlineFunctions: maximum statements materialized by
+  /// expansion (catches exponential call trees: f1 calls f2 twice, ...).
+  std::size_t maxInlinedStmts = 500'000;
+  /// Evaluator: maximum statements executed per time step (the evaluator
+  /// iterates constant-bounded loops directly, so this is the symbolic
+  /// twin of maxUnrolledStmts).
+  std::size_t maxExecStmts = 2'000'000;
+  /// TermArena: maximum interned IR nodes per arena (shared by the
+  /// evaluator, the encoding, and the optimizer's rewrites).
+  std::size_t maxTermNodes = 4'000'000;
+
+  [[nodiscard]] static const CompileBudget& defaults() {
+    static const CompileBudget kDefaults{};
+    return kDefaults;
+  }
+
+  /// An effectively-unlimited budget (every check disabled).
+  [[nodiscard]] static CompileBudget unlimited() {
+    CompileBudget b;
+    b.maxNestingDepth = b.maxExprTerms = b.maxAstNodes = 0;
+    b.maxUnrolledStmts = b.maxInlinedStmts = 0;
+    b.maxExecStmts = b.maxTermNodes = 0;
+    return b;
+  }
+};
+
+/// Throws BudgetExceeded when `used` passes a non-zero `limit`.
+/// `resource` names the limit in flag spelling (e.g. "unroll-stmts").
+void checkBudget(std::size_t used, std::size_t limit, const char* resource,
+                 SourceLoc loc = {});
+
+}  // namespace buffy

@@ -2,6 +2,7 @@
 // unrecoverable analysis errors via exceptions rather than error codes.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -33,6 +34,28 @@ class SyntaxError : public Error {
 class SemanticError : public Error {
  public:
   using Error::Error;
+};
+
+/// A compile-time resource budget was exhausted (CompileBudget, DESIGN.md
+/// §10): unroll/inline blowup, AST or term-graph explosion, or nesting too
+/// deep. Unlike SyntaxError/SemanticError this is not recoverable by
+/// panic-mode synchronization — the governor aborts the whole compilation.
+class BudgetExceeded : public Error {
+ public:
+  BudgetExceeded(std::string resource, std::uint64_t limit, SourceLoc loc)
+      : Error("compile budget exceeded: " + resource + " limit " +
+                  std::to_string(limit),
+              loc),
+        resource_(std::move(resource)),
+        limit_(limit) {}
+
+  /// Flag-style resource name ("unroll-stmts", "term-nodes", ...).
+  [[nodiscard]] const std::string& resource() const { return resource_; }
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+
+ private:
+  std::string resource_;
+  std::uint64_t limit_ = 0;
 };
 
 /// Evaluation / analysis failure (e.g. unsupported operation for the chosen

@@ -187,9 +187,36 @@ void collectDecls(const BlockStmt& block, std::set<std::string>& names) {
   }
 }
 
+/// Total statements in a block tree (the unit maxInlinedStmts is
+/// measured in).
+std::size_t countStmts(const BlockStmt& block) {
+  std::size_t n = 0;
+  for (const auto& stmt : block.stmts) {
+    ++n;
+    switch (stmt->stmtKind) {
+      case StmtKind::Block:
+        n += countStmts(static_cast<const BlockStmt&>(*stmt));
+        break;
+      case StmtKind::If: {
+        const auto& s = static_cast<const IfStmt&>(*stmt);
+        n += countStmts(*s.thenBlock);
+        if (s.elseBlock) n += countStmts(*s.elseBlock);
+        break;
+      }
+      case StmtKind::For:
+        n += countStmts(*static_cast<const ForStmt&>(*stmt).body);
+        break;
+      default:
+        break;
+    }
+  }
+  return n;
+}
+
 class Inliner {
  public:
-  explicit Inliner(const Program& prog) {
+  Inliner(const Program& prog, const CompileBudget& budget)
+      : budget_(budget) {
     for (const auto& fn : prog.functions) functions_[fn.name] = &fn;
   }
 
@@ -333,6 +360,13 @@ class Inliner {
                           call.loc);
     }
 
+    // Charge this expansion before materializing it: nested expansions
+    // check again on every level, so call bombs (f calls g calls h ...,
+    // each several times) stop at the threshold instead of after
+    // exponential growth.
+    emitted_ += countStmts(*fn.body) + fn.params.size() + 2;
+    checkBudget(emitted_, budget_.maxInlinedStmts, "inlined-stmts", call.loc);
+
     const std::string tag = "__" + fn.name + std::to_string(counter_++);
     Substituter subst;
 
@@ -414,14 +448,16 @@ class Inliner {
 
   std::map<std::string, const FuncDecl*> functions_;
   std::set<std::string> active_;
+  const CompileBudget& budget_;
+  std::size_t emitted_ = 0;  // statements produced by inlining so far
   std::uint64_t counter_ = 0;
 };
 
 }  // namespace
 
-void inlineFunctions(Program& prog) {
+void inlineFunctions(Program& prog, const CompileBudget& budget) {
   if (prog.functions.empty()) return;
-  Inliner inliner(prog);
+  Inliner inliner(prog, budget);
   inliner.rewriteBlock(*prog.body);
   prog.functions.clear();
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "lang/ast.hpp"
+#include "support/budget.hpp"
 
 namespace buffy::transform {
 
@@ -17,14 +18,22 @@ namespace buffy::transform {
 /// to fresh locals, body locals renamed, the trailing `return` turned into
 /// an assignment to a fresh result variable). Afterwards the program
 /// contains no user-function calls and `Program::functions` is cleared.
-/// Throws SemanticError on (mutual) recursion.
-void inlineFunctions(lang::Program& prog);
+/// Throws SemanticError on (mutual) recursion, and BudgetExceeded once the
+/// pass has emitted more than budget.maxInlinedStmts statements (nested
+/// expansion bombs fail at the threshold, not after materializing).
+void inlineFunctions(lang::Program& prog,
+                     const CompileBudget& budget = CompileBudget::defaults());
 
 /// Replaces every `for (v in lo..hi)` whose bounds are integer literals
 /// (guaranteed after elaborate + foldConstants) with hi-lo copies of the
 /// body, each wrapped in a block that binds `v`. Throws SemanticError if a
-/// loop bound is not a literal (paper §7: bounded loops only).
-void unrollLoops(lang::Program& prog);
+/// loop bound is not a literal (paper §7: bounded loops only), and
+/// BudgetExceeded when the unrolled output would exceed
+/// budget.maxUnrolledStmts statements — checked with an overflow-safe
+/// iterations×body-size estimate BEFORE cloning, so unroll bombs
+/// (`for (i in 0..1000000000)`) fail in microseconds.
+void unrollLoops(lang::Program& prog,
+                 const CompileBudget& budget = CompileBudget::defaults());
 
 /// Bottom-up constant folding over all expressions, plus pruning of
 /// if-statements with literal conditions. Division/modulo fold with the

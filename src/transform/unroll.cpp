@@ -1,3 +1,5 @@
+#include <limits>
+
 #include "support/error.hpp"
 #include "transform/transforms.hpp"
 
@@ -18,58 +20,108 @@ std::int64_t literalOrThrow(const Expr& expr, const char* what) {
   return static_cast<const IntLitExpr&>(expr).value;
 }
 
-void unrollBlock(BlockStmt& block) {
-  std::vector<StmtPtr> out;
-  out.reserve(block.stmts.size());
-  for (auto& stmt : block.stmts) {
+/// Total statements in a block tree, the unit maxUnrolledStmts is
+/// measured in.
+std::size_t countStmts(const BlockStmt& block) {
+  std::size_t n = 0;
+  for (const auto& stmt : block.stmts) {
+    ++n;
     switch (stmt->stmtKind) {
-      case StmtKind::For: {
-        auto& s = static_cast<ForStmt&>(*stmt);
-        const std::int64_t lo = literalOrThrow(*s.lo, "loop lower bound");
-        const std::int64_t hi = literalOrThrow(*s.hi, "loop upper bound");
-        unrollBlock(*s.body);
-        for (std::int64_t i = lo; i < hi; ++i) {
-          // Each iteration becomes a block binding the loop variable, so
-          // iteration-local declarations stay properly scoped.
-          auto iter = std::make_unique<BlockStmt>();
-          iter->loc = s.loc;
-          auto bind = std::make_unique<DeclStmt>(
-              Storage::Local, Type::intTy(), s.var, makeIntLit(i, s.loc));
-          bind->loc = s.loc;
-          iter->stmts.push_back(std::move(bind));
-          auto bodyCopy = std::unique_ptr<BlockStmt>(
-              static_cast<BlockStmt*>(s.body->clone().release()));
-          for (auto& inner : bodyCopy->stmts) {
-            iter->stmts.push_back(std::move(inner));
-          }
-          out.push_back(std::move(iter));
-        }
-        break;
-      }
       case StmtKind::Block:
-        unrollBlock(static_cast<BlockStmt&>(*stmt));
-        out.push_back(std::move(stmt));
+        n += countStmts(static_cast<const BlockStmt&>(*stmt));
         break;
       case StmtKind::If: {
-        auto& s = static_cast<IfStmt&>(*stmt);
-        unrollBlock(*s.thenBlock);
-        if (s.elseBlock) unrollBlock(*s.elseBlock);
-        out.push_back(std::move(stmt));
+        const auto& s = static_cast<const IfStmt&>(*stmt);
+        n += countStmts(*s.thenBlock);
+        if (s.elseBlock) n += countStmts(*s.elseBlock);
         break;
       }
+      case StmtKind::For:
+        n += countStmts(*static_cast<const ForStmt&>(*stmt).body);
+        break;
       default:
-        out.push_back(std::move(stmt));
         break;
     }
   }
-  block.stmts = std::move(out);
+  return n;
 }
+
+class Unroller {
+ public:
+  explicit Unroller(const CompileBudget& budget) : budget_(budget) {}
+
+  void unrollBlock(BlockStmt& block) {
+    std::vector<StmtPtr> out;
+    out.reserve(block.stmts.size());
+    for (auto& stmt : block.stmts) {
+      switch (stmt->stmtKind) {
+        case StmtKind::For: {
+          auto& s = static_cast<ForStmt&>(*stmt);
+          const std::int64_t lo = literalOrThrow(*s.lo, "loop lower bound");
+          const std::int64_t hi = literalOrThrow(*s.hi, "loop upper bound");
+          unrollBlock(*s.body);
+          // Fast-fail BEFORE cloning anything: an unroll bomb must cost an
+          // overflow-safe multiply, not gigabytes of AST. +2 per iteration
+          // for the wrapper block and the loop-variable binding.
+          if (hi > lo) {
+            const auto iters = static_cast<std::uint64_t>(hi - lo);
+            const std::uint64_t perIter = countStmts(*s.body) + 2;
+            const std::uint64_t limit = budget_.maxUnrolledStmts;
+            if (limit != 0 &&
+                (iters > limit / perIter ||
+                 emitted_ + iters * perIter > limit)) {
+              throw BudgetExceeded("unrolled-stmts", limit, s.loc);
+            }
+            emitted_ += iters * perIter;
+          }
+          for (std::int64_t i = lo; i < hi; ++i) {
+            // Each iteration becomes a block binding the loop variable, so
+            // iteration-local declarations stay properly scoped.
+            auto iter = std::make_unique<BlockStmt>();
+            iter->loc = s.loc;
+            auto bind = std::make_unique<DeclStmt>(
+                Storage::Local, Type::intTy(), s.var, makeIntLit(i, s.loc));
+            bind->loc = s.loc;
+            iter->stmts.push_back(std::move(bind));
+            auto bodyCopy = std::unique_ptr<BlockStmt>(
+                static_cast<BlockStmt*>(s.body->clone().release()));
+            for (auto& inner : bodyCopy->stmts) {
+              iter->stmts.push_back(std::move(inner));
+            }
+            out.push_back(std::move(iter));
+          }
+          break;
+        }
+        case StmtKind::Block:
+          unrollBlock(static_cast<BlockStmt&>(*stmt));
+          out.push_back(std::move(stmt));
+          break;
+        case StmtKind::If: {
+          auto& s = static_cast<IfStmt&>(*stmt);
+          unrollBlock(*s.thenBlock);
+          if (s.elseBlock) unrollBlock(*s.elseBlock);
+          out.push_back(std::move(stmt));
+          break;
+        }
+        default:
+          out.push_back(std::move(stmt));
+          break;
+      }
+    }
+    block.stmts = std::move(out);
+  }
+
+ private:
+  const CompileBudget& budget_;
+  std::uint64_t emitted_ = 0;  // statements produced by unrolling so far
+};
 
 }  // namespace
 
-void unrollLoops(Program& prog) {
-  for (auto& fn : prog.functions) unrollBlock(*fn.body);
-  unrollBlock(*prog.body);
+void unrollLoops(Program& prog, const CompileBudget& budget) {
+  Unroller unroller(budget);
+  for (auto& fn : prog.functions) unroller.unrollBlock(*fn.body);
+  unroller.unrollBlock(*prog.body);
 }
 
 }  // namespace buffy::transform

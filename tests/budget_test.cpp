@@ -1,0 +1,216 @@
+// CompileBudget regression suite (ISSUE: compiler hardening, satellite c).
+//
+// Adversarial inputs — 10k-deep nesting, 10k-term expressions, unroll and
+// inline bombs — must either succeed (when the relevant walk is iterative)
+// or fail with a structured BudgetExceeded, never a stack overflow or
+// multi-second hang. Runs under BUFFY_SANITIZE in the sanitize preset.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/store.hpp"
+
+#include "eval/evaluator.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/typecheck.hpp"
+#include "support/budget.hpp"
+#include "support/diagnostics.hpp"
+#include "support/error.hpp"
+#include "transform/transforms.hpp"
+
+using namespace buffy;
+
+namespace {
+
+std::string repeat(const std::string& piece, std::size_t n) {
+  std::string out;
+  out.reserve(piece.size() * n);
+  for (std::size_t i = 0; i < n; ++i) out += piece;
+  return out;
+}
+
+/// `p() { global int x; if (x > 0) { if (x > 0) { ... x = 1; ... } } }`
+std::string deepNesting(std::size_t depth) {
+  return "p() {\n  global int x;\n" + repeat("if (x >= 0) {", depth) +
+         "x = 1;" + repeat("}", depth) + "\n}\n";
+}
+
+/// `p() { global int x; x = 1 + 1 + ... + 1; }`
+std::string wideExpression(std::size_t terms) {
+  return "p() {\n  global int x;\n  x = 1" + repeat(" + 1", terms) + ";\n}\n";
+}
+
+BudgetExceeded captureBudgetError(const std::string& source,
+                                  const CompileBudget& budget) {
+  try {
+    (void)lang::parse(source, budget);
+  } catch (const BudgetExceeded& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected BudgetExceeded";
+  return BudgetExceeded("none", 0, SourceLoc{});
+}
+
+}  // namespace
+
+TEST(Budget, DeepNestingHitsDepthLimitNotTheStack) {
+  // 10k nested ifs: far beyond the default limit; the parser must reject
+  // it with a structured error before its recursion gets anywhere near
+  // stack exhaustion (ASan would catch an overflow here).
+  const BudgetExceeded e =
+      captureBudgetError(deepNesting(10000), CompileBudget::defaults());
+  EXPECT_EQ(e.resource(), "nesting-depth");
+  EXPECT_EQ(e.limit(), CompileBudget::defaults().maxNestingDepth);
+}
+
+TEST(Budget, DeepNestingWithinLimitParsesAndPrints) {
+  CompileBudget budget = CompileBudget::defaults();
+  const std::size_t depth = budget.maxNestingDepth - 8;
+  const lang::Program prog = lang::parse(deepNesting(depth), budget);
+  // Printer and recursive AST walks must survive the accepted depth.
+  EXPECT_FALSE(lang::printProgram(prog).empty());
+}
+
+TEST(Budget, DeepNestingRecoveryModeAlsoBounded) {
+  DiagnosticEngine diag;
+  EXPECT_THROW((void)lang::parseRecover(deepNesting(10000), diag),
+               BudgetExceeded);
+}
+
+TEST(Budget, WideExpressionHitsTermLimit) {
+  const BudgetExceeded e =
+      captureBudgetError(wideExpression(10000), CompileBudget::defaults());
+  EXPECT_EQ(e.resource(), "expr-terms");
+}
+
+TEST(Budget, WideExpressionWithinLimitEvaluates) {
+  // A chain just under the default cap must make it through the recursive
+  // walks (elaborate + typecheck) without stack trouble — this is the
+  // test that caught the original 4096 default overflowing typecheck
+  // under ASan, which is why the default is now 1024.
+  const std::size_t terms = CompileBudget::defaults().maxExprTerms - 16;
+  lang::Program prog = lang::parse(wideExpression(terms));
+  lang::CompileOptions copts;
+  lang::elaborate(prog, copts);
+  DiagnosticEngine diag;
+  const auto result = lang::typecheck(prog, copts, diag);
+  EXPECT_TRUE(result.ok) << diag.renderAll();
+}
+
+TEST(Budget, AstNodeCapBoundsTotalProgramSize) {
+  CompileBudget budget = CompileBudget::defaults();
+  budget.maxAstNodes = 100;
+  const std::string source =
+      "p() {\n  global int x;\n" + repeat("  x = x + 1;\n", 200) + "}\n";
+  const BudgetExceeded e = captureBudgetError(source, budget);
+  EXPECT_EQ(e.resource(), "ast-nodes");
+}
+
+TEST(Budget, UnrollBombFailsFastWithoutMaterializing) {
+  lang::Program prog = lang::parse(
+      "p() {\n"
+      "  global int x;\n"
+      "  for (i in 0..1000000000) do { x = x + 1; }\n"
+      "}\n");
+  lang::elaborate(prog, {});
+  try {
+    transform::unrollLoops(prog, CompileBudget::defaults());
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.resource(), "unrolled-stmts");
+    EXPECT_EQ(e.limit(), CompileBudget::defaults().maxUnrolledStmts);
+  }
+}
+
+TEST(Budget, NestedUnrollBombCaughtByEmittedCount) {
+  // Each loop is individually under the limit; the product is not.
+  lang::Program prog = lang::parse(
+      "p() {\n"
+      "  global int x;\n"
+      "  for (i in 0..1000) do {\n"
+      "    for (j in 0..1000) do { x = x + 1; }\n"
+      "  }\n"
+      "}\n");
+  lang::elaborate(prog, {});
+  EXPECT_THROW(transform::unrollLoops(prog, CompileBudget::defaults()),
+               BudgetExceeded);
+}
+
+TEST(Budget, InlineBombBounded) {
+  // Chained doubling through function calls: f9 expands to 2^9 copies of
+  // f0's body — an expansion bomb the emitted-statement counter stops.
+  std::string source = "p() {\n  def int f0() { return 1; }\n";
+  for (int i = 1; i < 10; ++i) {
+    source += "  def int f" + std::to_string(i) + "() { return f" +
+              std::to_string(i - 1) + "() + f" + std::to_string(i - 1) +
+              "(); }\n";
+  }
+  source += "  global int x;\n  x = f9();\n}\n";
+  lang::Program prog = lang::parse(source);
+  lang::elaborate(prog, {});
+  CompileBudget budget = CompileBudget::defaults();
+  budget.maxInlinedStmts = 500;
+  try {
+    transform::inlineFunctions(prog, budget);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.resource(), "inlined-stmts");
+  }
+}
+
+TEST(Budget, EvaluatorExecCapIsPerStep) {
+  lang::Program prog = lang::parse(
+      "p() {\n"
+      "  global int x;\n"
+      "  for (i in 0..100) do { x = x + 1; }\n"
+      "}\n");
+  const lang::CompileOptions copts;
+  lang::checkOrThrow(prog, copts);
+
+  ir::TermArena arena;
+  eval::Store store(arena);
+  std::vector<ir::TermRef> assumptions;
+  std::vector<eval::Obligation> obligations;
+  std::vector<ir::TermRef> soundness;
+  const eval::EvalSinks sinks{&assumptions, &obligations, &soundness};
+  eval::Evaluator ev(arena, store, sinks);
+
+  CompileBudget budget = CompileBudget::defaults();
+  budget.maxExecStmts = 1000;
+  ev.setBudget(budget);
+  // ~500 statements per step, under the cap; several steps must NOT
+  // accumulate into a spurious violation (the counter resets per step).
+  for (int step = 0; step < 5; ++step) {
+    EXPECT_NO_THROW(ev.execStep(prog, step)) << "step " << step;
+  }
+
+  budget.maxExecStmts = 50;
+  ev.setBudget(budget);
+  EXPECT_THROW(ev.execStep(prog, 5), BudgetExceeded);
+}
+
+TEST(Budget, TermArenaNodeLimitOnlyCountsNewNodes) {
+  ir::TermArena arena;
+  const ir::TermRef a = arena.var("a", ir::Sort::Int);
+  const ir::TermRef b = arena.var("b", ir::Sort::Int);
+  const ir::TermRef sum = arena.add(a, b);
+  arena.setNodeLimit(arena.size());
+  // Cache hits are free: re-interning identical structure must not throw.
+  EXPECT_EQ(arena.add(a, b), sum);
+  EXPECT_THROW((void)arena.mul(a, b), BudgetExceeded);
+}
+
+TEST(Budget, UnlimitedDisablesEveryCap) {
+  const CompileBudget budget = CompileBudget::unlimited();
+  EXPECT_EQ(budget.maxNestingDepth, 0u);
+  EXPECT_EQ(budget.maxExprTerms, 0u);
+  EXPECT_EQ(budget.maxAstNodes, 0u);
+  EXPECT_EQ(budget.maxUnrolledStmts, 0u);
+  EXPECT_EQ(budget.maxInlinedStmts, 0u);
+  EXPECT_EQ(budget.maxExecStmts, 0u);
+  EXPECT_EQ(budget.maxTermNodes, 0u);
+  // And an unlimited parse of a deep-but-sane input succeeds.
+  EXPECT_NO_THROW((void)lang::parse(deepNesting(300), budget));
+}

@@ -39,6 +39,22 @@ std::string model(const char* name) {
   return std::string(BUFFY_MODELS_DIR) + "/" + name;
 }
 
+std::string corpusFile(const char* name) {
+  return std::string(BUFFY_TESTS_CORPUS_DIR) + "/" + name;
+}
+
+/// Writes `source` under the test temp dir and returns the path.
+std::string writeTemp(const char* name, const std::string& source) {
+  const std::string path =
+      testing::TempDir() + "buffy_cli_" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f != nullptr) {
+    std::fwrite(source.data(), 1, source.size(), f);
+    std::fclose(f);
+  }
+  return path;
+}
+
 TEST(Cli, PrintRoundTrips) {
   const auto result =
       runCli("print -D N=2 " + model("strict_priority.bfy"));
@@ -260,6 +276,92 @@ TEST(Cli, NoOptDisablesOptimizer) {
             std::string::npos)
       << off.output;
   EXPECT_EQ(off.output.find("\"opt\":{"), std::string::npos) << off.output;
+}
+
+// --- Compiler hardening (DESIGN.md §10): batched diagnostics, budget
+// --- governor exit paths.
+
+TEST(Cli, LintBatchesMultipleDiagnostics) {
+  // >= 3 distinct syntax/type errors -> >= 3 located diagnostics in ONE
+  // run, exit code 2 (the ISSUE acceptance scenario).
+  const auto result = runCli("lint " + corpusFile("multi_err.bfy"));
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  std::size_t located = 0;
+  for (std::size_t at = result.output.find(": error: ");
+       at != std::string::npos; at = result.output.find(": error: ", at + 1)) {
+    ++located;
+  }
+  EXPECT_GE(located, 3u) << result.output;
+}
+
+TEST(Cli, CheckReportsAllFrontEndErrorsBeforeFailing) {
+  // Non-lint commands run the same batched front half and refuse to
+  // continue, still showing every diagnostic.
+  const auto result = runCli("check --query \"x[0] >= 0\" " +
+                             corpusFile("multi_err.bfy"));
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("4:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("5:"), std::string::npos) << result.output;
+}
+
+TEST(Cli, UnrollBombExitsWithBudgetCode) {
+  const std::string bomb = writeTemp(
+      "bomb.bfy",
+      "bomb() {\n"
+      "  global int x;\n"
+      "  for (i in 0..1000000000) do { x = x + 1; }\n"
+      "}\n");
+  const auto result =
+      runCli("check --query \"bomb.x[0] >= 0\" --instance bomb " + bomb);
+  EXPECT_EQ(result.exitCode, 5) << result.output;
+  EXPECT_NE(result.output.find("budget exceeded"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("--max-"), std::string::npos) << result.output;
+}
+
+TEST(Cli, BudgetJsonStatus) {
+  const std::string bomb = writeTemp(
+      "bomb_json.bfy",
+      "bomb() {\n"
+      "  global int x;\n"
+      "  for (i in 0..1000000000) do { x = x + 1; }\n"
+      "}\n");
+  const auto result = runCli(
+      "check --format json --query \"bomb.x[0] >= 0\" --instance bomb " +
+      bomb);
+  EXPECT_EQ(result.exitCode, 5) << result.output;
+  EXPECT_NE(result.output.find("\"verdict\":\"BUDGET-EXCEEDED\""),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"exitCode\":5"), std::string::npos);
+  EXPECT_NE(result.output.find("\"resource\":"), std::string::npos);
+  EXPECT_NE(result.output.find("\"limit\":"), std::string::npos);
+}
+
+TEST(Cli, MaxFlagsTightenAndNoBudgetLifts) {
+  // The same clean program: fine by default, over a --max-depth 2 cap,
+  // and fine again under --no-budget.
+  const auto ok = runCli("lint " + corpusFile("clean.bfy"));
+  EXPECT_EQ(ok.exitCode, 0) << ok.output;
+  const auto capped = runCli("lint --max-depth 2 " + corpusFile("clean.bfy"));
+  EXPECT_EQ(capped.exitCode, 5) << capped.output;
+  EXPECT_NE(capped.output.find("nesting-depth"), std::string::npos)
+      << capped.output;
+  const auto lifted =
+      runCli("lint --no-budget " + corpusFile("clean.bfy"));
+  EXPECT_EQ(lifted.exitCode, 0) << lifted.output;
+}
+
+TEST(Cli, DeepNestingRejectedStructurally) {
+  std::string deep = "p() {\n  global int x;\n";
+  for (int i = 0; i < 5000; ++i) deep += "if (x >= 0) {";
+  deep += "x = 1;";
+  for (int i = 0; i < 5000; ++i) deep += "}";
+  deep += "\n}\n";
+  const auto result = runCli("lint " + writeTemp("deep.bfy", deep));
+  EXPECT_EQ(result.exitCode, 5) << result.output;
+  EXPECT_NE(result.output.find("nesting-depth"), std::string::npos)
+      << result.output;
 }
 
 TEST(Cli, JsonFormatOnUnknown) {

@@ -1,0 +1,166 @@
+// Golden-diagnostics suite (ISSUE: compiler hardening, satellite b).
+//
+// Each tests/corpus/*.bfy file is a malformed program annotated with its
+// expected diagnostics as comment lines:
+//
+//   //! LINE:COL: substring-of-message
+//
+// in the order the front half must report them. The harness runs the same
+// batched sequence as the CLI (parseRecover -> elaborate -> typecheck into
+// one DiagnosticEngine) and checks error count, source locations, and
+// ordering. A corpus file with no //! lines asserts a clean front half.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "support/budget.hpp"
+#include "support/diagnostics.hpp"
+
+namespace fs = std::filesystem;
+using namespace buffy;
+
+namespace {
+
+struct Expectation {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+  std::string substring;
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Parses `//! LINE:COL: substring` annotation lines, in file order.
+std::vector<Expectation> expectationsOf(const std::string& source) {
+  std::vector<Expectation> out;
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto at = line.find("//!");
+    if (at == std::string::npos) continue;
+    std::istringstream spec(line.substr(at + 3));
+    Expectation e;
+    char colon = 0;
+    if (!(spec >> e.line >> colon >> e.col) || colon != ':') {
+      ADD_FAILURE() << "malformed //! annotation: " << line;
+      continue;
+    }
+    std::string rest;
+    std::getline(spec, rest);
+    // Trim "` : `" separator and surrounding spaces.
+    auto begin = rest.find_first_not_of(" :");
+    e.substring = begin == std::string::npos ? "" : rest.substr(begin);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+/// The CLI's batched front half: recovery parse, then elaborate and
+/// typecheck even when parsing reported errors.
+DiagnosticEngine runFrontHalf(const std::string& source) {
+  DiagnosticEngine diag;
+  lang::Program prog = lang::parseRecover(source, diag);
+  lang::CompileOptions copts;
+  copts.constants["N"] = 4;
+  copts.constants["K"] = 3;
+  (void)lang::elaborate(prog, copts, diag);
+  (void)lang::typecheck(prog, copts, diag);
+  return diag;
+}
+
+std::vector<Diagnostic> errorsOnly(const DiagnosticEngine& diag) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diag.all()) {
+    if (d.severity == Severity::Error) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<fs::path> corpusFiles() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(BUFFY_CORPUS_DIR)) {
+    if (entry.path().extension() == ".bfy") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class GoldenDiagnostics : public testing::TestWithParam<fs::path> {};
+
+}  // namespace
+
+TEST_P(GoldenDiagnostics, MatchesAnnotations) {
+  const std::string source = slurp(GetParam());
+  ASSERT_FALSE(source.empty()) << "unreadable corpus file " << GetParam();
+  const std::vector<Expectation> expected = expectationsOf(source);
+
+  const DiagnosticEngine diag = runFrontHalf(source);
+  const std::vector<Diagnostic> errors = errorsOnly(diag);
+
+  ASSERT_EQ(errors.size(), expected.size())
+      << "diagnostic count mismatch for " << GetParam().filename() << "\n"
+      << diag.renderAll();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& want = expected[i];
+    const auto& got = errors[i];
+    EXPECT_EQ(got.loc.line, want.line)
+        << "diagnostic " << i << " of " << GetParam().filename() << ": "
+        << got.render();
+    EXPECT_EQ(got.loc.column, want.col)
+        << "diagnostic " << i << " of " << GetParam().filename() << ": "
+        << got.render();
+    EXPECT_NE(got.message.find(want.substring), std::string::npos)
+        << "diagnostic " << i << " of " << GetParam().filename()
+        << " should mention '" << want.substring << "', got: " << got.render();
+  }
+}
+
+// Two runs over the same input must report byte-identical diagnostics —
+// the ordering contract golden files rely on.
+TEST_P(GoldenDiagnostics, OrderingIsStable) {
+  const std::string source = slurp(GetParam());
+  EXPECT_EQ(runFrontHalf(source).renderAll(),
+            runFrontHalf(source).renderAll());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenDiagnostics,
+                         testing::ValuesIn(corpusFiles()),
+                         [](const testing::TestParamInfo<fs::path>& info) {
+                           std::string name = info.param.stem().string();
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// The acceptance-criteria scenario: one run over a program with several
+// distinct syntax *and* type errors yields >= 3 located diagnostics.
+TEST(GoldenDiagnostics, BatchesSyntaxAndTypeErrorsInOneRun) {
+  const std::string source =
+      "prog() {\n"
+      "  global int x = 0;\n"
+      "  y = true + 3;\n"
+      "  global bool b = ;\n"
+      "  if (x { x = 1; }\n"
+      "}\n";
+  const DiagnosticEngine diag = runFrontHalf(source);
+  EXPECT_GE(errorsOnly(diag).size(), 3u) << diag.renderAll();
+  for (const auto& d : errorsOnly(diag)) {
+    EXPECT_TRUE(d.loc.known()) << d.render();
+  }
+}

@@ -33,7 +33,17 @@
 //   --full-trace          render every series (incl. packet fields)
 //   --format table|csv|json  trace/result output format
 //
-// Exit codes (DESIGN.md §8):
+// Resource governor (DESIGN.md §10; 0 disables a cap):
+//   --max-depth N         statement/expression nesting depth
+//   --max-expr-terms N    operator applications per statement
+//   --max-ast-nodes N     AST nodes per parse
+//   --max-unroll-stmts N  statements the loop unroller may emit
+//   --max-inline-stmts N  statements the inliner may emit
+//   --max-exec-stmts N    statements symbolically executed per time step
+//   --max-term-nodes N    interned IR term nodes per encoding
+//   --no-budget           disable every cap (pre-governor behavior)
+//
+// Exit codes (DESIGN.md §8, §10):
 //   0  conclusive, nothing wrong (SATISFIABLE / UNSATISFIABLE / VERIFIED /
 //      PROVED, or the command simply succeeded)
 //   1  conclusive, property problem found (VIOLATED / WITNESS-MISMATCH)
@@ -41,6 +51,7 @@
 //   3  inconclusive: solver returned UNKNOWN after the retry ladder
 //      (timeout / rlimit / memory budget exhausted)
 //   4  internal error (solver crash, unexpected exception)
+//   5  compile budget exceeded (unroll/inline bomb, term explosion, ...)
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -56,6 +67,7 @@
 #include "lang/printer.hpp"
 #include "lang/typecheck.hpp"
 #include "sem/passes.hpp"
+#include "support/budget.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "transform/transforms.hpp"
@@ -74,6 +86,7 @@ constexpr int kExitViolation = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitUnknown = 3;
 constexpr int kExitInternal = 4;
+constexpr int kExitBudget = 5;
 
 int exitCodeFor(core::Verdict verdict) {
   switch (verdict) {
@@ -114,6 +127,9 @@ struct Options {
   /// Hidden test seam (--inject-fault nth:kind[:param]): deterministic
   /// fault injection so the resilience exit paths are testable end-to-end.
   std::vector<std::string> injectFaults;
+  /// Resource governor (--max-* flags); defaults are generous enough for
+  /// every legitimate model, tight enough to stop compile bombs.
+  CompileBudget budget;
 };
 
 void usage() {
@@ -214,6 +230,22 @@ Options parseArgs(int argc, char** argv) {
       opts.noOpt = true;
     } else if (arg == "--inject-fault") {
       opts.injectFaults.push_back(next());
+    } else if (arg == "--max-depth") {
+      opts.budget.maxNestingDepth = std::stoull(next());
+    } else if (arg == "--max-expr-terms") {
+      opts.budget.maxExprTerms = std::stoull(next());
+    } else if (arg == "--max-ast-nodes") {
+      opts.budget.maxAstNodes = std::stoull(next());
+    } else if (arg == "--max-unroll-stmts") {
+      opts.budget.maxUnrolledStmts = std::stoull(next());
+    } else if (arg == "--max-inline-stmts") {
+      opts.budget.maxInlinedStmts = std::stoull(next());
+    } else if (arg == "--max-exec-stmts") {
+      opts.budget.maxExecStmts = std::stoull(next());
+    } else if (arg == "--max-term-nodes") {
+      opts.budget.maxTermNodes = std::stoull(next());
+    } else if (arg == "--no-budget") {
+      opts.budget = CompileBudget::unlimited();
     } else if (arg == "-h" || arg == "--help") {
       usage();
       std::exit(0);
@@ -416,25 +448,66 @@ int reportResult(const Options& opts, const core::AnalysisResult& result) {
   return code;
 }
 
+lang::CompileOptions compileOptionsFor(const Options& opts) {
+  lang::CompileOptions copts;
+  copts.constants = opts.constants;
+  if (opts.constants.count("N") != 0) {
+    copts.defaultListCapacity =
+        std::max<int>(2, static_cast<int>(opts.constants.at("N")));
+  }
+  return copts;
+}
+
+/// The batched front half: recovery-mode lex + parse + elaborate +
+/// typecheck, so ONE run reports every lexical, syntax, and type error
+/// with its source location instead of stopping at the first. Returns the
+/// recovered program; `diag` holds everything found.
+lang::Program compileFront(const std::string& source, const Options& opts,
+                           DiagnosticEngine& diag) {
+  lang::Program prog = lang::parseRecover(source, diag, opts.budget);
+  const lang::CompileOptions copts = compileOptionsFor(opts);
+  // Elaborate and typecheck even after syntax errors: the recovered AST
+  // still surfaces type problems in the statements that did parse.
+  (void)lang::elaborate(prog, copts, diag);
+  (void)lang::typecheck(prog, copts, diag);
+  return prog;
+}
+
+/// Runs the batched front half for commands whose main pipeline still
+/// parses in throw mode. Prints every diagnostic to stderr; returns false
+/// (-> exit 2) when errors were found.
+bool frontHalfClean(const std::string& source, const Options& opts) {
+  DiagnosticEngine diag;
+  (void)compileFront(source, opts, diag);
+  if (!diag.all().empty()) std::fputs(diag.renderAll().c_str(), stderr);
+  return !diag.hasErrors();
+}
+
 int run(const Options& opts) {
   const std::string source = readFile(opts.file);
 
   if (opts.command == "lint") {
-    lang::Program prog = lang::parse(source);
-    lang::CompileOptions copts;
-    copts.constants = opts.constants;
-    const auto symbols = lang::checkOrThrow(prog, copts);
+    // One run, every finding: front-half errors batch with the semantic
+    // passes' warnings/errors instead of aborting at the first problem.
     DiagnosticEngine diag;
-    sem::BufferRoles roles;
-    for (const auto& b : opts.buffers) {
-      if (b.role == core::BufferSpec::Role::Input) roles.inputs.insert(b.param);
-      if (b.role == core::BufferSpec::Role::Output) {
-        roles.outputs.insert(b.param);
+    lang::Program prog = compileFront(source, opts, diag);
+    if (!diag.hasErrors()) {
+      sem::BufferRoles roles;
+      for (const auto& b : opts.buffers) {
+        if (b.role == core::BufferSpec::Role::Input) {
+          roles.inputs.insert(b.param);
+        }
+        if (b.role == core::BufferSpec::Role::Output) {
+          roles.outputs.insert(b.param);
+        }
       }
+      lang::CompileOptions copts = compileOptionsFor(opts);
+      DiagnosticEngine tcDiag;
+      const auto symbols = lang::typecheck(prog, copts, tcDiag);
+      sem::checkWellFormed(prog, roles, diag);
+      sem::checkGhostNonInterference(prog, symbols.monitors, diag);
+      sem::checkDefiniteAssignment(prog, diag);
     }
-    sem::checkWellFormed(prog, roles, diag);
-    sem::checkGhostNonInterference(prog, symbols.monitors, diag);
-    sem::checkDefiniteAssignment(prog, diag);
     if (diag.all().empty()) {
       std::puts("clean: no findings");
       return 0;
@@ -443,26 +516,24 @@ int run(const Options& opts) {
     return diag.hasErrors() ? kExitUsage : kExitOk;
   }
 
+  if (!frontHalfClean(source, opts)) return kExitUsage;
+
   if (opts.command == "print") {
-    lang::Program prog = lang::parse(source);
-    lang::CompileOptions copts;
-    copts.constants = opts.constants;
-    lang::checkOrThrow(prog, copts);
+    lang::Program prog = lang::parse(source, opts.budget);
+    lang::checkOrThrow(prog, compileOptionsFor(opts));
     if (opts.unroll) {
-      transform::inlineFunctions(prog);
+      transform::inlineFunctions(prog, opts.budget);
       transform::foldConstants(prog);
-      transform::unrollLoops(prog);
+      transform::unrollLoops(prog, opts.budget);
     }
     std::fputs(lang::printProgram(prog).c_str(), stdout);
     return 0;
   }
 
   if (opts.command == "emit-dafny") {
-    lang::Program prog = lang::parse(source);
-    lang::CompileOptions copts;
-    copts.constants = opts.constants;
-    lang::checkOrThrow(prog, copts);
-    transform::inlineFunctions(prog);
+    lang::Program prog = lang::parse(source, opts.budget);
+    lang::checkOrThrow(prog, compileOptionsFor(opts));
+    transform::inlineFunctions(prog, opts.budget);
     transform::foldConstants(prog);
     backends::DafnyOptions dopts;
     dopts.horizon = opts.horizon;
@@ -496,6 +567,7 @@ int run(const Options& opts) {
     core::TransitionOptions topts;
     topts.model = opts.model;
     topts.stepWorkload = buildWorkload(opts);
+    topts.budget = opts.budget;
     backends::UnboundedAnalysis unbounded(net, topts);
     if (opts.query.empty()) {
       std::puts("state variables (use 'name[0]' in --query):");
@@ -528,6 +600,7 @@ int run(const Options& opts) {
   aopts.unrollLoops = opts.unroll;
   aopts.symbolicInitialState = opts.havocInit;
   aopts.opt.enabled = !opts.noOpt;
+  aopts.budget = opts.budget;
   core::Analysis analysis(net, aopts);
 
   if (opts.command == "simulate") {
@@ -567,8 +640,39 @@ int run(const Options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  Options opts;
   try {
-    return run(parseArgs(argc, argv));
+    opts = parseArgs(argc, argv);
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "buffy: %s\n", e.what());
+    usage();
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    // e.g. std::stoi on a malformed flag value
+    std::fprintf(stderr, "buffy: bad argument: %s\n", e.what());
+    usage();
+    return kExitUsage;
+  }
+
+  // No exception type may escape to std::terminate: every failure maps to
+  // a documented exit code.
+  try {
+    return run(opts);
+  } catch (const BudgetExceeded& e) {
+    if (opts.format == "json") {
+      std::printf(
+          "{\"verdict\":\"BUDGET-EXCEEDED\",\"exitCode\":%d,"
+          "\"resource\":\"%s\",\"limit\":%llu,\"detail\":\"%s\"}\n",
+          kExitBudget, jsonEscape(e.resource()).c_str(),
+          static_cast<unsigned long long>(e.limit()),
+          jsonEscape(e.what()).c_str());
+    } else {
+      std::fprintf(stderr,
+                   "buffy: %s\n  (raise the corresponding --max-* flag or "
+                   "pass --no-budget to override)\n",
+                   e.what());
+    }
+    return kExitBudget;
   } catch (const CliError& e) {
     std::fprintf(stderr, "buffy: %s\n", e.what());
     usage();
@@ -582,6 +686,9 @@ int main(int argc, char** argv) {
     return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "buffy: internal error: %s\n", e.what());
+    return kExitInternal;
+  } catch (...) {
+    std::fprintf(stderr, "buffy: internal error: unknown exception type\n");
     return kExitInternal;
   }
 }
