@@ -1,18 +1,13 @@
 #include "core/analysis.hpp"
 
 #include <algorithm>
-#include <set>
-#include <unordered_map>
 #include <unordered_set>
 
-#include "buffers/counter_model.hpp"
-#include "buffers/list_model.hpp"
 #include "ir/term_eval.hpp"
 #include "ir/term_printer.hpp"
-#include "lang/parser.hpp"
-#include "sem/passes.hpp"
+#include "pipeline/driver.hpp"
+#include "pipeline/encoder.hpp"
 #include "support/error.hpp"
-#include "transform/transforms.hpp"
 
 namespace buffy::core {
 
@@ -28,42 +23,42 @@ const char* verdictName(Verdict verdict) {
   return "?";
 }
 
-namespace {
-
-std::string qname(const std::string& inst, const std::string& param,
-                  int idx = -1) {
-  std::string out = inst + "." + param;
-  if (idx >= 0) out += "." + std::to_string(idx);
-  return out;
+pipeline::PipelineOptions pipelineOptionsFor(const AnalysisOptions& options) {
+  pipeline::PipelineOptions p;
+  p.horizon = options.horizon;
+  p.model = options.model;
+  p.unrollLoops = options.unrollLoops;
+  p.symbolicInitialState = options.symbolicInitialState;
+  p.budget = options.budget;
+  return p;
 }
 
-struct CompiledInstance {
-  std::string name;
-  lang::Program program;
-  lang::TypecheckResult symbols;
-  std::vector<BufferSpec> buffers;
-  /// param -> index into `buffers`, built once in compileAll; the per-step
-  /// encoding loops look specs up by name on their hot path.
-  std::unordered_map<std::string, std::size_t> specIndex;
-  bool isContract = false;
-};
+namespace {
 
-/// Expands a buffer parameter into its (qualifiedName, spec, index) units.
-struct BufferUnit {
-  std::string qualified;
-  const BufferSpec* spec = nullptr;
-  std::string instance;
-  int index = -1;  // -1 for scalar buffer params
-};
+bool sameBudget(const CompileBudget& a, const CompileBudget& b) {
+  return a.maxNestingDepth == b.maxNestingDepth &&
+         a.maxExprTerms == b.maxExprTerms && a.maxAstNodes == b.maxAstNodes &&
+         a.maxUnrolledStmts == b.maxUnrolledStmts &&
+         a.maxInlinedStmts == b.maxInlinedStmts &&
+         a.maxExecStmts == b.maxExecStmts && a.maxTermNodes == b.maxTermNodes;
+}
+
+bool sameFront(const pipeline::PipelineOptions& a,
+               const pipeline::PipelineOptions& b) {
+  return a.horizon == b.horizon && a.model == b.model &&
+         a.unrollLoops == b.unrollLoops &&
+         a.symbolicInitialState == b.symbolicInitialState &&
+         sameBudget(a.budget, b.budget);
+}
 
 }  // namespace
 
 struct Analysis::Impl {
-  Network network;
+  pipeline::CompilationUnitPtr unit;
   AnalysisOptions options;
-  std::vector<CompiledInstance> instances;
-  /// name -> index into `instances`, built once in compileAll.
-  std::unordered_map<std::string, std::size_t> instanceIndex;
+  /// Per-stage accounting: starts as a copy of the unit's front-half rows
+  /// and accumulates this engine's encode/optimize/solve work.
+  pipeline::PipelineStats stats;
   Workload workload;
   bool workloadLocked = false;
   backends::Z3Backend solver;
@@ -83,416 +78,32 @@ struct Analysis::Impl {
   /// Structural assertions already asserted into the session.
   std::unordered_set<ir::TermRef> assertedStructural;
 
-  // Qualified names of connection endpoints.
-  std::set<std::string> connectedInputs;
-  std::set<std::string> connectedOutputs;
-
-  Impl(Network net, AnalysisOptions opts)
-      : network(std::move(net)), options(std::move(opts)) {
+  Impl(Network net, AnalysisOptions opts) : options(std::move(opts)) {
     if (options.horizon <= 0) {
       throw AnalysisError("analysis horizon must be positive");
     }
     if (options.faultPlan) solver.setFaultPlan(options.faultPlan);
-    compileAll();
-    validateConnections();
+    const pipeline::CompilerDriver driver(pipelineOptionsFor(options));
+    unit = driver.compile(std::move(net));
+    stats = unit->frontStats();
   }
 
-  // -------------------------------------------------------------------
-  // Compilation
-  // -------------------------------------------------------------------
-
-  void compileAll() {
-    for (const auto& spec : network.instances()) {
-      CompiledInstance ci;
-      ci.program = lang::parse(spec.source, options.budget);
-      ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
-      if (instanceIndex.count(ci.name) != 0) {
-        throw AnalysisError("duplicate instance name '" + ci.name + "'");
-      }
-      ci.symbols = lang::checkOrThrow(ci.program, spec.compile);
-      ci.buffers = spec.buffers;
-      ci.isContract = network.contracts().count(ci.name) != 0;
-
-      // Validate buffer specs against the program's buffer parameters,
-      // building the by-name spec index as we go.
-      for (std::size_t bi = 0; bi < ci.buffers.size(); ++bi) {
-        const auto& b = ci.buffers[bi];
-        if (!ci.specIndex.emplace(b.param, bi).second) {
-          throw AnalysisError("duplicate BufferSpec for '" + b.param + "'");
-        }
-        const auto it = ci.symbols.paramTypes.find(b.param);
-        if (it == ci.symbols.paramTypes.end() || !it->second.isBufferLike()) {
-          throw AnalysisError("BufferSpec '" + b.param +
-                              "' does not match a buffer parameter of '" +
-                              ci.name + "'");
-        }
-      }
-      for (const auto& [param, type] : ci.symbols.paramTypes) {
-        if (type.isBufferLike() && ci.specIndex.count(param) == 0) {
-          throw AnalysisError("buffer parameter '" + param + "' of '" +
-                              ci.name + "' has no BufferSpec");
-        }
-      }
-
-      // Semantic passes.
-      sem::BufferRoles roles;
-      for (const auto& b : ci.buffers) {
-        if (b.role == BufferSpec::Role::Input) roles.inputs.insert(b.param);
-        if (b.role == BufferSpec::Role::Output) roles.outputs.insert(b.param);
-      }
-      DiagnosticEngine diag;
-      sem::checkWellFormed(ci.program, roles, diag);
-      sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
-      if (diag.hasErrors()) {
-        throw SemanticError("semantic checks failed for '" + ci.name +
-                            "':\n" + diag.renderAll());
-      }
-
-      // Paper §4 transformations.
-      transform::inlineFunctions(ci.program, options.budget);
-      transform::foldConstants(ci.program);
-      if (options.unrollLoops) transform::unrollLoops(ci.program, options.budget);
-      // Re-typecheck after transformation (defensive; also re-annotates).
-      DiagnosticEngine diag2;
-      const auto recheck =
-          lang::typecheck(ci.program, spec.compile, diag2);
-      if (!recheck.ok) {
-        throw SemanticError("internal: post-inline typecheck failed for '" +
-                            ci.name + "':\n" + diag2.renderAll());
-      }
-
-      instanceIndex.emplace(ci.name, instances.size());
-      instances.push_back(std::move(ci));
+  Impl(pipeline::CompilationUnitPtr u, AnalysisOptions opts)
+      : unit(std::move(u)), options(std::move(opts)) {
+    if (options.horizon <= 0) {
+      throw AnalysisError("analysis horizon must be positive");
     }
-    if (instances.empty()) {
-      throw AnalysisError("network has no program instances");
+    if (!unit) {
+      throw AnalysisError("analysis requires a compilation unit");
     }
-  }
-
-  CompiledInstance& instanceByName(const std::string& name) {
-    const auto it = instanceIndex.find(name);
-    if (it == instanceIndex.end()) {
-      throw AnalysisError("unknown instance '" + name + "'");
+    if (!sameFront(unit->options(), pipelineOptionsFor(options))) {
+      throw AnalysisError(
+          "compilation unit was compiled with different pipeline options "
+          "(horizon/model/unroll/initial-state/budget) than this analysis "
+          "requests");
     }
-    return instances[it->second];
-  }
-
-  const BufferSpec& specFor(const CompiledInstance& ci,
-                            const std::string& param) {
-    const auto it = ci.specIndex.find(param);
-    if (it == ci.specIndex.end()) {
-      throw AnalysisError("no BufferSpec for '" + param + "' in '" + ci.name +
-                          "'");
-    }
-    return ci.buffers[it->second];
-  }
-
-  void validateConnections() {
-    for (const auto& conn : network.connections()) {
-      const auto& from = instanceByName(conn.fromInstance);
-      const auto& to = instanceByName(conn.toInstance);
-      const auto& fromSpec = specFor(from, conn.fromParam);
-      const auto& toSpec = specFor(to, conn.toParam);
-      if (fromSpec.role != BufferSpec::Role::Output) {
-        throw AnalysisError("connection source " +
-                            qname(conn.fromInstance, conn.fromParam) +
-                            " is not an output buffer");
-      }
-      if (toSpec.role != BufferSpec::Role::Input) {
-        throw AnalysisError("connection target " +
-                            qname(conn.toInstance, conn.toParam) +
-                            " is not an input buffer");
-      }
-      const std::string fromName =
-          qname(conn.fromInstance, conn.fromParam, conn.fromIndex);
-      const std::string toName =
-          qname(conn.toInstance, conn.toParam, conn.toIndex);
-      if (!connectedOutputs.insert(fromName).second) {
-        throw AnalysisError("output " + fromName + " connected twice");
-      }
-      if (!connectedInputs.insert(toName).second) {
-        throw AnalysisError("input " + toName + " connected twice");
-      }
-    }
-  }
-
-  // -------------------------------------------------------------------
-  // Encoding
-  // -------------------------------------------------------------------
-
-  std::vector<BufferUnit> bufferUnits(const CompiledInstance& ci) {
-    std::vector<BufferUnit> out;
-    for (const auto& b : ci.buffers) {
-      const lang::Type type = ci.symbols.paramTypes.at(b.param);
-      if (type.kind == lang::TypeKind::BufferArray) {
-        for (int i = 0; i < type.size; ++i) {
-          out.push_back(BufferUnit{qname(ci.name, b.param, i), &b, ci.name, i});
-        }
-      } else {
-        out.push_back(BufferUnit{qname(ci.name, b.param), &b, ci.name, -1});
-      }
-    }
-    return out;
-  }
-
-  void appendSeries(Encoding& enc, const std::string& name, int t,
-                    ir::TermRef term) {
-    auto& vec = enc.series[name];
-    if (static_cast<int>(vec.size()) != t) {
-      throw AnalysisError("internal: series '" + name +
-                          "' recorded out of order");
-    }
-    vec.push_back(term);
-  }
-
-  std::unique_ptr<Encoding> buildEncoding(const ConcreteArrivals* concrete) {
-    auto enc = std::make_unique<Encoding>();
-    enc->horizon = options.horizon;
-    ir::TermArena& arena = enc->arena;
-    // One cap on the shared arena governs every term producer downstream
-    // (evaluator, buffer models, optimizer, encoders).
-    arena.setNodeLimit(options.budget.maxTermNodes);
-
-    // Register buffers.
-    for (const auto& ci : instances) {
-      for (const auto& unit : bufferUnits(ci)) {
-        buffers::BufferConfig cfg;
-        cfg.name = unit.qualified;
-        cfg.capacity = unit.spec->capacity;
-        cfg.schema = unit.spec->schema;
-        cfg.classField = unit.spec->classField;
-        cfg.classDomain = unit.spec->classDomain;
-        cfg.bytesPerPacket = unit.spec->bytesPerPacket;
-        const buffers::ModelKind kind =
-            unit.spec->modelOverride.value_or(options.model);
-        std::unique_ptr<buffers::SymBuffer> buf;
-        if (kind == buffers::ModelKind::Counter) {
-          buf = std::make_unique<buffers::CounterBuffer>(std::move(cfg), arena,
-                                                         &enc->assumptions);
-        } else {
-          buf = std::make_unique<buffers::ListBuffer>(std::move(cfg), arena);
-        }
-        if (options.symbolicInitialState) {
-          if (concrete != nullptr) {
-            throw AnalysisError(
-                "cannot simulate with a symbolic initial state");
-          }
-          buf->havocState(enc->assumptions);
-        }
-        enc->store.addBuffer(unit.qualified, std::move(buf));
-      }
-    }
-
-    // One evaluator per executable instance.
-    eval::EvalSinks sinks{&enc->assumptions, &enc->obligations,
-                          &enc->soundness};
-    std::map<std::string, std::unique_ptr<eval::Evaluator>> evaluators;
-    for (const auto& ci : instances) {
-      if (ci.isContract) continue;
-      auto ev = std::make_unique<eval::Evaluator>(arena, enc->store, sinks,
-                                                  ci.name + ".");
-      ev->setBudget(options.budget);
-      evaluators.emplace(ci.name, std::move(ev));
-    }
-
-    for (int t = 0; t < options.horizon; ++t) {
-      // 1. External arrivals.
-      for (const auto& ci : instances) {
-        for (const auto& unit : bufferUnits(ci)) {
-          if (unit.spec->role != BufferSpec::Role::Input) continue;
-          if (connectedInputs.count(unit.qualified) != 0) continue;
-          emitArrivals(*enc, unit, t, concrete);
-        }
-      }
-
-      // 2. Run programs / contracts.
-      for (const auto& ci : instances) {
-        if (ci.isContract) {
-          contractStep(*enc, ci, t, concrete != nullptr);
-        } else {
-          evaluators.at(ci.name)->execStep(ci.program, t);
-        }
-      }
-
-      // 3. Record monitors.
-      for (const auto& ci : instances) {
-        if (ci.isContract) continue;
-        for (const auto& m : ci.symbols.monitors) {
-          const std::string name = ci.name + "." + m;
-          const eval::Value* v = enc->store.find(name);
-          if (v == nullptr) continue;  // declared behind a false branch
-          if (v->kind == eval::Value::Kind::Scalar) {
-            appendSeries(*enc, name, t, v->scalar);
-          } else if (v->kind == eval::Value::Kind::Array) {
-            for (std::size_t i = 0; i < v->array.size(); ++i) {
-              appendSeries(*enc, name + "." + std::to_string(i), t,
-                           v->array[i]);
-            }
-          }
-        }
-      }
-
-      // 4. Record buffer statistics.
-      for (const auto& name : enc->store.bufferNames()) {
-        const buffers::SymBuffer* buf = enc->store.buffer(name);
-        appendSeries(*enc, name + ".backlog", t, buf->backlogP());
-        appendSeries(*enc, name + ".dropped", t, buf->droppedP());
-      }
-
-      // 5. Connection flushes (visible at t+1; paper §3 composition).
-      for (const auto& conn : network.connections()) {
-        buffers::SymBuffer* from = enc->store.buffer(
-            qname(conn.fromInstance, conn.fromParam, conn.fromIndex));
-        buffers::SymBuffer* to = enc->store.buffer(
-            qname(conn.toInstance, conn.toParam, conn.toIndex));
-        buffers::PacketBatch batch = from->popAll();
-        appendSeries(*enc,
-                     qname(conn.fromInstance, conn.fromParam, conn.fromIndex) +
-                         ".out",
-                     t, batch.count(arena));
-        to->accept(batch, arena.trueTerm());
-      }
-
-      // 6. Drain unconnected outputs (the network egress).
-      for (const auto& ci : instances) {
-        for (const auto& unit : bufferUnits(ci)) {
-          if (unit.spec->role != BufferSpec::Role::Output) continue;
-          if (connectedOutputs.count(unit.qualified) != 0) continue;
-          buffers::SymBuffer* buf = enc->store.buffer(unit.qualified);
-          buffers::PacketBatch batch = buf->popAll();
-          appendSeries(*enc, unit.qualified + ".out", t, batch.count(arena));
-        }
-      }
-    }
-
-    // Contract invariants.
-    for (const auto& [instName, contract] : network.contracts()) {
-      if (!contract.invariants) continue;
-      const ContractView view(&enc->series, instName, options.horizon);
-      contract.invariants(view, arena, enc->assumptions);
-    }
-
-    // Workload assumptions (symbolic runs only) — kept apart from the
-    // structural assumptions so rebindWorkload can swap them later.
-    if (concrete == nullptr) {
-      workload.apply(enc->arrivals(), arena, enc->workloadTerms);
-    }
-    return enc;
-  }
-
-  void emitArrivals(Encoding& enc, const BufferUnit& unit, int t,
-                    const ConcreteArrivals* concrete) {
-    ir::TermArena& arena = enc.arena;
-    const BufferSpec& spec = *unit.spec;
-    buffers::SymBuffer* buf = enc.store.buffer(unit.qualified);
-
-    ArrivalVars av;
-    buffers::PacketBatch batch;
-    if (concrete != nullptr) {
-      const auto it = concrete->find(unit.qualified);
-      const std::vector<ConcretePacket>* pkts = nullptr;
-      if (it != concrete->end() &&
-          t < static_cast<int>(it->second.size())) {
-        pkts = &it->second[static_cast<std::size_t>(t)];
-      }
-      const int n = pkts != nullptr ? static_cast<int>(pkts->size()) : 0;
-      av.count = arena.intConst(n);
-      for (int i = 0; i < n; ++i) {
-        std::map<std::string, ir::TermRef> fields;
-        for (const auto& field : spec.schema.fields) {
-          const auto& packet = (*pkts)[static_cast<std::size_t>(i)];
-          const auto fit = packet.find(field);
-          std::int64_t value = fit != packet.end() ? fit->second : 0;
-          if (field == buffers::BufferSchema::kBytesField &&
-              fit == packet.end()) {
-            value = 1;
-          }
-          fields[field] = arena.intConst(value);
-        }
-        av.slots.push_back(fields);
-        batch.slots.push_back(
-            buffers::PacketSlot{arena.trueTerm(), std::move(fields)});
-      }
-    } else {
-      const std::string stem = unit.qualified + ".t" + std::to_string(t);
-      av.count = arena.var(stem + ".n", ir::Sort::Int);
-      enc.assumptions.push_back(arena.le(arena.intConst(0), av.count));
-      enc.assumptions.push_back(
-          arena.le(av.count, arena.intConst(spec.maxArrivalsPerStep)));
-      for (int i = 0; i < spec.maxArrivalsPerStep; ++i) {
-        std::map<std::string, ir::TermRef> fields;
-        for (const auto& field : spec.schema.fields) {
-          const ir::TermRef v = arena.var(
-              stem + ".p" + std::to_string(i) + "." + field, ir::Sort::Int);
-          fields[field] = v;
-          if (field == buffers::BufferSchema::kBytesField) {
-            enc.assumptions.push_back(arena.le(arena.intConst(1), v));
-            enc.assumptions.push_back(
-                arena.le(v, arena.intConst(spec.maxPacketBytes)));
-          } else if (field == spec.classField && spec.classDomain > 0) {
-            enc.assumptions.push_back(arena.le(arena.intConst(0), v));
-            enc.assumptions.push_back(
-                arena.lt(v, arena.intConst(spec.classDomain)));
-          }
-        }
-        av.slots.push_back(fields);
-        batch.slots.push_back(buffers::PacketSlot{
-            arena.lt(arena.intConst(i), av.count), std::move(fields)});
-      }
-    }
-
-    buf->accept(batch, arena.trueTerm());
-    appendSeries(enc, unit.qualified + ".arrived", t, av.count);
-    for (std::size_t i = 0; i < av.slots.size(); ++i) {
-      for (const auto& [field, term] : av.slots[i]) {
-        appendSeries(enc,
-                     unit.qualified + ".in" + std::to_string(i) + "." + field,
-                     t, term);
-      }
-    }
-    enc.arrivalVars[unit.qualified].push_back(std::move(av));
-  }
-
-  void contractStep(Encoding& enc, const CompiledInstance& ci, int t,
-                    bool concrete) {
-    if (concrete) {
-      throw AnalysisError("cannot simulate a network containing contracts");
-    }
-    ir::TermArena& arena = enc.arena;
-    const Contract& contract = network.contracts().at(ci.name);
-    for (const auto& unit : bufferUnits(ci)) {
-      buffers::SymBuffer* buf = enc.store.buffer(unit.qualified);
-      if (unit.spec->role == BufferSpec::Role::Input) {
-        buffers::PacketBatch batch = buf->popAll();
-        appendSeries(enc, unit.qualified + ".consumed", t,
-                     batch.count(arena));
-      } else if (unit.spec->role == BufferSpec::Role::Output) {
-        const std::string stem =
-            unit.qualified + ".t" + std::to_string(t) + ".emit";
-        const ir::TermRef count = arena.var(stem + ".n", ir::Sort::Int);
-        enc.assumptions.push_back(arena.le(arena.intConst(0), count));
-        enc.assumptions.push_back(
-            arena.le(count, arena.intConst(contract.maxOutPerStep)));
-        buffers::PacketBatch batch;
-        for (int i = 0; i < contract.maxOutPerStep; ++i) {
-          std::map<std::string, ir::TermRef> fields;
-          for (const auto& field : unit.spec->schema.fields) {
-            const ir::TermRef v = arena.var(
-                stem + ".p" + std::to_string(i) + "." + field, ir::Sort::Int);
-            fields[field] = v;
-            if (field == buffers::BufferSchema::kBytesField) {
-              enc.assumptions.push_back(arena.le(arena.intConst(1), v));
-              enc.assumptions.push_back(
-                  arena.le(v, arena.intConst(unit.spec->maxPacketBytes)));
-            }
-          }
-          batch.slots.push_back(buffers::PacketSlot{
-              arena.lt(arena.intConst(i), count), std::move(fields)});
-        }
-        buf->accept(batch, arena.trueTerm());
-        appendSeries(enc, unit.qualified + ".emitted", t, count);
-      }
-    }
+    if (options.faultPlan) solver.setFaultPlan(options.faultPlan);
+    stats = unit->frontStats();
   }
 
   // -------------------------------------------------------------------
@@ -501,7 +112,7 @@ struct Analysis::Impl {
 
   Encoding& ensureEncoding() {
     if (!encoding) {
-      encoding = buildEncoding(nullptr);
+      encoding = pipeline::buildEncoding(*unit, workload, nullptr, &stats);
       workloadLocked = true;
     }
     return *encoding;
@@ -542,6 +153,16 @@ struct Analysis::Impl {
     return *optimizer;
   }
 
+  /// Runs the optimizer's planner under the "optimize" stage clock.
+  opt::Optimizer::Plan planTimed(Encoding& enc,
+                                 const std::vector<ir::TermRef>& delta) {
+    pipeline::StageTimer timer(stats.stage("optimize"));
+    opt::Optimizer::Plan plan = ensureOptimizer(enc).plan(delta);
+    timer.stop();
+    stats.stage("optimize").nodes = plan.stats.nodesAfter;
+    return plan;
+  }
+
   /// The query-specific constraints: the current workload delta plus the
   /// query itself (negated together with the in-program obligations for
   /// verify). Small — O(workload rules + 1), never a copy of the full
@@ -577,7 +198,7 @@ struct Analysis::Impl {
     PlannedProblem out;
     const std::vector<ir::TermRef> delta = queryDelta(query, forVerify, enc);
     if (options.opt.enabled) {
-      out.plan = ensureOptimizer(enc).plan(delta);
+      out.plan = planTimed(enc, delta);
       out.constraints = out.plan->structural;
       out.constraints.insert(out.constraints.end(), out.plan->delta.begin(),
                              out.plan->delta.end());
@@ -649,6 +270,15 @@ struct Analysis::Impl {
     return result;
   }
 
+  /// Adds this query's solver wall time to the "solve" stage (one run per
+  /// attempt) and snapshots the stage table onto the result.
+  void finishPipeline(AnalysisResult& result, std::size_t attempts) {
+    auto& row = stats.stage("solve");
+    row.seconds += result.solveSeconds;
+    row.runs += std::max<std::size_t>(attempts, 1);
+    result.pipeline = stats;
+  }
+
   /// Fault-injection support (FaultAction::Kind::CorruptWitness): perturbs
   /// one derived series value so the replay cross-check has a deterministic
   /// divergence to find. Prefers a ".backlog" series (always present and
@@ -703,7 +333,7 @@ struct Analysis::Impl {
 
     std::optional<opt::Optimizer::Plan> planned;
     if (options.opt.enabled) {
-      planned = ensureOptimizer(enc).plan(delta);
+      planned = planTimed(enc, delta);
       // Assert the structural constraints this query's slice needs and the
       // session does not hold yet (the session's base is the monotone
       // union of the query slices). The session-safe set is used — never
@@ -756,6 +386,24 @@ struct Analysis::Impl {
       result.solveSeconds += attempt.seconds;
     }
     crossCheckWitness(result);
+    finishPipeline(result, result.attempts.size());
+    return result;
+  }
+
+  /// The §4 SMT-LIB path as a full solve: renders the standalone problem
+  /// and answers it through emission + reparse into a fresh one-shot
+  /// solver. Shared by checkViaSmtLib and the smtlib backend.
+  AnalysisResult solveViaSmtLib(const Query& query, bool forVerify) {
+    Encoding& enc = ensureEncoding();
+    const auto problem = planProblem(query, forVerify, enc);
+    backends::SmtLibOptions opts;
+    opts.checkSat = false;  // the reparsing solver issues its own check
+    const std::string text = backends::emitSmtLib(problem.constraints, opts);
+    backends::SolveResult sr = solver.checkSmtLib(text, baseBudget());
+    if (problem.plan) completeModel(sr, *problem.plan);
+    AnalysisResult result = finish(enc, sr, forVerify);
+    if (problem.plan) result.opt = problem.plan->stats;
+    finishPipeline(result, 1);
     return result;
   }
 
@@ -767,21 +415,21 @@ struct Analysis::Impl {
   /// `<buf>.arrived` counts and `<buf>.in<i>.<field>` packet series.
   ConcreteArrivals arrivalsFromTrace(const Trace& trace) {
     ConcreteArrivals arrivals;
-    for (const auto& ci : instances) {
-      for (const auto& unit : bufferUnits(ci)) {
-        if (unit.spec->role != BufferSpec::Role::Input) continue;
-        if (connectedInputs.count(unit.qualified) != 0) continue;
-        const auto arrived = trace.series.find(unit.qualified + ".arrived");
+    for (const auto& ci : unit->instances()) {
+      for (const auto& bu : unit->bufferUnits(ci)) {
+        if (bu.spec->role != BufferSpec::Role::Input) continue;
+        if (unit->connectedInputs().count(bu.qualified) != 0) continue;
+        const auto arrived = trace.series.find(bu.qualified + ".arrived");
         if (arrived == trace.series.end()) continue;
-        auto& steps = arrivals[unit.qualified];
+        auto& steps = arrivals[bu.qualified];
         for (int t = 0; t < trace.horizon; ++t) {
           std::vector<ConcretePacket> packets;
           const std::int64_t n =
               arrived->second.at(static_cast<std::size_t>(t));
           for (std::int64_t i = 0; i < n; ++i) {
             ConcretePacket packet;
-            for (const auto& field : unit.spec->schema.fields) {
-              const std::string series = unit.qualified + ".in" +
+            for (const auto& field : bu.spec->schema.fields) {
+              const std::string series = bu.qualified + ".in" +
                                          std::to_string(i) + "." + field;
               if (trace.has(series)) packet[field] = trace.at(series, t);
             }
@@ -809,13 +457,13 @@ struct Analysis::Impl {
       return;
     }
     if (options.symbolicInitialState) return;
-    if (!network.contracts().empty()) return;
+    if (!unit->network().contracts().empty()) return;
 
     const Trace& witness = *result.trace;
     std::unique_ptr<Encoding> replayed;
     try {
       const ConcreteArrivals arrivals = arrivalsFromTrace(witness);
-      replayed = buildEncoding(&arrivals);
+      replayed = pipeline::buildEncoding(*unit, workload, &arrivals);
     } catch (const Error&) {
       return;  // not concretely replayable — cannot cross-check
     }
@@ -851,7 +499,10 @@ struct Analysis::Impl {
 };
 
 Analysis::Analysis(Network network, AnalysisOptions options)
-    : impl_(std::make_unique<Impl>(std::move(network), options)) {}
+    : impl_(std::make_unique<Impl>(std::move(network), std::move(options))) {}
+
+Analysis::Analysis(pipeline::CompilationUnitPtr unit, AnalysisOptions options)
+    : impl_(std::make_unique<Impl>(std::move(unit), std::move(options))) {}
 
 Analysis::~Analysis() = default;
 
@@ -897,22 +548,17 @@ std::string Analysis::toSmtLib(const Query& query, bool forVerify,
   return backends::emitSmtLib(problem.constraints, options);
 }
 
+AnalysisResult Analysis::solveViaSmtLib(const Query& query, bool forVerify) {
+  return impl_->solveViaSmtLib(query, forVerify);
+}
+
 AnalysisResult Analysis::checkViaSmtLib(const Query& query) {
-  Encoding& enc = impl_->ensureEncoding();
-  const auto problem = impl_->planProblem(query, false, enc);
-  backends::SmtLibOptions opts;
-  opts.checkSat = false;  // the reparsing solver issues its own check
-  const std::string text = backends::emitSmtLib(problem.constraints, opts);
-  backends::SolveResult sr =
-      impl_->solver.checkSmtLib(text, impl_->baseBudget());
-  if (problem.plan) Impl::completeModel(sr, *problem.plan);
-  AnalysisResult result = impl_->finish(enc, sr, false);
-  if (problem.plan) result.opt = problem.plan->stats;
-  return result;
+  return impl_->solveViaSmtLib(query, false);
 }
 
 Trace Analysis::simulate(const ConcreteArrivals& arrivals) {
-  const auto enc = impl_->buildEncoding(&arrivals);
+  const auto enc =
+      pipeline::buildEncoding(*impl_->unit, impl_->workload, &arrivals);
   Trace trace;
   trace.horizon = enc->horizon;
   for (const auto& [name, terms] : enc->series) {
@@ -936,27 +582,20 @@ Trace Analysis::simulate(const ConcreteArrivals& arrivals) {
 
 const Encoding& Analysis::encoding() { return impl_->ensureEncoding(); }
 
+const pipeline::CompilationUnitPtr& Analysis::unit() const {
+  return impl_->unit;
+}
+
+const pipeline::PipelineStats& Analysis::pipelineStats() const {
+  return impl_->stats;
+}
+
 std::vector<std::string> Analysis::inputBufferNames() const {
-  std::vector<std::string> out;
-  for (const auto& ci : impl_->instances) {
-    for (const auto& unit : impl_->bufferUnits(ci)) {
-      if (unit.spec->role == BufferSpec::Role::Input &&
-          impl_->connectedInputs.count(unit.qualified) == 0) {
-        out.push_back(unit.qualified);
-      }
-    }
-  }
-  return out;
+  return impl_->unit->inputBufferNames();
 }
 
 std::vector<std::string> Analysis::monitorNames() const {
-  std::vector<std::string> out;
-  for (const auto& ci : impl_->instances) {
-    for (const auto& m : ci.symbols.monitors) {
-      out.push_back(ci.name + "." + m);
-    }
-  }
-  return out;
+  return impl_->unit->monitorNames();
 }
 
 }  // namespace buffy::core

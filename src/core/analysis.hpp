@@ -18,6 +18,7 @@
 
 #include "backends/smtlib/smtlib_emitter.hpp"
 #include "backends/z3/z3_backend.hpp"
+#include "core/encoding.hpp"
 #include "core/network.hpp"
 #include "opt/optimizer.hpp"
 #include "core/query.hpp"
@@ -25,6 +26,7 @@
 #include "core/workload.hpp"
 #include "eval/evaluator.hpp"
 #include "eval/store.hpp"
+#include "pipeline/compilation_unit.hpp"
 #include "support/budget.hpp"
 
 namespace buffy::core {
@@ -93,34 +95,10 @@ struct AnalysisOptions {
   CompileBudget budget;
 };
 
-/// The unrolled symbolic encoding of a network over the horizon.
-/// Owns the term arena; everything else points into it.
-class Encoding {
- public:
-  Encoding() : store(arena) {}
-  Encoding(const Encoding&) = delete;
-  Encoding& operator=(const Encoding&) = delete;
-
-  ir::TermArena arena;
-  eval::Store store;
-  std::vector<ir::TermRef> assumptions;
-  std::vector<eval::Obligation> obligations;
-  std::vector<ir::TermRef> soundness;
-  /// Workload constraints, kept apart from the structural `assumptions` so
-  /// a new workload can be re-bound onto this encoding as a delta (the
-  /// compiled instances, term arena, and solver session all survive).
-  std::vector<ir::TermRef> workloadTerms;
-  std::map<std::string, std::vector<ArrivalVars>> arrivalVars;
-  std::map<std::string, std::vector<ir::TermRef>> series;
-  int horizon = 0;
-
-  [[nodiscard]] ArrivalView arrivals() const {
-    return ArrivalView(&arrivalVars, horizon);
-  }
-  [[nodiscard]] SeriesView seriesView() const {
-    return SeriesView(&series, horizon);
-  }
-};
+/// Derives the front-half (pipeline) options an AnalysisOptions implies —
+/// what Analysis hands the CompilerDriver, and what callers use to
+/// pre-compile a CompilationUnit they intend to share across engines.
+pipeline::PipelineOptions pipelineOptionsFor(const AnalysisOptions& options);
 
 enum class Verdict {
   Satisfiable,      // check(): witness trace found
@@ -173,6 +151,10 @@ struct AnalysisResult {
   /// before and after, per-pass timings). Absent when the optimizer was
   /// disabled.
   std::optional<opt::OptStats> opt;
+  /// Per-stage pipeline accounting (DESIGN.md §11): front-half stages from
+  /// the shared CompilationUnit plus this engine's encode/optimize/solve
+  /// rows, snapshotted when the query finished.
+  pipeline::PipelineStats pipeline;
 
   [[nodiscard]] bool sat() const { return verdict == Verdict::Satisfiable; }
   [[nodiscard]] bool holds() const { return verdict == Verdict::Verified; }
@@ -190,6 +172,12 @@ using ConcreteArrivals =
 class Analysis {
  public:
   Analysis(Network network, AnalysisOptions options);
+  /// Builds the engine on an already-compiled front half (DESIGN.md §11):
+  /// the unit is shared, so N engines over the same network pay for one
+  /// parse/typecheck/transform run. Throws AnalysisError when the unit's
+  /// pipeline options disagree with what `options` implies (horizon, model,
+  /// unrolling, initial-state discipline, budget).
+  Analysis(pipeline::CompilationUnitPtr unit, AnalysisOptions options);
   ~Analysis();
   Analysis(const Analysis&) = delete;
   Analysis& operator=(const Analysis&) = delete;
@@ -236,6 +224,9 @@ class Analysis {
   /// SMT-LIB2 script.
   std::string toSmtLib(const Query& query, bool forVerify,
                        backends::SmtLibOptions options = {});
+  /// Solves through emission + reparse — either discipline. This is the
+  /// `smtlib` backend's solve path (and the backend-comparison ablation).
+  AnalysisResult solveViaSmtLib(const Query& query, bool forVerify);
   /// Solves through emission + reparse (backend-comparison ablation).
   AnalysisResult checkViaSmtLib(const Query& query);
 
@@ -246,6 +237,11 @@ class Analysis {
 
   /// The lazily-built symbolic encoding (builds it on first use).
   const Encoding& encoding();
+  /// The compiled front half this engine runs on (shared, immutable).
+  [[nodiscard]] const pipeline::CompilationUnitPtr& unit() const;
+  /// Per-stage accounting so far: front-half stages plus whatever encode/
+  /// optimize/solve work this engine has done.
+  [[nodiscard]] const pipeline::PipelineStats& pipelineStats() const;
   /// Qualified names of the external input buffers (arrival targets).
   [[nodiscard]] std::vector<std::string> inputBufferNames() const;
   /// Qualified monitor series names.

@@ -1,0 +1,74 @@
+#include "pipeline/compilation_unit.hpp"
+
+#include "support/error.hpp"
+
+namespace buffy::pipeline {
+
+std::string qualifiedName(const std::string& instance,
+                          const std::string& param, int index) {
+  std::string out = instance + "." + param;
+  if (index >= 0) out += "." + std::to_string(index);
+  return out;
+}
+
+const CompiledInstance& CompilationUnit::instanceByName(
+    const std::string& name) const {
+  const auto it = instanceIndex_.find(name);
+  if (it == instanceIndex_.end()) {
+    throw AnalysisError("unknown instance '" + name + "'");
+  }
+  return instances_[it->second];
+}
+
+const core::BufferSpec& CompilationUnit::specFor(
+    const CompiledInstance& ci, const std::string& param) const {
+  const auto it = ci.specIndex.find(param);
+  if (it == ci.specIndex.end()) {
+    throw AnalysisError("no BufferSpec for '" + param + "' in '" + ci.name +
+                        "'");
+  }
+  return ci.buffers[it->second];
+}
+
+std::vector<BufferUnit> CompilationUnit::bufferUnits(
+    const CompiledInstance& ci) const {
+  std::vector<BufferUnit> out;
+  for (const auto& b : ci.buffers) {
+    const lang::Type type = ci.symbols.paramTypes.at(b.param);
+    if (type.kind == lang::TypeKind::BufferArray) {
+      for (int i = 0; i < type.size; ++i) {
+        out.push_back(
+            BufferUnit{qualifiedName(ci.name, b.param, i), &b, ci.name, i});
+      }
+    } else {
+      out.push_back(
+          BufferUnit{qualifiedName(ci.name, b.param), &b, ci.name, -1});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CompilationUnit::inputBufferNames() const {
+  std::vector<std::string> out;
+  for (const auto& ci : instances_) {
+    for (const auto& unit : bufferUnits(ci)) {
+      if (unit.spec->role == core::BufferSpec::Role::Input &&
+          connectedInputs_.count(unit.qualified) == 0) {
+        out.push_back(unit.qualified);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CompilationUnit::monitorNames() const {
+  std::vector<std::string> out;
+  for (const auto& ci : instances_) {
+    for (const auto& m : ci.symbols.monitors) {
+      out.push_back(ci.name + "." + m);
+    }
+  }
+  return out;
+}
+
+}  // namespace buffy::pipeline

@@ -1,0 +1,118 @@
+// The typed artifact the CompilerDriver produces: every program instance of
+// a Network parsed, elaborated, typechecked, semantically checked, and
+// transformed, plus the validated connection endpoints and the per-stage
+// compile statistics (DESIGN.md §11).
+//
+// A CompilationUnit is immutable after construction and safe to share
+// across threads: Analysis engines (one Z3 context each), the synthesizer's
+// workers, and the CLI all consume the same unit, so each model is parsed
+// and typechecked exactly once per run. Evaluation reads the contained
+// programs through const references only.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "buffers/model.hpp"
+#include "core/network.hpp"
+#include "lang/ast.hpp"
+#include "lang/typecheck.hpp"
+#include "pipeline/stage_stats.hpp"
+#include "support/budget.hpp"
+
+namespace buffy::pipeline {
+
+/// The front-half knobs a compile depends on. A deliberate subset of
+/// core::AnalysisOptions: everything solver-side (timeouts, retry ladder,
+/// optimizer, fault plans) stays out so one unit can back many differently
+/// configured engines.
+struct PipelineOptions {
+  /// Number of modeled time steps (T).
+  int horizon = 4;
+  /// Buffer model precision (paper §3: pluggable buffer models).
+  buffers::ModelKind model = buffers::ModelKind::List;
+  /// Also run the explicit loop unroller (§4) during compilation.
+  bool unrollLoops = false;
+  /// Quantify over the initial queue contents instead of starting empty.
+  bool symbolicInitialState = false;
+  /// Resource governor for the whole compile (DESIGN.md §10).
+  CompileBudget budget;
+};
+
+/// One compiled program instance.
+struct CompiledInstance {
+  std::string name;
+  lang::Program program;
+  lang::TypecheckResult symbols;
+  std::vector<core::BufferSpec> buffers;
+  /// param -> index into `buffers`, built once by the driver; the per-step
+  /// encoding loops look specs up by name on their hot path.
+  std::unordered_map<std::string, std::size_t> specIndex;
+  bool isContract = false;
+};
+
+/// Expands a buffer parameter into its (qualifiedName, spec, index) units.
+struct BufferUnit {
+  std::string qualified;
+  const core::BufferSpec* spec = nullptr;
+  std::string instance;
+  int index = -1;  // -1 for scalar buffer params
+};
+
+/// "inst.param" or "inst.param.idx" — the qualified buffer-unit name used
+/// across the encoding, traces, and connections.
+std::string qualifiedName(const std::string& instance,
+                          const std::string& param, int index = -1);
+
+class CompilationUnit {
+ public:
+  [[nodiscard]] const core::Network& network() const { return network_; }
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+  [[nodiscard]] const std::vector<CompiledInstance>& instances() const {
+    return instances_;
+  }
+  /// Throws AnalysisError for unknown names.
+  [[nodiscard]] const CompiledInstance& instanceByName(
+      const std::string& name) const;
+  /// Throws AnalysisError when the instance has no spec for `param`.
+  [[nodiscard]] const core::BufferSpec& specFor(const CompiledInstance& ci,
+                                                const std::string& param) const;
+  [[nodiscard]] std::vector<BufferUnit> bufferUnits(
+      const CompiledInstance& ci) const;
+
+  /// Qualified names of connection endpoints (validated by the driver).
+  [[nodiscard]] const std::set<std::string>& connectedInputs() const {
+    return connectedInputs_;
+  }
+  [[nodiscard]] const std::set<std::string>& connectedOutputs() const {
+    return connectedOutputs_;
+  }
+
+  /// Qualified names of the external input buffers (arrival targets).
+  [[nodiscard]] std::vector<std::string> inputBufferNames() const;
+  /// Qualified monitor series names.
+  [[nodiscard]] std::vector<std::string> monitorNames() const;
+
+  /// Per-stage wall time and output sizes for the front half that built
+  /// this unit (parse, typecheck, sem, inline, constfold, unroll, recheck).
+  [[nodiscard]] const PipelineStats& frontStats() const { return frontStats_; }
+
+ private:
+  friend class CompilerDriver;
+
+  core::Network network_;
+  PipelineOptions options_;
+  std::vector<CompiledInstance> instances_;
+  /// name -> index into `instances_`, built once by the driver.
+  std::unordered_map<std::string, std::size_t> instanceIndex_;
+  std::set<std::string> connectedInputs_;
+  std::set<std::string> connectedOutputs_;
+  PipelineStats frontStats_;
+};
+
+using CompilationUnitPtr = std::shared_ptr<const CompilationUnit>;
+
+}  // namespace buffy::pipeline

@@ -1,0 +1,363 @@
+#include "pipeline/driver.hpp"
+
+#include "lang/parser.hpp"
+#include "sem/passes.hpp"
+#include "support/error.hpp"
+#include "transform/transforms.hpp"
+
+namespace buffy::pipeline {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// AST size gauges for StageStats. The walks mirror the node shapes in
+// lang/ast.hpp; depth is bounded by the parser's nesting/expr-terms
+// budget, like every other recursive AST pass.
+// ---------------------------------------------------------------------
+
+struct AstCounts {
+  std::size_t nodes = 0;
+  std::size_t stmts = 0;
+};
+
+void countExpr(const lang::Expr* e, AstCounts& c);
+void countStmt(const lang::Stmt* s, AstCounts& c);
+
+void countExpr(const lang::Expr* e, AstCounts& c) {
+  if (e == nullptr) return;
+  c.nodes += 1;
+  switch (e->exprKind) {
+    case lang::ExprKind::IntLit:
+    case lang::ExprKind::BoolLit:
+    case lang::ExprKind::VarRef:
+    case lang::ExprKind::ListEmpty:
+    case lang::ExprKind::ListLen:
+      break;
+    case lang::ExprKind::Index:
+      countExpr(static_cast<const lang::IndexExpr*>(e)->index.get(), c);
+      break;
+    case lang::ExprKind::Binary: {
+      const auto* b = static_cast<const lang::BinaryExpr*>(e);
+      countExpr(b->lhs.get(), c);
+      countExpr(b->rhs.get(), c);
+      break;
+    }
+    case lang::ExprKind::Unary:
+      countExpr(static_cast<const lang::UnaryExpr*>(e)->operand.get(), c);
+      break;
+    case lang::ExprKind::Backlog:
+      countExpr(static_cast<const lang::BacklogExpr*>(e)->buffer.get(), c);
+      break;
+    case lang::ExprKind::Filter: {
+      const auto* f = static_cast<const lang::FilterExpr*>(e);
+      countExpr(f->base.get(), c);
+      countExpr(f->value.get(), c);
+      break;
+    }
+    case lang::ExprKind::ListHas:
+      countExpr(static_cast<const lang::ListHasExpr*>(e)->value.get(), c);
+      break;
+    case lang::ExprKind::Call:
+      for (const auto& arg : static_cast<const lang::CallExpr*>(e)->args) {
+        countExpr(arg.get(), c);
+      }
+      break;
+  }
+}
+
+void countStmt(const lang::Stmt* s, AstCounts& c) {
+  if (s == nullptr) return;
+  c.nodes += 1;
+  c.stmts += 1;
+  switch (s->stmtKind) {
+    case lang::StmtKind::Block:
+      for (const auto& st : static_cast<const lang::BlockStmt*>(s)->stmts) {
+        countStmt(st.get(), c);
+      }
+      break;
+    case lang::StmtKind::Decl:
+      countExpr(static_cast<const lang::DeclStmt*>(s)->init.get(), c);
+      break;
+    case lang::StmtKind::Assign: {
+      const auto* a = static_cast<const lang::AssignStmt*>(s);
+      countExpr(a->index.get(), c);
+      countExpr(a->value.get(), c);
+      break;
+    }
+    case lang::StmtKind::If: {
+      const auto* i = static_cast<const lang::IfStmt*>(s);
+      countExpr(i->cond.get(), c);
+      countStmt(i->thenBlock.get(), c);
+      countStmt(i->elseBlock.get(), c);
+      break;
+    }
+    case lang::StmtKind::For: {
+      const auto* f = static_cast<const lang::ForStmt*>(s);
+      countExpr(f->lo.get(), c);
+      countExpr(f->hi.get(), c);
+      countStmt(f->body.get(), c);
+      break;
+    }
+    case lang::StmtKind::Move: {
+      const auto* m = static_cast<const lang::MoveStmt*>(s);
+      countExpr(m->src.get(), c);
+      countExpr(m->dst.get(), c);
+      countExpr(m->amount.get(), c);
+      break;
+    }
+    case lang::StmtKind::ListPush:
+      countExpr(static_cast<const lang::ListPushStmt*>(s)->value.get(), c);
+      break;
+    case lang::StmtKind::PopFront:
+      break;
+    case lang::StmtKind::Assert:
+      countExpr(static_cast<const lang::AssertStmt*>(s)->cond.get(), c);
+      break;
+    case lang::StmtKind::Assume:
+      countExpr(static_cast<const lang::AssumeStmt*>(s)->cond.get(), c);
+      break;
+    case lang::StmtKind::Return:
+      countExpr(static_cast<const lang::ReturnStmt*>(s)->value.get(), c);
+      break;
+    case lang::StmtKind::ExprStmt:
+      countExpr(static_cast<const lang::ExprStmt*>(s)->expr.get(), c);
+      break;
+  }
+}
+
+AstCounts countProgram(const lang::Program& prog) {
+  AstCounts c;
+  for (const auto& f : prog.functions) countStmt(f.body.get(), c);
+  countStmt(prog.body.get(), c);
+  return c;
+}
+
+void recordCounts(StageStats& stage, const lang::Program& prog) {
+  const AstCounts c = countProgram(prog);
+  stage.nodes += c.nodes;
+  stage.stmts += c.stmts;
+}
+
+// ---------------------------------------------------------------------
+// Stage bodies shared by both error disciplines.
+// ---------------------------------------------------------------------
+
+sem::BufferRoles rolesFor(const CompiledInstance& ci) {
+  sem::BufferRoles roles;
+  for (const auto& b : ci.buffers) {
+    if (b.role == core::BufferSpec::Role::Input) roles.inputs.insert(b.param);
+    if (b.role == core::BufferSpec::Role::Output) {
+      roles.outputs.insert(b.param);
+    }
+  }
+  return roles;
+}
+
+/// Validates the BufferSpecs against the program's buffer parameters,
+/// building the by-name spec index. Configuration errors throw in both
+/// modes (they carry no source location).
+void validateSpecs(CompiledInstance& ci) {
+  for (std::size_t bi = 0; bi < ci.buffers.size(); ++bi) {
+    const auto& b = ci.buffers[bi];
+    if (!ci.specIndex.emplace(b.param, bi).second) {
+      throw AnalysisError("duplicate BufferSpec for '" + b.param + "'");
+    }
+    const auto it = ci.symbols.paramTypes.find(b.param);
+    if (it == ci.symbols.paramTypes.end() || !it->second.isBufferLike()) {
+      throw AnalysisError("BufferSpec '" + b.param +
+                          "' does not match a buffer parameter of '" +
+                          ci.name + "'");
+    }
+  }
+  for (const auto& [param, type] : ci.symbols.paramTypes) {
+    if (type.isBufferLike() && ci.specIndex.count(param) == 0) {
+      throw AnalysisError("buffer parameter '" + param + "' of '" + ci.name +
+                          "' has no BufferSpec");
+    }
+  }
+}
+
+/// Paper §4 transformations plus the defensive re-typecheck.
+void runTransforms(CompiledInstance& ci, const lang::CompileOptions& compile,
+                   const PipelineOptions& options, PipelineStats& stats) {
+  {
+    StageTimer t(stats.stage("inline"));
+    transform::inlineFunctions(ci.program, options.budget);
+  }
+  recordCounts(stats.stage("inline"), ci.program);
+  {
+    StageTimer t(stats.stage("constfold"));
+    transform::foldConstants(ci.program);
+  }
+  recordCounts(stats.stage("constfold"), ci.program);
+  if (options.unrollLoops) {
+    {
+      StageTimer t(stats.stage("unroll"));
+      transform::unrollLoops(ci.program, options.budget);
+    }
+    recordCounts(stats.stage("unroll"), ci.program);
+  }
+  StageTimer t(stats.stage("recheck"));
+  DiagnosticEngine diag2;
+  const auto recheck = lang::typecheck(ci.program, compile, diag2);
+  if (!recheck.ok) {
+    throw SemanticError("internal: post-inline typecheck failed for '" +
+                        ci.name + "':\n" + diag2.renderAll());
+  }
+}
+
+/// Validates connection endpoints and fills the connected-name sets.
+void validateConnections(const CompilationUnit& unit,
+                         std::set<std::string>& connectedInputs,
+                         std::set<std::string>& connectedOutputs) {
+  for (const auto& conn : unit.network().connections()) {
+    const auto& from = unit.instanceByName(conn.fromInstance);
+    const auto& to = unit.instanceByName(conn.toInstance);
+    const auto& fromSpec = unit.specFor(from, conn.fromParam);
+    const auto& toSpec = unit.specFor(to, conn.toParam);
+    if (fromSpec.role != core::BufferSpec::Role::Output) {
+      throw AnalysisError("connection source " +
+                          qualifiedName(conn.fromInstance, conn.fromParam) +
+                          " is not an output buffer");
+    }
+    if (toSpec.role != core::BufferSpec::Role::Input) {
+      throw AnalysisError("connection target " +
+                          qualifiedName(conn.toInstance, conn.toParam) +
+                          " is not an input buffer");
+    }
+    const std::string fromName =
+        qualifiedName(conn.fromInstance, conn.fromParam, conn.fromIndex);
+    const std::string toName =
+        qualifiedName(conn.toInstance, conn.toParam, conn.toIndex);
+    if (!connectedOutputs.insert(fromName).second) {
+      throw AnalysisError("output " + fromName + " connected twice");
+    }
+    if (!connectedInputs.insert(toName).second) {
+      throw AnalysisError("input " + toName + " connected twice");
+    }
+  }
+}
+
+}  // namespace
+
+CompilationUnitPtr CompilerDriver::compile(core::Network network) const {
+  auto unit = std::make_shared<CompilationUnit>();
+  unit->network_ = std::move(network);
+  unit->options_ = options_;
+  PipelineStats& stats = unit->frontStats_;
+
+  for (const auto& spec : unit->network_.instances()) {
+    CompiledInstance ci;
+    {
+      StageTimer t(stats.stage("parse"));
+      ci.program = lang::parse(spec.source, options_.budget);
+    }
+    recordCounts(stats.stage("parse"), ci.program);
+    ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
+    if (unit->instanceIndex_.count(ci.name) != 0) {
+      throw AnalysisError("duplicate instance name '" + ci.name + "'");
+    }
+    {
+      StageTimer t(stats.stage("typecheck"));
+      ci.symbols = lang::checkOrThrow(ci.program, spec.compile);
+    }
+    ci.buffers = spec.buffers;
+    ci.isContract = unit->network_.contracts().count(ci.name) != 0;
+
+    validateSpecs(ci);
+
+    {
+      StageTimer t(stats.stage("sem"));
+      DiagnosticEngine diag;
+      sem::checkWellFormed(ci.program, rolesFor(ci), diag);
+      sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
+      if (diag.hasErrors()) {
+        throw SemanticError("semantic checks failed for '" + ci.name +
+                            "':\n" + diag.renderAll());
+      }
+    }
+
+    runTransforms(ci, spec.compile, options_, stats);
+
+    unit->instanceIndex_.emplace(ci.name, unit->instances_.size());
+    unit->instances_.push_back(std::move(ci));
+  }
+  if (unit->instances_.empty()) {
+    throw AnalysisError("network has no program instances");
+  }
+  validateConnections(*unit, unit->connectedInputs_, unit->connectedOutputs_);
+  return unit;
+}
+
+CompilationUnitPtr CompilerDriver::compile(core::Network network,
+                                           DiagnosticEngine& diag,
+                                           FrontMode mode) const {
+  auto unit = std::make_shared<CompilationUnit>();
+  unit->network_ = std::move(network);
+  unit->options_ = options_;
+  PipelineStats& stats = unit->frontStats_;
+
+  // Front: recovery parse + elaborate + typecheck for every instance, so
+  // one run batches every source-located error. Type checking runs even
+  // after syntax errors — the recovered AST still surfaces type problems
+  // in the statements that did parse.
+  for (const auto& spec : unit->network_.instances()) {
+    CompiledInstance ci;
+    {
+      StageTimer t(stats.stage("parse"));
+      ci.program = lang::parseRecover(spec.source, diag, options_.budget);
+    }
+    recordCounts(stats.stage("parse"), ci.program);
+    ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
+    if (unit->instanceIndex_.count(ci.name) != 0) {
+      throw AnalysisError("duplicate instance name '" + ci.name + "'");
+    }
+    {
+      StageTimer t(stats.stage("typecheck"));
+      (void)lang::elaborate(ci.program, spec.compile, diag);
+      ci.symbols = lang::typecheck(ci.program, spec.compile, diag);
+    }
+    ci.buffers = spec.buffers;
+    ci.isContract = unit->network_.contracts().count(ci.name) != 0;
+    unit->instanceIndex_.emplace(ci.name, unit->instances_.size());
+    unit->instances_.push_back(std::move(ci));
+  }
+  if (unit->instances_.empty()) {
+    throw AnalysisError("network has no program instances");
+  }
+  if (diag.hasErrors() || mode == FrontMode::Front) return unit;
+
+  if (mode == FrontMode::Lint) {
+    StageTimer t(stats.stage("sem"));
+    for (auto& ci : unit->instances_) {
+      sem::checkWellFormed(ci.program, rolesFor(ci), diag);
+      sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
+      sem::checkDefiniteAssignment(ci.program, diag);
+    }
+    return unit;
+  }
+
+  if (mode == FrontMode::Analyze) {
+    for (auto& ci : unit->instances_) validateSpecs(ci);
+    {
+      StageTimer t(stats.stage("sem"));
+      for (auto& ci : unit->instances_) {
+        sem::checkWellFormed(ci.program, rolesFor(ci), diag);
+        sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
+      }
+    }
+    if (diag.hasErrors()) return unit;
+  }
+
+  for (std::size_t i = 0; i < unit->instances_.size(); ++i) {
+    runTransforms(unit->instances_[i],
+                  unit->network_.instances()[i].compile, options_, stats);
+  }
+  if (mode == FrontMode::Analyze) {
+    validateConnections(*unit, unit->connectedInputs_,
+                        unit->connectedOutputs_);
+  }
+  return unit;
+}
+
+}  // namespace buffy::pipeline

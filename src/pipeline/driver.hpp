@@ -1,0 +1,65 @@
+// CompilerDriver: the single front half of the Buffy pipeline
+// (DESIGN.md §11). Runs the named stages
+//
+//   parse -> typecheck (elaborate + check) -> sem -> inline -> constfold
+//         -> [unroll] -> recheck
+//
+// over every program instance of a Network and produces an immutable
+// CompilationUnit shared by Analysis, the Synthesizer, the CLI, and the
+// bench harnesses — each model is parsed and typechecked exactly once per
+// run, and every stage records wall time and output sizes into the unit's
+// frontStats().
+//
+// Two error disciplines mirror the language layer's dual modes:
+//  * throw mode (no DiagnosticEngine): the first problem raises
+//    SyntaxError/SemanticError/AnalysisError — the library behavior
+//    Analysis has always had;
+//  * recovery mode (with a DiagnosticEngine): lexical, syntax, type, and
+//    semantic errors batch into `diag` so one CLI run reports everything;
+//    later stages run only on error-free programs. Configuration errors
+//    that have no source location (bad BufferSpecs, duplicate instances,
+//    bad connections) still throw in both modes.
+#pragma once
+
+#include "core/network.hpp"
+#include "pipeline/compilation_unit.hpp"
+#include "support/diagnostics.hpp"
+
+namespace buffy::pipeline {
+
+/// How deep the front half runs — per-command depth for the CLI.
+enum class FrontMode {
+  /// parse + elaborate + typecheck only (`print` without --unroll).
+  Front,
+  /// Front + inline/constfold/[unroll]; no BufferSpec validation and no
+  /// semantic passes (`emit-dafny`, `print --unroll` — the pure language
+  /// pipeline, which needs no buffer configuration).
+  Emit,
+  /// Front + semantic passes including definite assignment; no transforms
+  /// (`lint` — diagnostics only, reported against the source AST).
+  Lint,
+  /// The full front half: Front + BufferSpec validation + semantic passes
+  /// + transforms + recheck + connection validation. What Analysis runs.
+  Analyze,
+};
+
+class CompilerDriver {
+ public:
+  explicit CompilerDriver(PipelineOptions options)
+      : options_(std::move(options)) {}
+
+  /// Throw mode, FrontMode::Analyze.
+  [[nodiscard]] CompilationUnitPtr compile(core::Network network) const;
+
+  /// Recovery mode: source-located errors land in `diag`. The returned
+  /// unit is complete only when `!diag.hasErrors()`; with errors present
+  /// it still carries whatever parsed (for diagnostics-only consumers).
+  [[nodiscard]] CompilationUnitPtr compile(
+      core::Network network, DiagnosticEngine& diag,
+      FrontMode mode = FrontMode::Analyze) const;
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace buffy::pipeline

@@ -1,0 +1,26 @@
+// The symbolic-evaluation stage (paper §4): unrolls a compiled network
+// over the bounded horizon into the solver-agnostic term IR. Pure function
+// of (CompilationUnit, Workload, optional concrete arrivals) — every
+// consumer (Analysis engines, witness replay, concrete simulation) builds
+// its Encoding through this one entry point.
+#pragma once
+
+#include <memory>
+
+#include "core/encoding.hpp"
+#include "core/workload.hpp"
+#include "pipeline/compilation_unit.hpp"
+
+namespace buffy::pipeline {
+
+/// Builds the encoding. With `concrete` null this is the symbolic run:
+/// arrival counts/fields become bounded fresh variables and `workload` is
+/// applied as the (re-bindable) workloadTerms set. With `concrete` set the
+/// arrivals are pinned to the given packets (simulation / witness replay)
+/// and the workload is ignored. Appends an "encode" row (wall time, term
+/// nodes) to `stats` when non-null.
+std::unique_ptr<core::Encoding> buildEncoding(
+    const CompilationUnit& unit, const core::Workload& workload,
+    const core::ConcreteArrivals* concrete, PipelineStats* stats = nullptr);
+
+}  // namespace buffy::pipeline

@@ -1,0 +1,58 @@
+#include "pipeline/stage_stats.hpp"
+
+#include <cstdio>
+
+namespace buffy::pipeline {
+
+StageStats& PipelineStats::stage(const std::string& name) {
+  for (auto& s : stages_) {
+    if (s.stage == name) return s;
+  }
+  stages_.push_back(StageStats{name, 0.0, 0, 0, 0});
+  return stages_.back();
+}
+
+const StageStats* PipelineStats::find(const std::string& name) const {
+  for (const auto& s : stages_) {
+    if (s.stage == name) return &s;
+  }
+  return nullptr;
+}
+
+double PipelineStats::totalSeconds() const {
+  double total = 0.0;
+  for (const auto& s : stages_) total += s.seconds;
+  return total;
+}
+
+std::string PipelineStats::render() const {
+  std::string out;
+  char line[160];
+  for (const auto& s : stages_) {
+    std::snprintf(line, sizeof line,
+                  "    %-10s %9.6f s  runs %-3zu nodes %-8zu stmts %zu\n",
+                  s.stage.c_str(), s.seconds, s.runs, s.nodes, s.stmts);
+    out += line;
+  }
+  return out;
+}
+
+std::string PipelineStats::toJson() const {
+  std::string out = "[";
+  char secs[32];
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const auto& s = stages_[i];
+    if (i > 0) out += ",";
+    std::snprintf(secs, sizeof secs, "%.6f", s.seconds);
+    out += "{\"stage\":\"" + s.stage + "\",\"seconds\":";
+    out += secs;
+    out += ",\"runs\":" + std::to_string(s.runs);
+    out += ",\"nodes\":" + std::to_string(s.nodes);
+    out += ",\"stmts\":" + std::to_string(s.stmts);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace buffy::pipeline

@@ -1,0 +1,79 @@
+// Per-stage observability for the compilation pipeline (DESIGN.md §11).
+//
+// Every named stage the CompilerDriver (and the downstream encoder /
+// optimizer / solver plumbing in Analysis) runs records one StageStats row:
+// wall time, how many times the stage ran, and the node/statement counts of
+// its output. The rows surface on AnalysisResult::pipeline and in the CLI's
+// `--stage-timings` output — the measurement seam the staged-IR compilers
+// in PAPERS.md (Fast NetKAT Compiler) treat as a first-class feature.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace buffy::pipeline {
+
+/// One pipeline stage's accumulated accounting. `nodes`/`stmts` are
+/// output-size gauges (last recorded value wins), not counters: AST nodes
+/// and statements for the front-half stages, interned term nodes for the
+/// encoding/optimizer stages, attempts for the solve stage.
+struct StageStats {
+  std::string stage;
+  double seconds = 0.0;
+  std::size_t runs = 0;
+  std::size_t nodes = 0;
+  std::size_t stmts = 0;
+};
+
+/// Ordered stage table: stages appear in first-recorded order, which for
+/// the driver is pipeline order (parse, typecheck, sem, inline, constfold,
+/// unroll, recheck, encode, optimize, solve).
+class PipelineStats {
+ public:
+  /// Find-or-append by stage name.
+  StageStats& stage(const std::string& name);
+  [[nodiscard]] const StageStats* find(const std::string& name) const;
+  [[nodiscard]] const std::vector<StageStats>& stages() const {
+    return stages_;
+  }
+  [[nodiscard]] bool empty() const { return stages_.empty(); }
+  [[nodiscard]] double totalSeconds() const;
+
+  /// Indented text table (one line per stage), for the CLI's non-JSON
+  /// `--stage-timings` output.
+  [[nodiscard]] std::string render() const;
+  /// JSON array `[{"stage":...,"seconds":...,"runs":...,"nodes":...,
+  /// "stmts":...},...]`, the CLI JSON `pipeline` block.
+  [[nodiscard]] std::string toJson() const;
+
+ private:
+  std::vector<StageStats> stages_;
+};
+
+/// RAII wall-clock accumulator: adds the elapsed time to the stage and
+/// bumps `runs` once, at destruction or explicit stop().
+class StageTimer {
+ public:
+  explicit StageTimer(StageStats& stats)
+      : stats_(&stats), start_(std::chrono::steady_clock::now()) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() { stop(); }
+
+  void stop() {
+    if (stats_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    stats_->seconds +=
+        std::chrono::duration<double>(end - start_).count();
+    stats_->runs += 1;
+    stats_ = nullptr;
+  }
+
+ private:
+  StageStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace buffy::pipeline

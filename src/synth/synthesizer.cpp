@@ -9,6 +9,7 @@
 #include <optional>
 #include <thread>
 
+#include "pipeline/driver.hpp"
 #include "support/error.hpp"
 
 namespace buffy::synth {
@@ -153,9 +154,17 @@ SynthesisResult Synthesizer::run(const core::Query& query,
     throw AnalysisError("synthesis grammar is empty");
   }
 
-  // Compile + encode once; this engine both discovers the external inputs
-  // and serves as the first worker's solving engine.
-  auto engine0 = std::make_unique<core::Analysis>(network_, options_);
+  // One front-half compile for the whole run (DESIGN.md §11): every engine
+  // — the probe, per-worker persistent engines, per-candidate fresh ones —
+  // shares this unit, so candidates cost solves, not recompiles. Each
+  // Analysis still owns its own Z3 context (contexts must not be shared
+  // across threads); only the immutable compiled programs are shared.
+  const pipeline::CompilerDriver driver(core::pipelineOptionsFor(options_));
+  const pipeline::CompilationUnitPtr unit = driver.compile(network_);
+
+  // This engine both discovers the external inputs and serves as the first
+  // worker's solving engine.
+  auto engine0 = std::make_unique<core::Analysis>(unit, options_);
   const std::vector<std::string> inputs = engine0->inputBufferNames();
   if (inputs.empty()) {
     throw AnalysisError("network has no external inputs to synthesize over");
@@ -256,7 +265,7 @@ SynthesisResult Synthesizer::run(const core::Query& query,
       candidate.assignment = assignments[idx];
 
       if (!opts.incremental) {
-        fresh = std::make_unique<core::Analysis>(network_, options_);
+        fresh = std::make_unique<core::Analysis>(unit, options_);
         fresh->setWorkload(workloadFor(candidate.assignment));
         engine = fresh.get();
         // Publish the per-candidate engine so firstOnly cancellation
@@ -354,7 +363,7 @@ SynthesisResult Synthesizer::run(const core::Query& query,
         core::Analysis* engine = engine0.get();
         if (w != 0) {
           try {
-            own = std::make_unique<core::Analysis>(network_, options_);
+            own = std::make_unique<core::Analysis>(unit, options_);
           } catch (const std::exception&) {
             return;
           }

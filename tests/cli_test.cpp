@@ -261,6 +261,54 @@ TEST(Cli, JsonFormatCarriesOptBlock) {
   EXPECT_NE(result.output.find("\"pass\":\"rewrite\""), std::string::npos);
 }
 
+TEST(Cli, StageTimingsCarryPipelineBlock) {
+  // --json --stage-timings: per-stage accounting from the one shared
+  // CompilerDriver front half, plus encode/optimize/solve rows.
+  const auto result =
+      runCli(std::string(resilience::kCheckArgs) +
+             "--json --stage-timings " + model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("\"pipeline\":["), std::string::npos)
+      << result.output;
+  for (const char* stage : {"parse", "typecheck", "sem", "inline",
+                            "constfold", "recheck", "encode", "solve"}) {
+    EXPECT_NE(result.output.find(std::string("\"stage\":\"") + stage + "\""),
+              std::string::npos)
+        << stage << "\n"
+        << result.output;
+  }
+  // Without the flag the block stays out of the json.
+  const auto quiet = runCli(std::string(resilience::kCheckArgs) +
+                            "--json " + model("round_robin.bfy"));
+  EXPECT_EQ(quiet.output.find("\"pipeline\":["), std::string::npos)
+      << quiet.output;
+}
+
+TEST(Cli, BackendSelectsSmtLibPath) {
+  const auto result = runCli(std::string(resilience::kCheckArgs) +
+                             "--backend smtlib " + model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("SATISFIABLE"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, BackendCapabilityMismatchIsUsageError) {
+  // dafny registers emit-only: asking it to solve is a usage error (2).
+  const auto result = runCli(std::string(resilience::kCheckArgs) +
+                             "--backend dafny " + model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("cannot solve queries"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, UnknownBackendIsUsageError) {
+  const auto result = runCli(std::string(resilience::kCheckArgs) +
+                             "--backend cvc5 " + model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("unknown backend 'cvc5'"), std::string::npos)
+      << result.output;
+}
+
 TEST(Cli, NoOptDisablesOptimizer) {
   // --no-opt: same verdict, no opt accounting in the json.
   const auto on =

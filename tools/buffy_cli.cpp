@@ -24,6 +24,10 @@
 //   --query EXPR          query over monitor series
 //   --unroll              run the explicit loop unroller as well
 //   --havoc-init          quantify over the initial queue contents
+//   --backend NAME        back-end from the registry (DESIGN.md §11):
+//                         z3 (default for check/verify), smtlib,
+//                         interp (default for simulate), dafny (emit-only)
+//   --stage-timings       report per-stage pipeline wall time/node counts
 //   --timeout MS          solver timeout (default 120000)
 //   --rlimit N            Z3 resource limit per query (deterministic)
 //   --max-memory MB       solver memory cap
@@ -32,6 +36,7 @@
 //   --no-opt              disable the encoding optimizer (DESIGN.md §9)
 //   --full-trace          render every series (incl. packet fields)
 //   --format table|csv|json  trace/result output format
+//   --json                shorthand for --format json
 //
 // Resource governor (DESIGN.md §10; 0 disables a cap):
 //   --max-depth N         statement/expression nesting depth
@@ -62,15 +67,13 @@
 
 #include "backends/chc/chc_backend.hpp"
 #include "backends/dafny/dafny_emitter.hpp"
+#include "backends/registry.hpp"
 #include "core/analysis.hpp"
-#include "lang/parser.hpp"
 #include "lang/printer.hpp"
-#include "lang/typecheck.hpp"
-#include "sem/passes.hpp"
+#include "pipeline/driver.hpp"
 #include "support/budget.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
-#include "transform/transforms.hpp"
 
 using namespace buffy;
 
@@ -117,6 +120,11 @@ struct Options {
   bool unroll = false;
   bool fullTrace = false;
   bool havocInit = false;
+  /// Back-end registry name (--backend); empty picks the command default
+  /// (z3 for check/verify, interp for simulate).
+  std::string backend;
+  /// Report per-stage pipeline accounting (--stage-timings).
+  bool stageTimings = false;
   std::string format = "table";  // table|csv|json
   unsigned timeoutMs = 120000;
   std::optional<unsigned> rlimit;
@@ -208,6 +216,12 @@ Options parseArgs(int argc, char** argv) {
       opts.unroll = true;
     } else if (arg == "--havoc-init") {
       opts.havocInit = true;
+    } else if (arg == "--backend") {
+      opts.backend = next();
+    } else if (arg == "--stage-timings") {
+      opts.stageTimings = true;
+    } else if (arg == "--json") {
+      opts.format = "json";
     } else if (arg == "--format") {
       opts.format = next();
       if (opts.format != "table" && opts.format != "csv" &&
@@ -393,6 +407,9 @@ int reportResult(const Options& opts, const core::AnalysisResult& result) {
       json += "}";
     }
     json += "]";
+    if (opts.stageTimings && !result.pipeline.empty()) {
+      json += ",\"pipeline\":" + result.pipeline.toJson();
+    }
     if (result.opt) {
       const auto& o = *result.opt;
       json += ",\"opt\":{";
@@ -430,6 +447,9 @@ int reportResult(const Options& opts, const core::AnalysisResult& result) {
   std::printf("%s (%.3f s)\n", core::verdictName(result.verdict),
               result.solveSeconds);
   if (!result.detail.empty()) std::printf("  %s\n", result.detail.c_str());
+  if (opts.stageTimings && !result.pipeline.empty()) {
+    std::printf("  pipeline:\n%s", result.pipeline.render().c_str());
+  }
   if (result.opt) {
     std::printf("  opt: %zu -> %zu nodes, %zu -> %zu assertions"
                 " (%zu sliced)\n",
@@ -458,56 +478,67 @@ lang::CompileOptions compileOptionsFor(const Options& opts) {
   return copts;
 }
 
-/// The batched front half: recovery-mode lex + parse + elaborate +
-/// typecheck, so ONE run reports every lexical, syntax, and type error
-/// with its source location instead of stopping at the first. Returns the
-/// recovered program; `diag` holds everything found.
-lang::Program compileFront(const std::string& source, const Options& opts,
-                           DiagnosticEngine& diag) {
-  lang::Program prog = lang::parseRecover(source, diag, opts.budget);
-  const lang::CompileOptions copts = compileOptionsFor(opts);
-  // Elaborate and typecheck even after syntax errors: the recovered AST
-  // still surfaces type problems in the statements that did parse.
-  (void)lang::elaborate(prog, copts, diag);
-  (void)lang::typecheck(prog, copts, diag);
-  return prog;
+/// The FrontMode the CompilerDriver runs for each command (DESIGN.md §11):
+/// print needs only the elaborated AST, emit-dafny the transformed one,
+/// lint the semantic passes, everything else the full Analyze front half.
+pipeline::FrontMode frontModeFor(const Options& opts) {
+  if (opts.command == "print") {
+    return opts.unroll ? pipeline::FrontMode::Emit : pipeline::FrontMode::Front;
+  }
+  if (opts.command == "emit-dafny") return pipeline::FrontMode::Emit;
+  if (opts.command == "lint") return pipeline::FrontMode::Lint;
+  if (opts.command == "prove") return pipeline::FrontMode::Front;
+  return pipeline::FrontMode::Analyze;
 }
 
-/// Runs the batched front half for commands whose main pipeline still
-/// parses in throw mode. Prints every diagnostic to stderr; returns false
-/// (-> exit 2) when errors were found.
-bool frontHalfClean(const std::string& source, const Options& opts) {
-  DiagnosticEngine diag;
-  (void)compileFront(source, opts, diag);
-  if (!diag.all().empty()) std::fputs(diag.renderAll().c_str(), stderr);
-  return !diag.hasErrors();
+/// Resolves --backend against the registry: empty picks the command
+/// default, unknown names and missing capabilities are usage errors.
+backends::SolverBackend& backendFor(const Options& opts,
+                                    const std::string& fallback) {
+  const std::string name = opts.backend.empty() ? fallback : opts.backend;
+  backends::SolverBackend* backend =
+      backends::BackendRegistry::instance().find(name);
+  if (backend == nullptr) {
+    std::string known;
+    for (const auto& n : backends::BackendRegistry::instance().names()) {
+      if (!known.empty()) known += "|";
+      known += n;
+    }
+    throw CliError("unknown backend '" + name + "' (known: " + known + ")");
+  }
+  return *backend;
 }
 
 int run(const Options& opts) {
   const std::string source = readFile(opts.file);
 
+  // ONE front-half compile per run, whatever the command: the driver runs
+  // recovery-mode parse + elaborate + typecheck (+ sem/transforms as the
+  // command needs), batching every source-located diagnostic, and the
+  // back half below consumes the same CompilationUnit — no re-parse.
+  core::ProgramSpec spec;
+  spec.instance = opts.instance;
+  spec.source = source;
+  spec.compile = compileOptionsFor(opts);
+  spec.buffers = opts.buffers;
+  core::Network net;
+  net.add(spec);
+
+  pipeline::PipelineOptions popts;
+  popts.horizon = opts.horizon;
+  popts.model = opts.model;
+  popts.unrollLoops = opts.unroll && opts.command != "emit-dafny";
+  popts.symbolicInitialState = opts.havocInit;
+  popts.budget = opts.budget;
+
+  DiagnosticEngine diag;
+  const pipeline::CompilerDriver driver(popts);
+  const pipeline::CompilationUnitPtr unit =
+      driver.compile(net, diag, frontModeFor(opts));
+
   if (opts.command == "lint") {
     // One run, every finding: front-half errors batch with the semantic
     // passes' warnings/errors instead of aborting at the first problem.
-    DiagnosticEngine diag;
-    lang::Program prog = compileFront(source, opts, diag);
-    if (!diag.hasErrors()) {
-      sem::BufferRoles roles;
-      for (const auto& b : opts.buffers) {
-        if (b.role == core::BufferSpec::Role::Input) {
-          roles.inputs.insert(b.param);
-        }
-        if (b.role == core::BufferSpec::Role::Output) {
-          roles.outputs.insert(b.param);
-        }
-      }
-      lang::CompileOptions copts = compileOptionsFor(opts);
-      DiagnosticEngine tcDiag;
-      const auto symbols = lang::typecheck(prog, copts, tcDiag);
-      sem::checkWellFormed(prog, roles, diag);
-      sem::checkGhostNonInterference(prog, symbols.monitors, diag);
-      sem::checkDefiniteAssignment(prog, diag);
-    }
     if (diag.all().empty()) {
       std::puts("clean: no findings");
       return 0;
@@ -516,25 +547,16 @@ int run(const Options& opts) {
     return diag.hasErrors() ? kExitUsage : kExitOk;
   }
 
-  if (!frontHalfClean(source, opts)) return kExitUsage;
+  if (!diag.all().empty()) std::fputs(diag.renderAll().c_str(), stderr);
+  if (diag.hasErrors()) return kExitUsage;
 
   if (opts.command == "print") {
-    lang::Program prog = lang::parse(source, opts.budget);
-    lang::checkOrThrow(prog, compileOptionsFor(opts));
-    if (opts.unroll) {
-      transform::inlineFunctions(prog, opts.budget);
-      transform::foldConstants(prog);
-      transform::unrollLoops(prog, opts.budget);
-    }
+    const auto& prog = unit->instances().front().program;
     std::fputs(lang::printProgram(prog).c_str(), stdout);
     return 0;
   }
 
   if (opts.command == "emit-dafny") {
-    lang::Program prog = lang::parse(source, opts.budget);
-    lang::checkOrThrow(prog, compileOptionsFor(opts));
-    transform::inlineFunctions(prog, opts.budget);
-    transform::foldConstants(prog);
     backends::DafnyOptions dopts;
     dopts.horizon = opts.horizon;
     for (const auto& b : opts.buffers) {
@@ -543,22 +565,10 @@ int run(const Options& opts) {
         dopts.maxArrivalsPerStep = b.maxArrivalsPerStep;
       }
     }
+    const auto& prog = unit->instances().front().program;
     std::fputs(emitDafny(prog, dopts).c_str(), stdout);
     return 0;
   }
-
-  // The remaining commands need buffer/analysis configuration.
-  core::ProgramSpec spec;
-  spec.instance = opts.instance;
-  spec.source = source;
-  spec.compile.constants = opts.constants;
-  if (opts.constants.count("N") != 0) {
-    spec.compile.defaultListCapacity =
-        std::max<int>(2, static_cast<int>(opts.constants.at("N")));
-  }
-  spec.buffers = opts.buffers;
-  core::Network net;
-  net.add(spec);
 
   if (opts.command == "prove") {
     // Unbounded-horizon proof via CHC/Spacer. The property uses state
@@ -601,9 +611,14 @@ int run(const Options& opts) {
   aopts.symbolicInitialState = opts.havocInit;
   aopts.opt.enabled = !opts.noOpt;
   aopts.budget = opts.budget;
-  core::Analysis analysis(net, aopts);
+  core::Analysis analysis(unit, aopts);
 
   if (opts.command == "simulate") {
+    backends::SolverBackend& backend = backendFor(opts, "interp");
+    if (!backend.capabilities().concreteSim) {
+      throw CliError("backend '" + std::string(backend.name()) +
+                     "' cannot simulate concretely (use interp)");
+    }
     core::ConcreteArrivals arrivals;
     for (const auto& [buffer, counts] : opts.arrivals) {
       auto& steps = arrivals[buffer];
@@ -611,8 +626,11 @@ int run(const Options& opts) {
         steps.emplace_back(static_cast<std::size_t>(n));
       }
     }
-    const core::Trace trace = analysis.simulate(arrivals);
+    const core::Trace trace = backend.simulate(analysis, arrivals);
     printTrace(opts, trace);
+    if (opts.stageTimings && !analysis.pipelineStats().empty()) {
+      std::printf("pipeline:\n%s", analysis.pipelineStats().render().c_str());
+    }
     return 0;
   }
 
@@ -630,8 +648,13 @@ int run(const Options& opts) {
     return 0;
   }
   if (opts.command == "check" || opts.command == "verify") {
-    const auto result = opts.command == "check" ? analysis.check(query)
-                                                : analysis.verify(query);
+    backends::SolverBackend& backend = backendFor(opts, "z3");
+    if (!backend.capabilities().solve) {
+      throw CliError("backend '" + std::string(backend.name()) +
+                     "' cannot solve queries (use z3 or smtlib)");
+    }
+    const auto result =
+        backend.solve(analysis, query, opts.command == "verify");
     return reportResult(opts, result);
   }
   throw CliError("unknown command " + opts.command);

@@ -16,7 +16,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-fuzz
 TARGETS="fuzz_lexer fuzz_parser fuzz_pipeline"
 DICT=fuzz/buffy.dict
-CORPUS=fuzz/corpus
+# Seed corpus is materialized at configure time from examples/models/
+# (single source of truth — see fuzz/CMakeLists.txt).
+CORPUS=$BUILD_DIR/fuzz/corpus
 REGRESSIONS=tests/corpus
 
 build() {
