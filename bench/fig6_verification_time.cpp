@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/analysis.hpp"
+#include "core/sweep.hpp"
 #include "models/library.hpp"
 
 using namespace buffy;
@@ -81,13 +82,6 @@ core::Query conservationQuery() {
       });
 }
 
-struct Sweep {
-  const char* name;
-  const char* source;
-  bool useWorkload;
-  bool conservation;
-};
-
 }  // namespace
 
 int main() {
@@ -95,14 +89,13 @@ int main() {
       "Figure 6: verification time vs time horizon T (monolithic unrolling "
       "+ inlining; Z3 standing in for Dafny, see DESIGN.md)\n\n");
 
-  const Sweep sweeps[] = {
-      {"conservation (buggy FQ)", models::kFairQueueBuggy, false, true},
-      {"no-starvation (fixed FQ)", models::kFairQueueFixed, true, false},
-  };
-
   bool shapeOk = true;
-  for (const Sweep& sweep : sweeps) {
-    std::printf("property: %s\n", sweep.name);
+
+  // Conservation sweep (buggy FQ) stays serial: it exists to FIND the
+  // Figure-6 wall, so each horizon's time gates whether the next runs at
+  // all — sharding would burn workers inside the wall region.
+  {
+    std::printf("property: conservation (buggy FQ)\n");
     std::printf("%3s | %10s | %10s\n", "T", "verdict", "time (s)");
     std::printf("----+------------+-----------\n");
     double first = -1.0;
@@ -111,15 +104,8 @@ int main() {
       core::AnalysisOptions opts;
       opts.horizon = horizon;
       opts.timeoutMs = 120000;
-      core::Analysis analysis(fqNet(sweep.source), opts);
-      if (sweep.useWorkload) {
-        analysis.setWorkload(starvationWorkload(horizon));
-      }
-      const core::Query query =
-          sweep.conservation
-              ? conservationQuery()
-              : core::Query::expr("fq.cdeq.1[T-1] >= min(3, (T-1)/3)");
-      const auto result = analysis.verify(query);
+      core::Analysis analysis(fqNet(models::kFairQueueBuggy), opts);
+      const auto result = analysis.verify(conservationQuery());
       std::printf("%3d | %10s | %10.3f\n", horizon,
                   core::verdictName(result.verdict), result.solveSeconds);
       if (first < 0) first = result.solveSeconds;
@@ -139,9 +125,38 @@ int main() {
       }
     }
     // The conservation sweep must show the blow-up.
-    if (sweep.conservation) {
-      shapeOk = shapeOk && last > 20 * std::max(first, 0.001);
+    shapeOk = shapeOk && last > 20 * std::max(first, 0.001);
+    std::printf("\n");
+  }
+
+  // No-starvation sweep (fixed FQ) is bounded at every horizon, so it runs
+  // through the sharded HorizonSweep (DESIGN.md §12): horizons claimed
+  // dynamically by workers, one compiled engine + incremental session per
+  // horizon shared by the queries there.
+  {
+    std::printf("property: no-starvation (fixed FQ), sharded sweep\n");
+    core::AnalysisOptions opts;
+    opts.timeoutMs = 120000;
+    core::HorizonSweep sweep(fqNet(models::kFairQueueFixed), opts);
+    core::SweepOptions sopts;
+    sopts.fromHorizon = 1;
+    sopts.toHorizon = 9;
+    sopts.shards = 4;
+    sopts.verify = true;
+    const std::vector<core::Query> queries = {
+        core::Query::expr("fq.cdeq.1[T-1] >= min(3, (T-1)/3)")};
+    const auto result = sweep.run(
+        queries, [](int h) { return starvationWorkload(h); }, sopts);
+    std::printf("%3s | %10s | %10s | %5s\n", "T", "verdict", "time (s)",
+                "shard");
+    std::printf("----+------------+------------+------\n");
+    for (const auto& p : result.points) {
+      std::printf("%3d | %10s | %10.3f | %5zu\n", p.horizon,
+                  p.verdict.c_str(), p.solveSeconds, p.shard);
+      shapeOk = shapeOk && p.verdict == "VERIFIED";
     }
+    std::printf("  (%zu shards, %zu incremental queries, %.3f s total)\n",
+                result.shards, result.incrementalQueries, result.seconds);
     std::printf("\n");
   }
 

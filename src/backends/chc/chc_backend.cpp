@@ -26,14 +26,42 @@ z3::sort z3Sort(z3::context& ctx, ir::Sort sort) {
 
 }  // namespace
 
+void ChcInterruptHandle::interrupt() {
+  interrupted_.store(true);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (activeCtx_) static_cast<z3::context*>(activeCtx_)->interrupt();
+}
+
+ChcInterruptHandle::Registration::Registration(ChcInterruptHandle* handle,
+                                               void* ctx)
+    : handle_(handle) {
+  if (!handle_) return;
+  const std::lock_guard<std::mutex> lock(handle_->mu_);
+  handle_->activeCtx_ = ctx;
+}
+
+ChcInterruptHandle::Registration::~Registration() {
+  if (!handle_) return;
+  const std::lock_guard<std::mutex> lock(handle_->mu_);
+  handle_->activeCtx_ = nullptr;
+}
+
 ChcResult proveSafety(const core::TransitionSystem& system,
                       ir::TermRef property,
-                      std::optional<unsigned> timeoutMs) {
+                      std::optional<unsigned> timeoutMs,
+                      ChcInterruptHandle* interrupt) {
   if (property->sort != ir::Sort::Bool) {
     throw BackendError("chc: property must be boolean");
   }
+  if (interrupt && interrupt->interrupted()) {
+    ChcResult result;
+    result.status = ChcStatus::Unknown;
+    result.detail = "interrupted";
+    return result;
+  }
   try {
     z3::context ctx;
+    const ChcInterruptHandle::Registration registration(interrupt, &ctx);
     z3::fixedpoint fp(ctx);
     {
       z3::params params(ctx);
@@ -129,7 +157,9 @@ ChcResult proveSafety(const core::TransitionSystem& system,
         break;
       case z3::unknown:
         result.status = ChcStatus::Unknown;
-        result.detail = fp.reason_unknown();
+        result.detail = interrupt && interrupt->interrupted()
+                            ? "interrupted"
+                            : fp.reason_unknown();
         break;
     }
     return result;
@@ -155,7 +185,7 @@ ChcResult UnboundedAnalysis::prove(const core::Query& property,
                                    std::optional<unsigned> timeoutMs) {
   const core::SeriesView view(&stateSeries_, 1);
   const ir::TermRef prop = property.build(view, system_->arena);
-  return proveSafety(*system_, prop, timeoutMs);
+  return proveSafety(*system_, prop, timeoutMs, &interrupt_);
 }
 
 std::vector<std::string> UnboundedAnalysis::stateNames() const {

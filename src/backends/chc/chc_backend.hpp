@@ -16,7 +16,9 @@
 // to Figure 6's exponential wall.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -24,6 +26,8 @@
 #include "core/transition.hpp"
 
 namespace buffy::backends {
+
+class ChcInterruptHandle;
 
 enum class ChcStatus { Proved, Violated, Unknown };
 
@@ -39,10 +43,46 @@ struct ChcResult {
 
 /// Proves that `property` (a boolean term over the system's *pre-state*
 /// variables) holds in every reachable state, and that every in-program
-/// assert holds at every step.
+/// assert holds at every step. When `interrupt` is non-null the query
+/// registers with it so it can be cancelled from another thread.
 ChcResult proveSafety(const core::TransitionSystem& system,
                       ir::TermRef property,
-                      std::optional<unsigned> timeoutMs = 60000);
+                      std::optional<unsigned> timeoutMs = 60000,
+                      ChcInterruptHandle* interrupt = nullptr);
+
+/// Cross-thread cooperative cancellation for a Spacer query, mirroring
+/// Analysis::interrupt's discipline: interrupt() is callable from ANY
+/// thread, cancels the in-flight query (if one is registered), and
+/// permanently cancels the handle — queries started after it return
+/// Unknown/"interrupted" without touching the solver. Portfolio racing
+/// uses this to stop the CHC member when a sibling wins.
+class ChcInterruptHandle {
+ public:
+  void interrupt();
+  [[nodiscard]] bool interrupted() const { return interrupted_.load(); }
+
+  /// RAII registration of the in-flight query's z3::context (backend
+  /// internal): registers on construction, unregisters on destruction —
+  /// which must happen before the context dies, so a cross-thread
+  /// interrupt can never land on a destroyed context. Null handle = no-op.
+  class Registration {
+   public:
+    Registration(ChcInterruptHandle* handle, void* ctx);
+    ~Registration();
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+   private:
+    ChcInterruptHandle* handle_;
+  };
+
+ private:
+  /// Guards `activeCtx_` against the register/interrupt/unregister race
+  /// (same argument as the job layer's hook mutex).
+  std::mutex mu_;
+  void* activeCtx_ = nullptr;  // z3::context* of the in-flight query
+  std::atomic<bool> interrupted_{false};
+};
 
 /// Convenience driver: network -> transition system -> Spacer.
 class UnboundedAnalysis {
@@ -65,9 +105,16 @@ class UnboundedAnalysis {
   /// State-variable names (for property authoring).
   [[nodiscard]] std::vector<std::string> stateNames() const;
 
+  /// Cancels the in-flight prove() (if any) from any thread and
+  /// permanently cancels this analysis — later prove() calls return
+  /// Unknown/"interrupted" immediately.
+  void interrupt() { interrupt_.interrupt(); }
+  [[nodiscard]] bool interrupted() const { return interrupt_.interrupted(); }
+
  private:
   std::unique_ptr<core::TransitionSystem> system_;
   std::map<std::string, std::vector<ir::TermRef>> stateSeries_;
+  ChcInterruptHandle interrupt_;
 };
 
 }  // namespace buffy::backends

@@ -41,7 +41,8 @@ struct FaultAction {
   /// Reason string for ForceUnknown (mirrors Z3's reason_unknown) and
   /// message suffix for Throw.
   std::string reason = "injected fault";
-  /// Sleep duration for Delay.
+  /// Sleep duration for Delay; for ForceUnknown a nonzero value sleeps
+  /// before giving up (a solver burning its budget).
   unsigned delayMs = 0;
 };
 

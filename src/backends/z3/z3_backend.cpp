@@ -93,6 +93,12 @@ struct Z3Backend::Impl {
     if (!action) return std::nullopt;
     switch (action->kind) {
       case FaultAction::Kind::ForceUnknown:
+        // A nonzero delay models the realistic shape: the solver burns
+        // (part of) its budget before giving up.
+        if (action->delayMs != 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(action->delayMs));
+        }
         result->status = SolveStatus::Unknown;
         result->reason = action->reason;
         return action;

@@ -124,6 +124,7 @@ struct Analysis::Impl {
     budget.timeoutMs = options.timeoutMs;
     budget.rlimit = options.rlimit;
     budget.maxMemoryMb = options.maxMemoryMb;
+    budget.randomSeed = options.randomSeed;
     return budget;
   }
 

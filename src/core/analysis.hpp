@@ -62,6 +62,11 @@ struct AnalysisOptions {
   std::optional<unsigned> rlimit;
   /// Solver memory cap in megabytes; nullopt disables it.
   std::optional<unsigned> maxMemoryMb;
+  /// Pins the solver's random seed for every query (nullopt leaves Z3's
+  /// default). Portfolio racing uses this to derive seed-variant members
+  /// from one option set; the retry ladder's reseed rung still overrides
+  /// it on its own attempt.
+  std::optional<unsigned> randomSeed;
   /// Unknown-verdict retry/escalation ladder (DESIGN.md §8).
   RetryPolicy retry;
   /// Cross-check every witness/counterexample trace by replaying its

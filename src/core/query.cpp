@@ -289,6 +289,7 @@ class QueryParser {
 Query Query::expr(std::string text) {
   Query q;
   q.text_ = text;
+  q.textual_ = true;
   q.build_ = [text](const SeriesView& view, ir::TermArena& arena) {
     return QueryParser(lang::lex(text), view, arena).parse();
   };

@@ -61,10 +61,16 @@ class Query {
   [[nodiscard]] ir::TermRef build(const SeriesView& view,
                                   ir::TermArena& arena) const;
   [[nodiscard]] const std::string& description() const { return text_; }
+  /// True for Query::expr queries: the text IS the query, so it can be
+  /// re-parsed against a different series universe (the CHC backend builds
+  /// it over transition-system state variables instead of the bounded
+  /// unrolling). Custom queries are closures over one encoding and cannot.
+  [[nodiscard]] bool textual() const { return textual_; }
 
  private:
   Query() = default;
   std::string text_;
+  bool textual_ = false;
   std::function<ir::TermRef(const SeriesView&, ir::TermArena&)> build_;
 };
 

@@ -1,0 +1,74 @@
+// Horizon sharding (DESIGN.md §12): the Figure-6-style sweep — the same
+// queries answered at every horizon in [from, to] — run over a JobPool of
+// `shards` workers. Horizons are the job index space (dynamic claiming, so
+// a slow horizon does not stall the others); within one horizon the worker
+// compiles the network once, builds one engine, and answers every query
+// through that engine's incremental session — the per-query pipeline and
+// session setup is paid once per horizon instead of once per (horizon,
+// query) as the serial fresh-engine baseline pays it.
+//
+// Results are keyed (horizon, query) and returned in that order, so the
+// sweep report is identical under any shard count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+
+namespace buffy::core {
+
+struct SweepOptions {
+  int fromHorizon = 1;
+  int toHorizon = 4;
+  /// Worker shards (clamped to the horizon count by the pool).
+  std::size_t shards = 1;
+  /// Query discipline: verify (∀) instead of check (∃).
+  bool verify = false;
+};
+
+struct SweepPoint {
+  int horizon = 0;
+  std::string query;
+  /// Verdict name, or "error: ..." when the horizon's engine failed.
+  std::string verdict;
+  double solveSeconds = 0.0;
+  bool canceled = false;
+  /// Which worker answered this point (informational; the report content
+  /// is shard-invariant).
+  std::size_t shard = 0;
+};
+
+struct SweepResult {
+  /// One point per (horizon, query), ordered by horizon then query index.
+  std::vector<SweepPoint> points;
+  std::size_t shards = 1;
+  /// Queries answered through reused incremental sessions, summed over all
+  /// horizons — the reuse the sharded sweep exists to exploit.
+  std::size_t incrementalQueries = 0;
+  double seconds = 0.0;
+};
+
+class HorizonSweep {
+ public:
+  /// Per-horizon workload builder (a workload may reference specific steps,
+  /// so it must be rebuilt when the horizon changes).
+  using WorkloadFn = std::function<Workload(int horizon)>;
+
+  HorizonSweep(Network network, AnalysisOptions baseOptions)
+      : network_(std::move(network)), options_(baseOptions) {}
+
+  /// Runs every query at every horizon. `workloadFor` may be null (empty
+  /// workload everywhere). A failing horizon marks its points
+  /// "error: ..." and the sweep continues — per-horizon fault isolation.
+  SweepResult run(const std::vector<Query>& queries,
+                  const WorkloadFn& workloadFor, const SweepOptions& opts);
+
+ private:
+  Network network_;
+  AnalysisOptions options_;
+};
+
+}  // namespace buffy::core

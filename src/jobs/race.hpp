@@ -1,0 +1,146 @@
+// RaceGroup: run N heterogeneous members concurrently, first *sound*
+// answer wins, losers are cooperatively interrupted (DESIGN.md §12).
+//
+// The soundness rule is the caller's predicate: a member result that does
+// not satisfy it (an Unknown verdict, a witness mismatch, a member that
+// threw) can NEVER win while a sibling is still running — it simply ends
+// its job. Chronology decides among sound answers (that is the point of
+// racing: take whoever answers first); when no member produces a sound
+// answer the fallback is deterministic — the lowest-index member that
+// finished at all, so a fully-unsound race reports the same result under
+// any schedule.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "jobs/job.hpp"
+
+namespace buffy::jobs {
+
+template <typename Result>
+class RaceGroup {
+ public:
+  struct Member {
+    /// Display name ("ladder", "z3-seed-23", "chc", ...).
+    std::string name;
+    /// Runs the member to completion. Publish an interrupt hook through
+    /// the context (JobContext::onInterrupt / ScopedInterrupt) to stay
+    /// cancelable; the hook fires when a sibling wins.
+    std::function<Result(JobContext&)> run;
+  };
+
+  /// Per-member outcome log, indexed like the member list.
+  struct MemberOutcome {
+    std::string name;
+    bool started = false;
+    /// The member ran to completion (its result landed, sound or not).
+    bool finished = false;
+    /// The member's result satisfied the soundness predicate.
+    bool sound = false;
+    bool won = false;
+    /// What a member that threw reported.
+    std::string error;
+    double seconds = 0.0;
+  };
+
+  struct Outcome {
+    /// The winning result, or the deterministic fallback; absent only
+    /// when no member finished at all.
+    std::optional<Result> result;
+    /// Winning member index, kNone when the fallback was used.
+    std::size_t winner = JobPool::kNone;
+    std::vector<MemberOutcome> members;
+    double seconds = 0.0;
+  };
+
+  /// Races the members over `threads` workers (clamped to the member
+  /// count) and returns after every member ended — won, lost-interrupted,
+  /// or skipped. `sound` decides which results may win.
+  static Outcome run(const std::vector<Member>& members, std::size_t threads,
+                     const std::function<bool(const Result&)>& sound) {
+    Outcome outcome;
+    outcome.members.resize(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      outcome.members[i].name = members[i].name;
+    }
+    if (members.empty()) return outcome;
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::optional<Result>> results(members.size());
+    std::mutex winnerMu;
+    std::size_t winner = JobPool::kNone;
+
+    JobPool pool;
+    JobPool::RunSpec spec;
+    spec.jobs = members.size();
+    spec.workers = threads == 0 ? members.size() : threads;
+    spec.body = [&](JobContext& ctx, std::size_t idx) {
+      auto& log = outcome.members[idx];
+      log.started = true;
+      const auto memberStart = std::chrono::steady_clock::now();
+      std::optional<Result> result;
+      try {
+        result = members[idx].run(ctx);
+      } catch (const std::exception& e) {
+        log.error = e.what();
+      } catch (...) {
+        log.error = "unknown exception";
+      }
+      // Whatever the member published must not outlive its run.
+      ctx.onInterrupt(nullptr);
+      log.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - memberStart)
+                        .count();
+      if (!result) return;
+      log.finished = true;
+      log.sound = sound(*result);
+      results[idx] = std::move(result);
+      if (!log.sound) return;
+      // First sound answer chronologically wins and stops the rest. The
+      // mutex makes winner selection atomic; racing sound members resolve
+      // to whichever takes the lock first.
+      bool iWon = false;
+      {
+        const std::lock_guard<std::mutex> lock(winnerMu);
+        if (winner == JobPool::kNone) {
+          winner = idx;
+          iWon = true;
+        }
+      }
+      if (iWon) {
+        outcome.members[idx].won = true;
+        pool.cancelAll();
+      }
+    };
+    pool.run(spec);
+
+    outcome.winner = winner;
+    if (winner != JobPool::kNone) {
+      outcome.result = std::move(results[winner]);
+    } else {
+      // No sound answer: deterministic fallback — the lowest-index member
+      // that finished (e.g. the ladder's Unknown), so an all-unsound race
+      // reports identically under any schedule.
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i]) {
+          outcome.result = std::move(results[i]);
+          break;
+        }
+      }
+    }
+    outcome.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    return outcome;
+  }
+};
+
+}  // namespace buffy::jobs

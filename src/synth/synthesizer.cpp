@@ -5,11 +5,13 @@
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
+#include <random>
 
+#include "ir/term_printer.hpp"
+#include "jobs/job.hpp"
 #include "pipeline/driver.hpp"
+#include "pipeline/encoder.hpp"
 #include "support/error.hpp"
 
 namespace buffy::synth {
@@ -102,11 +104,18 @@ std::string CandidateFailure::describe() const {
 }
 
 std::string SynthesisResult::summary() const {
-  return std::to_string(solutions.size()) + " solution(s); " +
-         std::to_string(solvedCount) + " solved, " +
-         std::to_string(unknownCount) + " unknown, " +
-         std::to_string(failedCount) + " failed of " +
-         std::to_string(candidatesChecked) + " checked";
+  std::string out =
+      std::to_string(solutions.size()) + " solution(s); " +
+      std::to_string(solvedCount) + " solved, " +
+      std::to_string(unknownCount) + " unknown, " +
+      std::to_string(failedCount) + " failed of " +
+      std::to_string(candidatesChecked) + " checked";
+  if (prescreenRejected > 0 || prescreenWitnessed > 0) {
+    out += " (prescreen: " + std::to_string(prescreenRejected) +
+           " rejected, " + std::to_string(prescreenWitnessed) +
+           " witnessed)";
+  }
+  return out;
 }
 
 namespace {
@@ -146,6 +155,53 @@ core::Workload workloadFor(const std::map<std::string, Pattern>& assignment) {
   return workload;
 }
 
+/// Whether a pattern pins its per-step counts (so every prescreen sample
+/// of it is the same trace).
+bool patternDeterministic(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::AtLeastOnePerStep:
+    case Pattern::AtMostOnePerStep:
+    case Pattern::Unconstrained:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// A sampled arrival count conforming to `pattern` at step `t`, or nullopt
+/// when no count within the buffer's per-step bound can conform (the
+/// pattern is infeasible for this buffer — leave it to the solver).
+std::optional<int> sampleCount(Pattern pattern, int t, int maxArrivals,
+                               std::mt19937& rng) {
+  switch (pattern) {
+    case Pattern::None:
+      return 0;
+    case Pattern::ExactlyOnePerStep:
+      if (maxArrivals < 1) return std::nullopt;
+      return 1;
+    case Pattern::AtLeastOnePerStep:
+      if (maxArrivals < 1) return std::nullopt;
+      return 1 + static_cast<int>(rng() % static_cast<unsigned>(maxArrivals));
+    case Pattern::BurstAtStart2:
+    case Pattern::BurstAtStart3: {
+      const int k = pattern == Pattern::BurstAtStart2 ? 2 : 3;
+      if (t != 0) return 0;
+      if (k > maxArrivals) return std::nullopt;
+      return k;
+    }
+    case Pattern::AtMostOnePerStep:
+      if (maxArrivals < 1) return 0;
+      return static_cast<int>(rng() % 2);
+    case Pattern::PacedSkipOne:
+      if (maxArrivals < 1) return std::nullopt;
+      return t == 1 ? 0 : 1;
+    case Pattern::Unconstrained:
+      return static_cast<int>(rng() %
+                              static_cast<unsigned>(maxArrivals + 1));
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 SynthesisResult Synthesizer::run(const core::Query& query,
@@ -176,62 +232,138 @@ SynthesisResult Synthesizer::run(const core::Query& query,
   SynthesisResult result;
   const auto start = std::chrono::steady_clock::now();
 
+  // ------------------------------------------------------------------
+  // Concrete-interpreter prescreening (no solver involved): per-input
+  // sampling metadata, gated on the same replayability conditions as the
+  // witness cross-check. A runtime failure (nondeterministic model)
+  // trips `prescreenBroken` and the rest of the run goes straight to SMT.
+  // ------------------------------------------------------------------
+  struct ScreenInput {
+    std::string name;
+    int maxArrivals = 0;
+    std::string classField;
+    int classDomain = 0;
+  };
+  std::vector<ScreenInput> screenInputs;
+  bool prescreenable = opts.prescreen && !options_.symbolicInitialState &&
+                       unit->network().contracts().empty();
+  if (prescreenable) {
+    for (const auto& ci : unit->instances()) {
+      for (const auto& bu : unit->bufferUnits(ci)) {
+        if (bu.spec->role != core::BufferSpec::Role::Input) continue;
+        if (unit->connectedInputs().count(bu.qualified) != 0) continue;
+        screenInputs.push_back({bu.qualified, bu.spec->maxArrivalsPerStep,
+                                bu.spec->classField, bu.spec->classDomain});
+      }
+    }
+    prescreenable = !screenInputs.empty();
+  }
+  std::atomic<bool> prescreenBroken{false};
+  std::atomic<int> prescreenRejected{0};
+  std::atomic<int> prescreenWitnessed{0};
+
+  struct ScreenResult {
+    bool reject = false;   // a conforming sample violated the query
+    bool witness = false;  // a conforming sample satisfied the query
+    bool skipped = false;  // could not sample — leave it to the solver
+  };
+  /// Samples a small batch of concrete traces conforming to the
+  /// candidate's workload and evaluates the query on each through the
+  /// concrete evaluator. Rejection (requireUniversal only) and witnessing
+  /// are both sound: a sampled trace satisfies exactly the workload +
+  /// arrival-soundness constraint set the symbolic encoding assumes
+  /// (counts within the per-step bound, packet fields at their
+  /// constrained defaults), so it is a genuine member of the candidate's
+  /// trace set.
+  auto screenCandidate =
+      [&](std::size_t idx,
+          const std::map<std::string, Pattern>& assignment) -> ScreenResult {
+    ScreenResult out;
+    // Seeded per candidate index: the batch is deterministic under any
+    // thread count.
+    std::mt19937 rng(opts.prescreenSeed +
+                     0x9e3779b9u * static_cast<unsigned>(idx + 1));
+    bool allDeterministic = true;
+    for (const auto& [buffer, pattern] : assignment) {
+      (void)buffer;
+      if (!patternDeterministic(pattern)) allDeterministic = false;
+    }
+    const int samples =
+        allDeterministic ? 1 : std::max(1, opts.prescreenTraces);
+    try {
+      for (int s = 0; s < samples; ++s) {
+        core::ConcreteArrivals arrivals;
+        bool feasible = true;
+        for (const auto& in : screenInputs) {
+          const auto pit = assignment.find(in.name);
+          if (pit == assignment.end()) continue;
+          auto& steps = arrivals[in.name];
+          for (int t = 0; t < options_.horizon && feasible; ++t) {
+            const auto n = sampleCount(pit->second, t, in.maxArrivals, rng);
+            if (!n) {
+              feasible = false;
+              break;
+            }
+            std::vector<core::ConcretePacket> packets;
+            for (int i = 0; i < *n; ++i) {
+              core::ConcretePacket packet;
+              if (in.classDomain > 0 && !in.classField.empty()) {
+                packet[in.classField] = static_cast<std::int64_t>(
+                    rng() % static_cast<unsigned>(in.classDomain));
+              }
+              packets.push_back(std::move(packet));
+            }
+            steps.push_back(std::move(packets));
+          }
+          if (!feasible) break;
+        }
+        if (!feasible) {
+          out.skipped = true;
+          return out;
+        }
+        const core::Workload empty;
+        const auto enc = pipeline::buildEncoding(*unit, empty, &arrivals);
+        const core::SeriesView view(&enc->series, enc->horizon);
+        const auto value = ir::constValue(query.build(view, enc->arena));
+        if (!value) {
+          // Nondeterministic model configuration — no concrete verdicts.
+          prescreenBroken.store(true);
+          out.skipped = true;
+          return out;
+        }
+        if (*value != 0) {
+          out.witness = true;
+        } else if (opts.requireUniversal) {
+          // A conforming trace violating the query refutes ∀ outright.
+          out.reject = true;
+          return out;
+        }
+      }
+    } catch (const Error&) {
+      prescreenBroken.store(true);
+      return {false, false, true};
+    }
+    return out;
+  };
+
   // One result slot per candidate: deterministic ordering falls out of the
   // index space, however the workers interleave. Each candidate lands in
   // exactly one of `slots` (conclusive verdict) or `failSlots`
   // (inconclusive / broken — per-candidate fault isolation).
   std::vector<std::optional<Candidate>> slots(total);
   std::vector<std::optional<CandidateFailure>> failSlots(total);
-  /// Optimizer accounting per candidate's ∃ query (earliest one that
-  /// produced stats is surfaced on the result).
+  /// Optimizer accounting per candidate's first SMT query (earliest one
+  /// that produced stats is surfaced on the result).
   std::vector<std::optional<opt::OptStats>> optSlots(total);
-  std::atomic<std::size_t> next{0};
-  constexpr std::size_t kNoSolution = std::numeric_limits<std::size_t>::max();
-  /// Lowest candidate index known to be a solution (firstOnly
-  /// cancellation: candidates above it can never be "first").
-  std::atomic<std::size_t> firstSolution{kNoSolution};
-  std::atomic<int> checked{0};
 
   const std::size_t workers = std::min(
       static_cast<std::size_t>(std::max(1, opts.threads)), total);
-  /// Published engine pointer + in-flight candidate index per worker, for
-  /// firstOnly cancellation: when a solution lands at index s, every engine
-  /// currently solving a candidate > s is interrupted (per-worker indices
-  /// are monotonic, so anything it touches from then on is > s too — all
-  /// past the report cutoff, keeping the run deterministic).
-  ///
-  /// `mu` guards `engine` against the publish/interrupt/unpublish race: a
-  /// canceller must never call interrupt() on an engine whose owner has
-  /// already retired (and destroyed it), and a worker must not destroy a
-  /// per-candidate engine while an interrupt on it is in flight. `current`
-  /// is an atomic, not mutex-guarded: workers store their claim *before*
-  /// re-checking the cutoff, pairing with noteSolution's firstSolution
-  /// store + current load (seq_cst) so every racing claim either becomes
-  /// visible to the canceller or observes the new cutoff itself. Idle
-  /// workers (current == kNoSolution) are never interrupted — a worker
-  /// between candidates may still claim an index below the cutoff.
-  struct WorkerState {
-    std::mutex mu;
-    core::Analysis* engine = nullptr;  // guarded by mu
-    std::atomic<std::size_t> current{
-        std::numeric_limits<std::size_t>::max()};
-  };
-  std::vector<WorkerState> states(workers);
+  // Worker 0 inherits the probe engine; the rest compile their own in
+  // their JobPool setup hook (each Analysis owns its own Z3 context).
+  std::vector<std::unique_ptr<core::Analysis>> engines(workers);
+  jobs::JobPool pool;
 
-  auto noteSolution = [&](std::size_t idx) {
-    std::size_t cur = firstSolution.load();
-    while (idx < cur && !firstSolution.compare_exchange_weak(cur, idx)) {
-    }
-    // Stop workers burning time on candidates that can no longer win.
-    for (WorkerState& state : states) {
-      const std::size_t inFlight = state.current.load();
-      if (inFlight == kNoSolution || inFlight <= idx) continue;
-      const std::lock_guard<std::mutex> lock(state.mu);
-      if (state.engine) state.engine->interrupt();
-    }
-  };
-
-  auto evaluate = [&](std::size_t w, core::Analysis* engine,
+  auto evaluate = [&](jobs::JobContext& ctx, core::Analysis* engine,
                       std::size_t idx) {
     const auto candidateStart = std::chrono::steady_clock::now();
     const char* stage = "setup";
@@ -257,42 +389,77 @@ SynthesisResult Synthesizer::run(const core::Query& query,
 
     // The fresh path rebuilds the entire pipeline per candidate; the
     // incremental path re-binds the workload delta onto the worker's
-    // already-built encoding and queries its persistent session.
-    core::Analysis* const persistent = engine;
+    // already-built encoding and queries its persistent session. The
+    // ScopedInterrupt publishes the per-candidate fresh engine so firstOnly
+    // cancellation interrupts the query actually in flight (and restores
+    // the persistent engine's hook before `fresh` dies, so no interrupt
+    // can land on a destroyed engine).
     std::unique_ptr<core::Analysis> fresh;
+    std::optional<jobs::ScopedInterrupt> guard;
     try {
       Candidate candidate;
       candidate.assignment = assignments[idx];
 
-      if (!opts.incremental) {
-        fresh = std::make_unique<core::Analysis>(unit, options_);
-        fresh->setWorkload(workloadFor(candidate.assignment));
-        engine = fresh.get();
-        // Publish the per-candidate engine so firstOnly cancellation
-        // interrupts the query actually in flight, not the worker's idle
-        // persistent engine.
-        const std::lock_guard<std::mutex> lock(states[w].mu);
-        states[w].engine = engine;
-      } else {
-        engine->rebindWorkload(workloadFor(candidate.assignment));
+      bool existsConfirmed = false;
+      if (prescreenable && !prescreenBroken.load()) {
+        stage = "prescreen";
+        const ScreenResult screen =
+            screenCandidate(idx, candidate.assignment);
+        if (screen.reject) {
+          candidate.existsSat = screen.witness;
+          candidate.forallHolds = false;
+          candidate.prescreened = true;
+          candidate.seconds =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - candidateStart)
+                  .count();
+          prescreenRejected.fetch_add(1);
+          slots[idx] = std::move(candidate);
+          return;
+        }
+        if (screen.witness) {
+          existsConfirmed = true;
+          candidate.prescreened = true;
+          prescreenWitnessed.fetch_add(1);
+        }
       }
-      // Injected faults are keyed by candidate index, not by worker or
-      // global check order — determinism under any thread count.
-      engine->setFaultScope("cand" + std::to_string(idx));
 
-      stage = "exists";
-      const core::AnalysisResult exists = engine->check(query);
-      if (exists.opt) optSlots[idx] = exists.opt;
-      if (exists.verdict == core::Verdict::WitnessMismatch ||
-          exists.inconclusive()) {
-        failFrom(exists);
-        return;
+      // A prescreen-witnessed candidate in existential-only mode needs no
+      // solver at all.
+      const bool engineNeeded = !existsConfirmed || opts.requireUniversal;
+      if (engineNeeded) {
+        stage = "setup";
+        if (!opts.incremental) {
+          fresh = std::make_unique<core::Analysis>(unit, options_);
+          fresh->setWorkload(workloadFor(candidate.assignment));
+          engine = fresh.get();
+          guard.emplace(ctx, [engine] { engine->interrupt(); });
+        } else {
+          engine->rebindWorkload(workloadFor(candidate.assignment));
+        }
+        // Injected faults are keyed by candidate index, not by worker or
+        // global check order — determinism under any thread count.
+        engine->setFaultScope("cand" + std::to_string(idx));
       }
-      candidate.existsSat = exists.sat();
+
+      if (existsConfirmed) {
+        candidate.existsSat = true;
+      } else {
+        stage = "exists";
+        const core::AnalysisResult exists = engine->check(query);
+        if (exists.opt) optSlots[idx] = exists.opt;
+        if (exists.verdict == core::Verdict::WitnessMismatch ||
+            exists.inconclusive()) {
+          failFrom(exists);
+          return;
+        }
+        candidate.existsSat = exists.sat();
+      }
 
       if (candidate.existsSat && opts.requireUniversal) {
         stage = "forall";
         const core::AnalysisResult forall = engine->verify(query);
+        if (forall.opt && !optSlots[idx]) optSlots[idx] = forall.opt;
         if (forall.verdict == core::Verdict::WitnessMismatch ||
             forall.inconclusive()) {
           failFrom(forall);
@@ -309,75 +476,40 @@ SynthesisResult Synthesizer::run(const core::Query& query,
               .count();
       const bool solution = candidate.existsSat && candidate.forallHolds;
       slots[idx] = std::move(candidate);
-      if (solution && opts.firstOnly) noteSolution(idx);
+      // firstOnly: candidates above a known solution can never be "first"
+      // — lower the pool cutoff and interrupt the doomed in-flight ones.
+      if (solution && opts.firstOnly) pool.cutAt(idx);
     } catch (const std::exception& e) {
       fail(FailureKind::Exception, e.what());
     }
-    if (fresh) {
-      // Unpublish before `fresh` dies so no interrupt can land on a
-      // destroyed engine; the mutex orders this against an in-flight one.
-      const std::lock_guard<std::mutex> lock(states[w].mu);
-      states[w].engine = persistent;
-    }
   };
 
-  auto workerLoop = [&](std::size_t w, core::Analysis* engine) {
-    WorkerState& state = states[w];
-    {
-      const std::lock_guard<std::mutex> lock(state.mu);
-      state.engine = engine;
+  jobs::JobPool::RunSpec spec;
+  spec.jobs = total;
+  spec.workers = workers;
+  spec.setup = [&](jobs::JobContext& ctx) {
+    const std::size_t w = ctx.worker();
+    core::Analysis* engine = engine0.get();
+    if (w != 0) {
+      // A failure to build the engine is isolated: this worker records
+      // nothing and retires, the others keep draining the queue.
+      engines[w] = std::make_unique<core::Analysis>(unit, options_);
+      engine = engines[w].get();
     }
-    while (true) {
-      const std::size_t idx = next.fetch_add(1);
-      if (idx >= total) break;
-      // Publish the claim before checking the cutoff: either noteSolution
-      // observes the claim (and interrupts only if it is past the cutoff),
-      // or this load observes the new cutoff and skips — so a candidate at
-      // or below the cutoff can never be wrongly canceled.
-      state.current.store(idx);
-      // A candidate past an already-found solution cannot be the first.
-      if (opts.firstOnly && idx > firstSolution.load()) continue;
-      evaluate(w, engine, idx);
-      checked.fetch_add(1);
-    }
-    state.current.store(kNoSolution);
-    {
-      const std::lock_guard<std::mutex> lock(state.mu);
-      state.engine = nullptr;
-    }
+    ctx.onInterrupt([engine] { engine->interrupt(); });
+    return true;
   };
+  spec.body = [&](jobs::JobContext& ctx, std::size_t idx) {
+    core::Analysis* engine =
+        ctx.worker() == 0 ? engine0.get() : engines[ctx.worker()].get();
+    evaluate(ctx, engine, idx);
+  };
+  pool.run(spec);
 
-  if (workers <= 1) {
-    workerLoop(0, engine0.get());
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        // Worker 0 inherits the probe engine; the rest compile their own
-        // (each Analysis owns its own Z3 context — contexts must not be
-        // shared across threads). A failure to build the engine is
-        // isolated too: this worker records nothing and retires, the
-        // others keep draining the queue.
-        std::unique_ptr<core::Analysis> own;
-        core::Analysis* engine = engine0.get();
-        if (w != 0) {
-          try {
-            own = std::make_unique<core::Analysis>(unit, options_);
-          } catch (const std::exception&) {
-            return;
-          }
-          engine = own.get();
-        }
-        workerLoop(w, engine);
-      });
-    }
-    for (auto& t : pool) t.join();
-  }
-
-  result.candidatesChecked = checked.load();
-  const std::size_t cutoff =
-      opts.firstOnly ? firstSolution.load() : kNoSolution;
+  result.candidatesChecked = static_cast<int>(pool.completed());
+  result.prescreenRejected = prescreenRejected.load();
+  result.prescreenWitnessed = prescreenWitnessed.load();
+  const std::size_t cutoff = opts.firstOnly ? pool.cutoff() : jobs::JobPool::kNone;
   for (std::size_t i = 0; i < total && i <= cutoff; ++i) {
     if (slots[i]) {
       ++result.solvedCount;

@@ -59,12 +59,32 @@ struct SynthesisOptions {
   /// the pre-incremental behavior, kept for differential testing and the
   /// fresh-vs-incremental benchmark.
   bool incremental = true;
+  /// Concrete-interpreter prescreening: before any SMT call, simulate a
+  /// small batch of sampled traces conforming to the candidate's workload.
+  /// A conforming trace that VIOLATES the query refutes the ∀ direction
+  /// (the candidate is conclusively not a solution — no solver needed);
+  /// one that SATISFIES it is an ∃ witness (the exists query is skipped).
+  /// Sampling is seeded and deterministic, so the solution set and report
+  /// are identical with prescreening on or off — it only changes which
+  /// verdicts come from the interpreter instead of the solver. Disabled
+  /// automatically for networks the interpreter cannot replay (contracts,
+  /// havoced initial state, nondeterministic models). CLI: --no-prescreen.
+  bool prescreen = true;
+  /// Traces sampled per candidate (only patterns with freedom — at-most /
+  /// at-least / unconstrained — actually vary between samples).
+  int prescreenTraces = 3;
+  /// Seed for the per-candidate trace sampler. Candidate index is mixed
+  /// in, so the batch is deterministic under any thread count.
+  unsigned prescreenSeed = 12345;
 };
 
 struct Candidate {
   std::map<std::string, Pattern> assignment;  // input buffer -> pattern
   bool existsSat = false;
   bool forallHolds = false;
+  /// True when the concrete-interpreter prescreen decided this candidate
+  /// (∀ refuted or ∃ witnessed on a sampled trace) before any SMT call.
+  bool prescreened = false;
   double seconds = 0.0;
 
   [[nodiscard]] std::string describe() const;
@@ -110,6 +130,13 @@ struct SynthesisResult {
   int unknownCount = 0;
   /// Broken candidates (FailureKind::Exception / WitnessMismatch).
   int failedCount = 0;
+  /// Candidates rejected by the concrete-interpreter prescreen (a sampled
+  /// conforming trace violated the query) — a subset of solvedCount that
+  /// never reached the solver.
+  int prescreenRejected = 0;
+  /// Exists-direction SMT queries skipped because a sampled trace already
+  /// witnessed satisfiability.
+  int prescreenWitnessed = 0;
   double totalSeconds = 0.0;
   /// Encoding-optimizer accounting from the earliest (by enumeration
   /// order) conclusively evaluated candidate's ∃ query — representative of

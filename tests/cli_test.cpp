@@ -423,4 +423,198 @@ TEST(Cli, JsonFormatOnUnknown) {
   EXPECT_NE(result.output.find("\"detail\":\"gave-up\""), std::string::npos);
 }
 
+// --- Portfolio racing, horizon sweep, and workload synthesis
+// --- (DESIGN.md §12).
+
+namespace race {
+
+struct ModelConfig {
+  const char* name;
+  const char* args;
+  const char* query;
+};
+
+// One deterministic configuration per example model (mirrors the golden
+// snapshot set): the differential acceptance — --race must report the
+// same verdict as the single-backend engine on every one.
+constexpr ModelConfig kModels[] = {
+    {"aimd",
+     "-T 4 -D RTO=3 --input ind:8:2 --input inack:8:2 --output out:16 "
+     "--output ackdrain:16",
+     "aimd.mcwnd[T-1] >= 0"},
+    {"delay_server", "-T 4 --input din:8:2 --output dout:16",
+     "delay.mreleased[T-1] >= 0"},
+    {"drr", "-T 4 -D N=2 -D QUANTUM=2 --input ibs:6:2 --output ob:16",
+     "drr.bdeq.0[T-1] >= 0"},
+    {"fq_buggy", "-T 5 -D N=2 --input ibs:6:3 --output ob:32",
+     "fq.cdeq.0[T-1] >= T-1"},
+    {"fq_fixed", "-T 5 -D N=2 --input ibs:6:3 --output ob:32",
+     "fq.cdeq.0[T-1] >= T-1"},
+    {"path_server",
+     "-T 4 -D RATE=1 -D BUCKET=2 --input pin:8:2 --output pout:16",
+     "path.mserved[T-1] >= 0"},
+    {"round_robin", "-T 4 -D N=2 --input ibs:6:2 --output ob:16",
+     "rr.cdeq.0[T-1] >= 0"},
+    {"strict_priority", "-T 4 -D N=2 --input ibs:6:2 --output ob:16",
+     "sp.cdeq.0[T-1] >= 0"},
+};
+
+/// First word of the table report — the verdict name.
+std::string verdict(const std::string& output) {
+  return output.substr(0, output.find_first_of(" \n"));
+}
+
+}  // namespace race
+
+TEST(Cli, RaceMatchesSingleBackendOnEveryModel) {
+  for (const auto& m : race::kModels) {
+    const std::string args = std::string("verify ") + m.args + " --query \"" +
+                             m.query + "\" " + model((std::string(m.name) +
+                                                      ".bfy").c_str());
+    const auto serial = runCli(args);
+    const auto raced = runCli(args + " --race --threads 2");
+    EXPECT_EQ(raced.exitCode, serial.exitCode)
+        << m.name << "\nserial: " << serial.output
+        << "\nraced: " << raced.output;
+    EXPECT_EQ(race::verdict(raced.output), race::verdict(serial.output))
+        << m.name << "\nserial: " << serial.output
+        << "\nraced: " << raced.output;
+    EXPECT_NE(raced.output.find("race: winner="), std::string::npos)
+        << raced.output;
+  }
+}
+
+TEST(Cli, RaceJsonCarriesRaceBlock) {
+  const auto result = runCli(
+      "verify -T 4 -D N=2 --input ibs:6:2 --output ob:16 "
+      "--query \"rr.cdeq.0[T-1] >= 0\" --race --format json " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("\"race\":{\"winner\":\""), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"members\":["), std::string::npos);
+  EXPECT_NE(result.output.find("\"name\":\"ladder\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"won\":true"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, RaceRequiresSolveCapability) {
+  // dafny is emit-only: missing `solve` is a usage error naming the
+  // capability.
+  const auto result = runCli(std::string(resilience::kCheckArgs) +
+                             "--race --backend dafny " +
+                             model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("cannot solve queries"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, RaceRequiresIncrementalSessions) {
+  // smtlib solves one-shot only: missing `incrementalSessions` is a usage
+  // error naming the capability.
+  const auto result = runCli(std::string(resilience::kCheckArgs) +
+                             "--race --backend smtlib " +
+                             model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("lacks incremental sessions"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, SweepRequiresIncrementalSessions) {
+  const auto result = runCli(std::string(resilience::kCheckArgs) +
+                             "--sweep 1:3 --backend smtlib " +
+                             model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("lacks incremental sessions"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, SweepFlagValidation) {
+  EXPECT_EQ(runCli(std::string(resilience::kCheckArgs) + "--shards 2 " +
+                   model("round_robin.bfy"))
+                .exitCode,
+            2);
+  EXPECT_EQ(runCli(std::string(resilience::kCheckArgs) +
+                   "--race --sweep 1:3 " + model("round_robin.bfy"))
+                .exitCode,
+            2);
+  EXPECT_EQ(runCli("simulate -T 3 -D N=2 --input ibs:4:2 --output ob "
+                   "--sweep 1:3 " +
+                   model("round_robin.bfy"))
+                .exitCode,
+            2);
+}
+
+TEST(Cli, SweepAnswersEveryHorizonForEveryQuery) {
+  const auto result = runCli(
+      "verify -T 4 -D N=2 --input ibs:6:2 --output ob:16 "
+      "--workload rr.ibs.0:1:1 --query \"rr.cdeq.0[T-1] >= 1\" "
+      "--query \"rr.cdeq.0[T-1] >= 0\" --sweep 1:3 --shards 2 "
+      "--format json " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("\"sweep\":{\"shards\":2"), std::string::npos)
+      << result.output;
+  // 3 horizons x 2 queries = 6 points, each VERIFIED.
+  std::size_t points = 0;
+  for (std::size_t at = result.output.find("\"horizon\":");
+       at != std::string::npos;
+       at = result.output.find("\"horizon\":", at + 1)) {
+    ++points;
+  }
+  EXPECT_EQ(points, 6u) << result.output;
+  EXPECT_EQ(result.output.find("\"verdict\":\"VIOLATED\""),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"incrementalQueries\":"), std::string::npos);
+}
+
+TEST(Cli, SweepExitCodeIsWorstPoint) {
+  // An impossible guarantee: every point is VIOLATED, so the sweep exits
+  // with the violation code.
+  const auto result = runCli(
+      "verify -T 4 -D N=2 --input ibs:6:2 --output ob:16 "
+      "--query \"rr.cdeq.0[T-1] >= 9\" --sweep 1:2 " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 1) << result.output;
+  EXPECT_NE(result.output.find("VIOLATED"), std::string::npos)
+      << result.output;
+}
+
+TEST(Cli, SynthCommandReportsSolutionsAndPrescreen) {
+  const std::string args =
+      "synth -T 4 -D N=2 --input ibs:6:3 --output ob:32 "
+      "--query \"fq.cdeq.0[T-1] >= 1\" --first-only ";
+  const auto result = runCli(args + model("fq_fixed.bfy"));
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("solution:"), std::string::npos)
+      << result.output;
+  // Prescreening decided candidates without the solver; --no-prescreen
+  // must land on the same first solution.
+  EXPECT_NE(result.output.find("prescreen:"), std::string::npos)
+      << result.output;
+  const auto noPrescreen =
+      runCli(args + "--no-prescreen " + model("fq_fixed.bfy"));
+  EXPECT_EQ(noPrescreen.exitCode, 0) << noPrescreen.output;
+  const auto solutionAt = result.output.find("solution:");
+  const auto solutionLine =
+      result.output.substr(solutionAt, result.output.find('\n', solutionAt) -
+                                           solutionAt);
+  EXPECT_NE(noPrescreen.output.find(solutionLine), std::string::npos)
+      << solutionLine << "\n"
+      << noPrescreen.output;
+}
+
+TEST(Cli, SynthNoSolutionExitsOne) {
+  const auto result = runCli(
+      "synth -T 3 -D N=2 --input ibs:6:1 --output ob:16 "
+      "--query \"rr.cdeq.0[T-1] >= 9\" " +
+      model("round_robin.bfy"));
+  EXPECT_EQ(result.exitCode, 1) << result.output;
+  EXPECT_NE(result.output.find("0 solution(s)"), std::string::npos)
+      << result.output;
+}
+
 }  // namespace

@@ -247,6 +247,9 @@ synth::SynthesisResult runFaultySynthesis(int threads) {
   synth::SynthesisOptions sopts;
   sopts.grammar = {synth::Pattern::None, synth::Pattern::ExactlyOnePerStep};
   sopts.threads = threads;
+  // These tests exercise the SMT fault path; the interpreter prescreen
+  // would decide candidates before any injected solver fault can fire.
+  sopts.prescreen = false;
   return synthesizer.run(core::Query::expr("sp.cdeq.0[T-1] == T"), sopts);
 }
 
@@ -306,6 +309,7 @@ TEST(SynthFaultIsolation, WitnessMismatchIsARecordedFailure) {
       schedulerNet(models::kStrictPriority, "sp", 2), opts);
   synth::SynthesisOptions sopts;
   sopts.grammar = {synth::Pattern::None, synth::Pattern::ExactlyOnePerStep};
+  sopts.prescreen = false;  // the injected fault lives on the SMT path
   const auto result =
       synthesizer.run(core::Query::expr("sp.cdeq.0[T-1] == T"), sopts);
   ASSERT_EQ(result.failures.size(), 1u);

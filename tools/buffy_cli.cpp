@@ -8,6 +8,7 @@
 //   buffy emit-smt2  ... --query "..." model.bfy
 //   buffy emit-dafny -T 4 --input ibs model.bfy
 //   buffy prove    --query "rr.cdeq.0[0] >= 0" model.bfy   (unbounded, CHC)
+//   buffy synth    -T 4 ... --query "..." model.bfy  (workload synthesis)
 //   buffy print    model.bfy            (parse + pretty-print)
 //   buffy lint     model.bfy            (well-formedness + lint warnings)
 //
@@ -28,6 +29,17 @@
 //                         z3 (default for check/verify), smtlib,
 //                         interp (default for simulate), dafny (emit-only)
 //   --stage-timings       report per-stage pipeline wall time/node counts
+//   --race                check/verify: race a solver portfolio (retry
+//                         ladder, seed variants, smtlib one-shot, CHC) —
+//                         first sound verdict wins, losers are interrupted
+//   --sweep LO:HI         check/verify: answer every --query at every
+//                         horizon in [LO, HI] (repeat --query to batch)
+//   --shards N            worker shards for --sweep (default 1); each shard
+//                         reuses one engine/session per horizon
+//   --threads N           worker threads for --race (0 = one per member)
+//                         and synth (default 1)
+//   --first-only          synth: stop at the first solution
+//   --no-prescreen        synth: disable concrete-interpreter prescreening
 //   --timeout MS          solver timeout (default 120000)
 //   --rlimit N            Z3 resource limit per query (deterministic)
 //   --max-memory MB       solver memory cap
@@ -69,7 +81,10 @@
 #include "backends/dafny/dafny_emitter.hpp"
 #include "backends/registry.hpp"
 #include "core/analysis.hpp"
+#include "core/portfolio.hpp"
+#include "core/sweep.hpp"
 #include "lang/printer.hpp"
+#include "synth/synthesizer.hpp"
 #include "pipeline/driver.hpp"
 #include "support/budget.hpp"
 #include "support/error.hpp"
@@ -117,6 +132,20 @@ struct Options {
   std::vector<std::string> workloads;
   std::map<std::string, std::vector<int>> arrivals;  // buffer -> counts
   std::string query;
+  /// Every --query in order (--sweep batches them; other commands take
+  /// exactly one).
+  std::vector<std::string> queries;
+  /// --race: portfolio racing for check/verify.
+  bool race = false;
+  /// --sweep LO:HI horizon range.
+  std::optional<std::pair<int, int>> sweep;
+  /// --shards for the sweep's JobPool.
+  std::size_t shards = 1;
+  /// --threads for --race (0 = one per member) and synth.
+  int threads = 0;
+  /// synth: --first-only / --no-prescreen.
+  bool firstOnly = false;
+  bool noPrescreen = false;
   bool unroll = false;
   bool fullTrace = false;
   bool havocInit = false;
@@ -143,7 +172,7 @@ struct Options {
 void usage() {
   std::puts(
       "usage: buffy "
-      "<check|verify|prove|simulate|emit-smt2|emit-dafny|print|lint> "
+      "<check|verify|prove|synth|simulate|emit-smt2|emit-dafny|print|lint> "
       "[options] model.bfy\nsee tools/buffy_cli.cpp header for the option "
       "list");
 }
@@ -166,7 +195,7 @@ Options parseArgs(int argc, char** argv) {
   opts.command = argv[1];
   const std::set<std::string> known = {"check",      "verify", "simulate",
                                        "emit-smt2",  "prove",  "emit-dafny",
-                                       "print",      "lint"};
+                                       "print",      "lint",   "synth"};
   if (known.count(opts.command) == 0) {
     throw CliError("unknown command '" + opts.command + "'");
   }
@@ -211,7 +240,22 @@ Options parseArgs(int argc, char** argv) {
       for (const auto& n : split(kv[1], ',')) counts.push_back(std::stoi(n));
       opts.arrivals[kv[0]] = std::move(counts);
     } else if (arg == "--query") {
-      opts.query = next();
+      opts.queries.push_back(next());
+    } else if (arg == "--race") {
+      opts.race = true;
+    } else if (arg == "--sweep") {
+      const auto range = split(next(), ':');
+      if (range.size() != 2) throw CliError("--sweep expects LO:HI");
+      opts.sweep = {std::stoi(range[0]), std::stoi(range[1])};
+    } else if (arg == "--shards") {
+      opts.shards = std::stoull(next());
+      if (opts.shards == 0) throw CliError("--shards expects N >= 1");
+    } else if (arg == "--threads") {
+      opts.threads = std::stoi(next());
+    } else if (arg == "--first-only") {
+      opts.firstOnly = true;
+    } else if (arg == "--no-prescreen") {
+      opts.noPrescreen = true;
     } else if (arg == "--unroll") {
       opts.unroll = true;
     } else if (arg == "--havoc-init") {
@@ -271,6 +315,22 @@ Options parseArgs(int argc, char** argv) {
     }
   }
   if (opts.file.empty()) throw CliError("missing model file");
+  if (!opts.queries.empty()) opts.query = opts.queries.front();
+  if (opts.queries.size() > 1 && !opts.sweep) {
+    throw CliError("multiple --query flags need --sweep");
+  }
+  if (opts.race && opts.sweep) {
+    throw CliError("--race and --sweep are mutually exclusive");
+  }
+  if (opts.race && opts.command != "check" && opts.command != "verify") {
+    throw CliError("--race applies to check/verify only");
+  }
+  if (opts.sweep && opts.command != "check" && opts.command != "verify") {
+    throw CliError("--sweep applies to check/verify only");
+  }
+  if (opts.shards > 1 && !opts.sweep) {
+    throw CliError("--shards needs --sweep");
+  }
   return opts;
 }
 
@@ -282,7 +342,10 @@ std::string readFile(const std::string& path) {
   return buffer.str();
 }
 
-core::Workload buildWorkload(const Options& opts) {
+/// Builds the workload for one horizon: at-step rules whose step lies at
+/// or beyond `horizon` are dropped (a sweep shrinks the horizon below
+/// steps the user's spec may name; per-step rules apply at any horizon).
+core::Workload buildWorkloadAt(const Options& opts, int horizon) {
   core::Workload workload;
   for (const auto& spec : opts.workloads) {
     // B:lo:hi  or  B@t:lo:hi
@@ -292,13 +355,18 @@ core::Workload buildWorkload(const Options& opts) {
     const std::int64_t hi = std::stoll(pieces[2]);
     const auto at = split(pieces[0], '@');
     if (at.size() == 2) {
-      workload.add(core::Workload::countAtStep(at[0], std::stoi(at[1]), lo,
-                                               hi));
+      const int t = std::stoi(at[1]);
+      if (t >= horizon) continue;
+      workload.add(core::Workload::countAtStep(at[0], t, lo, hi));
     } else {
       workload.add(core::Workload::perStepCount(pieces[0], lo, hi));
     }
   }
   return workload;
+}
+
+core::Workload buildWorkload(const Options& opts) {
+  return buildWorkloadAt(opts, opts.horizon);
 }
 
 void printTrace(const Options& opts, const core::Trace& trace) {
@@ -312,13 +380,25 @@ void printTrace(const Options& opts, const core::Trace& trace) {
   }
 }
 
-/// --inject-fault nth:kind[:param], kind one of unknown|throw|delay|
-/// corrupt-witness (param: reason text, or delay in ms). Faults land in the
-/// empty scope — the one plain Analysis queries run in.
+/// --inject-fault [scope@]nth:kind[:param], kind one of unknown|throw|
+/// delay|corrupt-witness (param: reason text, or delay in ms). Faults land
+/// in the empty scope — the one plain Analysis queries run in — unless a
+/// scope@ prefix targets a named scope (portfolio members run under
+/// "race:<member>", so "race:ladder@0:delay:50" delays the ladder's first
+/// solver call).
 backends::FaultPlanPtr buildFaultPlan(const Options& opts) {
   if (opts.injectFaults.empty()) return nullptr;
   auto plan = std::make_shared<backends::FaultPlan>();
-  for (const auto& spec : opts.injectFaults) {
+  for (const auto& full : opts.injectFaults) {
+    std::string scope;
+    std::string spec = full;
+    const auto scoped = split(full, '@');
+    if (scoped.size() == 2) {
+      scope = scoped[0];
+      spec = scoped[1];
+    } else if (scoped.size() > 2) {
+      throw CliError("bad --inject-fault spec: " + full);
+    }
     const auto pieces = split(spec, ':');
     if (pieces.size() < 2 || pieces.size() > 3) {
       throw CliError("bad --inject-fault spec: " + spec);
@@ -341,7 +421,7 @@ backends::FaultPlanPtr buildFaultPlan(const Options& opts) {
     } else {
       throw CliError("bad --inject-fault kind: " + pieces[1]);
     }
-    plan->at("", nth, action);
+    plan->at(scope, nth, action);
   }
   return plan;
 }
@@ -369,8 +449,10 @@ std::string jsonEscape(const std::string& s) {
 
 /// Renders a check/verify result and returns the process exit code. The
 /// json format carries the full resilience story (verdict, exit code,
-/// attempt log, trace) in one machine-readable object.
-int reportResult(const Options& opts, const core::AnalysisResult& result) {
+/// attempt log, trace) in one machine-readable object; with --race the
+/// "race" block logs every portfolio member and the winner.
+int reportResult(const Options& opts, const core::AnalysisResult& result,
+                 const core::PortfolioResult* race = nullptr) {
   const int code = exitCodeFor(result.verdict);
   if (opts.format == "json") {
     std::string json = "{\"verdict\":\"";
@@ -407,6 +489,37 @@ int reportResult(const Options& opts, const core::AnalysisResult& result) {
       json += "}";
     }
     json += "]";
+    if (race != nullptr) {
+      json += ",\"race\":{\"winner\":\"" + jsonEscape(race->winner) + "\"";
+      std::snprintf(secs, sizeof secs, "%.6f", race->seconds);
+      json += ",\"seconds\":";
+      json += secs;
+      json += ",\"members\":[";
+      for (std::size_t i = 0; i < race->members.size(); ++i) {
+        const auto& m = race->members[i];
+        if (i > 0) json += ",";
+        json += "{\"name\":\"" + jsonEscape(m.name) + "\"";
+        if (!m.verdict.empty()) {
+          json += ",\"verdict\":\"" + jsonEscape(m.verdict) + "\"";
+        }
+        json += ",\"started\":";
+        json += m.started ? "true" : "false";
+        json += ",\"finished\":";
+        json += m.finished ? "true" : "false";
+        json += ",\"sound\":";
+        json += m.sound ? "true" : "false";
+        json += ",\"won\":";
+        json += m.won ? "true" : "false";
+        if (!m.error.empty()) {
+          json += ",\"error\":\"" + jsonEscape(m.error) + "\"";
+        }
+        std::snprintf(secs, sizeof secs, "%.6f", m.seconds);
+        json += ",\"seconds\":";
+        json += secs;
+        json += "}";
+      }
+      json += "]}";
+    }
     if (opts.stageTimings && !result.pipeline.empty()) {
       json += ",\"pipeline\":" + result.pipeline.toJson();
     }
@@ -447,6 +560,19 @@ int reportResult(const Options& opts, const core::AnalysisResult& result) {
   std::printf("%s (%.3f s)\n", core::verdictName(result.verdict),
               result.solveSeconds);
   if (!result.detail.empty()) std::printf("  %s\n", result.detail.c_str());
+  if (race != nullptr) {
+    std::printf("  race: winner=%s (%.3f s)\n",
+                race->winner.empty() ? "<fallback>" : race->winner.c_str(),
+                race->seconds);
+    for (const auto& m : race->members) {
+      std::printf("    %-12s %-14s%s%s%s\n", m.name.c_str(),
+                  m.verdict.empty()
+                      ? (m.started ? "interrupted" : "not-started")
+                      : m.verdict.c_str(),
+                  m.won ? " WON" : "", m.error.empty() ? "" : " error: ",
+                  m.error.c_str());
+    }
+  }
   if (opts.stageTimings && !result.pipeline.empty()) {
     std::printf("  pipeline:\n%s", result.pipeline.render().c_str());
   }
@@ -465,6 +591,121 @@ int reportResult(const Options& opts, const core::AnalysisResult& result) {
     }
   }
   if (result.trace) printTrace(opts, *result.trace);
+  return code;
+}
+
+/// Exit severity for one sweep point. The sweep's exit code is the worst
+/// point: violation(1) > error(4) > unknown(3) > ok(0).
+int sweepPointCode(const std::string& verdict) {
+  if (verdict == "VIOLATED" || verdict == "WITNESS-MISMATCH") {
+    return kExitViolation;
+  }
+  if (verdict.rfind("error", 0) == 0) return kExitInternal;
+  if (verdict == "UNKNOWN" || verdict.empty()) return kExitUnknown;
+  return kExitOk;
+}
+
+int reportSweep(const Options& opts, const core::SweepResult& result) {
+  int code = kExitOk;
+  auto rank = [](int c) {  // severity order, not numeric order
+    switch (c) {
+      case kExitViolation: return 3;
+      case kExitInternal: return 2;
+      case kExitUnknown: return 1;
+      default: return 0;
+    }
+  };
+  for (const auto& p : result.points) {
+    const int c = sweepPointCode(p.verdict);
+    if (rank(c) > rank(code)) code = c;
+  }
+
+  if (opts.format == "json") {
+    char secs[32];
+    std::string json = "{\"sweep\":{\"shards\":" + std::to_string(result.shards);
+    json +=
+        ",\"incrementalQueries\":" + std::to_string(result.incrementalQueries);
+    std::snprintf(secs, sizeof secs, "%.6f", result.seconds);
+    json += ",\"seconds\":";
+    json += secs;
+    json += ",\"exitCode\":" + std::to_string(code);
+    json += ",\"points\":[";
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+      const auto& p = result.points[i];
+      if (i > 0) json += ",";
+      json += "{\"horizon\":" + std::to_string(p.horizon);
+      json += ",\"query\":\"" + jsonEscape(p.query) + "\"";
+      json += ",\"verdict\":\"" + jsonEscape(p.verdict) + "\"";
+      std::snprintf(secs, sizeof secs, "%.6f", p.solveSeconds);
+      json += ",\"solveSeconds\":";
+      json += secs;
+      json += ",\"canceled\":";
+      json += p.canceled ? "true" : "false";
+      json += ",\"shard\":" + std::to_string(p.shard);
+      json += "}";
+    }
+    json += "]}}\n";
+    std::fputs(json.c_str(), stdout);
+    return code;
+  }
+  if (opts.format == "csv") {
+    std::puts("horizon,query,verdict,solveSeconds,canceled,shard");
+    for (const auto& p : result.points) {
+      std::printf("%d,%s,%s,%.6f,%d,%zu\n", p.horizon, p.query.c_str(),
+                  p.verdict.c_str(), p.solveSeconds, p.canceled ? 1 : 0,
+                  p.shard);
+    }
+    return code;
+  }
+  std::printf("sweep: %zu points, %zu shard(s), %zu incremental queries"
+              " (%.3f s)\n",
+              result.points.size(), result.shards, result.incrementalQueries,
+              result.seconds);
+  for (const auto& p : result.points) {
+    std::printf("  T=%-3d %-16s (%.3f s)  %s\n", p.horizon, p.verdict.c_str(),
+                p.solveSeconds, p.query.c_str());
+  }
+  return code;
+}
+
+int reportSynth(const Options& opts, const synth::SynthesisResult& result) {
+  const int code = result.solutions.empty() ? kExitViolation : kExitOk;
+  if (opts.format == "json") {
+    char secs[32];
+    std::string json = "{\"synth\":{\"summary\":\"" +
+                       jsonEscape(result.summary()) + "\"";
+    json += ",\"candidatesChecked\":" + std::to_string(result.candidatesChecked);
+    json += ",\"solved\":" + std::to_string(result.solvedCount);
+    json += ",\"unknown\":" + std::to_string(result.unknownCount);
+    json += ",\"failed\":" + std::to_string(result.failedCount);
+    json += ",\"prescreenRejected\":" + std::to_string(result.prescreenRejected);
+    json +=
+        ",\"prescreenWitnessed\":" + std::to_string(result.prescreenWitnessed);
+    std::snprintf(secs, sizeof secs, "%.6f", result.totalSeconds);
+    json += ",\"seconds\":";
+    json += secs;
+    json += ",\"exitCode\":" + std::to_string(code);
+    json += ",\"solutions\":[";
+    for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "\"" + jsonEscape(result.solutions[i].describe()) + "\"";
+    }
+    json += "],\"failures\":[";
+    for (std::size_t i = 0; i < result.failures.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "\"" + jsonEscape(result.failures[i].describe()) + "\"";
+    }
+    json += "]}}\n";
+    std::fputs(json.c_str(), stdout);
+    return code;
+  }
+  std::printf("%s\n", result.summary().c_str());
+  for (const auto& s : result.solutions) {
+    std::printf("  solution: %s\n", s.describe().c_str());
+  }
+  for (const auto& f : result.failures) {
+    std::printf("  failure: %s\n", f.describe().c_str());
+  }
   return code;
 }
 
@@ -507,6 +748,25 @@ backends::SolverBackend& backendFor(const Options& opts,
     throw CliError("unknown backend '" + name + "' (known: " + known + ")");
   }
   return *backend;
+}
+
+/// --race and --sweep both need a backend that can solve AND reuse
+/// incremental sessions (a race interrupts losers mid-solve; a sweep
+/// shard answers every query at its horizon through one session). The
+/// missing capability is named so the exit-2 diagnostic is actionable.
+void requireIncrementalSolver(const Options& opts, const char* flag) {
+  const backends::SolverBackend& backend = backendFor(opts, "z3");
+  const auto caps = backend.capabilities();
+  if (!caps.solve) {
+    throw CliError(std::string(flag) + ": backend '" +
+                   std::string(backend.name()) +
+                   "' cannot solve queries (use z3)");
+  }
+  if (!caps.incrementalSessions) {
+    throw CliError(std::string(flag) + ": backend '" +
+                   std::string(backend.name()) +
+                   "' lacks incremental sessions (use z3)");
+  }
 }
 
 int run(const Options& opts) {
@@ -641,6 +901,15 @@ int run(const Options& opts) {
       opts.query.empty() ? core::Query::always() : core::Query::expr(opts.query);
   analysis.setWorkload(buildWorkload(opts));
 
+  if (opts.command == "synth") {
+    synth::Synthesizer synthesizer(net, aopts);
+    synth::SynthesisOptions sopts;
+    sopts.threads = std::max(1, opts.threads);
+    sopts.firstOnly = opts.firstOnly;
+    sopts.prescreen = !opts.noPrescreen;
+    return reportSynth(opts, synthesizer.run(query, sopts));
+  }
+
   if (opts.command == "emit-smt2") {
     backends::SmtLibOptions sopts;
     sopts.comment = "buffy emit-smt2: " + opts.file + " query: " + opts.query;
@@ -648,6 +917,35 @@ int run(const Options& opts) {
     return 0;
   }
   if (opts.command == "check" || opts.command == "verify") {
+    if (opts.sweep) {
+      requireIncrementalSolver(opts, "--sweep");
+      std::vector<core::Query> queries;
+      for (const auto& text : opts.queries) {
+        queries.push_back(core::Query::expr(text));
+      }
+      if (queries.empty()) queries.push_back(core::Query::always());
+      core::SweepOptions sopts;
+      sopts.fromHorizon = opts.sweep->first;
+      sopts.toHorizon = opts.sweep->second;
+      sopts.shards = opts.shards;
+      sopts.verify = opts.command == "verify";
+      core::HorizonSweep sweep(net, aopts);
+      const auto result = sweep.run(
+          queries, [&opts](int h) { return buildWorkloadAt(opts, h); }, sopts);
+      return reportSweep(opts, result);
+    }
+    if (opts.race) {
+      requireIncrementalSolver(opts, "--race");
+      core::Portfolio portfolio(unit, aopts);
+      core::PortfolioOptions popts2;
+      popts2.threads =
+          opts.threads > 0 ? static_cast<std::size_t>(opts.threads) : 0;
+      const core::Workload workload = buildWorkload(opts);
+      const core::PortfolioResult pr =
+          opts.command == "verify" ? portfolio.verify(query, workload, popts2)
+                                   : portfolio.check(query, workload, popts2);
+      return reportResult(opts, pr.result, &pr);
+    }
     backends::SolverBackend& backend = backendFor(opts, "z3");
     if (!backend.capabilities().solve) {
       throw CliError("backend '" + std::string(backend.name()) +

@@ -1,24 +1,32 @@
 #!/usr/bin/env sh
-# Rebuilds the Release benchmark tree (opt-bench preset) and refreshes the
+# Rebuilds the Release benchmark tree (opt-bench preset) and refreshes ALL
 # committed benchmark JSONs in one run on one host, so the numbers in
-# BENCH_incremental.json and BENCH_opt.json are always comparable:
+# BENCH_incremental.json, BENCH_opt.json, and BENCH_portfolio.json are
+# always comparable:
 #
 #   tools/run_benches.sh
 #
-# Both benchmark binaries exit nonzero when their pass criterion fails
+# Every benchmark binary exits nonzero when its pass criterion fails
 # (incremental beats fresh; optimizer verdict identity + speedup/reduction
-# threshold), which this script propagates.
+# threshold; sharded sweep >= 1.3x and race never slower than the serial
+# ladder), which this script propagates. After refreshing, each JSON is
+# schema-validated by tools/validate_bench.py so a formatting regression in
+# a benchmark's hand-written writer cannot land silently.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cmake --preset opt-bench
 cmake --build --preset opt-bench -j "$(nproc)" \
-  --target bench_incremental bench_opt
+  --target bench_incremental bench_opt bench_portfolio
 
 cd build-bench
 ./bench/bench_incremental
 ./bench/bench_opt
+./bench/bench_portfolio
 
-cp BENCH_incremental.json BENCH_opt.json ..
-echo "refreshed BENCH_incremental.json and BENCH_opt.json"
+cp BENCH_incremental.json BENCH_opt.json BENCH_portfolio.json ..
+cd ..
+echo "validating refreshed benchmark JSONs"
+python3 tools/validate_bench.py
+echo "refreshed BENCH_incremental.json, BENCH_opt.json, BENCH_portfolio.json"

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Schema check for the committed BENCH_*.json files.
+
+Each benchmark binary hand-writes its JSON (no serialization library in the
+tree), so this validator is what keeps the committed files loadable and
+shape-stable for downstream tooling. Run with no arguments from anywhere in
+the repo to check every committed file, or pass explicit paths:
+
+    tools/validate_bench.py [BENCH_foo.json ...]
+
+A file validates iff it is a non-empty top-level JSON array whose rows all
+carry exactly the keys the schema below records for that file, with the
+recorded types, and with every "seconds" value non-negative. Exits nonzero
+listing every violation.
+"""
+import json
+import numbers
+import pathlib
+import sys
+
+# File name -> {key: expected type}. A row must have exactly these keys.
+INT = numbers.Integral
+NUM = numbers.Real  # ints are fine where floats are expected
+SCHEMAS = {
+    "BENCH_incremental.json": {
+        "name": str,
+        "mode": str,
+        "seconds": NUM,
+        "candidates": INT,
+    },
+    "BENCH_opt.json": {
+        "name": str,
+        "mode": str,
+        "horizon": INT,
+        "seconds": NUM,
+        "verdict": str,
+        "nodesBefore": INT,
+        "nodesAfter": INT,
+        "assertionsBefore": INT,
+        "assertionsAfter": INT,
+    },
+    "BENCH_portfolio.json": {
+        "name": str,
+        "mode": str,
+        "seconds": NUM,
+        "points": INT,
+    },
+}
+
+
+def validate(path: pathlib.Path) -> list:
+    schema = SCHEMAS.get(path.name)
+    if schema is None:
+        return [f"{path}: no schema for this file name "
+                f"(known: {', '.join(sorted(SCHEMAS))})"]
+    try:
+        rows = json.loads(path.read_text())
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+    except json.JSONDecodeError as err:
+        return [f"{path}: invalid JSON: {err}"]
+    if not isinstance(rows, list):
+        return [f"{path}: top level must be an array"]
+    if not rows:
+        return [f"{path}: empty array — the benchmark wrote no rows"]
+    errors = []
+    for i, row in enumerate(rows):
+        where = f"{path} row {i}"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = sorted(set(schema) - set(row))
+        extra = sorted(set(row) - set(schema))
+        if missing:
+            errors.append(f"{where}: missing keys {missing}")
+        if extra:
+            errors.append(f"{where}: unexpected keys {extra}")
+        for key, expected in schema.items():
+            if key not in row:
+                continue
+            value = row[key]
+            # bool is an Integral; a "seconds": true row is still a bug.
+            if isinstance(value, bool) or not isinstance(value, expected):
+                errors.append(
+                    f"{where}: {key!r} should be "
+                    f"{getattr(expected, '__name__', expected)}, "
+                    f"got {type(value).__name__} ({value!r})")
+            elif key == "seconds" and value < 0:
+                errors.append(f"{where}: negative seconds ({value})")
+    return errors
+
+
+def main(argv: list) -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    paths = ([pathlib.Path(a) for a in argv]
+             if argv else sorted(repo / name for name in SCHEMAS))
+    all_errors = []
+    for path in paths:
+        errors = validate(path)
+        all_errors.extend(errors)
+        status = "FAIL" if errors else "ok"
+        rows = "" if errors else f" ({len(json.loads(path.read_text()))} rows)"
+        print(f"  {path.name}: {status}{rows}")
+    for err in all_errors:
+        print(err, file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
