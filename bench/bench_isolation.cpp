@@ -1,0 +1,250 @@
+// Crash-isolation benchmark (DESIGN.md §13), written to
+// BENCH_isolation.json as [{"name", "mode", "seconds", "points",
+// "answered", "restarts"}, ...].
+//
+// Two arms on the Figure-6-style sweep grid (every scheduler guarantee at
+// every horizon, the same fq network bench_portfolio sweeps):
+//
+//  * isolation_overhead — the sharded in-process sweep vs the same sweep
+//    with --isolate semantics (each horizon's query batch shipped to a
+//    supervised `buffy --worker` subprocess). The worker re-compiles from
+//    source, which matches the per-horizon pipeline cost the in-process
+//    sweep already pays, so the residual overhead is spawn + wire codec +
+//    supervision. Criterion: crash-free isolation costs <= 15%.
+//
+//  * crash_storm_availability — the isolated sweep again, with an
+//    injected CrashBeforeReply fault on every horizon job's first
+//    attempt (a full kill storm: every worker dies mid-job once). The
+//    supervisor must restart and retry each one; the criterion is verdict
+//    availability — every point answered, none "error".
+//
+// Pass criteria (exit 1 on failure): overhead ratio <= 1.15x, and storm
+// availability == 100% with at least one restart per horizon observed.
+// EXPERIMENTS.md records the methodology and single-core caveats.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "backends/fault_plan.hpp"
+#include "core/analysis.hpp"
+#include "core/sweep.hpp"
+#include "models/library.hpp"
+#include "procs/supervisor.hpp"
+
+using namespace buffy;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::Network fqNet() {
+  core::ProgramSpec spec;
+  spec.instance = "fq";
+  spec.source = models::kFairQueueBuggy;
+  spec.compile.constants["N"] = 2;
+  spec.compile.defaultListCapacity = 2;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 6,
+       .maxArrivalsPerStep = 3},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 32},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+/// The starvation workload in CLI spec form — the only form that crosses
+/// the process boundary — applied identically in-process through
+/// core::workloadFromSpecs, so both arms solve the same constraints.
+std::vector<std::string> workloadSpecs(int maxHorizon) {
+  std::vector<std::string> specs = {"fq.ibs.0:0:1", "fq.ibs.1@0:3:3"};
+  for (int t = 1; t < maxHorizon; ++t) {
+    specs.push_back("fq.ibs.1@" + std::to_string(t) + ":0:0");
+  }
+  return specs;
+}
+
+std::vector<core::Query> sweepQueries() {
+  std::vector<core::Query> out;
+  for (const char* text : {
+           "fq.cdeq.0[T-1] >= 0",
+           "fq.cdeq.1[T-1] >= 0",
+           "fq.cdeq.0[T-1] <= T",
+           "fq.cdeq.1[T-1] <= T",
+           "fq.cdeq.0[T-1] + fq.cdeq.1[T-1] <= 2 * T",
+           "sum(fq.cdeq.0, 0, T) >= 0",
+           "fq.ibs.0.backlog[T-1] >= 0",
+           "fq.ibs.1.dropped[T-1] >= 0",
+       }) {
+    out.push_back(core::Query::expr(text));
+  }
+  return out;
+}
+
+constexpr int kFromHorizon = 1;
+constexpr int kToHorizon = 4;
+constexpr std::size_t kShards = 4;
+
+struct Arm {
+  double seconds = 0.0;
+  int answered = 0;
+  int points = 0;
+  std::uint64_t restarts = 0;
+};
+
+Arm runSweep(procs::Supervisor* supervisor, backends::FaultPlanPtr faults) {
+  const auto queries = sweepQueries();
+  const auto specs = workloadSpecs(kToHorizon);
+  core::AnalysisOptions opts;
+  opts.faultPlan = std::move(faults);
+  core::HorizonSweep sweep(fqNet(), opts);
+  core::SweepOptions sopts;
+  sopts.fromHorizon = kFromHorizon;
+  sopts.toHorizon = kToHorizon;
+  sopts.shards = kShards;
+  sopts.verify = true;
+  if (supervisor != nullptr) {
+    sopts.isolate = true;
+    sopts.supervisor = supervisor;
+    sopts.workloadSpecs = specs;
+  }
+  const auto workloadFor = [&specs](int h) {
+    return core::workloadFromSpecs(specs, h);
+  };
+  const auto start = Clock::now();
+  const auto result = sweep.run(queries, workloadFor, sopts);
+  Arm arm;
+  arm.seconds = since(start);
+  arm.points = static_cast<int>(result.points.size());
+  for (const auto& p : result.points) {
+    if (p.verdict.rfind("error", 0) != 0 && !p.verdict.empty() &&
+        !p.canceled) {
+      ++arm.answered;
+    } else {
+      std::printf("  point NOT answered: T=%d %s -> %s\n", p.horizon,
+                  p.query.c_str(), p.verdict.c_str());
+    }
+  }
+  if (supervisor != nullptr) {
+    supervisor->shutdownWorkers();
+    arm.restarts = supervisor->stats().restarts;
+  }
+  return arm;
+}
+
+struct Row {
+  std::string name;
+  std::string mode;
+  double seconds = 0.0;
+  int points = 0;
+  int answered = 0;
+  std::uint64_t restarts = 0;
+};
+
+void appendJson(std::string& out, const Row& row, bool last) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"name\": \"%s\", \"mode\": \"%s\", \"seconds\": %.4f, "
+                "\"points\": %d, \"answered\": %d, \"restarts\": %llu}%s\n",
+                row.name.c_str(), row.mode.c_str(), row.seconds, row.points,
+                row.answered,
+                static_cast<unsigned long long>(row.restarts),
+                last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+  bool pass = true;
+
+  std::printf("== isolation overhead: Figure-6 sweep, T=%d..%d, %zu shards "
+              "==\n",
+              kFromHorizon, kToHorizon, kShards);
+  const Arm inproc = runSweep(nullptr, nullptr);
+  std::printf("  in-process sharded sweep      : %.3f s (%d/%d answered)\n",
+              inproc.seconds, inproc.answered, inproc.points);
+
+  procs::SupervisorOptions svopts;
+  svopts.workerBinary = BUFFY_CLI_PATH;
+  {
+    procs::Supervisor supervisor(svopts);
+    if (!supervisor.available()) {
+      std::printf("FAIL: worker binary %s not runnable\n", BUFFY_CLI_PATH);
+      return 1;
+    }
+    const Arm isolated = runSweep(&supervisor, nullptr);
+    const double ratio = isolated.seconds / inproc.seconds;
+    std::printf("  isolated sharded sweep        : %.3f s (%d/%d answered, "
+                "%.2fx)\n",
+                isolated.seconds, isolated.answered, isolated.points, ratio);
+    rows.push_back({"isolation_overhead", "inprocess_shards_4",
+                    inproc.seconds, inproc.points, inproc.answered, 0});
+    rows.push_back({"isolation_overhead", "isolated_shards_4",
+                    isolated.seconds, isolated.points, isolated.answered,
+                    isolated.restarts});
+    if (isolated.answered != isolated.points ||
+        inproc.answered != inproc.points) {
+      std::printf("  FAIL: unanswered points\n");
+      pass = false;
+    }
+    if (ratio > 1.15) {
+      std::printf("  FAIL: isolation overhead %.2fx > 1.15x\n", ratio);
+      pass = false;
+    }
+  }
+
+  std::printf("\n== crash storm: every horizon's first attempt dies ==\n");
+  {
+    auto plan = std::make_shared<backends::FaultPlan>();
+    for (int h = kFromHorizon; h <= kToHorizon; ++h) {
+      plan->at("sweep:h" + std::to_string(h), 0,
+               {backends::FaultAction::Kind::CrashBeforeReply, "storm", 0});
+    }
+    procs::Supervisor supervisor(svopts);
+    const Arm storm = runSweep(&supervisor, plan);
+    std::printf("  isolated under crash storm    : %.3f s (%d/%d answered, "
+                "%llu restarts)\n",
+                storm.seconds, storm.answered, storm.points,
+                static_cast<unsigned long long>(storm.restarts));
+    rows.push_back({"crash_storm_availability", "isolated_crash_storm",
+                    storm.seconds, storm.points, storm.answered,
+                    storm.restarts});
+    if (storm.answered != storm.points) {
+      std::printf("  FAIL: crash storm lost %d verdict(s)\n",
+                  storm.points - storm.answered);
+      pass = false;
+    }
+    const auto horizons =
+        static_cast<std::uint64_t>(kToHorizon - kFromHorizon + 1);
+    if (storm.restarts < horizons) {
+      std::printf("  FAIL: expected >= %llu restarts, saw %llu — the storm "
+                  "did not land\n",
+                  static_cast<unsigned long long>(horizons),
+                  static_cast<unsigned long long>(storm.restarts));
+      pass = false;
+    }
+  }
+
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    appendJson(json, rows[i], i + 1 == rows.size());
+  }
+  json += "]\n";
+  std::FILE* out = std::fopen("BENCH_isolation.json", "w");
+  if (out == nullptr) {
+    std::printf("FAIL: cannot write BENCH_isolation.json\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("\nwrote BENCH_isolation.json (%zu rows): %s\n", rows.size(),
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -14,6 +14,20 @@
 //                       an unsound model extraction, for exercising the
 //                       witness-replay cross-check).
 //
+// Process-level worker faults (DESIGN.md §13) ride in the same plan but
+// are interpreted by the `buffy --worker` loop, keyed on (scope, attempt
+// ordinal) instead of (scope, nth solver check); solver backends treat
+// them as no-ops so a degraded in-process fallback never trips on them:
+//
+//   * CrashBeforeReply — the worker process exits without answering
+//                        (models a solver segfault / OOM kill);
+//   * Hang             — the worker stops responding until killed (models
+//                        a wedged solver pipe, exercises the supervisor's
+//                        deadline kill);
+//   * GarbledFrame     — the reply frame arrives with a bad checksum
+//                        (models memory corruption on the wire);
+//   * PartialWrite     — the worker dies mid-write, tearing the frame.
+//
 // Scopes make injection deterministic under parallelism: the synthesizer
 // scopes every candidate by its enumeration index, so "fault the 2nd check
 // of candidate 7" hits the same solver call regardless of which worker
@@ -36,7 +50,17 @@
 namespace buffy::backends {
 
 struct FaultAction {
-  enum class Kind { ForceUnknown, Throw, Delay, CorruptWitness };
+  enum class Kind {
+    ForceUnknown,
+    Throw,
+    Delay,
+    CorruptWitness,
+    // Process-level worker faults, interpreted by the worker loop only.
+    CrashBeforeReply,
+    Hang,
+    GarbledFrame,
+    PartialWrite,
+  };
   Kind kind = Kind::ForceUnknown;
   /// Reason string for ForceUnknown (mirrors Z3's reason_unknown) and
   /// message suffix for Throw.
@@ -70,6 +94,14 @@ class FaultPlan {
   }
 
   [[nodiscard]] bool empty() const { return actions_.empty(); }
+
+  /// Every scheduled (scope, nth) -> action entry; the worker layer
+  /// serializes plans through this.
+  [[nodiscard]] const std::map<std::pair<std::string, std::size_t>,
+                               FaultAction>&
+  actions() const {
+    return actions_;
+  }
 
  private:
   std::map<std::pair<std::string, std::size_t>, FaultAction> actions_;

@@ -110,6 +110,15 @@ struct Z3Backend::Impl {
         return action;
       case FaultAction::Kind::CorruptWitness:
         return action;
+      case FaultAction::Kind::CrashBeforeReply:
+      case FaultAction::Kind::Hang:
+      case FaultAction::Kind::GarbledFrame:
+      case FaultAction::Kind::PartialWrite:
+        // Process-level faults belong to the worker loop (DESIGN.md §13).
+        // When a job degrades to in-process execution the plan still
+        // carries them; the solver must not trip on entries it cannot
+        // model.
+        return std::nullopt;
     }
     return action;
   }

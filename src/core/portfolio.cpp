@@ -6,10 +6,19 @@
 
 #include "backends/chc/chc_backend.hpp"
 #include "jobs/race.hpp"
+#include "procs/shutdown.hpp"
+#include "procs/worker.hpp"
 
 namespace buffy::core {
 
 namespace {
+
+/// Per-member crash-isolation accounting, filled in by isolated members
+/// (indexed writes from distinct members never alias).
+struct MemberIsolation {
+  bool isolated = false;
+  procs::JobStats stats;
+};
 
 /// Conclusive, trustworthy verdicts — the only results allowed to win a
 /// race. Unknown, WitnessMismatch, and canceled answers never beat a
@@ -70,11 +79,23 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
   // recorded out-of-band for the report. Indexed writes from distinct
   // members never alias.
   auto verdicts = std::make_shared<std::vector<std::string>>();
+  auto isolation = std::make_shared<std::vector<MemberIsolation>>();
+
+  // Isolation eligibility is a property of the whole problem: the query
+  // must survive as text ("true" is Query::always's description) and the
+  // network/workload must be describable on the wire.
+  const bool isolate =
+      opts.isolate && opts.supervisor != nullptr &&
+      opts.supervisor->available() &&
+      (query.textual() || query.description() == "true") &&
+      procs::describable(unit_->network(), workload, opts.workloadSpecs);
 
   /// A member that solves through a full Analysis engine built from
   /// `memberOptions` on the shared unit. The ScopedInterrupt publishes the
   /// engine while the member runs, so a sibling's win interrupts the query
-  /// actually in flight; it is retracted before the engine dies.
+  /// actually in flight; it is retracted before the engine dies. Isolated
+  /// members ship the same problem to a supervised worker subprocess and
+  /// publish the job handle's cancel instead (SIGKILL escalation).
   auto engineMember = [&](std::string name, AnalysisOptions memberOptions,
                           bool viaSmtLib) {
     const std::string scope = opts.faultScopePrefix + name;
@@ -82,16 +103,49 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
     members.push_back(Race::Member{
         std::move(name),
         [this, memberOptions, viaSmtLib, scope, forVerify, idx, verdicts,
-         &query, &workload](jobs::JobContext& ctx) {
-          Analysis engine(unit_, memberOptions);
-          const jobs::ScopedInterrupt guard(
-              ctx, [&engine] { engine.interrupt(); });
-          engine.setWorkload(workload);
-          engine.setFaultScope(scope);
-          AnalysisResult result =
-              viaSmtLib ? engine.solveViaSmtLib(query, forVerify)
-                        : (forVerify ? engine.verify(query)
-                                     : engine.check(query));
+         isolation, isolate, &opts, &query,
+         &workload](jobs::JobContext& ctx) {
+          AnalysisResult result;
+          if (isolate) {
+            (*isolation)[idx].isolated = true;
+            const procs::Supervisor::JobPtr handle =
+                opts.supervisor->createJob();
+            const jobs::ScopedInterrupt guard(
+                ctx, [handle] { handle->cancel(); });
+            const procs::ShutdownToken stopToken(
+                [handle] { handle->cancel(); });
+            procs::WireJob wire;
+            wire.programs = unit_->network().instances();
+            wire.connections = unit_->network().connections();
+            procs::applyOptionsToJob(memberOptions, wire);
+            wire.verify = forVerify;
+            wire.viaSmtLib = viaSmtLib;
+            if (query.textual()) wire.queries.push_back(query.description());
+            wire.workloadSpecs = opts.workloadSpecs;
+            wire.faultScope = scope;
+            const procs::WireResult reply = handle->run(
+                wire,
+                [](const procs::WireJob& job) { return procs::serveJob(job); });
+            (*isolation)[idx].stats = handle->stats();
+            if (!reply.error.empty()) {
+              throw AnalysisError("worker: " + reply.error);
+            }
+            if (reply.verdicts.empty()) {
+              throw AnalysisError("worker returned no verdict");
+            }
+            result = procs::analysisFromWire(reply.verdicts.front());
+          } else {
+            Analysis engine(unit_, memberOptions);
+            const jobs::ScopedInterrupt guard(
+                ctx, [&engine] { engine.interrupt(); });
+            const procs::ShutdownToken stopToken(
+                [&engine] { engine.interrupt(); });
+            engine.setWorkload(workload);
+            engine.setFaultScope(scope);
+            result = viaSmtLib ? engine.solveViaSmtLib(query, forVerify)
+                               : (forVerify ? engine.verify(query)
+                                            : engine.check(query));
+          }
           (*verdicts)[idx] = verdictName(result.verdict);
           return result;
         }});
@@ -152,6 +206,7 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
   }
 
   verdicts->resize(members.size());
+  isolation->resize(members.size());
   const Race::Outcome outcome =
       Race::run(members, opts.threads, soundVerdict);
 
@@ -169,6 +224,11 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
     report.won = m.won;
     report.error = m.error;
     report.seconds = m.seconds;
+    report.isolated = (*isolation)[i].isolated;
+    report.retries = (*isolation)[i].stats.retries;
+    report.restarts = (*isolation)[i].stats.restarts;
+    report.kills = (*isolation)[i].stats.kills;
+    report.degraded = (*isolation)[i].stats.degraded;
     result.members.push_back(std::move(report));
   }
   if (outcome.result) {

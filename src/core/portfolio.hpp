@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "procs/supervisor.hpp"
 
 namespace buffy::core {
 
@@ -48,6 +49,17 @@ struct PortfolioOptions {
   /// Fault-scope prefix for deterministic test injection: each member's
   /// engine runs under scope "<prefix><member name>".
   std::string faultScopePrefix = "race:";
+  /// Crash isolation (DESIGN.md §13): ship each remoteable member's solve
+  /// to a supervised `buffy --worker` subprocess instead of running it on
+  /// the racing thread. Requires `supervisor`; silently stays in-process
+  /// when the problem is not describable (contract networks, programmatic
+  /// workloads without matching specs, non-textual queries) or the
+  /// supervisor has degraded. The CHC member always runs in-process.
+  bool isolate = false;
+  procs::Supervisor* supervisor = nullptr;
+  /// CLI-format workload specs equivalent to the Workload argument —
+  /// workloads cross the process boundary only as re-parseable text.
+  std::vector<std::string> workloadSpecs;
 };
 
 /// Per-member log, indexed like the member list.
@@ -61,6 +73,14 @@ struct PortfolioMemberReport {
   bool won = false;
   std::string error;
   double seconds = 0.0;
+  /// Crash-isolation accounting (zero / false on the in-process path).
+  bool isolated = false;
+  unsigned retries = 0;
+  unsigned restarts = 0;
+  unsigned kills = 0;
+  /// The member's job fell back to the in-process engine after its worker
+  /// attempts were exhausted.
+  bool degraded = false;
 };
 
 struct PortfolioResult {

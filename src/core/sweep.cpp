@@ -7,6 +7,8 @@
 
 #include "jobs/job.hpp"
 #include "pipeline/driver.hpp"
+#include "procs/shutdown.hpp"
+#include "procs/worker.hpp"
 #include "support/error.hpp"
 
 namespace buffy::core {
@@ -32,6 +34,21 @@ SweepResult HorizonSweep::run(const std::vector<Query>& queries,
 
   const auto start = std::chrono::steady_clock::now();
 
+  // Isolation eligibility is a property of the whole sweep: every query
+  // must survive as text and the network/workload must be describable on
+  // the wire ("true" is Query::always's description, and parses).
+  bool isolate = opts.isolate && opts.supervisor != nullptr &&
+                 opts.supervisor->available();
+  for (const auto& query : queries) {
+    isolate = isolate &&
+              (query.textual() || query.description() == "true");
+  }
+  isolate = isolate &&
+            procs::describable(
+                network_, workloadFor ? workloadFor(opts.fromHorizon)
+                                      : Workload{},
+                opts.workloadSpecs);
+
   jobs::JobPool pool;
   jobs::JobPool::RunSpec spec;
   spec.jobs = horizons;
@@ -44,26 +61,85 @@ SweepResult HorizonSweep::run(const std::vector<Query>& queries,
       points[i].query = queries[i].description();
       points[i].shard = ctx.worker();
     }
-    try {
-      AnalysisOptions o = options_;
-      o.horizon = horizon;
-      // One front-half compile + one engine per horizon, shared by every
-      // query at that horizon (the sharded sweep's whole advantage over a
-      // fresh engine per point).
-      const pipeline::CompilerDriver driver(pipelineOptionsFor(o));
-      const pipeline::CompilationUnitPtr unit = driver.compile(network_);
-      Analysis engine(unit, o);
-      const jobs::ScopedInterrupt guard(ctx,
-                                        [&engine] { engine.interrupt(); });
-      engine.setWorkload(workloadFor ? workloadFor(horizon) : Workload{});
+    if (procs::shutdownRequested()) {
+      // A shutdown signal landed: don't start new horizons; mark them
+      // canceled so the partial report says what was cut short.
       for (std::size_t i = 0; i < q; ++i) {
-        const AnalysisResult r =
-            opts.verify ? engine.verify(queries[i]) : engine.check(queries[i]);
-        points[i].verdict = verdictName(r.verdict);
-        points[i].solveSeconds = r.solveSeconds;
-        points[i].canceled = r.canceled;
+        points[i].verdict = verdictName(Verdict::Unknown);
+        points[i].canceled = true;
       }
-      incremental.fetch_add(engine.incrementalQueries());
+      return;
+    }
+    try {
+      if (isolate) {
+        // Ship the horizon's whole query batch to one worker: the worker
+        // builds one engine + one incremental session per horizon, the
+        // same amortization as the in-process body below.
+        const procs::Supervisor::JobPtr handle =
+            opts.supervisor->createJob();
+        const jobs::ScopedInterrupt guard(ctx,
+                                          [handle] { handle->cancel(); });
+        const procs::ShutdownToken stopToken([handle] { handle->cancel(); });
+        procs::WireJob wire;
+        wire.programs = network_.instances();
+        wire.connections = network_.connections();
+        AnalysisOptions o = options_;
+        o.horizon = horizon;
+        procs::applyOptionsToJob(o, wire);
+        wire.verify = opts.verify;
+        for (const auto& query : queries) {
+          wire.queries.push_back(query.description());
+        }
+        wire.workloadSpecs = opts.workloadSpecs;
+        wire.faultScope = "sweep:h" + std::to_string(horizon);
+        const procs::WireResult reply = handle->run(
+            wire,
+            [](const procs::WireJob& job) { return procs::serveJob(job); });
+        const procs::JobStats js = handle->stats();
+        for (std::size_t i = 0; i < q; ++i) {
+          points[i].isolated = true;
+          points[i].retries = js.retries;
+          points[i].restarts = js.restarts;
+          points[i].kills = js.kills;
+          points[i].degraded = js.degraded;
+        }
+        if (!reply.error.empty()) {
+          throw AnalysisError("worker: " + reply.error);
+        }
+        if (reply.verdicts.size() != q) {
+          throw AnalysisError("worker answered " +
+                              std::to_string(reply.verdicts.size()) +
+                              " of " + std::to_string(q) + " queries");
+        }
+        for (std::size_t i = 0; i < q; ++i) {
+          points[i].verdict = reply.verdicts[i].verdict;
+          points[i].solveSeconds = reply.verdicts[i].solveSeconds;
+          points[i].canceled = reply.verdicts[i].canceled;
+        }
+        incremental.fetch_add(reply.incrementalQueries);
+      } else {
+        AnalysisOptions o = options_;
+        o.horizon = horizon;
+        // One front-half compile + one engine per horizon, shared by every
+        // query at that horizon (the sharded sweep's whole advantage over a
+        // fresh engine per point).
+        const pipeline::CompilerDriver driver(pipelineOptionsFor(o));
+        const pipeline::CompilationUnitPtr unit = driver.compile(network_);
+        Analysis engine(unit, o);
+        const jobs::ScopedInterrupt guard(ctx,
+                                          [&engine] { engine.interrupt(); });
+        const procs::ShutdownToken stopToken(
+            [&engine] { engine.interrupt(); });
+        engine.setWorkload(workloadFor ? workloadFor(horizon) : Workload{});
+        for (std::size_t i = 0; i < q; ++i) {
+          const AnalysisResult r = opts.verify ? engine.verify(queries[i])
+                                               : engine.check(queries[i]);
+          points[i].verdict = verdictName(r.verdict);
+          points[i].solveSeconds = r.solveSeconds;
+          points[i].canceled = r.canceled;
+        }
+        incremental.fetch_add(engine.incrementalQueries());
+      }
     } catch (const std::exception& e) {
       // Per-horizon fault isolation: the shard records the error on every
       // unanswered point of this horizon and moves on to its next claim.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "procs/supervisor.hpp"
 
 namespace buffy::core {
 
@@ -27,6 +28,17 @@ struct SweepOptions {
   std::size_t shards = 1;
   /// Query discipline: verify (∀) instead of check (∃).
   bool verify = false;
+  /// Crash isolation (DESIGN.md §13): each horizon's whole query batch
+  /// runs in a supervised `buffy --worker` subprocess (one engine + one
+  /// incremental session per horizon, exactly like the in-process shard
+  /// body). Requires `supervisor`; horizons degrade to in-process when
+  /// the problem is not describable or the supervisor gives up. The
+  /// fault scope of horizon H's job is "sweep:h<H>".
+  bool isolate = false;
+  procs::Supervisor* supervisor = nullptr;
+  /// CLI-format workload specs equivalent to the workload builder —
+  /// workloads cross the process boundary only as re-parseable text.
+  std::vector<std::string> workloadSpecs;
 };
 
 struct SweepPoint {
@@ -39,6 +51,13 @@ struct SweepPoint {
   /// Which worker answered this point (informational; the report content
   /// is shard-invariant).
   std::size_t shard = 0;
+  /// Crash-isolation accounting for the point's horizon job (zero / false
+  /// on the in-process path; identical for every point of one horizon).
+  bool isolated = false;
+  unsigned retries = 0;
+  unsigned restarts = 0;
+  unsigned kills = 0;
+  bool degraded = false;
 };
 
 struct SweepResult {

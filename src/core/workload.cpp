@@ -1,6 +1,7 @@
 #include "core/workload.hpp"
 
 #include "support/error.hpp"
+#include "support/strings.hpp"
 
 namespace buffy::core {
 
@@ -110,6 +111,38 @@ WorkloadRule Workload::fieldRange(std::string buffer, std::string field,
       }
     }
   };
+}
+
+Workload workloadFromSpecs(const std::vector<std::string>& specs,
+                           int horizon) {
+  Workload workload;
+  for (const auto& spec : specs) {
+    // B:lo:hi  or  B@t:lo:hi
+    const auto pieces = split(spec, ':');
+    if (pieces.size() != 3) {
+      throw AnalysisError("bad workload spec: " + spec);
+    }
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    int at = -1;
+    try {
+      lo = std::stoll(pieces[1]);
+      hi = std::stoll(pieces[2]);
+      const auto target = split(pieces[0], '@');
+      if (target.size() > 2) throw AnalysisError("");
+      if (target.size() == 2) {
+        at = std::stoi(target[1]);
+        if (at < 0) throw AnalysisError("");
+        if (at >= horizon) continue;
+        workload.add(Workload::countAtStep(target[0], at, lo, hi));
+        continue;
+      }
+      workload.add(Workload::perStepCount(pieces[0], lo, hi));
+    } catch (const std::exception&) {
+      throw AnalysisError("bad workload spec: " + spec);
+    }
+  }
+  return workload;
 }
 
 WorkloadRule Workload::aggregatePerStepAtMost(std::int64_t hi) {

@@ -81,4 +81,15 @@ class Workload {
   std::vector<WorkloadRule> rules_;
 };
 
+/// Parses CLI-format workload specs into a Workload at one horizon:
+///   "B:lo:hi"    lo <= count(B, t) <= hi for every step t;
+///   "B@t:lo:hi"  the same bound at one specific step.
+/// At-step rules whose step lies at or beyond `horizon` are dropped (a
+/// sweep shrinks the horizon below steps a spec may name). Shared by the
+/// CLI and the out-of-process worker loop (DESIGN.md §13) so both sides
+/// build byte-identical assumptions from the same spec strings. Throws
+/// AnalysisError on a malformed spec.
+Workload workloadFromSpecs(const std::vector<std::string>& specs,
+                           int horizon);
+
 }  // namespace buffy::core

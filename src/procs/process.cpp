@@ -1,0 +1,208 @@
+#include "procs/process.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace buffy::procs {
+
+namespace {
+
+void closeFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+void sleepMs(int ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1'000'000L;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+std::string selfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(other.pid_), toChild_(other.toChild_),
+      fromChild_(other.fromChild_) {
+  other.pid_ = -1;
+  other.toChild_ = -1;
+  other.fromChild_ = -1;
+}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    kill();
+    pid_ = other.pid_;
+    toChild_ = other.toChild_;
+    fromChild_ = other.fromChild_;
+    other.pid_ = -1;
+    other.toChild_ = -1;
+    other.fromChild_ = -1;
+  }
+  return *this;
+}
+
+WorkerProcess::~WorkerProcess() { kill(); }
+
+bool WorkerProcess::spawn(const std::string& binary) {
+  if (alive()) return false;
+  // Pre-check so a missing binary is a clean degradation signal, not a
+  // fork + _exit(127) + Eof-looking retry storm.
+  if (binary.empty() || ::access(binary.c_str(), X_OK) != 0) return false;
+
+  int inPipe[2];   // parent -> child stdin
+  int outPipe[2];  // child stdout -> parent
+  if (::pipe(inPipe) != 0) return false;
+  if (::pipe(outPipe) != 0) {
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    return false;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    ::close(outPipe[0]);
+    ::close(outPipe[1]);
+    return false;
+  }
+
+  if (pid == 0) {
+    // Child. Async-signal-safe calls only between fork and exec.
+    // The parent blocks SIGINT/SIGTERM for its signal-watcher thread and
+    // that mask survives exec — reset it or SIGTERM kills become no-ops.
+    sigset_t none;
+    sigemptyset(&none);
+    sigprocmask(SIG_SETMASK, &none, nullptr);
+    // Kernel-enforced no-orphans: if the parent dies, so do we.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    // The parent may already be gone (raced the prctl above).
+    if (::getppid() == 1) _exit(127);
+    if (::dup2(inPipe[0], STDIN_FILENO) < 0) _exit(127);
+    if (::dup2(outPipe[1], STDOUT_FILENO) < 0) _exit(127);
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    ::close(outPipe[0]);
+    ::close(outPipe[1]);
+    ::execl(binary.c_str(), binary.c_str(), "--worker",
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  // Parent.
+  ::close(inPipe[0]);
+  ::close(outPipe[1]);
+  pid_ = pid;
+  toChild_ = inPipe[1];
+  fromChild_ = outPipe[0];
+  // Frame writes into a dead worker must surface as errors, not SIGPIPE.
+  ::fcntl(toChild_, F_SETFD, FD_CLOEXEC);
+  ::fcntl(fromChild_, F_SETFD, FD_CLOEXEC);
+  return true;
+}
+
+bool WorkerProcess::probeAlive() {
+  if (pid_ <= 0) return false;
+  const pid_t r = ::waitpid(pid_, nullptr, WNOHANG);
+  if (r == 0) return true;  // still running
+  // Exited or signaled (r == pid_, now reaped) or already reaped by
+  // someone else (ECHILD): either way the worker is gone.
+  pid_ = -1;
+  closePipes();
+  return false;
+}
+
+bool WorkerProcess::send(std::string_view payload) {
+  if (toChild_ < 0) return false;
+  return writeFrame(toChild_, payload);
+}
+
+ReadStatus WorkerProcess::read(std::string& payload, int deadlineMs) {
+  if (fromChild_ < 0) return ReadStatus::Eof;
+  return readFrame(fromChild_, payload, deadlineMs);
+}
+
+void WorkerProcess::closePipes() {
+  closeFd(toChild_);
+  closeFd(fromChild_);
+}
+
+bool WorkerProcess::reapWithin(int waitMs) {
+  if (pid_ <= 0) return true;
+  const int kStepMs = 5;
+  int waited = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid_, nullptr, WNOHANG);
+    if (r == pid_ || (r < 0 && errno == ECHILD)) {
+      pid_ = -1;
+      return true;
+    }
+    if (waited >= waitMs) return false;
+    sleepMs(kStepMs);
+    waited += kStepMs;
+  }
+}
+
+void WorkerProcess::terminate(int graceMs) {
+  if (pid_ <= 0) {
+    closePipes();
+    return;
+  }
+  closePipes();
+  ::kill(pid_, SIGTERM);
+  if (!reapWithin(graceMs)) {
+    ::kill(pid_, SIGKILL);
+    while (!reapWithin(1000)) {
+      // SIGKILL cannot be ignored; only an unkillable (D-state) child
+      // stalls here, and waiting is still the correct thing to do.
+    }
+  }
+}
+
+void WorkerProcess::kill() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+  }
+  closePipes();
+  while (pid_ > 0 && !reapWithin(1000)) {
+  }
+}
+
+void WorkerProcess::signalKill() const {
+  if (pid_ > 0) ::kill(pid_, SIGKILL);
+}
+
+void WorkerProcess::shutdown(int graceMs) {
+  if (pid_ <= 0) {
+    closePipes();
+    return;
+  }
+  // Closing the worker's stdin makes its blocking readFrame see a clean
+  // EOF; a healthy worker exits on its own within the grace window.
+  closeFd(toChild_);
+  if (!reapWithin(graceMs)) {
+    terminate(graceMs);
+  } else {
+    closePipes();
+  }
+}
+
+}  // namespace buffy::procs

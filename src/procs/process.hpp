@@ -1,0 +1,84 @@
+// One spawned `buffy --worker` subprocess: fork/exec of our own binary
+// with a pipe pair dup'ed onto its stdin/stdout, plus the kill/reap
+// plumbing the supervisor drives (DESIGN.md §13).
+//
+// Safety properties the spawn path guarantees:
+//  * the child resets its signal mask before exec — the parent blocks
+//    SIGINT/SIGTERM for its signal-watcher thread, and an inherited mask
+//    would survive exec and make the supervisor's SIGTERM kills no-ops;
+//  * PR_SET_PDEATHSIG(SIGKILL) — if the parent dies by any means, the
+//    kernel reaps the worker; no orphans even on SIGKILL of the parent.
+//    CAVEAT: the kernel binds the death signal to the *thread* that
+//    called fork, not the process — a worker forked from a short-lived
+//    pool thread is SIGKILLed the moment that thread exits. spawn() must
+//    therefore only ever run on a thread that outlives the worker (the
+//    supervisor's dedicated spawner thread);
+//  * exec failure _exit(127)s without running parent atexit handlers.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+
+#include "procs/protocol.hpp"
+
+namespace buffy::procs {
+
+/// Absolute path of the running executable (/proc/self/exe), empty when
+/// unavailable — callers degrade to the in-process path.
+std::string selfExePath();
+
+class WorkerProcess {
+ public:
+  WorkerProcess() = default;
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+  /// Kills (SIGKILL, no grace — destruction is not a clean shutdown path)
+  /// and reaps any still-running child.
+  ~WorkerProcess();
+
+  /// Spawns `binary --worker`. Returns false (and stays dead) when the
+  /// binary is missing/non-executable or any spawn step fails; the caller
+  /// degrades rather than retrying a doomed exec.
+  bool spawn(const std::string& binary);
+
+  [[nodiscard]] bool alive() const { return pid_ > 0; }
+  [[nodiscard]] pid_t pid() const { return pid_; }
+
+  /// Non-blocking liveness probe: true while the child is still running.
+  /// A child that exited (or was signaled) is reaped here — the probe
+  /// returning false means the worker is gone and already cleaned up.
+  bool probeAlive();
+
+  /// Ships one frame to the worker's stdin. False when the pipe is gone.
+  bool send(std::string_view payload);
+  /// Reads one reply frame with a deadline (procs/protocol.hpp semantics).
+  ReadStatus read(std::string& payload, int deadlineMs);
+
+  /// SIGTERM, then SIGKILL after `graceMs` if the worker has not exited;
+  /// reaps. Safe to call on a dead/unspawned worker.
+  void terminate(int graceMs);
+  /// SIGKILL + reap, no grace.
+  void kill();
+  /// Sends SIGKILL without closing pipes or reaping — the one member safe
+  /// to call from another thread while the owner blocks in read() (the
+  /// reader observes EOF; the owner reaps via kill()/terminate() after).
+  void signalKill() const;
+  /// Closes the worker's stdin (clean-shutdown request: the loop sees EOF
+  /// and exits) and waits up to `graceMs` before escalating to terminate.
+  void shutdown(int graceMs);
+
+ private:
+  void closePipes();
+  /// Non-blocking reap attempts for up to `waitMs`, then returns whether
+  /// the child is gone.
+  bool reapWithin(int waitMs);
+
+  pid_t pid_ = -1;
+  int toChild_ = -1;    // our write end of the child's stdin
+  int fromChild_ = -1;  // our read end of the child's stdout
+};
+
+}  // namespace buffy::procs

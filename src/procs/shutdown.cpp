@@ -1,0 +1,108 @@
+#include "procs/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+namespace buffy::procs {
+
+namespace {
+
+struct State {
+  std::atomic<bool> requested{false};
+  std::atomic<int> signal{0};
+  std::mutex mutex;  // guards callbacks + fired
+  std::map<std::uint64_t, std::function<void()>> callbacks;
+  std::uint64_t nextId = 1;
+  bool fired = false;
+};
+
+// Leaked: the detached watcher thread may outlive main()'s statics.
+State& state() {
+  static State* s = new State();
+  return *s;
+}
+
+}  // namespace
+
+bool shutdownRequested() {
+  return state().requested.load(std::memory_order_acquire);
+}
+
+int shutdownSignal() { return state().signal.load(std::memory_order_acquire); }
+
+void requestShutdown(int signal) {
+  State& s = state();
+  s.signal.store(signal, std::memory_order_release);
+  s.requested.store(true, std::memory_order_release);
+  // Fire under the lock: ~ShutdownToken takes the same mutex, so a token
+  // cannot finish unregistering (and let its captures die) while its
+  // callback is still running. Callbacks must therefore not register or
+  // destroy tokens themselves.
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.fired) return;
+  s.fired = true;
+  for (const auto& [id, fn] : s.callbacks) {
+    if (fn) fn();
+  }
+}
+
+void installSignalWatcher() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    // Block in the calling (main) thread; every thread spawned afterwards
+    // inherits the mask, so only the watcher ever sees these signals.
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    std::thread([set] {
+      bool first = true;
+      for (;;) {
+        timespec wait{};
+        wait.tv_nsec = 200'000'000;  // 200ms: bounded poll, no busy loop
+        const int sig = sigtimedwait(&set, nullptr, &wait);
+        if (sig <= 0) continue;  // EAGAIN (timeout) or EINTR
+        if (first) {
+          first = false;
+          requestShutdown(sig);
+        } else {
+          // Cancellation itself wedged — get out now. Workers die with us
+          // (PR_SET_PDEATHSIG in procs/process.cpp).
+          _exit(128 + sig);
+        }
+      }
+    }).detach();
+  });
+}
+
+ShutdownToken::ShutdownToken(std::function<void()> onShutdown) {
+  State& s = state();
+  bool fireNow = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.fired) {
+      fireNow = true;  // no lost wakeup: fire outside the lock
+    } else {
+      id_ = s.nextId++;
+      s.callbacks[id_] = onShutdown;
+    }
+  }
+  if (fireNow && onShutdown) onShutdown();
+}
+
+ShutdownToken::~ShutdownToken() {
+  if (id_ == 0) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.callbacks.erase(id_);
+}
+
+}  // namespace buffy::procs

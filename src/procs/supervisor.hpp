@@ -1,0 +1,170 @@
+// Worker supervision (DESIGN.md §13): owns a pool of `buffy --worker`
+// subprocesses, ships them serialized jobs, and turns every way a worker
+// can fail into either a retry or a clean degradation:
+//
+//   * reply Ok            -> answer (worker goes back to the idle pool);
+//   * reply Ok but error  -> clean in-worker failure, NO retry (the job
+//                            itself is broken, not the worker);
+//   * Eof (worker died)   -> restart + retry with escalated budget;
+//   * Timeout (hang)      -> SIGTERM->SIGKILL + retry;
+//   * Garbled (torn/corrupt frame) -> kill + retry;
+//   * retries exhausted / spawn keeps failing / binary missing
+//                         -> run the caller's in-process fallback.
+//
+// Retry budgets escalate by escalateFactor^attempt (mirroring the
+// in-engine Unknown-retry ladder), respawn backoff is capped exponential,
+// and every transition is counted in ProcsStats for the CLI's --json
+// report. Jobs are handed out as shared Job handles whose cancel() is
+// thread-safe (kills the attached worker) — the process-level twin of
+// Analysis::interrupt, driven by the same ScopedInterrupt hooks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "procs/process.hpp"
+#include "procs/wire.hpp"
+
+namespace buffy::procs {
+
+struct SupervisorOptions {
+  /// Worker executable; empty means this binary (/proc/self/exe).
+  std::string workerBinary;
+  /// Retries after the first attempt (attempts = 1 + maxRetries).
+  unsigned maxRetries = 2;
+  /// Timeout/rlimit multiplier applied per retry (budget escalation).
+  unsigned escalateFactor = 2;
+  /// Per-attempt wall-clock deadline; 0 derives one from the job's solver
+  /// budget (timeout x queries x ladder headroom + slack).
+  int jobDeadlineMs = 0;
+  int deadlineSlackMs = 2000;
+  /// Respawn backoff: min(backoffCapMs, backoffBaseMs << attempt).
+  int backoffBaseMs = 10;
+  int backoffCapMs = 500;
+  /// SIGTERM -> SIGKILL escalation grace.
+  int termGraceMs = 200;
+  /// Consecutive spawn failures before the supervisor degrades
+  /// permanently (every later job goes straight to the fallback).
+  unsigned maxSpawnFailures = 3;
+  /// Idle workers kept warm for reuse.
+  std::size_t maxIdleWorkers = 8;
+};
+
+/// Supervision counters, aggregated across jobs (CLI --json "procs").
+struct ProcsStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t workersSpawned = 0;
+  std::uint64_t workersReaped = 0;
+  std::uint64_t restarts = 0;        // worker died (Eof) -> respawned
+  std::uint64_t retries = 0;         // job attempts after the first
+  std::uint64_t kills = 0;           // deadline/garble kills
+  std::uint64_t timeouts = 0;        // deadline expiries
+  std::uint64_t protocolErrors = 0;  // garbled/torn/malformed frames
+  std::uint64_t degradedJobs = 0;    // jobs answered by the fallback
+  bool degraded = false;             // supervisor gave up on spawning
+
+  ProcsStats& operator+=(const ProcsStats& other);
+};
+
+/// Per-job supervision counters (portfolio member / sweep point reports).
+struct JobStats {
+  unsigned retries = 0;
+  unsigned restarts = 0;
+  unsigned kills = 0;
+  bool degraded = false;
+};
+
+class Supervisor {
+ public:
+  /// In-process fallback: runs the job when isolation is unavailable.
+  using Fallback = std::function<WireResult(const WireJob&)>;
+
+  explicit Supervisor(SupervisorOptions options);
+  /// Shuts every idle worker down (EOF, then SIGTERM->SIGKILL).
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// One supervised job. run() may be called once; cancel() from any
+  /// thread, before or during run().
+  class Job {
+   public:
+    /// Runs `job` through a worker with retries; on exhaustion or
+    /// degradation answers via `fallback` (or an error result when no
+    /// fallback is given). A canceled job returns one canceled Unknown
+    /// verdict per query, matching in-process interrupt semantics.
+    WireResult run(WireJob job, const Fallback& fallback);
+    /// Thread-safe: kills the attached worker (if any) and makes run()
+    /// return canceled verdicts instead of starting new attempts.
+    void cancel();
+    [[nodiscard]] bool canceled() const {
+      return canceled_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] JobStats stats() const;
+
+   private:
+    friend class Supervisor;
+    explicit Job(Supervisor* owner) : owner_(owner) {}
+
+    Supervisor* owner_;
+    std::atomic<bool> canceled_{false};
+    mutable std::mutex mutex_;  // guards worker_ + stats_
+    WorkerProcess* worker_ = nullptr;
+    JobStats stats_;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  JobPtr createJob();
+
+  /// False when the worker binary is missing or spawning has degraded —
+  /// callers can skip straight to the in-process path.
+  [[nodiscard]] bool available() const;
+
+  [[nodiscard]] ProcsStats stats() const;
+
+  /// Graceful shutdown of the idle pool (also run by the destructor).
+  void shutdownWorkers();
+
+  [[nodiscard]] const SupervisorOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<WorkerProcess> checkout();
+  void checkin(std::unique_ptr<WorkerProcess> worker);
+  void discard(std::unique_ptr<WorkerProcess> worker, bool viaKill);
+  [[nodiscard]] int deadlineFor(const WireJob& job, unsigned attempt) const;
+
+  /// Forks a worker on the dedicated spawner thread (lazily started).
+  /// PR_SET_PDEATHSIG binds a child's lifetime to the thread that forked
+  /// it, so forking from a pool/job thread would SIGKILL the worker the
+  /// moment that thread drains its work — poisoning the idle pool for
+  /// every later job that tries to reuse it. The spawner thread lives
+  /// until the supervisor is destroyed, making thread death and process
+  /// death the same event for every worker.
+  std::unique_ptr<WorkerProcess> spawnWorker();
+  void spawnerLoop();
+
+  SupervisorOptions options_;
+  std::string binary_;
+
+  mutable std::mutex mutex_;  // guards idle_, stats_, spawnFailures_
+  std::deque<std::unique_ptr<WorkerProcess>> idle_;
+  ProcsStats stats_;
+  unsigned spawnFailures_ = 0;
+  bool degraded_ = false;
+
+  std::mutex spawnMutex_;  // guards the spawn queue + spawner lifecycle
+  std::condition_variable spawnCv_;
+  std::deque<std::promise<std::unique_ptr<WorkerProcess>>> spawnQueue_;
+  bool spawnerExit_ = false;
+  std::thread spawner_;
+};
+
+}  // namespace buffy::procs

@@ -34,10 +34,19 @@
 //                         first sound verdict wins, losers are interrupted
 //   --sweep LO:HI         check/verify: answer every --query at every
 //                         horizon in [LO, HI] (repeat --query to batch)
-//   --shards N            worker shards for --sweep (default 1); each shard
-//                         reuses one engine/session per horizon
+//   --shards N            worker shards for --sweep (default 1, max 1024);
+//                         each shard reuses one engine/session per horizon
 //   --threads N           worker threads for --race (0 = one per member)
-//                         and synth (default 1)
+//                         and synth (default 1); max 1024
+//   --isolate             race/sweep: run each member/horizon job in a
+//                         crash-isolated `buffy --worker` subprocess with
+//                         supervision — hung workers are killed at a
+//                         deadline, crashed ones restarted, failed jobs
+//                         retried with escalating budgets, and the whole
+//                         mechanism degrades to the in-process path when
+//                         workers cannot run (DESIGN.md §13)
+//   --retries N           --isolate: worker attempts after the first
+//                         (default 2, max 1024)
 //   --first-only          synth: stop at the first solution
 //   --no-prescreen        synth: disable concrete-interpreter prescreening
 //   --timeout MS          solver timeout (default 120000)
@@ -69,6 +78,19 @@
 //      (timeout / rlimit / memory budget exhausted)
 //   4  internal error (solver crash, unexpected exception)
 //   5  compile budget exceeded (unroll/inline bomb, term explosion, ...)
+//   130  interrupted (SIGINT/SIGTERM): in-flight solves were cancelled and
+//        a partial report with "status": "interrupted" was emitted
+//
+// Hidden modes/seams:
+//   buffy --worker        serve serialized analysis jobs on stdin/stdout
+//                         (spawned by --isolate's supervisor; not for
+//                         interactive use)
+//   --inject-fault [scope@]nth:kind[:param]
+//                         deterministic fault injection; solver kinds
+//                         unknown|throw|delay|corrupt-witness hit the nth
+//                         solver check in scope, worker kinds crash|hang|
+//                         garble|partial hit the job whose retry attempt
+//                         ordinal is nth in scope (DESIGN.md §8, §13)
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -83,7 +105,11 @@
 #include "core/analysis.hpp"
 #include "core/portfolio.hpp"
 #include "core/sweep.hpp"
+#include "core/workload.hpp"
 #include "lang/printer.hpp"
+#include "procs/shutdown.hpp"
+#include "procs/supervisor.hpp"
+#include "procs/worker.hpp"
 #include "synth/synthesizer.hpp"
 #include "pipeline/driver.hpp"
 #include "support/budget.hpp"
@@ -105,6 +131,8 @@ constexpr int kExitUsage = 2;
 constexpr int kExitUnknown = 3;
 constexpr int kExitInternal = 4;
 constexpr int kExitBudget = 5;
+/// 128 + SIGINT, the shell convention for an interrupted job.
+constexpr int kExitInterrupted = 130;
 
 int exitCodeFor(core::Verdict verdict) {
   switch (verdict) {
@@ -143,6 +171,12 @@ struct Options {
   std::size_t shards = 1;
   /// --threads for --race (0 = one per member) and synth.
   int threads = 0;
+  /// --isolate: run race members / sweep horizons in supervised
+  /// `buffy --worker` subprocesses (DESIGN.md §13).
+  bool isolate = false;
+  /// --retries: worker attempts after the first (--isolate only).
+  unsigned retries = 2;
+  bool retriesSet = false;
   /// synth: --first-only / --no-prescreen.
   bool firstOnly = false;
   bool noPrescreen = false;
@@ -175,6 +209,32 @@ void usage() {
       "<check|verify|prove|synth|simulate|emit-smt2|emit-dafny|print|lint> "
       "[options] model.bfy\nsee tools/buffy_cli.cpp header for the option "
       "list");
+}
+
+/// Strict bounded parser for count-shaped flags (--shards, --threads,
+/// --retries): rejects non-numeric text, negatives, trailing junk, and
+/// absurd values with a usage error naming the flag and its range.
+/// (std::stoull silently wrapped "-1" into eighteen quintillion shards.)
+std::uint64_t parseCount(const char* flag, const std::string& text,
+                         std::uint64_t lo, std::uint64_t hi) {
+  const auto reject = [&]() -> CliError {
+    return CliError(std::string(flag) + " expects an integer in [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) +
+                    "], got '" + text + "'");
+  };
+  if (text.empty() || text[0] == '-' || text[0] == '+') throw reject();
+  std::uint64_t value = 0;
+  try {
+    std::size_t used = 0;
+    value = std::stoull(text, &used);
+    if (used != text.size()) throw reject();
+  } catch (const CliError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw reject();
+  }
+  if (value < lo || value > hi) throw reject();
+  return value;
 }
 
 core::BufferSpec parseBufferArg(const std::string& arg,
@@ -248,10 +308,18 @@ Options parseArgs(int argc, char** argv) {
       if (range.size() != 2) throw CliError("--sweep expects LO:HI");
       opts.sweep = {std::stoi(range[0]), std::stoi(range[1])};
     } else if (arg == "--shards") {
-      opts.shards = std::stoull(next());
-      if (opts.shards == 0) throw CliError("--shards expects N >= 1");
+      opts.shards = static_cast<std::size_t>(
+          parseCount("--shards", next(), 1, 1024));
     } else if (arg == "--threads") {
-      opts.threads = std::stoi(next());
+      // 0 is documented auto (one thread per member for --race).
+      opts.threads =
+          static_cast<int>(parseCount("--threads", next(), 0, 1024));
+    } else if (arg == "--isolate") {
+      opts.isolate = true;
+    } else if (arg == "--retries") {
+      opts.retries =
+          static_cast<unsigned>(parseCount("--retries", next(), 0, 1024));
+      opts.retriesSet = true;
     } else if (arg == "--first-only") {
       opts.firstOnly = true;
     } else if (arg == "--no-prescreen") {
@@ -331,6 +399,12 @@ Options parseArgs(int argc, char** argv) {
   if (opts.shards > 1 && !opts.sweep) {
     throw CliError("--shards needs --sweep");
   }
+  if (opts.isolate && !opts.race && !opts.sweep) {
+    throw CliError("--isolate needs --race or --sweep");
+  }
+  if (opts.retriesSet && !opts.isolate) {
+    throw CliError("--retries needs --isolate");
+  }
   return opts;
 }
 
@@ -342,27 +416,12 @@ std::string readFile(const std::string& path) {
   return buffer.str();
 }
 
-/// Builds the workload for one horizon: at-step rules whose step lies at
-/// or beyond `horizon` are dropped (a sweep shrinks the horizon below
-/// steps the user's spec may name; per-step rules apply at any horizon).
+/// Builds the workload for one horizon through the shared spec parser
+/// (core::workloadFromSpecs) — the same function the `buffy --worker`
+/// loop runs, so both sides of an --isolate boundary build byte-identical
+/// assumptions from the same --workload strings.
 core::Workload buildWorkloadAt(const Options& opts, int horizon) {
-  core::Workload workload;
-  for (const auto& spec : opts.workloads) {
-    // B:lo:hi  or  B@t:lo:hi
-    const auto pieces = split(spec, ':');
-    if (pieces.size() != 3) throw CliError("bad workload spec: " + spec);
-    const std::int64_t lo = std::stoll(pieces[1]);
-    const std::int64_t hi = std::stoll(pieces[2]);
-    const auto at = split(pieces[0], '@');
-    if (at.size() == 2) {
-      const int t = std::stoi(at[1]);
-      if (t >= horizon) continue;
-      workload.add(core::Workload::countAtStep(at[0], t, lo, hi));
-    } else {
-      workload.add(core::Workload::perStepCount(pieces[0], lo, hi));
-    }
-  }
-  return workload;
+  return core::workloadFromSpecs(opts.workloads, horizon);
 }
 
 core::Workload buildWorkload(const Options& opts) {
@@ -380,12 +439,17 @@ void printTrace(const Options& opts, const core::Trace& trace) {
   }
 }
 
-/// --inject-fault [scope@]nth:kind[:param], kind one of unknown|throw|
-/// delay|corrupt-witness (param: reason text, or delay in ms). Faults land
-/// in the empty scope — the one plain Analysis queries run in — unless a
-/// scope@ prefix targets a named scope (portfolio members run under
-/// "race:<member>", so "race:ladder@0:delay:50" delays the ladder's first
-/// solver call).
+/// --inject-fault [scope@]nth:kind[:param]. Solver kinds unknown|throw|
+/// delay|corrupt-witness (param: reason text, or delay in ms) hit the nth
+/// solver check in scope. Worker kinds crash|hang|garble|partial are
+/// interpreted by the `buffy --worker` loop instead, keyed on the job's
+/// retry attempt ordinal: "race:ladder@0:crash" crashes the worker that
+/// takes the ladder member's first attempt; "sweep:h3@0:hang" hangs
+/// horizon 3's first attempt until the supervisor's deadline kill. Faults
+/// land in the empty scope — the one plain Analysis queries run in —
+/// unless a scope@ prefix targets a named scope (portfolio members run
+/// under "race:<member>", so "race:ladder@0:delay:50" delays the ladder's
+/// first solver call).
 backends::FaultPlanPtr buildFaultPlan(const Options& opts) {
   if (opts.injectFaults.empty()) return nullptr;
   auto plan = std::make_shared<backends::FaultPlan>();
@@ -418,6 +482,14 @@ backends::FaultPlanPtr buildFaultPlan(const Options& opts) {
                            : 10;
     } else if (pieces[1] == "corrupt-witness") {
       action.kind = backends::FaultAction::Kind::CorruptWitness;
+    } else if (pieces[1] == "crash") {
+      action.kind = backends::FaultAction::Kind::CrashBeforeReply;
+    } else if (pieces[1] == "hang") {
+      action.kind = backends::FaultAction::Kind::Hang;
+    } else if (pieces[1] == "garble") {
+      action.kind = backends::FaultAction::Kind::GarbledFrame;
+    } else if (pieces[1] == "partial") {
+      action.kind = backends::FaultAction::Kind::PartialWrite;
     } else {
       throw CliError("bad --inject-fault kind: " + pieces[1]);
     }
@@ -447,17 +519,59 @@ std::string jsonEscape(const std::string& s) {
   return out;
 }
 
+/// Renders the supervisor's cumulative accounting as one JSON object —
+/// the ops counters --isolate promises (spawns/reaps for the zero-orphan
+/// check, restarts, retries, kills, timeouts, degradations).
+std::string procsJson(const procs::ProcsStats& s) {
+  std::string json = "{\"jobs\":" + std::to_string(s.jobs);
+  json += ",\"workersSpawned\":" + std::to_string(s.workersSpawned);
+  json += ",\"workersReaped\":" + std::to_string(s.workersReaped);
+  json += ",\"restarts\":" + std::to_string(s.restarts);
+  json += ",\"retries\":" + std::to_string(s.retries);
+  json += ",\"kills\":" + std::to_string(s.kills);
+  json += ",\"timeouts\":" + std::to_string(s.timeouts);
+  json += ",\"protocolErrors\":" + std::to_string(s.protocolErrors);
+  json += ",\"degradedJobs\":" + std::to_string(s.degradedJobs);
+  json += ",\"degraded\":";
+  json += s.degraded ? "true" : "false";
+  json += "}";
+  return json;
+}
+
+/// One human-readable supervision line for the text report (the
+/// --stage-timings table's process-level sibling).
+void printProcsStats(const procs::ProcsStats& s) {
+  std::printf("  procs: %llu job(s), %llu worker(s) spawned/%llu reaped, "
+              "%llu restart(s), %llu retrie(s), %llu kill(s), "
+              "%llu degraded%s\n",
+              static_cast<unsigned long long>(s.jobs),
+              static_cast<unsigned long long>(s.workersSpawned),
+              static_cast<unsigned long long>(s.workersReaped),
+              static_cast<unsigned long long>(s.restarts),
+              static_cast<unsigned long long>(s.retries),
+              static_cast<unsigned long long>(s.kills),
+              static_cast<unsigned long long>(s.degradedJobs),
+              s.degraded ? " [supervisor degraded]" : "");
+}
+
 /// Renders a check/verify result and returns the process exit code. The
 /// json format carries the full resilience story (verdict, exit code,
 /// attempt log, trace) in one machine-readable object; with --race the
-/// "race" block logs every portfolio member and the winner.
+/// "race" block logs every portfolio member and the winner, and with
+/// --isolate the "procs" block logs the supervision counters. A run cut
+/// short by SIGINT/SIGTERM reports "status":"interrupted" (the caller
+/// then exits 130 regardless of the verdict's own code).
 int reportResult(const Options& opts, const core::AnalysisResult& result,
-                 const core::PortfolioResult* race = nullptr) {
+                 const core::PortfolioResult* race = nullptr,
+                 const procs::ProcsStats* stats = nullptr) {
   const int code = exitCodeFor(result.verdict);
   if (opts.format == "json") {
     std::string json = "{\"verdict\":\"";
     json += core::verdictName(result.verdict);
     json += "\",\"exitCode\":" + std::to_string(code);
+    if (procs::shutdownRequested()) {
+      json += ",\"status\":\"interrupted\"";
+    }
     char secs[32];
     std::snprintf(secs, sizeof secs, "%.6f", result.solveSeconds);
     json += ",\"solveSeconds\":";
@@ -516,9 +630,20 @@ int reportResult(const Options& opts, const core::AnalysisResult& result,
         std::snprintf(secs, sizeof secs, "%.6f", m.seconds);
         json += ",\"seconds\":";
         json += secs;
+        if (m.isolated) {
+          json += ",\"isolated\":true";
+          json += ",\"retries\":" + std::to_string(m.retries);
+          json += ",\"restarts\":" + std::to_string(m.restarts);
+          json += ",\"kills\":" + std::to_string(m.kills);
+          json += ",\"degraded\":";
+          json += m.degraded ? "true" : "false";
+        }
         json += "}";
       }
       json += "]}";
+    }
+    if (stats != nullptr) {
+      json += ",\"procs\":" + procsJson(*stats);
     }
     if (opts.stageTimings && !result.pipeline.empty()) {
       json += ",\"pipeline\":" + result.pipeline.toJson();
@@ -559,19 +684,23 @@ int reportResult(const Options& opts, const core::AnalysisResult& result,
 
   std::printf("%s (%.3f s)\n", core::verdictName(result.verdict),
               result.solveSeconds);
+  if (procs::shutdownRequested()) std::printf("  interrupted\n");
   if (!result.detail.empty()) std::printf("  %s\n", result.detail.c_str());
   if (race != nullptr) {
     std::printf("  race: winner=%s (%.3f s)\n",
                 race->winner.empty() ? "<fallback>" : race->winner.c_str(),
                 race->seconds);
     for (const auto& m : race->members) {
-      std::printf("    %-12s %-14s%s%s%s\n", m.name.c_str(),
+      std::printf("    %-12s %-14s%s%s%s%s\n", m.name.c_str(),
                   m.verdict.empty()
                       ? (m.started ? "interrupted" : "not-started")
                       : m.verdict.c_str(),
-                  m.won ? " WON" : "", m.error.empty() ? "" : " error: ",
-                  m.error.c_str());
+                  m.won ? " WON" : "", m.isolated ? " [isolated]" : "",
+                  m.error.empty() ? "" : " error: ", m.error.c_str());
     }
+  }
+  if (stats != nullptr && (opts.stageTimings || stats->jobs > 0)) {
+    printProcsStats(*stats);
   }
   if (opts.stageTimings && !result.pipeline.empty()) {
     std::printf("  pipeline:\n%s", result.pipeline.render().c_str());
@@ -605,7 +734,8 @@ int sweepPointCode(const std::string& verdict) {
   return kExitOk;
 }
 
-int reportSweep(const Options& opts, const core::SweepResult& result) {
+int reportSweep(const Options& opts, const core::SweepResult& result,
+                const procs::ProcsStats* stats = nullptr) {
   int code = kExitOk;
   auto rank = [](int c) {  // severity order, not numeric order
     switch (c) {
@@ -629,6 +759,12 @@ int reportSweep(const Options& opts, const core::SweepResult& result) {
     json += ",\"seconds\":";
     json += secs;
     json += ",\"exitCode\":" + std::to_string(code);
+    if (procs::shutdownRequested()) {
+      json += ",\"status\":\"interrupted\"";
+    }
+    if (stats != nullptr) {
+      json += ",\"procs\":" + procsJson(*stats);
+    }
     json += ",\"points\":[";
     for (std::size_t i = 0; i < result.points.size(); ++i) {
       const auto& p = result.points[i];
@@ -642,6 +778,14 @@ int reportSweep(const Options& opts, const core::SweepResult& result) {
       json += ",\"canceled\":";
       json += p.canceled ? "true" : "false";
       json += ",\"shard\":" + std::to_string(p.shard);
+      if (p.isolated) {
+        json += ",\"isolated\":true";
+        json += ",\"retries\":" + std::to_string(p.retries);
+        json += ",\"restarts\":" + std::to_string(p.restarts);
+        json += ",\"kills\":" + std::to_string(p.kills);
+        json += ",\"degraded\":";
+        json += p.degraded ? "true" : "false";
+      }
       json += "}";
     }
     json += "]}}\n";
@@ -658,12 +802,16 @@ int reportSweep(const Options& opts, const core::SweepResult& result) {
     return code;
   }
   std::printf("sweep: %zu points, %zu shard(s), %zu incremental queries"
-              " (%.3f s)\n",
+              " (%.3f s)%s\n",
               result.points.size(), result.shards, result.incrementalQueries,
-              result.seconds);
+              result.seconds,
+              procs::shutdownRequested() ? " [interrupted]" : "");
   for (const auto& p : result.points) {
     std::printf("  T=%-3d %-16s (%.3f s)  %s\n", p.horizon, p.verdict.c_str(),
                 p.solveSeconds, p.query.c_str());
+  }
+  if (stats != nullptr && (opts.stageTimings || stats->jobs > 0)) {
+    printProcsStats(*stats);
   }
   return code;
 }
@@ -929,10 +1077,26 @@ int run(const Options& opts) {
       sopts.toHorizon = opts.sweep->second;
       sopts.shards = opts.shards;
       sopts.verify = opts.command == "verify";
+      std::unique_ptr<procs::Supervisor> supervisor;
+      if (opts.isolate) {
+        procs::SupervisorOptions svopts;
+        svopts.maxRetries = opts.retries;
+        supervisor = std::make_unique<procs::Supervisor>(svopts);
+        sopts.isolate = true;
+        sopts.supervisor = supervisor.get();
+        sopts.workloadSpecs = opts.workloads;
+      }
       core::HorizonSweep sweep(net, aopts);
       const auto result = sweep.run(
           queries, [&opts](int h) { return buildWorkloadAt(opts, h); }, sopts);
-      return reportSweep(opts, result);
+      procs::ProcsStats stats;
+      if (supervisor) {
+        supervisor->shutdownWorkers();
+        stats = supervisor->stats();
+      }
+      const int code =
+          reportSweep(opts, result, supervisor ? &stats : nullptr);
+      return procs::shutdownRequested() ? kExitInterrupted : code;
     }
     if (opts.race) {
       requireIncrementalSolver(opts, "--race");
@@ -940,20 +1104,41 @@ int run(const Options& opts) {
       core::PortfolioOptions popts2;
       popts2.threads =
           opts.threads > 0 ? static_cast<std::size_t>(opts.threads) : 0;
+      std::unique_ptr<procs::Supervisor> supervisor;
+      if (opts.isolate) {
+        procs::SupervisorOptions svopts;
+        svopts.maxRetries = opts.retries;
+        supervisor = std::make_unique<procs::Supervisor>(svopts);
+        popts2.isolate = true;
+        popts2.supervisor = supervisor.get();
+        popts2.workloadSpecs = opts.workloads;
+      }
       const core::Workload workload = buildWorkload(opts);
       const core::PortfolioResult pr =
           opts.command == "verify" ? portfolio.verify(query, workload, popts2)
                                    : portfolio.check(query, workload, popts2);
-      return reportResult(opts, pr.result, &pr);
+      procs::ProcsStats stats;
+      if (supervisor) {
+        supervisor->shutdownWorkers();
+        stats = supervisor->stats();
+      }
+      const int code =
+          reportResult(opts, pr.result, &pr, supervisor ? &stats : nullptr);
+      return procs::shutdownRequested() ? kExitInterrupted : code;
     }
     backends::SolverBackend& backend = backendFor(opts, "z3");
     if (!backend.capabilities().solve) {
       throw CliError("backend '" + std::string(backend.name()) +
                      "' cannot solve queries (use z3 or smtlib)");
     }
+    // The plain path has no pool to drain: a shutdown signal interrupts
+    // the engine, the canceled result is reported, and the run exits 130.
+    const procs::ShutdownToken stopToken(
+        [&analysis] { analysis.interrupt(); });
     const auto result =
         backend.solve(analysis, query, opts.command == "verify");
-    return reportResult(opts, result);
+    const int code = reportResult(opts, result);
+    return procs::shutdownRequested() ? kExitInterrupted : code;
   }
   throw CliError("unknown command " + opts.command);
 }
@@ -961,6 +1146,13 @@ int run(const Options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden worker mode, dispatched before normal argument parsing: the
+  // whole CLI surface stays out of the worker's way (its only interface
+  // is the framed job protocol on stdin/stdout).
+  if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
+    return procs::runWorker();
+  }
+
   Options opts;
   try {
     opts = parseArgs(argc, argv);
@@ -974,6 +1166,11 @@ int main(int argc, char** argv) {
     usage();
     return kExitUsage;
   }
+
+  // SIGINT/SIGTERM cancel in-flight solves and worker pools; the run then
+  // emits its partial report with "status": "interrupted" and exits 130.
+  // A second signal exits immediately (workers die via PDEATHSIG).
+  procs::installSignalWatcher();
 
   // No exception type may escape to std::terminate: every failure maps to
   // a documented exit code.

@@ -1,32 +1,45 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Rebuilds the Release benchmark tree (opt-bench preset) and refreshes ALL
 # committed benchmark JSONs in one run on one host, so the numbers in
-# BENCH_incremental.json, BENCH_opt.json, and BENCH_portfolio.json are
-# always comparable:
+# BENCH_incremental.json, BENCH_opt.json, BENCH_portfolio.json, and
+# BENCH_isolation.json are always comparable:
 #
 #   tools/run_benches.sh
 #
 # Every benchmark binary exits nonzero when its pass criterion fails
 # (incremental beats fresh; optimizer verdict identity + speedup/reduction
 # threshold; sharded sweep >= 1.3x and race never slower than the serial
-# ladder), which this script propagates. After refreshing, each JSON is
+# ladder; isolation overhead <= 1.15x with 100% availability under crash
+# storms), which this script propagates. After refreshing, each JSON is
 # schema-validated by tools/validate_bench.py so a formatting regression in
 # a benchmark's hand-written writer cannot land silently.
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# bench_isolation spawns `buffy --worker` subprocesses; if a bench (or
+# this script) dies mid-run, reap any of OUR workers left behind. The -P $$
+# scope limits the sweep to this script's direct descendants — never
+# someone else's buffy processes.
+cleanup() {
+  pkill -KILL -P $$ -f -- '--worker' 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
 cmake --preset opt-bench
 cmake --build --preset opt-bench -j "$(nproc)" \
-  --target bench_incremental bench_opt bench_portfolio
+  --target bench_incremental bench_opt bench_portfolio bench_isolation
 
 cd build-bench
 ./bench/bench_incremental
 ./bench/bench_opt
 ./bench/bench_portfolio
+./bench/bench_isolation
 
-cp BENCH_incremental.json BENCH_opt.json BENCH_portfolio.json ..
+cp BENCH_incremental.json BENCH_opt.json BENCH_portfolio.json \
+   BENCH_isolation.json ..
 cd ..
 echo "validating refreshed benchmark JSONs"
 python3 tools/validate_bench.py
-echo "refreshed BENCH_incremental.json, BENCH_opt.json, BENCH_portfolio.json"
+echo "refreshed BENCH_incremental.json, BENCH_opt.json," \
+     "BENCH_portfolio.json, BENCH_isolation.json"

@@ -45,6 +45,14 @@ SCHEMAS = {
         "seconds": NUM,
         "points": INT,
     },
+    "BENCH_isolation.json": {
+        "name": str,
+        "mode": str,
+        "seconds": NUM,
+        "points": INT,
+        "answered": INT,
+        "restarts": INT,
+    },
 }
 
 
