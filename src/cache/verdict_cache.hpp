@@ -1,0 +1,197 @@
+// Content-addressed verdict cache (DESIGN.md §14): a two-tier
+// (in-memory LRU + optional on-disk directory) store of
+// (canonical problem hash, query, horizon, backend, options) -> verdict +
+// witness trace, shared by Analysis, sweeps, portfolio races, the
+// synthesizer, and `buffy --worker` subprocesses.
+//
+// Keys are content-addressed: the problem hash is a canonical structural
+// hash of the pre-optimizer encoded problem (ir::TermHasher over the
+// encoding's structural constraint sets plus the query's raw delta), so
+// semantically equal problems — the same model recompiled in a worker
+// process lands on the same key its parent computed — share one entry,
+// and any change to the model, workload, query, horizon, buffer model,
+// or initial-state discipline lands on a different key. The raw encoding
+// is hashed (not the optimizer's output) because its terms are stable
+// interned refs that memoize across queries, and because the optimizer
+// is equivalence-preserving, so a hit can skip planning entirely. Solve budgets and random seeds are deliberately NOT part
+// of the key: only conclusive verdicts (SAT/UNSAT family, never Unknown or
+// canceled) are stored, and conclusive verdicts are budget- and
+// seed-independent.
+//
+// The disk tier is designed to be shared between concurrent runs: records
+// are landed write-behind by a background thread (the solve path only
+// enqueues the encoded record), written to a temp file and atomically
+// renamed, every record carries
+// a magic word, its own key, and an FNV-1a checksum, and ANY malformation
+// (torn write, flipped byte, version skew, foreign file) is treated as a
+// miss + validation-failure count — the cold path re-solves; a corrupt
+// cache can cost time but never a wrong answer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+#include "core/trace.hpp"
+
+namespace buffy::cache {
+
+/// Counters surfaced by the CLI's "cache" JSON block. The two CPU
+/// counters attribute the cache's own cost directly (thread-CPU clocks
+/// around cache work), so a run can report the cache's share of its CPU
+/// without a noise-prone differential against an uncached run:
+/// `clientSeconds` is solve-path work (key hashing in the engine, tier
+/// lookups, record encoding on store), `writerSeconds` is the
+/// write-behind thread's file I/O and eviction scans.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t validationFailures = 0;
+  double clientSeconds = 0.0;
+  double writerSeconds = 0.0;
+};
+
+/// One cached answer. The verdict travels as its canonical name
+/// (core::verdictName) so this layer needs no dependency on the analysis
+/// engine; callers validate the name on the way out and treat an unknown
+/// one as corruption.
+struct CachedVerdict {
+  std::string verdict;
+  std::string detail;
+  /// Solver seconds the original (cold) solve spent — kept for
+  /// diagnostics; hit results report ~0 solve time of their own.
+  double solveSeconds = 0.0;
+  bool witnessChecked = false;
+  std::optional<core::Trace> trace;
+};
+
+/// Everything a cache key derives from. `problemHash` is a combination of
+/// ir::TermHasher::hashSet over the pre-optimizer encoding's structural
+/// sets and the query's raw delta; the rest is belt-and-braces context
+/// that also shapes those constraints, plus the backend id, which does
+/// not.
+struct CacheKeyParts {
+  std::uint64_t problemHash = 0;
+  std::string query;
+  int horizon = 0;
+  bool forVerify = false;
+  std::string backend;  // "z3" (incremental session) or "smtlib"
+  int model = 0;        // static_cast<int>(buffers::ModelKind)
+  bool symbolicInitialState = false;
+};
+
+/// Derives the 32-hex-digit content key (two independently seeded FNV-1a
+/// passes over the serialized parts — one 64-bit hash would make accidental
+/// collisions plausible at daemon scale).
+std::string cacheKeyFor(const CacheKeyParts& parts);
+
+struct VerdictCacheOptions {
+  /// On-disk tier directory; empty = in-memory only. Must exist.
+  std::string dir;
+  /// In-memory LRU capacity (entries).
+  std::size_t maxMemoryEntries = 1024;
+  /// Disk tier size cap; 0 = unlimited. Enforced on store by evicting the
+  /// oldest records (mtime order).
+  std::uint64_t maxDiskBytes = 0;
+};
+
+/// Thread-safe two-tier cache. One instance is shared by every engine of
+/// a run (and, through the disk directory, by worker subprocesses and
+/// other runs).
+class VerdictCache {
+ public:
+  explicit VerdictCache(VerdictCacheOptions options = {});
+
+  /// Joins the write-behind thread after draining its queue — every
+  /// store() issued before destruction is on disk once this returns.
+  ~VerdictCache();
+
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  /// Memory tier first, then disk; a disk hit is promoted into memory.
+  /// Corrupt disk records count a validation failure, are deleted, and
+  /// read as a miss.
+  std::optional<CachedVerdict> lookup(const std::string& key);
+
+  /// Stores into the memory tier synchronously; the disk write is
+  /// write-behind (encoded here, landed by a background thread so the
+  /// file I/O never sits on the solve path; skipped when a record for
+  /// the key already exists). A crash loses queued writes — it can never
+  /// tear a record, because landing is still temp-write + rename.
+  void store(const std::string& key, const CachedVerdict& value);
+
+  /// Blocks until every store() issued so far has landed on disk.
+  void flushDisk();
+
+  /// Drops the key from both tiers (cache-verify replay mismatch).
+  /// Drains the write-behind queue first so a queued store of the same
+  /// key cannot resurrect the invalidated record.
+  void invalidate(const std::string& key);
+
+  /// Counts a caller-detected validation failure (e.g. a record whose
+  /// verdict name does not parse, or a --cache-verify replay divergence).
+  void countValidationFailure();
+
+  /// Credits cache-attributed CPU spent outside this class (the engine's
+  /// key derivation) to stats().clientSeconds.
+  void addClientSeconds(double seconds);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] const VerdictCacheOptions& options() const {
+    return options_;
+  }
+
+  // Record codec, exposed for tests: encode never fails; decode returns
+  // nullopt on any malformation (wrong magic/version/length/checksum/key).
+  static std::string encodeRecord(const std::string& key,
+                                  const CachedVerdict& value);
+  static std::optional<CachedVerdict> decodeRecord(const std::string& key,
+                                                   std::string_view bytes);
+
+  /// The disk path a key maps to ("" when there is no disk tier).
+  [[nodiscard]] std::string pathFor(const std::string& key) const;
+
+ private:
+  std::optional<CachedVerdict> diskLookup(const std::string& key);
+  /// Runs on the writer thread: temp-write + rename, returns bytes added
+  /// (0 when skipped or failed). Takes no lock — pure file I/O.
+  std::uint64_t diskWrite(const std::string& key, const std::string& record,
+                          std::uint64_t tempId);
+  void writerLoop();
+  void enforceDiskLimit();
+  void rememberLocked(const std::string& key, const CachedVerdict& value);
+
+  VerdictCacheOptions options_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+  /// LRU: front = most recent. Entries point into the list.
+  std::list<std::pair<std::string, CachedVerdict>> lru_;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, CachedVerdict>>::iterator>
+      index_;
+  /// Approximate disk usage, refreshed by directory scans on eviction.
+  std::uint64_t diskBytes_ = 0;
+  std::uint64_t tempCounter_ = 0;
+
+  /// Write-behind state (guarded by mutex_). The thread exists only when
+  /// a disk tier is configured.
+  std::deque<std::pair<std::string, std::string>> writeQueue_;
+  std::condition_variable writeCv_;
+  std::condition_variable drainCv_;
+  bool stopWriter_ = false;
+  int writesInFlight_ = 0;
+  std::thread writer_;
+};
+
+}  // namespace buffy::cache

@@ -1,9 +1,11 @@
 #include "core/analysis.hpp"
 
 #include <algorithm>
+#include <ctime>
 #include <unordered_set>
 
 #include "ir/term_eval.hpp"
+#include "ir/term_hash.hpp"
 #include "ir/term_printer.hpp"
 #include "pipeline/driver.hpp"
 #include "pipeline/encoder.hpp"
@@ -21,6 +23,15 @@ const char* verdictName(Verdict verdict) {
     case Verdict::Unknown: return "UNKNOWN";
   }
   return "?";
+}
+
+std::optional<Verdict> parseVerdictName(const std::string& name) {
+  for (const Verdict v :
+       {Verdict::Satisfiable, Verdict::Unsatisfiable, Verdict::Verified,
+        Verdict::Violated, Verdict::WitnessMismatch, Verdict::Unknown}) {
+    if (name == verdictName(v)) return v;
+  }
+  return std::nullopt;
 }
 
 pipeline::PipelineOptions pipelineOptionsFor(const AnalysisOptions& options) {
@@ -77,6 +88,10 @@ struct Analysis::Impl {
   std::unique_ptr<opt::Optimizer> optimizer;
   /// Structural assertions already asserted into the session.
   std::unordered_set<ir::TermRef> assertedStructural;
+  /// Canonical structural hasher for cache keys. Memoizes per term, and
+  /// every term this engine hashes lives in the one encoding arena, so
+  /// one hasher per engine is sound.
+  ir::TermHasher hasher;
 
   Impl(Network net, AnalysisOptions opts) : options(std::move(opts)) {
     if (options.horizon <= 0) {
@@ -184,11 +199,88 @@ struct Analysis::Impl {
     return cs;
   }
 
-  /// A standalone query problem: the (optimized, when enabled) structural
-  /// set plus the per-query delta, and the plan that produced it (for
-  /// model completion). Used by the text-emission paths (SMT-LIB export /
-  /// reparse ablation and the smtlib retry rung); the solving hot path
-  /// uses ensureSession + queryDelta.
+  /// One query's solvable forms: the raw workload+query delta and the
+  /// content-addressed cache key, derived first (planned=false), then —
+  /// only when the cache does not answer — the optimizer plan and the
+  /// standalone constraint set the text-emission paths render
+  /// (finishKeyed). The key is empty when no cache is configured or no
+  /// backend id was given.
+  struct Keyed {
+    std::vector<ir::TermRef> delta;
+    std::optional<opt::Optimizer::Plan> plan;
+    std::vector<ir::TermRef> standalone;
+    std::string key;
+    bool planned = false;
+  };
+
+  /// `backend` names the solve path for key derivation ("z3" incremental
+  /// session / "smtlib" emission+reparse); nullptr skips key derivation
+  /// (pure problem construction, e.g. toSmtLib export).
+  ///
+  /// The key hashes the PRE-optimizer problem (encoding structural sets +
+  /// raw delta): those are stable interned TermRefs, so the memoized
+  /// hasher re-hashes only each query's own few terms, where the
+  /// optimizer's query-specialized output is freshly built per query and
+  /// would defeat memoization. The optimizer is equivalence-preserving
+  /// (differentially tested, DESIGN.md §9), so the raw problem identifies
+  /// the answer exactly as well — and a warm hit then never runs the
+  /// planner at all.
+  Keyed keyedProblem(const Query& query, bool forVerify, Encoding& enc,
+                     const char* backend) {
+    Keyed out;
+    out.delta = queryDelta(query, forVerify, enc);
+    if (options.cache && backend != nullptr) {
+      pipeline::StageTimer timer(stats.stage("cache"));
+      timespec cpuStart{};
+      ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &cpuStart);
+      constexpr std::uint64_t kPrime = 1099511628211ull;
+      cache::CacheKeyParts parts;
+      parts.problemHash = hasher.hashSet(enc.assumptions);
+      parts.problemHash =
+          parts.problemHash * kPrime ^ hasher.hashSet(enc.soundness);
+      parts.problemHash =
+          parts.problemHash * kPrime ^ hasher.hashSet(out.delta);
+      parts.query = query.description();
+      parts.horizon = options.horizon;
+      parts.forVerify = forVerify;
+      parts.backend = backend;
+      parts.model = static_cast<int>(options.model);
+      parts.symbolicInitialState = options.symbolicInitialState;
+      out.key = cache::cacheKeyFor(parts);
+      timespec cpuEnd{};
+      ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &cpuEnd);
+      // Key derivation runs in the engine, not the cache — credit it to
+      // the cache's CPU attribution so stats().clientSeconds covers the
+      // full cold-path tax.
+      options.cache->addClientSeconds(
+          static_cast<double>(cpuEnd.tv_sec - cpuStart.tv_sec) +
+          static_cast<double>(cpuEnd.tv_nsec - cpuStart.tv_nsec) * 1e-9);
+      timer.stop();
+    }
+    return out;
+  }
+
+  /// Second half of keyedProblem: the optimizer plan and standalone set,
+  /// run only for queries the cache did not answer.
+  void finishKeyed(Keyed& keyed, Encoding& enc) {
+    if (keyed.planned) return;
+    keyed.planned = true;
+    if (options.opt.enabled) {
+      keyed.plan = planTimed(enc, keyed.delta);
+      keyed.standalone = keyed.plan->structural;
+      keyed.standalone.insert(keyed.standalone.end(),
+                              keyed.plan->delta.begin(),
+                              keyed.plan->delta.end());
+    } else {
+      keyed.standalone = enc.assumptions;
+      keyed.standalone.insert(keyed.standalone.end(), enc.soundness.begin(),
+                              enc.soundness.end());
+      keyed.standalone.insert(keyed.standalone.end(), keyed.delta.begin(),
+                              keyed.delta.end());
+    }
+  }
+
+  /// Backwards-compatible standalone problem (SMT-LIB export path).
   struct PlannedProblem {
     std::vector<ir::TermRef> constraints;
     std::optional<opt::Optimizer::Plan> plan;
@@ -196,21 +288,79 @@ struct Analysis::Impl {
 
   PlannedProblem planProblem(const Query& query, bool forVerify,
                              Encoding& enc) {
-    PlannedProblem out;
-    const std::vector<ir::TermRef> delta = queryDelta(query, forVerify, enc);
-    if (options.opt.enabled) {
-      out.plan = planTimed(enc, delta);
-      out.constraints = out.plan->structural;
-      out.constraints.insert(out.constraints.end(), out.plan->delta.begin(),
-                             out.plan->delta.end());
-    } else {
-      out.constraints = enc.assumptions;
-      out.constraints.insert(out.constraints.end(), enc.soundness.begin(),
-                             enc.soundness.end());
-      out.constraints.insert(out.constraints.end(), delta.begin(),
-                             delta.end());
+    Keyed keyed = keyedProblem(query, forVerify, enc, nullptr);
+    finishKeyed(keyed, enc);
+    return {std::move(keyed.standalone), std::move(keyed.plan)};
+  }
+
+  /// Cache probe for one keyed query. Validates the record beyond its
+  /// checksum — verdict name parses, verdict matches the query discipline,
+  /// trace horizon matches — and (under cacheVerify) replays Sat/Violated
+  /// witnesses through the concrete interpreter. Any failure invalidates
+  /// the entry, counts a validation failure, and reads as a miss: the
+  /// cold path re-solves.
+  std::optional<AnalysisResult> tryCacheHit(const std::string& key,
+                                            Encoding& enc, bool forVerify) {
+    if (!options.cache || key.empty()) return std::nullopt;
+    const auto hit = options.cache->lookup(key);
+    if (!hit) return std::nullopt;
+
+    const auto verdict = parseVerdictName(hit->verdict);
+    bool valid = verdict.has_value();
+    if (valid) {
+      valid = forVerify ? (*verdict == Verdict::Verified ||
+                           *verdict == Verdict::Violated)
+                        : (*verdict == Verdict::Satisfiable ||
+                           *verdict == Verdict::Unsatisfiable);
     }
-    return out;
+    if (valid && hit->trace && hit->trace->horizon != enc.horizon) {
+      valid = false;
+    }
+    if (!valid) {
+      options.cache->invalidate(key);
+      options.cache->countValidationFailure();
+      return std::nullopt;
+    }
+
+    AnalysisResult result;
+    result.verdict = *verdict;
+    result.detail = hit->detail;
+    result.trace = hit->trace;
+    result.witnessChecked = hit->witnessChecked;
+    result.cached = true;
+    result.cacheKey = key;
+    if (options.cacheVerify && result.trace) {
+      crossCheckWitness(result);
+      if (result.verdict == Verdict::WitnessMismatch) {
+        options.cache->invalidate(key);
+        options.cache->countValidationFailure();
+        return std::nullopt;
+      }
+    }
+    result.pipeline = stats;
+    return result;
+  }
+
+  /// Stores a finished query back. Only conclusive, non-canceled verdicts
+  /// are cached: Unknown depends on budgets/seeds (not part of the key)
+  /// and WitnessMismatch marks an untrustworthy model — neither may be
+  /// replayed onto a later run.
+  void maybeStore(const std::string& key, const AnalysisResult& result) {
+    if (!options.cache || key.empty() || result.canceled) return;
+    switch (result.verdict) {
+      case Verdict::Satisfiable:
+      case Verdict::Unsatisfiable:
+      case Verdict::Verified:
+      case Verdict::Violated: break;
+      default: return;
+    }
+    cache::CachedVerdict value;
+    value.verdict = verdictName(result.verdict);
+    value.detail = result.detail;
+    value.solveSeconds = result.solveSeconds;
+    value.witnessChecked = result.witnessChecked;
+    value.trace = result.trace;
+    options.cache->store(key, value);
   }
 
   /// Completes a Sat model with the plan's certified values for variables
@@ -329,12 +479,17 @@ struct Analysis::Impl {
   /// concrete interpreter.
   AnalysisResult solveQuery(const Query& query, bool forVerify) {
     Encoding& enc = ensureEncoding();
-    auto& session = ensureSession(enc);
-    std::vector<ir::TermRef> delta = queryDelta(query, forVerify, enc);
+    Keyed keyed = keyedProblem(query, forVerify, enc, "z3");
+    // The cache is consulted before any solver session exists AND before
+    // the optimizer plans: a warm process answers without lowering terms
+    // into Z3 or planning a slice.
+    if (auto hit = tryCacheHit(keyed.key, enc, forVerify)) return *hit;
+    finishKeyed(keyed, enc);
 
-    std::optional<opt::Optimizer::Plan> planned;
-    if (options.opt.enabled) {
-      planned = planTimed(enc, delta);
+    auto& session = ensureSession(enc);
+    std::vector<ir::TermRef> delta = keyed.delta;
+    std::optional<opt::Optimizer::Plan>& planned = keyed.plan;
+    if (planned) {
       // Assert the structural constraints this query's slice needs and the
       // session does not hold yet (the session's base is the monotone
       // union of the query slices). The session-safe set is used — never
@@ -371,9 +526,7 @@ struct Analysis::Impl {
       // solver, sidestepping the incremental session's accumulated state.
       backends::SmtLibOptions sopts;
       sopts.checkSat = false;  // the reparsing solver issues its own check
-      const std::string text =
-          backends::emitSmtLib(planProblem(query, forVerify, enc).constraints,
-                               sopts);
+      const std::string text = backends::emitSmtLib(keyed.standalone, sopts);
       sr = solver.checkSmtLib(text, budget);
       recordAttempt(attempts, "smtlib", budget, sr);
     }
@@ -387,6 +540,8 @@ struct Analysis::Impl {
       result.solveSeconds += attempt.seconds;
     }
     crossCheckWitness(result);
+    result.cacheKey = keyed.key;
+    maybeStore(keyed.key, result);
     finishPipeline(result, result.attempts.size());
     return result;
   }
@@ -396,14 +551,18 @@ struct Analysis::Impl {
   /// solver. Shared by checkViaSmtLib and the smtlib backend.
   AnalysisResult solveViaSmtLib(const Query& query, bool forVerify) {
     Encoding& enc = ensureEncoding();
-    const auto problem = planProblem(query, forVerify, enc);
+    Keyed keyed = keyedProblem(query, forVerify, enc, "smtlib");
+    if (auto hit = tryCacheHit(keyed.key, enc, forVerify)) return *hit;
+    finishKeyed(keyed, enc);
     backends::SmtLibOptions opts;
     opts.checkSat = false;  // the reparsing solver issues its own check
-    const std::string text = backends::emitSmtLib(problem.constraints, opts);
+    const std::string text = backends::emitSmtLib(keyed.standalone, opts);
     backends::SolveResult sr = solver.checkSmtLib(text, baseBudget());
-    if (problem.plan) completeModel(sr, *problem.plan);
+    if (keyed.plan) completeModel(sr, *keyed.plan);
     AnalysisResult result = finish(enc, sr, forVerify);
-    if (problem.plan) result.opt = problem.plan->stats;
+    if (keyed.plan) result.opt = keyed.plan->stats;
+    result.cacheKey = keyed.key;
+    maybeStore(keyed.key, result);
     finishPipeline(result, 1);
     return result;
   }
@@ -528,6 +687,21 @@ AnalysisResult Analysis::check(const Query& query) {
 
 AnalysisResult Analysis::verify(const Query& query) {
   return impl_->solveQuery(query, true);
+}
+
+std::optional<AnalysisResult> Analysis::probeCache(const Query& query,
+                                                   bool forVerify) {
+  if (!impl_->options.cache) return std::nullopt;
+  Encoding& enc = impl_->ensureEncoding();
+  // A cached answer is sound whichever backend produced it, so the probe
+  // tries every key the problem can be stored under — a portfolio race is
+  // short-circuited by a prior smtlib win just as well as a z3 one.
+  for (const char* backend : {"z3", "smtlib"}) {
+    const Impl::Keyed keyed =
+        impl_->keyedProblem(query, forVerify, enc, backend);
+    if (auto hit = impl_->tryCacheHit(keyed.key, enc, forVerify)) return hit;
+  }
+  return std::nullopt;
 }
 
 std::size_t Analysis::incrementalQueries() const {

@@ -18,6 +18,7 @@
 
 #include "backends/smtlib/smtlib_emitter.hpp"
 #include "backends/z3/z3_backend.hpp"
+#include "cache/verdict_cache.hpp"
 #include "core/encoding.hpp"
 #include "core/network.hpp"
 #include "opt/optimizer.hpp"
@@ -98,6 +99,18 @@ struct AnalysisOptions {
   /// exhausting memory or hanging. Zeroed fields disable individual caps;
   /// CompileBudget::unlimited() restores pre-governor behavior.
   CompileBudget budget;
+  /// Content-addressed verdict cache (DESIGN.md §14). When set, every
+  /// check/verify/solveViaSmtLib derives a canonical key from the
+  /// post-optimizer constraint set and consults the cache before opening a
+  /// solver session; conclusive, non-canceled verdicts are stored back.
+  /// Shared (it is thread-safe) across every engine of a run — sweep
+  /// points, race members, synth workers — and, via its disk tier, across
+  /// processes. Null disables caching entirely.
+  std::shared_ptr<cache::VerdictCache> cache;
+  /// Re-validate cached Sat/Violated hits by replaying their witness trace
+  /// through the concrete interpreter before trusting them (--cache-verify).
+  /// A divergence invalidates the entry and falls back to the cold path.
+  bool cacheVerify = false;
 };
 
 /// Derives the front-half (pipeline) options an AnalysisOptions implies —
@@ -117,6 +130,9 @@ enum class Verdict {
 };
 
 const char* verdictName(Verdict verdict);
+/// Inverse of verdictName; nullopt on an unrecognized name (callers treat
+/// that as cache corruption, not an error).
+std::optional<Verdict> parseVerdictName(const std::string& name);
 
 /// One rung of the Unknown-retry ladder, recorded for diagnosis: what was
 /// tried, with which budget, and how it ended.
@@ -160,6 +176,13 @@ struct AnalysisResult {
   /// the shared CompilationUnit plus this engine's encode/optimize/solve
   /// rows, snapshotted when the query finished.
   pipeline::PipelineStats pipeline;
+  /// True when this result was answered from the verdict cache (no solver
+  /// session was opened; solveSeconds is 0 and attempts is empty).
+  bool cached = false;
+  /// The content-addressed cache key this query mapped to (set whenever a
+  /// cache is configured, hit or miss). Workers report it so the
+  /// supervisor can populate the parent's cache.
+  std::string cacheKey;
 
   [[nodiscard]] bool sat() const { return verdict == Verdict::Satisfiable; }
   [[nodiscard]] bool holds() const { return verdict == Verdict::Verified; }
@@ -205,6 +228,14 @@ class Analysis {
   AnalysisResult check(const Query& query);
   /// Verification: do assumptions imply query ∧ all in-program asserts?
   AnalysisResult verify(const Query& query);
+
+  /// Cache-only probe: derives the query's cache key (building the
+  /// encoding and optimizer plan if needed) and returns the cached result
+  /// on a hit, nullopt on a miss — without ever opening a solver session.
+  /// The portfolio uses this to short-circuit a whole race. Nullopt when
+  /// no cache is configured.
+  std::optional<AnalysisResult> probeCache(const Query& query,
+                                           bool forVerify);
 
   /// Number of queries answered by the persistent incremental solver
   /// session (0 until the first check/verify).

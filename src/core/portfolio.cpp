@@ -73,12 +73,42 @@ PortfolioResult Portfolio::verify(const Query& query, const Workload& workload,
 PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
                                 const PortfolioOptions& opts,
                                 bool forVerify) {
+  // A warm cache answers before anything races: one probe engine derives
+  // the query's content key and, on a hit, the whole portfolio (member
+  // engines, threads, worker processes) is skipped. The probe never
+  // blocks the race — any failure just falls through to a normal start.
+  if (options_.cache) {
+    try {
+      Analysis probe(unit_, options_);
+      probe.setWorkload(workload);
+      if (auto hit = probe.probeCache(query, forVerify)) {
+        PortfolioResult result;
+        result.result = std::move(*hit);
+        result.winner = "cache";
+        PortfolioMemberReport report;
+        report.name = "cache";
+        report.verdict = verdictName(result.result.verdict);
+        report.started = true;
+        report.finished = true;
+        report.sound = true;
+        report.won = true;
+        report.cached = true;
+        result.members.push_back(std::move(report));
+        return result;
+      }
+    } catch (const std::exception&) {
+      // not probe-able (e.g. encoding failure the members will also hit
+      // and report properly) — run the race.
+    }
+  }
+
   using Race = jobs::RaceGroup<AnalysisResult>;
   std::vector<Race::Member> members;
   // Loser results are discarded by the race; their verdict names are
   // recorded out-of-band for the report. Indexed writes from distinct
   // members never alias.
   auto verdicts = std::make_shared<std::vector<std::string>>();
+  auto cachedFlags = std::make_shared<std::vector<char>>();
   auto isolation = std::make_shared<std::vector<MemberIsolation>>();
 
   // Isolation eligibility is a property of the whole problem: the query
@@ -103,7 +133,7 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
     members.push_back(Race::Member{
         std::move(name),
         [this, memberOptions, viaSmtLib, scope, forVerify, idx, verdicts,
-         isolation, isolate, &opts, &query,
+         cachedFlags, isolation, isolate, &opts, &query,
          &workload](jobs::JobContext& ctx) {
           AnalysisResult result;
           if (isolate) {
@@ -134,6 +164,13 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
               throw AnalysisError("worker returned no verdict");
             }
             result = procs::analysisFromWire(reply.verdicts.front());
+            if (memberOptions.cache) {
+              // The worker reported its cache key: feed the parent's
+              // memory tier so sibling members (and the next run) hit
+              // without a disk round-trip.
+              procs::populateCache(*memberOptions.cache,
+                                   reply.verdicts.front());
+            }
           } else {
             Analysis engine(unit_, memberOptions);
             const jobs::ScopedInterrupt guard(
@@ -147,6 +184,7 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
                                             : engine.check(query));
           }
           (*verdicts)[idx] = verdictName(result.verdict);
+          (*cachedFlags)[idx] = result.cached ? 1 : 0;
           return result;
         }});
   };
@@ -206,6 +244,7 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
   }
 
   verdicts->resize(members.size());
+  cachedFlags->resize(members.size());
   isolation->resize(members.size());
   const Race::Outcome outcome =
       Race::run(members, opts.threads, soundVerdict);
@@ -224,6 +263,7 @@ PortfolioResult Portfolio::race(const Query& query, const Workload& workload,
     report.won = m.won;
     report.error = m.error;
     report.seconds = m.seconds;
+    report.cached = (*cachedFlags)[i] != 0;
     report.isolated = (*isolation)[i].isolated;
     report.retries = (*isolation)[i].stats.retries;
     report.restarts = (*isolation)[i].stats.restarts;

@@ -73,6 +73,10 @@ struct PortfolioMemberReport {
   bool won = false;
   std::string error;
   double seconds = 0.0;
+  /// True when the member's answer came from the verdict cache — including
+  /// the synthetic "cache" member a pre-race hit reports as the sole
+  /// winner (the hit short-circuits the whole race).
+  bool cached = false;
   /// Crash-isolation accounting (zero / false on the in-process path).
   bool isolated = false;
   unsigned retries = 0;

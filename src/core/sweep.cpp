@@ -115,6 +115,15 @@ SweepResult HorizonSweep::run(const std::vector<Query>& queries,
           points[i].verdict = reply.verdicts[i].verdict;
           points[i].solveSeconds = reply.verdicts[i].solveSeconds;
           points[i].canceled = reply.verdicts[i].canceled;
+          points[i].cached = reply.verdicts[i].cached;
+        }
+        if (options_.cache) {
+          // The worker reported each verdict with its cache key; replay
+          // the conclusive ones into the parent's cache so later points
+          // (and later runs) hit in memory, not just via the disk tier.
+          for (const auto& wv : reply.verdicts) {
+            procs::populateCache(*options_.cache, wv);
+          }
         }
         incremental.fetch_add(reply.incrementalQueries);
       } else {
@@ -137,6 +146,7 @@ SweepResult HorizonSweep::run(const std::vector<Query>& queries,
           points[i].verdict = verdictName(r.verdict);
           points[i].solveSeconds = r.solveSeconds;
           points[i].canceled = r.canceled;
+          points[i].cached = r.cached;
         }
         incremental.fetch_add(engine.incrementalQueries());
       }

@@ -51,6 +51,9 @@ struct SweepPoint {
   /// Which worker answered this point (informational; the report content
   /// is shard-invariant).
   std::size_t shard = 0;
+  /// True when the point was answered from the verdict cache (in-process
+  /// or inside the isolated worker) instead of a solver session.
+  bool cached = false;
   /// Crash-isolation accounting for the point's horizon job (zero / false
   /// on the in-process path; identical for every point of one horizon).
   bool isolated = false;

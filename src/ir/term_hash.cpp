@@ -1,0 +1,106 @@
+#include "ir/term_hash.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace buffy::ir {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// One multiply + avalanche per 64-bit lane instead of the byte-at-a-time
+// FNV loop: key derivation sits on the cold solve path of every cached
+// query, and the lane-wise mix is ~8x cheaper while staying a pure
+// deterministic function of the value (cross-run stability is the only
+// contract; see the header).
+std::uint64_t mixU64(std::uint64_t h, std::uint64_t v) {
+  h = (h ^ v) * kFnvPrime;
+  h ^= h >> 31;
+  return h;
+}
+
+std::uint64_t mixBytes(std::uint64_t h, const std::string& s) {
+  h = mixU64(h, s.size());
+  std::size_t i = 0;
+  // Little-endian lane assembly via shifts (compilers lower this to a
+  // plain load); byte order is pinned so the hash never depends on host
+  // endianness.
+  for (; i + 8 <= s.size(); i += 8) {
+    std::uint64_t lane = 0;
+    for (int b = 0; b < 8; ++b) {
+      lane |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(s[i + static_cast<std::size_t>(b)]))
+              << (8 * b);
+    }
+    h = mixU64(h, lane);
+  }
+  if (i < s.size()) {
+    std::uint64_t lane = 0;
+    for (int b = 0; i < s.size(); ++i, ++b) {
+      lane |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[i]))
+              << (8 * b);
+    }
+    h = mixU64(h, lane);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool TermHasher::known(TermRef term) const {
+  return term->id < memo_.size() && memo_[term->id] != 0;
+}
+
+std::uint64_t TermHasher::hash(TermRef term) {
+  if (known(term)) return memo_[term->id];
+  // Iterative post-order: a frame is pushed once to expand its children
+  // and once more (expanded=true) to combine their memoized hashes.
+  struct Frame {
+    TermRef term;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+  stack.push_back({term, false});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (known(frame.term)) continue;
+    if (!frame.expanded) {
+      stack.push_back({frame.term, true});
+      for (const TermRef arg : frame.term->args) {
+        if (!known(arg)) stack.push_back({arg, false});
+      }
+      continue;
+    }
+    std::uint64_t h = kFnvOffset;
+    h = mixU64(h, (static_cast<std::uint64_t>(frame.term->kind) << 8) |
+                      static_cast<std::uint64_t>(frame.term->sort));
+    h = mixU64(h, static_cast<std::uint64_t>(frame.term->value));
+    h = mixBytes(h, frame.term->name);
+    h = mixU64(h, frame.term->args.size());
+    for (const TermRef arg : frame.term->args) h = mixU64(h, memo_[arg->id]);
+    if (h == 0) h = 1;  // 0 is the "unset" sentinel in the dense memo
+    if (frame.term->id >= memo_.size()) {
+      memo_.resize(std::max<std::size_t>(frame.term->id + 1,
+                                         memo_.size() * 2),
+                   0);
+    }
+    memo_[frame.term->id] = h;
+  }
+  return memo_[term->id];
+}
+
+std::uint64_t TermHasher::hashSet(std::span<const TermRef> terms) {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(terms.size());
+  for (const TermRef term : terms) hashes.push_back(hash(term));
+  std::sort(hashes.begin(), hashes.end());
+  std::uint64_t h = mixU64(kFnvOffset, hashes.size());
+  for (const std::uint64_t each : hashes) h = mixU64(h, each);
+  return h;
+}
+
+}  // namespace buffy::ir

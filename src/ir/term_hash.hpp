@@ -1,0 +1,46 @@
+// Canonical, cross-run-stable structural hashing over the term IR
+// (DESIGN.md §14). The hash of a term depends only on its kind, sort,
+// constant value, variable name, and the hashes of its arguments — never
+// on pointers, arena ids, or interning order — so two arenas that build
+// semantically identical DAGs (e.g. the same model recompiled in another
+// process) produce identical hashes. This is what makes the verdict
+// cache's keys content-addressed: a worker recompiling a WireJob from
+// source lands on the same key its parent computed.
+//
+// Assertion *sets* are hashed order-insensitively (per-assertion hashes
+// are sorted before combining) because the optimizer may emit the same
+// slice in a different order across sessions; duplicates still count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/term.hpp"
+
+namespace buffy::ir {
+
+/// Memoizing structural hasher. TermRefs are interned per-arena, so one
+/// hasher must only ever see terms from one arena (the memo is a dense
+/// array indexed by the per-arena term id — ids from a second arena would
+/// collide); the memo stays valid as the arena grows. Not thread-safe.
+class TermHasher {
+ public:
+  /// Structural 64-bit hash of one term (lane-wise FNV-style mixing over
+  /// the canonical encoding). Iterative — safe on ite/and chains deeper
+  /// than the stack.
+  std::uint64_t hash(TermRef term);
+
+  /// Order-insensitive, duplicate-sensitive hash of an assertion set.
+  std::uint64_t hashSet(std::span<const TermRef> terms);
+
+ private:
+  [[nodiscard]] bool known(TermRef term) const;
+
+  /// memo_[id] == 0 means "not hashed yet" (computed hashes are nudged
+  /// off 0). Dense id indexing makes the per-node probe an array read —
+  /// this sits on the cold path of every cached query.
+  std::vector<std::uint64_t> memo_;
+};
+
+}  // namespace buffy::ir

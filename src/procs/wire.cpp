@@ -277,6 +277,8 @@ std::string encodeVerdict(const WireVerdict& verdict) {
   map.setDouble("solveSeconds", verdict.solveSeconds);
   map.setBool("canceled", verdict.canceled);
   map.setBool("witnessChecked", verdict.witnessChecked);
+  map.set("cacheKey", verdict.cacheKey);
+  map.setBool("cached", verdict.cached);
   map.setUint("attempt.count", verdict.attempts.size());
   for (std::size_t i = 0; i < verdict.attempts.size(); ++i) {
     map.set(indexed("attempt", i), encodeAttempt(verdict.attempts[i]));
@@ -296,6 +298,8 @@ WireVerdict decodeVerdict(const std::string& bytes) {
   verdict.solveSeconds = map.getDouble("solveSeconds");
   verdict.canceled = map.getBool("canceled");
   verdict.witnessChecked = map.getBool("witnessChecked");
+  verdict.cacheKey = map.get("cacheKey");
+  verdict.cached = map.getBool("cached");
   const std::uint64_t attempts = map.getUint("attempt.count");
   for (std::size_t i = 0; i < attempts; ++i) {
     verdict.attempts.push_back(decodeAttempt(map.get(indexed("attempt", i))));
@@ -333,6 +337,10 @@ std::string encodeJob(const WireJob& job) {
   map.setBool("optEnabled", job.optEnabled);
   map.setBool("unrollLoops", job.unrollLoops);
   map.setBool("symbolicInitialState", job.symbolicInitialState);
+  map.setBool("cacheEnabled", job.cacheEnabled);
+  map.set("cacheDir", job.cacheDir);
+  map.setUint("cacheMaxDiskBytes", job.cacheMaxDiskBytes);
+  map.setBool("cacheVerify", job.cacheVerify);
   map.setUint("budget.maxNestingDepth", job.budget.maxNestingDepth);
   map.setUint("budget.maxExprTerms", job.budget.maxExprTerms);
   map.setUint("budget.maxAstNodes", job.budget.maxAstNodes);
@@ -375,6 +383,10 @@ WireJob decodeJob(const WireMap& map) {
   job.optEnabled = map.getBool("optEnabled");
   job.unrollLoops = map.getBool("unrollLoops");
   job.symbolicInitialState = map.getBool("symbolicInitialState");
+  job.cacheEnabled = map.getBool("cacheEnabled");
+  job.cacheDir = map.get("cacheDir");
+  job.cacheMaxDiskBytes = map.getUint("cacheMaxDiskBytes");
+  job.cacheVerify = map.getBool("cacheVerify");
   job.budget.maxNestingDepth = map.getUint("budget.maxNestingDepth");
   job.budget.maxExprTerms = map.getUint("budget.maxExprTerms");
   job.budget.maxAstNodes = map.getUint("budget.maxAstNodes");
@@ -487,6 +499,12 @@ void applyOptionsToJob(const core::AnalysisOptions& options, WireJob& job) {
   job.unrollLoops = options.unrollLoops;
   job.symbolicInitialState = options.symbolicInitialState;
   job.budget = options.budget;
+  if (options.cache) {
+    job.cacheEnabled = true;
+    job.cacheDir = options.cache->options().dir;
+    job.cacheMaxDiskBytes = options.cache->options().maxDiskBytes;
+  }
+  job.cacheVerify = options.cacheVerify;
   job.faults = faultsToWire(options.faultPlan);
 }
 
@@ -504,6 +522,13 @@ core::AnalysisOptions optionsFromJob(const WireJob& job) {
   options.unrollLoops = job.unrollLoops;
   options.symbolicInitialState = job.symbolicInitialState;
   options.budget = job.budget;
+  if (job.cacheEnabled) {
+    cache::VerdictCacheOptions copts;
+    copts.dir = job.cacheDir;
+    copts.maxDiskBytes = job.cacheMaxDiskBytes;
+    options.cache = std::make_shared<cache::VerdictCache>(std::move(copts));
+    options.cacheVerify = job.cacheVerify;
+  }
   options.faultPlan = faultPlanFromWire(job.faults);
   return options;
 }
@@ -519,6 +544,8 @@ WireVerdict wireFromAnalysis(const core::AnalysisResult& result) {
   wire.witnessChecked = result.witnessChecked;
   wire.attempts = result.attempts;
   wire.trace = result.trace;
+  wire.cacheKey = result.cacheKey;
+  wire.cached = result.cached;
   return wire;
 }
 
@@ -531,6 +558,8 @@ core::AnalysisResult analysisFromWire(const WireVerdict& wire) {
   result.witnessChecked = wire.witnessChecked;
   result.attempts = wire.attempts;
   result.trace = wire.trace;
+  result.cacheKey = wire.cacheKey;
+  result.cached = wire.cached;
   return result;
 }
 
@@ -544,6 +573,26 @@ core::Verdict verdictFromName(const std::string& name) {
     if (name == core::verdictName(v)) return v;
   }
   throw ProtocolError("unknown verdict name '" + name + "'");
+}
+
+void populateCache(cache::VerdictCache& cache, const WireVerdict& wire) {
+  if (wire.cacheKey.empty() || wire.canceled) return;
+  const auto verdict = core::parseVerdictName(wire.verdict);
+  if (!verdict) return;
+  switch (*verdict) {
+    case core::Verdict::Satisfiable:
+    case core::Verdict::Unsatisfiable:
+    case core::Verdict::Verified:
+    case core::Verdict::Violated: break;
+    default: return;
+  }
+  cache::CachedVerdict value;
+  value.verdict = wire.verdict;
+  value.detail = wire.detail;
+  value.solveSeconds = wire.solveSeconds;
+  value.witnessChecked = wire.witnessChecked;
+  value.trace = wire.trace;
+  cache.store(wire.cacheKey, value);
 }
 
 }  // namespace buffy::procs

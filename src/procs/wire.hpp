@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "backends/fault_plan.hpp"
+#include "cache/verdict_cache.hpp"
 #include "core/analysis.hpp"
 #include "core/network.hpp"
 #include "procs/protocol.hpp"
@@ -68,6 +69,17 @@ struct WireJob {
   bool symbolicInitialState = false;
   CompileBudget budget;
 
+  /// Verdict-cache configuration (DESIGN.md §14). The worker rebuilds its
+  /// own VerdictCache from these: the in-memory tier starts cold, but the
+  /// disk tier (cacheDir) is the same directory the parent uses, so a
+  /// worker both reads the parent's warm entries and leaves its own for
+  /// later runs. Keys are content-addressed over the recompiled terms, so
+  /// parent and worker land on identical keys by construction.
+  bool cacheEnabled = false;
+  std::string cacheDir;
+  std::uint64_t cacheMaxDiskBytes = 0;
+  bool cacheVerify = false;
+
   /// Fault-injection scope this job's engine runs under, and the full
   /// fault plan (worker-kind entries are interpreted by the worker loop
   /// keyed on (faultScope, attempt); solver-kind entries reach the
@@ -89,6 +101,12 @@ struct WireVerdict {
   bool witnessChecked = false;
   std::vector<core::SolveAttempt> attempts;
   std::optional<core::Trace> trace;
+  /// Content-addressed cache key the worker's engine derived for this
+  /// query ("" when the job ran uncached). The supervisor's caller uses it
+  /// to replay the verdict into the parent-side cache (populateCache).
+  std::string cacheKey;
+  /// True when the worker answered this query from its cache.
+  bool cached = false;
 };
 
 /// Whole-job reply.
@@ -140,5 +158,10 @@ core::AnalysisResult analysisFromWire(const WireVerdict& wire);
 /// Inverse of core::verdictName; throws ProtocolError on an unknown name
 /// (a garbled reply must not be mistaken for an answer).
 core::Verdict verdictFromName(const std::string& name);
+
+/// Replays a worker-reported verdict into a parent-side cache: conclusive,
+/// non-canceled verdicts carrying a cache key are stored; everything else
+/// is ignored. Safe to call on every reply verdict.
+void populateCache(cache::VerdictCache& cache, const WireVerdict& wire);
 
 }  // namespace buffy::procs

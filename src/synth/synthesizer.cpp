@@ -5,9 +5,12 @@
 #include <exception>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <random>
+#include <unordered_map>
 
+#include "ir/term_hash.hpp"
 #include "ir/term_printer.hpp"
 #include "jobs/job.hpp"
 #include "pipeline/driver.hpp"
@@ -363,6 +366,17 @@ SynthesisResult Synthesizer::run(const core::Query& query,
   std::vector<std::unique_ptr<core::Analysis>> engines(workers);
   jobs::JobPool pool;
 
+  // In-run negative cache (DESIGN.md §14): canonical workload-set hash ->
+  // (existsSat, forallHolds) of a prescreen-rejected candidate. One hasher
+  // per worker — each engine has its own arena, and a hasher's memo is
+  // only valid within one arena.
+  const bool negativeCacheOn = opts.negativeCache && opts.incremental &&
+                               opts.requireUniversal;
+  std::mutex negMutex;
+  std::unordered_map<std::uint64_t, std::pair<bool, bool>> negCache;
+  std::atomic<int> prescreenCacheHits{0};
+  std::vector<ir::TermHasher> hashers(workers);
+
   auto evaluate = [&](jobs::JobContext& ctx, core::Analysis* engine,
                       std::size_t idx) {
     const auto candidateStart = std::chrono::steady_clock::now();
@@ -401,6 +415,34 @@ SynthesisResult Synthesizer::run(const core::Query& query,
       candidate.assignment = assignments[idx];
 
       bool existsConfirmed = false;
+      bool bound = false;
+      std::optional<std::uint64_t> negKey;
+      if (negativeCacheOn && prescreenable && !prescreenBroken.load()) {
+        // Bind the candidate's workload early so its constraint set can be
+        // hashed; the rebind is reused by the solver setup below.
+        stage = "setup";
+        engine->rebindWorkload(workloadFor(candidate.assignment));
+        bound = true;
+        negKey = hashers[ctx.worker()].hashSet(
+            engine->encoding().workloadTerms);
+        std::lock_guard<std::mutex> lock(negMutex);
+        const auto it = negCache.find(*negKey);
+        if (it != negCache.end()) {
+          // A structurally identical candidate was already rejected: its
+          // counterexample trace conforms to this one too.
+          candidate.existsSat = it->second.first;
+          candidate.forallHolds = it->second.second;
+          candidate.prescreened = true;
+          candidate.seconds =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - candidateStart)
+                  .count();
+          prescreenCacheHits.fetch_add(1);
+          prescreenRejected.fetch_add(1);
+          slots[idx] = std::move(candidate);
+          return;
+        }
+      }
       if (prescreenable && !prescreenBroken.load()) {
         stage = "prescreen";
         const ScreenResult screen =
@@ -414,6 +456,12 @@ SynthesisResult Synthesizer::run(const core::Query& query,
                   std::chrono::steady_clock::now() - candidateStart)
                   .count();
           prescreenRejected.fetch_add(1);
+          if (negKey) {
+            std::lock_guard<std::mutex> lock(negMutex);
+            negCache.emplace(*negKey,
+                             std::make_pair(candidate.existsSat,
+                                            candidate.forallHolds));
+          }
           slots[idx] = std::move(candidate);
           return;
         }
@@ -434,7 +482,7 @@ SynthesisResult Synthesizer::run(const core::Query& query,
           fresh->setWorkload(workloadFor(candidate.assignment));
           engine = fresh.get();
           guard.emplace(ctx, [engine] { engine->interrupt(); });
-        } else {
+        } else if (!bound) {
           engine->rebindWorkload(workloadFor(candidate.assignment));
         }
         // Injected faults are keyed by candidate index, not by worker or
@@ -509,6 +557,7 @@ SynthesisResult Synthesizer::run(const core::Query& query,
   result.candidatesChecked = static_cast<int>(pool.completed());
   result.prescreenRejected = prescreenRejected.load();
   result.prescreenWitnessed = prescreenWitnessed.load();
+  result.prescreenCacheHits = prescreenCacheHits.load();
   const std::size_t cutoff = opts.firstOnly ? pool.cutoff() : jobs::JobPool::kNone;
   for (std::size_t i = 0; i < total && i <= cutoff; ++i) {
     if (slots[i]) {

@@ -76,6 +76,15 @@ struct SynthesisOptions {
   /// Seed for the per-candidate trace sampler. Candidate index is mixed
   /// in, so the batch is deterministic under any thread count.
   unsigned prescreenSeed = 12345;
+  /// Negative-cache prescreen rejections within a run (DESIGN.md §14),
+  /// keyed by the canonical hash of the candidate's workload constraint
+  /// set: two candidates whose assignments produce structurally identical
+  /// workload terms (e.g. grammar entries that encode the same
+  /// constraints) share one rejection — the later one is decided without
+  /// sampling or solving. Sound because identical constraint sets have
+  /// identical trace sets, so a conforming counterexample for one rejects
+  /// both. Incremental mode + requireUniversal only.
+  bool negativeCache = true;
 };
 
 struct Candidate {
@@ -137,6 +146,10 @@ struct SynthesisResult {
   /// Exists-direction SMT queries skipped because a sampled trace already
   /// witnessed satisfiability.
   int prescreenWitnessed = 0;
+  /// Candidates rejected straight from the in-run negative cache (a
+  /// structurally identical earlier candidate was already prescreen-
+  /// rejected) — a subset of prescreenRejected.
+  int prescreenCacheHits = 0;
   double totalSeconds = 0.0;
   /// Encoding-optimizer accounting from the earliest (by enumeration
   /// order) conclusively evaluated candidate's ∃ query — representative of

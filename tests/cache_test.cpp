@@ -1,0 +1,653 @@
+// Verdict cache (DESIGN.md §14): key derivation, the checksummed record
+// codec, both tiers of cache::VerdictCache, corruption fallback, and the
+// end-to-end cold-vs-warm differential across every example model and
+// backend — warm answers must be byte-identical to cold ones, and a
+// damaged cache must silently fall back to solving, never to a wrong
+// answer.
+#include "cache/verdict_cache.hpp"
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "ir/term_hash.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace buffy {
+namespace {
+
+using buffy::testing::schedulerNet;
+
+#ifndef BUFFY_CLI_PATH
+#error "BUFFY_CLI_PATH must be defined by the build"
+#endif
+#ifndef BUFFY_MODELS_DIR
+#error "BUFFY_MODELS_DIR must be defined by the build"
+#endif
+
+// ---------------------------------------------------------------------------
+// Canonical term hashing
+
+TEST(TermHash, StableAcrossArenas) {
+  // The same structure built in two independent arenas (different pointer
+  // identities, different intern order) must hash identically — that is
+  // what makes the key survive a process boundary.
+  ir::TermArena a;
+  ir::TermArena b;
+  const ir::TermRef ta =
+      a.le(a.add(a.var("x", ir::Sort::Int), a.intConst(1)), a.intConst(5));
+  // Interleave unrelated terms so arena ids diverge.
+  (void)b.var("noise", ir::Sort::Bool);
+  (void)b.intConst(42);
+  const ir::TermRef tb =
+      b.le(b.add(b.var("x", ir::Sort::Int), b.intConst(1)), b.intConst(5));
+  ir::TermHasher ha;
+  ir::TermHasher hb;
+  EXPECT_EQ(ha.hash(ta), hb.hash(tb));
+
+  const ir::TermRef other =
+      b.le(b.add(b.var("y", ir::Sort::Int), b.intConst(1)), b.intConst(5));
+  EXPECT_NE(hb.hash(tb), hb.hash(other));
+}
+
+TEST(TermHash, SetHashIsOrderInsensitive) {
+  ir::TermArena a;
+  const ir::TermRef t1 = a.ge(a.var("p", ir::Sort::Int), a.intConst(0));
+  const ir::TermRef t2 = a.lt(a.var("q", ir::Sort::Int), a.intConst(9));
+  ir::TermHasher h;
+  const std::array<ir::TermRef, 2> fwd = {t1, t2};
+  const std::array<ir::TermRef, 2> rev = {t2, t1};
+  EXPECT_EQ(h.hashSet(fwd), h.hashSet(rev));
+  const std::array<ir::TermRef, 1> just1 = {t1};
+  EXPECT_NE(h.hashSet(fwd), h.hashSet(just1));
+}
+
+// ---------------------------------------------------------------------------
+// Key derivation
+
+TEST(CacheKey, DeterministicAndSensitiveToEveryPart) {
+  cache::CacheKeyParts parts;
+  parts.problemHash = 0x1234;
+  parts.query = "q[T-1] >= 1";
+  parts.horizon = 6;
+  parts.backend = "z3";
+  const std::string base = cache::cacheKeyFor(parts);
+  EXPECT_EQ(base.size(), 32u);
+  EXPECT_EQ(base, cache::cacheKeyFor(parts));
+
+  auto differs = [&](cache::CacheKeyParts p) {
+    EXPECT_NE(cache::cacheKeyFor(p), base);
+  };
+  {
+    auto p = parts;
+    p.problemHash ^= 1;
+    differs(p);
+  }
+  {
+    auto p = parts;
+    p.query += " ";
+    differs(p);
+  }
+  {
+    auto p = parts;
+    p.horizon = 7;
+    differs(p);
+  }
+  {
+    auto p = parts;
+    p.forVerify = true;
+    differs(p);
+  }
+  {
+    auto p = parts;
+    p.backend = "smtlib";
+    differs(p);
+  }
+  {
+    auto p = parts;
+    p.model = 1;
+    differs(p);
+  }
+  {
+    auto p = parts;
+    p.symbolicInitialState = true;
+    differs(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+
+cache::CachedVerdict sampleVerdict() {
+  cache::CachedVerdict v;
+  v.verdict = "SATISFIABLE";
+  v.detail = "sat in 1 attempt";
+  v.solveSeconds = 0.125;
+  v.witnessChecked = true;
+  core::Trace trace;
+  trace.horizon = 3;
+  trace.series["fq.cdeq.0"] = {0, 1, 2};
+  trace.series["fq.ibs.0.arrived"] = {1, 1, 0};
+  v.trace = trace;
+  return v;
+}
+
+TEST(Record, RoundTripsWithTrace) {
+  const std::string key(32, 'a');
+  const cache::CachedVerdict in = sampleVerdict();
+  const std::string bytes = cache::VerdictCache::encodeRecord(key, in);
+  const auto out = cache::VerdictCache::decodeRecord(key, bytes);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->verdict, in.verdict);
+  EXPECT_EQ(out->detail, in.detail);
+  EXPECT_DOUBLE_EQ(out->solveSeconds, in.solveSeconds);
+  EXPECT_TRUE(out->witnessChecked);
+  ASSERT_TRUE(out->trace.has_value());
+  EXPECT_EQ(out->trace->horizon, 3);
+  EXPECT_EQ(out->trace->series, in.trace->series);
+}
+
+TEST(Record, RejectsEveryMalformation) {
+  const std::string key(32, 'b');
+  const std::string bytes =
+      cache::VerdictCache::encodeRecord(key, sampleVerdict());
+
+  // Truncation at every prefix length must read as corrupt, not crash.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{4}, std::size_t{11}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    EXPECT_FALSE(
+        cache::VerdictCache::decodeRecord(key, bytes.substr(0, len)))
+        << "truncated to " << len;
+  }
+  // A single flipped byte anywhere breaks the checksum (or the framing).
+  for (const std::size_t pos :
+       {std::size_t{0}, std::size_t{9}, bytes.size() / 2, bytes.size() - 1}) {
+    std::string bad = bytes;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0xff);
+    EXPECT_FALSE(cache::VerdictCache::decodeRecord(key, bad))
+        << "flipped byte " << pos;
+  }
+  // A record copied to another key's filename must not be served.
+  EXPECT_FALSE(cache::VerdictCache::decodeRecord(std::string(32, 'c'), bytes));
+  // Trailing garbage after a valid record is framing corruption.
+  EXPECT_FALSE(cache::VerdictCache::decodeRecord(key, bytes + "x"));
+}
+
+// ---------------------------------------------------------------------------
+// VerdictCache tiers
+
+std::string freshDir(const char* stem) {
+  static int counter = 0;
+  const std::string dir = ::testing::TempDir() + "buffy_cache_" + stem + "_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+TEST(VerdictCache, MemoryTierLruEvicts) {
+  cache::VerdictCacheOptions opts;
+  opts.maxMemoryEntries = 2;
+  cache::VerdictCache c(opts);
+  const cache::CachedVerdict v = sampleVerdict();
+  c.store(std::string(32, '1'), v);
+  c.store(std::string(32, '2'), v);
+  // Touch key 1 so key 2 is the LRU victim.
+  EXPECT_TRUE(c.lookup(std::string(32, '1')).has_value());
+  c.store(std::string(32, '3'), v);
+  EXPECT_TRUE(c.lookup(std::string(32, '1')).has_value());
+  EXPECT_FALSE(c.lookup(std::string(32, '2')).has_value());
+  EXPECT_TRUE(c.lookup(std::string(32, '3')).has_value());
+  const cache::CacheStats s = c.stats();
+  EXPECT_EQ(s.stores, 3u);
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(VerdictCache, DiskTierSurvivesInstances) {
+  const std::string dir = freshDir("disk");
+  const std::string key(32, 'd');
+  {
+    cache::VerdictCacheOptions opts;
+    opts.dir = dir;
+    cache::VerdictCache writer(opts);
+    writer.store(key, sampleVerdict());
+  }
+  cache::VerdictCacheOptions opts;
+  opts.dir = dir;
+  cache::VerdictCache reader(opts);
+  const auto hit = reader.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->verdict, "SATISFIABLE");
+  ASSERT_TRUE(hit->trace.has_value());
+  EXPECT_EQ(hit->trace->horizon, 3);
+  EXPECT_EQ(reader.stats().hits, 1u);
+}
+
+TEST(VerdictCache, CorruptDiskRecordReadsAsMissAndIsDeleted) {
+  const std::string dir = freshDir("corrupt");
+  const std::string key(32, 'e');
+  cache::VerdictCacheOptions opts;
+  opts.dir = dir;
+  {
+    cache::VerdictCache writer(opts);
+    writer.store(key, sampleVerdict());
+  }
+  // Flip one payload byte on disk.
+  cache::VerdictCache victim(opts);
+  const std::string path = victim.pathFor(key);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string bytes = ss.str();
+    ASSERT_GT(bytes.size(), 16u);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x1);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(victim.lookup(key).has_value());
+  const cache::CacheStats s = victim.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.validationFailures, 1u);
+  // The poisoned record was unlinked; the next instance sees a clean miss.
+  cache::VerdictCache after(opts);
+  EXPECT_FALSE(after.lookup(key).has_value());
+  EXPECT_EQ(after.stats().validationFailures, 0u);
+
+  // Truncation is handled the same way.
+  {
+    cache::VerdictCache writer(opts);
+    writer.store(key, sampleVerdict());
+    writer.flushDisk();  // stores are write-behind; land it before reading
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string bytes = ss.str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  cache::VerdictCache truncated(opts);
+  EXPECT_FALSE(truncated.lookup(key).has_value());
+  EXPECT_EQ(truncated.stats().validationFailures, 1u);
+}
+
+TEST(VerdictCache, DiskEvictionRespectsCap) {
+  const std::string dir = freshDir("evict");
+  cache::VerdictCacheOptions opts;
+  opts.dir = dir;
+  // Records are a few hundred bytes; cap at ~3 of them.
+  const std::string oneRecord = cache::VerdictCache::encodeRecord(
+      std::string(32, 'x'), sampleVerdict());
+  opts.maxDiskBytes = oneRecord.size() * 3;
+  cache::VerdictCache c(opts);
+  for (char k = 'a'; k <= 'j'; ++k) {
+    c.store(std::string(32, k), sampleVerdict());
+  }
+  c.flushDisk();  // stores are write-behind; land them before counting
+  EXPECT_GT(c.stats().evictions, 0u);
+  // The surviving files fit the cap.
+  std::uint64_t total = 0;
+  int files = 0;
+  for (char k = 'a'; k <= 'j'; ++k) {
+    std::ifstream in(c.pathFor(std::string(32, k)), std::ios::binary);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    total += ss.str().size();
+    ++files;
+  }
+  EXPECT_GT(files, 0);
+  EXPECT_LT(files, 10);
+  EXPECT_LE(total, opts.maxDiskBytes);
+}
+
+TEST(VerdictCache, ConcurrentWritersStayConsistent) {
+  const std::string dir = freshDir("race");
+  cache::VerdictCacheOptions opts;
+  opts.dir = dir;
+  // Hammer one shared directory from several cache instances (the
+  // worker-process topology) and several threads per instance: every
+  // lookup must return either a miss or an intact record.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> badReads{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      cache::VerdictCache mine(opts);
+      for (int r = 0; r < kRounds; ++r) {
+        const std::string key(32, static_cast<char>('a' + (r + t) % 4));
+        mine.store(key, sampleVerdict());
+        const auto hit = mine.lookup(key);
+        if (hit && hit->verdict != "SATISFIABLE") badReads.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(badReads.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: cold solve vs warm hit through core::Analysis
+
+TEST(AnalysisCache, WarmEngineReturnsIdenticalAnswer) {
+  core::AnalysisOptions opts;
+  opts.horizon = 5;
+  opts.cache = std::make_shared<cache::VerdictCache>();
+  const core::Query query = core::Query::expr("fq.cdeq.0[T-1] >= T-1");
+  const core::Workload workload =
+      buffy::testing::starvationWorkload("fq", opts.horizon);
+
+  core::Analysis cold(schedulerNet(models::kFairQueueBuggy, "fq", 2), opts);
+  cold.setWorkload(workload);
+  const core::AnalysisResult a = cold.check(query);
+  EXPECT_FALSE(a.cached);
+  EXPECT_FALSE(a.cacheKey.empty());
+
+  // A fresh engine sharing the cache answers without a solver round-trip.
+  core::Analysis warm(schedulerNet(models::kFairQueueBuggy, "fq", 2), opts);
+  warm.setWorkload(workload);
+  const core::AnalysisResult b = warm.check(query);
+  EXPECT_TRUE(b.cached);
+  EXPECT_EQ(b.cacheKey, a.cacheKey);
+  EXPECT_EQ(b.verdict, a.verdict);
+  ASSERT_EQ(a.trace.has_value(), b.trace.has_value());
+  if (a.trace) {
+    EXPECT_EQ(a.trace->horizon, b.trace->horizon);
+    EXPECT_EQ(a.trace->series, b.trace->series);
+  }
+  EXPECT_EQ(opts.cache->stats().hits, 1u);
+
+  // A different workload is a different problem — no false sharing.
+  core::Analysis other(schedulerNet(models::kFairQueueBuggy, "fq", 2), opts);
+  other.setWorkload(core::Workload{});
+  const core::AnalysisResult c = other.check(query);
+  EXPECT_FALSE(c.cached);
+  EXPECT_NE(c.cacheKey, a.cacheKey);
+}
+
+// ---------------------------------------------------------------------------
+// Synthesizer negative cache
+
+TEST(SynthCache, DuplicateCandidatesHitNegativeCache) {
+  core::AnalysisOptions opts;
+  opts.horizon = 4;
+  synth::Synthesizer synthesizer(
+      schedulerNet(models::kStrictPriority, "sp", 2), opts);
+  const core::Query query = core::Query::expr("sp.cdeq.0[T-1] == T");
+
+  // "None" appears twice: the duplicated assignments produce structurally
+  // identical workload constraint sets, so every prescreen-rejected
+  // candidate's twin must be decided from the negative cache.
+  synth::SynthesisOptions sopts;
+  sopts.grammar = {synth::Pattern::None, synth::Pattern::None,
+                   synth::Pattern::ExactlyOnePerStep};
+  const auto cached = synthesizer.run(query, sopts);
+  EXPECT_GT(cached.prescreenCacheHits, 0);
+
+  synth::SynthesisOptions nocache = sopts;
+  nocache.negativeCache = false;
+  const auto plain = synthesizer.run(query, nocache);
+  EXPECT_EQ(plain.prescreenCacheHits, 0);
+
+  // Identical reports either way: same solutions, same conclusive counts.
+  ASSERT_EQ(cached.solutions.size(), plain.solutions.size());
+  for (std::size_t i = 0; i < cached.solutions.size(); ++i) {
+    EXPECT_EQ(cached.solutions[i].describe(), plain.solutions[i].describe());
+  }
+  EXPECT_EQ(cached.solvedCount, plain.solvedCount);
+  EXPECT_EQ(cached.prescreenRejected, plain.prescreenRejected);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end differential: cold vs warm through the CLI
+
+struct CommandResult {
+  int exitCode = -1;
+  std::string output;
+};
+
+CommandResult runCli(const std::string& args) {
+  const std::string command =
+      std::string(BUFFY_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CommandResult result;
+  std::array<char, 4096> buffer{};
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exitCode = WEXITSTATUS(status);
+  return result;
+}
+
+std::string model(const char* name) {
+  return std::string(BUFFY_MODELS_DIR) + "/" + name + ".bfy";
+}
+
+/// Extracts the value of a top-level-ish JSON string field (the reports
+/// are flat enough for a textual scan).
+std::string jsonField(const std::string& json, const std::string& field) {
+  const std::string needle = "\"" + field + "\":\"";
+  const auto pos = json.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = json.find('"', start);
+  return json.substr(start, end - start);
+}
+
+/// The "trace":{...} object, byte-for-byte (empty when absent).
+std::string traceBlock(const std::string& json) {
+  const auto pos = json.find("\"trace\":");
+  if (pos == std::string::npos) return {};
+  return json.substr(pos);
+}
+
+struct ModelConfig {
+  const char* name;
+  const char* args;
+  const char* query;
+};
+
+// The golden_test per-model configurations: small horizons, every model.
+constexpr ModelConfig kModels[] = {
+    {"aimd",
+     "-T 4 -D RTO=3 --input ind:8:2 --input inack:8:2 --output out:16 "
+     "--output ackdrain:16",
+     "aimd.mcwnd[T-1] >= 0"},
+    {"delay_server", "-T 4 --input din:8:2 --output dout:16",
+     "delay.mreleased[T-1] >= 0"},
+    {"drr", "-T 4 -D N=2 -D QUANTUM=2 --input ibs:6:2 --output ob:16",
+     "drr.bdeq.0[T-1] >= 0"},
+    {"fq_buggy", "-T 5 -D N=2 --input ibs:6:3 --output ob:32",
+     "fq.cdeq.0[T-1] >= T-1"},
+    {"fq_fixed", "-T 5 -D N=2 --input ibs:6:3 --output ob:32",
+     "fq.cdeq.0[T-1] >= T-1"},
+    {"path_server",
+     "-T 4 -D RATE=1 -D BUCKET=2 --input pin:8:2 --output pout:16",
+     "path.mserved[T-1] >= 0"},
+    {"round_robin", "-T 4 -D N=2 --input ibs:6:2 --output ob:16",
+     "rr.cdeq.0[T-1] >= 0"},
+    {"strict_priority", "-T 4 -D N=2 --input ibs:6:2 --output ob:16",
+     "sp.cdeq.0[T-1] >= 0"},
+};
+
+TEST(CacheCli, ColdWarmVerdictsIdenticalAcrossModelsAndBackends) {
+  for (const auto& m : kModels) {
+    for (const char* backend : {"z3", "smtlib"}) {
+      const std::string dir =
+          freshDir((std::string("cli_") + m.name + "_" + backend).c_str());
+      const std::string cmd = std::string("check ") + m.args + " --query \"" +
+                              m.query + "\" --backend " + backend +
+                              " --cache-dir " + dir + " --json " +
+                              model(m.name);
+      const CommandResult cold = runCli(cmd);
+      const CommandResult warm = runCli(cmd);
+      SCOPED_TRACE(std::string(m.name) + " / " + backend);
+      EXPECT_EQ(cold.exitCode, warm.exitCode) << warm.output;
+      EXPECT_EQ(jsonField(cold.output, "verdict"),
+                jsonField(warm.output, "verdict"))
+          << cold.output << "\n----\n" << warm.output;
+      EXPECT_NE(cold.output.find("\"cached\":false"), std::string::npos)
+          << cold.output;
+      EXPECT_NE(warm.output.find("\"cached\":true"), std::string::npos)
+          << warm.output;
+      // The witness trace replays byte-identically from the record.
+      EXPECT_EQ(traceBlock(cold.output), traceBlock(warm.output));
+    }
+  }
+}
+
+TEST(CacheCli, RaceIsolateColdWarmIdentical) {
+  const std::string dir = freshDir("race_isolate");
+  const std::string cmd =
+      "check -T 5 -D N=2 --input ibs:6:3 --output ob:32 "
+      "--workload fq.ibs.0:0:1 --query \"fq.cdeq.0[T-1] >= T-1\" "
+      "--race --isolate --cache-dir " +
+      dir + " --json " + model("fq_buggy");
+  const CommandResult cold = runCli(cmd);
+  const CommandResult warm = runCli(cmd);
+  EXPECT_EQ(cold.exitCode, warm.exitCode) << warm.output;
+  EXPECT_EQ(jsonField(cold.output, "verdict"),
+            jsonField(warm.output, "verdict"))
+      << cold.output << "\n----\n" << warm.output;
+  // The warm race is short-circuited by the pre-race probe: the synthetic
+  // "cache" member is the sole, winning entrant.
+  EXPECT_EQ(jsonField(warm.output, "winner"), "cache") << warm.output;
+  EXPECT_EQ(traceBlock(cold.output), traceBlock(warm.output));
+}
+
+TEST(CacheCli, SweepShardsColdWarmIdentical) {
+  const std::string dir = freshDir("sweep_shards");
+  const std::string cmd =
+      "check -D N=2 --input ibs:6:3 --output ob:32 "
+      "--workload fq.ibs.0:0:1 --query \"fq.cdeq.0[T-1] >= T-1\" "
+      "--sweep 2:5 --shards 2 --cache-dir " +
+      dir + " --json " + model("fq_buggy");
+  const CommandResult cold = runCli(cmd);
+  const CommandResult warm = runCli(cmd);
+  EXPECT_EQ(cold.exitCode, warm.exitCode) << warm.output;
+  // Identical per-point verdict sequences; every warm point is a hit.
+  auto verdicts = [](const std::string& out) {
+    std::string all;
+    std::size_t pos = 0;
+    while ((pos = out.find("\"verdict\":\"", pos)) != std::string::npos) {
+      const auto start = pos + 11;
+      const auto end = out.find('"', start);
+      all += out.substr(start, end - start) + ";";
+      pos = end;
+    }
+    return all;
+  };
+  EXPECT_EQ(verdicts(cold.output), verdicts(warm.output))
+      << cold.output << "\n----\n" << warm.output;
+  EXPECT_EQ(warm.output.find("\"cached\":false"), std::string::npos)
+      << warm.output;
+  EXPECT_NE(warm.output.find("\"hits\":4"), std::string::npos) << warm.output;
+}
+
+TEST(CacheCli, PoisonedCacheDirFallsBackCold) {
+  const std::string dir = freshDir("poison");
+  const std::string cmd =
+      "check -T 5 -D N=2 --input ibs:6:3 --output ob:32 "
+      "--workload fq.ibs.0:0:1 --query \"fq.cdeq.0[T-1] >= T-1\" "
+      "--cache-dir " +
+      dir + " --json " + model("fq_buggy");
+  const CommandResult cold = runCli(cmd);
+  // Corrupt every record in the directory (overwrite one payload byte).
+  {
+    const std::string script = "for f in " + dir +
+                               "/*.bfc; do printf 'X' | dd of=\"$f\" bs=1 "
+                               "seek=12 count=1 conv=notrunc 2>/dev/null; done";
+    EXPECT_EQ(std::system(script.c_str()), 0);
+  }
+  const CommandResult warm = runCli(cmd);
+  EXPECT_EQ(cold.exitCode, warm.exitCode) << warm.output;
+  EXPECT_EQ(jsonField(cold.output, "verdict"),
+            jsonField(warm.output, "verdict"));
+  // The poisoned record was detected, never served.
+  EXPECT_NE(warm.output.find("\"cached\":false"), std::string::npos)
+      << warm.output;
+  EXPECT_NE(warm.output.find("\"validationFailures\":1"), std::string::npos)
+      << warm.output;
+}
+
+TEST(CacheCli, FlagValidationExitsTwo) {
+  const std::string m = model("fq_buggy");
+  // Missing directory.
+  EXPECT_EQ(runCli("check --cache-dir /nonexistent/definitely " + m).exitCode,
+            2);
+  // A file is not a directory.
+  const std::string dir = freshDir("flags");
+  const std::string file = dir + "/afile";
+  { std::ofstream(file) << "x"; }
+  EXPECT_EQ(runCli("check --cache-dir " + file + " " + m).exitCode, 2);
+  // Unwritable directory (root bypasses permission checks — skip there).
+  if (::geteuid() != 0) {
+    const std::string ro = freshDir("ro");
+    ::chmod(ro.c_str(), 0555);
+    EXPECT_EQ(runCli("check --cache-dir " + ro + " " + m).exitCode, 2);
+    ::chmod(ro.c_str(), 0755);
+  }
+  // Bad sizes: zero, negative, junk, trailing junk.
+  for (const char* bad : {"0", "-5", "junk", "12mb", ""}) {
+    EXPECT_EQ(runCli("check --cache-dir " + dir + " --cache-max-mb \"" +
+                     std::string(bad) + "\" " + m)
+                  .exitCode,
+              2)
+        << bad;
+  }
+  // --cache-max-mb without --cache-dir, and --no-cache conflicts.
+  EXPECT_EQ(runCli("check --cache-max-mb 10 " + m).exitCode, 2);
+  EXPECT_EQ(runCli("check --no-cache --cache-dir " + dir + " " + m).exitCode,
+            2);
+  EXPECT_EQ(runCli("check --no-cache --cache-verify " + m).exitCode, 2);
+}
+
+TEST(CacheCli, NoCacheDisablesReporting) {
+  const CommandResult r = runCli(
+      "check -T 4 -D N=2 --input ibs:6:2 --output ob:16 "
+      "--query \"sp.cdeq.0[T-1] >= 0\" --no-cache --json " +
+      model("strict_priority"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_EQ(r.output.find("\"cache\":{"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("\"cacheKey\""), std::string::npos) << r.output;
+}
+
+TEST(CacheCli, CacheVerifyReplaysWitnessOnHit) {
+  const std::string dir = freshDir("verify_hit");
+  const std::string cmd =
+      "check -T 5 -D N=2 --input ibs:6:3 --output ob:32 "
+      "--workload fq.ibs.0:0:1 --query \"fq.cdeq.0[T-1] >= T-1\" "
+      "--cache-dir " +
+      dir + " --cache-verify --json " + model("fq_buggy");
+  const CommandResult cold = runCli(cmd);
+  const CommandResult warm = runCli(cmd);
+  EXPECT_EQ(jsonField(warm.output, "verdict"),
+            jsonField(cold.output, "verdict"));
+  EXPECT_NE(warm.output.find("\"cached\":true"), std::string::npos)
+      << warm.output;
+  EXPECT_NE(warm.output.find("\"witnessChecked\":true"), std::string::npos)
+      << warm.output;
+}
+
+}  // namespace
+}  // namespace buffy

@@ -1,4 +1,7 @@
 // End-to-end tests of the `buffy` command-line driver (tools/buffy_cli).
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <string>
@@ -63,6 +66,29 @@ TEST(Cli, PrintRoundTrips) {
             std::string::npos)
       << result.output;
   EXPECT_NE(result.output.find("move-p(ibs[i], ob, 1);"), std::string::npos);
+}
+
+TEST(Cli, WarmCacheRepeatsVerdict) {
+  // Tier-1 smoke for the verdict cache (DESIGN.md §14): the second run
+  // answers from the --cache-dir record with the identical verdict.
+  const std::string dir = testing::TempDir() + "buffy_cli_cache_smoke_" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string cmd =
+      "check -T 4 -D N=2 --input ibs:6:2 --output ob:16 "
+      "--query \"sp.cdeq.0[T-1] >= 0\" --cache-dir " +
+      dir + " --json " + model("strict_priority.bfy");
+  const auto cold = runCli(cmd);
+  const auto warm = runCli(cmd);
+  EXPECT_EQ(cold.exitCode, 0) << cold.output;
+  EXPECT_EQ(warm.exitCode, 0) << warm.output;
+  EXPECT_NE(cold.output.find("\"cached\":false"), std::string::npos)
+      << cold.output;
+  EXPECT_NE(warm.output.find("\"cached\":true"), std::string::npos)
+      << warm.output;
+  EXPECT_NE(warm.output.find("\"verdict\":\"SATISFIABLE\""),
+            std::string::npos)
+      << warm.output;
 }
 
 TEST(Cli, CheckFindsStarvation) {

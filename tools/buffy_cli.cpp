@@ -55,6 +55,15 @@
 //   --no-retry            disable the Unknown retry/escalation ladder
 //   --no-replay           disable the witness-replay cross-check
 //   --no-opt              disable the encoding optimizer (DESIGN.md §9)
+//   --no-cache            disable the verdict cache (DESIGN.md §14); the
+//                         in-memory tier is otherwise always on
+//   --cache-dir DIR       persist cache records under DIR (shared across
+//                         runs and processes; must already exist and be
+//                         writable — validated before any work starts)
+//   --cache-max-mb N      on-disk cache cap in MiB (1..1048576, needs
+//                         --cache-dir); oldest records are evicted first
+//   --cache-verify        re-validate witness-bearing cache hits by
+//                         replaying the cached trace before trusting them
 //   --full-trace          render every series (incl. packet fields)
 //   --format table|csv|json  trace/result output format
 //   --json                shorthand for --format json
@@ -91,6 +100,10 @@
 //                         solver check in scope, worker kinds crash|hang|
 //                         garble|partial hit the job whose retry attempt
 //                         ordinal is nth in scope (DESIGN.md §8, §13)
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -98,6 +111,8 @@
 #include <set>
 #include <fstream>
 #include <sstream>
+
+#include "cache/verdict_cache.hpp"
 
 #include "backends/chc/chc_backend.hpp"
 #include "backends/dafny/dafny_emitter.hpp"
@@ -195,6 +210,14 @@ struct Options {
   bool noRetry = false;
   bool noReplay = false;
   bool noOpt = false;
+  /// Verdict cache (DESIGN.md §14): --no-cache disables both tiers,
+  /// --cache-dir adds the persistent disk tier (validated at parse time),
+  /// --cache-max-mb caps it, --cache-verify replays cached witnesses
+  /// before trusting a hit.
+  bool noCache = false;
+  std::string cacheDir;
+  std::uint64_t cacheMaxMb = 0;
+  bool cacheVerify = false;
   /// Hidden test seam (--inject-fault nth:kind[:param]): deterministic
   /// fault injection so the resilience exit paths are testable end-to-end.
   std::vector<std::string> injectFaults;
@@ -354,6 +377,27 @@ Options parseArgs(int argc, char** argv) {
       opts.noReplay = true;
     } else if (arg == "--no-opt") {
       opts.noOpt = true;
+    } else if (arg == "--no-cache") {
+      opts.noCache = true;
+    } else if (arg == "--cache-dir") {
+      // Validated here, before any compile/solve work: a typo'd or
+      // read-only directory is a usage error (exit 2), not a silent
+      // cold-path run that throws results away.
+      opts.cacheDir = next();
+      struct stat st {};
+      if (::stat(opts.cacheDir.c_str(), &st) != 0 ||
+          !S_ISDIR(st.st_mode)) {
+        throw CliError("--cache-dir: not an existing directory: " +
+                       opts.cacheDir);
+      }
+      if (::access(opts.cacheDir.c_str(), W_OK | X_OK) != 0) {
+        throw CliError("--cache-dir: directory is not writable: " +
+                       opts.cacheDir);
+      }
+    } else if (arg == "--cache-max-mb") {
+      opts.cacheMaxMb = parseCount("--cache-max-mb", next(), 1, 1048576);
+    } else if (arg == "--cache-verify") {
+      opts.cacheVerify = true;
     } else if (arg == "--inject-fault") {
       opts.injectFaults.push_back(next());
     } else if (arg == "--max-depth") {
@@ -404,6 +448,13 @@ Options parseArgs(int argc, char** argv) {
   }
   if (opts.retriesSet && !opts.isolate) {
     throw CliError("--retries needs --isolate");
+  }
+  if (opts.noCache && (!opts.cacheDir.empty() || opts.cacheMaxMb != 0 ||
+                       opts.cacheVerify)) {
+    throw CliError("--no-cache conflicts with the other --cache-* flags");
+  }
+  if (opts.cacheMaxMb != 0 && opts.cacheDir.empty()) {
+    throw CliError("--cache-max-mb needs --cache-dir");
   }
   return opts;
 }
@@ -554,6 +605,39 @@ void printProcsStats(const procs::ProcsStats& s) {
               s.degraded ? " [supervisor degraded]" : "");
 }
 
+/// Renders the verdict cache's cumulative counters as one JSON object —
+/// the accounting the cache promises (DESIGN.md §14): hits/misses/stores
+/// across every query the run issued, evictions from either tier,
+/// validation failures (corrupt or stale records that fell back cold),
+/// and the cache's directly attributed CPU cost (solve-path key
+/// derivation/lookups/encoding, and the write-behind thread's I/O).
+std::string cacheJson(const cache::CacheStats& s) {
+  char cpu[96];
+  std::snprintf(cpu, sizeof cpu,
+                ",\"clientCpuSeconds\":%.6f,\"writerCpuSeconds\":%.6f",
+                s.clientSeconds, s.writerSeconds);
+  std::string json = "{\"hits\":" + std::to_string(s.hits);
+  json += ",\"misses\":" + std::to_string(s.misses);
+  json += ",\"stores\":" + std::to_string(s.stores);
+  json += ",\"evictions\":" + std::to_string(s.evictions);
+  json += ",\"validationFailures\":" + std::to_string(s.validationFailures);
+  json += cpu;
+  json += "}";
+  return json;
+}
+
+/// One human-readable cache line for the text report (gated like the
+/// procs line: --stage-timings, or something actually happened).
+void printCacheStats(const cache::CacheStats& s) {
+  std::printf("  cache: %llu hit(s), %llu miss(es), %llu store(s), "
+              "%llu eviction(s), %llu validation failure(s)\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.stores),
+              static_cast<unsigned long long>(s.evictions),
+              static_cast<unsigned long long>(s.validationFailures));
+}
+
 /// Renders a check/verify result and returns the process exit code. The
 /// json format carries the full resilience story (verdict, exit code,
 /// attempt log, trace) in one machine-readable object; with --race the
@@ -563,7 +647,8 @@ void printProcsStats(const procs::ProcsStats& s) {
 /// then exits 130 regardless of the verdict's own code).
 int reportResult(const Options& opts, const core::AnalysisResult& result,
                  const core::PortfolioResult* race = nullptr,
-                 const procs::ProcsStats* stats = nullptr) {
+                 const procs::ProcsStats* stats = nullptr,
+                 const cache::VerdictCache* cache = nullptr) {
   const int code = exitCodeFor(result.verdict);
   if (opts.format == "json") {
     std::string json = "{\"verdict\":\"";
@@ -580,6 +665,11 @@ int reportResult(const Options& opts, const core::AnalysisResult& result,
     json += result.canceled ? "true" : "false";
     json += ",\"witnessChecked\":";
     json += result.witnessChecked ? "true" : "false";
+    json += ",\"cached\":";
+    json += result.cached ? "true" : "false";
+    if (!result.cacheKey.empty()) {
+      json += ",\"cacheKey\":\"" + jsonEscape(result.cacheKey) + "\"";
+    }
     if (!result.detail.empty()) {
       json += ",\"detail\":\"" + jsonEscape(result.detail) + "\"";
     }
@@ -630,6 +720,8 @@ int reportResult(const Options& opts, const core::AnalysisResult& result,
         std::snprintf(secs, sizeof secs, "%.6f", m.seconds);
         json += ",\"seconds\":";
         json += secs;
+        json += ",\"cached\":";
+        json += m.cached ? "true" : "false";
         if (m.isolated) {
           json += ",\"isolated\":true";
           json += ",\"retries\":" + std::to_string(m.retries);
@@ -644,6 +736,9 @@ int reportResult(const Options& opts, const core::AnalysisResult& result,
     }
     if (stats != nullptr) {
       json += ",\"procs\":" + procsJson(*stats);
+    }
+    if (cache != nullptr) {
+      json += ",\"cache\":" + cacheJson(cache->stats());
     }
     if (opts.stageTimings && !result.pipeline.empty()) {
       json += ",\"pipeline\":" + result.pipeline.toJson();
@@ -682,8 +777,8 @@ int reportResult(const Options& opts, const core::AnalysisResult& result,
     return code;
   }
 
-  std::printf("%s (%.3f s)\n", core::verdictName(result.verdict),
-              result.solveSeconds);
+  std::printf("%s (%.3f s)%s\n", core::verdictName(result.verdict),
+              result.solveSeconds, result.cached ? " [cached]" : "");
   if (procs::shutdownRequested()) std::printf("  interrupted\n");
   if (!result.detail.empty()) std::printf("  %s\n", result.detail.c_str());
   if (race != nullptr) {
@@ -691,16 +786,23 @@ int reportResult(const Options& opts, const core::AnalysisResult& result,
                 race->winner.empty() ? "<fallback>" : race->winner.c_str(),
                 race->seconds);
     for (const auto& m : race->members) {
-      std::printf("    %-12s %-14s%s%s%s%s\n", m.name.c_str(),
+      std::printf("    %-12s %-14s%s%s%s%s%s\n", m.name.c_str(),
                   m.verdict.empty()
                       ? (m.started ? "interrupted" : "not-started")
                       : m.verdict.c_str(),
-                  m.won ? " WON" : "", m.isolated ? " [isolated]" : "",
+                  m.won ? " WON" : "", m.cached ? " [cached]" : "",
+                  m.isolated ? " [isolated]" : "",
                   m.error.empty() ? "" : " error: ", m.error.c_str());
     }
   }
   if (stats != nullptr && (opts.stageTimings || stats->jobs > 0)) {
     printProcsStats(*stats);
+  }
+  if (cache != nullptr) {
+    const cache::CacheStats cs = cache->stats();
+    if (opts.stageTimings || cs.hits > 0 || cs.validationFailures > 0) {
+      printCacheStats(cs);
+    }
   }
   if (opts.stageTimings && !result.pipeline.empty()) {
     std::printf("  pipeline:\n%s", result.pipeline.render().c_str());
@@ -735,7 +837,8 @@ int sweepPointCode(const std::string& verdict) {
 }
 
 int reportSweep(const Options& opts, const core::SweepResult& result,
-                const procs::ProcsStats* stats = nullptr) {
+                const procs::ProcsStats* stats = nullptr,
+                const cache::VerdictCache* cache = nullptr) {
   int code = kExitOk;
   auto rank = [](int c) {  // severity order, not numeric order
     switch (c) {
@@ -765,6 +868,9 @@ int reportSweep(const Options& opts, const core::SweepResult& result,
     if (stats != nullptr) {
       json += ",\"procs\":" + procsJson(*stats);
     }
+    if (cache != nullptr) {
+      json += ",\"cache\":" + cacheJson(cache->stats());
+    }
     json += ",\"points\":[";
     for (std::size_t i = 0; i < result.points.size(); ++i) {
       const auto& p = result.points[i];
@@ -777,6 +883,8 @@ int reportSweep(const Options& opts, const core::SweepResult& result,
       json += secs;
       json += ",\"canceled\":";
       json += p.canceled ? "true" : "false";
+      json += ",\"cached\":";
+      json += p.cached ? "true" : "false";
       json += ",\"shard\":" + std::to_string(p.shard);
       if (p.isolated) {
         json += ",\"isolated\":true";
@@ -807,11 +915,18 @@ int reportSweep(const Options& opts, const core::SweepResult& result,
               result.seconds,
               procs::shutdownRequested() ? " [interrupted]" : "");
   for (const auto& p : result.points) {
-    std::printf("  T=%-3d %-16s (%.3f s)  %s\n", p.horizon, p.verdict.c_str(),
-                p.solveSeconds, p.query.c_str());
+    std::printf("  T=%-3d %-16s (%.3f s)%s  %s\n", p.horizon,
+                p.verdict.c_str(), p.solveSeconds,
+                p.cached ? " [cached]" : "", p.query.c_str());
   }
   if (stats != nullptr && (opts.stageTimings || stats->jobs > 0)) {
     printProcsStats(*stats);
+  }
+  if (cache != nullptr) {
+    const cache::CacheStats cs = cache->stats();
+    if (opts.stageTimings || cs.hits > 0 || cs.validationFailures > 0) {
+      printCacheStats(cs);
+    }
   }
   return code;
 }
@@ -829,6 +944,8 @@ int reportSynth(const Options& opts, const synth::SynthesisResult& result) {
     json += ",\"prescreenRejected\":" + std::to_string(result.prescreenRejected);
     json +=
         ",\"prescreenWitnessed\":" + std::to_string(result.prescreenWitnessed);
+    json +=
+        ",\"prescreenCacheHits\":" + std::to_string(result.prescreenCacheHits);
     std::snprintf(secs, sizeof secs, "%.6f", result.totalSeconds);
     json += ",\"seconds\":";
     json += secs;
@@ -1019,6 +1136,21 @@ int run(const Options& opts) {
   aopts.symbolicInitialState = opts.havocInit;
   aopts.opt.enabled = !opts.noOpt;
   aopts.budget = opts.budget;
+  // Verdict cache (DESIGN.md §14): the in-memory tier is always on unless
+  // --no-cache; --cache-dir adds the cross-run disk tier. One instance per
+  // run, shared by every path below (plain solve, sweep shards, race
+  // members, synth workers) — isolated workers rebuild an equivalent cache
+  // from the same options on their side of the pipe and report their keys
+  // back, so the parent's tiers fill either way.
+  std::shared_ptr<cache::VerdictCache> verdictCache;
+  if (!opts.noCache) {
+    cache::VerdictCacheOptions cacheOpts;
+    cacheOpts.dir = opts.cacheDir;
+    cacheOpts.maxDiskBytes = opts.cacheMaxMb * 1024ull * 1024ull;
+    verdictCache = std::make_shared<cache::VerdictCache>(cacheOpts);
+    aopts.cache = verdictCache;
+    aopts.cacheVerify = opts.cacheVerify;
+  }
   core::Analysis analysis(unit, aopts);
 
   if (opts.command == "simulate") {
@@ -1055,6 +1187,7 @@ int run(const Options& opts) {
     sopts.threads = std::max(1, opts.threads);
     sopts.firstOnly = opts.firstOnly;
     sopts.prescreen = !opts.noPrescreen;
+    sopts.negativeCache = !opts.noCache;
     return reportSynth(opts, synthesizer.run(query, sopts));
   }
 
@@ -1094,8 +1227,8 @@ int run(const Options& opts) {
         supervisor->shutdownWorkers();
         stats = supervisor->stats();
       }
-      const int code =
-          reportSweep(opts, result, supervisor ? &stats : nullptr);
+      const int code = reportSweep(opts, result, supervisor ? &stats : nullptr,
+                                   verdictCache.get());
       return procs::shutdownRequested() ? kExitInterrupted : code;
     }
     if (opts.race) {
@@ -1122,8 +1255,9 @@ int run(const Options& opts) {
         supervisor->shutdownWorkers();
         stats = supervisor->stats();
       }
-      const int code =
-          reportResult(opts, pr.result, &pr, supervisor ? &stats : nullptr);
+      const int code = reportResult(opts, pr.result, &pr,
+                                    supervisor ? &stats : nullptr,
+                                    verdictCache.get());
       return procs::shutdownRequested() ? kExitInterrupted : code;
     }
     backends::SolverBackend& backend = backendFor(opts, "z3");
@@ -1137,7 +1271,8 @@ int run(const Options& opts) {
         [&analysis] { analysis.interrupt(); });
     const auto result =
         backend.solve(analysis, query, opts.command == "verify");
-    const int code = reportResult(opts, result);
+    const int code = reportResult(opts, result, nullptr, nullptr,
+                                  verdictCache.get());
     return procs::shutdownRequested() ? kExitInterrupted : code;
   }
   throw CliError("unknown command " + opts.command);

@@ -53,14 +53,67 @@ SCHEMAS = {
         "answered": INT,
         "restarts": INT,
     },
+    "BENCH_cache.json": {
+        "name": str,
+        "mode": str,
+        "seconds": NUM,
+        "points": INT,
+        "hits": INT,
+        "misses": INT,
+        "stores": INT,
+    },
 }
+
+# Files emitted by google-benchmark (--benchmark_out_format=json): a
+# top-level object with a "context" block and a "benchmarks" array, whose
+# rows carry more keys than we pin down — validate the stable core only.
+GOOGLE_BENCHMARK_FILES = {"BENCH_frontend.json"}
+
+
+def validate_google_benchmark(path: pathlib.Path) -> list:
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+    except json.JSONDecodeError as err:
+        return [f"{path}: invalid JSON: {err}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object (google-benchmark)"]
+    errors = []
+    if not isinstance(doc.get("context"), dict):
+        errors.append(f"{path}: missing 'context' object")
+    rows = doc.get("benchmarks")
+    if not isinstance(rows, list) or not rows:
+        return errors + [f"{path}: 'benchmarks' must be a non-empty array"]
+    for i, row in enumerate(rows):
+        where = f"{path} benchmarks[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(row.get("name"), str):
+            errors.append(f"{where}: 'name' should be str")
+        if row.get("run_type") == "aggregate":
+            # Complexity/statistics rows (BigO, RMS, mean/median/stddev)
+            # report coefficients or percentages, not per-iteration times.
+            continue
+        for key in ("real_time", "cpu_time"):
+            value = row.get(key)
+            if isinstance(value, bool) or not isinstance(value,
+                                                         numbers.Real):
+                errors.append(f"{where}: {key!r} should be a number")
+            elif value < 0:
+                errors.append(f"{where}: negative {key} ({value})")
+    return errors
 
 
 def validate(path: pathlib.Path) -> list:
+    if path.name in GOOGLE_BENCHMARK_FILES:
+        return validate_google_benchmark(path)
     schema = SCHEMAS.get(path.name)
     if schema is None:
+        known = sorted(set(SCHEMAS) | GOOGLE_BENCHMARK_FILES)
         return [f"{path}: no schema for this file name "
-                f"(known: {', '.join(sorted(SCHEMAS))})"]
+                f"(known: {', '.join(known)})"]
     try:
         rows = json.loads(path.read_text())
     except OSError as err:
@@ -100,14 +153,19 @@ def validate(path: pathlib.Path) -> list:
 
 def main(argv: list) -> int:
     repo = pathlib.Path(__file__).resolve().parent.parent
+    names = set(SCHEMAS) | GOOGLE_BENCHMARK_FILES
     paths = ([pathlib.Path(a) for a in argv]
-             if argv else sorted(repo / name for name in SCHEMAS))
+             if argv else sorted(repo / name for name in names))
     all_errors = []
     for path in paths:
         errors = validate(path)
         all_errors.extend(errors)
         status = "FAIL" if errors else "ok"
-        rows = "" if errors else f" ({len(json.loads(path.read_text()))} rows)"
+        rows = ""
+        if not errors:
+            doc = json.loads(path.read_text())
+            count = len(doc["benchmarks"] if isinstance(doc, dict) else doc)
+            rows = f" ({count} rows)"
         print(f"  {path.name}: {status}{rows}")
     for err in all_errors:
         print(err, file=sys.stderr)
