@@ -1,0 +1,349 @@
+// Remote worker transport benchmark (DESIGN.md §15), written to
+// BENCH_remote.json as [{"name", "mode", "seconds", "points",
+// "answered", "redispatches"}, ...].
+//
+// Three arms on the same Figure-6-style sweep grid bench_isolation uses,
+// so the ladder's tiers are directly comparable in one file:
+//
+//  * inprocess_shards_4       — the sharded in-process sweep (baseline);
+//  * isolated_shards_4        — the same sweep through supervised local
+//                               `buffy --worker` subprocesses (§13 tier);
+//  * remote_loopback_shards_4 — the same sweep through one loopback
+//                               `buffy --serve` host (§15 tier): TCP
+//                               framing + hello handshake + heartbeats
+//                               instead of fork/exec per job.
+//
+// Pass criteria (exit 1 on failure): every arm answers every point; the
+// fault-free remote arm reports zero redispatches, zero degradations to
+// the local tier, and zero dead hosts; and the loopback remote sweep
+// costs <= 1.5x the isolated sweep — a generous ceiling, because on this
+// one-core host both tiers are dominated by identical per-job solver +
+// re-compile work and land within run-to-run noise of each other
+// (EXPERIMENTS.md records the methodology and the single-core caveats).
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backends/fault_plan.hpp"
+#include "core/analysis.hpp"
+#include "core/sweep.hpp"
+#include "models/library.hpp"
+#include "procs/net.hpp"
+#include "procs/remote.hpp"
+#include "procs/supervisor.hpp"
+
+using namespace buffy;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::Network fqNet() {
+  core::ProgramSpec spec;
+  spec.instance = "fq";
+  spec.source = models::kFairQueueBuggy;
+  spec.compile.constants["N"] = 2;
+  spec.compile.defaultListCapacity = 2;
+  spec.buffers = {
+      {.param = "ibs", .role = core::BufferSpec::Role::Input, .capacity = 6,
+       .maxArrivalsPerStep = 3},
+      {.param = "ob", .role = core::BufferSpec::Role::Output, .capacity = 32},
+  };
+  core::Network net;
+  net.add(spec);
+  return net;
+}
+
+std::vector<std::string> workloadSpecs(int maxHorizon) {
+  std::vector<std::string> specs = {"fq.ibs.0:0:1", "fq.ibs.1@0:3:3"};
+  for (int t = 1; t < maxHorizon; ++t) {
+    specs.push_back("fq.ibs.1@" + std::to_string(t) + ":0:0");
+  }
+  return specs;
+}
+
+std::vector<core::Query> sweepQueries() {
+  std::vector<core::Query> out;
+  for (const char* text : {
+           "fq.cdeq.0[T-1] >= 0",
+           "fq.cdeq.1[T-1] >= 0",
+           "fq.cdeq.0[T-1] <= T",
+           "fq.cdeq.1[T-1] <= T",
+           "fq.cdeq.0[T-1] + fq.cdeq.1[T-1] <= 2 * T",
+           "sum(fq.cdeq.0, 0, T) >= 0",
+           "fq.ibs.0.backlog[T-1] >= 0",
+           "fq.ibs.1.dropped[T-1] >= 0",
+       }) {
+    out.push_back(core::Query::expr(text));
+  }
+  return out;
+}
+
+constexpr int kFromHorizon = 1;
+constexpr int kToHorizon = 4;
+constexpr std::size_t kShards = 4;
+
+/// One `buffy --serve` subprocess on a loopback port, found by scanning a
+/// pid-derived range so parallel bench runs never collide. start() blocks
+/// until the server's "serving on" announce line; stop() SIGTERMs and
+/// asserts the clean exit-0 drain (the §15 zero-orphan contract).
+struct ServeProcess {
+  pid_t pid = -1;
+  int port = 0;
+
+  bool start() {
+    const int base = 49600 + static_cast<int>(getpid() % 89);
+    for (int candidate = base; candidate < base + 40; ++candidate) {
+      if (tryStart(candidate)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(port);
+  }
+
+  int stop() {
+    if (pid < 0) return -1;
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  ~ServeProcess() {
+    if (pid >= 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+ private:
+  bool tryStart(int candidate) {
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    const std::string listen = "127.0.0.1:" + std::to_string(candidate);
+    const pid_t child = ::fork();
+    if (child < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (child == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::dup2(fds[1], STDERR_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      ::execl(BUFFY_CLI_PATH, BUFFY_CLI_PATH, "--serve", "--listen",
+              listen.c_str(), static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    ::close(fds[1]);
+    std::string line;
+    char ch = 0;
+    while (::read(fds[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+    ::close(fds[0]);
+    if (line.find("serving on") == std::string::npos) {
+      ::kill(child, SIGKILL);
+      ::waitpid(child, nullptr, 0);
+      return false;  // port taken (or startup failure) — scan on
+    }
+    pid = child;
+    port = candidate;
+    return true;
+  }
+};
+
+struct Arm {
+  double seconds = 0.0;
+  int answered = 0;
+  int points = 0;
+  std::uint64_t redispatches = 0;
+};
+
+Arm runSweep(procs::Supervisor* supervisor) {
+  const auto queries = sweepQueries();
+  const auto specs = workloadSpecs(kToHorizon);
+  core::AnalysisOptions opts;
+  core::HorizonSweep sweep(fqNet(), opts);
+  core::SweepOptions sopts;
+  sopts.fromHorizon = kFromHorizon;
+  sopts.toHorizon = kToHorizon;
+  sopts.shards = kShards;
+  sopts.verify = true;
+  if (supervisor != nullptr) {
+    sopts.isolate = true;
+    sopts.supervisor = supervisor;
+    sopts.workloadSpecs = specs;
+  }
+  const auto workloadFor = [&specs](int h) {
+    return core::workloadFromSpecs(specs, h);
+  };
+  const auto start = Clock::now();
+  const auto result = sweep.run(queries, workloadFor, sopts);
+  Arm arm;
+  arm.seconds = since(start);
+  arm.points = static_cast<int>(result.points.size());
+  for (const auto& p : result.points) {
+    arm.redispatches += p.redispatches;
+    if (p.verdict.rfind("error", 0) != 0 && !p.verdict.empty() &&
+        !p.canceled) {
+      ++arm.answered;
+    } else {
+      std::printf("  point NOT answered: T=%d %s -> %s\n", p.horizon,
+                  p.query.c_str(), p.verdict.c_str());
+    }
+  }
+  if (supervisor != nullptr) supervisor->shutdownWorkers();
+  return arm;
+}
+
+struct Row {
+  std::string name;
+  std::string mode;
+  double seconds = 0.0;
+  int points = 0;
+  int answered = 0;
+  std::uint64_t redispatches = 0;
+};
+
+void appendJson(std::string& out, const Row& row, bool last) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"name\": \"%s\", \"mode\": \"%s\", \"seconds\": %.4f, "
+                "\"points\": %d, \"answered\": %d, "
+                "\"redispatches\": %llu}%s\n",
+                row.name.c_str(), row.mode.c_str(), row.seconds, row.points,
+                row.answered,
+                static_cast<unsigned long long>(row.redispatches),
+                last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+  bool pass = true;
+
+  std::printf("== remote overhead: Figure-6 sweep, T=%d..%d, %zu shards ==\n",
+              kFromHorizon, kToHorizon, kShards);
+  const Arm inproc = runSweep(nullptr);
+  std::printf("  in-process sharded sweep      : %.3f s (%d/%d answered)\n",
+              inproc.seconds, inproc.answered, inproc.points);
+  rows.push_back({"remote_overhead", "inprocess_shards_4", inproc.seconds,
+                  inproc.points, inproc.answered, 0});
+
+  procs::SupervisorOptions svopts;
+  svopts.workerBinary = BUFFY_CLI_PATH;
+  Arm isolated;
+  {
+    procs::Supervisor supervisor(svopts);
+    if (!supervisor.available()) {
+      std::printf("FAIL: worker binary %s not runnable\n", BUFFY_CLI_PATH);
+      return 1;
+    }
+    isolated = runSweep(&supervisor);
+    std::printf("  isolated sharded sweep        : %.3f s (%d/%d answered)\n",
+                isolated.seconds, isolated.answered, isolated.points);
+    rows.push_back({"remote_overhead", "isolated_shards_4", isolated.seconds,
+                    isolated.points, isolated.answered,
+                    isolated.redispatches});
+  }
+
+  ServeProcess server;
+  if (!server.start()) {
+    std::printf("FAIL: could not start a loopback buffy --serve\n");
+    return 1;
+  }
+  Arm remote;
+  procs::RemoteStats rstats;
+  {
+    std::string err;
+    const auto addr = procs::parseHostPort(server.endpoint(), &err);
+    if (!addr) {
+      std::printf("FAIL: %s\n", err.c_str());
+      return 1;
+    }
+    procs::RemoteHostPool pool({*addr}, procs::RemoteOptions{});
+    procs::SupervisorOptions ropts = svopts;
+    ropts.remotePool = &pool;
+    procs::Supervisor supervisor(ropts);
+    remote = runSweep(&supervisor);
+    const auto& stats = supervisor.stats();
+    pool.shutdown();
+    rstats = pool.stats();
+    const double ratio = remote.seconds / isolated.seconds;
+    std::printf("  remote loopback sharded sweep : %.3f s (%d/%d answered, "
+                "%.2fx vs isolated, %llu remote-answered)\n",
+                remote.seconds, remote.answered, remote.points, ratio,
+                static_cast<unsigned long long>(stats.remoteAnswered));
+    rows.push_back({"remote_overhead", "remote_loopback_shards_4",
+                    remote.seconds, remote.points, remote.answered,
+                    remote.redispatches});
+    if (stats.remoteAnswered != stats.remoteJobs ||
+        stats.remoteDegraded != 0) {
+      std::printf("  FAIL: fault-free remote run degraded (%llu/%llu "
+                  "answered remotely, %llu degraded)\n",
+                  static_cast<unsigned long long>(stats.remoteAnswered),
+                  static_cast<unsigned long long>(stats.remoteJobs),
+                  static_cast<unsigned long long>(stats.remoteDegraded));
+      pass = false;
+    }
+    if (remote.redispatches != 0 || rstats.hostsDead != 0) {
+      std::printf("  FAIL: fault-free remote run saw %llu redispatch(es), "
+                  "%llu dead host(s)\n",
+                  static_cast<unsigned long long>(remote.redispatches),
+                  static_cast<unsigned long long>(rstats.hostsDead));
+      pass = false;
+    }
+    if (ratio > 1.5) {
+      std::printf("  FAIL: remote overhead %.2fx > 1.5x vs isolated\n",
+                  ratio);
+      pass = false;
+    }
+  }
+  const int serverExit = server.stop();
+  if (serverExit != 0) {
+    std::printf("  FAIL: --serve exited %d on SIGTERM (want 0)\n",
+                serverExit);
+    pass = false;
+  }
+
+  for (const Arm* arm :
+       std::initializer_list<const Arm*>{&inproc, &isolated, &remote}) {
+    if (arm->answered != arm->points) {
+      std::printf("  FAIL: unanswered points\n");
+      pass = false;
+    }
+  }
+
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    appendJson(json, rows[i], i + 1 == rows.size());
+  }
+  json += "]\n";
+  std::FILE* out = std::fopen("BENCH_remote.json", "w");
+  if (out == nullptr) {
+    std::printf("FAIL: cannot write BENCH_remote.json\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("\nwrote BENCH_remote.json (%zu rows): %s\n", rows.size(),
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -82,6 +82,8 @@ struct PortfolioMemberReport {
   unsigned retries = 0;
   unsigned restarts = 0;
   unsigned kills = 0;
+  /// Remote attempts re-sent to another host after a failure (--connect).
+  unsigned redispatches = 0;
   /// The member's job fell back to the in-process engine after its worker
   /// attempts were exhausted.
   bool degraded = false;

@@ -1,0 +1,162 @@
+#include "procs/net.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace buffy::procs {
+
+namespace {
+
+void setError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+/// getaddrinfo for a parsed HostPort; returns nullptr + error on failure.
+/// Numeric service only — the port was already range-checked at parse.
+addrinfo* resolve(const HostPort& addr, bool forListen, std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (forListen ? AI_PASSIVE : 0);
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(addr.port);
+  const int rc = ::getaddrinfo(addr.host.c_str(), service.c_str(), &hints,
+                               &result);
+  if (rc != 0) {
+    setError(error, "cannot resolve '" + addr.text() +
+                        "': " + gai_strerror(rc));
+    return nullptr;
+  }
+  return result;
+}
+
+int openSocket(const addrinfo* info) {
+  return ::socket(info->ai_family, info->ai_socktype | SOCK_CLOEXEC,
+                  info->ai_protocol);
+}
+
+void setNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+std::optional<HostPort> parseHostPort(const std::string& text,
+                                      std::string* error) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    setError(error, "'" + text + "' is not host:port");
+    return std::nullopt;
+  }
+  HostPort addr;
+  addr.host = text.substr(0, colon);
+  const std::string portText = text.substr(colon + 1);
+  if (portText.find_first_not_of("0123456789") != std::string::npos) {
+    setError(error, "'" + text + "' has a non-numeric port");
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(portText.c_str(), &end, 10);
+  if (errno != 0 || end == portText.c_str() || *end != '\0' || port == 0 ||
+      port > 65535) {
+    setError(error, "'" + text + "' port must be in 1..65535");
+    return std::nullopt;
+  }
+  addr.port = static_cast<std::uint16_t>(port);
+  return addr;
+}
+
+std::vector<HostPort> parseHostPortList(const std::string& text,
+                                        std::string* error) {
+  std::vector<HostPort> hosts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string element = text.substr(start, comma - start);
+    const auto addr = parseHostPort(element, error);
+    if (!addr) return {};
+    hosts.push_back(*addr);
+    start = comma + 1;
+  }
+  return hosts;
+}
+
+int listenSocket(const HostPort& addr, std::string* error) {
+  addrinfo* info = resolve(addr, /*forListen=*/true, error);
+  if (info == nullptr) return -1;
+  int fd = -1;
+  for (const addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    fd = openSocket(ai);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, SOMAXCONN) == 0) {
+      break;
+    }
+    setError(error, "cannot listen on '" + addr.text() +
+                        "': " + std::strerror(errno));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(info);
+  if (fd < 0 && error != nullptr && error->empty()) {
+    setError(error, "cannot listen on '" + addr.text() + "'");
+  }
+  return fd;
+}
+
+int acceptSocket(int listenFd) {
+  const int fd = ::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd >= 0) setNoDelay(fd);
+  return fd;
+}
+
+int connectSocket(const HostPort& addr, int timeoutMs) {
+  addrinfo* info = resolve(addr, /*forListen=*/false, nullptr);
+  if (info == nullptr) return -1;
+  int fd = -1;
+  for (const addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    fd = openSocket(ai);
+    if (fd < 0) continue;
+    // Non-blocking connect bounded by poll: a black-holed host must cost
+    // `timeoutMs`, not the kernel's multi-minute SYN retry budget.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc < 0 && errno == EINPROGRESS) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      rc = ::poll(&pfd, 1, timeoutMs) == 1 ? 0 : -1;
+      if (rc == 0) {
+        int soError = 0;
+        socklen_t len = sizeof soError;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len);
+        rc = soError == 0 ? 0 : -1;
+      }
+    }
+    if (rc == 0) {
+      ::fcntl(fd, F_SETFL, flags);
+      setNoDelay(fd);
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(info);
+  return fd;
+}
+
+}  // namespace buffy::procs

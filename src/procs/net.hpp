@@ -1,0 +1,52 @@
+// TCP plumbing for the remote worker transport (DESIGN.md §15): address
+// parsing shared with the CLI's flag validation, plus small wrappers over
+// socket/bind/listen/connect that return plain fds the frame protocol
+// (protocol.hpp) reads and writes directly — a connected TCP socket and a
+// pipe pair look identical to readFrame/writeFrame.
+//
+// All sockets are opened close-on-exec: the supervisor forks `--worker`
+// subprocesses, and a listening or connected socket leaking into a worker
+// would hold ports and peers open past the parent's lifetime (the CI
+// leaked-socket check exists to catch exactly that).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace buffy::procs {
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string text() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Parses "host:port". Returns nullopt (with a human-readable reason in
+/// `error` when given) for a missing colon, empty host, non-numeric port,
+/// or a port outside [1, 65535] — port 0 is rejected so a flag typo never
+/// silently binds an ephemeral port.
+std::optional<HostPort> parseHostPort(const std::string& text,
+                                      std::string* error = nullptr);
+
+/// Parses a comma-separated "host:port[,host:port...]" list (the
+/// --connect flag). Empty result + `error` set on any malformed element.
+std::vector<HostPort> parseHostPortList(const std::string& text,
+                                        std::string* error = nullptr);
+
+/// Binds and listens on `addr` (numeric or resolvable host). Returns the
+/// listening fd, or -1 with `error` set (bind conflicts, bad address).
+int listenSocket(const HostPort& addr, std::string* error = nullptr);
+
+/// Accepts one connection; -1 on error/EINTR (caller re-polls).
+int acceptSocket(int listenFd);
+
+/// Connects to `addr` within `timeoutMs` (non-blocking connect + poll).
+/// Returns a blocking, TCP_NODELAY, close-on-exec fd, or -1.
+int connectSocket(const HostPort& addr, int timeoutMs);
+
+}  // namespace buffy::procs

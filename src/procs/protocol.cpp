@@ -113,7 +113,8 @@ bool writePartialFrame(int fd, std::string_view payload) {
          writeAll(fd, payload.substr(0, payload.size() / 2));
 }
 
-ReadStatus readFrame(int fd, std::string& payload, int deadlineMs) {
+ReadStatus readFrame(int fd, std::string& payload, int deadlineMs,
+                     std::uint32_t maxPayload) {
   std::chrono::steady_clock::time_point deadline;
   const std::chrono::steady_clock::time_point* deadlinePtr = nullptr;
   if (deadlineMs >= 0) {
@@ -136,7 +137,9 @@ ReadStatus readFrame(int fd, std::string& payload, int deadlineMs) {
   if (readU32(head) != kMagic) return ReadStatus::Garbled;
   const std::uint32_t size = readU32(head + 4);
   const std::uint32_t checksum = readU32(head + 8);
-  if (size > kMaxFramePayload) return ReadStatus::Garbled;
+  if (size > maxPayload || size > kMaxFramePayload) {
+    return ReadStatus::Garbled;
+  }
 
   payload.resize(size);
   status = readExact(fd, payload.data(), size, got, deadlinePtr);
@@ -267,9 +270,21 @@ WireMap WireMap::decode(std::string_view bytes) {
     return s;
   };
   const std::uint32_t count = u32();
+  // An entry needs at least two length words; a count the remaining bytes
+  // cannot possibly hold is forged, not merely truncated — reject it
+  // before looping (network peers are untrusted, DESIGN.md §15).
+  if (count > (bytes.size() - off) / 8) {
+    throw ProtocolError("wire payload entry count exceeds payload size");
+  }
   for (std::uint32_t i = 0; i < count; ++i) {
     std::string key = str();
-    map.entries_[std::move(key)] = str();
+    std::string value = str();
+    if (!map.entries_.emplace(std::move(key), std::move(value)).second) {
+      // Same-binary peers never emit duplicates (encode walks a std::map);
+      // a duplicate key means forged input with ambiguous last-wins
+      // semantics — refuse rather than guess.
+      throw ProtocolError("wire payload has duplicate key");
+    }
   }
   if (off != bytes.size()) {
     throw ProtocolError("wire payload has trailing bytes");

@@ -1,0 +1,639 @@
+#include "procs/remote.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <optional>
+#include <thread>
+
+#include "backends/registry.hpp"
+#include "procs/shutdown.hpp"
+#include "procs/worker.hpp"
+
+namespace buffy::procs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Hello frames are tiny; an unauthenticated peer gets no say in how much
+/// we allocate before the handshake validates.
+constexpr std::uint32_t kMaxHelloPayload = 4096;
+
+void sleepMs(int ms) {
+  if (ms <= 0) return;
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1'000'000L;
+  nanosleep(&ts, nullptr);
+}
+
+/// True when every comma-separated token of `needed` appears among the
+/// comma-separated tokens of `offered`.
+bool capsCovered(const std::string& needed, const std::string& offered) {
+  std::size_t start = 0;
+  while (start <= needed.size()) {
+    std::size_t comma = needed.find(',', start);
+    if (comma == std::string::npos) comma = needed.size();
+    const std::string token = needed.substr(start, comma - start);
+    if (!token.empty()) {
+      bool found = false;
+      std::size_t os = 0;
+      while (os <= offered.size()) {
+        std::size_t oc = offered.find(',', os);
+        if (oc == std::string::npos) oc = offered.size();
+        if (offered.compare(os, oc - os, token) == 0) {
+          found = true;
+          break;
+        }
+        os = oc + 1;
+      }
+      if (!found) return false;
+    }
+    start = comma + 1;
+  }
+  return true;
+}
+
+std::string helloFrame() {
+  WireMap hello;
+  hello.set("type", "hello");
+  hello.setInt("version", kRemoteProtocolVersion);
+  hello.set("caps", remoteCapabilities());
+  hello.setInt("pid", ::getpid());
+  return hello.encode();
+}
+
+std::optional<backends::FaultAction> networkFaultFor(const WireJob& job) {
+  const auto plan = faultPlanFromWire(job.faults);
+  if (!plan) return std::nullopt;
+  return plan->actionFor(job.faultScope, job.attempt);
+}
+
+}  // namespace
+
+std::string remoteCapabilities() {
+  std::string caps;
+  auto& registry = backends::BackendRegistry::instance();
+  for (const auto& name : registry.names()) {
+    const auto* backend = registry.find(name);
+    if (backend == nullptr || !backend->capabilities().remoteable) continue;
+    if (!caps.empty()) caps += ',';
+    caps += name;
+  }
+  return caps;
+}
+
+// ---- RemoteHostPool ------------------------------------------------------
+
+RemoteHostPool::RemoteHostPool(std::vector<HostPort> hosts,
+                               RemoteOptions options)
+    : options_(std::move(options)) {
+  // Frame writes into a dead peer must surface as EPIPE, not SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  hosts_.reserve(hosts.size());
+  for (auto& addr : hosts) {
+    Host host;
+    host.endpoint = addr.text();
+    host.addr = std::move(addr);
+    hosts_.push_back(std::move(host));
+  }
+  stats_.hosts = hosts_.size();
+}
+
+RemoteHostPool::~RemoteHostPool() { shutdown(); }
+
+void RemoteHostPool::shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  for (auto& host : hosts_) {
+    if (host.fd >= 0) {
+      if (!host.busy) {
+        // Idle connection: tell the server to drop us cleanly.
+        WireMap bye;
+        bye.set("type", "shutdown");
+        writeFrame(host.fd, bye.encode());
+      }
+      ::shutdown(host.fd, SHUT_RDWR);
+      if (!host.busy) {
+        ::close(host.fd);
+        host.fd = -1;
+      }
+      // Busy fds are closed by the owning lease's dropConnection once its
+      // read unblocks — closing here would race the fd number.
+    }
+  }
+  freeCv_.notify_all();
+}
+
+bool RemoteHostPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return false;
+  return std::any_of(hosts_.begin(), hosts_.end(),
+                     [](const Host& h) { return !h.dead; });
+}
+
+RemoteStats RemoteHostPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::unique_ptr<RemoteLease> RemoteHostPool::checkout(
+    const std::string& avoidEndpoint) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutdown_) return nullptr;
+    const auto now = Clock::now();
+    bool anyUsable = false;
+    auto earliestBackoff = Clock::time_point::max();
+    std::size_t best = hosts_.size();
+    int bestScore = -1;
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      Host& host = hosts_[i];
+      if (host.dead) continue;
+      anyUsable = true;
+      if (host.busy) continue;
+      if (now < host.backoffUntil) {
+        earliestBackoff = std::min(earliestBackoff, host.backoffUntil);
+        continue;
+      }
+      // Steer a redispatch to a different host when one exists, and
+      // prefer an already-connected socket over paying a reconnect.
+      const int score = (host.endpoint != avoidEndpoint ? 2 : 0) +
+                        (host.fd >= 0 ? 1 : 0);
+      if (score > bestScore) {
+        bestScore = score;
+        best = i;
+      }
+    }
+    if (!anyUsable) return nullptr;
+    if (best < hosts_.size()) {
+      hosts_[best].busy = true;
+      hosts_[best].abortRequested = false;
+      return std::unique_ptr<RemoteLease>(new RemoteLease(this, best));
+    }
+    if (earliestBackoff != Clock::time_point::max()) {
+      freeCv_.wait_until(lock, earliestBackoff);
+    } else {
+      freeCv_.wait(lock);
+    }
+  }
+}
+
+void RemoteHostPool::release(std::size_t hostIndex) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hosts_[hostIndex].busy = false;
+  }
+  freeCv_.notify_all();
+}
+
+void RemoteHostPool::dropConnection(Host& host, bool countDisconnect) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (host.fd >= 0) {
+    ::close(host.fd);
+    host.fd = -1;
+  }
+  if (countDisconnect) ++stats_.disconnects;
+}
+
+bool RemoteHostPool::ensureConnected(Host& host) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || host.dead) return false;
+    if (host.fd >= 0) return true;
+  }
+  const auto failed = [&](bool rejected, const char* why) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    (void)why;
+    if (rejected) {
+      ++stats_.helloRejects;
+      if (!host.dead) {
+        host.dead = true;
+        ++stats_.hostsDead;
+      }
+    } else {
+      ++host.connectFailures;
+      const int shift = static_cast<int>(
+          std::min(host.connectFailures - 1, 16u));
+      const int backoff = std::min(options_.backoffCapMs,
+                                   options_.backoffBaseMs << shift);
+      host.backoffUntil = Clock::now() + std::chrono::milliseconds(backoff);
+      if (host.connectFailures >= options_.maxConnectFailures &&
+          !host.dead) {
+        host.dead = true;
+        ++stats_.hostsDead;
+      }
+    }
+    freeCv_.notify_all();
+    return false;
+  };
+
+  const int fd = connectSocket(host.addr, options_.connectTimeoutMs);
+  if (fd < 0) return failed(false, "connect");
+  if (!writeFrame(fd, helloFrame())) {
+    ::close(fd);
+    return failed(false, "hello write");
+  }
+  std::string payload;
+  if (readFrame(fd, payload, options_.connectTimeoutMs, kMaxHelloPayload) !=
+      ReadStatus::Ok) {
+    ::close(fd);
+    return failed(false, "hello read");
+  }
+  try {
+    const WireMap reply = WireMap::decode(payload);
+    const std::string type = reply.get("type");
+    if (type == "hello-reject") {
+      ::close(fd);
+      return failed(true, "rejected");
+    }
+    if (type != "hello" ||
+        reply.getInt("version") != kRemoteProtocolVersion ||
+        !capsCovered(remoteCapabilities(), reply.get("caps"))) {
+      ::close(fd);
+      return failed(true, "version/caps mismatch");
+    }
+  } catch (const ProtocolError&) {
+    ::close(fd);
+    return failed(false, "malformed hello");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    ::close(fd);
+    return false;
+  }
+  host.fd = fd;
+  ++stats_.connects;
+  if (host.everConnected) ++stats_.reconnects;
+  host.everConnected = true;
+  host.connectFailures = 0;
+  host.backoffUntil = {};
+  return true;
+}
+
+RemoteCallStatus RemoteHostPool::callOn(Host& host, const WireJob& job,
+                                        WireResult& result, int deadlineMs) {
+  // Client-side deterministic fault: the dispatch fails as if connect(2)
+  // refused, before any bytes touch the socket.
+  if (options_.faultPlan) {
+    const auto action =
+        options_.faultPlan->actionFor(job.faultScope, job.attempt);
+    if (action &&
+        action->kind == backends::FaultAction::Kind::ConnRefused) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.refusals;
+      return RemoteCallStatus::Refused;
+    }
+  }
+  if (!ensureConnected(host)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.refusals;
+    return host.abortRequested ? RemoteCallStatus::Canceled
+                               : RemoteCallStatus::Refused;
+  }
+
+  int fd = -1;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd = host.fd;
+    id = ++host.seq;
+    ++stats_.jobsSent;
+  }
+
+  WireMap frame;
+  frame.set("type", "job");
+  frame.setUint("id", id);
+  frame.set("job", encodeJob(job));
+  if (!writeFrame(fd, frame.encode())) {
+    dropConnection(host, true);
+    return RemoteCallStatus::Disconnected;
+  }
+
+  // Heartbeats ride a dedicated thread so the read below can block for a
+  // full liveness window without risking a torn read: a slice-timeout
+  // reader would discard partially arrived frame bytes at every ping
+  // boundary and misalign the stream.
+  std::atomic<bool> stopPinger{false};
+  std::thread pinger([this, fd, &stopPinger] {
+    int elapsed = 0;
+    std::uint64_t n = 0;
+    while (!stopPinger.load(std::memory_order_acquire)) {
+      sleepMs(25);
+      elapsed += 25;
+      if (elapsed < options_.heartbeatMs) continue;
+      elapsed = 0;
+      WireMap ping;
+      ping.set("type", "ping");
+      ping.setUint("id", ++n);
+      if (!writeFrame(fd, ping.encode())) return;  // reader will see EOF
+    }
+  });
+  const auto stopHeartbeats = [&] {
+    stopPinger.store(true, std::memory_order_release);
+    pinger.join();
+  };
+
+  const auto livenessMs = std::chrono::milliseconds(
+      static_cast<long>(options_.heartbeatMs) *
+      std::max(1u, options_.livenessMisses));
+  const auto jobDeadline = Clock::now() + std::chrono::milliseconds(
+                                              std::max(1, deadlineMs));
+  auto livenessDeadline = Clock::now() + livenessMs;
+
+  const auto finish = [&](RemoteCallStatus status, bool countDisconnect) {
+    stopHeartbeats();
+    dropConnection(host, countDisconnect);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (host.abortRequested) return RemoteCallStatus::Canceled;
+    switch (status) {
+      case RemoteCallStatus::Stalled:
+        ++stats_.stalls;
+        break;
+      case RemoteCallStatus::Garbled:
+        ++stats_.garbled;
+        break;
+      default:
+        break;
+    }
+    return status;
+  };
+
+  std::string payload;
+  for (;;) {
+    const auto now = Clock::now();
+    const auto readDeadline = std::min(livenessDeadline, jobDeadline);
+    if (readDeadline <= now) {
+      return finish(RemoteCallStatus::Stalled, false);
+    }
+    const int waitMs = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(readDeadline -
+                                                              now)
+            .count() +
+        1);
+    const ReadStatus rs = readFrame(fd, payload, waitMs);
+    if (rs == ReadStatus::Timeout) {
+      return finish(RemoteCallStatus::Stalled, false);
+    }
+    if (rs == ReadStatus::Eof) {
+      return finish(RemoteCallStatus::Disconnected, true);
+    }
+    if (rs == ReadStatus::Garbled) {
+      return finish(RemoteCallStatus::Garbled, false);
+    }
+    livenessDeadline = Clock::now() + livenessMs;
+    try {
+      const WireMap envelope = WireMap::decode(payload);
+      const std::string type = envelope.get("type");
+      if (type == "pong") continue;
+      if (type != "result") {
+        return finish(RemoteCallStatus::Garbled, false);
+      }
+      if (envelope.getUint("id") != id) {
+        // A duplicated or stale reply (DuplicateReply fault, retransmit
+        // race): count it and keep waiting for ours.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.duplicatesDropped;
+        continue;
+      }
+      result = decodeResult(WireMap::decode(envelope.get("result")));
+    } catch (const ProtocolError&) {
+      return finish(RemoteCallStatus::Garbled, false);
+    }
+    stopHeartbeats();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (host.abortRequested) return RemoteCallStatus::Canceled;
+    ++stats_.jobsAnswered;
+    return RemoteCallStatus::Answered;
+  }
+}
+
+// ---- RemoteLease ---------------------------------------------------------
+
+RemoteLease::~RemoteLease() { pool_->release(hostIndex_); }
+
+RemoteCallStatus RemoteLease::call(const WireJob& job, WireResult& result,
+                                   int deadlineMs) {
+  return pool_->callOn(pool_->hosts_[hostIndex_], job, result, deadlineMs);
+}
+
+void RemoteLease::abort() {
+  std::lock_guard<std::mutex> lock(pool_->mutex_);
+  RemoteHostPool::Host& host = pool_->hosts_[hostIndex_];
+  host.abortRequested = true;
+  if (host.fd >= 0) {
+    // Unblocks a read in call() without invalidating the fd number (the
+    // lease's own dropConnection does the close, under the same mutex).
+    ::shutdown(host.fd, SHUT_RDWR);
+  }
+}
+
+const std::string& RemoteLease::endpoint() const {
+  return pool_->hosts_[hostIndex_].endpoint;
+}
+
+// ---- server --------------------------------------------------------------
+
+namespace {
+
+struct ServerConn {
+  int fd = -1;
+  std::mutex writeMutex;
+  std::atomic<bool> stalled{false};
+  std::atomic<bool> finished{false};
+  std::thread reader;
+  std::thread solver;
+  std::atomic<bool> solveBusy{false};
+};
+
+/// Writes the result envelope for `job`, applying any scheduled
+/// connection-level fault. Returns false when the connection must drop.
+bool writeResultEnvelope(ServerConn& conn, std::uint64_t id,
+                         const WireJob& job, const WireResult& result) {
+  using Kind = backends::FaultAction::Kind;
+  WireMap envelope;
+  envelope.set("type", "result");
+  envelope.setUint("id", id);
+  envelope.set("result", encodeResult(result));
+  const std::string bytes = envelope.encode();
+
+  std::optional<Kind> kind;
+  if (const auto action = networkFaultFor(job)) kind = action->kind;
+
+  std::lock_guard<std::mutex> lock(conn.writeMutex);
+  if (kind == Kind::DisconnectMidFrame || kind == Kind::PartialWrite) {
+    // Tear the reply and vanish: the client sees EOF inside a frame.
+    writePartialFrame(conn.fd, bytes);
+    ::shutdown(conn.fd, SHUT_RDWR);
+    return false;
+  }
+  if (kind == Kind::GarbledFrame) {
+    return writeGarbledFrame(conn.fd, bytes);
+  }
+  if (kind == Kind::DuplicateReply) {
+    return writeFrame(conn.fd, bytes) && writeFrame(conn.fd, bytes);
+  }
+  return writeFrame(conn.fd, bytes);
+}
+
+void serveConnection(const std::shared_ptr<ServerConn>& conn,
+                     const ServeOptions& options) {
+  // Handshake first: version + capability check with a bounded wait and a
+  // small payload cap — an arbitrary peer gets one tiny frame to prove it
+  // speaks our protocol before it can hold the slot or demand memory.
+  std::string payload;
+  bool ok = readFrame(conn->fd, payload, options.handshakeTimeoutMs,
+                      kMaxHelloPayload) == ReadStatus::Ok;
+  if (ok) {
+    try {
+      const WireMap hello = WireMap::decode(payload);
+      if (hello.get("type") != "hello" ||
+          hello.getInt("version") != kRemoteProtocolVersion) {
+        WireMap reject;
+        reject.set("type", "hello-reject");
+        reject.set("reason",
+                   "protocol version mismatch (server v" +
+                       std::to_string(kRemoteProtocolVersion) + ")");
+        writeFrame(conn->fd, reject.encode());
+        ok = false;
+      }
+    } catch (const ProtocolError&) {
+      ok = false;
+    }
+  }
+  if (ok) {
+    ok = writeFrame(conn->fd, helloFrame());
+  }
+
+  while (ok && !shutdownRequested()) {
+    const ReadStatus rs = readFrame(conn->fd, payload, /*deadlineMs=*/-1);
+    if (rs != ReadStatus::Ok) break;  // EOF/torn frame: peer is gone
+    try {
+      const WireMap envelope = WireMap::decode(payload);
+      const std::string type = envelope.get("type");
+      if (type == "shutdown") break;
+      if (type == "ping") {
+        if (conn->stalled.load(std::memory_order_acquire)) continue;
+        WireMap pong;
+        pong.set("type", "pong");
+        pong.setUint("id", envelope.getUint("id"));
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        if (!writeFrame(conn->fd, pong.encode())) break;
+        continue;
+      }
+      if (type != "job") break;  // unknown frame: drop the connection
+
+      const std::uint64_t id = envelope.getUint("id");
+      WireJob job;
+      WireResult malformed;
+      try {
+        job = decodeJob(WireMap::decode(envelope.get("job")));
+      } catch (const std::exception& e) {
+        // Checksummed but malformed: answer with an error, like the
+        // subprocess worker loop does, instead of burning a redispatch.
+        malformed.error = e.what();
+        if (!writeResultEnvelope(*conn, id, WireJob{}, malformed)) break;
+        continue;
+      }
+
+      // Connection-level faults that preempt the solve. Worker-kind
+      // faults map onto their network-boundary equivalents: a crashed
+      // host and a vanished host look identical from across a socket.
+      using Kind = backends::FaultAction::Kind;
+      std::optional<Kind> kind;
+      if (const auto action = networkFaultFor(job)) kind = action->kind;
+      if (kind == Kind::StallSocket || kind == Kind::Hang) {
+        // Stop answering heartbeats and withhold the reply; the client's
+        // liveness deadline fires and redispatches.
+        conn->stalled.store(true, std::memory_order_release);
+        continue;
+      }
+      if (kind == Kind::CrashBeforeReply) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+        break;
+      }
+
+      if (conn->solver.joinable()) conn->solver.join();
+      if (conn->solveBusy.load(std::memory_order_acquire)) break;
+      conn->solveBusy.store(true, std::memory_order_release);
+      conn->solver = std::thread([conn, id, job = std::move(job)] {
+        const WireResult result = serveJob(job);
+        writeResultEnvelope(*conn, id, job, result);
+        conn->solveBusy.store(false, std::memory_order_release);
+      });
+    } catch (const ProtocolError&) {
+      break;  // malformed envelope from an untrusted peer: drop it
+    }
+  }
+
+  if (conn->solver.joinable()) conn->solver.join();
+  conn->finished.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+int runServer(const ServeOptions& options) {
+  std::signal(SIGPIPE, SIG_IGN);
+  installSignalWatcher();
+
+  std::string error;
+  const int listenFd = listenSocket(options.listen, &error);
+  if (listenFd < 0) {
+    std::fprintf(stderr, "buffy: %s\n", error.c_str());
+    return 4;
+  }
+  std::printf("buffy: serving on %s (protocol v%lld, caps %s)\n",
+              options.listen.text().c_str(),
+              static_cast<long long>(kRemoteProtocolVersion),
+              remoteCapabilities().c_str());
+  std::fflush(stdout);
+
+  std::vector<std::shared_ptr<ServerConn>> conns;
+  const auto reap = [&conns] {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if ((*it)->finished.load(std::memory_order_acquire)) {
+        if ((*it)->reader.joinable()) (*it)->reader.join();
+        ::close((*it)->fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (!shutdownRequested()) {
+    struct pollfd pfd = {listenFd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) {
+      reap();
+      continue;
+    }
+    const int fd = acceptSocket(listenFd);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<ServerConn>();
+    conn->fd = fd;
+    conn->reader = std::thread(
+        [conn, &options] { serveConnection(conn, options); });
+    conns.push_back(std::move(conn));
+    reap();
+  }
+
+  ::close(listenFd);
+  for (const auto& conn : conns) {
+    // Unblock the reader; the fd itself is closed after the join.
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    ::close(conn->fd);
+  }
+  return 0;
+}
+
+}  // namespace buffy::procs

@@ -1,0 +1,200 @@
+// Remote worker transport (DESIGN.md §15): the machine-boundary tier of
+// the degradation ladder. A `buffy --serve --listen addr:port` process
+// accepts connections and runs the worker loop over each socket; a
+// client-side RemoteHostPool (--connect) hands out single-job host leases
+// that the Supervisor tries before its local subprocess tier.
+//
+// Everything on the wire is the existing checksummed frame protocol; this
+// layer adds a small frame envelope:
+//
+//   hello        {type, version, caps, pid}   both directions, at connect
+//   hello-reject {type, reason}               server -> client, then close
+//   ping / pong  {type, id}                   client pings while waiting
+//   job          {type, id, job}              client -> server
+//   result       {type, id, result}           server -> client
+//   shutdown     {type}                       client -> server, then close
+//
+// Robustness contract (the reason this layer exists):
+//   * hello carries a protocol version + solver capability list, so a
+//     mismatched binary is rejected with a reason at connect time instead
+//     of garbling mid-job;
+//   * the client pings every heartbeatMs while a job is in flight and
+//     treats `livenessMisses` silent periods as a dead host — a stalled
+//     socket costs one liveness deadline, never a full job deadline;
+//   * every reply is matched to the in-flight job id; stale duplicates
+//     (DuplicateReply fault, retransmit races) are counted and dropped;
+//   * reconnects use capped exponential backoff, and
+//     `maxConnectFailures` consecutive failures mark a host dead so the
+//     pool degrades instead of spinning;
+//   * all of it is deterministic under test: network FaultActions ride
+//     the job's fault plan keyed on (scope, attempt) — ConnRefused is
+//     consumed client-side before a byte is sent, the other three by the
+//     serve loop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backends/fault_plan.hpp"
+#include "procs/net.hpp"
+#include "procs/wire.hpp"
+
+namespace buffy::procs {
+
+/// Frame-envelope protocol version; bumped on any incompatible change to
+/// the envelope or the WireJob/WireResult codec.
+constexpr std::int64_t kRemoteProtocolVersion = 1;
+
+/// Comma-joined names of registered backends whose discharge path can run
+/// behind the wire format (BackendCapabilities::remoteable).
+std::string remoteCapabilities();
+
+struct RemoteOptions {
+  /// Ping period while a job is in flight.
+  int heartbeatMs = 250;
+  /// Liveness deadline = heartbeatMs * livenessMisses of silence.
+  unsigned livenessMisses = 4;
+  int connectTimeoutMs = 2000;
+  /// Reconnect backoff: min(backoffCapMs, backoffBaseMs << failures).
+  int backoffBaseMs = 50;
+  int backoffCapMs = 2000;
+  /// Consecutive connect/handshake failures before a host is marked dead.
+  unsigned maxConnectFailures = 3;
+  /// Client-side fault injection (ConnRefused) — deterministic, keyed on
+  /// (job.faultScope, job.attempt) like the worker-loop faults.
+  backends::FaultPlanPtr faultPlan;
+};
+
+/// Remote-tier counters for the CLI's `procs` JSON block.
+struct RemoteStats {
+  std::uint64_t hosts = 0;      // configured endpoints
+  std::uint64_t hostsDead = 0;  // rejected handshake / connect exhaustion
+  std::uint64_t connects = 0;
+  std::uint64_t reconnects = 0;  // successful connects after a failure
+  std::uint64_t helloRejects = 0;
+  std::uint64_t jobsSent = 0;
+  std::uint64_t jobsAnswered = 0;
+  std::uint64_t refusals = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t stalls = 0;  // liveness-deadline expiries
+  std::uint64_t garbled = 0;
+  std::uint64_t duplicatesDropped = 0;
+};
+
+enum class RemoteCallStatus {
+  Answered,      // result decoded (possibly a clean in-worker error)
+  Refused,       // connect failed / injected ConnRefused / handshake lost
+  Disconnected,  // EOF or torn frame mid-call
+  Stalled,       // liveness or job deadline expired
+  Garbled,       // checksum-valid but malformed reply
+  Canceled,      // abort() closed the socket under us
+};
+
+class RemoteHostPool;
+
+/// Exclusive use of one remote host for one job attempt. Returned to the
+/// pool on destruction; abort() is thread-safe and makes a blocked call()
+/// return promptly (the cancel path, mirroring WorkerProcess::signalKill).
+class RemoteLease {
+ public:
+  ~RemoteLease();
+  RemoteLease(const RemoteLease&) = delete;
+  RemoteLease& operator=(const RemoteLease&) = delete;
+
+  /// Connects (lazily, with handshake), sends the job, and pumps
+  /// heartbeats until the matching result frame, a failure, or
+  /// `deadlineMs` elapses. On any non-Answered status the connection is
+  /// torn down so no stale bytes survive into the next lease.
+  RemoteCallStatus call(const WireJob& job, WireResult& result,
+                        int deadlineMs);
+  void abort();
+
+  [[nodiscard]] const std::string& endpoint() const;
+
+ private:
+  friend class RemoteHostPool;
+  RemoteLease(RemoteHostPool* pool, std::size_t hostIndex)
+      : pool_(pool), hostIndex_(hostIndex) {}
+
+  RemoteHostPool* pool_;
+  std::size_t hostIndex_;
+};
+
+/// The --connect worker tier: a fixed set of `buffy --serve` endpoints,
+/// handed out one job at a time per host. Thread-safe; leases block until
+/// a usable host frees up (bounded by the callers' own job deadlines) and
+/// fail fast once every host is dead.
+class RemoteHostPool {
+ public:
+  RemoteHostPool(std::vector<HostPort> hosts, RemoteOptions options);
+  ~RemoteHostPool();
+  RemoteHostPool(const RemoteHostPool&) = delete;
+  RemoteHostPool& operator=(const RemoteHostPool&) = delete;
+
+  /// False once every host is dead (handshake-rejected or connect
+  /// exhausted) — the Supervisor then skips straight to the local tier.
+  [[nodiscard]] bool available() const;
+
+  /// Blocks until a live host is free; nullptr when none can ever serve
+  /// (all dead) or the pool is shutting down. `avoidEndpoint` steers a
+  /// redispatch away from the host that just failed when another live
+  /// host exists.
+  std::unique_ptr<RemoteLease> checkout(const std::string& avoidEndpoint = "");
+
+  [[nodiscard]] RemoteStats stats() const;
+  [[nodiscard]] const RemoteOptions& options() const { return options_; }
+
+  /// Closes every connection and wakes blocked checkouts.
+  void shutdown();
+
+ private:
+  friend class RemoteLease;
+
+  struct Host {
+    HostPort addr;
+    std::string endpoint;  // cached addr.text()
+    int fd = -1;           // connected + handshaken socket, -1 when down
+    bool busy = false;
+    bool dead = false;
+    bool abortRequested = false;
+    bool everConnected = false;
+    unsigned connectFailures = 0;
+    std::chrono::steady_clock::time_point backoffUntil{};
+    std::uint64_t seq = 0;  // job id generator, monotonic per host
+  };
+
+  RemoteCallStatus callOn(Host& host, const WireJob& job, WireResult& result,
+                          int deadlineMs);
+  bool ensureConnected(Host& host);  // connect + hello, under no lock
+  void dropConnection(Host& host, bool countDisconnect);
+  void release(std::size_t hostIndex);
+
+  RemoteOptions options_;
+  mutable std::mutex mutex_;  // guards hosts_ state flags + stats_
+  std::condition_variable freeCv_;
+  std::vector<Host> hosts_;
+  RemoteStats stats_;
+  bool shutdown_ = false;
+};
+
+struct ServeOptions {
+  HostPort listen;
+  /// Handshake must complete this fast or the connection is dropped — an
+  /// unauthenticated peer never holds a slot open indefinitely.
+  int handshakeTimeoutMs = 5000;
+};
+
+/// The `buffy --serve --listen` entry point: accepts connections and runs
+/// the worker loop over each socket (one reader thread + one solve thread
+/// per connection, so heartbeats are answered mid-solve). Announces
+/// "serving on host:port" on stdout once listening; returns 0 on
+/// SIGINT/SIGTERM shutdown, 4 when the listen socket cannot be opened.
+int runServer(const ServeOptions& options);
+
+}  // namespace buffy::procs
