@@ -3,7 +3,24 @@
 // symbolic-encoding build. These quantify the compiler-side cost that the
 // paper's approach adds on top of raw solver time (negligible next to
 // Figure 6's solver growth).
+//
+// Two families:
+//  * the historical single-model benchmarks (BM_Lex .. BM_Simulate) over
+//    the library's buggy FQ model, kept name-stable so BENCH_frontend.json
+//    stays comparable across revisions;
+//  * per-stage timers (BM_StageParse/BM_StageTypecheck/BM_StageInline/
+//    BM_StageUnroll) and the combined parse->recheck pipeline
+//    (BM_FrontHalf) over the largest examples/models/*.bfy files, each row
+//    reporting the arena's node count as an `astNodes` counter
+//    (schema-checked by tools/validate_bench.py).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/analysis.hpp"
 #include "lang/lexer.hpp"
@@ -40,44 +57,178 @@ BENCHMARK(BM_Parse);
 
 void BM_TypecheckAndElaborate(benchmark::State& state) {
   for (auto _ : state) {
-    lang::Program prog = lang::parse(models::kFairQueueBuggy);
-    lang::checkOrThrow(prog, fqOptions());
-    benchmark::DoNotOptimize(prog);
+    lang::Ast ast = lang::parse(models::kFairQueueBuggy);
+    lang::checkOrThrow(ast, fqOptions());
+    benchmark::DoNotOptimize(ast);
   }
 }
 BENCHMARK(BM_TypecheckAndElaborate);
 
 void BM_InlineAndFold(benchmark::State& state) {
-  lang::Program compiled = lang::parse(models::kFairQueueBuggy);
+  lang::Ast compiled = lang::parse(models::kFairQueueBuggy);
   lang::checkOrThrow(compiled, fqOptions());
   for (auto _ : state) {
-    lang::Program prog = compiled.clone();
-    transform::inlineFunctions(prog);
-    transform::foldConstants(prog);
-    benchmark::DoNotOptimize(prog);
+    lang::Ast ast = compiled;  // whole-program clone: bulk pool copy
+    transform::inlineFunctions(ast);
+    transform::foldConstants(ast);
+    benchmark::DoNotOptimize(ast);
   }
 }
 BENCHMARK(BM_InlineAndFold);
 
 void BM_Unroll(benchmark::State& state) {
-  lang::Program compiled = lang::parse(models::kFairQueueBuggy);
+  lang::Ast compiled = lang::parse(models::kFairQueueBuggy);
   lang::checkOrThrow(compiled, fqOptions());
   transform::foldConstants(compiled);
   for (auto _ : state) {
-    lang::Program prog = compiled.clone();
-    transform::unrollLoops(prog);
-    benchmark::DoNotOptimize(prog);
+    lang::Ast ast = compiled;
+    transform::unrollLoops(ast);
+    benchmark::DoNotOptimize(ast);
   }
 }
 BENCHMARK(BM_Unroll);
 
 void BM_PrettyPrint(benchmark::State& state) {
-  lang::Program compiled = lang::parse(models::kFairQueueBuggy);
+  lang::Ast compiled = lang::parse(models::kFairQueueBuggy);
   for (auto _ : state) {
     benchmark::DoNotOptimize(lang::printProgram(compiled));
   }
 }
 BENCHMARK(BM_PrettyPrint);
+
+// ---------------------------------------------------------------------------
+// Per-stage timers over the largest example models
+// ---------------------------------------------------------------------------
+
+lang::CompileOptions exampleOptions() {
+  lang::CompileOptions opts;
+  opts.constants = {
+      {"N", 3}, {"RATE", 2}, {"BUCKET", 4}, {"RTO", 3}, {"QUANTUM", 2}};
+  opts.defaultListCapacity = 3;
+  return opts;
+}
+
+struct ExampleModel {
+  std::string name;
+  std::string source;
+};
+
+/// The `count` largest examples/models/*.bfy files by source size (ties
+/// broken by name, so the selection is stable across hosts).
+std::vector<ExampleModel> largestExampleModels(std::size_t count) {
+  namespace fs = std::filesystem;
+  std::vector<ExampleModel> found;
+  for (const auto& entry : fs::directory_iterator(BUFFY_EXAMPLES_DIR)) {
+    if (entry.path().extension() != ".bfy") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    found.push_back({entry.path().stem().string(), text.str()});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const ExampleModel& a, const ExampleModel& b) {
+              if (a.source.size() != b.source.size()) {
+                return a.source.size() > b.source.size();
+              }
+              return a.name < b.name;
+            });
+  if (found.size() > count) found.resize(count);
+  return found;
+}
+
+void stageParse(benchmark::State& state, const ExampleModel& model) {
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    lang::Ast ast = lang::parse(model.source);
+    nodes = ast.arena.nodeCount();
+    benchmark::DoNotOptimize(ast);
+  }
+  state.counters["astNodes"] = static_cast<double>(nodes);
+}
+
+void stageTypecheck(benchmark::State& state, const ExampleModel& model) {
+  const lang::Ast parsed = lang::parse(model.source);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    lang::Ast ast = parsed;
+    lang::checkOrThrow(ast, exampleOptions());
+    nodes = ast.arena.nodeCount();
+    benchmark::DoNotOptimize(ast);
+  }
+  state.counters["astNodes"] = static_cast<double>(nodes);
+}
+
+void stageInline(benchmark::State& state, const ExampleModel& model) {
+  lang::Ast compiled = lang::parse(model.source);
+  lang::checkOrThrow(compiled, exampleOptions());
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    lang::Ast ast = compiled;
+    transform::inlineFunctions(ast);
+    nodes = ast.arena.nodeCount();
+    benchmark::DoNotOptimize(ast);
+  }
+  state.counters["astNodes"] = static_cast<double>(nodes);
+}
+
+void stageUnroll(benchmark::State& state, const ExampleModel& model) {
+  lang::Ast compiled = lang::parse(model.source);
+  lang::checkOrThrow(compiled, exampleOptions());
+  transform::inlineFunctions(compiled);
+  transform::foldConstants(compiled);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    lang::Ast ast = compiled;
+    transform::unrollLoops(ast);
+    nodes = ast.arena.nodeCount();
+    benchmark::DoNotOptimize(ast);
+  }
+  state.counters["astNodes"] = static_cast<double>(nodes);
+}
+
+/// The full front half per iteration: parse -> elaborate/typecheck ->
+/// inline -> constfold -> unroll -> recheck. This is the end-to-end
+/// compiler-side number the paper's overhead argument rests on.
+void frontHalf(benchmark::State& state, const ExampleModel& model) {
+  const lang::CompileOptions opts = exampleOptions();
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    lang::Ast ast = lang::parse(model.source);
+    lang::checkOrThrow(ast, opts);
+    transform::inlineFunctions(ast);
+    transform::foldConstants(ast);
+    transform::unrollLoops(ast);
+    DiagnosticEngine diag;
+    (void)lang::typecheck(ast, opts, diag);
+    nodes = ast.arena.nodeCount();
+    benchmark::DoNotOptimize(ast);
+  }
+  state.counters["astNodes"] = static_cast<double>(nodes);
+}
+
+void registerExampleStageBenchmarks() {
+  static const std::vector<ExampleModel> models = largestExampleModels(3);
+  for (const ExampleModel& model : models) {
+    benchmark::RegisterBenchmark(
+        ("BM_StageParse/" + model.name).c_str(),
+        [&model](benchmark::State& s) { stageParse(s, model); });
+    benchmark::RegisterBenchmark(
+        ("BM_StageTypecheck/" + model.name).c_str(),
+        [&model](benchmark::State& s) { stageTypecheck(s, model); });
+    benchmark::RegisterBenchmark(
+        ("BM_StageInline/" + model.name).c_str(),
+        [&model](benchmark::State& s) { stageInline(s, model); });
+    benchmark::RegisterBenchmark(
+        ("BM_StageUnroll/" + model.name).c_str(),
+        [&model](benchmark::State& s) { stageUnroll(s, model); });
+    benchmark::RegisterBenchmark(
+        ("BM_FrontHalf/" + model.name).c_str(),
+        [&model](benchmark::State& s) { frontHalf(s, model); });
+  }
+}
+
+const bool kStageBenchmarksRegistered =
+    (registerExampleStageBenchmarks(), true);
 
 core::Network fqNet(int n) {
   core::ProgramSpec spec;

@@ -24,7 +24,7 @@ int main() {
   constexpr int kHorizon = 4;
 
   // --- Dafny back-end ---
-  lang::Program prog = lang::parse(models::kFairQueueBuggy);
+  lang::Ast prog = lang::parse(models::kFairQueueBuggy);
   lang::CompileOptions copts;
   copts.constants["N"] = kQueues;
   copts.defaultListCapacity = kQueues;

@@ -38,7 +38,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
 
   bool parsedClean = false;
   try {
-    const buffy::lang::Program prog = buffy::lang::parse(src, budget);
+    const buffy::lang::Ast prog = buffy::lang::parse(src, budget);
     parsedClean = true;
     // The printer must handle anything the parser accepted.
     (void)buffy::lang::printProgram(prog);
@@ -49,7 +49,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
 
   buffy::DiagnosticEngine diag;
   try {
-    const buffy::lang::Program prog =
+    const buffy::lang::Ast prog =
         buffy::lang::parseRecover(src, diag, budget);
     (void)buffy::lang::printProgram(prog);
   } catch (const buffy::BudgetExceeded&) {

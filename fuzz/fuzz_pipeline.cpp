@@ -46,7 +46,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   try {
     // Batched front half, exactly as the CLI drives it.
     buffy::DiagnosticEngine diag;
-    buffy::lang::Program prog = buffy::lang::parseRecover(src, diag, budget);
+    buffy::lang::Ast prog = buffy::lang::parseRecover(src, diag, budget);
     buffy::lang::CompileOptions copts;
     copts.constants["N"] = 2;
     copts.constants["K"] = 3;

@@ -40,7 +40,7 @@ struct DafnyOptions {
 
 /// Renders the program (must be inlined; loops may remain and are emitted
 /// as unrolled iterations) as a self-contained Dafny method.
-[[nodiscard]] std::string emitDafny(const lang::Program& prog,
+[[nodiscard]] std::string emitDafny(const lang::Ast& ast,
                                     const DafnyOptions& options);
 
 }  // namespace buffy::backends

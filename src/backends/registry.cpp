@@ -113,7 +113,7 @@ class DafnyRegistryBackend final : public SolverBackend {
       dopts.inputParams.push_back(spec.param);
       dopts.maxArrivalsPerStep = spec.maxArrivalsPerStep;
     }
-    return emitDafny(target->program, dopts);
+    return emitDafny(target->ast, dopts);
   }
 };
 

@@ -39,47 +39,51 @@ struct GlobalDecl {
 
 /// Collects every global/monitor declaration in a (folded) program body,
 /// requiring constant initializers (CHC restriction).
-void collectGlobals(const lang::BlockStmt& block,
+void collectGlobals(const lang::AstArena& arena, lang::StmtId block,
                     std::vector<GlobalDecl>& out) {
-  for (const auto& stmt : block.stmts) {
-    switch (stmt->stmtKind) {
+  const lang::StmtSpan span = arena.stmt(block).block.stmts;
+  for (std::uint32_t i = 0; i < span.count; ++i) {
+    const lang::StmtId stmtId = arena.spanAt(span, i);
+    const lang::StmtNode& stmt = arena.stmt(stmtId);
+    switch (stmt.kind) {
       case lang::StmtKind::Decl: {
-        const auto& s = static_cast<const lang::DeclStmt&>(*stmt);
+        const auto& s = stmt.decl;
         if (s.storage != lang::Storage::Global &&
             s.storage != lang::Storage::Monitor) {
           break;
         }
         GlobalDecl decl;
-        decl.name = s.name;
+        decl.name = arena.str(s.name);
         decl.type = s.declType;
         decl.monitor = s.storage == lang::Storage::Monitor;
-        if (s.init != nullptr) {
-          if (s.init->exprKind == lang::ExprKind::IntLit) {
-            decl.init = static_cast<const lang::IntLitExpr&>(*s.init).value;
-          } else if (s.init->exprKind == lang::ExprKind::BoolLit) {
-            decl.init =
-                static_cast<const lang::BoolLitExpr&>(*s.init).value ? 1 : 0;
+        if (s.init.valid()) {
+          const lang::ExprNode& init = arena.expr(s.init);
+          if (init.kind == lang::ExprKind::IntLit) {
+            decl.init = init.intLit.value;
+          } else if (init.kind == lang::ExprKind::BoolLit) {
+            decl.init = init.boolLit.value ? 1 : 0;
           } else {
             throw AnalysisError(
-                "CHC mode requires constant global initializers; '" + s.name +
-                    "' is initialized with " + lang::printExpr(*s.init),
-                s.loc);
+                "CHC mode requires constant global initializers; '" +
+                    decl.name + "' is initialized with " +
+                    lang::printExpr(arena, s.init),
+                arena.stmtLoc(stmtId));
           }
         }
         out.push_back(std::move(decl));
         break;
       }
       case lang::StmtKind::Block:
-        collectGlobals(static_cast<const lang::BlockStmt&>(*stmt), out);
+        collectGlobals(arena, stmtId, out);
         break;
       case lang::StmtKind::If: {
-        const auto& s = static_cast<const lang::IfStmt&>(*stmt);
-        collectGlobals(*s.thenBlock, out);
-        if (s.elseBlock) collectGlobals(*s.elseBlock, out);
+        const auto& s = stmt.ifs;
+        collectGlobals(arena, s.thenBlock, out);
+        if (s.elseBlock.valid()) collectGlobals(arena, s.elseBlock, out);
         break;
       }
       case lang::StmtKind::For:
-        collectGlobals(*static_cast<const lang::ForStmt&>(*stmt).body, out);
+        collectGlobals(arena, stmt.fors.body, out);
         break;
       default:
         break;
@@ -89,7 +93,7 @@ void collectGlobals(const lang::BlockStmt& block,
 
 struct CompiledInstance {
   std::string name;
-  lang::Program program;
+  lang::Ast ast;
   lang::TypecheckResult symbols;
   std::vector<BufferSpec> buffers;
   std::vector<GlobalDecl> globals;
@@ -98,9 +102,9 @@ struct CompiledInstance {
 CompiledInstance compileSpec(const ProgramSpec& spec,
                              const CompileBudget& budget) {
   CompiledInstance ci;
-  ci.program = lang::parse(spec.source, budget);
-  ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
-  ci.symbols = lang::checkOrThrow(ci.program, spec.compile);
+  ci.ast = lang::parse(spec.source, budget);
+  ci.name = spec.instance.empty() ? ci.ast.program.name : spec.instance;
+  ci.symbols = lang::checkOrThrow(ci.ast, spec.compile);
   ci.buffers = spec.buffers;
 
   sem::BufferRoles roles;
@@ -109,15 +113,15 @@ CompiledInstance compileSpec(const ProgramSpec& spec,
     if (b.role == BufferSpec::Role::Output) roles.outputs.insert(b.param);
   }
   DiagnosticEngine diag;
-  sem::checkWellFormed(ci.program, roles, diag);
-  sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
+  sem::checkWellFormed(ci.ast, roles, diag);
+  sem::checkGhostNonInterference(ci.ast, ci.symbols.monitors, diag);
   if (diag.hasErrors()) {
     throw SemanticError("semantic checks failed for '" + ci.name + "':\n" +
                         diag.renderAll());
   }
-  transform::inlineFunctions(ci.program, budget);
-  transform::foldConstants(ci.program);
-  collectGlobals(*ci.program.body, ci.globals);
+  transform::inlineFunctions(ci.ast, budget);
+  transform::foldConstants(ci.ast);
+  collectGlobals(ci.ast.arena, ci.ast.program.body, ci.globals);
   return ci;
 }
 
@@ -235,7 +239,7 @@ class TransitionBuilder {
     for (const auto& ci : instances_) {
       eval::Evaluator evaluator(arena, store, sinks, ci.name + ".");
       evaluator.setBudget(options_.budget);
-      evaluator.execStep(ci.program, 1);
+      evaluator.execStep(ci.ast, 1);
     }
     // 3. Connection flushes.
     for (const auto& conn : network_.connections()) {

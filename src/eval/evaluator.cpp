@@ -5,9 +5,13 @@
 
 namespace buffy::eval {
 
-using lang::Expr;
+using lang::ExprId;
 using lang::ExprKind;
+using lang::ExprNode;
+using lang::StmtId;
 using lang::StmtKind;
+using lang::StmtNode;
+using lang::StmtSpan;
 using lang::Type;
 using lang::TypeKind;
 
@@ -27,13 +31,14 @@ std::string Evaluator::bufferStoreName(const std::string& param,
   return prefix_ + param + "." + std::to_string(index);
 }
 
-void Evaluator::execStep(const lang::Program& prog, int step) {
+void Evaluator::execStep(const lang::Ast& ast, int step) {
+  ast_ = &ast.arena;
   step_ = step;
   execCount_ = 0;  // maxExecStmts is a per-step allowance
   path_ = arena_.trueTerm();
   bufferArraySizes_.clear();
   paramTypes_.clear();
-  for (const auto& p : prog.params) {
+  for (const auto& p : ast.program.params) {
     paramTypes_[p.name] = p.type;
     if (p.type.kind == TypeKind::BufferArray) {
       bufferArraySizes_[p.name] = p.type.size;
@@ -41,91 +46,95 @@ void Evaluator::execStep(const lang::Program& prog, int step) {
   }
   store_->clearLocals();
   store_->pushScope();
-  execBlock(*prog.body);
+  execBlock(ast.program.body);
   store_->popScope();
+  ast_ = nullptr;
 }
 
 // ---------------------------------------------------------------------------
 // Statements
 // ---------------------------------------------------------------------------
 
-void Evaluator::execBlock(const lang::BlockStmt& block) {
+void Evaluator::execBlock(StmtId block) {
   store_->pushScope();
-  for (const auto& stmt : block.stmts) execStmt(*stmt);
+  const StmtSpan span = ast().stmt(block).block.stmts;
+  for (std::uint32_t i = 0; i < span.count; ++i) {
+    execStmt(ast().spanAt(span, i));
+  }
   store_->popScope();
 }
 
-void Evaluator::execStmt(const lang::Stmt& stmt) {
+void Evaluator::execStmt(StmtId id) {
   ++execCount_;
-  checkBudget(execCount_, budget_.maxExecStmts, "exec-stmts", stmt.loc);
-  switch (stmt.stmtKind) {
+  const StmtNode& stmt = ast().stmt(id);
+  const SourceLoc loc = ast().stmtLoc(id);
+  checkBudget(execCount_, budget_.maxExecStmts, "exec-stmts", loc);
+  switch (stmt.kind) {
     case StmtKind::Block:
-      execBlock(static_cast<const lang::BlockStmt&>(stmt));
+      execBlock(id);
       break;
     case StmtKind::Decl:
-      execDecl(static_cast<const lang::DeclStmt&>(stmt));
+      execDecl(id);
       break;
     case StmtKind::Assign:
-      execAssign(static_cast<const lang::AssignStmt&>(stmt));
+      execAssign(id);
       break;
     case StmtKind::If:
-      execIf(static_cast<const lang::IfStmt&>(stmt));
+      execIf(id);
       break;
     case StmtKind::For:
-      execFor(static_cast<const lang::ForStmt&>(stmt));
+      execFor(id);
       break;
     case StmtKind::Move:
-      execMove(static_cast<const lang::MoveStmt&>(stmt));
+      execMove(id);
       break;
     case StmtKind::ListPush: {
-      const auto& s = static_cast<const lang::ListPushStmt&>(stmt);
-      const ir::TermRef value = evalExpr(*s.value);
-      SymList& list = findList(s.list, s.loc);
+      const auto& s = stmt.listPush;
+      const ir::TermRef value = eval(s.value);
+      SymList& list = findList(ast().str(s.list), loc);
       list.pushBack(value, arena_.trueTerm());
       sinks_.soundness->push_back(
           arena_.implies(path_, arena_.mkNot(list.overflowedTerm())));
       break;
     }
     case StmtKind::PopFront: {
-      const auto& s = static_cast<const lang::PopFrontStmt&>(stmt);
-      SymList& list = findList(s.list, s.loc);
+      const auto& s = stmt.popFront;
+      SymList& list = findList(ast().str(s.list), loc);
       const ir::TermRef popped = list.popFront(arena_.trueTerm());
-      Value* target = store_->find(qualify(s.target));
+      Value* target = store_->find(qualify(ast().str(s.target)));
       if (target == nullptr || target->kind != Value::Kind::Scalar) {
-        throw AnalysisError("pop_front target '" + s.target +
+        throw AnalysisError("pop_front target '" + ast().str(s.target) +
                                 "' is not a scalar variable",
-                            s.loc);
+                            loc);
       }
       target->scalar = popped;
       break;
     }
     case StmtKind::Assert: {
-      const auto& s = static_cast<const lang::AssertStmt&>(stmt);
       sinks_.obligations->push_back(Obligation{
-          arena_.implies(path_, evalExpr(*s.cond)), s.loc,
-          "assert at " + s.loc.str()});
+          arena_.implies(path_, eval(stmt.guard.cond)), loc,
+          "assert at " + loc.str()});
       break;
     }
     case StmtKind::Assume: {
-      const auto& s = static_cast<const lang::AssumeStmt&>(stmt);
       sinks_.assumptions->push_back(
-          arena_.implies(path_, evalExpr(*s.cond)));
+          arena_.implies(path_, eval(stmt.guard.cond)));
       break;
     }
     case StmtKind::Return:
       throw AnalysisError(
           "return in program body (only allowed in def functions; run the "
           "inliner before evaluation)",
-          stmt.loc);
+          loc);
     case StmtKind::ExprStmt: {
-      const auto& s = static_cast<const lang::ExprStmt&>(stmt);
-      if (s.expr->exprKind == ExprKind::Call) {
+      const ExprId e = stmt.exprStmt.expr;
+      if (ast().expr(e).kind == ExprKind::Call) {
         throw AnalysisError(
             "call to user function survives to evaluation; run the inliner "
             "first",
-            s.loc);
+            loc);
       }
-      evalExpr(*s.expr);
+      eval(e);
       break;
     }
   }
@@ -150,8 +159,9 @@ Value Evaluator::defaultValue(const Type& type, const std::string& name) const {
   }
 }
 
-void Evaluator::execDecl(const lang::DeclStmt& decl) {
-  const std::string name = qualify(decl.name);
+void Evaluator::execDecl(StmtId id) {
+  const auto& decl = ast().stmt(id).decl;
+  const std::string name = qualify(ast().str(decl.name));
   if (decl.storage == lang::Storage::Havoc) {
     // A fresh nondeterministic value every execution (paper §6: havoc
     // variables, constrained by subsequent assume statements).
@@ -166,45 +176,48 @@ void Evaluator::execDecl(const lang::DeclStmt& decl) {
   if (persistent) {
     if (step_ > 0 || store_->hasGlobal(name)) return;  // persists across steps
     Value v = defaultValue(decl.declType, name);
-    if (decl.init) v.scalar = evalExpr(*decl.init);
+    if (decl.init.valid()) v.scalar = eval(decl.init);
     store_->defineGlobal(name, std::move(v),
                          decl.storage == lang::Storage::Monitor);
     return;
   }
   Value v = defaultValue(decl.declType, name);
-  if (decl.init) v.scalar = evalExpr(*decl.init);
+  if (decl.init.valid()) v.scalar = eval(decl.init);
   store_->declareLocal(name, std::move(v));
 }
 
-void Evaluator::execAssign(const lang::AssignStmt& stmt) {
-  const ir::TermRef value = evalExpr(*stmt.value);
-  Value* target = store_->find(qualify(stmt.target));
+void Evaluator::execAssign(StmtId id) {
+  const auto& stmt = ast().stmt(id).assign;
+  const SourceLoc loc = ast().stmtLoc(id);
+  const std::string targetName = ast().str(stmt.target);
+  const ir::TermRef value = eval(stmt.value);
+  Value* target = store_->find(qualify(targetName));
   if (target == nullptr) {
-    throw AnalysisError("assignment to unknown variable '" + stmt.target + "'",
-                        stmt.loc);
+    throw AnalysisError("assignment to unknown variable '" + targetName + "'",
+                        loc);
   }
-  if (stmt.index == nullptr) {
+  if (!stmt.index.valid()) {
     if (target->kind != Value::Kind::Scalar) {
-      throw AnalysisError("cannot assign whole aggregate '" + stmt.target +
+      throw AnalysisError("cannot assign whole aggregate '" + targetName +
                               "'",
-                          stmt.loc);
+                          loc);
     }
     target->scalar = value;
     return;
   }
   if (target->kind != Value::Kind::Array) {
-    throw AnalysisError("indexed assignment to non-array '" + stmt.target +
+    throw AnalysisError("indexed assignment to non-array '" + targetName +
                             "'",
-                        stmt.loc);
+                        loc);
   }
-  const ir::TermRef index = evalExpr(*stmt.index);
+  const ir::TermRef index = eval(stmt.index);
   const int n = static_cast<int>(target->array.size());
   if (const auto c = ir::constValue(index)) {
     if (*c < 0 || *c >= n) {
       throw AnalysisError("index " + std::to_string(*c) +
-                              " out of bounds for '" + stmt.target + "' (size " +
+                              " out of bounds for '" + targetName + "' (size " +
                               std::to_string(n) + ")",
-                          stmt.loc);
+                          loc);
     }
     target->array[static_cast<std::size_t>(*c)] = value;
     return;
@@ -218,14 +231,15 @@ void Evaluator::execAssign(const lang::AssignStmt& stmt) {
   }
 }
 
-void Evaluator::execIf(const lang::IfStmt& stmt) {
-  const ir::TermRef cond = evalExpr(*stmt.cond);
+void Evaluator::execIf(StmtId id) {
+  const auto stmt = ast().stmt(id).ifs;
+  const ir::TermRef cond = eval(stmt.cond);
   if (cond->isTrue()) {
-    execBlock(*stmt.thenBlock);
+    execBlock(stmt.thenBlock);
     return;
   }
   if (cond->isFalse()) {
-    if (stmt.elseBlock) execBlock(*stmt.elseBlock);
+    if (stmt.elseBlock.valid()) execBlock(stmt.elseBlock);
     return;
   }
 
@@ -233,62 +247,65 @@ void Evaluator::execIf(const lang::IfStmt& stmt) {
   Store snapshot = *store_;  // deep copy
 
   path_ = arena_.mkAnd(pathIn, cond);
-  execBlock(*stmt.thenBlock);
+  execBlock(stmt.thenBlock);
   Store thenStore = std::move(*store_);
 
   *store_ = std::move(snapshot);
   path_ = arena_.mkAnd(pathIn, arena_.mkNot(cond));
-  if (stmt.elseBlock) execBlock(*stmt.elseBlock);
+  if (stmt.elseBlock.valid()) execBlock(stmt.elseBlock);
 
   thenStore.mergeElse(cond, *store_);
   *store_ = std::move(thenStore);
   path_ = pathIn;
 }
 
-std::int64_t Evaluator::requireConst(const Expr& expr, const char* what) {
-  const ir::TermRef term = evalExpr(expr);
+std::int64_t Evaluator::requireConst(ExprId expr, const char* what) {
+  const ir::TermRef term = eval(expr);
   const auto c = ir::constValue(term);
   if (!c) {
     throw AnalysisError(std::string(what) +
                             " must be a compile-time constant (got symbolic "
                             "term " +
                             ir::toSExpr(term) + ")",
-                        expr.loc);
+                        ast().exprLoc(expr));
   }
   return *c;
 }
 
-void Evaluator::execFor(const lang::ForStmt& stmt) {
-  const std::int64_t lo = requireConst(*stmt.lo, "loop lower bound");
-  const std::int64_t hi = requireConst(*stmt.hi, "loop upper bound");
+void Evaluator::execFor(StmtId id) {
+  const auto stmt = ast().stmt(id).fors;
+  const std::int64_t lo = requireConst(stmt.lo, "loop lower bound");
+  const std::int64_t hi = requireConst(stmt.hi, "loop upper bound");
+  const std::string var = qualify(ast().str(stmt.var));
   for (std::int64_t i = lo; i < hi; ++i) {
     store_->pushScope();
-    store_->declareLocal(qualify(stmt.var),
-                         Value::makeScalar(arena_.intConst(i)));
-    execBlock(*stmt.body);
+    store_->declareLocal(var, Value::makeScalar(arena_.intConst(i)));
+    execBlock(stmt.body);
     store_->popScope();
   }
 }
 
-void Evaluator::execMove(const lang::MoveStmt& stmt) {
-  const ir::TermRef amount = evalExpr(*stmt.amount);
-  const auto srcChoices = evalBufferChoices(*stmt.src);
-  const auto dstChoices = evalBufferChoices(*stmt.dst);
+void Evaluator::execMove(StmtId id) {
+  const auto stmt = ast().stmt(id).move;
+  const SourceLoc loc = ast().stmtLoc(id);
+  const ir::TermRef amount = eval(stmt.amount);
+  const auto srcChoices = evalBufferChoices(stmt.src);
+  const auto dstChoices = evalBufferChoices(stmt.dst);
   for (const auto& src : srcChoices) {
     if (src.filter) {
-      throw AnalysisError("move source cannot be a filtered view", stmt.loc);
+      throw AnalysisError("move source cannot be a filtered view", loc);
     }
     for (const auto& dst : dstChoices) {
       if (dst.filter) {
         throw AnalysisError("move destination cannot be a filtered view",
-                            stmt.loc);
+                            loc);
       }
       if (src.buf == dst.buf) {
         // Symbolic selection may alias; a self-move is a no-op, so only
         // reject it when it is unconditional.
         if (src.cond->isTrue() && dst.cond->isTrue()) {
           throw AnalysisError("move with identical source and destination",
-                              stmt.loc);
+                              loc);
         }
         continue;
       }
@@ -314,50 +331,50 @@ SymList& Evaluator::findList(const std::string& name, SourceLoc loc) {
   return v->asList();
 }
 
-std::vector<Evaluator::BufferChoice> Evaluator::evalBufferChoices(
-    const Expr& expr) {
-  switch (expr.exprKind) {
+std::vector<Evaluator::BufferChoice> Evaluator::evalBufferChoices(ExprId id) {
+  const ExprNode& expr = ast().expr(id);
+  const SourceLoc loc = ast().exprLoc(id);
+  switch (expr.kind) {
     case ExprKind::VarRef: {
-      const auto& e = static_cast<const lang::VarRefExpr&>(expr);
-      buffers::SymBuffer* buf = store_->buffer(bufferStoreName(e.name));
+      const std::string name = ast().str(expr.varRef.name);
+      buffers::SymBuffer* buf = store_->buffer(bufferStoreName(name));
       if (buf == nullptr) {
-        throw AnalysisError("buffer '" + e.name + "' is not registered",
-                            e.loc);
+        throw AnalysisError("buffer '" + name + "' is not registered", loc);
       }
       return {BufferChoice{buf, arena_.trueTerm(), std::nullopt}};
     }
     case ExprKind::Index: {
-      const auto& e = static_cast<const lang::IndexExpr&>(expr);
-      const auto sizeIt = bufferArraySizes_.find(e.base);
+      const std::string base = ast().str(expr.index.base);
+      const auto sizeIt = bufferArraySizes_.find(base);
       if (sizeIt == bufferArraySizes_.end()) {
-        throw AnalysisError("'" + e.base + "' is not a buffer array", e.loc);
+        throw AnalysisError("'" + base + "' is not a buffer array", loc);
       }
       const int n = sizeIt->second;
-      const ir::TermRef index = evalExpr(*e.index);
+      const ir::TermRef index = eval(expr.index.index);
       std::vector<BufferChoice> choices;
       if (const auto c = ir::constValue(index)) {
         if (*c < 0 || *c >= n) {
           throw AnalysisError("buffer index " + std::to_string(*c) +
-                                  " out of bounds for '" + e.base + "'",
-                              e.loc);
+                                  " out of bounds for '" + base + "'",
+                              loc);
         }
         buffers::SymBuffer* buf = store_->buffer(
-            bufferStoreName(e.base, static_cast<int>(*c)));
+            bufferStoreName(base, static_cast<int>(*c)));
         if (buf == nullptr) {
-          throw AnalysisError("buffer '" + e.base + "[" + std::to_string(*c) +
+          throw AnalysisError("buffer '" + base + "[" + std::to_string(*c) +
                                   "]' is not registered",
-                              e.loc);
+                              loc);
         }
         choices.push_back({buf, arena_.trueTerm(), std::nullopt});
         return choices;
       }
       // Symbolic buffer selection: one guarded choice per element.
       for (int i = 0; i < n; ++i) {
-        buffers::SymBuffer* buf = store_->buffer(bufferStoreName(e.base, i));
+        buffers::SymBuffer* buf = store_->buffer(bufferStoreName(base, i));
         if (buf == nullptr) {
-          throw AnalysisError("buffer '" + e.base + "[" + std::to_string(i) +
+          throw AnalysisError("buffer '" + base + "[" + std::to_string(i) +
                                   "]' is not registered",
-                              e.loc);
+                              loc);
         }
         choices.push_back(
             {buf, arena_.eq(index, arena_.intConst(i)), std::nullopt});
@@ -365,25 +382,24 @@ std::vector<Evaluator::BufferChoice> Evaluator::evalBufferChoices(
       return choices;
     }
     case ExprKind::Filter: {
-      const auto& e = static_cast<const lang::FilterExpr&>(expr);
-      auto choices = evalBufferChoices(*e.base);
-      const ir::TermRef value = evalExpr(*e.value);
+      auto choices = evalBufferChoices(expr.filter.base);
+      const ir::TermRef value = eval(expr.filter.value);
       for (auto& choice : choices) {
         if (choice.filter) {
-          throw AnalysisError("nested buffer filters are not supported",
-                              e.loc);
+          throw AnalysisError("nested buffer filters are not supported", loc);
         }
-        choice.filter = buffers::Filter{e.field, value};
+        choice.filter = buffers::Filter{ast().str(expr.filter.field), value};
       }
       return choices;
     }
     default:
-      throw AnalysisError("expression is not a buffer", expr.loc);
+      throw AnalysisError("expression is not a buffer", loc);
   }
 }
 
-ir::TermRef Evaluator::evalBacklog(const lang::BacklogExpr& expr) {
-  const auto choices = evalBufferChoices(*expr.buffer);
+ir::TermRef Evaluator::evalBacklog(ExprId id) {
+  const auto& expr = ast().expr(id).backlog;
+  const auto choices = evalBufferChoices(expr.buffer);
   // Out-of-range symbolic selection (e.g. head == -1) yields backlog 0.
   ir::TermRef result = arena_.intConst(0);
   for (const auto& choice : choices) {
@@ -399,36 +415,47 @@ ir::TermRef Evaluator::evalBacklog(const lang::BacklogExpr& expr) {
   return result;
 }
 
-ir::TermRef Evaluator::evalExpr(const Expr& expr) {
-  switch (expr.exprKind) {
+ir::TermRef Evaluator::evalExpr(const lang::AstArena& arena,
+                                lang::ExprId expr) {
+  const lang::AstArena* saved = ast_;
+  ast_ = &arena;
+  const ir::TermRef result = eval(expr);
+  ast_ = saved;
+  return result;
+}
+
+ir::TermRef Evaluator::eval(ExprId id) {
+  const ExprNode& expr = ast().expr(id);
+  const SourceLoc loc = ast().exprLoc(id);
+  switch (expr.kind) {
     case ExprKind::IntLit:
-      return arena_.intConst(static_cast<const lang::IntLitExpr&>(expr).value);
+      return arena_.intConst(expr.intLit.value);
     case ExprKind::BoolLit:
-      return arena_.boolConst(static_cast<const lang::BoolLitExpr&>(expr).value);
+      return arena_.boolConst(expr.boolLit.value);
     case ExprKind::VarRef: {
-      const auto& e = static_cast<const lang::VarRefExpr&>(expr);
-      const Value* v = store_->find(qualify(e.name));
+      const std::string name = ast().str(expr.varRef.name);
+      const Value* v = store_->find(qualify(name));
       if (v == nullptr) {
-        throw AnalysisError("unknown variable '" + e.name + "'", e.loc);
+        throw AnalysisError("unknown variable '" + name + "'", loc);
       }
       if (v->kind != Value::Kind::Scalar) {
-        throw AnalysisError("'" + e.name + "' is not a scalar here", e.loc);
+        throw AnalysisError("'" + name + "' is not a scalar here", loc);
       }
       return v->scalar;
     }
     case ExprKind::Index: {
-      const auto& e = static_cast<const lang::IndexExpr&>(expr);
-      const Value* v = store_->find(qualify(e.base));
+      const std::string base = ast().str(expr.index.base);
+      const Value* v = store_->find(qualify(base));
       if (v == nullptr || v->kind != Value::Kind::Array) {
-        throw AnalysisError("'" + e.base + "' is not an array", e.loc);
+        throw AnalysisError("'" + base + "' is not an array", loc);
       }
-      const ir::TermRef index = evalExpr(*e.index);
+      const ir::TermRef index = eval(expr.index.index);
       const int n = static_cast<int>(v->array.size());
       if (const auto c = ir::constValue(index)) {
         if (*c < 0 || *c >= n) {
           throw AnalysisError("index " + std::to_string(*c) +
-                                  " out of bounds for '" + e.base + "'",
-                              e.loc);
+                                  " out of bounds for '" + base + "'",
+                              loc);
         }
         return v->array[static_cast<std::size_t>(*c)];
       }
@@ -440,9 +467,9 @@ ir::TermRef Evaluator::evalExpr(const Expr& expr) {
       return result;
     }
     case ExprKind::Binary: {
-      const auto& e = static_cast<const lang::BinaryExpr&>(expr);
-      const ir::TermRef lhs = evalExpr(*e.lhs);
-      const ir::TermRef rhs = evalExpr(*e.rhs);
+      const auto& e = expr.binary;
+      const ir::TermRef lhs = eval(e.lhs);
+      const ir::TermRef rhs = eval(e.rhs);
       switch (e.op) {
         case lang::BinaryOp::Add: return arena_.add(lhs, rhs);
         case lang::BinaryOp::Sub: return arena_.sub(lhs, rhs);
@@ -458,48 +485,45 @@ ir::TermRef Evaluator::evalExpr(const Expr& expr) {
         case lang::BinaryOp::And: return arena_.mkAnd(lhs, rhs);
         case lang::BinaryOp::Or: return arena_.mkOr(lhs, rhs);
       }
-      throw AnalysisError("unknown binary operator", e.loc);
+      throw AnalysisError("unknown binary operator", loc);
     }
     case ExprKind::Unary: {
-      const auto& e = static_cast<const lang::UnaryExpr&>(expr);
-      const ir::TermRef operand = evalExpr(*e.operand);
-      return e.op == lang::UnaryOp::Not ? arena_.mkNot(operand)
-                                        : arena_.neg(operand);
+      const ir::TermRef operand = eval(expr.unary.operand);
+      return expr.unary.op == lang::UnaryOp::Not ? arena_.mkNot(operand)
+                                                 : arena_.neg(operand);
     }
     case ExprKind::Backlog:
-      return evalBacklog(static_cast<const lang::BacklogExpr&>(expr));
+      return evalBacklog(id);
     case ExprKind::Filter:
-      throw AnalysisError("filtered buffer used as a value", expr.loc);
-    case ExprKind::ListHas: {
-      const auto& e = static_cast<const lang::ListHasExpr&>(expr);
-      return findList(e.list, e.loc).hasTerm(evalExpr(*e.value));
-    }
-    case ExprKind::ListEmpty: {
-      const auto& e = static_cast<const lang::ListEmptyExpr&>(expr);
-      return findList(e.list, e.loc).emptyTerm();
-    }
-    case ExprKind::ListLen: {
-      const auto& e = static_cast<const lang::ListLenExpr&>(expr);
-      return findList(e.list, e.loc).lenTerm();
-    }
+      throw AnalysisError("filtered buffer used as a value", loc);
+    case ExprKind::ListHas:
+      return findList(ast().str(expr.listOp.list), loc)
+          .hasTerm(eval(expr.listOp.value));
+    case ExprKind::ListEmpty:
+      return findList(ast().str(expr.listOp.list), loc).emptyTerm();
+    case ExprKind::ListLen:
+      return findList(ast().str(expr.listOp.list), loc).lenTerm();
     case ExprKind::Call: {
-      const auto& e = static_cast<const lang::CallExpr&>(expr);
-      if (e.callee == "min" || e.callee == "max") {
-        ir::TermRef acc = evalExpr(*e.args.at(0));
-        for (std::size_t i = 1; i < e.args.size(); ++i) {
-          const ir::TermRef next = evalExpr(*e.args[i]);
-          acc = e.callee == "min" ? arena_.min(acc, next)
-                                  : arena_.max(acc, next);
+      const auto& e = expr.call;
+      const std::string callee = ast().str(e.callee);
+      if (callee == "min" || callee == "max") {
+        if (e.args.count == 0) {
+          throw AnalysisError(callee + "() needs arguments", loc);
+        }
+        ir::TermRef acc = eval(ast().spanAt(e.args, 0));
+        for (std::uint32_t i = 1; i < e.args.count; ++i) {
+          const ir::TermRef next = eval(ast().spanAt(e.args, i));
+          acc = callee == "min" ? arena_.min(acc, next) : arena_.max(acc, next);
         }
         return acc;
       }
-      throw AnalysisError("call to '" + e.callee +
+      throw AnalysisError("call to '" + callee +
                               "' survives to evaluation; run the inliner "
                               "first",
-                          e.loc);
+                          loc);
     }
   }
-  throw AnalysisError("unknown expression kind", expr.loc);
+  throw AnalysisError("unknown expression kind", loc);
 }
 
 }  // namespace buffy::eval

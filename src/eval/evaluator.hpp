@@ -10,6 +10,10 @@
 //
 // When every input term is constant, all state folds to constants — the
 // concrete interpreter backend reuses this evaluator unchanged.
+//
+// The evaluator never mutates the AST: it walks arena handles read-only,
+// which is what lets the unroller share statement nodes between iteration
+// blocks.
 #pragma once
 
 #include <functional>
@@ -51,10 +55,10 @@ class Evaluator {
   Evaluator(ir::TermArena& arena, Store& store, EvalSinks sinks,
             std::string prefix = "");
 
-  /// Executes one time step. Buffer parameters of `prog` must already be
-  /// registered in the store under bufferStoreName(). Global declarations
-  /// initialize at step 0 only; locals are fresh every step.
-  void execStep(const lang::Program& prog, int step);
+  /// Executes one time step. Buffer parameters of the program must already
+  /// be registered in the store under bufferStoreName(). Global
+  /// declarations initialize at step 0 only; locals are fresh every step.
+  void execStep(const lang::Ast& ast, int step);
 
   /// The store name of a buffer parameter: prefix + param for scalars,
   /// prefix + param + "." + i for array elements.
@@ -63,7 +67,8 @@ class Evaluator {
 
   /// Evaluates a standalone boolean/integer expression against the current
   /// store (used by the query engine for in-store conditions).
-  [[nodiscard]] ir::TermRef evalExpr(const lang::Expr& expr);
+  [[nodiscard]] ir::TermRef evalExpr(const lang::AstArena& arena,
+                                     lang::ExprId expr);
 
   /// Replaces the resource budget (defaults to CompileBudget::defaults()).
   /// maxExecStmts bounds statements executed per time step, so a
@@ -78,30 +83,34 @@ class Evaluator {
     std::optional<buffers::Filter> filter;
   };
 
-  void execBlock(const lang::BlockStmt& block);
-  void execStmt(const lang::Stmt& stmt);
-  void execDecl(const lang::DeclStmt& decl);
-  void execAssign(const lang::AssignStmt& stmt);
-  void execIf(const lang::IfStmt& stmt);
-  void execFor(const lang::ForStmt& stmt);
-  void execMove(const lang::MoveStmt& stmt);
+  /// The arena of the program currently being executed (valid only inside
+  /// execStep / the public evalExpr).
+  const lang::AstArena& ast() const { return *ast_; }
 
+  void execBlock(lang::StmtId block);
+  void execStmt(lang::StmtId stmt);
+  void execDecl(lang::StmtId stmt);
+  void execAssign(lang::StmtId stmt);
+  void execIf(lang::StmtId stmt);
+  void execFor(lang::StmtId stmt);
+  void execMove(lang::StmtId stmt);
+
+  [[nodiscard]] ir::TermRef eval(lang::ExprId expr);
   [[nodiscard]] Value defaultValue(const lang::Type& type,
                                    const std::string& name) const;
-  [[nodiscard]] std::vector<BufferChoice> evalBufferChoices(
-      const lang::Expr& expr);
-  [[nodiscard]] ir::TermRef evalBacklog(const lang::BacklogExpr& expr);
+  [[nodiscard]] std::vector<BufferChoice> evalBufferChoices(lang::ExprId expr);
+  [[nodiscard]] ir::TermRef evalBacklog(lang::ExprId expr);
   [[nodiscard]] SymList& findList(const std::string& name, SourceLoc loc);
   [[nodiscard]] std::string qualify(const std::string& name) const {
     return prefix_ + name;
   }
-  [[nodiscard]] std::int64_t requireConst(const lang::Expr& expr,
-                                          const char* what);
+  [[nodiscard]] std::int64_t requireConst(lang::ExprId expr, const char* what);
 
   ir::TermArena& arena_;
   Store* store_;
   EvalSinks sinks_;
   std::string prefix_;
+  const lang::AstArena* ast_ = nullptr;  // current program's arena
   ir::TermRef path_;  // current path condition (for sinks only)
   int step_ = 0;
   CompileBudget budget_ = CompileBudget::defaults();

@@ -1,5 +1,7 @@
 #include "lang/ast.hpp"
 
+#include "support/error.hpp"
+
 namespace buffy::lang {
 
 std::string Type::str() const {
@@ -51,179 +53,256 @@ const char* unaryOpName(UnaryOp op) {
   return "?";
 }
 
-namespace {
-// Clones a possibly-null expression.
-ExprPtr cloneOpt(const ExprPtr& e) { return e ? e->clone() : nullptr; }
+// ---------------------------------------------------------------------------
+// AstArena
+// ---------------------------------------------------------------------------
 
-std::unique_ptr<BlockStmt> cloneBlock(const std::unique_ptr<BlockStmt>& b) {
-  if (!b) return nullptr;
-  auto out = std::make_unique<BlockStmt>();
-  out->loc = b->loc;
-  out->stmts.reserve(b->stmts.size());
-  for (const auto& s : b->stmts) out->stmts.push_back(s->clone());
+NameId AstArena::internName(std::string_view s) {
+  const auto it = nameIndex_.find(std::string(s));
+  if (it != nameIndex_.end()) return NameId{it->second};
+  const auto idx = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(s);
+  nameIndex_.emplace(names_.back(), idx);
+  return NameId{idx};
+}
+
+NameId AstArena::intern(std::string_view s) { return internName(s); }
+
+const std::string& AstArena::str(NameId id) const {
+  if (id.idx >= names_.size()) {
+    throw Error("AST arena: name handle " + std::to_string(id.idx) +
+                " out of range (pool size " + std::to_string(names_.size()) +
+                ")");
+  }
+  return names_[id.idx];
+}
+
+void AstArena::checkExpr(ExprId id) const {
+  if (id.idx >= exprs_.size()) {
+    throw Error("AST arena: expression handle " + std::to_string(id.idx) +
+                " out of range (pool size " + std::to_string(exprs_.size()) +
+                ")");
+  }
+}
+
+void AstArena::checkStmt(StmtId id) const {
+  if (id.idx >= stmts_.size()) {
+    throw Error("AST arena: statement handle " + std::to_string(id.idx) +
+                " out of range (pool size " + std::to_string(stmts_.size()) +
+                ")");
+  }
+}
+
+void AstArena::chargeNode(SourceLoc loc) {
+  if (budget_ == nullptr) return;
+  checkBudget(nodeCount() + 1, budget_->maxAstNodes, "ast-nodes", loc);
+}
+
+ExprId AstArena::addExpr(const ExprNode& node, SourceLoc loc) {
+  chargeNode(loc);
+  const ExprId id{static_cast<std::uint32_t>(exprs_.size())};
+  exprs_.push_back(node);
+  exprLocs_.push_back(loc);
+  exprTypes_.push_back(Type{});
+  return id;
+}
+
+StmtId AstArena::addStmt(const StmtNode& node, SourceLoc loc) {
+  chargeNode(loc);
+  const StmtId id{static_cast<std::uint32_t>(stmts_.size())};
+  stmts_.push_back(node);
+  stmtLocs_.push_back(loc);
+  return id;
+}
+
+ExprSpan AstArena::makeExprSpan(const std::vector<ExprId>& ids) {
+  const ExprSpan span{static_cast<std::uint32_t>(exprListPool_.size()),
+                      static_cast<std::uint32_t>(ids.size())};
+  exprListPool_.insert(exprListPool_.end(), ids.begin(), ids.end());
+  return span;
+}
+
+StmtSpan AstArena::makeStmtSpan(const std::vector<StmtId>& ids) {
+  const StmtSpan span{static_cast<std::uint32_t>(stmtListPool_.size()),
+                      static_cast<std::uint32_t>(ids.size())};
+  stmtListPool_.insert(stmtListPool_.end(), ids.begin(), ids.end());
+  return span;
+}
+
+ExprId AstArena::spanAt(ExprSpan span, std::uint32_t i) const {
+  if (i >= span.count ||
+      static_cast<std::size_t>(span.first) + i >= exprListPool_.size()) {
+    throw Error("AST arena: expression span index out of range");
+  }
+  return exprListPool_[span.first + i];
+}
+
+StmtId AstArena::spanAt(StmtSpan span, std::uint32_t i) const {
+  if (i >= span.count ||
+      static_cast<std::size_t>(span.first) + i >= stmtListPool_.size()) {
+    throw Error("AST arena: statement span index out of range");
+  }
+  return stmtListPool_[span.first + i];
+}
+
+void AstArena::spanSet(ExprSpan span, std::uint32_t i, ExprId value) {
+  if (i >= span.count ||
+      static_cast<std::size_t>(span.first) + i >= exprListPool_.size()) {
+    throw Error("AST arena: expression span index out of range");
+  }
+  exprListPool_[span.first + i] = value;
+}
+
+void AstArena::spanSet(StmtSpan span, std::uint32_t i, StmtId value) {
+  if (i >= span.count ||
+      static_cast<std::size_t>(span.first) + i >= stmtListPool_.size()) {
+    throw Error("AST arena: statement span index out of range");
+  }
+  stmtListPool_[span.first + i] = value;
+}
+
+ExprId AstArena::mkIntLit(std::int64_t v, SourceLoc loc) {
+  ExprNode n;
+  n.kind = ExprKind::IntLit;
+  n.intLit.value = v;
+  return addExpr(n, loc);
+}
+
+ExprId AstArena::mkBoolLit(bool v, SourceLoc loc) {
+  ExprNode n;
+  n.kind = ExprKind::BoolLit;
+  n.boolLit.value = v;
+  return addExpr(n, loc);
+}
+
+ExprId AstArena::mkVarRef(NameId name, SourceLoc loc) {
+  ExprNode n;
+  n.kind = ExprKind::VarRef;
+  n.varRef.name = name;
+  return addExpr(n, loc);
+}
+
+ExprId AstArena::mkVarRef(std::string_view name, SourceLoc loc) {
+  return mkVarRef(intern(name), loc);
+}
+
+ExprId AstArena::mkBinary(BinaryOp op, ExprId lhs, ExprId rhs, SourceLoc loc) {
+  ExprNode n;
+  n.kind = ExprKind::Binary;
+  n.binary = {op, lhs, rhs};
+  return addExpr(n, loc);
+}
+
+ExprId AstArena::mkUnary(UnaryOp op, ExprId operand, SourceLoc loc) {
+  ExprNode n;
+  n.kind = ExprKind::Unary;
+  n.unary = {op, operand};
+  return addExpr(n, loc);
+}
+
+ExprId AstArena::cloneExpr(ExprId id) {
+  // Read by value first: addExpr may reallocate the pool.
+  ExprNode node = expr(id);
+  const SourceLoc loc = exprLoc(id);
+  const Type type = typeOf(id);
+  switch (node.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::VarRef:
+    case ExprKind::ListEmpty:
+    case ExprKind::ListLen:
+      break;
+    case ExprKind::Index:
+      node.index.index = cloneExpr(node.index.index);
+      break;
+    case ExprKind::Binary:
+      node.binary.lhs = cloneExpr(node.binary.lhs);
+      node.binary.rhs = cloneExpr(node.binary.rhs);
+      break;
+    case ExprKind::Unary:
+      node.unary.operand = cloneExpr(node.unary.operand);
+      break;
+    case ExprKind::Backlog:
+      node.backlog.buffer = cloneExpr(node.backlog.buffer);
+      break;
+    case ExprKind::Filter:
+      node.filter.base = cloneExpr(node.filter.base);
+      node.filter.value = cloneExpr(node.filter.value);
+      break;
+    case ExprKind::ListHas:
+      node.listOp.value = cloneExpr(node.listOp.value);
+      break;
+    case ExprKind::Call: {
+      std::vector<ExprId> args;
+      args.reserve(node.call.args.count);
+      for (std::uint32_t i = 0; i < node.call.args.count; ++i) {
+        args.push_back(cloneExpr(spanAt(node.call.args, i)));
+      }
+      node.call.args = makeExprSpan(args);
+      break;
+    }
+  }
+  const ExprId out = addExpr(node, loc);
+  setType(out, type);
   return out;
 }
 
-// Copies the fields every Expr carries.
-template <typename T>
-ExprPtr withMeta(std::unique_ptr<T> node, const Expr& src) {
-  node->loc = src.loc;
-  node->type = src.type;
-  return node;
-}
-template <typename T>
-StmtPtr withMeta(std::unique_ptr<T> node, const Stmt& src) {
-  node->loc = src.loc;
-  return node;
-}
-}  // namespace
-
-ExprPtr IntLitExpr::clone() const {
-  return withMeta(std::make_unique<IntLitExpr>(value), *this);
-}
-ExprPtr BoolLitExpr::clone() const {
-  return withMeta(std::make_unique<BoolLitExpr>(value), *this);
-}
-ExprPtr VarRefExpr::clone() const {
-  return withMeta(std::make_unique<VarRefExpr>(name), *this);
-}
-ExprPtr IndexExpr::clone() const {
-  return withMeta(std::make_unique<IndexExpr>(base, index->clone()), *this);
-}
-ExprPtr BinaryExpr::clone() const {
-  return withMeta(std::make_unique<BinaryExpr>(op, lhs->clone(), rhs->clone()),
-                  *this);
-}
-ExprPtr UnaryExpr::clone() const {
-  return withMeta(std::make_unique<UnaryExpr>(op, operand->clone()), *this);
-}
-ExprPtr BacklogExpr::clone() const {
-  return withMeta(std::make_unique<BacklogExpr>(packets, buffer->clone()),
-                  *this);
-}
-ExprPtr FilterExpr::clone() const {
-  return withMeta(
-      std::make_unique<FilterExpr>(base->clone(), field, value->clone()),
-      *this);
-}
-ExprPtr ListHasExpr::clone() const {
-  return withMeta(std::make_unique<ListHasExpr>(list, value->clone()), *this);
-}
-ExprPtr ListEmptyExpr::clone() const {
-  return withMeta(std::make_unique<ListEmptyExpr>(list), *this);
-}
-ExprPtr ListLenExpr::clone() const {
-  return withMeta(std::make_unique<ListLenExpr>(list), *this);
-}
-ExprPtr CallExpr::clone() const {
-  std::vector<ExprPtr> clonedArgs;
-  clonedArgs.reserve(args.size());
-  for (const auto& a : args) clonedArgs.push_back(a->clone());
-  return withMeta(std::make_unique<CallExpr>(callee, std::move(clonedArgs)),
-                  *this);
-}
-
-StmtPtr BlockStmt::clone() const {
-  auto out = std::make_unique<BlockStmt>();
-  out->stmts.reserve(stmts.size());
-  for (const auto& s : stmts) out->stmts.push_back(s->clone());
-  return withMeta(std::move(out), *this);
-}
-StmtPtr DeclStmt::clone() const {
-  auto copy =
-      std::make_unique<DeclStmt>(storage, declType, name, cloneOpt(init));
-  copy->sizeParam = sizeParam;
-  return withMeta(std::move(copy), *this);
-}
-StmtPtr AssignStmt::clone() const {
-  return withMeta(
-      std::make_unique<AssignStmt>(target, cloneOpt(index), value->clone()),
-      *this);
-}
-StmtPtr IfStmt::clone() const {
-  return withMeta(std::make_unique<IfStmt>(cond->clone(),
-                                           cloneBlock(thenBlock),
-                                           cloneBlock(elseBlock)),
-                  *this);
-}
-StmtPtr ForStmt::clone() const {
-  return withMeta(std::make_unique<ForStmt>(var, lo->clone(), hi->clone(),
-                                            cloneBlock(body)),
-                  *this);
-}
-StmtPtr MoveStmt::clone() const {
-  return withMeta(std::make_unique<MoveStmt>(packets, src->clone(),
-                                             dst->clone(), amount->clone()),
-                  *this);
-}
-StmtPtr ListPushStmt::clone() const {
-  return withMeta(std::make_unique<ListPushStmt>(list, value->clone()), *this);
-}
-StmtPtr PopFrontStmt::clone() const {
-  return withMeta(std::make_unique<PopFrontStmt>(target, list), *this);
-}
-StmtPtr AssertStmt::clone() const {
-  return withMeta(std::make_unique<AssertStmt>(cond->clone()), *this);
-}
-StmtPtr AssumeStmt::clone() const {
-  return withMeta(std::make_unique<AssumeStmt>(cond->clone()), *this);
-}
-StmtPtr ReturnStmt::clone() const {
-  return withMeta(std::make_unique<ReturnStmt>(cloneOpt(value)), *this);
-}
-StmtPtr ExprStmt::clone() const {
-  return withMeta(std::make_unique<ExprStmt>(expr->clone()), *this);
-}
-
-Param Param::clone() const { return Param{type, name, sizeParam, loc}; }
-
-FuncDecl FuncDecl::clone() const {
-  FuncDecl out;
-  out.name = name;
-  out.params.reserve(params.size());
-  for (const auto& p : params) out.params.push_back(p.clone());
-  out.returnType = returnType;
-  out.body = cloneBlock(body);
-  out.loc = loc;
-  return out;
-}
-
-Program Program::clone() const {
-  Program out;
-  out.name = name;
-  out.params.reserve(params.size());
-  for (const auto& p : params) out.params.push_back(p.clone());
-  out.functions.reserve(functions.size());
-  for (const auto& f : functions) out.functions.push_back(f.clone());
-  out.body = cloneBlock(body);
-  out.loc = loc;
-  return out;
-}
-
-ExprPtr makeIntLit(std::int64_t v, SourceLoc loc) {
-  auto e = std::make_unique<IntLitExpr>(v);
-  e->loc = loc;
-  return e;
-}
-ExprPtr makeBoolLit(bool v, SourceLoc loc) {
-  auto e = std::make_unique<BoolLitExpr>(v);
-  e->loc = loc;
-  return e;
-}
-ExprPtr makeVarRef(std::string name, SourceLoc loc) {
-  auto e = std::make_unique<VarRefExpr>(std::move(name));
-  e->loc = loc;
-  return e;
-}
-ExprPtr makeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
-  auto e = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
-  e->loc = loc;
-  return e;
-}
-ExprPtr makeUnary(UnaryOp op, ExprPtr operand, SourceLoc loc) {
-  auto e = std::make_unique<UnaryExpr>(op, std::move(operand));
-  e->loc = loc;
-  return e;
+StmtId AstArena::cloneStmt(StmtId id) {
+  StmtNode node = stmt(id);
+  const SourceLoc loc = stmtLoc(id);
+  const auto cloneOpt = [this](ExprId e) {
+    return e.valid() ? cloneExpr(e) : ExprId{};
+  };
+  switch (node.kind) {
+    case StmtKind::Block: {
+      std::vector<StmtId> stmts;
+      stmts.reserve(node.block.stmts.count);
+      for (std::uint32_t i = 0; i < node.block.stmts.count; ++i) {
+        stmts.push_back(cloneStmt(spanAt(node.block.stmts, i)));
+      }
+      node.block.stmts = makeStmtSpan(stmts);
+      break;
+    }
+    case StmtKind::Decl:
+      node.decl.init = cloneOpt(node.decl.init);
+      break;
+    case StmtKind::Assign:
+      node.assign.index = cloneOpt(node.assign.index);
+      node.assign.value = cloneExpr(node.assign.value);
+      break;
+    case StmtKind::If:
+      node.ifs.cond = cloneExpr(node.ifs.cond);
+      node.ifs.thenBlock = cloneStmt(node.ifs.thenBlock);
+      node.ifs.elseBlock =
+          node.ifs.elseBlock.valid() ? cloneStmt(node.ifs.elseBlock) : StmtId{};
+      break;
+    case StmtKind::For:
+      node.fors.lo = cloneExpr(node.fors.lo);
+      node.fors.hi = cloneExpr(node.fors.hi);
+      node.fors.body = cloneStmt(node.fors.body);
+      break;
+    case StmtKind::Move:
+      node.move.src = cloneExpr(node.move.src);
+      node.move.dst = cloneExpr(node.move.dst);
+      node.move.amount = cloneExpr(node.move.amount);
+      break;
+    case StmtKind::ListPush:
+      node.listPush.value = cloneExpr(node.listPush.value);
+      break;
+    case StmtKind::PopFront:
+      break;
+    case StmtKind::Assert:
+    case StmtKind::Assume:
+      node.guard.cond = cloneExpr(node.guard.cond);
+      break;
+    case StmtKind::Return:
+      node.ret.value = cloneOpt(node.ret.value);
+      break;
+    case StmtKind::ExprStmt:
+      node.exprStmt.expr = cloneExpr(node.exprStmt.expr);
+      break;
+  }
+  return addStmt(node, loc);
 }
 
 }  // namespace buffy::lang

@@ -1,21 +1,40 @@
-// Abstract syntax tree for the Buffy language.
+// Abstract syntax tree for the Buffy language — flat, arena-indexed.
 //
 // The shape follows the paper's Figure 3 grammar: conventional imperative
 // expressions/commands plus buffer-centric constructs (backlog-p/-b,
 // move-p/-b, filters `B |> f == n`) and bounded lists with
 // has/empty/len/push_back (a.k.a. enq)/pop_front.
 //
-// Nodes are owned via std::unique_ptr and are cloneable so that AST->AST
-// transformations (inlining, unrolling, constant folding) can rewrite
-// programs without aliasing.
+// Representation (DESIGN.md §16): every expression and statement lives in
+// a typed pool inside an AstArena and is addressed by a 32-bit handle
+// (ExprId / StmtId). Child edges are handles, child *lists* are contiguous
+// spans into shared index pools, and names are interned once per arena
+// (NameId). Source locations and checker-assigned types live in parallel
+// side arrays (struct-of-arrays), so the hot walks touch only the ~16/32
+// byte node records. Cloning a whole program is a bulk pool copy (the Ast
+// value type is copyable); cloning a subtree allocates new nodes but never
+// chases pointers. There is no virtual dispatch anywhere: passes switch on
+// `ExprKind`/`StmtKind` and read the per-kind payload out of a union.
+//
+// Invariants:
+//  * handles are append-only — a node, once allocated, never moves and its
+//    id never changes; transforms splice *span contents* or rewrite child
+//    ids, leaving old nodes unreferenced (monotonic per-compile garbage);
+//  * id 0 of the name pool is the interned empty string, so NameId{} is
+//    both "no name" and "";
+//  * ExprId{}/StmtId{} are invalid (UINT32_MAX) — the "null child" edge;
+//  * accessors bounds-check and throw buffy::Error on a foreign or
+//    out-of-range handle.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <optional>
+#include <limits>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "support/budget.hpp"
 #include "support/source_location.hpp"
 
 namespace buffy::lang {
@@ -66,6 +85,52 @@ struct Type {
 };
 
 // ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kInvalidIndex =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Handle to an expression node in an AstArena. Default-constructed ids are
+/// invalid — the "no child" edge (e.g. a Decl without an initializer).
+struct ExprId {
+  std::uint32_t idx = kInvalidIndex;
+  [[nodiscard]] constexpr bool valid() const { return idx != kInvalidIndex; }
+  explicit constexpr operator bool() const { return valid(); }
+  friend constexpr bool operator==(ExprId, ExprId) = default;
+};
+
+/// Handle to a statement node in an AstArena.
+struct StmtId {
+  std::uint32_t idx = kInvalidIndex;
+  [[nodiscard]] constexpr bool valid() const { return idx != kInvalidIndex; }
+  explicit constexpr operator bool() const { return valid(); }
+  friend constexpr bool operator==(StmtId, StmtId) = default;
+};
+
+/// Handle to an interned name. Id 0 is always the empty string, so a
+/// default NameId doubles as "absent".
+struct NameId {
+  std::uint32_t idx = 0;
+  [[nodiscard]] constexpr bool empty() const { return idx == 0; }
+  friend constexpr bool operator==(NameId, NameId) = default;
+};
+
+/// Contiguous run of ExprIds in the arena's shared expression-list pool
+/// (call arguments).
+struct ExprSpan {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// Contiguous run of StmtIds in the arena's shared statement-list pool
+/// (block children).
+struct StmtSpan {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Expressions
 // ---------------------------------------------------------------------------
 
@@ -78,9 +143,6 @@ enum class UnaryOp { Not, Neg };
 
 const char* binaryOpName(BinaryOp op);
 const char* unaryOpName(UnaryOp op);
-
-struct Expr;
-using ExprPtr = std::unique_ptr<Expr>;
 
 enum class ExprKind {
   IntLit,
@@ -97,125 +159,35 @@ enum class ExprKind {
   Call,       // f(e...) : user-defined function or builtin min/max
 };
 
-/// Base class for all expressions. `type` is filled in by the type checker.
-struct Expr {
-  ExprKind exprKind;
-  SourceLoc loc{};
-  Type type{};  // set by typecheck
+/// One expression node: a kind tag plus the per-kind payload. Plain data —
+/// construct with the AstArena::mk* helpers, which also record the source
+/// location in the side array.
+struct ExprNode {
+  ExprKind kind = ExprKind::IntLit;
+  union {
+    struct { std::int64_t value; } intLit;            // IntLit
+    struct { bool value; } boolLit;                   // BoolLit
+    struct { NameId name; } varRef;                   // VarRef
+    struct { NameId base; ExprId index; } index;      // Index (named base)
+    struct { BinaryOp op; ExprId lhs, rhs; } binary;  // Binary
+    struct { UnaryOp op; ExprId operand; } unary;     // Unary
+    /// backlog-p(B) (packets=true) / backlog-b(B); buffer is a
+    /// buffer-typed expression (VarRef / Index / Filter).
+    struct { bool packets; ExprId buffer; } backlog;  // Backlog
+    /// B |> field == value. The paper's filter grammar is `f == n`; we
+    /// allow the value to be any int expression.
+    struct { ExprId base; NameId field; ExprId value; } filter;  // Filter
+    /// ListHas uses list+value; ListEmpty/ListLen use only list.
+    struct { NameId list; ExprId value; } listOp;     // ListHas/Empty/Len
+    struct { NameId callee; ExprSpan args; } call;    // Call
+  };
 
-  explicit Expr(ExprKind k) : exprKind(k) {}
-  virtual ~Expr() = default;
-  Expr(const Expr&) = delete;
-  Expr& operator=(const Expr&) = delete;
-
-  [[nodiscard]] virtual ExprPtr clone() const = 0;
-};
-
-struct IntLitExpr final : Expr {
-  std::int64_t value;
-  explicit IntLitExpr(std::int64_t v) : Expr(ExprKind::IntLit), value(v) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-struct BoolLitExpr final : Expr {
-  bool value;
-  explicit BoolLitExpr(bool v) : Expr(ExprKind::BoolLit), value(v) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-struct VarRefExpr final : Expr {
-  std::string name;
-  explicit VarRefExpr(std::string n)
-      : Expr(ExprKind::VarRef), name(std::move(n)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-struct IndexExpr final : Expr {
-  std::string base;  // arrays and buffer arrays are named, not first-class
-  ExprPtr index;
-  IndexExpr(std::string b, ExprPtr i)
-      : Expr(ExprKind::Index), base(std::move(b)), index(std::move(i)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-struct BinaryExpr final : Expr {
-  BinaryOp op;
-  ExprPtr lhs;
-  ExprPtr rhs;
-  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
-      : Expr(ExprKind::Binary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-struct UnaryExpr final : Expr {
-  UnaryOp op;
-  ExprPtr operand;
-  UnaryExpr(UnaryOp o, ExprPtr e)
-      : Expr(ExprKind::Unary), op(o), operand(std::move(e)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-/// backlog-p(B) (packets=true) or backlog-b(B) (packets=false).
-struct BacklogExpr final : Expr {
-  bool packets;
-  ExprPtr buffer;  // buffer-typed expression (VarRef / Index / Filter)
-  BacklogExpr(bool p, ExprPtr b)
-      : Expr(ExprKind::Backlog), packets(p), buffer(std::move(b)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-/// B |> field == value. The paper's filter grammar is `f == n`; we allow
-/// the value to be any int expression (it is evaluated symbolically).
-struct FilterExpr final : Expr {
-  ExprPtr base;  // buffer-typed
-  std::string field;
-  ExprPtr value;
-  FilterExpr(ExprPtr b, std::string f, ExprPtr v)
-      : Expr(ExprKind::Filter),
-        base(std::move(b)),
-        field(std::move(f)),
-        value(std::move(v)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-struct ListHasExpr final : Expr {
-  std::string list;
-  ExprPtr value;
-  ListHasExpr(std::string l, ExprPtr v)
-      : Expr(ExprKind::ListHas), list(std::move(l)), value(std::move(v)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-struct ListEmptyExpr final : Expr {
-  std::string list;
-  explicit ListEmptyExpr(std::string l)
-      : Expr(ExprKind::ListEmpty), list(std::move(l)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-struct ListLenExpr final : Expr {
-  std::string list;
-  explicit ListLenExpr(std::string l)
-      : Expr(ExprKind::ListLen), list(std::move(l)) {}
-  [[nodiscard]] ExprPtr clone() const override;
-};
-
-/// Function call: user-defined `def` functions (inlined before analysis)
-/// or the builtins `min`/`max`.
-struct CallExpr final : Expr {
-  std::string callee;
-  std::vector<ExprPtr> args;
-  CallExpr(std::string c, std::vector<ExprPtr> a)
-      : Expr(ExprKind::Call), callee(std::move(c)), args(std::move(a)) {}
-  [[nodiscard]] ExprPtr clone() const override;
+  ExprNode() : intLit{0} {}
 };
 
 // ---------------------------------------------------------------------------
 // Statements
 // ---------------------------------------------------------------------------
-
-struct Stmt;
-using StmtPtr = std::unique_ptr<Stmt>;
 
 enum class StmtKind {
   Block,
@@ -234,140 +206,157 @@ enum class StmtKind {
 
 enum class Storage { Global, Local, Monitor, Havoc };
 
-struct Stmt {
-  StmtKind stmtKind;
-  SourceLoc loc{};
+/// One statement node: kind tag + per-kind payload, like ExprNode.
+struct StmtNode {
+  StmtKind kind = StmtKind::Block;
+  union {
+    struct { StmtSpan stmts; } block;                      // Block
+    /// `sizeParam`: array/list size given as a named compile-time constant
+    /// (e.g. `int cdeq[N]`); resolved into declType.size by elaborate().
+    /// `init` may be invalid (no initializer).
+    struct {
+      Storage storage;
+      Type declType;
+      NameId name;
+      ExprId init;
+      NameId sizeParam;
+    } decl;                                                // Decl
+    /// `name = e` or `name[idx] = e`; index invalid for scalar targets.
+    struct { NameId target; ExprId index; ExprId value; } assign;  // Assign
+    /// elseBlock may be invalid.
+    struct { ExprId cond; StmtId thenBlock, elseBlock; } ifs;      // If
+    /// `for (var in lo..hi) do { body }` — iterates var over [lo, hi).
+    /// Bounds must be compile-time constants (paper §7: bounded loops).
+    struct { NameId var; ExprId lo, hi; StmtId body; } fors;       // For
+    /// move-p(src, dst, e) (packets=true) / move-b(src, dst, e).
+    struct { bool packets; ExprId src, dst, amount; } move;        // Move
+    struct { NameId list; ExprId value; } listPush;        // ListPush
+    /// `x = l.pop_front();` — pops the head of `l` into `x`. Popping an
+    /// empty list yields -1 (Figure 4's sentinel convention).
+    struct { NameId target, list; } popFront;              // PopFront
+    struct { ExprId cond; } guard;                         // Assert/Assume
+    struct { ExprId value; } ret;   // Return; value invalid when void
+    struct { ExprId expr; } exprStmt;                      // ExprStmt
+  };
 
-  explicit Stmt(StmtKind k) : stmtKind(k) {}
-  virtual ~Stmt() = default;
-  Stmt(const Stmt&) = delete;
-  Stmt& operator=(const Stmt&) = delete;
-
-  [[nodiscard]] virtual StmtPtr clone() const = 0;
+  StmtNode() : block{} {}
 };
 
-struct BlockStmt final : Stmt {
-  std::vector<StmtPtr> stmts;
-  BlockStmt() : Stmt(StmtKind::Block) {}
-  explicit BlockStmt(std::vector<StmtPtr> s)
-      : Stmt(StmtKind::Block), stmts(std::move(s)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
 
-struct DeclStmt final : Stmt {
-  Storage storage;
-  Type declType;
-  std::string name;
-  ExprPtr init;  // may be null
-  /// Array/list size given as a named compile-time constant (e.g.
-  /// `int cdeq[N]`); resolved into declType.size by elaborate().
-  std::string sizeParam;
-  DeclStmt(Storage s, Type t, std::string n, ExprPtr i)
-      : Stmt(StmtKind::Decl),
-        storage(s),
-        declType(t),
-        name(std::move(n)),
-        init(std::move(i)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+/// Owns every node of one parse: typed pools for expressions and
+/// statements, shared child-id pools for spans, the interned name table,
+/// and the SoA side arrays (locations, checker types). Copying an arena is
+/// a handful of vector copies — that IS whole-program clone.
+class AstArena {
+ public:
+  AstArena() { internName(""); }  // NameId 0 == ""
 
-/// Assignment target: `name = e` or `name[idx] = e`.
-struct AssignStmt final : Stmt {
-  std::string target;
-  ExprPtr index;  // null for scalar targets
-  ExprPtr value;
-  AssignStmt(std::string t, ExprPtr i, ExprPtr v)
-      : Stmt(StmtKind::Assign),
-        target(std::move(t)),
-        index(std::move(i)),
-        value(std::move(v)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  // --- names -----------------------------------------------------------
+  NameId intern(std::string_view s);
+  [[nodiscard]] const std::string& str(NameId id) const;
 
-struct IfStmt final : Stmt {
-  ExprPtr cond;
-  std::unique_ptr<BlockStmt> thenBlock;
-  std::unique_ptr<BlockStmt> elseBlock;  // may be null
-  IfStmt(ExprPtr c, std::unique_ptr<BlockStmt> t, std::unique_ptr<BlockStmt> e)
-      : Stmt(StmtKind::If),
-        cond(std::move(c)),
-        thenBlock(std::move(t)),
-        elseBlock(std::move(e)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  // --- allocation (charges the ast-nodes budget) -----------------------
+  ExprId addExpr(const ExprNode& node, SourceLoc loc = {});
+  StmtId addStmt(const StmtNode& node, SourceLoc loc = {});
+  /// Copies `ids` into the shared expression-list pool.
+  ExprSpan makeExprSpan(const std::vector<ExprId>& ids);
+  /// Copies `ids` into the shared statement-list pool.
+  StmtSpan makeStmtSpan(const std::vector<StmtId>& ids);
 
-/// `for (var in lo..hi) do { body }` — iterates var over [lo, hi).
-/// Bounds must be compile-time constants (paper §7: bounded loops only).
-struct ForStmt final : Stmt {
-  std::string var;
-  ExprPtr lo;
-  ExprPtr hi;
-  std::unique_ptr<BlockStmt> body;
-  ForStmt(std::string v, ExprPtr l, ExprPtr h, std::unique_ptr<BlockStmt> b)
-      : Stmt(StmtKind::For),
-        var(std::move(v)),
-        lo(std::move(l)),
-        hi(std::move(h)),
-        body(std::move(b)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  // Convenience constructors used by the parser and transforms.
+  ExprId mkIntLit(std::int64_t v, SourceLoc loc = {});
+  ExprId mkBoolLit(bool v, SourceLoc loc = {});
+  ExprId mkVarRef(NameId name, SourceLoc loc = {});
+  ExprId mkVarRef(std::string_view name, SourceLoc loc = {});
+  ExprId mkBinary(BinaryOp op, ExprId lhs, ExprId rhs, SourceLoc loc = {});
+  ExprId mkUnary(UnaryOp op, ExprId operand, SourceLoc loc = {});
 
-/// move-p(src, dst, e) (packets=true) or move-b(src, dst, e) (packets=false).
-struct MoveStmt final : Stmt {
-  bool packets;
-  ExprPtr src;  // buffer-typed (VarRef / Index)
-  ExprPtr dst;
-  ExprPtr amount;
-  MoveStmt(bool p, ExprPtr s, ExprPtr d, ExprPtr a)
-      : Stmt(StmtKind::Move),
-        packets(p),
-        src(std::move(s)),
-        dst(std::move(d)),
-        amount(std::move(a)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  // --- access ----------------------------------------------------------
+  [[nodiscard]] const ExprNode& expr(ExprId id) const {
+    checkExpr(id);
+    return exprs_[id.idx];
+  }
+  [[nodiscard]] ExprNode& expr(ExprId id) {
+    checkExpr(id);
+    return exprs_[id.idx];
+  }
+  [[nodiscard]] const StmtNode& stmt(StmtId id) const {
+    checkStmt(id);
+    return stmts_[id.idx];
+  }
+  [[nodiscard]] StmtNode& stmt(StmtId id) {
+    checkStmt(id);
+    return stmts_[id.idx];
+  }
 
-struct ListPushStmt final : Stmt {
-  std::string list;
-  ExprPtr value;
-  ListPushStmt(std::string l, ExprPtr v)
-      : Stmt(StmtKind::ListPush), list(std::move(l)), value(std::move(v)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  /// i-th element of a span (bounds-checked against the span).
+  [[nodiscard]] ExprId spanAt(ExprSpan span, std::uint32_t i) const;
+  [[nodiscard]] StmtId spanAt(StmtSpan span, std::uint32_t i) const;
+  /// Overwrites the i-th element of a span in place (splicing).
+  void spanSet(ExprSpan span, std::uint32_t i, ExprId value);
+  void spanSet(StmtSpan span, std::uint32_t i, StmtId value);
 
-/// `x = l.pop_front();` — pops the head of `l` into `x`. Popping an empty
-/// list yields -1 (and leaves the list empty), mirroring the sentinel
-/// convention of Figure 4.
-struct PopFrontStmt final : Stmt {
-  std::string target;
-  std::string list;
-  PopFrontStmt(std::string t, std::string l)
-      : Stmt(StmtKind::PopFront), target(std::move(t)), list(std::move(l)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  [[nodiscard]] SourceLoc exprLoc(ExprId id) const {
+    checkExpr(id);
+    return exprLocs_[id.idx];
+  }
+  [[nodiscard]] SourceLoc stmtLoc(StmtId id) const {
+    checkStmt(id);
+    return stmtLocs_[id.idx];
+  }
+  void setExprLoc(ExprId id, SourceLoc loc) {
+    checkExpr(id);
+    exprLocs_[id.idx] = loc;
+  }
 
-struct AssertStmt final : Stmt {
-  ExprPtr cond;
-  explicit AssertStmt(ExprPtr c) : Stmt(StmtKind::Assert), cond(std::move(c)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  /// Checker-assigned expression type (side array; Type{} until checked).
+  [[nodiscard]] Type typeOf(ExprId id) const {
+    checkExpr(id);
+    return exprTypes_[id.idx];
+  }
+  void setType(ExprId id, Type t) {
+    checkExpr(id);
+    exprTypes_[id.idx] = t;
+  }
 
-struct AssumeStmt final : Stmt {
-  ExprPtr cond;
-  explicit AssumeStmt(ExprPtr c) : Stmt(StmtKind::Assume), cond(std::move(c)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  // --- cloning ---------------------------------------------------------
+  /// Deep-copies the subtree into fresh nodes of this same arena. Pure
+  /// index arithmetic; no pointer chasing, no virtual dispatch.
+  ExprId cloneExpr(ExprId id);
+  StmtId cloneStmt(StmtId id);
 
-struct ReturnStmt final : Stmt {
-  ExprPtr value;  // null for void returns
-  explicit ReturnStmt(ExprPtr v) : Stmt(StmtKind::Return), value(std::move(v)) {}
-  [[nodiscard]] StmtPtr clone() const override;
-};
+  // --- budget ----------------------------------------------------------
+  /// Arms maxAstNodes accounting: every addExpr/addStmt charges the one
+  /// "ast-nodes" counter (DESIGN.md §10). The pointer is not owned; pass
+  /// nullptr to disarm (parse() disarms before returning the Ast).
+  void setBudget(const CompileBudget* budget) { budget_ = budget; }
 
-struct ExprStmt final : Stmt {
-  ExprPtr expr;
-  explicit ExprStmt(ExprPtr e) : Stmt(StmtKind::ExprStmt), expr(std::move(e)) {}
-  [[nodiscard]] StmtPtr clone() const override;
+  [[nodiscard]] std::size_t exprCount() const { return exprs_.size(); }
+  [[nodiscard]] std::size_t stmtCount() const { return stmts_.size(); }
+  /// Total nodes ever allocated — the "ast-nodes" budget reading.
+  [[nodiscard]] std::size_t nodeCount() const {
+    return exprs_.size() + stmts_.size();
+  }
+
+ private:
+  void checkExpr(ExprId id) const;
+  void checkStmt(StmtId id) const;
+  void chargeNode(SourceLoc loc);
+  NameId internName(std::string_view s);
+
+  std::vector<ExprNode> exprs_;
+  std::vector<SourceLoc> exprLocs_;
+  std::vector<Type> exprTypes_;
+  std::vector<StmtNode> stmts_;
+  std::vector<SourceLoc> stmtLocs_;
+  std::vector<ExprId> exprListPool_;
+  std::vector<StmtId> stmtListPool_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> nameIndex_;
+  const CompileBudget* budget_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -376,7 +365,10 @@ struct ExprStmt final : Stmt {
 
 /// A formal parameter of a program or function. For programs, parameters are
 /// buffers (`buffer ob`) or buffer arrays (`buffer[N] ibs`); for `def`
-/// functions they may also be int/bool scalars and lists.
+/// functions they may also be int/bool scalars and lists. Parameter and
+/// function names stay plain strings — they are the external API surface
+/// (BufferSpec matching, trace naming) and there are only a handful per
+/// program.
 struct Param {
   Type type{};
   std::string name;
@@ -384,8 +376,6 @@ struct Param {
   /// was given as a literal and already stored in type.size).
   std::string sizeParam;
   SourceLoc loc{};
-
-  [[nodiscard]] Param clone() const;
 };
 
 /// A user-defined helper function. Restriction (enforced by the type
@@ -395,34 +385,27 @@ struct FuncDecl {
   std::string name;
   std::vector<Param> params;
   Type returnType = Type::voidTy();
-  std::unique_ptr<BlockStmt> body;
+  StmtId body{};  // Block
   SourceLoc loc{};
-
-  [[nodiscard]] FuncDecl clone() const;
 };
 
 /// A Buffy program: one time step of a network component. Input buffers are
 /// read via backlog/move-src; output buffers are write-only (enforced by a
-/// semantic pass).
+/// semantic pass). All node handles index the owning Ast's arena.
 struct Program {
   std::string name;
   std::vector<Param> params;
   std::vector<FuncDecl> functions;
-  std::unique_ptr<BlockStmt> body;
+  StmtId body{};  // Block
   SourceLoc loc{};
-
-  [[nodiscard]] Program clone() const;
 };
 
-// ---------------------------------------------------------------------------
-// Small helpers for building ASTs programmatically (used by transforms and
-// tests).
-// ---------------------------------------------------------------------------
-
-ExprPtr makeIntLit(std::int64_t v, SourceLoc loc = {});
-ExprPtr makeBoolLit(bool v, SourceLoc loc = {});
-ExprPtr makeVarRef(std::string name, SourceLoc loc = {});
-ExprPtr makeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {});
-ExprPtr makeUnary(UnaryOp op, ExprPtr e, SourceLoc loc = {});
+/// One parsed model: the arena plus the program skeleton whose handles
+/// index it. Copyable — copying is the whole-program clone (bulk pool
+/// copies, no per-node work).
+struct Ast {
+  AstArena arena;
+  Program program;
+};
 
 }  // namespace buffy::lang

@@ -71,15 +71,7 @@ void Parser::synchronize() {
   }
 }
 
-void Parser::countNode(SourceLoc loc) {
-  ++nodes_;
-  if (budget_.maxAstNodes != 0 && nodes_ > budget_.maxAstNodes) {
-    throw BudgetExceeded("ast-nodes", budget_.maxAstNodes, loc);
-  }
-}
-
 void Parser::countExprOp(SourceLoc loc) {
-  countNode(loc);
   ++exprOps_;
   if (budget_.maxExprTerms != 0 && exprOps_ > budget_.maxExprTerms) {
     throw BudgetExceeded("expr-terms", budget_.maxExprTerms, loc);
@@ -117,8 +109,8 @@ const Token& Parser::expect(TokenKind kind, const char* context) {
 // Programs, parameters, functions
 // ---------------------------------------------------------------------------
 
-Program Parser::parseProgram() {
-  Program prog;
+Ast Parser::parseProgram() {
+  Program& prog = ast_.program;
   try {
     const Token& name = expect(TokenKind::Identifier, "as program name");
     prog.name = name.text;
@@ -137,23 +129,27 @@ Program Parser::parseProgram() {
     }
   }
 
-  prog.body = std::make_unique<BlockStmt>();
-  prog.body->loc = peek().loc;
+  SourceLoc bodyLoc = peek().loc;
+  std::vector<StmtId> bodyStmts;
   if (!match(TokenKind::LBrace)) {
     try {
       fail(peek(), "expected { to open program body");
     } catch (const Panic&) {
-      return prog;
+      StmtNode block;
+      block.kind = StmtKind::Block;
+      block.block.stmts = arena().makeStmtSpan(bodyStmts);
+      prog.body = arena().addStmt(block, bodyLoc);
+      return takeAst();
     }
   }
-  prog.body->loc = peek().loc;
+  bodyLoc = peek().loc;
   while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
     const std::size_t before = pos_;
     try {
       if (check(TokenKind::KwDef)) {
         prog.functions.push_back(parseFuncDecl());
       } else {
-        prog.body->stmts.push_back(parseStatement());
+        bodyStmts.push_back(parseStatement());
       }
     } catch (const Panic&) {
       synchronize();
@@ -168,13 +164,16 @@ Program Parser::parseProgram() {
   } catch (const Panic&) {
     // Nothing to synchronize to: end of input.
   }
-  return prog;
+  StmtNode block;
+  block.kind = StmtKind::Block;
+  block.block.stmts = arena().makeStmtSpan(bodyStmts);
+  prog.body = arena().addStmt(block, bodyLoc);
+  return takeAst();
 }
 
 Param Parser::parseParam() {
   Param param;
   param.loc = peek().loc;
-  countNode(param.loc);
   if (match(TokenKind::KwBuffer)) {
     if (match(TokenKind::LBracket)) {
       if (check(TokenKind::IntLiteral)) {
@@ -205,7 +204,6 @@ Param Parser::parseParam() {
 FuncDecl Parser::parseFuncDecl() {
   FuncDecl fn;
   fn.loc = expect(TokenKind::KwDef, "to start function").loc;
-  countNode(fn.loc);
   if (match(TokenKind::KwInt)) {
     fn.returnType = Type::intTy();
   } else if (match(TokenKind::KwBool)) {
@@ -228,39 +226,42 @@ FuncDecl Parser::parseFuncDecl() {
 // Statements
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<BlockStmt> Parser::parseBlock() {
-  auto block = std::make_unique<BlockStmt>();
-  block->loc = expect(TokenKind::LBrace, "to open block").loc;
-  countNode(block->loc);
+StmtId Parser::parseBlock() {
+  const SourceLoc loc = expect(TokenKind::LBrace, "to open block").loc;
+  std::vector<StmtId> stmts;
   while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
     if (diag_ == nullptr) {
-      block->stmts.push_back(parseStatement());
+      stmts.push_back(parseStatement());
       continue;
     }
     const std::size_t before = pos_;
     try {
-      block->stmts.push_back(parseStatement());
+      stmts.push_back(parseStatement());
     } catch (const Panic&) {
       synchronize();
       if (pos_ == before) advance();  // always make progress
     }
   }
   expect(TokenKind::RBrace, "to close block");
-  return block;
+  StmtNode block;
+  block.kind = StmtKind::Block;
+  block.block.stmts = arena().makeStmtSpan(stmts);
+  return arena().addStmt(block, loc);
 }
 
-std::unique_ptr<BlockStmt> Parser::parseBlockOrSingleStatement() {
+StmtId Parser::parseBlockOrSingleStatement() {
   if (check(TokenKind::LBrace)) return parseBlock();
-  auto block = std::make_unique<BlockStmt>();
-  block->loc = peek().loc;
-  block->stmts.push_back(parseStatement());
-  return block;
+  const SourceLoc loc = peek().loc;
+  std::vector<StmtId> stmts{parseStatement()};
+  StmtNode block;
+  block.kind = StmtKind::Block;
+  block.block.stmts = arena().makeStmtSpan(stmts);
+  return arena().addStmt(block, loc);
 }
 
-StmtPtr Parser::parseStatement() {
+StmtId Parser::parseStatement() {
   const Token& tok = peek();
   const DepthGuard guard(*this, tok.loc);
-  countNode(tok.loc);
   // A fresh statement gets a fresh expression-size allowance.
   if (depth_ == 1) exprOps_ = 0;
   switch (tok.kind) {
@@ -296,76 +297,72 @@ StmtPtr Parser::parseStatement() {
     case TokenKind::KwIf: {
       advance();
       expect(TokenKind::LParen, "after 'if'");
-      ExprPtr cond = parseExpression();
+      const ExprId cond = parseExpression();
       expect(TokenKind::RParen, "after if condition");
-      auto thenBlock = parseBlockOrSingleStatement();
-      std::unique_ptr<BlockStmt> elseBlock;
+      const StmtId thenBlock = parseBlockOrSingleStatement();
+      StmtId elseBlock;
       if (match(TokenKind::KwElse)) elseBlock = parseBlockOrSingleStatement();
-      auto stmt = std::make_unique<IfStmt>(std::move(cond),
-                                           std::move(thenBlock),
-                                           std::move(elseBlock));
-      stmt->loc = tok.loc;
-      return stmt;
+      StmtNode stmt;
+      stmt.kind = StmtKind::If;
+      stmt.ifs = {cond, thenBlock, elseBlock};
+      return arena().addStmt(stmt, tok.loc);
     }
     case TokenKind::KwFor: {
       advance();
       expect(TokenKind::LParen, "after 'for'");
-      const std::string var =
-          expect(TokenKind::Identifier, "as loop variable").text;
+      const NameId var =
+          intern(expect(TokenKind::Identifier, "as loop variable").text);
       expect(TokenKind::KwIn, "after loop variable");
-      ExprPtr lo = parseExpression();
+      const ExprId lo = parseExpression();
       expect(TokenKind::DotDot, "in loop range");
-      ExprPtr hi = parseExpression();
+      const ExprId hi = parseExpression();
       expect(TokenKind::RParen, "after loop range");
       match(TokenKind::KwDo);  // `do` is optional
-      auto body = parseBlockOrSingleStatement();
-      auto stmt = std::make_unique<ForStmt>(var, std::move(lo), std::move(hi),
-                                            std::move(body));
-      stmt->loc = tok.loc;
-      return stmt;
+      const StmtId body = parseBlockOrSingleStatement();
+      StmtNode stmt;
+      stmt.kind = StmtKind::For;
+      stmt.fors = {var, lo, hi, body};
+      return arena().addStmt(stmt, tok.loc);
     }
     case TokenKind::KwMoveP:
     case TokenKind::KwMoveB: {
       const bool packets = tok.kind == TokenKind::KwMoveP;
       advance();
       expect(TokenKind::LParen, "after move");
-      ExprPtr src = parseExpression();
+      const ExprId src = parseExpression();
       expect(TokenKind::Comma, "between move source and destination");
-      ExprPtr dst = parseExpression();
+      const ExprId dst = parseExpression();
       expect(TokenKind::Comma, "between move destination and amount");
-      ExprPtr amount = parseExpression();
+      const ExprId amount = parseExpression();
       expect(TokenKind::RParen, "after move arguments");
       expect(TokenKind::Semicolon, "after move statement");
-      auto stmt = std::make_unique<MoveStmt>(packets, std::move(src),
-                                             std::move(dst), std::move(amount));
-      stmt->loc = tok.loc;
-      return stmt;
+      StmtNode stmt;
+      stmt.kind = StmtKind::Move;
+      stmt.move = {packets, src, dst, amount};
+      return arena().addStmt(stmt, tok.loc);
     }
     case TokenKind::KwAssert:
     case TokenKind::KwAssume: {
       const bool isAssert = tok.kind == TokenKind::KwAssert;
       advance();
       expect(TokenKind::LParen, "after assert/assume");
-      ExprPtr cond = parseExpression();
+      const ExprId cond = parseExpression();
       expect(TokenKind::RParen, "after condition");
       expect(TokenKind::Semicolon, "after assert/assume");
-      StmtPtr stmt;
-      if (isAssert) {
-        stmt = std::make_unique<AssertStmt>(std::move(cond));
-      } else {
-        stmt = std::make_unique<AssumeStmt>(std::move(cond));
-      }
-      stmt->loc = tok.loc;
-      return stmt;
+      StmtNode stmt;
+      stmt.kind = isAssert ? StmtKind::Assert : StmtKind::Assume;
+      stmt.guard = {cond};
+      return arena().addStmt(stmt, tok.loc);
     }
     case TokenKind::KwReturn: {
       advance();
-      ExprPtr value;
+      ExprId value;
       if (!check(TokenKind::Semicolon)) value = parseExpression();
       expect(TokenKind::Semicolon, "after return");
-      auto stmt = std::make_unique<ReturnStmt>(std::move(value));
-      stmt->loc = tok.loc;
-      return stmt;
+      StmtNode stmt;
+      stmt.kind = StmtKind::Return;
+      stmt.ret = {value};
+      return arena().addStmt(stmt, tok.loc);
     }
     case TokenKind::Identifier:
       return parseIdentStatement();
@@ -374,7 +371,7 @@ StmtPtr Parser::parseStatement() {
   }
 }
 
-StmtPtr Parser::parseDecl(SourceLoc loc, Storage storage, bool /*monitor*/) {
+StmtId Parser::parseDecl(SourceLoc loc, Storage storage, bool /*monitor*/) {
   Type type;
   if (match(TokenKind::KwInt)) {
     type = Type::intTy();
@@ -385,10 +382,10 @@ StmtPtr Parser::parseDecl(SourceLoc loc, Storage storage, bool /*monitor*/) {
   } else {
     fail(peek(), "expected type in declaration ('int', 'bool', 'list')");
   }
-  const std::string name =
-      expect(TokenKind::Identifier, "as declared variable name").text;
+  const NameId name =
+      intern(expect(TokenKind::Identifier, "as declared variable name").text);
 
-  std::string sizeParam;
+  NameId sizeParam;
   if (match(TokenKind::LBracket)) {
     int n = -1;
     const Token& size = peek();
@@ -397,7 +394,7 @@ StmtPtr Parser::parseDecl(SourceLoc loc, Storage storage, bool /*monitor*/) {
     } else if (check(TokenKind::Identifier)) {
       // Named compile-time constant (e.g. `int cdeq[N]`), resolved by
       // elaborate() from the constant bindings.
-      sizeParam = advance().text;
+      sizeParam = intern(advance().text);
     } else {
       fail(size, "expected integer literal or constant name as size");
     }
@@ -417,31 +414,30 @@ StmtPtr Parser::parseDecl(SourceLoc loc, Storage storage, bool /*monitor*/) {
     }
   }
 
-  ExprPtr init;
+  ExprId init;
   if (match(TokenKind::Assign)) init = parseExpression();
   expect(TokenKind::Semicolon, "after declaration");
-  auto stmt =
-      std::make_unique<DeclStmt>(storage, type, name, std::move(init));
-  stmt->sizeParam = std::move(sizeParam);
-  stmt->loc = loc;
-  return stmt;
+  StmtNode stmt;
+  stmt.kind = StmtKind::Decl;
+  stmt.decl = {storage, type, name, init, sizeParam};
+  return arena().addStmt(stmt, loc);
 }
 
-StmtPtr Parser::parseIdentStatement() {
+StmtId Parser::parseIdentStatement() {
   const Token& name = expect(TokenKind::Identifier, "to start statement");
 
   // name[idx] = expr;
   if (check(TokenKind::LBracket)) {
     advance();
-    ExprPtr index = parseExpression();
+    const ExprId index = parseExpression();
     expect(TokenKind::RBracket, "after index");
     expect(TokenKind::Assign, "in array assignment");
-    ExprPtr value = parseExpression();
+    const ExprId value = parseExpression();
     expect(TokenKind::Semicolon, "after assignment");
-    auto stmt = std::make_unique<AssignStmt>(name.text, std::move(index),
-                                             std::move(value));
-    stmt->loc = name.loc;
-    return stmt;
+    StmtNode stmt;
+    stmt.kind = StmtKind::Assign;
+    stmt.assign = {intern(name.text), index, value};
+    return arena().addStmt(stmt, name.loc);
   }
 
   // name.method(args);  — list mutators (push_back / enq) as statements.
@@ -449,7 +445,7 @@ StmtPtr Parser::parseIdentStatement() {
     advance();
     const Token& method = expect(TokenKind::Identifier, "as method name");
     expect(TokenKind::LParen, "after method name");
-    std::vector<ExprPtr> args;
+    std::vector<ExprId> args;
     if (!check(TokenKind::RParen)) {
       args.push_back(parseExpression());
       while (match(TokenKind::Comma)) args.push_back(parseExpression());
@@ -458,10 +454,10 @@ StmtPtr Parser::parseIdentStatement() {
     expect(TokenKind::Semicolon, "after method call");
     if (method.text == "push_back" || method.text == "enq") {
       if (args.size() != 1) fail(method, "push_back/enq takes one argument");
-      auto stmt =
-          std::make_unique<ListPushStmt>(name.text, std::move(args[0]));
-      stmt->loc = name.loc;
-      return stmt;
+      StmtNode stmt;
+      stmt.kind = StmtKind::ListPush;
+      stmt.listPush = {intern(name.text), args[0]};
+      return arena().addStmt(stmt, name.loc);
     }
     fail(method, "unknown list statement method '" + method.text +
                      "' (expected push_back/enq)");
@@ -472,39 +468,43 @@ StmtPtr Parser::parseIdentStatement() {
     advance();
     if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Dot) &&
         peek(2).is(TokenKind::Identifier) && peek(2).text == "pop_front") {
-      const std::string list = advance().text;  // list name
-      advance();                                // '.'
-      advance();                                // pop_front
+      const NameId list = intern(advance().text);  // list name
+      advance();                                   // '.'
+      advance();                                   // pop_front
       expect(TokenKind::LParen, "after pop_front");
       expect(TokenKind::RParen, "after pop_front(");
       expect(TokenKind::Semicolon, "after pop_front call");
-      auto stmt = std::make_unique<PopFrontStmt>(name.text, list);
-      stmt->loc = name.loc;
-      return stmt;
+      StmtNode stmt;
+      stmt.kind = StmtKind::PopFront;
+      stmt.popFront = {intern(name.text), list};
+      return arena().addStmt(stmt, name.loc);
     }
-    ExprPtr value = parseExpression();
+    const ExprId value = parseExpression();
     expect(TokenKind::Semicolon, "after assignment");
-    auto stmt =
-        std::make_unique<AssignStmt>(name.text, nullptr, std::move(value));
-    stmt->loc = name.loc;
-    return stmt;
+    StmtNode stmt;
+    stmt.kind = StmtKind::Assign;
+    stmt.assign = {intern(name.text), ExprId{}, value};
+    return arena().addStmt(stmt, name.loc);
   }
 
   // name(args);  — void function call.
   if (check(TokenKind::LParen)) {
     advance();
-    std::vector<ExprPtr> args;
+    std::vector<ExprId> args;
     if (!check(TokenKind::RParen)) {
       args.push_back(parseExpression());
       while (match(TokenKind::Comma)) args.push_back(parseExpression());
     }
     expect(TokenKind::RParen, "after call arguments");
     expect(TokenKind::Semicolon, "after call");
-    auto call = std::make_unique<CallExpr>(name.text, std::move(args));
-    call->loc = name.loc;
-    auto stmt = std::make_unique<ExprStmt>(std::move(call));
-    stmt->loc = name.loc;
-    return stmt;
+    ExprNode call;
+    call.kind = ExprKind::Call;
+    call.call = {intern(name.text), arena().makeExprSpan(args)};
+    const ExprId callId = arena().addExpr(call, name.loc);
+    StmtNode stmt;
+    stmt.kind = StmtKind::ExprStmt;
+    stmt.exprStmt = {callId};
+    return arena().addStmt(stmt, name.loc);
   }
 
   fail(peek(), "expected '=', '[', '.', or '(' after identifier");
@@ -514,53 +514,53 @@ StmtPtr Parser::parseIdentStatement() {
 // Expressions (precedence climbing)
 // ---------------------------------------------------------------------------
 
-ExprPtr Parser::parseExpressionOnly() {
-  ExprPtr e = parseExpression();
+ExprId Parser::parseExpressionOnly() {
+  const ExprId e = parseExpression();
   if (!check(TokenKind::EndOfFile)) {
     fail(peek(), "trailing tokens after expression");
   }
   return e;
 }
 
-ExprPtr Parser::parseExpression() {
+ExprId Parser::parseExpression() {
   const DepthGuard guard(*this, peek().loc);
   return parseOr();
 }
 
-ExprPtr Parser::parseOr() {
-  ExprPtr lhs = parseAnd();
+ExprId Parser::parseOr() {
+  ExprId lhs = parseAnd();
   while (check(TokenKind::Pipe)) {
     const SourceLoc loc = advance().loc;
     countExprOp(loc);
-    lhs = makeBinary(BinaryOp::Or, std::move(lhs), parseAnd(), loc);
+    lhs = arena().mkBinary(BinaryOp::Or, lhs, parseAnd(), loc);
   }
   return lhs;
 }
 
-ExprPtr Parser::parseAnd() {
-  ExprPtr lhs = parseEquality();
+ExprId Parser::parseAnd() {
+  ExprId lhs = parseEquality();
   while (check(TokenKind::Amp)) {
     const SourceLoc loc = advance().loc;
     countExprOp(loc);
-    lhs = makeBinary(BinaryOp::And, std::move(lhs), parseEquality(), loc);
+    lhs = arena().mkBinary(BinaryOp::And, lhs, parseEquality(), loc);
   }
   return lhs;
 }
 
-ExprPtr Parser::parseEquality() {
-  ExprPtr lhs = parseRelational();
+ExprId Parser::parseEquality() {
+  ExprId lhs = parseRelational();
   while (check(TokenKind::EqEq) || check(TokenKind::NotEq)) {
     const Token& tok = advance();
     countExprOp(tok.loc);
     const BinaryOp op =
         tok.is(TokenKind::EqEq) ? BinaryOp::Eq : BinaryOp::Ne;
-    lhs = makeBinary(op, std::move(lhs), parseRelational(), tok.loc);
+    lhs = arena().mkBinary(op, lhs, parseRelational(), tok.loc);
   }
   return lhs;
 }
 
-ExprPtr Parser::parseRelational() {
-  ExprPtr lhs = parseAdditive();
+ExprId Parser::parseRelational() {
+  ExprId lhs = parseAdditive();
   while (check(TokenKind::Lt) || check(TokenKind::Le) ||
          check(TokenKind::Gt) || check(TokenKind::Ge)) {
     const Token& tok = advance();
@@ -569,25 +569,25 @@ ExprPtr Parser::parseRelational() {
     if (tok.is(TokenKind::Le)) op = BinaryOp::Le;
     if (tok.is(TokenKind::Gt)) op = BinaryOp::Gt;
     if (tok.is(TokenKind::Ge)) op = BinaryOp::Ge;
-    lhs = makeBinary(op, std::move(lhs), parseAdditive(), tok.loc);
+    lhs = arena().mkBinary(op, lhs, parseAdditive(), tok.loc);
   }
   return lhs;
 }
 
-ExprPtr Parser::parseAdditive() {
-  ExprPtr lhs = parseMultiplicative();
+ExprId Parser::parseAdditive() {
+  ExprId lhs = parseMultiplicative();
   while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
     const Token& tok = advance();
     countExprOp(tok.loc);
     const BinaryOp op =
         tok.is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
-    lhs = makeBinary(op, std::move(lhs), parseMultiplicative(), tok.loc);
+    lhs = arena().mkBinary(op, lhs, parseMultiplicative(), tok.loc);
   }
   return lhs;
 }
 
-ExprPtr Parser::parseMultiplicative() {
-  ExprPtr lhs = parseUnary();
+ExprId Parser::parseMultiplicative() {
+  ExprId lhs = parseUnary();
   while (check(TokenKind::Star) || check(TokenKind::Slash) ||
          check(TokenKind::Percent)) {
     const Token& tok = advance();
@@ -595,50 +595,50 @@ ExprPtr Parser::parseMultiplicative() {
     BinaryOp op = BinaryOp::Mul;
     if (tok.is(TokenKind::Slash)) op = BinaryOp::Div;
     if (tok.is(TokenKind::Percent)) op = BinaryOp::Mod;
-    lhs = makeBinary(op, std::move(lhs), parseUnary(), tok.loc);
+    lhs = arena().mkBinary(op, lhs, parseUnary(), tok.loc);
   }
   return lhs;
 }
 
-ExprPtr Parser::parseUnary() {
+ExprId Parser::parseUnary() {
   const DepthGuard guard(*this, peek().loc);
   if (check(TokenKind::Bang)) {
     const SourceLoc loc = advance().loc;
     countExprOp(loc);
-    return makeUnary(UnaryOp::Not, parseUnary(), loc);
+    return arena().mkUnary(UnaryOp::Not, parseUnary(), loc);
   }
   if (check(TokenKind::Minus)) {
     const SourceLoc loc = advance().loc;
     countExprOp(loc);
-    return makeUnary(UnaryOp::Neg, parseUnary(), loc);
+    return arena().mkUnary(UnaryOp::Neg, parseUnary(), loc);
   }
   return parsePostfix();
 }
 
-ExprPtr Parser::parsePostfix() {
-  ExprPtr base = parsePrimary();
+ExprId Parser::parsePostfix() {
+  ExprId base = parsePrimary();
   while (check(TokenKind::PipeGt)) {
     const SourceLoc loc = advance().loc;
     countExprOp(loc);
     // Filter: `field == value`, optionally parenthesized.
     const bool parens = match(TokenKind::LParen);
-    const std::string field =
-        expect(TokenKind::Identifier, "as filter field name").text;
+    const NameId field =
+        intern(expect(TokenKind::Identifier, "as filter field name").text);
     expect(TokenKind::EqEq, "in filter (only 'field == value' filters)");
-    ExprPtr value = parseAdditive();
+    const ExprId value = parseAdditive();
     if (parens) expect(TokenKind::RParen, "after filter");
-    auto filter = std::make_unique<FilterExpr>(std::move(base), field,
-                                               std::move(value));
-    filter->loc = loc;
-    base = std::move(filter);
+    ExprNode filter;
+    filter.kind = ExprKind::Filter;
+    filter.filter = {base, field, value};
+    base = arena().addExpr(filter, loc);
   }
   return base;
 }
 
-ExprPtr Parser::parseMethodExpr(std::string base, SourceLoc loc) {
+ExprId Parser::parseMethodExpr(NameId base, SourceLoc loc) {
   const Token& method = expect(TokenKind::Identifier, "as method name");
   expect(TokenKind::LParen, "after method name");
-  std::vector<ExprPtr> args;
+  std::vector<ExprId> args;
   if (!check(TokenKind::RParen)) {
     args.push_back(parseExpression());
     while (match(TokenKind::Comma)) args.push_back(parseExpression());
@@ -647,42 +647,44 @@ ExprPtr Parser::parseMethodExpr(std::string base, SourceLoc loc) {
 
   if (method.text == "has") {
     if (args.size() != 1) fail(method, "has() takes one argument");
-    auto e = std::make_unique<ListHasExpr>(std::move(base), std::move(args[0]));
-    e->loc = loc;
-    return e;
+    ExprNode e;
+    e.kind = ExprKind::ListHas;
+    e.listOp = {base, args[0]};
+    return arena().addExpr(e, loc);
   }
   if (method.text == "empty") {
     if (!args.empty()) fail(method, "empty() takes no arguments");
-    auto e = std::make_unique<ListEmptyExpr>(std::move(base));
-    e->loc = loc;
-    return e;
+    ExprNode e;
+    e.kind = ExprKind::ListEmpty;
+    e.listOp = {base, ExprId{}};
+    return arena().addExpr(e, loc);
   }
   if (method.text == "len" || method.text == "size") {
     if (!args.empty()) fail(method, "len() takes no arguments");
-    auto e = std::make_unique<ListLenExpr>(std::move(base));
-    e->loc = loc;
-    return e;
+    ExprNode e;
+    e.kind = ExprKind::ListLen;
+    e.listOp = {base, ExprId{}};
+    return arena().addExpr(e, loc);
   }
   fail(method, "unknown method '" + method.text +
                    "' in expression (expected has/empty/len)");
 }
 
-ExprPtr Parser::parsePrimary() {
+ExprId Parser::parsePrimary() {
   const Token& tok = peek();
-  countNode(tok.loc);
   switch (tok.kind) {
     case TokenKind::IntLiteral:
       advance();
-      return makeIntLit(tok.value, tok.loc);
+      return arena().mkIntLit(tok.value, tok.loc);
     case TokenKind::KwTrue:
       advance();
-      return makeBoolLit(true, tok.loc);
+      return arena().mkBoolLit(true, tok.loc);
     case TokenKind::KwFalse:
       advance();
-      return makeBoolLit(false, tok.loc);
+      return arena().mkBoolLit(false, tok.loc);
     case TokenKind::LParen: {
       advance();
-      ExprPtr e = parseExpression();
+      const ExprId e = parseExpression();
       expect(TokenKind::RParen, "after parenthesized expression");
       return e;
     }
@@ -691,56 +693,61 @@ ExprPtr Parser::parsePrimary() {
       const bool packets = tok.kind == TokenKind::KwBacklogP;
       advance();
       expect(TokenKind::LParen, "after backlog");
-      ExprPtr buffer = parseExpression();
+      const ExprId buffer = parseExpression();
       expect(TokenKind::RParen, "after backlog argument");
-      auto e = std::make_unique<BacklogExpr>(packets, std::move(buffer));
-      e->loc = tok.loc;
-      return e;
+      ExprNode e;
+      e.kind = ExprKind::Backlog;
+      e.backlog = {packets, buffer};
+      return arena().addExpr(e, tok.loc);
     }
     case TokenKind::Identifier: {
       advance();
       if (check(TokenKind::LBracket)) {
         advance();
-        ExprPtr index = parseExpression();
+        const ExprId index = parseExpression();
         expect(TokenKind::RBracket, "after index expression");
-        auto e = std::make_unique<IndexExpr>(tok.text, std::move(index));
-        e->loc = tok.loc;
-        return e;
+        ExprNode e;
+        e.kind = ExprKind::Index;
+        e.index = {intern(tok.text), index};
+        return arena().addExpr(e, tok.loc);
       }
       if (check(TokenKind::Dot)) {
         advance();
-        return parseMethodExpr(tok.text, tok.loc);
+        return parseMethodExpr(intern(tok.text), tok.loc);
       }
       if (check(TokenKind::LParen)) {
         advance();
-        std::vector<ExprPtr> args;
+        std::vector<ExprId> args;
         if (!check(TokenKind::RParen)) {
           args.push_back(parseExpression());
           while (match(TokenKind::Comma)) args.push_back(parseExpression());
         }
         expect(TokenKind::RParen, "after call arguments");
-        auto e = std::make_unique<CallExpr>(tok.text, std::move(args));
-        e->loc = tok.loc;
-        return e;
+        ExprNode e;
+        e.kind = ExprKind::Call;
+        e.call = {intern(tok.text), arena().makeExprSpan(args)};
+        return arena().addExpr(e, tok.loc);
       }
-      return makeVarRef(tok.text, tok.loc);
+      return arena().mkVarRef(intern(tok.text), tok.loc);
     }
     default:
       fail(tok, "expected an expression");
   }
 }
 
-Program parse(std::string_view source, const CompileBudget& budget) {
+Ast parse(std::string_view source, const CompileBudget& budget) {
   return Parser(lex(source), budget).parseProgram();
 }
 
-Program parseRecover(std::string_view source, DiagnosticEngine& diag,
-                     const CompileBudget& budget) {
+Ast parseRecover(std::string_view source, DiagnosticEngine& diag,
+                 const CompileBudget& budget) {
   return Parser(lex(source, diag), diag, budget).parseProgram();
 }
 
-ExprPtr parseExpr(std::string_view source, const CompileBudget& budget) {
-  return Parser(lex(source), budget).parseExpressionOnly();
+ExprParse parseExpr(std::string_view source, const CompileBudget& budget) {
+  Parser parser(lex(source), budget);
+  const ExprId expr = parser.parseExpressionOnly();
+  return ExprParse{parser.takeAst(), expr};
 }
 
 }  // namespace buffy::lang

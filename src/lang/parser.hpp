@@ -1,5 +1,7 @@
 // Recursive-descent parser for the Buffy language (paper Figure 3 grammar
-// plus the surface syntax of Figure 4).
+// plus the surface syntax of Figure 4). Emits directly into an AstArena:
+// every node allocation is one pool append, and the returned Ast owns the
+// arena plus the program skeleton of handles into it.
 //
 // Two error modes:
 //  - throw mode (default): the first syntax error raises SyntaxError, the
@@ -7,11 +9,12 @@
 //  - recovery mode (constructed with a DiagnosticEngine): errors are
 //    reported and the parser performs panic-mode synchronization to the
 //    next statement/declaration boundary, so one run surfaces every
-//    problem; the returned Program contains every statement that parsed.
+//    problem; the returned Ast contains every statement that parsed.
 //
 // Independently of the mode, a CompileBudget bounds nesting depth,
 // per-statement expression size, and total AST nodes; violations raise
-// BudgetExceeded (never recovered — the governor aborts the parse).
+// BudgetExceeded (never recovered — the governor aborts the parse). The
+// ast-nodes limit is enforced by the arena itself, at allocation time.
 #pragma once
 
 #include <string_view>
@@ -28,20 +31,30 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens,
                   const CompileBudget& budget = CompileBudget::defaults())
-      : tokens_(std::move(tokens)), budget_(budget) {}
+      : tokens_(std::move(tokens)), budget_(budget) {
+    ast_.arena.setBudget(&budget_);
+  }
   /// Recovery mode (see file header).
   Parser(std::vector<Token> tokens, DiagnosticEngine& diag,
          const CompileBudget& budget = CompileBudget::defaults())
-      : tokens_(std::move(tokens)), diag_(&diag), budget_(budget) {}
+      : tokens_(std::move(tokens)), diag_(&diag), budget_(budget) {
+    ast_.arena.setBudget(&budget_);
+  }
 
   /// Parses a whole program: `name(params) { decls; stmts; }`.
   /// Throw mode: throws buffy::SyntaxError on malformed input. Recovery
   /// mode: reports and synchronizes; check the engine for errors.
   /// Both modes throw BudgetExceeded on resource-limit violations.
-  [[nodiscard]] Program parseProgram();
+  [[nodiscard]] Ast parseProgram();
 
-  /// Parses a single expression (used by the query front-end).
-  [[nodiscard]] ExprPtr parseExpressionOnly();
+  /// Parses a single expression (tests and tools).
+  [[nodiscard]] ExprId parseExpressionOnly();
+
+  /// The arena being populated (for parseExpressionOnly callers).
+  [[nodiscard]] Ast takeAst() {
+    ast_.arena.setBudget(nullptr);
+    return std::move(ast_);
+  }
 
  private:
   /// Thrown (recovery mode only) to unwind to the nearest synchronization
@@ -54,9 +67,8 @@ class Parser {
   /// Skips tokens until a plausible statement boundary (just past a ';',
   /// or in front of '}' / a statement-starting keyword / end of input).
   void synchronize();
-  /// Counts one AST node against maxAstNodes / one operator application
-  /// against maxExprTerms (budget bombs are fatal in both modes).
-  void countNode(SourceLoc loc);
+  /// Counts one operator application against maxExprTerms (budget bombs
+  /// are fatal in both modes). Node-count accounting lives in the arena.
   void countExprOp(SourceLoc loc);
 
   [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
@@ -65,50 +77,59 @@ class Parser {
   bool match(TokenKind kind);
   const Token& expect(TokenKind kind, const char* context);
 
+  AstArena& arena() { return ast_.arena; }
+  NameId intern(std::string_view s) { return ast_.arena.intern(s); }
+
   Param parseParam();
   FuncDecl parseFuncDecl();
-  std::unique_ptr<BlockStmt> parseBlock();
-  StmtPtr parseStatement();
-  std::unique_ptr<BlockStmt> parseBlockOrSingleStatement();
-  StmtPtr parseDecl(SourceLoc loc, Storage storage, bool monitor);
-  StmtPtr parseIdentStatement();
+  StmtId parseBlock();
+  StmtId parseStatement();
+  StmtId parseBlockOrSingleStatement();
+  StmtId parseDecl(SourceLoc loc, Storage storage, bool monitor);
+  StmtId parseIdentStatement();
 
-  ExprPtr parseExpression();
-  ExprPtr parseOr();
-  ExprPtr parseAnd();
-  ExprPtr parseEquality();
-  ExprPtr parseRelational();
-  ExprPtr parseAdditive();
-  ExprPtr parseMultiplicative();
-  ExprPtr parseUnary();
-  ExprPtr parsePostfix();
-  ExprPtr parsePrimary();
-  ExprPtr parseMethodExpr(std::string base, SourceLoc loc);
+  ExprId parseExpression();
+  ExprId parseOr();
+  ExprId parseAnd();
+  ExprId parseEquality();
+  ExprId parseRelational();
+  ExprId parseAdditive();
+  ExprId parseMultiplicative();
+  ExprId parseUnary();
+  ExprId parsePostfix();
+  ExprId parsePrimary();
+  ExprId parseMethodExpr(NameId base, SourceLoc loc);
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   DiagnosticEngine* diag_ = nullptr;
   CompileBudget budget_;
+  Ast ast_;
   std::size_t depth_ = 0;      // current nesting depth
-  std::size_t nodes_ = 0;      // AST nodes so far
   std::size_t exprOps_ = 0;    // operator applications in current statement
 };
 
 /// Convenience: lex + parse a program from source text (throw mode).
-[[nodiscard]] Program parse(std::string_view source,
-                            const CompileBudget& budget =
-                                CompileBudget::defaults());
+[[nodiscard]] Ast parse(std::string_view source,
+                        const CompileBudget& budget =
+                            CompileBudget::defaults());
 
 /// Convenience: lex + parse with error recovery. Lexical and syntax errors
-/// land in `diag`; the returned Program holds everything that parsed.
-[[nodiscard]] Program parseRecover(std::string_view source,
-                                   DiagnosticEngine& diag,
-                                   const CompileBudget& budget =
-                                       CompileBudget::defaults());
+/// land in `diag`; the returned Ast holds everything that parsed.
+[[nodiscard]] Ast parseRecover(std::string_view source,
+                               DiagnosticEngine& diag,
+                               const CompileBudget& budget =
+                                   CompileBudget::defaults());
+
+/// A standalone parsed expression: the owning arena plus its root handle.
+struct ExprParse {
+  Ast ast;
+  ExprId expr;
+};
 
 /// Convenience: lex + parse a standalone expression (throw mode).
-[[nodiscard]] ExprPtr parseExpr(std::string_view source,
-                                const CompileBudget& budget =
-                                    CompileBudget::defaults());
+[[nodiscard]] ExprParse parseExpr(std::string_view source,
+                                  const CompileBudget& budget =
+                                      CompileBudget::defaults());
 
 }  // namespace buffy::lang

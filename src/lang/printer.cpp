@@ -20,51 +20,44 @@ std::string paramStr(const Param& p) {
 
 }  // namespace
 
-std::string printExpr(const Expr& expr) {
-  switch (expr.exprKind) {
+std::string printExpr(const AstArena& arena, ExprId id) {
+  const ExprNode& expr = arena.expr(id);
+  switch (expr.kind) {
     case ExprKind::IntLit:
-      return std::to_string(static_cast<const IntLitExpr&>(expr).value);
+      return std::to_string(expr.intLit.value);
     case ExprKind::BoolLit:
-      return static_cast<const BoolLitExpr&>(expr).value ? "true" : "false";
+      return expr.boolLit.value ? "true" : "false";
     case ExprKind::VarRef:
-      return static_cast<const VarRefExpr&>(expr).name;
-    case ExprKind::Index: {
-      const auto& e = static_cast<const IndexExpr&>(expr);
-      return e.base + "[" + printExpr(*e.index) + "]";
-    }
-    case ExprKind::Binary: {
-      const auto& e = static_cast<const BinaryExpr&>(expr);
-      return "(" + printExpr(*e.lhs) + " " + binaryOpName(e.op) + " " +
-             printExpr(*e.rhs) + ")";
-    }
-    case ExprKind::Unary: {
-      const auto& e = static_cast<const UnaryExpr&>(expr);
-      return std::string(unaryOpName(e.op)) + printExpr(*e.operand);
-    }
-    case ExprKind::Backlog: {
-      const auto& e = static_cast<const BacklogExpr&>(expr);
-      return std::string(e.packets ? "backlog-p" : "backlog-b") + "(" +
-             printExpr(*e.buffer) + ")";
-    }
-    case ExprKind::Filter: {
-      const auto& e = static_cast<const FilterExpr&>(expr);
-      return printExpr(*e.base) + " |> (" + e.field + " == " +
-             printExpr(*e.value) + ")";
-    }
-    case ExprKind::ListHas: {
-      const auto& e = static_cast<const ListHasExpr&>(expr);
-      return e.list + ".has(" + printExpr(*e.value) + ")";
-    }
+      return arena.str(expr.varRef.name);
+    case ExprKind::Index:
+      return arena.str(expr.index.base) + "[" +
+             printExpr(arena, expr.index.index) + "]";
+    case ExprKind::Binary:
+      return "(" + printExpr(arena, expr.binary.lhs) + " " +
+             binaryOpName(expr.binary.op) + " " +
+             printExpr(arena, expr.binary.rhs) + ")";
+    case ExprKind::Unary:
+      return std::string(unaryOpName(expr.unary.op)) +
+             printExpr(arena, expr.unary.operand);
+    case ExprKind::Backlog:
+      return std::string(expr.backlog.packets ? "backlog-p" : "backlog-b") +
+             "(" + printExpr(arena, expr.backlog.buffer) + ")";
+    case ExprKind::Filter:
+      return printExpr(arena, expr.filter.base) + " |> (" +
+             arena.str(expr.filter.field) + " == " +
+             printExpr(arena, expr.filter.value) + ")";
+    case ExprKind::ListHas:
+      return arena.str(expr.listOp.list) + ".has(" +
+             printExpr(arena, expr.listOp.value) + ")";
     case ExprKind::ListEmpty:
-      return static_cast<const ListEmptyExpr&>(expr).list + ".empty()";
+      return arena.str(expr.listOp.list) + ".empty()";
     case ExprKind::ListLen:
-      return static_cast<const ListLenExpr&>(expr).list + ".len()";
+      return arena.str(expr.listOp.list) + ".len()";
     case ExprKind::Call: {
-      const auto& e = static_cast<const CallExpr&>(expr);
-      std::string out = e.callee + "(";
-      for (std::size_t i = 0; i < e.args.size(); ++i) {
+      std::string out = arena.str(expr.call.callee) + "(";
+      for (std::uint32_t i = 0; i < expr.call.args.count; ++i) {
         if (i != 0) out += ", ";
-        out += printExpr(*e.args[i]);
+        out += printExpr(arena, arena.spanAt(expr.call.args, i));
       }
       return out + ")";
     }
@@ -72,17 +65,31 @@ std::string printExpr(const Expr& expr) {
   throw Error("printExpr: unknown expression kind");
 }
 
-std::string printStmt(const Stmt& stmt, int indent) {
-  switch (stmt.stmtKind) {
+namespace {
+
+/// Prints the children of a Block statement at `indent`, without braces.
+std::string printBlockBody(const AstArena& arena, StmtId block, int indent) {
+  const StmtNode& s = arena.stmt(block);
+  std::string out;
+  for (std::uint32_t i = 0; i < s.block.stmts.count; ++i) {
+    out += printStmt(arena, arena.spanAt(s.block.stmts, i), indent);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string printStmt(const AstArena& arena, StmtId id, int indent) {
+  const StmtNode& stmt = arena.stmt(id);
+  switch (stmt.kind) {
     case StmtKind::Block: {
-      const auto& s = static_cast<const BlockStmt&>(stmt);
       std::string out = ind(indent) + "{\n";
-      for (const auto& inner : s.stmts) out += printStmt(*inner, indent + 1);
+      out += printBlockBody(arena, id, indent + 1);
       out += ind(indent) + "}\n";
       return out;
     }
     case StmtKind::Decl: {
-      const auto& s = static_cast<const DeclStmt&>(stmt);
+      const auto& s = stmt.decl;
       std::string out = ind(indent);
       switch (s.storage) {
         case Storage::Global: out += "global "; break;
@@ -92,90 +99,85 @@ std::string printStmt(const Stmt& stmt, int indent) {
       }
       // Unelaborated declarations carry the size as a named constant.
       const std::string size = !s.sizeParam.empty()
-                                   ? s.sizeParam
+                                   ? arena.str(s.sizeParam)
                                    : std::to_string(s.declType.size);
+      const std::string name = arena.str(s.name);
       if (s.declType.isArray()) {
         out += s.declType.kind == TypeKind::IntArray ? "int " : "bool ";
-        out += s.name + "[" + size + "]";
+        out += name + "[" + size + "]";
       } else if (s.declType.kind == TypeKind::List &&
                  (s.declType.size >= 0 || !s.sizeParam.empty())) {
-        out += "list " + s.name + "[" + size + "]";
+        out += "list " + name + "[" + size + "]";
       } else {
-        out += s.declType.str() + " " + s.name;
+        out += s.declType.str() + " " + name;
       }
-      if (s.init) out += " = " + printExpr(*s.init);
+      if (s.init.valid()) out += " = " + printExpr(arena, s.init);
       return out + ";\n";
     }
     case StmtKind::Assign: {
-      const auto& s = static_cast<const AssignStmt&>(stmt);
-      std::string lhs = s.target;
-      if (s.index) lhs += "[" + printExpr(*s.index) + "]";
-      return ind(indent) + lhs + " = " + printExpr(*s.value) + ";\n";
+      const auto& s = stmt.assign;
+      std::string lhs = arena.str(s.target);
+      if (s.index.valid()) lhs += "[" + printExpr(arena, s.index) + "]";
+      return ind(indent) + lhs + " = " + printExpr(arena, s.value) + ";\n";
     }
     case StmtKind::If: {
-      const auto& s = static_cast<const IfStmt&>(stmt);
+      const auto& s = stmt.ifs;
       std::string out =
-          ind(indent) + "if (" + printExpr(*s.cond) + ") {\n";
-      for (const auto& inner : s.thenBlock->stmts) {
-        out += printStmt(*inner, indent + 1);
-      }
+          ind(indent) + "if (" + printExpr(arena, s.cond) + ") {\n";
+      out += printBlockBody(arena, s.thenBlock, indent + 1);
       out += ind(indent) + "}";
-      if (s.elseBlock) {
+      if (s.elseBlock.valid()) {
         out += " else {\n";
-        for (const auto& inner : s.elseBlock->stmts) {
-          out += printStmt(*inner, indent + 1);
-        }
+        out += printBlockBody(arena, s.elseBlock, indent + 1);
         out += ind(indent) + "}";
       }
       return out + "\n";
     }
     case StmtKind::For: {
-      const auto& s = static_cast<const ForStmt&>(stmt);
-      std::string out = ind(indent) + "for (" + s.var + " in " +
-                        printExpr(*s.lo) + ".." + printExpr(*s.hi) +
-                        ") do {\n";
-      for (const auto& inner : s.body->stmts) {
-        out += printStmt(*inner, indent + 1);
-      }
+      const auto& s = stmt.fors;
+      std::string out = ind(indent) + "for (" + arena.str(s.var) + " in " +
+                        printExpr(arena, s.lo) + ".." +
+                        printExpr(arena, s.hi) + ") do {\n";
+      out += printBlockBody(arena, s.body, indent + 1);
       return out + ind(indent) + "}\n";
     }
     case StmtKind::Move: {
-      const auto& s = static_cast<const MoveStmt&>(stmt);
+      const auto& s = stmt.move;
       return ind(indent) + (s.packets ? "move-p(" : "move-b(") +
-             printExpr(*s.src) + ", " + printExpr(*s.dst) + ", " +
-             printExpr(*s.amount) + ");\n";
+             printExpr(arena, s.src) + ", " + printExpr(arena, s.dst) + ", " +
+             printExpr(arena, s.amount) + ");\n";
     }
     case StmtKind::ListPush: {
-      const auto& s = static_cast<const ListPushStmt&>(stmt);
-      return ind(indent) + s.list + ".push_back(" + printExpr(*s.value) +
-             ");\n";
+      const auto& s = stmt.listPush;
+      return ind(indent) + arena.str(s.list) + ".push_back(" +
+             printExpr(arena, s.value) + ");\n";
     }
     case StmtKind::PopFront: {
-      const auto& s = static_cast<const PopFrontStmt&>(stmt);
-      return ind(indent) + s.target + " = " + s.list + ".pop_front();\n";
+      const auto& s = stmt.popFront;
+      return ind(indent) + arena.str(s.target) + " = " + arena.str(s.list) +
+             ".pop_front();\n";
     }
-    case StmtKind::Assert: {
-      const auto& s = static_cast<const AssertStmt&>(stmt);
-      return ind(indent) + "assert(" + printExpr(*s.cond) + ");\n";
-    }
-    case StmtKind::Assume: {
-      const auto& s = static_cast<const AssumeStmt&>(stmt);
-      return ind(indent) + "assume(" + printExpr(*s.cond) + ");\n";
-    }
-    case StmtKind::Return: {
-      const auto& s = static_cast<const ReturnStmt&>(stmt);
-      if (s.value) return ind(indent) + "return " + printExpr(*s.value) + ";\n";
+    case StmtKind::Assert:
+      return ind(indent) + "assert(" + printExpr(arena, stmt.guard.cond) +
+             ");\n";
+    case StmtKind::Assume:
+      return ind(indent) + "assume(" + printExpr(arena, stmt.guard.cond) +
+             ");\n";
+    case StmtKind::Return:
+      if (stmt.ret.value.valid()) {
+        return ind(indent) + "return " + printExpr(arena, stmt.ret.value) +
+               ";\n";
+      }
       return ind(indent) + "return;\n";
-    }
-    case StmtKind::ExprStmt: {
-      const auto& s = static_cast<const ExprStmt&>(stmt);
-      return ind(indent) + printExpr(*s.expr) + ";\n";
-    }
+    case StmtKind::ExprStmt:
+      return ind(indent) + printExpr(arena, stmt.exprStmt.expr) + ";\n";
   }
   throw Error("printStmt: unknown statement kind");
 }
 
-std::string printProgram(const Program& prog) {
+std::string printProgram(const Ast& ast) {
+  const AstArena& arena = ast.arena;
+  const Program& prog = ast.program;
   std::string out = prog.name + "(";
   for (std::size_t i = 0; i < prog.params.size(); ++i) {
     if (i != 0) out += ", ";
@@ -191,10 +193,10 @@ std::string printProgram(const Program& prog) {
       out += paramStr(fn.params[i]);
     }
     out += ") {\n";
-    for (const auto& s : fn.body->stmts) out += printStmt(*s, 2);
+    out += printBlockBody(arena, fn.body, 2);
     out += ind(1) + "}\n";
   }
-  for (const auto& s : prog.body->stmts) out += printStmt(*s, 1);
+  out += printBlockBody(arena, prog.body, 1);
   out += "}\n";
   return out;
 }

@@ -1,6 +1,7 @@
 // Pretty-printer: renders an AST back to Buffy source text. Used for
 // debugging, golden tests (parse/print round-trips), and Table 1 LoC
-// accounting of transformed programs.
+// accounting of transformed programs. All entry points walk arena handles;
+// the output is byte-identical to the historical pointer-AST printer.
 #pragma once
 
 #include <string>
@@ -10,12 +11,13 @@
 namespace buffy::lang {
 
 /// Renders an expression as Buffy source (fully parenthesized where needed).
-[[nodiscard]] std::string printExpr(const Expr& expr);
+[[nodiscard]] std::string printExpr(const AstArena& arena, ExprId expr);
 
 /// Renders a statement (with trailing newline) at the given indent depth.
-[[nodiscard]] std::string printStmt(const Stmt& stmt, int indent = 0);
+[[nodiscard]] std::string printStmt(const AstArena& arena, StmtId stmt,
+                                    int indent = 0);
 
 /// Renders a whole program.
-[[nodiscard]] std::string printProgram(const Program& prog);
+[[nodiscard]] std::string printProgram(const Ast& ast);
 
 }  // namespace buffy::lang

@@ -1,6 +1,9 @@
 #include "lang/typecheck.hpp"
 
-#include <functional>
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "support/error.hpp"
@@ -14,148 +17,163 @@ namespace buffy::lang {
 namespace {
 
 /// Walks expressions/statements substituting constant names, tracking
-/// shadowing by declarations and loop variables.
+/// shadowing by declarations and loop variables. Substitution is an
+/// in-place kind swap (VarRef node becomes an IntLit node under the same
+/// handle), so elaboration never allocates AST nodes.
 class ConstSubst {
  public:
-  ConstSubst(const std::map<std::string, std::int64_t>& consts,
+  ConstSubst(AstArena& arena,
+             const std::map<std::string, std::int64_t>& consts,
              DiagnosticEngine* diag)
-      : consts_(consts), diag_(diag) {}
+      : arena_(arena), diag_(diag) {
+    for (const auto& [name, value] : consts) {
+      constsById_[arena_.intern(name).idx] = value;
+    }
+  }
 
   void run(Program& prog) {
     // Parameters shadow constants.
-    for (const auto& p : prog.params) shadowed_.insert(p.name);
+    for (const auto& p : prog.params) shadowed_.insert(arena_.intern(p.name).idx);
     for (auto& fn : prog.functions) {
-      std::set<std::string> saved = shadowed_;
-      for (const auto& p : fn.params) shadowed_.insert(p.name);
-      substBlock(*fn.body);
+      std::set<std::uint32_t> saved = shadowed_;
+      for (const auto& p : fn.params) shadowed_.insert(arena_.intern(p.name).idx);
+      substBlock(fn.body);
       shadowed_ = std::move(saved);
     }
-    substBlock(*prog.body);
+    substBlock(prog.body);
   }
 
  private:
-  void substBlock(BlockStmt& block) {
-    const std::set<std::string> saved = shadowed_;
-    for (auto& stmt : block.stmts) substStmt(*stmt);
+  void substBlock(StmtId block) {
+    const std::set<std::uint32_t> saved = shadowed_;
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      substStmt(arena_.spanAt(span, i));
+    }
     shadowed_ = saved;
   }
 
-  void substStmt(Stmt& stmt) {
-    switch (stmt.stmtKind) {
+  void substStmt(StmtId id) {
+    StmtNode& stmt = arena_.stmt(id);
+    switch (stmt.kind) {
       case StmtKind::Block:
-        substBlock(static_cast<BlockStmt&>(stmt));
+        substBlock(id);
         break;
       case StmtKind::Decl: {
-        auto& s = static_cast<DeclStmt&>(stmt);
+        auto& s = stmt.decl;
         if (!s.sizeParam.empty()) {
-          const auto it = consts_.find(s.sizeParam);
-          if (it == consts_.end()) {
+          const auto it = constsById_.find(s.sizeParam.idx);
+          if (it == constsById_.end()) {
             const std::string msg = "no binding for size constant '" +
-                                    s.sizeParam + "' in declaration of '" +
-                                    s.name + "'";
-            if (diag_ == nullptr) throw SemanticError(msg, s.loc);
-            diag_->error(s.loc, msg);
+                                    arena_.str(s.sizeParam) +
+                                    "' in declaration of '" +
+                                    arena_.str(s.name) + "'";
+            if (diag_ == nullptr) throw SemanticError(msg, arena_.stmtLoc(id));
+            diag_->error(arena_.stmtLoc(id), msg);
             s.declType.size = 1;  // placeholder so later passes can continue
           } else {
             s.declType.size = static_cast<int>(it->second);
           }
-          s.sizeParam.clear();
+          s.sizeParam = NameId{};
         }
-        if (s.init) substExpr(s.init);
-        shadowed_.insert(s.name);
+        if (s.init.valid()) substExpr(s.init);
+        shadowed_.insert(s.name.idx);
         break;
       }
       case StmtKind::Assign: {
-        auto& s = static_cast<AssignStmt&>(stmt);
-        if (s.index) substExpr(s.index);
+        const auto s = stmt.assign;
+        if (s.index.valid()) substExpr(s.index);
         substExpr(s.value);
         break;
       }
       case StmtKind::If: {
-        auto& s = static_cast<IfStmt&>(stmt);
+        const auto s = stmt.ifs;
         substExpr(s.cond);
-        substBlock(*s.thenBlock);
-        if (s.elseBlock) substBlock(*s.elseBlock);
+        substBlock(s.thenBlock);
+        if (s.elseBlock.valid()) substBlock(s.elseBlock);
         break;
       }
       case StmtKind::For: {
-        auto& s = static_cast<ForStmt&>(stmt);
+        const auto s = stmt.fors;
         substExpr(s.lo);
         substExpr(s.hi);
-        const std::set<std::string> saved = shadowed_;
-        shadowed_.insert(s.var);
-        substBlock(*s.body);
+        const std::set<std::uint32_t> saved = shadowed_;
+        shadowed_.insert(s.var.idx);
+        substBlock(s.body);
         shadowed_ = saved;
         break;
       }
       case StmtKind::Move: {
-        auto& s = static_cast<MoveStmt&>(stmt);
+        const auto s = stmt.move;
         substExpr(s.src);
         substExpr(s.dst);
         substExpr(s.amount);
         break;
       }
       case StmtKind::ListPush:
-        substExpr(static_cast<ListPushStmt&>(stmt).value);
+        substExpr(stmt.listPush.value);
         break;
       case StmtKind::PopFront:
         break;
       case StmtKind::Assert:
-        substExpr(static_cast<AssertStmt&>(stmt).cond);
-        break;
       case StmtKind::Assume:
-        substExpr(static_cast<AssumeStmt&>(stmt).cond);
+        substExpr(stmt.guard.cond);
         break;
-      case StmtKind::Return: {
-        auto& s = static_cast<ReturnStmt&>(stmt);
-        if (s.value) substExpr(s.value);
+      case StmtKind::Return:
+        if (stmt.ret.value.valid()) substExpr(stmt.ret.value);
         break;
-      }
       case StmtKind::ExprStmt:
-        substExpr(static_cast<ExprStmt&>(stmt).expr);
+        substExpr(stmt.exprStmt.expr);
         break;
     }
   }
 
-  void substExpr(ExprPtr& expr) {
-    switch (expr->exprKind) {
+  void substExpr(ExprId id) {
+    ExprNode& expr = arena_.expr(id);
+    switch (expr.kind) {
       case ExprKind::VarRef: {
-        const auto& name = static_cast<const VarRefExpr&>(*expr).name;
-        if (shadowed_.count(name) == 0) {
-          const auto it = consts_.find(name);
-          if (it != consts_.end()) {
-            expr = makeIntLit(it->second, expr->loc);
+        const NameId name = expr.varRef.name;
+        if (shadowed_.count(name.idx) == 0) {
+          const auto it = constsById_.find(name.idx);
+          if (it != constsById_.end()) {
+            // In-place fold: same handle, same loc, zero allocation.
+            expr.kind = ExprKind::IntLit;
+            expr.intLit.value = it->second;
           }
         }
         break;
       }
       case ExprKind::Index:
-        substExpr(static_cast<IndexExpr&>(*expr).index);
+        substExpr(expr.index.index);
         break;
       case ExprKind::Binary: {
-        auto& e = static_cast<BinaryExpr&>(*expr);
+        const auto e = expr.binary;
         substExpr(e.lhs);
         substExpr(e.rhs);
         break;
       }
       case ExprKind::Unary:
-        substExpr(static_cast<UnaryExpr&>(*expr).operand);
+        substExpr(expr.unary.operand);
         break;
       case ExprKind::Backlog:
-        substExpr(static_cast<BacklogExpr&>(*expr).buffer);
+        substExpr(expr.backlog.buffer);
         break;
       case ExprKind::Filter: {
-        auto& e = static_cast<FilterExpr&>(*expr);
+        const auto e = expr.filter;
         substExpr(e.base);
         substExpr(e.value);
         break;
       }
       case ExprKind::ListHas:
-        substExpr(static_cast<ListHasExpr&>(*expr).value);
+        substExpr(expr.listOp.value);
         break;
-      case ExprKind::Call:
-        for (auto& arg : static_cast<CallExpr&>(*expr).args) substExpr(arg);
+      case ExprKind::Call: {
+        const ExprSpan args = expr.call.args;
+        for (std::uint32_t i = 0; i < args.count; ++i) {
+          substExpr(arena_.spanAt(args, i));
+        }
         break;
+      }
       case ExprKind::IntLit:
       case ExprKind::BoolLit:
       case ExprKind::ListEmpty:
@@ -164,13 +182,15 @@ class ConstSubst {
     }
   }
 
-  const std::map<std::string, std::int64_t>& consts_;
+  AstArena& arena_;
   DiagnosticEngine* diag_;  // nullptr = throw mode
-  std::set<std::string> shadowed_;
+  std::unordered_map<std::uint32_t, std::int64_t> constsById_;
+  std::set<std::uint32_t> shadowed_;
 };
 
-void elaborateImpl(Program& prog, const CompileOptions& opts,
+void elaborateImpl(Ast& ast, const CompileOptions& opts,
                    DiagnosticEngine* diag) {
+  Program& prog = ast.program;
   const auto report = [&](const std::string& msg, SourceLoc loc) {
     if (diag == nullptr) throw SemanticError(msg, loc);
     diag->error(loc, msg);
@@ -194,19 +214,18 @@ void elaborateImpl(Program& prog, const CompileOptions& opts,
       param.sizeParam.clear();
     }
   }
-  ConstSubst(opts.constants, diag).run(prog);
+  ConstSubst(ast.arena, opts.constants, diag).run(prog);
 }
 
 }  // namespace
 
-void elaborate(Program& prog, const CompileOptions& opts) {
-  elaborateImpl(prog, opts, nullptr);
+void elaborate(Ast& ast, const CompileOptions& opts) {
+  elaborateImpl(ast, opts, nullptr);
 }
 
-bool elaborate(Program& prog, const CompileOptions& opts,
-               DiagnosticEngine& diag) {
+bool elaborate(Ast& ast, const CompileOptions& opts, DiagnosticEngine& diag) {
   const std::size_t before = diag.errorCount();
-  elaborateImpl(prog, opts, &diag);
+  elaborateImpl(ast, opts, &diag);
   return diag.errorCount() == before;
 }
 
@@ -223,24 +242,26 @@ struct VarInfo {
 
 class TypeChecker {
  public:
-  TypeChecker(const CompileOptions& opts, DiagnosticEngine& diag)
-      : opts_(opts), diag_(diag) {}
+  TypeChecker(AstArena& arena, const CompileOptions& opts,
+              DiagnosticEngine& diag)
+      : arena_(arena), opts_(opts), diag_(diag) {}
 
   TypecheckResult run(Program& prog) {
     const std::size_t errorsBefore = diag_.errorCount();
 
     // Collect function signatures first (so calls can be checked anywhere).
     for (const auto& fn : prog.functions) {
-      if (functions_.count(fn.name) != 0) {
+      const NameId name = arena_.intern(fn.name);
+      if (functions_.count(name.idx) != 0) {
         diag_.error(fn.loc, "duplicate function '" + fn.name + "'");
       }
-      functions_[fn.name] = &fn;
+      functions_[name.idx] = &fn;
     }
 
     pushScope();
     for (const auto& p : prog.params) declareParam(p);
     for (auto& fn : prog.functions) checkFunction(fn);
-    checkBlock(*prog.body);
+    checkBlock(prog.body);
     popScope();
 
     result_.ok = diag_.errorCount() == errorsBefore;
@@ -252,31 +273,30 @@ class TypeChecker {
   void pushScope() { scopes_.emplace_back(); }
   void popScope() { scopes_.pop_back(); }
 
-  VarInfo* lookup(const std::string& name) {
+  VarInfo* lookup(NameId name) {
     for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-      const auto found = it->find(name);
+      const auto found = it->find(name.idx);
       if (found != it->end()) return &found->second;
     }
     return nullptr;
   }
 
-  void declare(SourceLoc loc, const std::string& name, Type type,
-               Storage storage) {
-    if (scopes_.back().count(name) != 0) {
-      diag_.error(loc, "redeclaration of '" + name + "'");
+  void declare(SourceLoc loc, NameId name, Type type, Storage storage) {
+    if (scopes_.back().count(name.idx) != 0) {
+      diag_.error(loc, "redeclaration of '" + arena_.str(name) + "'");
       return;
     }
     // Globals conflict with any outer declaration too.
     if ((storage == Storage::Global || storage == Storage::Monitor) &&
         lookup(name) != nullptr) {
-      diag_.error(loc, "global/monitor '" + name +
+      diag_.error(loc, "global/monitor '" + arena_.str(name) +
                            "' conflicts with an existing declaration");
       return;
     }
-    scopes_.back()[name] = VarInfo{type, storage};
+    scopes_.back()[name.idx] = VarInfo{type, storage};
     if (storage == Storage::Global || storage == Storage::Monitor) {
-      result_.globals[name] = type;
-      if (storage == Storage::Monitor) result_.monitors.insert(name);
+      result_.globals[arena_.str(name)] = type;
+      if (storage == Storage::Monitor) result_.monitors.insert(arena_.str(name));
     }
   }
 
@@ -285,29 +305,31 @@ class TypeChecker {
     if (type.kind == TypeKind::List && type.size < 0) {
       type.size = opts_.defaultListCapacity;
     }
-    declare(p.loc, p.name, type, Storage::Local);
+    declare(p.loc, arena_.intern(p.name), type, Storage::Local);
     result_.paramTypes[p.name] = type;
   }
 
   // --- functions ---
-  void checkFunction(FuncDecl& fn) {
+  void checkFunction(const FuncDecl& fn) {
     pushScope();
     for (const auto& p : fn.params) declareParam(p);
     currentReturnType_ = fn.returnType;
-    checkBlock(*fn.body);
+    checkBlock(fn.body);
     currentReturnType_ = Type::voidTy();
     popScope();
 
     // Restriction: a value-returning function must end with its only
     // `return` (keeps the inliner a plain substitution).
     if (fn.returnType.kind != TypeKind::Void) {
-      const auto& stmts = fn.body->stmts;
-      if (stmts.empty() || stmts.back()->stmtKind != StmtKind::Return) {
+      const StmtSpan stmts = arena_.stmt(fn.body).block.stmts;
+      if (stmts.count == 0 ||
+          arena_.stmt(arena_.spanAt(stmts, stmts.count - 1)).kind !=
+              StmtKind::Return) {
         diag_.error(fn.loc, "function '" + fn.name +
                                 "' must end with a return statement");
       }
       int returnCount = 0;
-      countReturns(*fn.body, returnCount);
+      countReturns(fn.body, returnCount);
       if (returnCount > 1) {
         diag_.error(fn.loc,
                     "function '" + fn.name +
@@ -317,23 +339,26 @@ class TypeChecker {
     }
   }
 
-  static void countReturns(const BlockStmt& block, int& count) {
-    for (const auto& stmt : block.stmts) {
-      switch (stmt->stmtKind) {
+  void countReturns(StmtId block, int& count) const {
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      const StmtId id = arena_.spanAt(span, i);
+      const StmtNode& stmt = arena_.stmt(id);
+      switch (stmt.kind) {
         case StmtKind::Return:
           ++count;
           break;
         case StmtKind::Block:
-          countReturns(static_cast<const BlockStmt&>(*stmt), count);
+          countReturns(id, count);
           break;
-        case StmtKind::If: {
-          const auto& s = static_cast<const IfStmt&>(*stmt);
-          countReturns(*s.thenBlock, count);
-          if (s.elseBlock) countReturns(*s.elseBlock, count);
+        case StmtKind::If:
+          countReturns(stmt.ifs.thenBlock, count);
+          if (stmt.ifs.elseBlock.valid()) {
+            countReturns(stmt.ifs.elseBlock, count);
+          }
           break;
-        }
         case StmtKind::For:
-          countReturns(*static_cast<const ForStmt&>(*stmt).body, count);
+          countReturns(stmt.fors.body, count);
           break;
         default:
           break;
@@ -342,200 +367,207 @@ class TypeChecker {
   }
 
   // --- statements ---
-  void checkBlock(BlockStmt& block) {
+  void checkBlock(StmtId block) {
     pushScope();
-    for (auto& stmt : block.stmts) checkStmt(*stmt);
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      checkStmt(arena_.spanAt(span, i));
+    }
     popScope();
   }
 
-  void checkStmt(Stmt& stmt) {
-    switch (stmt.stmtKind) {
+  void checkStmt(StmtId id) {
+    StmtNode& stmt = arena_.stmt(id);
+    const SourceLoc loc = arena_.stmtLoc(id);
+    switch (stmt.kind) {
       case StmtKind::Block:
-        checkBlock(static_cast<BlockStmt&>(stmt));
+        checkBlock(id);
         break;
       case StmtKind::Decl: {
-        auto& s = static_cast<DeclStmt&>(stmt);
+        auto& s = stmt.decl;
+        const std::string name = arena_.str(s.name);
         Type type = s.declType;
         if (type.kind == TypeKind::List && type.size < 0) {
           type.size = opts_.defaultListCapacity;
           s.declType.size = type.size;
         }
         if (type.isArray() && type.size <= 0) {
-          diag_.error(s.loc, "array '" + s.name + "' must have positive size");
+          diag_.error(loc, "array '" + name + "' must have positive size");
         }
         if (s.storage == Storage::Monitor &&
             !(type.isScalar() || type.isArray())) {
-          diag_.error(s.loc, "monitor '" + s.name +
-                                 "' must be int/bool (or an array of them)");
+          diag_.error(loc, "monitor '" + name +
+                               "' must be int/bool (or an array of them)");
         }
         if (s.storage == Storage::Havoc) {
           if (!type.isScalar()) {
-            diag_.error(s.loc, "havoc '" + s.name + "' must be int or bool");
+            diag_.error(loc, "havoc '" + name + "' must be int or bool");
           }
-          if (s.init != nullptr) {
-            diag_.error(s.loc, "havoc '" + s.name +
-                                   "' cannot have an initializer (its value "
-                                   "is nondeterministic)");
+          if (s.init.valid()) {
+            diag_.error(loc, "havoc '" + name +
+                                 "' cannot have an initializer (its value "
+                                 "is nondeterministic)");
           }
         }
-        if (s.init) {
-          const Type initType = checkExpr(*s.init);
+        if (s.init.valid()) {
+          const Type initType = checkExpr(s.init);
           if (type.isScalar() && initType != type &&
               initType.kind != TypeKind::Void) {
-            diag_.error(s.loc, "initializer for '" + s.name + "' has type " +
-                                   initType.str() + ", expected " +
-                                   type.str());
+            diag_.error(loc, "initializer for '" + name + "' has type " +
+                                 initType.str() + ", expected " + type.str());
           }
           if (!type.isScalar()) {
-            diag_.error(s.loc,
+            diag_.error(loc,
                         "only int/bool declarations may have initializers");
           }
         }
-        declare(s.loc, s.name, type, s.storage);
+        declare(loc, s.name, type, s.storage);
         break;
       }
       case StmtKind::Assign: {
-        auto& s = static_cast<AssignStmt&>(stmt);
+        const auto s = stmt.assign;
+        const std::string target = arena_.str(s.target);
         const VarInfo* info = lookup(s.target);
         if (info == nullptr) {
-          diag_.error(s.loc, "assignment to undeclared variable '" +
-                                 s.target + "'");
-          if (s.index) checkExpr(*s.index);
-          checkExpr(*s.value);
+          diag_.error(loc, "assignment to undeclared variable '" + target +
+                               "'");
+          if (s.index.valid()) checkExpr(s.index);
+          checkExpr(s.value);
           break;
         }
         Type expected;
-        if (s.index) {
-          const Type indexType = checkExpr(*s.index);
+        if (s.index.valid()) {
+          const Type indexType = checkExpr(s.index);
           if (indexType.kind != TypeKind::Int) {
-            diag_.error(s.loc, "array index must be int");
+            diag_.error(loc, "array index must be int");
           }
           if (info->type.kind == TypeKind::IntArray) {
             expected = Type::intTy();
           } else if (info->type.kind == TypeKind::BoolArray) {
             expected = Type::boolTy();
           } else {
-            diag_.error(s.loc, "'" + s.target + "' is not an array");
+            diag_.error(loc, "'" + target + "' is not an array");
             expected = Type::intTy();
           }
         } else {
           if (!info->type.isScalar()) {
-            diag_.error(s.loc, "cannot assign whole " + info->type.str() +
-                                   " '" + s.target + "'");
+            diag_.error(loc, "cannot assign whole " + info->type.str() +
+                                 " '" + target + "'");
           }
           expected = info->type;
         }
-        const Type valueType = checkExpr(*s.value);
+        const Type valueType = checkExpr(s.value);
         if (expected.isScalar() && valueType != expected) {
-          diag_.error(s.loc, "assigning " + valueType.str() + " to '" +
-                                 s.target + "' of type " + expected.str());
+          diag_.error(loc, "assigning " + valueType.str() + " to '" + target +
+                               "' of type " + expected.str());
         }
         break;
       }
       case StmtKind::If: {
-        auto& s = static_cast<IfStmt&>(stmt);
-        expectType(checkExpr(*s.cond), Type::boolTy(), s.cond->loc,
+        const auto s = stmt.ifs;
+        expectType(checkExpr(s.cond), Type::boolTy(), arena_.exprLoc(s.cond),
                    "if condition");
-        checkBlock(*s.thenBlock);
-        if (s.elseBlock) checkBlock(*s.elseBlock);
+        checkBlock(s.thenBlock);
+        if (s.elseBlock.valid()) checkBlock(s.elseBlock);
         break;
       }
       case StmtKind::For: {
-        auto& s = static_cast<ForStmt&>(stmt);
-        expectType(checkExpr(*s.lo), Type::intTy(), s.lo->loc,
+        const auto s = stmt.fors;
+        expectType(checkExpr(s.lo), Type::intTy(), arena_.exprLoc(s.lo),
                    "loop lower bound");
-        expectType(checkExpr(*s.hi), Type::intTy(), s.hi->loc,
+        expectType(checkExpr(s.hi), Type::intTy(), arena_.exprLoc(s.hi),
                    "loop upper bound");
         pushScope();
-        declare(s.loc, s.var, Type::intTy(), Storage::Local);
-        checkBlock(*s.body);
+        declare(loc, s.var, Type::intTy(), Storage::Local);
+        checkBlock(s.body);
         popScope();
         break;
       }
       case StmtKind::Move: {
-        auto& s = static_cast<MoveStmt&>(stmt);
-        const Type srcType = checkExpr(*s.src);
-        const Type dstType = checkExpr(*s.dst);
+        const auto s = stmt.move;
+        const Type srcType = checkExpr(s.src);
+        const Type dstType = checkExpr(s.dst);
         if (srcType.kind != TypeKind::Buffer) {
-          diag_.error(s.src->loc, "move source must be a buffer");
+          diag_.error(arena_.exprLoc(s.src), "move source must be a buffer");
         }
         if (dstType.kind != TypeKind::Buffer) {
-          diag_.error(s.dst->loc, "move destination must be a buffer");
+          diag_.error(arena_.exprLoc(s.dst),
+                      "move destination must be a buffer");
         }
-        if (s.src->exprKind == ExprKind::Filter ||
-            s.dst->exprKind == ExprKind::Filter) {
-          diag_.error(s.loc,
+        if (arena_.expr(s.src).kind == ExprKind::Filter ||
+            arena_.expr(s.dst).kind == ExprKind::Filter) {
+          diag_.error(loc,
                       "move operates on plain buffers, not filtered views "
                       "(paper grammar: move-p(b, b, E))");
         }
-        expectType(checkExpr(*s.amount), Type::intTy(), s.amount->loc,
-                   "move amount");
+        expectType(checkExpr(s.amount), Type::intTy(),
+                   arena_.exprLoc(s.amount), "move amount");
         break;
       }
       case StmtKind::ListPush: {
-        auto& s = static_cast<ListPushStmt&>(stmt);
-        requireList(s.list, s.loc);
-        expectType(checkExpr(*s.value), Type::intTy(), s.value->loc,
+        const auto s = stmt.listPush;
+        requireList(s.list, loc);
+        expectType(checkExpr(s.value), Type::intTy(), arena_.exprLoc(s.value),
                    "list element");
         break;
       }
       case StmtKind::PopFront: {
-        auto& s = static_cast<PopFrontStmt&>(stmt);
-        requireList(s.list, s.loc);
+        const auto s = stmt.popFront;
+        requireList(s.list, loc);
         const VarInfo* info = lookup(s.target);
         if (info == nullptr) {
-          diag_.error(s.loc, "pop_front target '" + s.target +
-                                 "' is not declared");
+          diag_.error(loc, "pop_front target '" + arena_.str(s.target) +
+                               "' is not declared");
         } else if (info->type.kind != TypeKind::Int) {
-          diag_.error(s.loc, "pop_front target '" + s.target +
-                                 "' must be int");
+          diag_.error(loc, "pop_front target '" + arena_.str(s.target) +
+                               "' must be int");
         }
         break;
       }
       case StmtKind::Assert:
-        expectType(checkExpr(*static_cast<AssertStmt&>(stmt).cond),
-                   Type::boolTy(), stmt.loc, "assert condition");
+        expectType(checkExpr(stmt.guard.cond), Type::boolTy(), loc,
+                   "assert condition");
         break;
       case StmtKind::Assume:
-        expectType(checkExpr(*static_cast<AssumeStmt&>(stmt).cond),
-                   Type::boolTy(), stmt.loc, "assume condition");
+        expectType(checkExpr(stmt.guard.cond), Type::boolTy(), loc,
+                   "assume condition");
         break;
       case StmtKind::Return: {
-        auto& s = static_cast<ReturnStmt&>(stmt);
+        const auto s = stmt.ret;
         if (currentReturnType_.kind == TypeKind::Void) {
-          if (s.value != nullptr) {
-            diag_.error(s.loc, "return with a value in a void context");
-            checkExpr(*s.value);
+          if (s.value.valid()) {
+            diag_.error(loc, "return with a value in a void context");
+            checkExpr(s.value);
           }
         } else {
-          if (s.value == nullptr) {
-            diag_.error(s.loc, "return must carry a value here");
+          if (!s.value.valid()) {
+            diag_.error(loc, "return must carry a value here");
           } else {
-            expectType(checkExpr(*s.value), currentReturnType_, s.loc,
+            expectType(checkExpr(s.value), currentReturnType_, loc,
                        "return value");
           }
         }
         break;
       }
       case StmtKind::ExprStmt: {
-        auto& s = static_cast<ExprStmt&>(stmt);
-        const Type t = checkExpr(*s.expr);
-        if (s.expr->exprKind != ExprKind::Call) {
-          diag_.error(s.loc, "expression statement must be a call");
+        const ExprId e = stmt.exprStmt.expr;
+        const Type t = checkExpr(e);
+        if (arena_.expr(e).kind != ExprKind::Call) {
+          diag_.error(loc, "expression statement must be a call");
         } else if (t.kind != TypeKind::Void) {
-          diag_.warning(s.loc, "discarding call result");
+          diag_.warning(loc, "discarding call result");
         }
         break;
       }
     }
   }
 
-  void requireList(const std::string& name, SourceLoc loc) {
+  void requireList(NameId name, SourceLoc loc) {
     const VarInfo* info = lookup(name);
     if (info == nullptr) {
-      diag_.error(loc, "list '" + name + "' is not declared");
+      diag_.error(loc, "list '" + arena_.str(name) + "' is not declared");
     } else if (info->type.kind != TypeKind::List) {
-      diag_.error(loc, "'" + name + "' is not a list");
+      diag_.error(loc, "'" + arena_.str(name) + "' is not a list");
     }
   }
 
@@ -547,34 +579,37 @@ class TypeChecker {
   }
 
   // --- expressions ---
-  Type checkExpr(Expr& expr) {
-    const Type type = computeType(expr);
-    expr.type = type;
+  Type checkExpr(ExprId id) {
+    const Type type = computeType(id);
+    arena_.setType(id, type);
     return type;
   }
 
-  Type computeType(Expr& expr) {
-    switch (expr.exprKind) {
+  Type computeType(ExprId id) {
+    ExprNode& expr = arena_.expr(id);
+    const SourceLoc loc = arena_.exprLoc(id);
+    switch (expr.kind) {
       case ExprKind::IntLit:
         return Type::intTy();
       case ExprKind::BoolLit:
         return Type::boolTy();
       case ExprKind::VarRef: {
-        const auto& e = static_cast<const VarRefExpr&>(expr);
-        const VarInfo* info = lookup(e.name);
+        const VarInfo* info = lookup(expr.varRef.name);
         if (info == nullptr) {
-          diag_.error(e.loc, "use of undeclared variable '" + e.name +
-                                 "' (not a compile-time constant either)");
+          diag_.error(loc, "use of undeclared variable '" +
+                               arena_.str(expr.varRef.name) +
+                               "' (not a compile-time constant either)");
           return Type::intTy();
         }
         return info->type;
       }
       case ExprKind::Index: {
-        auto& e = static_cast<IndexExpr&>(expr);
-        expectType(checkExpr(*e.index), Type::intTy(), e.loc, "index");
+        const auto e = expr.index;
+        expectType(checkExpr(e.index), Type::intTy(), loc, "index");
         const VarInfo* info = lookup(e.base);
         if (info == nullptr) {
-          diag_.error(e.loc, "use of undeclared array '" + e.base + "'");
+          diag_.error(loc, "use of undeclared array '" + arena_.str(e.base) +
+                               "'");
           return Type::intTy();
         }
         switch (info->type.kind) {
@@ -585,125 +620,127 @@ class TypeChecker {
           case TypeKind::BufferArray:
             return Type::bufferTy();
           default:
-            diag_.error(e.loc, "'" + e.base + "' is not indexable");
+            diag_.error(loc, "'" + arena_.str(e.base) + "' is not indexable");
             return Type::intTy();
         }
       }
       case ExprKind::Binary: {
-        auto& e = static_cast<BinaryExpr&>(expr);
-        const Type lhs = checkExpr(*e.lhs);
-        const Type rhs = checkExpr(*e.rhs);
+        const auto e = expr.binary;
+        const Type lhs = checkExpr(e.lhs);
+        const Type rhs = checkExpr(e.rhs);
         switch (e.op) {
           case BinaryOp::Add:
           case BinaryOp::Sub:
           case BinaryOp::Mul:
           case BinaryOp::Div:
           case BinaryOp::Mod:
-            expectType(lhs, Type::intTy(), e.loc, "arithmetic operand");
-            expectType(rhs, Type::intTy(), e.loc, "arithmetic operand");
+            expectType(lhs, Type::intTy(), loc, "arithmetic operand");
+            expectType(rhs, Type::intTy(), loc, "arithmetic operand");
             return Type::intTy();
           case BinaryOp::Eq:
           case BinaryOp::Ne:
             if (lhs.kind != rhs.kind || !lhs.isScalar()) {
-              diag_.error(e.loc, "==/!= operands must both be int or both "
-                                 "bool");
+              diag_.error(loc, "==/!= operands must both be int or both "
+                               "bool");
             }
             return Type::boolTy();
           case BinaryOp::Lt:
           case BinaryOp::Le:
           case BinaryOp::Gt:
           case BinaryOp::Ge:
-            expectType(lhs, Type::intTy(), e.loc, "comparison operand");
-            expectType(rhs, Type::intTy(), e.loc, "comparison operand");
+            expectType(lhs, Type::intTy(), loc, "comparison operand");
+            expectType(rhs, Type::intTy(), loc, "comparison operand");
             return Type::boolTy();
           case BinaryOp::And:
           case BinaryOp::Or:
-            expectType(lhs, Type::boolTy(), e.loc, "logical operand");
-            expectType(rhs, Type::boolTy(), e.loc, "logical operand");
+            expectType(lhs, Type::boolTy(), loc, "logical operand");
+            expectType(rhs, Type::boolTy(), loc, "logical operand");
             return Type::boolTy();
         }
         return Type::intTy();
       }
       case ExprKind::Unary: {
-        auto& e = static_cast<UnaryExpr&>(expr);
-        const Type t = checkExpr(*e.operand);
+        const auto e = expr.unary;
+        const Type t = checkExpr(e.operand);
         if (e.op == UnaryOp::Not) {
-          expectType(t, Type::boolTy(), e.loc, "'!' operand");
+          expectType(t, Type::boolTy(), loc, "'!' operand");
           return Type::boolTy();
         }
-        expectType(t, Type::intTy(), e.loc, "'-' operand");
+        expectType(t, Type::intTy(), loc, "'-' operand");
         return Type::intTy();
       }
       case ExprKind::Backlog: {
-        auto& e = static_cast<BacklogExpr&>(expr);
-        const Type t = checkExpr(*e.buffer);
+        const Type t = checkExpr(expr.backlog.buffer);
         if (t.kind != TypeKind::Buffer) {
-          diag_.error(e.loc, "backlog argument must be a buffer");
+          diag_.error(loc, "backlog argument must be a buffer");
         }
         return Type::intTy();
       }
       case ExprKind::Filter: {
-        auto& e = static_cast<FilterExpr&>(expr);
-        const Type base = checkExpr(*e.base);
+        const auto e = expr.filter;
+        const Type base = checkExpr(e.base);
         if (base.kind != TypeKind::Buffer) {
-          diag_.error(e.loc, "filter base must be a buffer");
+          diag_.error(loc, "filter base must be a buffer");
         }
-        expectType(checkExpr(*e.value), Type::intTy(), e.loc, "filter value");
+        expectType(checkExpr(e.value), Type::intTy(), loc, "filter value");
         return Type::bufferTy();
       }
       case ExprKind::ListHas: {
-        auto& e = static_cast<ListHasExpr&>(expr);
-        requireList(e.list, e.loc);
-        expectType(checkExpr(*e.value), Type::intTy(), e.loc,
-                   "has() argument");
+        const auto e = expr.listOp;
+        requireList(e.list, loc);
+        expectType(checkExpr(e.value), Type::intTy(), loc, "has() argument");
         return Type::boolTy();
       }
       case ExprKind::ListEmpty:
-        requireList(static_cast<const ListEmptyExpr&>(expr).list, expr.loc);
+        requireList(expr.listOp.list, loc);
         return Type::boolTy();
       case ExprKind::ListLen:
-        requireList(static_cast<const ListLenExpr&>(expr).list, expr.loc);
+        requireList(expr.listOp.list, loc);
         return Type::intTy();
       case ExprKind::Call: {
-        auto& e = static_cast<CallExpr&>(expr);
-        if (e.callee == "min" || e.callee == "max") {
-          if (e.args.size() < 2) {
-            diag_.error(e.loc, e.callee + "() needs at least two arguments");
+        const auto e = expr.call;
+        const std::string callee = arena_.str(e.callee);
+        if (callee == "min" || callee == "max") {
+          if (e.args.count < 2) {
+            diag_.error(loc, callee + "() needs at least two arguments");
           }
-          for (auto& arg : e.args) {
-            expectType(checkExpr(*arg), Type::intTy(), e.loc,
-                       (e.callee + "() argument").c_str());
+          for (std::uint32_t i = 0; i < e.args.count; ++i) {
+            expectType(checkExpr(arena_.spanAt(e.args, i)), Type::intTy(),
+                       loc, (callee + "() argument").c_str());
           }
           return Type::intTy();
         }
-        const auto it = functions_.find(e.callee);
+        const auto it = functions_.find(e.callee.idx);
         if (it == functions_.end()) {
-          diag_.error(e.loc, "call to unknown function '" + e.callee + "'");
-          for (auto& arg : e.args) checkExpr(*arg);
+          diag_.error(loc, "call to unknown function '" + callee + "'");
+          for (std::uint32_t i = 0; i < e.args.count; ++i) {
+            checkExpr(arena_.spanAt(e.args, i));
+          }
           return Type::intTy();
         }
         const FuncDecl& fn = *it->second;
-        if (fn.params.size() != e.args.size()) {
-          diag_.error(e.loc, "'" + e.callee + "' expects " +
-                                 std::to_string(fn.params.size()) +
-                                 " arguments, got " +
-                                 std::to_string(e.args.size()));
+        if (fn.params.size() != e.args.count) {
+          diag_.error(loc, "'" + callee + "' expects " +
+                               std::to_string(fn.params.size()) +
+                               " arguments, got " +
+                               std::to_string(e.args.count));
         }
-        for (std::size_t i = 0; i < e.args.size(); ++i) {
-          const Type argType = checkExpr(*e.args[i]);
+        for (std::uint32_t i = 0; i < e.args.count; ++i) {
+          const ExprId arg = arena_.spanAt(e.args, i);
+          const Type argType = checkExpr(arg);
           if (i < fn.params.size()) {
             const Type paramType = fn.params[i].type;
             if (argType.kind != paramType.kind) {
-              diag_.error(e.args[i]->loc,
+              diag_.error(arena_.exprLoc(arg),
                           "argument " + std::to_string(i + 1) + " of '" +
-                              e.callee + "' has type " + argType.str() +
+                              callee + "' has type " + argType.str() +
                               ", expected " + paramType.str());
             }
             // Buffer/list arguments must be names (aliases) for inlining.
-            if (!paramType.isScalar() &&
-                e.args[i]->exprKind != ExprKind::VarRef &&
-                e.args[i]->exprKind != ExprKind::Index) {
-              diag_.error(e.args[i]->loc,
+            const ExprKind argKind = arena_.expr(arg).kind;
+            if (!paramType.isScalar() && argKind != ExprKind::VarRef &&
+                argKind != ExprKind::Index) {
+              diag_.error(arena_.exprLoc(arg),
                           "buffer/list arguments must be simple names");
             }
           }
@@ -714,25 +751,26 @@ class TypeChecker {
     return Type::intTy();
   }
 
+  AstArena& arena_;
   const CompileOptions& opts_;
   DiagnosticEngine& diag_;
-  std::vector<std::map<std::string, VarInfo>> scopes_;
-  std::map<std::string, const FuncDecl*> functions_;
+  std::vector<std::unordered_map<std::uint32_t, VarInfo>> scopes_;
+  std::unordered_map<std::uint32_t, const FuncDecl*> functions_;
   Type currentReturnType_ = Type::voidTy();
   TypecheckResult result_;
 };
 
 }  // namespace
 
-TypecheckResult typecheck(Program& prog, const CompileOptions& opts,
+TypecheckResult typecheck(Ast& ast, const CompileOptions& opts,
                           DiagnosticEngine& diag) {
-  return TypeChecker(opts, diag).run(prog);
+  return TypeChecker(ast.arena, opts, diag).run(ast.program);
 }
 
-TypecheckResult checkOrThrow(Program& prog, const CompileOptions& opts) {
-  elaborate(prog, opts);
+TypecheckResult checkOrThrow(Ast& ast, const CompileOptions& opts) {
+  elaborate(ast, opts);
   DiagnosticEngine diag;
-  TypecheckResult result = typecheck(prog, opts, diag);
+  TypecheckResult result = typecheck(ast, opts, diag);
   if (!result.ok) {
     throw SemanticError("type checking failed:\n" + diag.renderAll());
   }

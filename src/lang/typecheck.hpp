@@ -3,7 +3,9 @@
 // Elaboration substitutes compile-time constants (e.g. the `N` in
 // `buffer[N] ibs` and `for (i in 0..N)`) into the AST, resolving every
 // array/list size to a concrete bound — the paper's §7 "bounded arrays"
-// restriction. Type checking then annotates every expression with its type
+// restriction. Constant references fold in place (a VarRef node becomes an
+// IntLit node under the same handle — zero allocation). Type checking then
+// annotates every expression with its type (the arena's type side array)
 // and reports errors through a DiagnosticEngine.
 #pragma once
 
@@ -31,13 +33,12 @@ struct CompileOptions {
 /// (respecting shadowing by locals/loop variables) and resolves
 /// buffer-array parameter sizes. Throws SemanticError if a size parameter
 /// has no binding.
-void elaborate(Program& prog, const CompileOptions& opts);
+void elaborate(Ast& ast, const CompileOptions& opts);
 
 /// Recovery-mode elaboration: missing/invalid size bindings are reported
 /// to `diag` (with a placeholder size substituted so later passes can
 /// still run) instead of thrown. Returns true when no error was reported.
-bool elaborate(Program& prog, const CompileOptions& opts,
-               DiagnosticEngine& diag);
+bool elaborate(Ast& ast, const CompileOptions& opts, DiagnosticEngine& diag);
 
 /// Result of type checking: symbol information needed by later passes.
 struct TypecheckResult {
@@ -50,14 +51,14 @@ struct TypecheckResult {
   std::map<std::string, Type> paramTypes;
 };
 
-/// Type checks `prog` in place (filling Expr::type). `prog` must already be
-/// elaborated. Reports problems via `diag`; returns result with ok =
-/// !diag.hasErrors() for this run.
-TypecheckResult typecheck(Program& prog, const CompileOptions& opts,
+/// Type checks `ast` in place (filling the arena's expression-type side
+/// array). Must already be elaborated. Reports problems via `diag`; returns
+/// result with ok = !diag.hasErrors() for this run.
+TypecheckResult typecheck(Ast& ast, const CompileOptions& opts,
                           DiagnosticEngine& diag);
 
 /// Convenience: elaborate + typecheck, throwing SemanticError listing the
 /// diagnostics if checking fails.
-TypecheckResult checkOrThrow(Program& prog, const CompileOptions& opts);
+TypecheckResult checkOrThrow(Ast& ast, const CompileOptions& opts);
 
 }  // namespace buffy::lang

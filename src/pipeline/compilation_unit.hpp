@@ -42,10 +42,12 @@ struct PipelineOptions {
   CompileBudget budget;
 };
 
-/// One compiled program instance.
+/// One compiled program instance. The `ast` owns its arena — instances
+/// compiled in parallel never share node pools, which is what makes the
+/// unit safe to build one-instance-per-thread and consume concurrently.
 struct CompiledInstance {
   std::string name;
-  lang::Program program;
+  lang::Ast ast;
   lang::TypecheckResult symbols;
   std::vector<core::BufferSpec> buffers;
   /// param -> index into `buffers`, built once by the driver; the per-step

@@ -1,5 +1,8 @@
 #include "pipeline/driver.hpp"
 
+#include <exception>
+
+#include "jobs/job.hpp"
 #include "lang/parser.hpp"
 #include "sem/passes.hpp"
 #include "support/error.hpp"
@@ -10,9 +13,10 @@ namespace buffy::pipeline {
 namespace {
 
 // ---------------------------------------------------------------------
-// AST size gauges for StageStats. The walks mirror the node shapes in
-// lang/ast.hpp; depth is bounded by the parser's nesting/expr-terms
-// budget, like every other recursive AST pass.
+// AST size gauges for StageStats: live (reachable) node counts, walked
+// over arena handles. The arena's own exprCount()/stmtCount() gauge
+// allocation — after splicing transforms they include dropped nodes, so
+// the stage tables walk reachability instead.
 // ---------------------------------------------------------------------
 
 struct AstCounts {
@@ -20,13 +24,14 @@ struct AstCounts {
   std::size_t stmts = 0;
 };
 
-void countExpr(const lang::Expr* e, AstCounts& c);
-void countStmt(const lang::Stmt* s, AstCounts& c);
+void countExpr(const lang::AstArena& arena, lang::ExprId id, AstCounts& c);
+void countStmt(const lang::AstArena& arena, lang::StmtId id, AstCounts& c);
 
-void countExpr(const lang::Expr* e, AstCounts& c) {
-  if (e == nullptr) return;
+void countExpr(const lang::AstArena& arena, lang::ExprId id, AstCounts& c) {
+  if (!id.valid()) return;
   c.nodes += 1;
-  switch (e->exprKind) {
+  const lang::ExprNode& e = arena.expr(id);
+  switch (e.kind) {
     case lang::ExprKind::IntLit:
     case lang::ExprKind::BoolLit:
     case lang::ExprKind::VarRef:
@@ -34,106 +39,95 @@ void countExpr(const lang::Expr* e, AstCounts& c) {
     case lang::ExprKind::ListLen:
       break;
     case lang::ExprKind::Index:
-      countExpr(static_cast<const lang::IndexExpr*>(e)->index.get(), c);
+      countExpr(arena, e.index.index, c);
       break;
-    case lang::ExprKind::Binary: {
-      const auto* b = static_cast<const lang::BinaryExpr*>(e);
-      countExpr(b->lhs.get(), c);
-      countExpr(b->rhs.get(), c);
+    case lang::ExprKind::Binary:
+      countExpr(arena, e.binary.lhs, c);
+      countExpr(arena, e.binary.rhs, c);
       break;
-    }
     case lang::ExprKind::Unary:
-      countExpr(static_cast<const lang::UnaryExpr*>(e)->operand.get(), c);
+      countExpr(arena, e.unary.operand, c);
       break;
     case lang::ExprKind::Backlog:
-      countExpr(static_cast<const lang::BacklogExpr*>(e)->buffer.get(), c);
+      countExpr(arena, e.backlog.buffer, c);
       break;
-    case lang::ExprKind::Filter: {
-      const auto* f = static_cast<const lang::FilterExpr*>(e);
-      countExpr(f->base.get(), c);
-      countExpr(f->value.get(), c);
+    case lang::ExprKind::Filter:
+      countExpr(arena, e.filter.base, c);
+      countExpr(arena, e.filter.value, c);
       break;
-    }
     case lang::ExprKind::ListHas:
-      countExpr(static_cast<const lang::ListHasExpr*>(e)->value.get(), c);
+      countExpr(arena, e.listOp.value, c);
       break;
     case lang::ExprKind::Call:
-      for (const auto& arg : static_cast<const lang::CallExpr*>(e)->args) {
-        countExpr(arg.get(), c);
+      for (std::uint32_t i = 0; i < e.call.args.count; ++i) {
+        countExpr(arena, arena.spanAt(e.call.args, i), c);
       }
       break;
   }
 }
 
-void countStmt(const lang::Stmt* s, AstCounts& c) {
-  if (s == nullptr) return;
+void countStmt(const lang::AstArena& arena, lang::StmtId id, AstCounts& c) {
+  if (!id.valid()) return;
   c.nodes += 1;
   c.stmts += 1;
-  switch (s->stmtKind) {
+  const lang::StmtNode& s = arena.stmt(id);
+  switch (s.kind) {
     case lang::StmtKind::Block:
-      for (const auto& st : static_cast<const lang::BlockStmt*>(s)->stmts) {
-        countStmt(st.get(), c);
+      for (std::uint32_t i = 0; i < s.block.stmts.count; ++i) {
+        countStmt(arena, arena.spanAt(s.block.stmts, i), c);
       }
       break;
     case lang::StmtKind::Decl:
-      countExpr(static_cast<const lang::DeclStmt*>(s)->init.get(), c);
+      countExpr(arena, s.decl.init, c);
       break;
-    case lang::StmtKind::Assign: {
-      const auto* a = static_cast<const lang::AssignStmt*>(s);
-      countExpr(a->index.get(), c);
-      countExpr(a->value.get(), c);
+    case lang::StmtKind::Assign:
+      countExpr(arena, s.assign.index, c);
+      countExpr(arena, s.assign.value, c);
       break;
-    }
-    case lang::StmtKind::If: {
-      const auto* i = static_cast<const lang::IfStmt*>(s);
-      countExpr(i->cond.get(), c);
-      countStmt(i->thenBlock.get(), c);
-      countStmt(i->elseBlock.get(), c);
+    case lang::StmtKind::If:
+      countExpr(arena, s.ifs.cond, c);
+      countStmt(arena, s.ifs.thenBlock, c);
+      countStmt(arena, s.ifs.elseBlock, c);
       break;
-    }
-    case lang::StmtKind::For: {
-      const auto* f = static_cast<const lang::ForStmt*>(s);
-      countExpr(f->lo.get(), c);
-      countExpr(f->hi.get(), c);
-      countStmt(f->body.get(), c);
+    case lang::StmtKind::For:
+      countExpr(arena, s.fors.lo, c);
+      countExpr(arena, s.fors.hi, c);
+      countStmt(arena, s.fors.body, c);
       break;
-    }
-    case lang::StmtKind::Move: {
-      const auto* m = static_cast<const lang::MoveStmt*>(s);
-      countExpr(m->src.get(), c);
-      countExpr(m->dst.get(), c);
-      countExpr(m->amount.get(), c);
+    case lang::StmtKind::Move:
+      countExpr(arena, s.move.src, c);
+      countExpr(arena, s.move.dst, c);
+      countExpr(arena, s.move.amount, c);
       break;
-    }
     case lang::StmtKind::ListPush:
-      countExpr(static_cast<const lang::ListPushStmt*>(s)->value.get(), c);
+      countExpr(arena, s.listPush.value, c);
       break;
     case lang::StmtKind::PopFront:
       break;
     case lang::StmtKind::Assert:
-      countExpr(static_cast<const lang::AssertStmt*>(s)->cond.get(), c);
-      break;
     case lang::StmtKind::Assume:
-      countExpr(static_cast<const lang::AssumeStmt*>(s)->cond.get(), c);
+      countExpr(arena, s.guard.cond, c);
       break;
     case lang::StmtKind::Return:
-      countExpr(static_cast<const lang::ReturnStmt*>(s)->value.get(), c);
+      countExpr(arena, s.ret.value, c);
       break;
     case lang::StmtKind::ExprStmt:
-      countExpr(static_cast<const lang::ExprStmt*>(s)->expr.get(), c);
+      countExpr(arena, s.exprStmt.expr, c);
       break;
   }
 }
 
-AstCounts countProgram(const lang::Program& prog) {
+AstCounts countProgram(const lang::Ast& ast) {
   AstCounts c;
-  for (const auto& f : prog.functions) countStmt(f.body.get(), c);
-  countStmt(prog.body.get(), c);
+  for (const auto& f : ast.program.functions) {
+    countStmt(ast.arena, f.body, c);
+  }
+  countStmt(ast.arena, ast.program.body, c);
   return c;
 }
 
-void recordCounts(StageStats& stage, const lang::Program& prog) {
-  const AstCounts c = countProgram(prog);
+void recordCounts(StageStats& stage, const lang::Ast& ast) {
+  const AstCounts c = countProgram(ast);
   stage.nodes += c.nodes;
   stage.stmts += c.stmts;
 }
@@ -182,24 +176,24 @@ void runTransforms(CompiledInstance& ci, const lang::CompileOptions& compile,
                    const PipelineOptions& options, PipelineStats& stats) {
   {
     StageTimer t(stats.stage("inline"));
-    transform::inlineFunctions(ci.program, options.budget);
+    transform::inlineFunctions(ci.ast, options.budget);
   }
-  recordCounts(stats.stage("inline"), ci.program);
+  recordCounts(stats.stage("inline"), ci.ast);
   {
     StageTimer t(stats.stage("constfold"));
-    transform::foldConstants(ci.program);
+    transform::foldConstants(ci.ast);
   }
-  recordCounts(stats.stage("constfold"), ci.program);
+  recordCounts(stats.stage("constfold"), ci.ast);
   if (options.unrollLoops) {
     {
       StageTimer t(stats.stage("unroll"));
-      transform::unrollLoops(ci.program, options.budget);
+      transform::unrollLoops(ci.ast, options.budget);
     }
-    recordCounts(stats.stage("unroll"), ci.program);
+    recordCounts(stats.stage("unroll"), ci.ast);
   }
   StageTimer t(stats.stage("recheck"));
   DiagnosticEngine diag2;
-  const auto recheck = lang::typecheck(ci.program, compile, diag2);
+  const auto recheck = lang::typecheck(ci.ast, compile, diag2);
   if (!recheck.ok) {
     throw SemanticError("internal: post-inline typecheck failed for '" +
                         ci.name + "':\n" + diag2.renderAll());
@@ -250,16 +244,16 @@ CompilationUnitPtr CompilerDriver::compile(core::Network network) const {
     CompiledInstance ci;
     {
       StageTimer t(stats.stage("parse"));
-      ci.program = lang::parse(spec.source, options_.budget);
+      ci.ast = lang::parse(spec.source, options_.budget);
     }
-    recordCounts(stats.stage("parse"), ci.program);
-    ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
+    recordCounts(stats.stage("parse"), ci.ast);
+    ci.name = spec.instance.empty() ? ci.ast.program.name : spec.instance;
     if (unit->instanceIndex_.count(ci.name) != 0) {
       throw AnalysisError("duplicate instance name '" + ci.name + "'");
     }
     {
       StageTimer t(stats.stage("typecheck"));
-      ci.symbols = lang::checkOrThrow(ci.program, spec.compile);
+      ci.symbols = lang::checkOrThrow(ci.ast, spec.compile);
     }
     ci.buffers = spec.buffers;
     ci.isContract = unit->network_.contracts().count(ci.name) != 0;
@@ -269,8 +263,8 @@ CompilationUnitPtr CompilerDriver::compile(core::Network network) const {
     {
       StageTimer t(stats.stage("sem"));
       DiagnosticEngine diag;
-      sem::checkWellFormed(ci.program, rolesFor(ci), diag);
-      sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
+      sem::checkWellFormed(ci.ast, rolesFor(ci), diag);
+      sem::checkGhostNonInterference(ci.ast, ci.symbols.monitors, diag);
       if (diag.hasErrors()) {
         throw SemanticError("semantic checks failed for '" + ci.name +
                             "':\n" + diag.renderAll());
@@ -305,17 +299,17 @@ CompilationUnitPtr CompilerDriver::compile(core::Network network,
     CompiledInstance ci;
     {
       StageTimer t(stats.stage("parse"));
-      ci.program = lang::parseRecover(spec.source, diag, options_.budget);
+      ci.ast = lang::parseRecover(spec.source, diag, options_.budget);
     }
-    recordCounts(stats.stage("parse"), ci.program);
-    ci.name = spec.instance.empty() ? ci.program.name : spec.instance;
+    recordCounts(stats.stage("parse"), ci.ast);
+    ci.name = spec.instance.empty() ? ci.ast.program.name : spec.instance;
     if (unit->instanceIndex_.count(ci.name) != 0) {
       throw AnalysisError("duplicate instance name '" + ci.name + "'");
     }
     {
       StageTimer t(stats.stage("typecheck"));
-      (void)lang::elaborate(ci.program, spec.compile, diag);
-      ci.symbols = lang::typecheck(ci.program, spec.compile, diag);
+      (void)lang::elaborate(ci.ast, spec.compile, diag);
+      ci.symbols = lang::typecheck(ci.ast, spec.compile, diag);
     }
     ci.buffers = spec.buffers;
     ci.isContract = unit->network_.contracts().count(ci.name) != 0;
@@ -330,9 +324,9 @@ CompilationUnitPtr CompilerDriver::compile(core::Network network,
   if (mode == FrontMode::Lint) {
     StageTimer t(stats.stage("sem"));
     for (auto& ci : unit->instances_) {
-      sem::checkWellFormed(ci.program, rolesFor(ci), diag);
-      sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
-      sem::checkDefiniteAssignment(ci.program, diag);
+      sem::checkWellFormed(ci.ast, rolesFor(ci), diag);
+      sem::checkGhostNonInterference(ci.ast, ci.symbols.monitors, diag);
+      sem::checkDefiniteAssignment(ci.ast, diag);
     }
     return unit;
   }
@@ -342,8 +336,8 @@ CompilationUnitPtr CompilerDriver::compile(core::Network network,
     {
       StageTimer t(stats.stage("sem"));
       for (auto& ci : unit->instances_) {
-        sem::checkWellFormed(ci.program, rolesFor(ci), diag);
-        sem::checkGhostNonInterference(ci.program, ci.symbols.monitors, diag);
+        sem::checkWellFormed(ci.ast, rolesFor(ci), diag);
+        sem::checkGhostNonInterference(ci.ast, ci.symbols.monitors, diag);
       }
     }
     if (diag.hasErrors()) return unit;
@@ -358,6 +352,40 @@ CompilationUnitPtr CompilerDriver::compile(core::Network network,
                         unit->connectedOutputs_);
   }
   return unit;
+}
+
+CompileAllResult CompilerDriver::compileAll(std::vector<core::Network> networks,
+                                            FrontMode mode,
+                                            std::size_t jobs) const {
+  CompileAllResult result;
+  const std::size_t n = networks.size();
+  result.units.resize(n);
+  result.diags = std::vector<DiagnosticEngine>(n);
+  if (n == 0) return result;
+
+  // Per-index exception slots: a configuration error in network i must
+  // not take down the other compiles, and the one rethrown afterwards is
+  // the lowest-index one regardless of completion order.
+  std::vector<std::exception_ptr> errors(n);
+
+  jobs::JobPool pool;
+  jobs::JobPool::RunSpec spec;
+  spec.jobs = n;
+  spec.workers = jobs == 0 ? 1 : jobs;
+  spec.body = [&](jobs::JobContext&, std::size_t index) {
+    try {
+      result.units[index] = compile(std::move(networks[index]),
+                                    result.diags[index], mode);
+    } catch (...) {
+      errors[index] = std::current_exception();
+    }
+  };
+  pool.run(spec);
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return result;
 }
 
 }  // namespace buffy::pipeline

@@ -21,6 +21,8 @@
 //    bad connections) still throw in both modes.
 #pragma once
 
+#include <vector>
+
 #include "core/network.hpp"
 #include "pipeline/compilation_unit.hpp"
 #include "support/diagnostics.hpp"
@@ -43,6 +45,17 @@ enum class FrontMode {
   Analyze,
 };
 
+/// Result of a parallel multi-model compile: one unit and one diagnostic
+/// batch per input network, in input order. Determinism rule (DESIGN.md
+/// §16): each model compiles into its own unit (own AST arena, own
+/// DiagnosticEngine), results are keyed by input index — never completion
+/// order — so the rendered diagnostics and units are byte-identical under
+/// any worker count.
+struct CompileAllResult {
+  std::vector<CompilationUnitPtr> units;
+  std::vector<DiagnosticEngine> diags;
+};
+
 class CompilerDriver {
  public:
   explicit CompilerDriver(PipelineOptions options)
@@ -57,6 +70,15 @@ class CompilerDriver {
   [[nodiscard]] CompilationUnitPtr compile(
       core::Network network, DiagnosticEngine& diag,
       FrontMode mode = FrontMode::Analyze) const;
+
+  /// Compiles each network on up to `jobs` worker threads (a jobs::JobPool
+  /// over the input index space). Recovery mode per network; a
+  /// configuration error (no source location) recorded in any network
+  /// rethrows after the pool drains — the lowest input index wins, so the
+  /// surfaced error is deterministic too.
+  [[nodiscard]] CompileAllResult compileAll(
+      std::vector<core::Network> networks, FrontMode mode = FrontMode::Analyze,
+      std::size_t jobs = 1) const;
 
  private:
   PipelineOptions options_;

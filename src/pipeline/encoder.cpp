@@ -209,7 +209,7 @@ std::unique_ptr<core::Encoding> buildEncoding(
       if (ci.isContract) {
         contractStep(unit, *enc, ci, t, concrete != nullptr);
       } else {
-        evaluators.at(ci.name)->execStep(ci.program, t);
+        evaluators.at(ci.name)->execStep(ci.ast, t);
       }
     }
 

@@ -11,29 +11,32 @@ namespace {
 
 class DefiniteAssignment {
  public:
-  explicit DefiniteAssignment(DiagnosticEngine& diag) : diag_(diag) {}
+  DefiniteAssignment(const AstArena& arena, DiagnosticEngine& diag)
+      : arena_(arena), diag_(diag) {}
 
   void run(const Program& prog) {
     std::set<std::string> assigned;
-    checkBlock(*prog.body, assigned);
+    checkBlock(prog.body, assigned);
     for (const auto& fn : prog.functions) {
       std::set<std::string> fnAssigned;
       for (const auto& p : fn.params) fnAssigned.insert(p.name);
-      checkBlock(*fn.body, fnAssigned);
+      checkBlock(fn.body, fnAssigned);
     }
   }
 
  private:
-  void declare(const DeclStmt& s, std::set<std::string>& assigned) {
+  void declare(const StmtNode& stmt, std::set<std::string>& assigned) {
+    const auto& s = stmt.decl;
+    const std::string name = arena_.str(s.name);
     // Only uninitialized local scalars are tracked; everything else
     // (globals persist, havocs are defined, arrays/lists start empty by
     // design) counts as assigned.
     if (s.storage == Storage::Local && s.declType.isScalar() &&
-        s.init == nullptr) {
-      tracked_.insert(s.name);
+        !s.init.valid()) {
+      tracked_.insert(name);
     } else {
-      assigned.insert(s.name);
-      tracked_.erase(s.name);
+      assigned.insert(name);
+      tracked_.erase(name);
     }
   }
 
@@ -47,74 +50,75 @@ class DefiniteAssignment {
     }
   }
 
-  void checkExpr(const Expr& expr, const std::set<std::string>& assigned) {
-    switch (expr.exprKind) {
+  void checkExpr(ExprId id, const std::set<std::string>& assigned) {
+    const ExprNode& expr = arena_.expr(id);
+    switch (expr.kind) {
       case ExprKind::VarRef:
-        use(static_cast<const VarRefExpr&>(expr).name, expr.loc, assigned);
+        use(arena_.str(expr.varRef.name), arena_.exprLoc(id), assigned);
         break;
       case ExprKind::Index:
-        checkExpr(*static_cast<const IndexExpr&>(expr).index, assigned);
+        checkExpr(expr.index.index, assigned);
         break;
-      case ExprKind::Binary: {
-        const auto& e = static_cast<const BinaryExpr&>(expr);
-        checkExpr(*e.lhs, assigned);
-        checkExpr(*e.rhs, assigned);
+      case ExprKind::Binary:
+        checkExpr(expr.binary.lhs, assigned);
+        checkExpr(expr.binary.rhs, assigned);
         break;
-      }
       case ExprKind::Unary:
-        checkExpr(*static_cast<const UnaryExpr&>(expr).operand, assigned);
+        checkExpr(expr.unary.operand, assigned);
         break;
       case ExprKind::Backlog:
-        checkExpr(*static_cast<const BacklogExpr&>(expr).buffer, assigned);
+        checkExpr(expr.backlog.buffer, assigned);
         break;
-      case ExprKind::Filter: {
-        const auto& e = static_cast<const FilterExpr&>(expr);
-        checkExpr(*e.base, assigned);
-        checkExpr(*e.value, assigned);
+      case ExprKind::Filter:
+        checkExpr(expr.filter.base, assigned);
+        checkExpr(expr.filter.value, assigned);
         break;
-      }
       case ExprKind::ListHas:
-        checkExpr(*static_cast<const ListHasExpr&>(expr).value, assigned);
+        checkExpr(expr.listOp.value, assigned);
         break;
-      case ExprKind::Call:
-        for (const auto& arg : static_cast<const CallExpr&>(expr).args) {
-          checkExpr(*arg, assigned);
+      case ExprKind::Call: {
+        const ExprSpan args = expr.call.args;
+        for (std::uint32_t i = 0; i < args.count; ++i) {
+          checkExpr(arena_.spanAt(args, i), assigned);
         }
         break;
+      }
       default:
         break;
     }
   }
 
-  void checkBlock(const BlockStmt& block, std::set<std::string>& assigned) {
-    for (const auto& stmt : block.stmts) checkStmt(*stmt, assigned);
+  void checkBlock(StmtId block, std::set<std::string>& assigned) {
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      checkStmt(arena_.spanAt(span, i), assigned);
+    }
   }
 
-  void checkStmt(const Stmt& stmt, std::set<std::string>& assigned) {
-    switch (stmt.stmtKind) {
+  void checkStmt(StmtId id, std::set<std::string>& assigned) {
+    const StmtNode& stmt = arena_.stmt(id);
+    switch (stmt.kind) {
       case StmtKind::Block:
-        checkBlock(static_cast<const BlockStmt&>(stmt), assigned);
+        checkBlock(id, assigned);
         break;
-      case StmtKind::Decl: {
-        const auto& s = static_cast<const DeclStmt&>(stmt);
-        if (s.init) checkExpr(*s.init, assigned);
-        declare(s, assigned);
+      case StmtKind::Decl:
+        if (stmt.decl.init.valid()) checkExpr(stmt.decl.init, assigned);
+        declare(stmt, assigned);
         break;
-      }
       case StmtKind::Assign: {
-        const auto& s = static_cast<const AssignStmt&>(stmt);
-        if (s.index) checkExpr(*s.index, assigned);
-        checkExpr(*s.value, assigned);
-        if (s.index == nullptr) assigned.insert(s.target);
+        const auto& s = stmt.assign;
+        if (s.index.valid()) checkExpr(s.index, assigned);
+        checkExpr(s.value, assigned);
+        if (!s.index.valid()) assigned.insert(arena_.str(s.target));
         break;
       }
       case StmtKind::If: {
-        const auto& s = static_cast<const IfStmt&>(stmt);
-        checkExpr(*s.cond, assigned);
+        const auto& s = stmt.ifs;
+        checkExpr(s.cond, assigned);
         std::set<std::string> thenAssigned = assigned;
-        checkBlock(*s.thenBlock, thenAssigned);
+        checkBlock(s.thenBlock, thenAssigned);
         std::set<std::string> elseAssigned = assigned;
-        if (s.elseBlock) checkBlock(*s.elseBlock, elseAssigned);
+        if (s.elseBlock.valid()) checkBlock(s.elseBlock, elseAssigned);
         // Definitely assigned only if assigned on both paths.
         for (const auto& name : thenAssigned) {
           if (elseAssigned.count(name) != 0) assigned.insert(name);
@@ -122,45 +126,42 @@ class DefiniteAssignment {
         break;
       }
       case StmtKind::For: {
-        const auto& s = static_cast<const ForStmt&>(stmt);
-        checkExpr(*s.lo, assigned);
-        checkExpr(*s.hi, assigned);
+        const auto& s = stmt.fors;
+        checkExpr(s.lo, assigned);
+        checkExpr(s.hi, assigned);
         // The loop may run zero times: body assignments don't escape.
         std::set<std::string> bodyAssigned = assigned;
-        bodyAssigned.insert(s.var);
-        checkBlock(*s.body, bodyAssigned);
+        bodyAssigned.insert(arena_.str(s.var));
+        checkBlock(s.body, bodyAssigned);
         break;
       }
       case StmtKind::Move: {
-        const auto& s = static_cast<const MoveStmt&>(stmt);
-        checkExpr(*s.src, assigned);
-        checkExpr(*s.dst, assigned);
-        checkExpr(*s.amount, assigned);
+        const auto& s = stmt.move;
+        checkExpr(s.src, assigned);
+        checkExpr(s.dst, assigned);
+        checkExpr(s.amount, assigned);
         break;
       }
       case StmtKind::ListPush:
-        checkExpr(*static_cast<const ListPushStmt&>(stmt).value, assigned);
+        checkExpr(stmt.listPush.value, assigned);
         break;
       case StmtKind::PopFront:
-        assigned.insert(static_cast<const PopFrontStmt&>(stmt).target);
+        assigned.insert(arena_.str(stmt.popFront.target));
         break;
       case StmtKind::Assert:
-        checkExpr(*static_cast<const AssertStmt&>(stmt).cond, assigned);
-        break;
       case StmtKind::Assume:
-        checkExpr(*static_cast<const AssumeStmt&>(stmt).cond, assigned);
+        checkExpr(stmt.guard.cond, assigned);
         break;
-      case StmtKind::Return: {
-        const auto& s = static_cast<const ReturnStmt&>(stmt);
-        if (s.value) checkExpr(*s.value, assigned);
+      case StmtKind::Return:
+        if (stmt.ret.value.valid()) checkExpr(stmt.ret.value, assigned);
         break;
-      }
       case StmtKind::ExprStmt:
-        checkExpr(*static_cast<const ExprStmt&>(stmt).expr, assigned);
+        checkExpr(stmt.exprStmt.expr, assigned);
         break;
     }
   }
 
+  const AstArena& arena_;
   DiagnosticEngine& diag_;
   std::set<std::string> tracked_;
   std::set<std::string> warned_;
@@ -168,10 +169,9 @@ class DefiniteAssignment {
 
 }  // namespace
 
-std::size_t checkDefiniteAssignment(const Program& prog,
-                                    DiagnosticEngine& diag) {
+std::size_t checkDefiniteAssignment(const Ast& ast, DiagnosticEngine& diag) {
   const std::size_t before = diag.all().size();
-  DefiniteAssignment(diag).run(prog);
+  DefiniteAssignment(ast.arena, diag).run(ast.program);
   return diag.all().size() - before;
 }
 

@@ -7,35 +7,31 @@ using namespace lang;
 namespace {
 
 /// Does an expression read any monitor variable?
-bool readsMonitor(const Expr& expr, const std::set<std::string>& monitors) {
-  switch (expr.exprKind) {
+bool readsMonitor(const AstArena& arena, ExprId id,
+                  const std::set<std::string>& monitors) {
+  const ExprNode& expr = arena.expr(id);
+  switch (expr.kind) {
     case ExprKind::VarRef:
-      return monitors.count(static_cast<const VarRefExpr&>(expr).name) != 0;
-    case ExprKind::Index: {
-      const auto& e = static_cast<const IndexExpr&>(expr);
-      return monitors.count(e.base) != 0 || readsMonitor(*e.index, monitors);
-    }
-    case ExprKind::Binary: {
-      const auto& e = static_cast<const BinaryExpr&>(expr);
-      return readsMonitor(*e.lhs, monitors) || readsMonitor(*e.rhs, monitors);
-    }
+      return monitors.count(arena.str(expr.varRef.name)) != 0;
+    case ExprKind::Index:
+      return monitors.count(arena.str(expr.index.base)) != 0 ||
+             readsMonitor(arena, expr.index.index, monitors);
+    case ExprKind::Binary:
+      return readsMonitor(arena, expr.binary.lhs, monitors) ||
+             readsMonitor(arena, expr.binary.rhs, monitors);
     case ExprKind::Unary:
-      return readsMonitor(*static_cast<const UnaryExpr&>(expr).operand,
-                          monitors);
+      return readsMonitor(arena, expr.unary.operand, monitors);
     case ExprKind::Backlog:
-      return readsMonitor(*static_cast<const BacklogExpr&>(expr).buffer,
-                          monitors);
-    case ExprKind::Filter: {
-      const auto& e = static_cast<const FilterExpr&>(expr);
-      return readsMonitor(*e.base, monitors) ||
-             readsMonitor(*e.value, monitors);
-    }
+      return readsMonitor(arena, expr.backlog.buffer, monitors);
+    case ExprKind::Filter:
+      return readsMonitor(arena, expr.filter.base, monitors) ||
+             readsMonitor(arena, expr.filter.value, monitors);
     case ExprKind::ListHas:
-      return readsMonitor(*static_cast<const ListHasExpr&>(expr).value,
-                          monitors);
+      return readsMonitor(arena, expr.listOp.value, monitors);
     case ExprKind::Call: {
-      for (const auto& arg : static_cast<const CallExpr&>(expr).args) {
-        if (readsMonitor(*arg, monitors)) return true;
+      const ExprSpan args = expr.call.args;
+      for (std::uint32_t i = 0; i < args.count; ++i) {
+        if (readsMonitor(arena, arena.spanAt(args, i), monitors)) return true;
       }
       return false;
     }
@@ -46,26 +42,28 @@ bool readsMonitor(const Expr& expr, const std::set<std::string>& monitors) {
 
 /// Is a statement ghost-only (writes only to monitors, no buffer/list
 /// effects, no assumptions)? Asserts are ghost by definition.
-bool isGhostOnly(const Stmt& stmt, const std::set<std::string>& monitors) {
-  switch (stmt.stmtKind) {
+bool isGhostOnly(const AstArena& arena, StmtId id,
+                 const std::set<std::string>& monitors) {
+  const StmtNode& stmt = arena.stmt(id);
+  switch (stmt.kind) {
     case StmtKind::Assign:
-      return monitors.count(static_cast<const AssignStmt&>(stmt).target) != 0;
+      return monitors.count(arena.str(stmt.assign.target)) != 0;
     case StmtKind::Assert:
       return true;
     case StmtKind::Block: {
-      const auto& block = static_cast<const BlockStmt&>(stmt);
-      for (const auto& inner : block.stmts) {
-        if (!isGhostOnly(*inner, monitors)) return false;
+      const StmtSpan span = stmt.block.stmts;
+      for (std::uint32_t i = 0; i < span.count; ++i) {
+        if (!isGhostOnly(arena, arena.spanAt(span, i), monitors)) return false;
       }
       return true;
     }
     case StmtKind::If: {
-      const auto& s = static_cast<const IfStmt&>(stmt);
-      if (!isGhostOnly(*s.thenBlock, monitors)) return false;
-      return s.elseBlock == nullptr || isGhostOnly(*s.elseBlock, monitors);
+      const auto& s = stmt.ifs;
+      if (!isGhostOnly(arena, s.thenBlock, monitors)) return false;
+      return !s.elseBlock.valid() || isGhostOnly(arena, s.elseBlock, monitors);
     }
     case StmtKind::For:
-      return isGhostOnly(*static_cast<const ForStmt&>(stmt).body, monitors);
+      return isGhostOnly(arena, stmt.fors.body, monitors);
     default:
       return false;
   }
@@ -73,91 +71,96 @@ bool isGhostOnly(const Stmt& stmt, const std::set<std::string>& monitors) {
 
 class GhostChecker {
  public:
-  GhostChecker(const std::set<std::string>& monitors, DiagnosticEngine& diag)
-      : monitors_(monitors), diag_(diag) {}
+  GhostChecker(const AstArena& arena, const std::set<std::string>& monitors,
+               DiagnosticEngine& diag)
+      : arena_(arena), monitors_(monitors), diag_(diag) {}
 
-  void checkBlock(const BlockStmt& block) {
-    for (const auto& stmt : block.stmts) checkStmt(*stmt);
-  }
-
- private:
-  void requireNoMonitor(const Expr& expr, const char* context) {
-    if (readsMonitor(expr, monitors_)) {
-      diag_.error(expr.loc, std::string("monitor (ghost) variable used in ") +
-                                context +
-                                "; monitors may only feed other monitors "
-                                "and assert conditions");
+  void checkBlock(StmtId block) {
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      checkStmt(arena_.spanAt(span, i));
     }
   }
 
-  void checkStmt(const Stmt& stmt) {
-    switch (stmt.stmtKind) {
+ private:
+  void requireNoMonitor(ExprId expr, const char* context) {
+    if (readsMonitor(arena_, expr, monitors_)) {
+      diag_.error(arena_.exprLoc(expr),
+                  std::string("monitor (ghost) variable used in ") + context +
+                      "; monitors may only feed other monitors "
+                      "and assert conditions");
+    }
+  }
+
+  void checkStmt(StmtId id) {
+    const StmtNode& stmt = arena_.stmt(id);
+    const SourceLoc loc = arena_.stmtLoc(id);
+    switch (stmt.kind) {
       case StmtKind::Block:
-        checkBlock(static_cast<const BlockStmt&>(stmt));
+        checkBlock(id);
         break;
       case StmtKind::Decl: {
-        const auto& s = static_cast<const DeclStmt&>(stmt);
-        if (s.init && monitors_.count(s.name) == 0) {
-          requireNoMonitor(*s.init, "a non-monitor initializer");
+        const auto& s = stmt.decl;
+        if (s.init.valid() && monitors_.count(arena_.str(s.name)) == 0) {
+          requireNoMonitor(s.init, "a non-monitor initializer");
         }
         break;
       }
       case StmtKind::Assign: {
-        const auto& s = static_cast<const AssignStmt&>(stmt);
-        if (monitors_.count(s.target) == 0) {
-          if (s.index) requireNoMonitor(*s.index, "a non-monitor assignment");
-          requireNoMonitor(*s.value, "a non-monitor assignment");
+        const auto& s = stmt.assign;
+        if (monitors_.count(arena_.str(s.target)) == 0) {
+          if (s.index.valid()) {
+            requireNoMonitor(s.index, "a non-monitor assignment");
+          }
+          requireNoMonitor(s.value, "a non-monitor assignment");
         }
         break;
       }
       case StmtKind::If: {
-        const auto& s = static_cast<const IfStmt&>(stmt);
+        const auto& s = stmt.ifs;
         // A condition may read monitors only if everything it guards is
         // itself ghost.
-        if (readsMonitor(*s.cond, monitors_)) {
-          const bool ghostThen = isGhostOnly(*s.thenBlock, monitors_);
+        if (readsMonitor(arena_, s.cond, monitors_)) {
+          const bool ghostThen = isGhostOnly(arena_, s.thenBlock, monitors_);
           const bool ghostElse =
-              s.elseBlock == nullptr || isGhostOnly(*s.elseBlock, monitors_);
+              !s.elseBlock.valid() ||
+              isGhostOnly(arena_, s.elseBlock, monitors_);
           if (!ghostThen || !ghostElse) {
-            diag_.error(s.loc,
+            diag_.error(loc,
                         "if-condition reads a monitor but guards non-ghost "
                         "statements");
           }
         }
-        checkBlock(*s.thenBlock);
-        if (s.elseBlock) checkBlock(*s.elseBlock);
+        checkBlock(s.thenBlock);
+        if (s.elseBlock.valid()) checkBlock(s.elseBlock);
         break;
       }
       case StmtKind::For: {
-        const auto& s = static_cast<const ForStmt&>(stmt);
-        requireNoMonitor(*s.lo, "a loop bound");
-        requireNoMonitor(*s.hi, "a loop bound");
-        checkBlock(*s.body);
+        const auto& s = stmt.fors;
+        requireNoMonitor(s.lo, "a loop bound");
+        requireNoMonitor(s.hi, "a loop bound");
+        checkBlock(s.body);
         break;
       }
       case StmtKind::Move: {
-        const auto& s = static_cast<const MoveStmt&>(stmt);
-        requireNoMonitor(*s.src, "a move");
-        requireNoMonitor(*s.dst, "a move");
-        requireNoMonitor(*s.amount, "a move amount");
+        const auto& s = stmt.move;
+        requireNoMonitor(s.src, "a move");
+        requireNoMonitor(s.dst, "a move");
+        requireNoMonitor(s.amount, "a move amount");
         break;
       }
-      case StmtKind::ListPush: {
-        const auto& s = static_cast<const ListPushStmt&>(stmt);
-        requireNoMonitor(*s.value, "a list push");
+      case StmtKind::ListPush:
+        requireNoMonitor(stmt.listPush.value, "a list push");
         break;
-      }
-      case StmtKind::PopFront: {
-        const auto& s = static_cast<const PopFrontStmt&>(stmt);
-        if (monitors_.count(s.target) != 0) {
-          diag_.error(s.loc,
+      case StmtKind::PopFront:
+        if (monitors_.count(arena_.str(stmt.popFront.target)) != 0) {
+          diag_.error(loc,
                       "pop_front into a monitor would make the list "
                       "operation ghost-dependent");
         }
         break;
-      }
       case StmtKind::Assume:
-        requireNoMonitor(*static_cast<const AssumeStmt&>(stmt).cond,
+        requireNoMonitor(stmt.guard.cond,
                          "an assume (assumptions must not depend on ghost "
                          "state)");
         break;
@@ -169,19 +172,20 @@ class GhostChecker {
     }
   }
 
+  const AstArena& arena_;
   const std::set<std::string>& monitors_;
   DiagnosticEngine& diag_;
 };
 
 }  // namespace
 
-bool checkGhostNonInterference(const Program& prog,
+bool checkGhostNonInterference(const Ast& ast,
                                const std::set<std::string>& monitors,
                                DiagnosticEngine& diag) {
   const std::size_t before = diag.errorCount();
-  GhostChecker checker(monitors, diag);
-  checker.checkBlock(*prog.body);
-  for (const auto& fn : prog.functions) checker.checkBlock(*fn.body);
+  GhostChecker checker(ast.arena, monitors, diag);
+  checker.checkBlock(ast.program.body);
+  for (const auto& fn : ast.program.functions) checker.checkBlock(fn.body);
   return diag.errorCount() == before;
 }
 

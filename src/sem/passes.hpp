@@ -27,21 +27,21 @@ struct BufferRoles {
 
 /// Runs the §7 well-formedness checks. The program must already be
 /// elaborated (so loop bounds are literals after constant folding is
-/// applied internally to copies — the pass does not mutate `prog`).
+/// applied internally to copies — the pass does not mutate the AST).
 /// Reports via `diag`; returns true when no errors were added.
-bool checkWellFormed(const lang::Program& prog, const BufferRoles& roles,
+bool checkWellFormed(const lang::Ast& ast, const BufferRoles& roles,
                      DiagnosticEngine& diag);
 
 /// Verifies that monitor (ghost) variables never influence non-ghost
 /// state. Requires the set of monitor names (from typecheck).
-bool checkGhostNonInterference(const lang::Program& prog,
+bool checkGhostNonInterference(const lang::Ast& ast,
                                const std::set<std::string>& monitors,
                                DiagnosticEngine& diag);
 
 /// Lint: warns (never errors) when an uninitialized local scalar may be
 /// read before assignment on some path (it would silently default to
 /// 0/false). Returns the number of warnings added.
-std::size_t checkDefiniteAssignment(const lang::Program& prog,
+std::size_t checkDefiniteAssignment(const lang::Ast& ast,
                                     DiagnosticEngine& diag);
 
 }  // namespace buffy::sem

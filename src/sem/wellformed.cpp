@@ -9,193 +9,196 @@ namespace {
 
 class WellFormedChecker {
  public:
-  WellFormedChecker(const BufferRoles& roles, DiagnosticEngine& diag)
-      : roles_(roles), diag_(diag) {}
+  WellFormedChecker(const AstArena& arena, const BufferRoles& roles,
+                    DiagnosticEngine& diag)
+      : arena_(arena), roles_(roles), diag_(diag) {}
 
   void run(const Program& prog) {
     for (const auto& fn : prog.functions) {
       inFunction_ = true;
-      checkBlock(*fn.body);
+      checkBlock(fn.body);
       inFunction_ = false;
     }
-    checkBlock(*prog.body);
+    checkBlock(prog.body);
   }
 
  private:
-  void checkBlock(const BlockStmt& block) {
-    for (const auto& stmt : block.stmts) checkStmt(*stmt);
+  void checkBlock(StmtId block) {
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      checkStmt(arena_.spanAt(span, i));
+    }
   }
 
   /// Name of the buffer (parameter) an expression ultimately refers to,
   /// or "" when it is not a direct buffer reference.
-  static std::string bufferRootName(const Expr& expr) {
-    switch (expr.exprKind) {
+  std::string bufferRootName(ExprId id) const {
+    const ExprNode& expr = arena_.expr(id);
+    switch (expr.kind) {
       case ExprKind::VarRef:
-        return static_cast<const VarRefExpr&>(expr).name;
+        return arena_.str(expr.varRef.name);
       case ExprKind::Index:
-        return static_cast<const IndexExpr&>(expr).base;
+        return arena_.str(expr.index.base);
       case ExprKind::Filter:
-        return bufferRootName(*static_cast<const FilterExpr&>(expr).base);
+        return bufferRootName(expr.filter.base);
       default:
         return "";
     }
   }
 
-  void checkStmt(const Stmt& stmt) {
-    switch (stmt.stmtKind) {
+  void checkStmt(StmtId id) {
+    const StmtNode& stmt = arena_.stmt(id);
+    const SourceLoc loc = arena_.stmtLoc(id);
+    switch (stmt.kind) {
       case StmtKind::Block:
-        checkBlock(static_cast<const BlockStmt&>(stmt));
+        checkBlock(id);
         break;
       case StmtKind::Decl: {
-        const auto& s = static_cast<const DeclStmt&>(stmt);
+        const auto& s = stmt.decl;
         if (inFunction_ && s.storage != Storage::Local) {
-          diag_.error(s.loc, "global/monitor declarations are not allowed "
-                             "inside def functions");
+          diag_.error(loc, "global/monitor declarations are not allowed "
+                           "inside def functions");
         }
         if (s.declType.isArray() && s.declType.size <= 0) {
-          diag_.error(s.loc, "array '" + s.name +
-                                 "' must have a positive constant bound "
-                                 "(paper §7: bounded arrays)");
+          diag_.error(loc, "array '" + arena_.str(s.name) +
+                               "' must have a positive constant bound "
+                               "(paper §7: bounded arrays)");
         }
-        if (s.init) checkExpr(*s.init);
+        if (s.init.valid()) checkExpr(s.init);
         break;
       }
       case StmtKind::Assign: {
-        const auto& s = static_cast<const AssignStmt&>(stmt);
-        if (s.index) checkExpr(*s.index);
-        checkExpr(*s.value);
+        const auto& s = stmt.assign;
+        if (s.index.valid()) checkExpr(s.index);
+        checkExpr(s.value);
         break;
       }
       case StmtKind::If: {
-        const auto& s = static_cast<const IfStmt&>(stmt);
-        checkExpr(*s.cond);
-        checkBlock(*s.thenBlock);
-        if (s.elseBlock) checkBlock(*s.elseBlock);
+        const auto& s = stmt.ifs;
+        checkExpr(s.cond);
+        checkBlock(s.thenBlock);
+        if (s.elseBlock.valid()) checkBlock(s.elseBlock);
         break;
       }
       case StmtKind::For: {
-        const auto& s = static_cast<const ForStmt&>(stmt);
+        const auto& s = stmt.fors;
         // Bounds must be constant expressions: after elaboration every
         // constant parameter is a literal, so a loop bound made only of
         // literals/arithmetic is fine; anything referring to runtime state
         // is not. A conservative syntactic check suffices here — the
         // evaluator enforces constancy exactly.
-        checkConstExpr(*s.lo, "loop lower bound");
-        checkConstExpr(*s.hi, "loop upper bound");
-        checkBlock(*s.body);
+        checkConstExpr(s.lo, "loop lower bound");
+        checkConstExpr(s.hi, "loop upper bound");
+        checkBlock(s.body);
         break;
       }
       case StmtKind::Move: {
-        const auto& s = static_cast<const MoveStmt&>(stmt);
-        const std::string src = bufferRootName(*s.src);
-        const std::string dst = bufferRootName(*s.dst);
+        const auto& s = stmt.move;
+        const std::string src = bufferRootName(s.src);
+        const std::string dst = bufferRootName(s.dst);
         if (roles_.outputs.count(src) != 0) {
-          diag_.error(s.loc, "output buffer '" + src +
-                                 "' is write-only and cannot be a move "
-                                 "source");
+          diag_.error(loc, "output buffer '" + src +
+                               "' is write-only and cannot be a move "
+                               "source");
         }
         if (roles_.inputs.count(dst) != 0) {
-          diag_.error(s.loc, "input buffer '" + dst +
-                                 "' cannot be a move destination");
+          diag_.error(loc, "input buffer '" + dst +
+                               "' cannot be a move destination");
         }
-        checkExpr(*s.src);
-        checkExpr(*s.dst);
-        checkExpr(*s.amount);
+        checkExpr(s.src);
+        checkExpr(s.dst);
+        checkExpr(s.amount);
         break;
       }
       case StmtKind::ListPush:
-        checkExpr(*static_cast<const ListPushStmt&>(stmt).value);
+        checkExpr(stmt.listPush.value);
         break;
       case StmtKind::PopFront:
         break;
       case StmtKind::Assert:
-        checkExpr(*static_cast<const AssertStmt&>(stmt).cond);
-        break;
       case StmtKind::Assume:
-        checkExpr(*static_cast<const AssumeStmt&>(stmt).cond);
+        checkExpr(stmt.guard.cond);
         break;
       case StmtKind::Return:
         if (!inFunction_) {
-          diag_.error(stmt.loc,
-                      "return is only allowed inside def functions");
+          diag_.error(loc, "return is only allowed inside def functions");
         }
         break;
       case StmtKind::ExprStmt:
-        checkExpr(*static_cast<const ExprStmt&>(stmt).expr);
+        checkExpr(stmt.exprStmt.expr);
         break;
     }
   }
 
-  void checkConstExpr(const Expr& expr, const char* what) {
-    switch (expr.exprKind) {
+  void checkConstExpr(ExprId id, const char* what) {
+    const ExprNode& expr = arena_.expr(id);
+    switch (expr.kind) {
       case ExprKind::IntLit:
         return;
-      case ExprKind::Binary: {
-        const auto& e = static_cast<const BinaryExpr&>(expr);
-        checkConstExpr(*e.lhs, what);
-        checkConstExpr(*e.rhs, what);
+      case ExprKind::Binary:
+        checkConstExpr(expr.binary.lhs, what);
+        checkConstExpr(expr.binary.rhs, what);
         return;
-      }
       case ExprKind::Unary:
-        checkConstExpr(*static_cast<const UnaryExpr&>(expr).operand, what);
+        checkConstExpr(expr.unary.operand, what);
         return;
       case ExprKind::VarRef:
         // Might be an enclosing loop variable (constant at evaluation
         // time); accepted here, enforced exactly by the evaluator.
         return;
       default:
-        diag_.error(expr.loc,
+        diag_.error(arena_.exprLoc(id),
                     std::string(what) +
                         " must be a compile-time constant expression "
                         "(paper §7: bounded loops): " +
-                        printExpr(expr));
+                        printExpr(arena_, id));
     }
   }
 
-  void checkExpr(const Expr& expr) {
-    switch (expr.exprKind) {
+  void checkExpr(ExprId id) {
+    const ExprNode& expr = arena_.expr(id);
+    switch (expr.kind) {
       case ExprKind::Backlog: {
-        const auto& e = static_cast<const BacklogExpr&>(expr);
-        const std::string name = bufferRootName(*e.buffer);
+        const std::string name = bufferRootName(expr.backlog.buffer);
         if (roles_.outputs.count(name) != 0) {
-          diag_.error(e.loc, "output buffer '" + name +
-                                 "' is write-only and cannot be observed "
-                                 "with backlog");
+          diag_.error(arena_.exprLoc(id),
+                      "output buffer '" + name +
+                          "' is write-only and cannot be observed "
+                          "with backlog");
         }
-        checkExpr(*e.buffer);
+        checkExpr(expr.backlog.buffer);
         break;
       }
-      case ExprKind::Binary: {
-        const auto& e = static_cast<const BinaryExpr&>(expr);
-        checkExpr(*e.lhs);
-        checkExpr(*e.rhs);
+      case ExprKind::Binary:
+        checkExpr(expr.binary.lhs);
+        checkExpr(expr.binary.rhs);
         break;
-      }
       case ExprKind::Unary:
-        checkExpr(*static_cast<const UnaryExpr&>(expr).operand);
+        checkExpr(expr.unary.operand);
         break;
       case ExprKind::Index:
-        checkExpr(*static_cast<const IndexExpr&>(expr).index);
+        checkExpr(expr.index.index);
         break;
-      case ExprKind::Filter: {
-        const auto& e = static_cast<const FilterExpr&>(expr);
-        checkExpr(*e.base);
-        checkExpr(*e.value);
+      case ExprKind::Filter:
+        checkExpr(expr.filter.base);
+        checkExpr(expr.filter.value);
         break;
-      }
       case ExprKind::ListHas:
-        checkExpr(*static_cast<const ListHasExpr&>(expr).value);
+        checkExpr(expr.listOp.value);
         break;
-      case ExprKind::Call:
-        for (const auto& arg : static_cast<const CallExpr&>(expr).args) {
-          checkExpr(*arg);
+      case ExprKind::Call: {
+        const ExprSpan args = expr.call.args;
+        for (std::uint32_t i = 0; i < args.count; ++i) {
+          checkExpr(arena_.spanAt(args, i));
         }
         break;
+      }
       default:
         break;
     }
   }
 
+  const AstArena& arena_;
   const BufferRoles& roles_;
   DiagnosticEngine& diag_;
   bool inFunction_ = false;
@@ -203,10 +206,10 @@ class WellFormedChecker {
 
 }  // namespace
 
-bool checkWellFormed(const Program& prog, const BufferRoles& roles,
+bool checkWellFormed(const Ast& ast, const BufferRoles& roles,
                      DiagnosticEngine& diag) {
   const std::size_t before = diag.errorCount();
-  WellFormedChecker(roles, diag).run(prog);
+  WellFormedChecker(ast.arena, roles, diag).run(ast.program);
   return diag.errorCount() == before;
 }
 

@@ -1,3 +1,6 @@
+#include <algorithm>
+#include <vector>
+
 #include "ir/term.hpp"  // euclideanDiv / euclideanMod
 #include "transform/transforms.hpp"
 
@@ -7,238 +10,292 @@ using namespace lang;
 
 namespace {
 
-bool isIntLit(const Expr& e, std::int64_t& out) {
-  if (e.exprKind == ExprKind::IntLit) {
-    out = static_cast<const IntLitExpr&>(e).value;
-    return true;
-  }
-  return false;
-}
+/// Folds expressions in place: a node whose operands are literals becomes
+/// a literal node under its own handle (kind swap, zero allocation).
+/// Short-circuit identities return the surviving child handle, which the
+/// caller writes back into the parent edge.
+class Folder {
+ public:
+  explicit Folder(AstArena& arena) : arena_(arena) {}
 
-bool isBoolLit(const Expr& e, bool& out) {
-  if (e.exprKind == ExprKind::BoolLit) {
-    out = static_cast<const BoolLitExpr&>(e).value;
-    return true;
+  bool isIntLit(ExprId id, std::int64_t& out) const {
+    const ExprNode& e = arena_.expr(id);
+    if (e.kind == ExprKind::IntLit) {
+      out = e.intLit.value;
+      return true;
+    }
+    return false;
   }
-  return false;
-}
 
-void foldExpr(ExprPtr& expr);
+  bool isBoolLit(ExprId id, bool& out) const {
+    const ExprNode& e = arena_.expr(id);
+    if (e.kind == ExprKind::BoolLit) {
+      out = e.boolLit.value;
+      return true;
+    }
+    return false;
+  }
 
-void foldBinary(ExprPtr& expr) {
-  auto& e = static_cast<BinaryExpr&>(*expr);
-  foldExpr(e.lhs);
-  foldExpr(e.rhs);
-  std::int64_t li = 0;
-  std::int64_t ri = 0;
-  bool lb = false;
-  bool rb = false;
-  const SourceLoc loc = e.loc;
-  if (isIntLit(*e.lhs, li) && isIntLit(*e.rhs, ri)) {
-    switch (e.op) {
-      // Fold arithmetic only when the exact result fits in int64 (program
-      // integers are mathematical; a wrapped fold would change semantics —
-      // and raw `li + ri` overflow is UB besides). Unfoldable operands stay
-      // symbolic and the solver computes them exactly.
-      case BinaryOp::Add:
-        if (const auto v = ir::foldAdd(li, ri)) expr = makeIntLit(*v, loc);
-        return;
-      case BinaryOp::Sub:
-        if (const auto v = ir::foldSub(li, ri)) expr = makeIntLit(*v, loc);
-        return;
-      case BinaryOp::Mul:
-        if (const auto v = ir::foldMul(li, ri)) expr = makeIntLit(*v, loc);
-        return;
-      case BinaryOp::Div:
-        if (li != INT64_MIN || ri != -1) {
-          expr = makeIntLit(ir::euclideanDiv(li, ri), loc);
-        }
-        return;
-      case BinaryOp::Mod:
-        expr = makeIntLit(ir::euclideanMod(li, ri), loc);
-        return;
-      case BinaryOp::Eq: expr = makeBoolLit(li == ri, loc); return;
-      case BinaryOp::Ne: expr = makeBoolLit(li != ri, loc); return;
-      case BinaryOp::Lt: expr = makeBoolLit(li < ri, loc); return;
-      case BinaryOp::Le: expr = makeBoolLit(li <= ri, loc); return;
-      case BinaryOp::Gt: expr = makeBoolLit(li > ri, loc); return;
-      case BinaryOp::Ge: expr = makeBoolLit(li >= ri, loc); return;
-      default: return;
-    }
+  void setIntLit(ExprId id, std::int64_t v) {
+    ExprNode& e = arena_.expr(id);
+    e.kind = ExprKind::IntLit;
+    e.intLit.value = v;
   }
-  if (isBoolLit(*e.lhs, lb) && isBoolLit(*e.rhs, rb)) {
-    switch (e.op) {
-      case BinaryOp::And: expr = makeBoolLit(lb && rb, loc); return;
-      case BinaryOp::Or: expr = makeBoolLit(lb || rb, loc); return;
-      case BinaryOp::Eq: expr = makeBoolLit(lb == rb, loc); return;
-      case BinaryOp::Ne: expr = makeBoolLit(lb != rb, loc); return;
-      default: return;
-    }
-  }
-  // Short-circuit identities with one literal side.
-  if (e.op == BinaryOp::And) {
-    if (isBoolLit(*e.lhs, lb)) {
-      expr = lb ? std::move(e.rhs) : makeBoolLit(false, loc);
-      return;
-    }
-    if (isBoolLit(*e.rhs, rb)) {
-      if (rb) expr = std::move(e.lhs);
-      // false on the right is kept: dropping the left side could drop its
-      // evaluation order only, which is side-effect free anyway, but keep
-      // the conservative form for readability of emitted code.
-      return;
-    }
-  }
-  if (e.op == BinaryOp::Or) {
-    if (isBoolLit(*e.lhs, lb)) {
-      expr = lb ? makeBoolLit(true, loc) : std::move(e.rhs);
-      return;
-    }
-  }
-}
 
-void foldExpr(ExprPtr& expr) {
-  switch (expr->exprKind) {
-    case ExprKind::Binary:
-      foldBinary(expr);
-      break;
-    case ExprKind::Unary: {
-      auto& e = static_cast<UnaryExpr&>(*expr);
-      foldExpr(e.operand);
-      std::int64_t i = 0;
-      bool b = false;
-      if (e.op == UnaryOp::Neg && isIntLit(*e.operand, i)) {
-        if (const auto v = ir::foldNeg(i)) expr = makeIntLit(*v, e.loc);
-      } else if (e.op == UnaryOp::Not && isBoolLit(*e.operand, b)) {
-        expr = makeBoolLit(!b, e.loc);
-      }
-      break;
-    }
-    case ExprKind::Index:
-      foldExpr(static_cast<IndexExpr&>(*expr).index);
-      break;
-    case ExprKind::Backlog:
-      foldExpr(static_cast<BacklogExpr&>(*expr).buffer);
-      break;
-    case ExprKind::Filter: {
-      auto& e = static_cast<FilterExpr&>(*expr);
-      foldExpr(e.base);
-      foldExpr(e.value);
-      break;
-    }
-    case ExprKind::ListHas:
-      foldExpr(static_cast<ListHasExpr&>(*expr).value);
-      break;
-    case ExprKind::Call: {
-      auto& e = static_cast<CallExpr&>(*expr);
-      for (auto& arg : e.args) foldExpr(arg);
-      // Fold fully-literal min/max.
-      if ((e.callee == "min" || e.callee == "max") && !e.args.empty()) {
-        std::int64_t acc = 0;
-        if (!isIntLit(*e.args[0], acc)) break;
-        bool allLit = true;
-        for (std::size_t i = 1; i < e.args.size(); ++i) {
-          std::int64_t v = 0;
-          if (!isIntLit(*e.args[i], v)) {
-            allLit = false;
-            break;
+  void setBoolLit(ExprId id, bool v) {
+    ExprNode& e = arena_.expr(id);
+    e.kind = ExprKind::BoolLit;
+    e.boolLit.value = v;
+  }
+
+  ExprId foldBinary(ExprId id) {
+    auto e = arena_.expr(id).binary;
+    e.lhs = foldExpr(e.lhs);
+    e.rhs = foldExpr(e.rhs);
+    arena_.expr(id).binary = e;
+    std::int64_t li = 0;
+    std::int64_t ri = 0;
+    bool lb = false;
+    bool rb = false;
+    if (isIntLit(e.lhs, li) && isIntLit(e.rhs, ri)) {
+      switch (e.op) {
+        // Fold arithmetic only when the exact result fits in int64 (program
+        // integers are mathematical; a wrapped fold would change semantics —
+        // and raw `li + ri` overflow is UB besides). Unfoldable operands
+        // stay symbolic and the solver computes them exactly.
+        case BinaryOp::Add:
+          if (const auto v = ir::foldAdd(li, ri)) setIntLit(id, *v);
+          return id;
+        case BinaryOp::Sub:
+          if (const auto v = ir::foldSub(li, ri)) setIntLit(id, *v);
+          return id;
+        case BinaryOp::Mul:
+          if (const auto v = ir::foldMul(li, ri)) setIntLit(id, *v);
+          return id;
+        case BinaryOp::Div:
+          if (li != INT64_MIN || ri != -1) {
+            setIntLit(id, ir::euclideanDiv(li, ri));
           }
-          acc = e.callee == "min" ? std::min(acc, v) : std::max(acc, v);
-        }
-        if (allLit) expr = makeIntLit(acc, e.loc);
+          return id;
+        case BinaryOp::Mod:
+          setIntLit(id, ir::euclideanMod(li, ri));
+          return id;
+        case BinaryOp::Eq: setBoolLit(id, li == ri); return id;
+        case BinaryOp::Ne: setBoolLit(id, li != ri); return id;
+        case BinaryOp::Lt: setBoolLit(id, li < ri); return id;
+        case BinaryOp::Le: setBoolLit(id, li <= ri); return id;
+        case BinaryOp::Gt: setBoolLit(id, li > ri); return id;
+        case BinaryOp::Ge: setBoolLit(id, li >= ri); return id;
+        default: return id;
       }
-      break;
     }
-    default:
-      break;
-  }
-}
-
-void foldBlock(BlockStmt& block);
-
-void foldStmt(StmtPtr& stmt, std::vector<StmtPtr>& out) {
-  switch (stmt->stmtKind) {
-    case StmtKind::Block:
-      foldBlock(static_cast<BlockStmt&>(*stmt));
-      break;
-    case StmtKind::Decl: {
-      auto& s = static_cast<DeclStmt&>(*stmt);
-      if (s.init) foldExpr(s.init);
-      break;
-    }
-    case StmtKind::Assign: {
-      auto& s = static_cast<AssignStmt&>(*stmt);
-      if (s.index) foldExpr(s.index);
-      foldExpr(s.value);
-      break;
-    }
-    case StmtKind::If: {
-      auto& s = static_cast<IfStmt&>(*stmt);
-      foldExpr(s.cond);
-      foldBlock(*s.thenBlock);
-      if (s.elseBlock) foldBlock(*s.elseBlock);
-      bool c = false;
-      if (isBoolLit(*s.cond, c)) {
-        // Replace the if with the (block of the) taken branch.
-        if (c) {
-          stmt = std::move(s.thenBlock);
-        } else if (s.elseBlock) {
-          stmt = std::move(s.elseBlock);
-        } else {
-          return;  // drop the statement entirely
-        }
+    if (isBoolLit(e.lhs, lb) && isBoolLit(e.rhs, rb)) {
+      switch (e.op) {
+        case BinaryOp::And: setBoolLit(id, lb && rb); return id;
+        case BinaryOp::Or: setBoolLit(id, lb || rb); return id;
+        case BinaryOp::Eq: setBoolLit(id, lb == rb); return id;
+        case BinaryOp::Ne: setBoolLit(id, lb != rb); return id;
+        default: return id;
       }
-      break;
     }
-    case StmtKind::For: {
-      auto& s = static_cast<ForStmt&>(*stmt);
-      foldExpr(s.lo);
-      foldExpr(s.hi);
-      foldBlock(*s.body);
-      break;
+    // Short-circuit identities with one literal side.
+    if (e.op == BinaryOp::And) {
+      if (isBoolLit(e.lhs, lb)) {
+        if (lb) return e.rhs;
+        setBoolLit(id, false);
+        return id;
+      }
+      if (isBoolLit(e.rhs, rb)) {
+        if (rb) return e.lhs;
+        // false on the right is kept: dropping the left side could drop its
+        // evaluation order only, which is side-effect free anyway, but keep
+        // the conservative form for readability of emitted code.
+        return id;
+      }
     }
-    case StmtKind::Move: {
-      auto& s = static_cast<MoveStmt&>(*stmt);
-      foldExpr(s.src);
-      foldExpr(s.dst);
-      foldExpr(s.amount);
-      break;
+    if (e.op == BinaryOp::Or) {
+      if (isBoolLit(e.lhs, lb)) {
+        if (lb) {
+          setBoolLit(id, true);
+          return id;
+        }
+        return e.rhs;
+      }
     }
-    case StmtKind::ListPush:
-      foldExpr(static_cast<ListPushStmt&>(*stmt).value);
-      break;
-    case StmtKind::Assert:
-      foldExpr(static_cast<AssertStmt&>(*stmt).cond);
-      break;
-    case StmtKind::Assume:
-      foldExpr(static_cast<AssumeStmt&>(*stmt).cond);
-      break;
-    case StmtKind::Return: {
-      auto& s = static_cast<ReturnStmt&>(*stmt);
-      if (s.value) foldExpr(s.value);
-      break;
-    }
-    case StmtKind::ExprStmt:
-      foldExpr(static_cast<ExprStmt&>(*stmt).expr);
-      break;
-    case StmtKind::PopFront:
-      break;
+    return id;
   }
-  out.push_back(std::move(stmt));
-}
 
-void foldBlock(BlockStmt& block) {
-  std::vector<StmtPtr> out;
-  out.reserve(block.stmts.size());
-  for (auto& stmt : block.stmts) foldStmt(stmt, out);
-  block.stmts = std::move(out);
-}
+  ExprId foldExpr(ExprId id) {
+    switch (arena_.expr(id).kind) {
+      case ExprKind::Binary:
+        return foldBinary(id);
+      case ExprKind::Unary: {
+        auto e = arena_.expr(id).unary;
+        e.operand = foldExpr(e.operand);
+        arena_.expr(id).unary = e;
+        std::int64_t i = 0;
+        bool b = false;
+        if (e.op == UnaryOp::Neg && isIntLit(e.operand, i)) {
+          if (const auto v = ir::foldNeg(i)) setIntLit(id, *v);
+        } else if (e.op == UnaryOp::Not && isBoolLit(e.operand, b)) {
+          setBoolLit(id, !b);
+        }
+        return id;
+      }
+      case ExprKind::Index: {
+        const ExprId index = foldExpr(arena_.expr(id).index.index);
+        arena_.expr(id).index.index = index;
+        return id;
+      }
+      case ExprKind::Backlog: {
+        const ExprId buffer = foldExpr(arena_.expr(id).backlog.buffer);
+        arena_.expr(id).backlog.buffer = buffer;
+        return id;
+      }
+      case ExprKind::Filter: {
+        auto e = arena_.expr(id).filter;
+        e.base = foldExpr(e.base);
+        e.value = foldExpr(e.value);
+        arena_.expr(id).filter = e;
+        return id;
+      }
+      case ExprKind::ListHas: {
+        const ExprId value = foldExpr(arena_.expr(id).listOp.value);
+        arena_.expr(id).listOp.value = value;
+        return id;
+      }
+      case ExprKind::Call: {
+        const ExprSpan args = arena_.expr(id).call.args;
+        for (std::uint32_t i = 0; i < args.count; ++i) {
+          arena_.spanSet(args, i, foldExpr(arena_.spanAt(args, i)));
+        }
+        // Fold fully-literal min/max.
+        const std::string& callee = arena_.str(arena_.expr(id).call.callee);
+        if ((callee == "min" || callee == "max") && args.count != 0) {
+          std::int64_t acc = 0;
+          if (!isIntLit(arena_.spanAt(args, 0), acc)) return id;
+          bool allLit = true;
+          for (std::uint32_t i = 1; i < args.count; ++i) {
+            std::int64_t v = 0;
+            if (!isIntLit(arena_.spanAt(args, i), v)) {
+              allLit = false;
+              break;
+            }
+            acc = callee == "min" ? std::min(acc, v) : std::max(acc, v);
+          }
+          if (allLit) setIntLit(id, acc);
+        }
+        return id;
+      }
+      default:
+        return id;
+    }
+  }
+
+  void foldStmt(StmtId id, std::vector<StmtId>& out) {
+    switch (arena_.stmt(id).kind) {
+      case StmtKind::Block:
+        foldBlock(id);
+        break;
+      case StmtKind::Decl: {
+        auto s = arena_.stmt(id).decl;
+        if (s.init.valid()) {
+          s.init = foldExpr(s.init);
+          arena_.stmt(id).decl = s;
+        }
+        break;
+      }
+      case StmtKind::Assign: {
+        auto s = arena_.stmt(id).assign;
+        if (s.index.valid()) s.index = foldExpr(s.index);
+        s.value = foldExpr(s.value);
+        arena_.stmt(id).assign = s;
+        break;
+      }
+      case StmtKind::If: {
+        auto s = arena_.stmt(id).ifs;
+        s.cond = foldExpr(s.cond);
+        arena_.stmt(id).ifs = s;
+        foldBlock(s.thenBlock);
+        if (s.elseBlock.valid()) foldBlock(s.elseBlock);
+        bool c = false;
+        if (isBoolLit(s.cond, c)) {
+          // Replace the if with the (block of the) taken branch.
+          if (c) {
+            out.push_back(s.thenBlock);
+          } else if (s.elseBlock.valid()) {
+            out.push_back(s.elseBlock);
+          }
+          return;  // the if node itself is dropped
+        }
+        break;
+      }
+      case StmtKind::For: {
+        auto s = arena_.stmt(id).fors;
+        s.lo = foldExpr(s.lo);
+        s.hi = foldExpr(s.hi);
+        arena_.stmt(id).fors = s;
+        foldBlock(s.body);
+        break;
+      }
+      case StmtKind::Move: {
+        auto s = arena_.stmt(id).move;
+        s.src = foldExpr(s.src);
+        s.dst = foldExpr(s.dst);
+        s.amount = foldExpr(s.amount);
+        arena_.stmt(id).move = s;
+        break;
+      }
+      case StmtKind::ListPush: {
+        const ExprId value = foldExpr(arena_.stmt(id).listPush.value);
+        arena_.stmt(id).listPush.value = value;
+        break;
+      }
+      case StmtKind::Assert:
+      case StmtKind::Assume: {
+        const ExprId cond = foldExpr(arena_.stmt(id).guard.cond);
+        arena_.stmt(id).guard.cond = cond;
+        break;
+      }
+      case StmtKind::Return: {
+        auto s = arena_.stmt(id).ret;
+        if (s.value.valid()) {
+          s.value = foldExpr(s.value);
+          arena_.stmt(id).ret = s;
+        }
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const ExprId expr = foldExpr(arena_.stmt(id).exprStmt.expr);
+        arena_.stmt(id).exprStmt.expr = expr;
+        break;
+      }
+      case StmtKind::PopFront:
+        break;
+    }
+    out.push_back(id);
+  }
+
+  void foldBlock(StmtId block) {
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    std::vector<StmtId> out;
+    out.reserve(span.count);
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      foldStmt(arena_.spanAt(span, i), out);
+    }
+    arena_.stmt(block).block.stmts = arena_.makeStmtSpan(out);
+  }
+
+ private:
+  AstArena& arena_;
+};
 
 }  // namespace
 
-void foldConstants(Program& prog) {
-  for (auto& fn : prog.functions) foldBlock(*fn.body);
-  foldBlock(*prog.body);
+void foldConstants(Ast& ast) {
+  Folder folder(ast.arena);
+  for (auto& fn : ast.program.functions) folder.foldBlock(fn.body);
+  folder.foldBlock(ast.program.body);
 }
 
 }  // namespace buffy::transform

@@ -1,5 +1,7 @@
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "support/error.hpp"
 #include "transform/transforms.hpp"
@@ -12,175 +14,207 @@ namespace {
 
 /// Applies a name substitution over a statement tree: plain renames
 /// (locals, list/buffer-array aliases) and expression substitutions
-/// (scalar-buffer parameters bound to indexed buffers).
+/// (scalar-buffer parameters bound to indexed buffers). Renames mutate
+/// nodes in place; expression substitutions clone the replacement subtree
+/// per use and return the new handle, which the caller writes back into
+/// the child edge.
 class Substituter {
  public:
-  std::map<std::string, std::string> renames;
-  std::map<std::string, const Expr*> exprSubst;  // VarRef name -> replacement
+  explicit Substituter(AstArena& arena) : arena_(arena) {}
 
-  void applyBlock(BlockStmt& block) {
-    for (auto& stmt : block.stmts) applyStmt(*stmt);
+  std::unordered_map<std::uint32_t, NameId> renames;
+  std::unordered_map<std::uint32_t, ExprId> exprSubst;  // VarRef -> subtree
+
+  void applyBlock(StmtId block) {
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      applyStmt(arena_.spanAt(span, i));
+    }
   }
 
  private:
-  std::string mapName(const std::string& name) const {
-    const auto it = renames.find(name);
+  NameId mapName(NameId name) const {
+    const auto it = renames.find(name.idx);
     return it != renames.end() ? it->second : name;
   }
 
-  void applyStmt(Stmt& stmt) {
-    switch (stmt.stmtKind) {
+  void applyStmt(StmtId id) {
+    switch (arena_.stmt(id).kind) {
       case StmtKind::Block:
-        applyBlock(static_cast<BlockStmt&>(stmt));
+        applyBlock(id);
         break;
       case StmtKind::Decl: {
-        auto& s = static_cast<DeclStmt&>(stmt);
+        auto s = arena_.stmt(id).decl;
         s.name = mapName(s.name);
-        if (s.init) applyExpr(s.init);
+        if (s.init.valid()) s.init = applyExpr(s.init);
+        arena_.stmt(id).decl = s;
         break;
       }
       case StmtKind::Assign: {
-        auto& s = static_cast<AssignStmt&>(stmt);
+        auto s = arena_.stmt(id).assign;
         s.target = mapName(s.target);
-        if (s.index) applyExpr(s.index);
-        applyExpr(s.value);
+        if (s.index.valid()) s.index = applyExpr(s.index);
+        s.value = applyExpr(s.value);
+        arena_.stmt(id).assign = s;
         break;
       }
       case StmtKind::If: {
-        auto& s = static_cast<IfStmt&>(stmt);
-        applyExpr(s.cond);
-        applyBlock(*s.thenBlock);
-        if (s.elseBlock) applyBlock(*s.elseBlock);
+        auto s = arena_.stmt(id).ifs;
+        s.cond = applyExpr(s.cond);
+        arena_.stmt(id).ifs = s;
+        applyBlock(s.thenBlock);
+        if (s.elseBlock.valid()) applyBlock(s.elseBlock);
         break;
       }
       case StmtKind::For: {
-        auto& s = static_cast<ForStmt&>(stmt);
-        applyExpr(s.lo);
-        applyExpr(s.hi);
+        auto s = arena_.stmt(id).fors;
+        s.lo = applyExpr(s.lo);
+        s.hi = applyExpr(s.hi);
         s.var = mapName(s.var);
-        applyBlock(*s.body);
+        arena_.stmt(id).fors = s;
+        applyBlock(s.body);
         break;
       }
       case StmtKind::Move: {
-        auto& s = static_cast<MoveStmt&>(stmt);
-        applyExpr(s.src);
-        applyExpr(s.dst);
-        applyExpr(s.amount);
+        auto s = arena_.stmt(id).move;
+        s.src = applyExpr(s.src);
+        s.dst = applyExpr(s.dst);
+        s.amount = applyExpr(s.amount);
+        arena_.stmt(id).move = s;
         break;
       }
       case StmtKind::ListPush: {
-        auto& s = static_cast<ListPushStmt&>(stmt);
+        auto s = arena_.stmt(id).listPush;
         s.list = mapName(s.list);
-        applyExpr(s.value);
+        s.value = applyExpr(s.value);
+        arena_.stmt(id).listPush = s;
         break;
       }
       case StmtKind::PopFront: {
-        auto& s = static_cast<PopFrontStmt&>(stmt);
+        auto s = arena_.stmt(id).popFront;
         s.target = mapName(s.target);
         s.list = mapName(s.list);
+        arena_.stmt(id).popFront = s;
         break;
       }
       case StmtKind::Assert:
-        applyExpr(static_cast<AssertStmt&>(stmt).cond);
-        break;
-      case StmtKind::Assume:
-        applyExpr(static_cast<AssumeStmt&>(stmt).cond);
-        break;
-      case StmtKind::Return: {
-        auto& s = static_cast<ReturnStmt&>(stmt);
-        if (s.value) applyExpr(s.value);
+      case StmtKind::Assume: {
+        const ExprId cond = applyExpr(arena_.stmt(id).guard.cond);
+        arena_.stmt(id).guard.cond = cond;
         break;
       }
-      case StmtKind::ExprStmt:
-        applyExpr(static_cast<ExprStmt&>(stmt).expr);
+      case StmtKind::Return: {
+        auto s = arena_.stmt(id).ret;
+        if (s.value.valid()) {
+          s.value = applyExpr(s.value);
+          arena_.stmt(id).ret = s;
+        }
         break;
+      }
+      case StmtKind::ExprStmt: {
+        const ExprId e = applyExpr(arena_.stmt(id).exprStmt.expr);
+        arena_.stmt(id).exprStmt.expr = e;
+        break;
+      }
     }
   }
 
-  void applyExpr(ExprPtr& expr) {
-    switch (expr->exprKind) {
+  ExprId applyExpr(ExprId id) {
+    switch (arena_.expr(id).kind) {
       case ExprKind::VarRef: {
-        auto& e = static_cast<VarRefExpr&>(*expr);
-        const auto substIt = exprSubst.find(e.name);
+        const NameId name = arena_.expr(id).varRef.name;
+        const auto substIt = exprSubst.find(name.idx);
         if (substIt != exprSubst.end()) {
-          expr = substIt->second->clone();
-          return;
+          return arena_.cloneExpr(substIt->second);
         }
-        e.name = mapName(e.name);
-        break;
+        arena_.expr(id).varRef.name = mapName(name);
+        return id;
       }
       case ExprKind::Index: {
-        auto& e = static_cast<IndexExpr&>(*expr);
+        auto e = arena_.expr(id).index;
         e.base = mapName(e.base);
-        applyExpr(e.index);
-        break;
+        e.index = applyExpr(e.index);
+        arena_.expr(id).index = e;
+        return id;
       }
       case ExprKind::Binary: {
-        auto& e = static_cast<BinaryExpr&>(*expr);
-        applyExpr(e.lhs);
-        applyExpr(e.rhs);
-        break;
+        auto e = arena_.expr(id).binary;
+        e.lhs = applyExpr(e.lhs);
+        e.rhs = applyExpr(e.rhs);
+        arena_.expr(id).binary = e;
+        return id;
       }
-      case ExprKind::Unary:
-        applyExpr(static_cast<UnaryExpr&>(*expr).operand);
-        break;
-      case ExprKind::Backlog:
-        applyExpr(static_cast<BacklogExpr&>(*expr).buffer);
-        break;
+      case ExprKind::Unary: {
+        const ExprId operand = applyExpr(arena_.expr(id).unary.operand);
+        arena_.expr(id).unary.operand = operand;
+        return id;
+      }
+      case ExprKind::Backlog: {
+        const ExprId buffer = applyExpr(arena_.expr(id).backlog.buffer);
+        arena_.expr(id).backlog.buffer = buffer;
+        return id;
+      }
       case ExprKind::Filter: {
-        auto& e = static_cast<FilterExpr&>(*expr);
-        applyExpr(e.base);
-        applyExpr(e.value);
-        break;
+        auto e = arena_.expr(id).filter;
+        e.base = applyExpr(e.base);
+        e.value = applyExpr(e.value);
+        arena_.expr(id).filter = e;
+        return id;
       }
       case ExprKind::ListHas: {
-        auto& e = static_cast<ListHasExpr&>(*expr);
+        auto e = arena_.expr(id).listOp;
         e.list = mapName(e.list);
-        applyExpr(e.value);
-        break;
+        e.value = applyExpr(e.value);
+        arena_.expr(id).listOp = e;
+        return id;
       }
-      case ExprKind::ListEmpty: {
-        auto& e = static_cast<ListEmptyExpr&>(*expr);
-        e.list = mapName(e.list);
-        break;
-      }
+      case ExprKind::ListEmpty:
       case ExprKind::ListLen: {
-        auto& e = static_cast<ListLenExpr&>(*expr);
-        e.list = mapName(e.list);
-        break;
+        const NameId list = mapName(arena_.expr(id).listOp.list);
+        arena_.expr(id).listOp.list = list;
+        return id;
       }
-      case ExprKind::Call:
-        for (auto& arg : static_cast<CallExpr&>(*expr).args) applyExpr(arg);
-        break;
+      case ExprKind::Call: {
+        const ExprSpan args = arena_.expr(id).call.args;
+        for (std::uint32_t i = 0; i < args.count; ++i) {
+          arena_.spanSet(args, i, applyExpr(arena_.spanAt(args, i)));
+        }
+        return id;
+      }
       case ExprKind::IntLit:
       case ExprKind::BoolLit:
-        break;
+        return id;
     }
+    return id;
   }
+
+  AstArena& arena_;
 };
 
 /// Collects every local name declared in a block tree (for renaming).
-void collectDecls(const BlockStmt& block, std::set<std::string>& names) {
-  for (const auto& stmt : block.stmts) {
-    switch (stmt->stmtKind) {
+void collectDecls(const AstArena& arena, StmtId block,
+                  std::set<std::uint32_t>& names) {
+  const StmtSpan span = arena.stmt(block).block.stmts;
+  for (std::uint32_t i = 0; i < span.count; ++i) {
+    const StmtId id = arena.spanAt(span, i);
+    const StmtNode& stmt = arena.stmt(id);
+    switch (stmt.kind) {
       case StmtKind::Decl:
-        names.insert(static_cast<const DeclStmt&>(*stmt).name);
+        names.insert(stmt.decl.name.idx);
         break;
       case StmtKind::Block:
-        collectDecls(static_cast<const BlockStmt&>(*stmt), names);
+        collectDecls(arena, id, names);
         break;
-      case StmtKind::If: {
-        const auto& s = static_cast<const IfStmt&>(*stmt);
-        collectDecls(*s.thenBlock, names);
-        if (s.elseBlock) collectDecls(*s.elseBlock, names);
+      case StmtKind::If:
+        collectDecls(arena, stmt.ifs.thenBlock, names);
+        if (stmt.ifs.elseBlock.valid()) {
+          collectDecls(arena, stmt.ifs.elseBlock, names);
+        }
         break;
-      }
-      case StmtKind::For: {
-        const auto& s = static_cast<const ForStmt&>(*stmt);
-        names.insert(s.var);
-        collectDecls(*s.body, names);
+      case StmtKind::For:
+        names.insert(stmt.fors.var.idx);
+        collectDecls(arena, stmt.fors.body, names);
         break;
-      }
       default:
         break;
     }
@@ -189,22 +223,25 @@ void collectDecls(const BlockStmt& block, std::set<std::string>& names) {
 
 /// Total statements in a block tree (the unit maxInlinedStmts is
 /// measured in).
-std::size_t countStmts(const BlockStmt& block) {
+std::size_t countStmts(const AstArena& arena, StmtId block) {
+  const StmtSpan span = arena.stmt(block).block.stmts;
   std::size_t n = 0;
-  for (const auto& stmt : block.stmts) {
+  for (std::uint32_t i = 0; i < span.count; ++i) {
     ++n;
-    switch (stmt->stmtKind) {
+    const StmtId id = arena.spanAt(span, i);
+    const StmtNode& stmt = arena.stmt(id);
+    switch (stmt.kind) {
       case StmtKind::Block:
-        n += countStmts(static_cast<const BlockStmt&>(*stmt));
+        n += countStmts(arena, id);
         break;
-      case StmtKind::If: {
-        const auto& s = static_cast<const IfStmt&>(*stmt);
-        n += countStmts(*s.thenBlock);
-        if (s.elseBlock) n += countStmts(*s.elseBlock);
+      case StmtKind::If:
+        n += countStmts(arena, stmt.ifs.thenBlock);
+        if (stmt.ifs.elseBlock.valid()) {
+          n += countStmts(arena, stmt.ifs.elseBlock);
+        }
         break;
-      }
       case StmtKind::For:
-        n += countStmts(*static_cast<const ForStmt&>(*stmt).body);
+        n += countStmts(arena, stmt.fors.body);
         break;
       default:
         break;
@@ -215,88 +252,104 @@ std::size_t countStmts(const BlockStmt& block) {
 
 class Inliner {
  public:
-  Inliner(const Program& prog, const CompileBudget& budget)
-      : budget_(budget) {
-    for (const auto& fn : prog.functions) functions_[fn.name] = &fn;
+  Inliner(Ast& ast, const CompileBudget& budget)
+      : arena_(ast.arena), budget_(budget) {
+    for (const auto& fn : ast.program.functions) {
+      functions_[arena_.intern(fn.name).idx] = &fn;
+    }
   }
 
-  void rewriteBlock(BlockStmt& block) {
-    std::vector<StmtPtr> out;
-    out.reserve(block.stmts.size());
-    for (auto& stmt : block.stmts) {
-      std::vector<StmtPtr> prelude;
-      const bool keep = rewriteStmt(*stmt, prelude);
-      for (auto& p : prelude) out.push_back(std::move(p));
-      if (keep) out.push_back(std::move(stmt));
+  void rewriteBlock(StmtId block) {
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    std::vector<StmtId> out;
+    out.reserve(span.count);
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      const StmtId stmt = arena_.spanAt(span, i);
+      std::vector<StmtId> prelude;
+      const bool keep = rewriteStmt(stmt, prelude);
+      for (const StmtId p : prelude) out.push_back(p);
+      if (keep) out.push_back(stmt);
     }
-    block.stmts = std::move(out);
+    arena_.stmt(block).block.stmts = arena_.makeStmtSpan(out);
   }
 
  private:
   /// Rewrites expressions inside `stmt`, hoisting call expansions into
   /// `prelude`. Returns false when the statement itself should be dropped
   /// (a void-call ExprStmt fully expanded into the prelude).
-  bool rewriteStmt(Stmt& stmt, std::vector<StmtPtr>& prelude) {
-    switch (stmt.stmtKind) {
+  bool rewriteStmt(StmtId id, std::vector<StmtId>& prelude) {
+    switch (arena_.stmt(id).kind) {
       case StmtKind::Block:
-        rewriteBlock(static_cast<BlockStmt&>(stmt));
+        rewriteBlock(id);
         return true;
       case StmtKind::Decl: {
-        auto& s = static_cast<DeclStmt&>(stmt);
-        if (s.init) rewriteExpr(s.init, prelude);
+        auto s = arena_.stmt(id).decl;
+        if (s.init.valid()) {
+          s.init = rewriteExpr(s.init, prelude);
+          arena_.stmt(id).decl = s;
+        }
         return true;
       }
       case StmtKind::Assign: {
-        auto& s = static_cast<AssignStmt&>(stmt);
-        if (s.index) rewriteExpr(s.index, prelude);
-        rewriteExpr(s.value, prelude);
+        auto s = arena_.stmt(id).assign;
+        if (s.index.valid()) s.index = rewriteExpr(s.index, prelude);
+        s.value = rewriteExpr(s.value, prelude);
+        arena_.stmt(id).assign = s;
         return true;
       }
       case StmtKind::If: {
-        auto& s = static_cast<IfStmt&>(stmt);
-        rewriteExpr(s.cond, prelude);
-        rewriteBlock(*s.thenBlock);
-        if (s.elseBlock) rewriteBlock(*s.elseBlock);
+        auto s = arena_.stmt(id).ifs;
+        s.cond = rewriteExpr(s.cond, prelude);
+        arena_.stmt(id).ifs = s;
+        rewriteBlock(s.thenBlock);
+        if (s.elseBlock.valid()) rewriteBlock(s.elseBlock);
         return true;
       }
       case StmtKind::For: {
-        auto& s = static_cast<ForStmt&>(stmt);
-        rewriteExpr(s.lo, prelude);
-        rewriteExpr(s.hi, prelude);
-        rewriteBlock(*s.body);
+        auto s = arena_.stmt(id).fors;
+        s.lo = rewriteExpr(s.lo, prelude);
+        s.hi = rewriteExpr(s.hi, prelude);
+        arena_.stmt(id).fors = s;
+        rewriteBlock(s.body);
         return true;
       }
       case StmtKind::Move: {
-        auto& s = static_cast<MoveStmt&>(stmt);
-        rewriteExpr(s.src, prelude);
-        rewriteExpr(s.dst, prelude);
-        rewriteExpr(s.amount, prelude);
+        auto s = arena_.stmt(id).move;
+        s.src = rewriteExpr(s.src, prelude);
+        s.dst = rewriteExpr(s.dst, prelude);
+        s.amount = rewriteExpr(s.amount, prelude);
+        arena_.stmt(id).move = s;
         return true;
       }
-      case StmtKind::ListPush:
-        rewriteExpr(static_cast<ListPushStmt&>(stmt).value, prelude);
+      case StmtKind::ListPush: {
+        const ExprId value =
+            rewriteExpr(arena_.stmt(id).listPush.value, prelude);
+        arena_.stmt(id).listPush.value = value;
         return true;
+      }
       case StmtKind::Assert:
-        rewriteExpr(static_cast<AssertStmt&>(stmt).cond, prelude);
+      case StmtKind::Assume: {
+        const ExprId cond = rewriteExpr(arena_.stmt(id).guard.cond, prelude);
+        arena_.stmt(id).guard.cond = cond;
         return true;
-      case StmtKind::Assume:
-        rewriteExpr(static_cast<AssumeStmt&>(stmt).cond, prelude);
-        return true;
+      }
       case StmtKind::Return: {
-        auto& s = static_cast<ReturnStmt&>(stmt);
-        if (s.value) rewriteExpr(s.value, prelude);
+        auto s = arena_.stmt(id).ret;
+        if (s.value.valid()) {
+          s.value = rewriteExpr(s.value, prelude);
+          arena_.stmt(id).ret = s;
+        }
         return true;
       }
       case StmtKind::ExprStmt: {
-        auto& s = static_cast<ExprStmt&>(stmt);
-        if (s.expr->exprKind == ExprKind::Call) {
-          auto& call = static_cast<CallExpr&>(*s.expr);
-          if (functions_.count(call.callee) != 0) {
-            expandCall(call, prelude, /*wantResult=*/false);
-            return false;  // the whole statement became the prelude
-          }
+        const ExprId expr = arena_.stmt(id).exprStmt.expr;
+        if (arena_.expr(expr).kind == ExprKind::Call &&
+            functions_.count(arena_.expr(expr).call.callee.idx) != 0) {
+          expandCall(expr, prelude, /*wantResult=*/false);
+          return false;  // the whole statement became the prelude
         }
-        rewriteExpr(s.expr, prelude);
+        const ExprId rewritten = rewriteExpr(expr, prelude);
+        arena_.stmt(id).exprStmt.expr = rewritten;
         return true;
       }
       case StmtKind::PopFront:
@@ -305,130 +358,151 @@ class Inliner {
     return true;
   }
 
-  void rewriteExpr(ExprPtr& expr, std::vector<StmtPtr>& prelude) {
-    switch (expr->exprKind) {
+  ExprId rewriteExpr(ExprId id, std::vector<StmtId>& prelude) {
+    switch (arena_.expr(id).kind) {
       case ExprKind::Call: {
-        auto& call = static_cast<CallExpr&>(*expr);
-        for (auto& arg : call.args) rewriteExpr(arg, prelude);
-        if (functions_.count(call.callee) != 0) {
-          expr = expandCall(call, prelude, /*wantResult=*/true);
+        const ExprSpan args = arena_.expr(id).call.args;
+        for (std::uint32_t i = 0; i < args.count; ++i) {
+          arena_.spanSet(args, i, rewriteExpr(arena_.spanAt(args, i), prelude));
         }
-        break;
+        if (functions_.count(arena_.expr(id).call.callee.idx) != 0) {
+          return expandCall(id, prelude, /*wantResult=*/true);
+        }
+        return id;
       }
-      case ExprKind::Index:
-        rewriteExpr(static_cast<IndexExpr&>(*expr).index, prelude);
-        break;
+      case ExprKind::Index: {
+        const ExprId index = rewriteExpr(arena_.expr(id).index.index, prelude);
+        arena_.expr(id).index.index = index;
+        return id;
+      }
       case ExprKind::Binary: {
-        auto& e = static_cast<BinaryExpr&>(*expr);
-        rewriteExpr(e.lhs, prelude);
-        rewriteExpr(e.rhs, prelude);
-        break;
+        auto e = arena_.expr(id).binary;
+        e.lhs = rewriteExpr(e.lhs, prelude);
+        e.rhs = rewriteExpr(e.rhs, prelude);
+        arena_.expr(id).binary = e;
+        return id;
       }
-      case ExprKind::Unary:
-        rewriteExpr(static_cast<UnaryExpr&>(*expr).operand, prelude);
-        break;
-      case ExprKind::Backlog:
-        rewriteExpr(static_cast<BacklogExpr&>(*expr).buffer, prelude);
-        break;
+      case ExprKind::Unary: {
+        const ExprId operand =
+            rewriteExpr(arena_.expr(id).unary.operand, prelude);
+        arena_.expr(id).unary.operand = operand;
+        return id;
+      }
+      case ExprKind::Backlog: {
+        const ExprId buffer =
+            rewriteExpr(arena_.expr(id).backlog.buffer, prelude);
+        arena_.expr(id).backlog.buffer = buffer;
+        return id;
+      }
       case ExprKind::Filter: {
-        auto& e = static_cast<FilterExpr&>(*expr);
-        rewriteExpr(e.base, prelude);
-        rewriteExpr(e.value, prelude);
-        break;
+        auto e = arena_.expr(id).filter;
+        e.base = rewriteExpr(e.base, prelude);
+        e.value = rewriteExpr(e.value, prelude);
+        arena_.expr(id).filter = e;
+        return id;
       }
-      case ExprKind::ListHas:
-        rewriteExpr(static_cast<ListHasExpr&>(*expr).value, prelude);
-        break;
+      case ExprKind::ListHas: {
+        const ExprId value = rewriteExpr(arena_.expr(id).listOp.value, prelude);
+        arena_.expr(id).listOp.value = value;
+        return id;
+      }
       default:
-        break;
+        return id;
     }
   }
 
   /// Expands one call. Emits parameter bindings and the substituted body
-  /// into `prelude`; returns the expression standing for the result (null
-  /// when wantResult is false).
-  ExprPtr expandCall(CallExpr& call, std::vector<StmtPtr>& prelude,
-                     bool wantResult) {
-    const FuncDecl& fn = *functions_.at(call.callee);
+  /// into `prelude`; returns the expression standing for the result
+  /// (invalid when wantResult is false).
+  ExprId expandCall(ExprId callId, std::vector<StmtId>& prelude,
+                    bool wantResult) {
+    const NameId callee = arena_.expr(callId).call.callee;
+    const ExprSpan args = arena_.expr(callId).call.args;
+    const SourceLoc callLoc = arena_.exprLoc(callId);
+    const FuncDecl& fn = *functions_.at(callee.idx);
     if (active_.count(fn.name) != 0) {
       throw SemanticError("recursive call to '" + fn.name +
                               "' cannot be inlined",
-                          call.loc);
+                          callLoc);
     }
-    if (call.args.size() != fn.params.size()) {
+    if (args.count != fn.params.size()) {
       throw SemanticError("arity mismatch calling '" + fn.name + "'",
-                          call.loc);
+                          callLoc);
     }
 
     // Charge this expansion before materializing it: nested expansions
     // check again on every level, so call bombs (f calls g calls h ...,
     // each several times) stop at the threshold instead of after
     // exponential growth.
-    emitted_ += countStmts(*fn.body) + fn.params.size() + 2;
-    checkBudget(emitted_, budget_.maxInlinedStmts, "inlined-stmts", call.loc);
+    emitted_ += countStmts(arena_, fn.body) + fn.params.size() + 2;
+    checkBudget(emitted_, budget_.maxInlinedStmts, "inlined-stmts", callLoc);
 
     const std::string tag = "__" + fn.name + std::to_string(counter_++);
-    Substituter subst;
+    Substituter subst(arena_);
 
     // Bind parameters.
-    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    for (std::uint32_t i = 0; i < args.count; ++i) {
       const Param& param = fn.params[i];
-      ExprPtr& arg = call.args[i];
+      const ExprId arg = arena_.spanAt(args, i);
+      const NameId paramName = arena_.intern(param.name);
       if (param.type.isScalar()) {
-        const std::string fresh = tag + "_" + param.name;
-        auto decl = std::make_unique<DeclStmt>(Storage::Local, param.type,
-                                               fresh, std::move(arg));
-        decl->loc = call.loc;
-        prelude.push_back(std::move(decl));
-        subst.renames[param.name] = fresh;
+        StmtNode decl;
+        decl.kind = StmtKind::Decl;
+        decl.decl = {Storage::Local, param.type,
+                     arena_.intern(tag + "_" + param.name), arg, NameId{}};
+        prelude.push_back(arena_.addStmt(decl, callLoc));
+        subst.renames[paramName.idx] = decl.decl.name;
       } else if (param.type.kind == TypeKind::Buffer) {
         // Alias: substitute uses of the parameter by the argument
         // expression (a VarRef or an Index into a buffer array).
-        subst.exprSubst[param.name] = arg.get();
+        subst.exprSubst[paramName.idx] = arg;
       } else {
         // list / buffer array: must be a plain name.
-        if (arg->exprKind != ExprKind::VarRef) {
+        if (arena_.expr(arg).kind != ExprKind::VarRef) {
           throw SemanticError("argument for '" + param.name +
                                   "' must be a simple name",
-                              call.loc);
+                              callLoc);
         }
-        subst.renames[param.name] =
-            static_cast<const VarRefExpr&>(*arg).name;
+        subst.renames[paramName.idx] = arena_.expr(arg).varRef.name;
       }
     }
 
     // Rename all body-declared locals to fresh names.
-    std::set<std::string> bodyNames;
-    collectDecls(*fn.body, bodyNames);
-    for (const auto& name : bodyNames) {
-      subst.renames[name] = tag + "_" + name;
+    std::set<std::uint32_t> bodyNames;
+    collectDecls(arena_, fn.body, bodyNames);
+    for (const std::uint32_t name : bodyNames) {
+      subst.renames[name] =
+          arena_.intern(tag + "_" + arena_.str(NameId{name}));
     }
 
     // Result variable.
-    std::string retName;
+    NameId retName{};
     if (fn.returnType.kind != TypeKind::Void) {
-      retName = tag + "_ret";
-      auto decl = std::make_unique<DeclStmt>(Storage::Local, fn.returnType,
-                                             retName, nullptr);
-      decl->loc = call.loc;
-      prelude.push_back(std::move(decl));
+      retName = arena_.intern(tag + "_ret");
+      StmtNode decl;
+      decl.kind = StmtKind::Decl;
+      decl.decl = {Storage::Local, fn.returnType, retName, ExprId{}, NameId{}};
+      prelude.push_back(arena_.addStmt(decl, callLoc));
     }
 
     // Clone + substitute the body; turn the trailing return into an
     // assignment (or drop it for void functions).
-    auto body = std::unique_ptr<BlockStmt>(
-        static_cast<BlockStmt*>(fn.body->clone().release()));
-    subst.applyBlock(*body);
-    if (!body->stmts.empty() &&
-        body->stmts.back()->stmtKind == StmtKind::Return) {
-      auto ret = std::unique_ptr<ReturnStmt>(
-          static_cast<ReturnStmt*>(body->stmts.back().release()));
-      body->stmts.pop_back();
+    const StmtId body = arena_.cloneStmt(fn.body);
+    subst.applyBlock(body);
+    const StmtSpan bodySpan = arena_.stmt(body).block.stmts;
+    const StmtId last = bodySpan.count != 0
+                            ? arena_.spanAt(bodySpan, bodySpan.count - 1)
+                            : StmtId{};
+    if (last.valid() && arena_.stmt(last).kind == StmtKind::Return) {
       if (fn.returnType.kind != TypeKind::Void) {
-        auto assign = std::make_unique<AssignStmt>(retName, nullptr,
-                                                   std::move(ret->value));
-        assign->loc = ret->loc;
-        body->stmts.push_back(std::move(assign));
+        const ExprId retValue = arena_.stmt(last).ret.value;
+        StmtNode assign;
+        assign.kind = StmtKind::Assign;
+        assign.assign = {retName, ExprId{}, retValue};
+        arena_.spanSet(bodySpan, bodySpan.count - 1,
+                       arena_.addStmt(assign, arena_.stmtLoc(last)));
+      } else {
+        arena_.stmt(body).block.stmts.count -= 1;
       }
     } else if (fn.returnType.kind != TypeKind::Void) {
       throw SemanticError("function '" + fn.name +
@@ -438,15 +512,16 @@ class Inliner {
 
     // Recursively expand nested calls inside the inlined body.
     active_.insert(fn.name);
-    rewriteBlock(*body);
+    rewriteBlock(body);
     active_.erase(fn.name);
 
-    prelude.push_back(std::move(body));
-    if (!wantResult) return nullptr;
-    return makeVarRef(retName, call.loc);
+    prelude.push_back(body);
+    if (!wantResult) return ExprId{};
+    return arena_.mkVarRef(retName, callLoc);
   }
 
-  std::map<std::string, const FuncDecl*> functions_;
+  AstArena& arena_;
+  std::unordered_map<std::uint32_t, const FuncDecl*> functions_;
   std::set<std::string> active_;
   const CompileBudget& budget_;
   std::size_t emitted_ = 0;  // statements produced by inlining so far
@@ -455,11 +530,11 @@ class Inliner {
 
 }  // namespace
 
-void inlineFunctions(Program& prog, const CompileBudget& budget) {
-  if (prog.functions.empty()) return;
-  Inliner inliner(prog, budget);
-  inliner.rewriteBlock(*prog.body);
-  prog.functions.clear();
+void inlineFunctions(Ast& ast, const CompileBudget& budget) {
+  if (ast.program.functions.empty()) return;
+  Inliner inliner(ast, budget);
+  inliner.rewriteBlock(ast.program.body);
+  ast.program.functions.clear();
 }
 
 }  // namespace buffy::transform

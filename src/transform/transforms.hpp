@@ -4,9 +4,15 @@
 // on. (The SSA step itself is performed by the symbolic evaluator's
 // store-merging; see eval/evaluator.hpp.)
 //
-// All passes mutate the program in place and may be composed in any order;
-// the canonical pipeline is elaborate -> typecheck -> inlineFunctions ->
-// foldConstants [-> unrollLoops].
+// All passes mutate the AST in place and may be composed in any order; the
+// canonical pipeline is elaborate -> typecheck -> inlineFunctions ->
+// foldConstants [-> unrollLoops]. On the arena representation the passes
+// splice statement spans instead of deep-copying subtrees: constant folding
+// rewrites nodes in place (kind swap under the same handle), inlining
+// allocates one substituted copy of the callee body per call site, and
+// unrolling re-references the same body handles from every iteration block
+// (sound because nothing downstream mutates statement nodes — the
+// re-checker writes identical types and the evaluator is read-only).
 #pragma once
 
 #include "lang/ast.hpp"
@@ -21,7 +27,7 @@ namespace buffy::transform {
 /// Throws SemanticError on (mutual) recursion, and BudgetExceeded once the
 /// pass has emitted more than budget.maxInlinedStmts statements (nested
 /// expansion bombs fail at the threshold, not after materializing).
-void inlineFunctions(lang::Program& prog,
+void inlineFunctions(lang::Ast& ast,
                      const CompileBudget& budget = CompileBudget::defaults());
 
 /// Replaces every `for (v in lo..hi)` whose bounds are integer literals
@@ -30,14 +36,14 @@ void inlineFunctions(lang::Program& prog,
 /// loop bound is not a literal (paper §7: bounded loops only), and
 /// BudgetExceeded when the unrolled output would exceed
 /// budget.maxUnrolledStmts statements — checked with an overflow-safe
-/// iterations×body-size estimate BEFORE cloning, so unroll bombs
+/// iterations×body-size estimate BEFORE materializing, so unroll bombs
 /// (`for (i in 0..1000000000)`) fail in microseconds.
-void unrollLoops(lang::Program& prog,
+void unrollLoops(lang::Ast& ast,
                  const CompileBudget& budget = CompileBudget::defaults());
 
 /// Bottom-up constant folding over all expressions, plus pruning of
 /// if-statements with literal conditions. Division/modulo fold with the
 /// SMT-LIB Euclidean convention (matching the IR and backends).
-void foldConstants(lang::Program& prog);
+void foldConstants(lang::Ast& ast);
 
 }  // namespace buffy::transform

@@ -1,4 +1,5 @@
 #include <limits>
+#include <vector>
 
 #include "support/error.hpp"
 #include "transform/transforms.hpp"
@@ -9,35 +10,40 @@ using namespace lang;
 
 namespace {
 
-std::int64_t literalOrThrow(const Expr& expr, const char* what) {
-  if (expr.exprKind != ExprKind::IntLit) {
+std::int64_t literalOrThrow(const AstArena& arena, ExprId id,
+                            const char* what) {
+  const ExprNode& expr = arena.expr(id);
+  if (expr.kind != ExprKind::IntLit) {
     throw SemanticError(
         std::string(what) +
             " is not a compile-time constant; Buffy only allows bounded "
             "loops (run elaborate/foldConstants first)",
-        expr.loc);
+        arena.exprLoc(id));
   }
-  return static_cast<const IntLitExpr&>(expr).value;
+  return expr.intLit.value;
 }
 
 /// Total statements in a block tree, the unit maxUnrolledStmts is
 /// measured in.
-std::size_t countStmts(const BlockStmt& block) {
+std::size_t countStmts(const AstArena& arena, StmtId block) {
+  const StmtSpan span = arena.stmt(block).block.stmts;
   std::size_t n = 0;
-  for (const auto& stmt : block.stmts) {
+  for (std::uint32_t i = 0; i < span.count; ++i) {
     ++n;
-    switch (stmt->stmtKind) {
+    const StmtId id = arena.spanAt(span, i);
+    const StmtNode& stmt = arena.stmt(id);
+    switch (stmt.kind) {
       case StmtKind::Block:
-        n += countStmts(static_cast<const BlockStmt&>(*stmt));
+        n += countStmts(arena, id);
         break;
-      case StmtKind::If: {
-        const auto& s = static_cast<const IfStmt&>(*stmt);
-        n += countStmts(*s.thenBlock);
-        if (s.elseBlock) n += countStmts(*s.elseBlock);
+      case StmtKind::If:
+        n += countStmts(arena, stmt.ifs.thenBlock);
+        if (stmt.ifs.elseBlock.valid()) {
+          n += countStmts(arena, stmt.ifs.elseBlock);
+        }
         break;
-      }
       case StmtKind::For:
-        n += countStmts(*static_cast<const ForStmt&>(*stmt).body);
+        n += countStmts(arena, stmt.fors.body);
         break;
       default:
         break;
@@ -48,80 +54,96 @@ std::size_t countStmts(const BlockStmt& block) {
 
 class Unroller {
  public:
-  explicit Unroller(const CompileBudget& budget) : budget_(budget) {}
+  Unroller(AstArena& arena, const CompileBudget& budget)
+      : arena_(arena), budget_(budget) {}
 
-  void unrollBlock(BlockStmt& block) {
-    std::vector<StmtPtr> out;
-    out.reserve(block.stmts.size());
-    for (auto& stmt : block.stmts) {
-      switch (stmt->stmtKind) {
+  void unrollBlock(StmtId block) {
+    const StmtSpan span = arena_.stmt(block).block.stmts;
+    std::vector<StmtId> out;
+    out.reserve(span.count);
+    for (std::uint32_t idx = 0; idx < span.count; ++idx) {
+      const StmtId stmtId = arena_.spanAt(span, idx);
+      switch (arena_.stmt(stmtId).kind) {
         case StmtKind::For: {
-          auto& s = static_cast<ForStmt&>(*stmt);
-          const std::int64_t lo = literalOrThrow(*s.lo, "loop lower bound");
-          const std::int64_t hi = literalOrThrow(*s.hi, "loop upper bound");
-          unrollBlock(*s.body);
-          // Fast-fail BEFORE cloning anything: an unroll bomb must cost an
-          // overflow-safe multiply, not gigabytes of AST. +2 per iteration
-          // for the wrapper block and the loop-variable binding.
+          const auto s = arena_.stmt(stmtId).fors;
+          const SourceLoc loc = arena_.stmtLoc(stmtId);
+          const std::int64_t lo =
+              literalOrThrow(arena_, s.lo, "loop lower bound");
+          const std::int64_t hi =
+              literalOrThrow(arena_, s.hi, "loop upper bound");
+          unrollBlock(s.body);
+          // Fast-fail BEFORE materializing anything: an unroll bomb must
+          // cost an overflow-safe multiply, not gigabytes of AST. +2 per
+          // iteration for the wrapper block and the loop-variable binding.
           if (hi > lo) {
             const auto iters = static_cast<std::uint64_t>(hi - lo);
-            const std::uint64_t perIter = countStmts(*s.body) + 2;
+            const std::uint64_t perIter = countStmts(arena_, s.body) + 2;
             const std::uint64_t limit = budget_.maxUnrolledStmts;
             if (limit != 0 &&
                 (iters > limit / perIter ||
                  emitted_ + iters * perIter > limit)) {
-              throw BudgetExceeded("unrolled-stmts", limit, s.loc);
+              throw BudgetExceeded("unrolled-stmts", limit, loc);
             }
             emitted_ += iters * perIter;
           }
+          // Each iteration becomes a block binding the loop variable, so
+          // iteration-local declarations stay properly scoped. The body
+          // statements are NOT cloned: every iteration block's span
+          // references the same handles (only the loop-variable binding is
+          // fresh). Sound because no later pass mutates statement nodes —
+          // the post-transform re-check writes identical types into the
+          // side array and the evaluator walks read-only.
+          const StmtSpan bodySpan = arena_.stmt(s.body).block.stmts;
+          std::vector<StmtId> iterStmts;
+          iterStmts.reserve(1 + bodySpan.count);
           for (std::int64_t i = lo; i < hi; ++i) {
-            // Each iteration becomes a block binding the loop variable, so
-            // iteration-local declarations stay properly scoped.
-            auto iter = std::make_unique<BlockStmt>();
-            iter->loc = s.loc;
-            auto bind = std::make_unique<DeclStmt>(
-                Storage::Local, Type::intTy(), s.var, makeIntLit(i, s.loc));
-            bind->loc = s.loc;
-            iter->stmts.push_back(std::move(bind));
-            auto bodyCopy = std::unique_ptr<BlockStmt>(
-                static_cast<BlockStmt*>(s.body->clone().release()));
-            for (auto& inner : bodyCopy->stmts) {
-              iter->stmts.push_back(std::move(inner));
+            iterStmts.clear();
+            StmtNode bind;
+            bind.kind = StmtKind::Decl;
+            bind.decl = {Storage::Local, Type::intTy(), s.var,
+                         arena_.mkIntLit(i, loc), NameId{}};
+            iterStmts.push_back(arena_.addStmt(bind, loc));
+            for (std::uint32_t j = 0; j < bodySpan.count; ++j) {
+              iterStmts.push_back(arena_.spanAt(bodySpan, j));
             }
-            out.push_back(std::move(iter));
+            StmtNode iter;
+            iter.kind = StmtKind::Block;
+            iter.block = {arena_.makeStmtSpan(iterStmts)};
+            out.push_back(arena_.addStmt(iter, loc));
           }
           break;
         }
         case StmtKind::Block:
-          unrollBlock(static_cast<BlockStmt&>(*stmt));
-          out.push_back(std::move(stmt));
+          unrollBlock(stmtId);
+          out.push_back(stmtId);
           break;
         case StmtKind::If: {
-          auto& s = static_cast<IfStmt&>(*stmt);
-          unrollBlock(*s.thenBlock);
-          if (s.elseBlock) unrollBlock(*s.elseBlock);
-          out.push_back(std::move(stmt));
+          const auto s = arena_.stmt(stmtId).ifs;
+          unrollBlock(s.thenBlock);
+          if (s.elseBlock.valid()) unrollBlock(s.elseBlock);
+          out.push_back(stmtId);
           break;
         }
         default:
-          out.push_back(std::move(stmt));
+          out.push_back(stmtId);
           break;
       }
     }
-    block.stmts = std::move(out);
+    arena_.stmt(block).block.stmts = arena_.makeStmtSpan(out);
   }
 
  private:
+  AstArena& arena_;
   const CompileBudget& budget_;
   std::uint64_t emitted_ = 0;  // statements produced by unrolling so far
 };
 
 }  // namespace
 
-void unrollLoops(Program& prog, const CompileBudget& budget) {
-  Unroller unroller(budget);
-  for (auto& fn : prog.functions) unroller.unrollBlock(*fn.body);
-  unroller.unrollBlock(*prog.body);
+void unrollLoops(Ast& ast, const CompileBudget& budget) {
+  Unroller unroller(ast.arena, budget);
+  for (auto& fn : ast.program.functions) unroller.unrollBlock(fn.body);
+  unroller.unrollBlock(ast.program.body);
 }
 
 }  // namespace buffy::transform

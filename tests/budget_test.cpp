@@ -68,7 +68,7 @@ TEST(Budget, DeepNestingHitsDepthLimitNotTheStack) {
 TEST(Budget, DeepNestingWithinLimitParsesAndPrints) {
   CompileBudget budget = CompileBudget::defaults();
   const std::size_t depth = budget.maxNestingDepth - 8;
-  const lang::Program prog = lang::parse(deepNesting(depth), budget);
+  const lang::Ast prog = lang::parse(deepNesting(depth), budget);
   // Printer and recursive AST walks must survive the accepted depth.
   EXPECT_FALSE(lang::printProgram(prog).empty());
 }
@@ -91,7 +91,7 @@ TEST(Budget, WideExpressionWithinLimitEvaluates) {
   // test that caught the original 4096 default overflowing typecheck
   // under ASan, which is why the default is now 1024.
   const std::size_t terms = CompileBudget::defaults().maxExprTerms - 16;
-  lang::Program prog = lang::parse(wideExpression(terms));
+  lang::Ast prog = lang::parse(wideExpression(terms));
   lang::CompileOptions copts;
   lang::elaborate(prog, copts);
   DiagnosticEngine diag;
@@ -108,8 +108,46 @@ TEST(Budget, AstNodeCapBoundsTotalProgramSize) {
   EXPECT_EQ(e.resource(), "ast-nodes");
 }
 
+TEST(Budget, AstNodeAccountingChargedAtArenaAllocationOnly) {
+  // The one "ast-nodes" counter is charged by AstArena::addExpr/addStmt
+  // while the parser runs, and the parser disarms the arena before
+  // returning. A budget that barely admits the parse must therefore NOT
+  // trip when inline/constfold/unroll allocate additional arena nodes —
+  // those passes have their own counters (inlined-stmts, unrolled-stmts);
+  // re-charging ast-nodes per pass would double count.
+  const std::string source =
+      "p() {\n"
+      "  def int inc(int v) { return v + 1; }\n"
+      "  global int x;\n"
+      "  for (i in 0..4) do { x = inc(x); }\n"
+      "}\n";
+  const std::size_t parsed = lang::parse(source).arena.nodeCount();
+  CompileBudget budget = CompileBudget::defaults();
+  budget.maxAstNodes = parsed;  // exactly enough for the parse
+  lang::Ast ast = lang::parse(source, budget);
+  EXPECT_EQ(ast.arena.nodeCount(), parsed);
+  lang::elaborate(ast, {});
+  EXPECT_NO_THROW(transform::inlineFunctions(ast, budget));
+  EXPECT_NO_THROW(transform::foldConstants(ast));
+  EXPECT_NO_THROW(transform::unrollLoops(ast, budget));
+  // The transforms really did allocate past the parse-time cap.
+  EXPECT_GT(ast.arena.nodeCount(), parsed);
+}
+
+TEST(Budget, AstNodeCounterSurvivesParserRecovery) {
+  // Recovery mode re-synchronizes after errors but allocates into the same
+  // arena; the cap still applies to the total.
+  CompileBudget budget = CompileBudget::defaults();
+  budget.maxAstNodes = 100;
+  const std::string source =
+      "p() {\n  global int x\n" + repeat("  x = x + 1;\n", 200) + "}\n";
+  DiagnosticEngine diag;
+  EXPECT_THROW((void)lang::parseRecover(source, diag, budget),
+               BudgetExceeded);
+}
+
 TEST(Budget, UnrollBombFailsFastWithoutMaterializing) {
-  lang::Program prog = lang::parse(
+  lang::Ast prog = lang::parse(
       "p() {\n"
       "  global int x;\n"
       "  for (i in 0..1000000000) do { x = x + 1; }\n"
@@ -126,7 +164,7 @@ TEST(Budget, UnrollBombFailsFastWithoutMaterializing) {
 
 TEST(Budget, NestedUnrollBombCaughtByEmittedCount) {
   // Each loop is individually under the limit; the product is not.
-  lang::Program prog = lang::parse(
+  lang::Ast prog = lang::parse(
       "p() {\n"
       "  global int x;\n"
       "  for (i in 0..1000) do {\n"
@@ -148,7 +186,7 @@ TEST(Budget, InlineBombBounded) {
               "(); }\n";
   }
   source += "  global int x;\n  x = f9();\n}\n";
-  lang::Program prog = lang::parse(source);
+  lang::Ast prog = lang::parse(source);
   lang::elaborate(prog, {});
   CompileBudget budget = CompileBudget::defaults();
   budget.maxInlinedStmts = 500;
@@ -161,7 +199,7 @@ TEST(Budget, InlineBombBounded) {
 }
 
 TEST(Budget, EvaluatorExecCapIsPerStep) {
-  lang::Program prog = lang::parse(
+  lang::Ast prog = lang::parse(
       "p() {\n"
       "  global int x;\n"
       "  for (i in 0..100) do { x = x + 1; }\n"

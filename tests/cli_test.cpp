@@ -174,6 +174,32 @@ TEST(Cli, LintCommand) {
   EXPECT_NE(clean.output.find("clean"), std::string::npos);
 }
 
+TEST(Cli, JobsFlagIsDeterministic) {
+  // Multi-file compilation fans out across a JobPool; --jobs N must
+  // produce byte-identical output and exit code to --jobs 1 (DESIGN.md
+  // §16 determinism rule). Mix clean and broken inputs so both the
+  // diagnostic and success paths are exercised.
+  const std::string files = model("round_robin.bfy") + " " +
+                            model("strict_priority.bfy") + " " +
+                            corpusFile("multi_err.bfy") + " " +
+                            model("delay_server.bfy");
+  const std::string flags = "lint -D N=2 -D RTO=3 ";
+  const auto serial = runCli(flags + "--jobs 1 " + files);
+  const auto parallel = runCli(flags + "--jobs 4 " + files);
+  EXPECT_EQ(serial.exitCode, 2) << serial.output;
+  EXPECT_EQ(parallel.exitCode, serial.exitCode);
+  EXPECT_EQ(parallel.output, serial.output);
+
+  const std::string cleanFiles =
+      model("round_robin.bfy") + " " + model("strict_priority.bfy");
+  const auto printSerial =
+      runCli("print -D N=2 --jobs 1 " + cleanFiles);
+  const auto printParallel =
+      runCli("print -D N=2 --jobs 4 " + cleanFiles);
+  EXPECT_EQ(printSerial.exitCode, 0) << printSerial.output;
+  EXPECT_EQ(printParallel.output, printSerial.output);
+}
+
 TEST(Cli, CsvFormat) {
   const auto result = runCli(
       "simulate -T 2 -D N=2 --instance rr --input ibs:4:2 --output ob:16 "

@@ -11,8 +11,8 @@
 namespace buffy::backends {
 namespace {
 
-lang::Program compileFq(int n) {
-  lang::Program prog = lang::parse(models::kFairQueueBuggy);
+lang::Ast compileFq(int n) {
+  lang::Ast prog = lang::parse(models::kFairQueueBuggy);
   lang::CompileOptions opts;
   opts.constants["N"] = n;
   opts.defaultListCapacity = n;
@@ -71,7 +71,7 @@ TEST(Dafny, ListsLowerToSeqOps) {
 TEST(Dafny, MinMaxBindsOperandsOnce) {
   // Nested min calls: without let bindings the rendered expression doubles
   // at every level; with them each operand's text appears exactly once.
-  lang::Program prog = lang::parse(R"(
+  lang::Ast prog = lang::parse(R"(
 p(buffer a) {
   int x = 0;
   x = min(min(x + 1, x + 2), min(x + 3, x + 4));
@@ -114,7 +114,7 @@ TEST(Dafny, LoopsAreUnrolled) {
 }
 
 TEST(Dafny, HavocLocalsSupported) {
-  lang::Program prog = lang::parse(R"(
+  lang::Ast prog = lang::parse(R"(
 p(buffer a, buffer b) {
   havoc int w;
   assume(w >= 0);
@@ -130,7 +130,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Dafny, RejectsNonInlinedProgram) {
-  lang::Program prog = lang::parse(R"(
+  lang::Ast prog = lang::parse(R"(
 p(buffer a, buffer b) {
   def int f() { return 1; }
   move-p(a, b, f());
@@ -154,7 +154,7 @@ TEST(Dafny, AllSchedulerModelsEmit) {
   for (const char* source :
        {models::kFairQueueBuggy, models::kFairQueueFixed, models::kRoundRobin,
         models::kStrictPriority, models::kDeficitRoundRobin}) {
-    lang::Program prog = lang::parse(source);
+    lang::Ast prog = lang::parse(source);
     lang::checkOrThrow(prog, copts);
     transform::inlineFunctions(prog);
     transform::foldConstants(prog);

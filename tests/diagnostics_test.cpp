@@ -72,7 +72,7 @@ std::vector<Expectation> expectationsOf(const std::string& source) {
 /// typecheck even when parsing reported errors.
 DiagnosticEngine runFrontHalf(const std::string& source) {
   DiagnosticEngine diag;
-  lang::Program prog = lang::parseRecover(source, diag);
+  lang::Ast prog = lang::parseRecover(source, diag);
   lang::CompileOptions copts;
   copts.constants["N"] = 4;
   copts.constants["K"] = 3;

@@ -97,6 +97,73 @@ TEST(CompilerDriver, RecoveryModeBatchesDiagnostics) {
 // Shared CompilationUnit across Analysis engines
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Parallel multi-model compilation (compileAll)
+// ---------------------------------------------------------------------------
+
+std::vector<core::Network> exampleNetworks() {
+  std::vector<core::Network> nets;
+  for (const auto& entry : models::allModels()) {
+    core::ProgramSpec spec;
+    spec.source = entry.source;
+    spec.compile.constants = {
+        {"N", 2}, {"RATE", 2}, {"BUCKET", 4}, {"RTO", 3}, {"QUANTUM", 2}};
+    spec.compile.defaultListCapacity = 2;
+    core::Network net;
+    net.add(spec);
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+TEST(CompileAll, ResultsKeyedByInputIndexUnderAnyWorkerCount) {
+  const CompilerDriver driver(fastOpts(4));
+  const CompileAllResult serial =
+      driver.compileAll(exampleNetworks(), FrontMode::Lint, 1);
+  const CompileAllResult parallel =
+      driver.compileAll(exampleNetworks(), FrontMode::Lint, 4);
+  const auto& all = models::allModels();
+  ASSERT_EQ(serial.units.size(), all.size());
+  ASSERT_EQ(parallel.units.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_NE(serial.units[i], nullptr) << all[i].name;
+    ASSERT_NE(parallel.units[i], nullptr) << all[i].name;
+    // Units land at their input index whatever the completion order...
+    EXPECT_EQ(serial.units[i]->instances().front().name,
+              parallel.units[i]->instances().front().name);
+    // ...and the rendered diagnostics are byte-identical.
+    EXPECT_EQ(serial.diags[i].renderAll(), parallel.diags[i].renderAll())
+        << all[i].name;
+  }
+}
+
+TEST(CompileAll, DiagnosticsStayPerModel) {
+  std::vector<core::Network> nets = exampleNetworks();
+  core::ProgramSpec bad;
+  bad.instance = "bad";
+  bad.source = "bad(buffer ib, buffer ob) { x = nope; }\n";
+  core::Network badNet;
+  badNet.add(bad);
+  nets.insert(nets.begin() + 3, std::move(badNet));
+
+  const CompilerDriver driver(fastOpts(4));
+  const CompileAllResult result =
+      driver.compileAll(std::move(nets), FrontMode::Lint, 4);
+  for (std::size_t i = 0; i < result.diags.size(); ++i) {
+    EXPECT_EQ(result.diags[i].hasErrors(), i == 3) << i;
+  }
+}
+
+TEST(CompileAll, EmptyInputAndZeroJobsAreSafe) {
+  const CompilerDriver driver(fastOpts(4));
+  const CompileAllResult empty = driver.compileAll({}, FrontMode::Lint, 4);
+  EXPECT_TRUE(empty.units.empty());
+  // jobs == 0 clamps to one worker instead of deadlocking.
+  const CompileAllResult one =
+      driver.compileAll(exampleNetworks(), FrontMode::Lint, 0);
+  EXPECT_EQ(one.units.size(), models::allModels().size());
+}
+
 TEST(CompilationUnitSharing, UnitAndNetworkPathsAgree) {
   const core::AnalysisOptions opts = analysisOpts(5);
   const core::Workload workload = starvationWorkload("fq", 5);

@@ -25,7 +25,7 @@ class EvalHarness {
     lang::checkOrThrow(prog_, opts);
     transform::inlineFunctions(prog_);
     transform::foldConstants(prog_);
-    for (const auto& param : prog_.params) {
+    for (const auto& param : prog_.program.params) {
       if (param.type.kind == lang::TypeKind::Buffer) {
         addBuffer(param.name);
       } else if (param.type.kind == lang::TypeKind::BufferArray) {
@@ -52,7 +52,7 @@ class EvalHarness {
 
   ir::TermArena arena_;
   Store store_;
-  lang::Program prog_;
+  lang::Ast prog_;
   std::vector<ir::TermRef> assumptions_;
   std::vector<Obligation> obligations_;
   std::vector<ir::TermRef> soundness_;

@@ -11,11 +11,12 @@
 namespace buffy::testing {
 
 /// Parses + elaborates + typechecks a program, throwing on any failure.
-inline lang::Program compile(const std::string& source,
-                             lang::CompileOptions opts = {}) {
-  lang::Program prog = lang::parse(source);
-  lang::checkOrThrow(prog, opts);
-  return prog;
+/// The returned Ast carries its own arena; consumers walk it by handle.
+inline lang::Ast compile(const std::string& source,
+                         lang::CompileOptions opts = {}) {
+  lang::Ast ast = lang::parse(source);
+  lang::checkOrThrow(ast, opts);
+  return ast;
 }
 
 /// A single-instance network around one of the scheduler models

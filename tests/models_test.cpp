@@ -41,21 +41,21 @@ TEST(Models, Table1LineCounts) {
 }
 
 TEST(Models, ProgramNamesMatch) {
-  EXPECT_EQ(lang::parse(kFairQueueBuggy).name, "fq");
-  EXPECT_EQ(lang::parse(kFairQueueFixed).name, "fq");
-  EXPECT_EQ(lang::parse(kRoundRobin).name, "rr");
-  EXPECT_EQ(lang::parse(kStrictPriority).name, "sp");
-  EXPECT_EQ(lang::parse(kDeficitRoundRobin).name, "drr");
-  EXPECT_EQ(lang::parse(kAimdCca).name, "aimd");
-  EXPECT_EQ(lang::parse(kPathServer).name, "path");
-  EXPECT_EQ(lang::parse(kDelayServer).name, "delay");
+  EXPECT_EQ(lang::parse(kFairQueueBuggy).program.name, "fq");
+  EXPECT_EQ(lang::parse(kFairQueueFixed).program.name, "fq");
+  EXPECT_EQ(lang::parse(kRoundRobin).program.name, "rr");
+  EXPECT_EQ(lang::parse(kStrictPriority).program.name, "sp");
+  EXPECT_EQ(lang::parse(kDeficitRoundRobin).program.name, "drr");
+  EXPECT_EQ(lang::parse(kAimdCca).program.name, "aimd");
+  EXPECT_EQ(lang::parse(kPathServer).program.name, "path");
+  EXPECT_EQ(lang::parse(kDelayServer).program.name, "delay");
 }
 
 TEST(Models, SchedulersAreParametricInN) {
   for (const char* source :
        {kFairQueueBuggy, kFairQueueFixed, kRoundRobin, kStrictPriority}) {
     for (const int n : {2, 3, 5}) {
-      lang::Program prog = lang::parse(source);
+      lang::Ast prog = lang::parse(source);
       lang::CompileOptions opts;
       opts.constants["N"] = n;
       opts.defaultListCapacity = n;
@@ -65,7 +65,7 @@ TEST(Models, SchedulersAreParametricInN) {
 }
 
 TEST(Models, FqUsesTheTwoListAbstraction) {
-  lang::Program prog = lang::parse(kFairQueueBuggy);
+  lang::Ast prog = lang::parse(kFairQueueBuggy);
   lang::CompileOptions opts;
   opts.constants["N"] = 2;
   opts.defaultListCapacity = 2;
@@ -80,13 +80,13 @@ TEST(Models, CcacProgramsDeclareMonitors) {
   lang::CompileOptions opts;
   opts.constants = {{"RATE", 1}, {"BUCKET", 2}, {"RTO", 3}};
   {
-    lang::Program prog = lang::parse(kAimdCca);
+    lang::Ast prog = lang::parse(kAimdCca);
     const auto symbols = lang::checkOrThrow(prog, opts);
     EXPECT_TRUE(symbols.monitors.count("mcwnd"));
     EXPECT_TRUE(symbols.monitors.count("msent"));
   }
   {
-    lang::Program prog = lang::parse(kPathServer);
+    lang::Ast prog = lang::parse(kPathServer);
     const auto symbols = lang::checkOrThrow(prog, opts);
     EXPECT_TRUE(symbols.monitors.count("mserved"));
   }

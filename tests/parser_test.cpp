@@ -9,32 +9,42 @@
 namespace buffy::lang {
 namespace {
 
+/// i-th statement of the program body block.
+StmtId bodyStmt(const Ast& ast, std::uint32_t i) {
+  const StmtSpan span = ast.arena.stmt(ast.program.body).block.stmts;
+  return ast.arena.spanAt(span, i);
+}
+
+std::uint32_t bodySize(const Ast& ast) {
+  return ast.arena.stmt(ast.program.body).block.stmts.count;
+}
+
 TEST(Parser, MinimalProgram) {
-  const Program prog = parse("p(buffer a, buffer b) { move-p(a, b, 1); }");
-  EXPECT_EQ(prog.name, "p");
-  ASSERT_EQ(prog.params.size(), 2u);
-  EXPECT_EQ(prog.params[0].type.kind, TypeKind::Buffer);
-  ASSERT_EQ(prog.body->stmts.size(), 1u);
-  EXPECT_EQ(prog.body->stmts[0]->stmtKind, StmtKind::Move);
+  const Ast ast = parse("p(buffer a, buffer b) { move-p(a, b, 1); }");
+  EXPECT_EQ(ast.program.name, "p");
+  ASSERT_EQ(ast.program.params.size(), 2u);
+  EXPECT_EQ(ast.program.params[0].type.kind, TypeKind::Buffer);
+  ASSERT_EQ(bodySize(ast), 1u);
+  EXPECT_EQ(ast.arena.stmt(bodyStmt(ast, 0)).kind, StmtKind::Move);
 }
 
 TEST(Parser, BufferArrayParamWithNamedSize) {
-  const Program prog = parse("p(buffer[N] ibs, buffer ob) {}");
-  EXPECT_EQ(prog.params[0].type.kind, TypeKind::BufferArray);
-  EXPECT_EQ(prog.params[0].sizeParam, "N");
-  EXPECT_EQ(prog.params[0].type.size, -1);
+  const Ast ast = parse("p(buffer[N] ibs, buffer ob) {}");
+  EXPECT_EQ(ast.program.params[0].type.kind, TypeKind::BufferArray);
+  EXPECT_EQ(ast.program.params[0].sizeParam, "N");
+  EXPECT_EQ(ast.program.params[0].type.size, -1);
 }
 
 TEST(Parser, BufferArrayParamWithLiteralSize) {
-  const Program prog = parse("p(buffer[4] ibs, buffer ob) {}");
-  EXPECT_EQ(prog.params[0].type.size, 4);
-  EXPECT_TRUE(prog.params[0].sizeParam.empty());
+  const Ast ast = parse("p(buffer[4] ibs, buffer ob) {}");
+  EXPECT_EQ(ast.program.params[0].type.size, 4);
+  EXPECT_TRUE(ast.program.params[0].sizeParam.empty());
 }
 
 TEST(Parser, Figure4ParsesCompletely) {
-  const Program prog = parse(models::kFairQueueBuggy);
-  EXPECT_EQ(prog.name, "fq");
-  EXPECT_GE(prog.body->stmts.size(), 5u);
+  const Ast ast = parse(models::kFairQueueBuggy);
+  EXPECT_EQ(ast.program.name, "fq");
+  EXPECT_GE(bodySize(ast), 5u);
 }
 
 TEST(Parser, AllLibraryModelsParse) {
@@ -45,95 +55,100 @@ TEST(Parser, AllLibraryModelsParse) {
 
 TEST(Parser, PrintReparseRoundTrip) {
   for (const auto& entry : models::allModels()) {
-    const Program prog = parse(entry.source);
-    const std::string printed = printProgram(prog);
-    const Program reparsed = parse(printed);
+    const Ast ast = parse(entry.source);
+    const std::string printed = printProgram(ast);
+    const Ast reparsed = parse(printed);
     EXPECT_EQ(printProgram(reparsed), printed) << entry.name;
   }
 }
 
 TEST(Parser, IfWithoutBracesTakesSingleStatement) {
-  const Program prog = parse(R"(
+  const Ast ast = parse(R"(
 p(buffer a, buffer b) {
   global list nq;
   for (i in 0..3) do
     if (backlog-p(a) > 0 & !nq.has(i))
       nq.enq(i);
 })");
-  ASSERT_EQ(prog.body->stmts.size(), 2u);
-  EXPECT_EQ(prog.body->stmts[1]->stmtKind, StmtKind::For);
+  ASSERT_EQ(bodySize(ast), 2u);
+  EXPECT_EQ(ast.arena.stmt(bodyStmt(ast, 1)).kind, StmtKind::For);
 }
 
 TEST(Parser, LocalAssignmentSugar) {
   // Figure 4 line 9: `local dequeued = false;` assigns an already-declared
   // variable.
-  const Program prog = parse(R"(
+  const Ast ast = parse(R"(
 p(buffer a, buffer b) {
   local bool dequeued;
   local dequeued = false;
 })");
-  ASSERT_EQ(prog.body->stmts.size(), 2u);
-  EXPECT_EQ(prog.body->stmts[0]->stmtKind, StmtKind::Decl);
-  EXPECT_EQ(prog.body->stmts[1]->stmtKind, StmtKind::Assign);
+  ASSERT_EQ(bodySize(ast), 2u);
+  EXPECT_EQ(ast.arena.stmt(bodyStmt(ast, 0)).kind, StmtKind::Decl);
+  EXPECT_EQ(ast.arena.stmt(bodyStmt(ast, 1)).kind, StmtKind::Assign);
 }
 
 TEST(Parser, PopFrontStatement) {
-  const Program prog = parse(R"(
+  const Ast ast = parse(R"(
 p(buffer a, buffer b) {
   global list nq;
   local int head;
   head = nq.pop_front();
 })");
-  EXPECT_EQ(prog.body->stmts[2]->stmtKind, StmtKind::PopFront);
-  const auto& pop = static_cast<const PopFrontStmt&>(*prog.body->stmts[2]);
-  EXPECT_EQ(pop.target, "head");
-  EXPECT_EQ(pop.list, "nq");
+  const StmtNode& pop = ast.arena.stmt(bodyStmt(ast, 2));
+  ASSERT_EQ(pop.kind, StmtKind::PopFront);
+  EXPECT_EQ(ast.arena.str(pop.popFront.target), "head");
+  EXPECT_EQ(ast.arena.str(pop.popFront.list), "nq");
 }
 
 TEST(Parser, EnqAndPushBackAreSynonyms) {
-  const Program prog = parse(R"(
+  const Ast ast = parse(R"(
 p(buffer a, buffer b) {
   global list nq;
   nq.enq(1);
   nq.push_back(2);
 })");
-  EXPECT_EQ(prog.body->stmts[1]->stmtKind, StmtKind::ListPush);
-  EXPECT_EQ(prog.body->stmts[2]->stmtKind, StmtKind::ListPush);
+  EXPECT_EQ(ast.arena.stmt(bodyStmt(ast, 1)).kind, StmtKind::ListPush);
+  EXPECT_EQ(ast.arena.stmt(bodyStmt(ast, 2)).kind, StmtKind::ListPush);
 }
 
 TEST(Parser, FilterExpression) {
-  const ExprPtr e = parseExpr("backlog-p(b |> (val == 3))");
-  ASSERT_EQ(e->exprKind, ExprKind::Backlog);
-  const auto& backlog = static_cast<const BacklogExpr&>(*e);
-  ASSERT_EQ(backlog.buffer->exprKind, ExprKind::Filter);
-  const auto& filter = static_cast<const FilterExpr&>(*backlog.buffer);
-  EXPECT_EQ(filter.field, "val");
+  const ExprParse p = parseExpr("backlog-p(b |> (val == 3))");
+  const AstArena& arena = p.ast.arena;
+  const ExprNode& e = arena.expr(p.expr);
+  ASSERT_EQ(e.kind, ExprKind::Backlog);
+  const ExprNode& filter = arena.expr(e.backlog.buffer);
+  ASSERT_EQ(filter.kind, ExprKind::Filter);
+  EXPECT_EQ(arena.str(filter.filter.field), "val");
 }
 
 TEST(Parser, FilterWithoutParens) {
-  const ExprPtr e = parseExpr("backlog-b(b |> val == 3)");
-  ASSERT_EQ(e->exprKind, ExprKind::Backlog);
-  EXPECT_FALSE(static_cast<const BacklogExpr&>(*e).packets);
+  const ExprParse p = parseExpr("backlog-b(b |> val == 3)");
+  const ExprNode& e = p.ast.arena.expr(p.expr);
+  ASSERT_EQ(e.kind, ExprKind::Backlog);
+  EXPECT_FALSE(e.backlog.packets);
 }
 
 TEST(Parser, OperatorPrecedence) {
   // a + b * c == d & e | f  =>  ((((a + (b*c)) == d) & e) | f)
-  const ExprPtr e = parseExpr("a + b * c == d & e | f");
-  ASSERT_EQ(e->exprKind, ExprKind::Binary);
-  EXPECT_EQ(static_cast<const BinaryExpr&>(*e).op, BinaryOp::Or);
-  const auto& lhs =
-      static_cast<const BinaryExpr&>(*static_cast<const BinaryExpr&>(*e).lhs);
-  EXPECT_EQ(lhs.op, BinaryOp::And);
+  const ExprParse p = parseExpr("a + b * c == d & e | f");
+  const AstArena& arena = p.ast.arena;
+  const ExprNode& e = arena.expr(p.expr);
+  ASSERT_EQ(e.kind, ExprKind::Binary);
+  EXPECT_EQ(e.binary.op, BinaryOp::Or);
+  const ExprNode& lhs = arena.expr(e.binary.lhs);
+  ASSERT_EQ(lhs.kind, ExprKind::Binary);
+  EXPECT_EQ(lhs.binary.op, BinaryOp::And);
 }
 
 TEST(Parser, UnaryChain) {
-  const ExprPtr e = parseExpr("!!a");
-  ASSERT_EQ(e->exprKind, ExprKind::Unary);
-  EXPECT_EQ(static_cast<const UnaryExpr&>(*e).op, UnaryOp::Not);
+  const ExprParse p = parseExpr("!!a");
+  const ExprNode& e = p.ast.arena.expr(p.expr);
+  ASSERT_EQ(e.kind, ExprKind::Unary);
+  EXPECT_EQ(e.unary.op, UnaryOp::Not);
 }
 
 TEST(Parser, FunctionDeclaration) {
-  const Program prog = parse(R"(
+  const Ast ast = parse(R"(
 p(buffer a, buffer b) {
   def int min2(int x, int y) {
     local int r;
@@ -144,31 +159,33 @@ p(buffer a, buffer b) {
   local int m;
   m = min2(1, 2);
 })");
-  ASSERT_EQ(prog.functions.size(), 1u);
-  EXPECT_EQ(prog.functions[0].name, "min2");
-  EXPECT_EQ(prog.functions[0].returnType.kind, TypeKind::Int);
-  ASSERT_EQ(prog.functions[0].params.size(), 2u);
+  ASSERT_EQ(ast.program.functions.size(), 1u);
+  EXPECT_EQ(ast.program.functions[0].name, "min2");
+  EXPECT_EQ(ast.program.functions[0].returnType.kind, TypeKind::Int);
+  ASSERT_EQ(ast.program.functions[0].params.size(), 2u);
 }
 
 TEST(Parser, ArrayDeclarationsWithNamedSize) {
-  const Program prog = parse(R"(
+  const Ast ast = parse(R"(
 p(buffer a, buffer b) {
   global monitor int cdeq[N];
   local int tmp[3];
 })");
-  const auto& decl = static_cast<const DeclStmt&>(*prog.body->stmts[0]);
-  EXPECT_EQ(decl.sizeParam, "N");
-  EXPECT_EQ(decl.storage, Storage::Monitor);
+  const StmtNode& decl = ast.arena.stmt(bodyStmt(ast, 0));
+  ASSERT_EQ(decl.kind, StmtKind::Decl);
+  EXPECT_EQ(ast.arena.str(decl.decl.sizeParam), "N");
+  EXPECT_EQ(decl.decl.storage, Storage::Monitor);
 }
 
 TEST(Parser, HavocDeclaration) {
-  const Program prog = parse(R"(
+  const Ast ast = parse(R"(
 p(buffer a, buffer b) {
   havoc int waste;
   assume(waste >= 0);
 })");
-  const auto& decl = static_cast<const DeclStmt&>(*prog.body->stmts[0]);
-  EXPECT_EQ(decl.storage, Storage::Havoc);
+  const StmtNode& decl = ast.arena.stmt(bodyStmt(ast, 0));
+  ASSERT_EQ(decl.kind, StmtKind::Decl);
+  EXPECT_EQ(decl.decl.storage, Storage::Havoc);
 }
 
 TEST(Parser, RejectsTrailingTokens) {

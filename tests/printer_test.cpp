@@ -14,17 +14,21 @@ std::string printOf(const std::string& source) {
   return printProgram(parse(source));
 }
 
+std::string printExprOf(const char* source) {
+  const ExprParse p = parseExpr(source);
+  return printExpr(p.ast.arena, p.expr);
+}
+
 TEST(Printer, Expressions) {
-  EXPECT_EQ(printExpr(*parseExpr("a + b * c")), "(a + (b * c))");
-  EXPECT_EQ(printExpr(*parseExpr("!x & y")), "(!x & y)");
-  EXPECT_EQ(printExpr(*parseExpr("backlog-p(ibs[i])")),
-            "backlog-p(ibs[i])");
-  EXPECT_EQ(printExpr(*parseExpr("backlog-b(b |> val == 3)")),
+  EXPECT_EQ(printExprOf("a + b * c"), "(a + (b * c))");
+  EXPECT_EQ(printExprOf("!x & y"), "(!x & y)");
+  EXPECT_EQ(printExprOf("backlog-p(ibs[i])"), "backlog-p(ibs[i])");
+  EXPECT_EQ(printExprOf("backlog-b(b |> val == 3)"),
             "backlog-b(b |> (val == 3))");
-  EXPECT_EQ(printExpr(*parseExpr("l.has(x)")), "l.has(x)");
-  EXPECT_EQ(printExpr(*parseExpr("l.empty()")), "l.empty()");
-  EXPECT_EQ(printExpr(*parseExpr("min(1, 2)")), "min(1, 2)");
-  EXPECT_EQ(printExpr(*parseExpr("0 - 5")), "(0 - 5)");
+  EXPECT_EQ(printExprOf("l.has(x)"), "l.has(x)");
+  EXPECT_EQ(printExprOf("l.empty()"), "l.empty()");
+  EXPECT_EQ(printExprOf("min(1, 2)"), "min(1, 2)");
+  EXPECT_EQ(printExprOf("0 - 5"), "(0 - 5)");
 }
 
 TEST(Printer, DeclarationForms) {

@@ -17,7 +17,7 @@ struct CheckOutcome {
 
 CheckOutcome runPasses(const std::string& source, BufferRoles roles,
                        lang::CompileOptions opts = {}) {
-  lang::Program prog = lang::parse(source);
+  lang::Ast prog = lang::parse(source);
   const auto symbols = lang::checkOrThrow(prog, opts);
   CheckOutcome out;
   DiagnosticEngine diag;
@@ -199,7 +199,7 @@ p(buffer a, buffer b) {
 // ---------------------------------------------------------------------------
 
 std::size_t lintWarnings(const std::string& source) {
-  lang::Program prog = lang::parse(source);
+  lang::Ast prog = lang::parse(source);
   lang::checkOrThrow(prog, {});
   DiagnosticEngine diag;
   return checkDefiniteAssignment(prog, diag);
@@ -304,7 +304,7 @@ TEST(DefiniteAssignment, LibraryModelsAreClean) {
                     {"QUANTUM", 2}};
   opts.defaultListCapacity = 2;
   for (const auto& entry : models::allModels()) {
-    lang::Program prog = lang::parse(entry.source);
+    lang::Ast prog = lang::parse(entry.source);
     lang::checkOrThrow(prog, opts);
     DiagnosticEngine diag;
     EXPECT_EQ(checkDefiniteAssignment(prog, diag), 0u)

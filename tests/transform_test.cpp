@@ -13,10 +13,10 @@ namespace {
 
 using lang::parse;
 using lang::printProgram;
-using lang::Program;
+using lang::Ast;
 
-Program compiled(const std::string& source, lang::CompileOptions opts = {}) {
-  Program prog = parse(source);
+Ast compiled(const std::string& source, lang::CompileOptions opts = {}) {
+  Ast prog = parse(source);
   lang::checkOrThrow(prog, opts);
   return prog;
 }
@@ -26,7 +26,7 @@ Program compiled(const std::string& source, lang::CompileOptions opts = {}) {
 // ---------------------------------------------------------------------------
 
 TEST(ConstFold, FoldsArithmetic) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   local int x;
   x = 2 + 3 * 4;
@@ -37,7 +37,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(ConstFold, FoldsComparisonsAndBooleans) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   local bool x;
   x = (1 < 2) & (3 == 3);
@@ -47,7 +47,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(ConstFold, PrunesLiteralIf) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   local int x;
   if (1 < 2) { x = 1; } else { x = 2; }
@@ -61,7 +61,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(ConstFold, EuclideanDivisionSemantics) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   local int x;
   x = (0 - 7) / 2;
@@ -75,7 +75,7 @@ TEST(ConstFold, OverflowingLiteralsStayUnfolded) {
   // 64-bit boundary: folding 9223372036854775807 + 1 would wrap (signed
   // overflow UB before the checked-arithmetic fix); the expression must
   // survive unfolded. The in-range sibling still folds.
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   local int x;
   local int y;
@@ -91,7 +91,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(ConstFold, FoldsMinMaxCalls) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   local int x;
   x = min(4, 2, 9);
@@ -105,7 +105,7 @@ p(buffer a, buffer b) {
 // ---------------------------------------------------------------------------
 
 TEST(Unroll, ReplacesLoopWithIterationBlocks) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   global int sum;
   for (i in 0..3) do { sum = sum + i; }
@@ -119,7 +119,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Unroll, EmptyRangeVanishes) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   global int sum;
   for (i in 2..2) do { sum = sum + 1; }
@@ -129,7 +129,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Unroll, NestedLoops) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   global int sum;
   for (i in 0..2) do {
@@ -149,7 +149,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Unroll, RejectsNonLiteralBound) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   local int n;
   n = backlog-p(a);
@@ -161,7 +161,7 @@ p(buffer a, buffer b) {
 TEST(Unroll, ConstantBoundViaElaboration) {
   lang::CompileOptions opts;
   opts.constants["N"] = 2;
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer[N] ibs, buffer ob) {
   global int s;
   for (i in 0..N) do { s = s + 1; }
@@ -176,21 +176,21 @@ p(buffer[N] ibs, buffer ob) {
 // ---------------------------------------------------------------------------
 
 TEST(Inline, SimpleValueFunction) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   def int twice(int x) { return x + x; }
   global int y;
   y = twice(3);
 })");
   inlineFunctions(prog);
-  EXPECT_TRUE(prog.functions.empty());
+  EXPECT_TRUE(prog.program.functions.empty());
   const std::string printed = printProgram(prog);
   EXPECT_EQ(printed.find("twice("), std::string::npos) << printed;
   EXPECT_NE(printed.find("_ret"), std::string::npos);
 }
 
 TEST(Inline, BufferParameterAliasing) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer[2] ibs, buffer ob) {
   def int load(buffer q) { return backlog-p(q); }
   global int y;
@@ -202,7 +202,7 @@ p(buffer[2] ibs, buffer ob) {
 }
 
 TEST(Inline, NestedCalls) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   def int inc(int x) { return x + 1; }
   def int inc2(int x) { return inc(inc(x)); }
@@ -217,7 +217,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Inline, VoidFunctionStatement) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   def bump(buffer q, buffer r) {
     move-p(q, r, 1);
@@ -230,7 +230,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Inline, CallInCondition) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   def int load(buffer q) { return backlog-p(q); }
   global int y;
@@ -241,7 +241,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Inline, BodyLocalsRenamed) {
-  Program prog = compiled(R"(
+  Ast prog = compiled(R"(
 p(buffer a, buffer b) {
   def int f(int x) {
     local int tmp;
@@ -258,7 +258,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Inline, RecursionRejected) {
-  Program prog = parse(R"(
+  Ast prog = parse(R"(
 p(buffer a, buffer b) {
   def int f(int x) { return f(x); }
   global int y;
@@ -268,7 +268,7 @@ p(buffer a, buffer b) {
 }
 
 TEST(Inline, MutualRecursionRejected) {
-  Program prog = parse(R"(
+  Ast prog = parse(R"(
 p(buffer a, buffer b) {
   def int f(int x) { return g(x); }
   def int g(int x) { return f(x); }
@@ -283,7 +283,7 @@ TEST(Inline, AllModelsSurviveFullPipeline) {
   opts.constants = {{"N", 3}, {"RATE", 2}, {"BUCKET", 4}, {"RTO", 3}, {"QUANTUM", 2}};
   opts.defaultListCapacity = 3;
   for (const auto& entry : models::allModels()) {
-    Program prog = parse(entry.source);
+    Ast prog = parse(entry.source);
     lang::checkOrThrow(prog, opts);
     inlineFunctions(prog);
     foldConstants(prog);

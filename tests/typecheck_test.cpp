@@ -11,10 +11,10 @@ namespace {
 
 TypecheckResult checkSource(const std::string& source,
                             CompileOptions opts = {}) {
-  Program prog = parse(source);
-  elaborate(prog, opts);
+  Ast ast = parse(source);
+  elaborate(ast, opts);
   DiagnosticEngine diag;
-  TypecheckResult result = typecheck(prog, opts, diag);
+  TypecheckResult result = typecheck(ast, opts, diag);
   if (!result.ok) {
     // surface the diagnostics through gtest on failure paths
     ADD_FAILURE() << diag.renderAll();
@@ -23,10 +23,10 @@ TypecheckResult checkSource(const std::string& source,
 }
 
 std::string firstError(const std::string& source, CompileOptions opts = {}) {
-  Program prog = parse(source);
-  elaborate(prog, opts);
+  Ast ast = parse(source);
+  elaborate(ast, opts);
   DiagnosticEngine diag;
-  typecheck(prog, opts, diag);
+  typecheck(ast, opts, diag);
   for (const auto& d : diag.all()) {
     if (d.severity == Severity::Error) return d.message;
   }
@@ -35,7 +35,7 @@ std::string firstError(const std::string& source, CompileOptions opts = {}) {
 
 TEST(Typecheck, AllLibraryModelsCheck) {
   for (const auto& entry : models::allModels()) {
-    Program prog = parse(entry.source);
+    Ast ast = parse(entry.source);
     CompileOptions opts;
     opts.constants["N"] = 3;
     opts.constants["RATE"] = 2;
@@ -43,7 +43,7 @@ TEST(Typecheck, AllLibraryModelsCheck) {
     opts.constants["RTO"] = 3;
     opts.constants["QUANTUM"] = 2;
     opts.defaultListCapacity = 3;
-    EXPECT_NO_THROW(checkOrThrow(prog, opts)) << entry.name;
+    EXPECT_NO_THROW(checkOrThrow(ast, opts)) << entry.name;
   }
 }
 
@@ -60,18 +60,18 @@ p(buffer a, buffer b) {
 }
 
 TEST(Typecheck, ElaborateSubstitutesConstants) {
-  Program prog = parse("p(buffer[N] ibs, buffer ob) { local int x; x = N; }");
+  Ast ast = parse("p(buffer[N] ibs, buffer ob) { local int x; x = N; }");
   CompileOptions opts;
   opts.constants["N"] = 5;
-  elaborate(prog, opts);
-  EXPECT_EQ(prog.params[0].type.size, 5);
+  elaborate(ast, opts);
+  EXPECT_EQ(ast.program.params[0].type.size, 5);
   DiagnosticEngine diag;
-  EXPECT_TRUE(typecheck(prog, opts, diag).ok) << diag.renderAll();
+  EXPECT_TRUE(typecheck(ast, opts, diag).ok) << diag.renderAll();
 }
 
 TEST(Typecheck, ElaborateRespectsShadowing) {
   // The loop variable N shadows the constant N inside the loop.
-  Program prog = parse(R"(
+  Ast ast = parse(R"(
 p(buffer a, buffer b) {
   local int x;
   for (N in 0..2) do { x = N; }
@@ -79,21 +79,21 @@ p(buffer a, buffer b) {
 })");
   CompileOptions opts;
   opts.constants["N"] = 7;
-  elaborate(prog, opts);
+  elaborate(ast, opts);
   DiagnosticEngine diag;
-  EXPECT_TRUE(typecheck(prog, opts, diag).ok) << diag.renderAll();
+  EXPECT_TRUE(typecheck(ast, opts, diag).ok) << diag.renderAll();
 }
 
 TEST(Typecheck, ElaborateRejectsMissingBinding) {
-  Program prog = parse("p(buffer[N] ibs, buffer ob) {}");
-  EXPECT_THROW(elaborate(prog, CompileOptions{}), SemanticError);
+  Ast ast = parse("p(buffer[N] ibs, buffer ob) {}");
+  EXPECT_THROW(elaborate(ast, CompileOptions{}), SemanticError);
 }
 
 TEST(Typecheck, ElaborateRejectsNonPositiveSize) {
-  Program prog = parse("p(buffer[N] ibs, buffer ob) {}");
+  Ast ast = parse("p(buffer[N] ibs, buffer ob) {}");
   CompileOptions opts;
   opts.constants["N"] = 0;
-  EXPECT_THROW(elaborate(prog, opts), SemanticError);
+  EXPECT_THROW(elaborate(ast, opts), SemanticError);
 }
 
 TEST(Typecheck, UndeclaredVariable) {
@@ -263,20 +263,20 @@ p(buffer a, buffer b) {
 }
 
 TEST(Typecheck, DefaultListCapacityApplied) {
-  Program prog = parse("p(buffer a, buffer b) { global list l; }");
+  Ast ast = parse("p(buffer a, buffer b) { global list l; }");
   CompileOptions opts;
   opts.defaultListCapacity = 5;
-  elaborate(prog, opts);
+  elaborate(ast, opts);
   DiagnosticEngine diag;
-  const auto result = typecheck(prog, opts, diag);
+  const auto result = typecheck(ast, opts, diag);
   ASSERT_TRUE(result.ok);
   EXPECT_EQ(result.globals.at("l").size, 5);
 }
 
 TEST(Typecheck, CheckOrThrowThrowsWithDiagnostics) {
-  Program prog = parse("p(buffer a, buffer b) { x = 1; }");
+  Ast ast = parse("p(buffer a, buffer b) { x = 1; }");
   try {
-    checkOrThrow(prog, CompileOptions{});
+    checkOrThrow(ast, CompileOptions{});
     FAIL() << "expected SemanticError";
   } catch (const SemanticError& e) {
     EXPECT_NE(std::string(e.what()).find("undeclared"), std::string::npos);

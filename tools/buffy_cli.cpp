@@ -12,6 +12,11 @@
 //   buffy print    model.bfy            (parse + pretty-print)
 //   buffy lint     model.bfy            (well-formedness + lint warnings)
 //
+// print and lint accept multiple model files; --jobs N compiles them in
+// parallel (one CompilationUnit per file, each with its own AST arena).
+// Output and diagnostics are emitted in input order whatever the job
+// count, so `--jobs 4` is byte-identical to `--jobs 1`.
+//
 // Options:
 //   -T N                  time horizon (default 4)
 //   -D name=value         compile-time constant (repeatable)
@@ -38,6 +43,9 @@
 //                         each shard reuses one engine/session per horizon
 //   --threads N           worker threads for --race (0 = one per member)
 //                         and synth (default 1); max 1024
+//   --jobs N              print/lint: compile the given model files over N
+//                         worker threads (default 1, max 1024);
+//                         diagnostics stay in input order
 //   --isolate             race/sweep: run each member/horizon job in a
 //                         crash-isolated `buffy --worker` subprocess with
 //                         supervision — hung workers are killed at a
@@ -184,6 +192,11 @@ int exitCodeFor(core::Verdict verdict) {
 struct Options {
   std::string command;
   std::string file;
+  /// Every model file in argument order (print/lint accept several; the
+  /// other commands take exactly one — `file` is always files.front()).
+  std::vector<std::string> files;
+  /// --jobs: parallel compile workers for multi-file print/lint.
+  std::size_t jobs = 1;
   int horizon = 4;
   std::map<std::string, std::int64_t> constants;
   std::string instance;
@@ -360,6 +373,9 @@ Options parseArgs(int argc, char** argv) {
       // 0 is documented auto (one thread per member for --race).
       opts.threads =
           static_cast<int>(parseCount("--threads", next(), 0, 1024));
+    } else if (arg == "--jobs") {
+      opts.jobs =
+          static_cast<std::size_t>(parseCount("--jobs", next(), 1, 1024));
     } else if (arg == "--isolate") {
       opts.isolate = true;
     } else if (arg == "--retries") {
@@ -463,11 +479,15 @@ Options parseArgs(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       throw CliError("unknown option " + arg);
     } else {
-      if (!opts.file.empty()) throw CliError("multiple model files given");
-      opts.file = arg;
+      opts.files.push_back(arg);
     }
   }
-  if (opts.file.empty()) throw CliError("missing model file");
+  if (opts.files.empty()) throw CliError("missing model file");
+  opts.file = opts.files.front();
+  if (opts.files.size() > 1 && opts.command != "print" &&
+      opts.command != "lint") {
+    throw CliError("multiple model files need print or lint");
+  }
   if (!opts.queries.empty()) opts.query = opts.queries.front();
   if (opts.queries.size() > 1 && !opts.sweep) {
     throw CliError("multiple --query flags need --sweep");
@@ -1128,7 +1148,70 @@ void requireIncrementalSolver(const Options& opts, const char* flag) {
   }
 }
 
+/// Multi-file print/lint: one Network per file compiled through
+/// CompilerDriver::compileAll over a --jobs-wide pool. Each file gets its
+/// own CompilationUnit (own AST arena) and DiagnosticEngine; output is
+/// rendered by input index, so the bytes do not depend on the job count.
+int runMultiFile(const Options& opts) {
+  pipeline::PipelineOptions popts;
+  popts.horizon = opts.horizon;
+  popts.model = opts.model;
+  popts.unrollLoops = opts.unroll;
+  popts.symbolicInitialState = opts.havocInit;
+  popts.budget = opts.budget;
+
+  std::vector<core::Network> networks;
+  networks.reserve(opts.files.size());
+  for (const auto& file : opts.files) {
+    core::ProgramSpec spec;
+    spec.instance = opts.instance;
+    spec.source = readFile(file);
+    spec.compile = compileOptionsFor(opts);
+    spec.buffers = opts.buffers;
+    core::Network net;
+    net.add(spec);
+    networks.push_back(std::move(net));
+  }
+
+  const pipeline::CompilerDriver driver(popts);
+  const pipeline::CompileAllResult all =
+      driver.compileAll(std::move(networks), frontModeFor(opts), opts.jobs);
+
+  if (opts.command == "lint") {
+    bool findings = false;
+    bool errors = false;
+    for (std::size_t i = 0; i < opts.files.size(); ++i) {
+      const DiagnosticEngine& diag = all.diags[i];
+      if (diag.all().empty()) continue;
+      findings = true;
+      errors = errors || diag.hasErrors();
+      std::printf("%s:\n", opts.files[i].c_str());
+      std::fputs(diag.renderAll().c_str(), stdout);
+    }
+    if (!findings) {
+      std::puts("clean: no findings");
+      return kExitOk;
+    }
+    return errors ? kExitUsage : kExitOk;
+  }
+
+  // print
+  bool errors = false;
+  for (std::size_t i = 0; i < opts.files.size(); ++i) {
+    const DiagnosticEngine& diag = all.diags[i];
+    if (!diag.all().empty()) std::fputs(diag.renderAll().c_str(), stderr);
+    errors = errors || diag.hasErrors();
+  }
+  if (errors) return kExitUsage;
+  for (std::size_t i = 0; i < opts.files.size(); ++i) {
+    const auto& ast = all.units[i]->instances().front().ast;
+    std::fputs(lang::printProgram(ast).c_str(), stdout);
+  }
+  return kExitOk;
+}
+
 int run(const Options& opts) {
+  if (opts.files.size() > 1) return runMultiFile(opts);
   const std::string source = readFile(opts.file);
 
   // ONE front-half compile per run, whatever the command: the driver runs
@@ -1170,8 +1253,8 @@ int run(const Options& opts) {
   if (diag.hasErrors()) return kExitUsage;
 
   if (opts.command == "print") {
-    const auto& prog = unit->instances().front().program;
-    std::fputs(lang::printProgram(prog).c_str(), stdout);
+    const auto& ast = unit->instances().front().ast;
+    std::fputs(lang::printProgram(ast).c_str(), stdout);
     return 0;
   }
 
@@ -1184,8 +1267,8 @@ int run(const Options& opts) {
         dopts.maxArrivalsPerStep = b.maxArrivalsPerStep;
       }
     }
-    const auto& prog = unit->instances().front().program;
-    std::fputs(emitDafny(prog, dopts).c_str(), stdout);
+    const auto& ast = unit->instances().front().ast;
+    std::fputs(emitDafny(ast, dopts).c_str(), stdout);
     return 0;
   }
 

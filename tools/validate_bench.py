@@ -77,6 +77,17 @@ SCHEMAS = {
 # rows carry more keys than we pin down — validate the stable core only.
 GOOGLE_BENCHMARK_FILES = {"BENCH_frontend.json"}
 
+# Per-stage frontend timer families (bench/micro_frontend): at least one
+# row of each must be present, and every row carries an `astNodes`
+# counter reporting the arena size the stage operated on.
+STAGE_BENCHMARK_PREFIXES = (
+    "BM_StageParse/",
+    "BM_StageTypecheck/",
+    "BM_StageInline/",
+    "BM_StageUnroll/",
+    "BM_FrontHalf/",
+)
+
 
 def validate_google_benchmark(path: pathlib.Path) -> list:
     try:
@@ -93,13 +104,16 @@ def validate_google_benchmark(path: pathlib.Path) -> list:
     rows = doc.get("benchmarks")
     if not isinstance(rows, list) or not rows:
         return errors + [f"{path}: 'benchmarks' must be a non-empty array"]
+    stage_rows = {prefix: 0 for prefix in STAGE_BENCHMARK_PREFIXES}
     for i, row in enumerate(rows):
         where = f"{path} benchmarks[{i}]"
         if not isinstance(row, dict):
             errors.append(f"{where}: not an object")
             continue
-        if not isinstance(row.get("name"), str):
+        name = row.get("name")
+        if not isinstance(name, str):
             errors.append(f"{where}: 'name' should be str")
+            name = ""
         if row.get("run_type") == "aggregate":
             # Complexity/statistics rows (BigO, RMS, mean/median/stddev)
             # report coefficients or percentages, not per-iteration times.
@@ -111,6 +125,24 @@ def validate_google_benchmark(path: pathlib.Path) -> list:
                 errors.append(f"{where}: {key!r} should be a number")
             elif value < 0:
                 errors.append(f"{where}: negative {key} ({value})")
+        for prefix in STAGE_BENCHMARK_PREFIXES:
+            if name.startswith(prefix):
+                stage_rows[prefix] += 1
+                # google-benchmark surfaces state.counters as extra
+                # top-level numeric keys on the row.
+                nodes = row.get("astNodes")
+                if isinstance(nodes, bool) or not isinstance(nodes,
+                                                             numbers.Real):
+                    errors.append(
+                        f"{where}: {name}: 'astNodes' counter should be "
+                        f"a number")
+                elif nodes <= 0:
+                    errors.append(
+                        f"{where}: {name}: 'astNodes' should be positive "
+                        f"({nodes})")
+    for prefix, count in stage_rows.items():
+        if count == 0:
+            errors.append(f"{path}: no '{prefix}*' benchmark rows")
     return errors
 
 
